@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Shared plumbing for the reproduction benches: a workspace rooted in a
+ * temp directory, quiet logging, and small table-printing helpers.
+ *
+ * Every bench binary regenerates one table or figure of the paper: it
+ * prints the reproduced rows/series to stdout (the artifact a reader
+ * compares against the paper), then runs its google-benchmark timings.
+ */
+
+#ifndef G5_BENCH_COMMON_HH
+#define G5_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "art/workspace.hh"
+#include "base/logging.hh"
+
+namespace g5::bench
+{
+
+inline std::string
+benchRoot(const std::string &name)
+{
+    return (std::filesystem::temp_directory_path() / ("g5bench_" + name))
+        .string();
+}
+
+inline void
+banner(const std::string &title)
+{
+    std::printf("\n================================================="
+                "=============================\n%s\n"
+                "================================================="
+                "=============================\n",
+                title.c_str());
+}
+
+inline void
+rule()
+{
+    std::printf("-----------------------------------------------------"
+                "-------------------------\n");
+}
+
+} // namespace g5::bench
+
+#endif // G5_BENCH_COMMON_HH

@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Reproduces Table II and Fig 6 (use-case 1): the PARSEC suite across
+ * Ubuntu LTS releases.
+ *
+ * 60 full-system runs through the g5art pipeline: {Ubuntu 18.04 with
+ * kernel 4.15.18, Ubuntu 20.04 with kernel 5.4.51} x 10 applications
+ * x {1, 2, 8} CPUs, TimingSimpleCPU, simmedium-scaled inputs. Multicore
+ * timing-mode runs use the MESI_Two_Level Ruby system (the classic
+ * system cannot host multiple timing CPUs, per Fig 8).
+ *
+ * Expected shape (paper): applications typically take longer on Ubuntu
+ * 18.04; the absolute difference shrinks as cores are added; 20.04
+ * executes more instructions at higher CPU utilization.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <vector>
+
+#include "art/tasks.hh"
+#include "bench/bench_common.hh"
+#include "resources/catalog.hh"
+#include "workloads/parsec.hh"
+
+using namespace g5;
+using namespace g5::art;
+using namespace g5::bench;
+
+namespace
+{
+
+const std::vector<int> coreCounts = {1, 2, 8};
+
+struct RunKey
+{
+    std::string release;
+    std::string app;
+    int cores;
+};
+
+std::string
+runName(const RunKey &k)
+{
+    return "parsec-" + k.app + "-ubuntu" + k.release + "-" +
+           std::to_string(k.cores) + "cpu";
+}
+
+void
+printTable2()
+{
+    banner("Table II — Configuration parameters for use-case 1");
+    std::printf("%-16s %s\n", "CPU", "TimingSimpleCPU");
+    std::printf("%-16s %s\n", "Number of CPUs", "1, 2, 8");
+    std::printf("%-16s %s\n", "Memory", "1 channel, DDR3_1600_8x8");
+    std::printf("%-16s %s\n", "OS",
+                "Ubuntu 20.04 (kernel 5.4.51), Ubuntu 18.04 (kernel "
+                "4.15.18)");
+    std::printf("%-16s %s\n", "Workloads",
+                "Blackscholes, Bodytrack, Dedup, Ferret, Fluidanimate,");
+    std::printf("%-16s %s\n", "",
+                "Freqmine, Raytrace, Streamcluster, Swaptions, Vips");
+    std::printf("%-16s %s\n", "Input sizes", "simmedium (scaled)");
+}
+
+/** roiTicks for every (release, app, cores) cell. */
+std::map<std::string, std::uint64_t>
+runStudy()
+{
+    setQuiet(true);
+    Workspace ws(benchRoot("fig6"));
+    auto binary = ws.gem5Binary("20.1.0.4");
+    auto script = ws.runScript("launch_parsec_tests.py",
+                               "PARSEC run script (use-case 1)");
+
+    std::map<std::string, Workspace::Item> kernels;
+    std::map<std::string, Workspace::Item> disks;
+    kernels.emplace("18.04", ws.kernel("4.15.18"));
+    kernels.emplace("20.04", ws.kernel("5.4.51"));
+    disks.emplace("18.04", ws.disk("parsec-ubuntu-18.04",
+                                   resources::buildParsecImage("18.04")));
+    disks.emplace("20.04", ws.disk("parsec-ubuntu-20.04",
+                                   resources::buildParsecImage("20.04")));
+
+    Tasks tasks(ws.adb(), 2);
+    std::vector<RunKey> keys;
+    for (const char *release : {"18.04", "20.04"}) {
+        for (const auto &app : workloads::parsecSuite()) {
+            for (int cores : coreCounts) {
+                RunKey key{release, app.name, cores};
+                Json params = Json::object();
+                params["cpu"] = "timing";
+                params["num_cpus"] = cores;
+                params["mem_system"] =
+                    cores == 1 ? "classic" : "MESI_Two_Level";
+                params["boot_type"] = "init";
+                params["workload"] = "/parsec/bin/" + app.name;
+                params["workload_arg"] = cores; // nthreads
+                params["max_ticks"] =
+                    std::int64_t(300'000'000'000'000); // 300 s sim
+
+                tasks.applyAsync(Gem5Run::createFSRun(
+                    ws.adb(), runName(key), binary.path, script.path,
+                    ws.outdir(runName(key)), binary.artifact,
+                    binary.repoArtifact, script.repoArtifact,
+                    kernels.at(release).path, disks.at(release).path,
+                    kernels.at(release).artifact,
+                    disks.at(release).artifact, params, 3600.0));
+                keys.push_back(key);
+            }
+        }
+    }
+    tasks.waitAll();
+    setQuiet(false);
+
+    std::map<std::string, std::uint64_t> roi;
+    for (const auto &key : keys) {
+        Json doc = ws.adb().runs().findOne(
+            Json::object({{"name", Json(runName(key))}}));
+        if (doc.getString("status") != "SUCCESS") {
+            std::printf("!! %s: %s (%s)\n", runName(key).c_str(),
+                        doc.getString("status").c_str(),
+                        doc.getString("error").c_str());
+            continue;
+        }
+        roi[runName(key)] = std::uint64_t(doc.getInt("roiTicks"));
+    }
+    return roi;
+}
+
+std::map<std::string, std::uint64_t> roiCache;
+
+void
+ensureStudy()
+{
+    if (roiCache.empty()) {
+        printTable2();
+        roiCache = runStudy();
+
+        banner("Fig 6 — absolute ROI execution-time difference, "
+               "Ubuntu 18.04 minus 20.04 (ms)");
+        std::printf("%-15s %10s %10s %10s\n", "application", "1 core",
+                    "2 cores", "8 cores");
+        rule();
+        for (const auto &app : workloads::parsecSuite()) {
+            std::printf("%-15s", app.name.c_str());
+            for (int cores : coreCounts) {
+                auto t18 = roiCache[runName(
+                    RunKey{"18.04", app.name, cores})];
+                auto t20 = roiCache[runName(
+                    RunKey{"20.04", app.name, cores})];
+                double diff_ms =
+                    (double(t18) - double(t20)) / 1e9; // ticks->ms
+                std::printf(" %10.3f", diff_ms);
+            }
+            std::printf("\n");
+        }
+        rule();
+        int slower18 = 0;
+        double diff1 = 0, diff8 = 0;
+        for (const auto &app : workloads::parsecSuite()) {
+            auto t18_1 =
+                roiCache[runName(RunKey{"18.04", app.name, 1})];
+            auto t20_1 =
+                roiCache[runName(RunKey{"20.04", app.name, 1})];
+            auto t18_8 =
+                roiCache[runName(RunKey{"18.04", app.name, 8})];
+            auto t20_8 =
+                roiCache[runName(RunKey{"20.04", app.name, 8})];
+            if (t18_1 > t20_1)
+                ++slower18;
+            diff1 += (double(t18_1) - double(t20_1)) / 1e9;
+            diff8 += (double(t18_8) - double(t20_8)) / 1e9;
+        }
+        std::printf("apps slower on 18.04 at 1 core: %d/10\n", slower18);
+        std::printf("mean abs difference: %.3f ms @1 core -> %.3f ms "
+                    "@8 cores\n",
+                    diff1 / 10, diff8 / 10);
+        std::printf("\npaper expects: applications typically take "
+                    "longer in Ubuntu 18.04, and the\ndifference "
+                    "becomes smaller as more CPU cores are used.\n\n");
+    }
+}
+
+void
+BM_Fig6ParsecStudy(benchmark::State &state)
+{
+    for (auto _ : state)
+        ensureStudy();
+    state.counters["runs"] = 60;
+}
+
+BENCHMARK(BM_Fig6ParsecStudy)->Iterations(1)->Unit(benchmark::kSecond);
+
+} // anonymous namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Reproduces Fig 7 (use-case 1): PARSEC execution-time speedup between
+ * 1 and 8 cores, for Ubuntu 18.04 and Ubuntu 20.04.
+ *
+ * 40 full-system runs (2 OS x 10 apps x {1, 8} cores) through the
+ * g5art pipeline on TimingSimpleCPU.
+ *
+ * Expected shape (paper): the rate of speedup is relatively consistent
+ * between the two OSs, but on average Ubuntu 20.04 achieves a greater
+ * speedup, particularly for blackscholes and ferret (higher CPU
+ * utilization on the newer userland).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <vector>
+
+#include "art/tasks.hh"
+#include "bench/bench_common.hh"
+#include "resources/catalog.hh"
+#include "workloads/parsec.hh"
+
+using namespace g5;
+using namespace g5::art;
+using namespace g5::bench;
+
+namespace
+{
+
+std::string
+runName(const std::string &release, const std::string &app, int cores)
+{
+    return "parsec-" + app + "-ubuntu" + release + "-" +
+           std::to_string(cores) + "cpu";
+}
+
+std::map<std::string, std::uint64_t>
+runStudy()
+{
+    setQuiet(true);
+    Workspace ws(benchRoot("fig7"));
+    auto binary = ws.gem5Binary("20.1.0.4");
+    auto script = ws.runScript("launch_parsec_tests.py",
+                               "PARSEC run script (use-case 1)");
+
+    std::map<std::string, Workspace::Item> kernels;
+    std::map<std::string, Workspace::Item> disks;
+    kernels.emplace("18.04", ws.kernel("4.15.18"));
+    kernels.emplace("20.04", ws.kernel("5.4.51"));
+    disks.emplace("18.04", ws.disk("parsec-ubuntu-18.04",
+                                   resources::buildParsecImage("18.04")));
+    disks.emplace("20.04", ws.disk("parsec-ubuntu-20.04",
+                                   resources::buildParsecImage("20.04")));
+
+    Tasks tasks(ws.adb(), 2);
+    for (const char *release : {"18.04", "20.04"}) {
+        for (const auto &app : workloads::parsecSuite()) {
+            for (int cores : {1, 8}) {
+                Json params = Json::object();
+                params["cpu"] = "timing";
+                params["num_cpus"] = cores;
+                params["mem_system"] =
+                    cores == 1 ? "classic" : "MESI_Two_Level";
+                params["boot_type"] = "init";
+                params["workload"] = "/parsec/bin/" + app.name;
+                params["workload_arg"] = cores;
+                params["max_ticks"] =
+                    std::int64_t(300'000'000'000'000);
+                tasks.applyAsync(Gem5Run::createFSRun(
+                    ws.adb(), runName(release, app.name, cores),
+                    binary.path, script.path,
+                    ws.outdir(runName(release, app.name, cores)),
+                    binary.artifact, binary.repoArtifact,
+                    script.repoArtifact, kernels.at(release).path,
+                    disks.at(release).path,
+                    kernels.at(release).artifact,
+                    disks.at(release).artifact, params, 3600.0));
+            }
+        }
+    }
+    tasks.waitAll();
+    setQuiet(false);
+
+    std::map<std::string, std::uint64_t> roi;
+    ws.adb().runs().forEach([&](const Json &doc) {
+        if (doc.getString("status") == "SUCCESS")
+            roi[doc.getString("name")] =
+                std::uint64_t(doc.getInt("roiTicks"));
+    });
+    return roi;
+}
+
+std::map<std::string, std::uint64_t> roiCache;
+
+void
+ensureStudy()
+{
+    if (!roiCache.empty())
+        return;
+    roiCache = runStudy();
+
+    banner("Fig 7 — PARSEC ROI speedup between 1 and 8 cores, per OS");
+    std::printf("%-15s %14s %14s %10s\n", "application",
+                "Ubuntu 18.04", "Ubuntu 20.04", "20.04-18.04");
+    rule();
+    double sum18 = 0, sum20 = 0;
+    for (const auto &app : workloads::parsecSuite()) {
+        double s18 =
+            double(roiCache[runName("18.04", app.name, 1)]) /
+            double(roiCache[runName("18.04", app.name, 8)]);
+        double s20 =
+            double(roiCache[runName("20.04", app.name, 1)]) /
+            double(roiCache[runName("20.04", app.name, 8)]);
+        sum18 += s18;
+        sum20 += s20;
+        std::printf("%-15s %14.2f %14.2f %+10.2f\n", app.name.c_str(),
+                    s18, s20, s20 - s18);
+    }
+    rule();
+    std::printf("%-15s %14.2f %14.2f %+10.2f\n", "average", sum18 / 10,
+                sum20 / 10, (sum20 - sum18) / 10);
+    std::printf("\npaper expects: consistent speedups across the two "
+                "OSs, with Ubuntu 20.04\nachieving a greater speedup "
+                "on average (notably blackscholes and ferret).\n\n");
+}
+
+void
+BM_Fig7SpeedupStudy(benchmark::State &state)
+{
+    for (auto _ : state)
+        ensureStudy();
+    state.counters["runs"] = 40;
+}
+
+BENCHMARK(BM_Fig7SpeedupStudy)->Iterations(1)->Unit(benchmark::kSecond);
+
+} // anonymous namespace
+
+BENCHMARK_MAIN();

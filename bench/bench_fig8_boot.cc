@@ -1,0 +1,251 @@
+/**
+ * @file
+ * Reproduces Fig 8: the 480-run Linux boot-test cross product
+ * (use-case 2).
+ *
+ * Sweep: {kvmCPU, AtomicSimpleCPU, TimingSimpleCPU, O3CPU}
+ *      x {classic, MI_example, MESI_Two_Level}
+ *      x {1, 2, 4, 8} cores
+ *      x 5 LTS kernels
+ *      x {init (kernel only), systemd (runlevel 5)}  = 480 runs,
+ * all driven through the g5art artifact/run/task pipeline against the
+ * simulated gem5 v20.1.0.4 (whose bug census Fig 8 reports).
+ *
+ * Expected shape (paper): kvm boots everywhere; atomic works in every
+ * supported (classic) case; timing works everywhere supported; O3
+ * succeeds in ~40% of supported runs, with 27 guest kernel panics,
+ * 11 simulator segfaults (GEM5-782), 4 MI_example protocol deadlocks,
+ * and 16 runs that never finish.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <vector>
+
+#include "art/tasks.hh"
+#include "bench/bench_common.hh"
+#include "resources/catalog.hh"
+#include "sim/fs/fs_system.hh"
+#include "sim/fs/known_issues.hh"
+
+using namespace g5;
+using namespace g5::art;
+using namespace g5::bench;
+
+namespace
+{
+
+struct MatrixCell
+{
+    std::map<RunOutcome, int> counts;
+};
+
+const std::vector<std::string> cpus = {"kvm", "atomic", "timing", "o3"};
+const std::vector<std::string> mems = {"classic", "MI_example",
+                                       "MESI_Two_Level"};
+const std::vector<int> coreCounts = {1, 2, 4, 8};
+const std::vector<std::string> boots = {"init", "systemd"};
+
+char
+outcomeGlyph(RunOutcome o)
+{
+    switch (o) {
+      case RunOutcome::Success:
+        return 'P'; // passed
+      case RunOutcome::KernelPanic:
+        return 'K';
+      case RunOutcome::SimCrash:
+        return 'S';
+      case RunOutcome::Deadlock:
+        return 'D';
+      case RunOutcome::Timeout:
+        return 'T';
+      case RunOutcome::Unsupported:
+        return 'U';
+      default:
+        return '?';
+    }
+}
+
+/** Run the full 480-cell sweep once; print the matrix and the census. */
+void
+runSweep()
+{
+    setQuiet(true);
+    Workspace ws(benchRoot("fig8"));
+    auto binary = ws.gem5Binary("20.1.0.4");
+    auto disk = ws.disk("boot-exit", resources::buildBootExitImage());
+    auto script =
+        ws.runScript("run_exit.py", "boot-exit run script (Fig 8)");
+
+    std::map<std::string, Workspace::Item> kernels;
+    for (const auto &v : sim::fs::fig8Kernels())
+        kernels.emplace(v, ws.kernel(v));
+
+    Tasks tasks(ws.adb(), 2);
+    struct Pending
+    {
+        std::string cpu, mem, kernel, boot;
+        int cores;
+        Gem5Run run;
+    };
+    std::vector<Pending> pending;
+
+    for (const auto &cpu : cpus) {
+        for (const auto &mem : mems) {
+            for (int cores : coreCounts) {
+                for (const auto &kv : kernels) {
+                    for (const auto &boot : boots) {
+                        Json params = Json::object();
+                        params["cpu"] = cpu;
+                        params["num_cpus"] = cores;
+                        params["mem_system"] = mem;
+                        params["boot_type"] = boot;
+                        // "24 hours" scaled: 200 ms simulated time.
+                        params["max_ticks"] =
+                            std::int64_t(200'000'000'000);
+                        std::string name = cpu + "-" + mem + "-" +
+                                           std::to_string(cores) + "-" +
+                                           kv.first + "-" + boot;
+                        Gem5Run run = Gem5Run::createFSRun(
+                            ws.adb(), name, binary.path, script.path,
+                            ws.outdir(name), binary.artifact,
+                            binary.repoArtifact, script.repoArtifact,
+                            kv.second.path, disk.path,
+                            kv.second.artifact, disk.artifact, params,
+                            600.0);
+                        pending.push_back(Pending{cpu, mem, kv.first,
+                                                  boot, cores, run});
+                    }
+                }
+            }
+        }
+    }
+
+    std::vector<scheduler::TaskFuturePtr> futures;
+    futures.reserve(pending.size());
+    for (auto &p : pending)
+        futures.push_back(tasks.applyAsync(p.run));
+    tasks.waitAll();
+    setQuiet(false);
+
+    // --- collate ---
+    std::map<RunOutcome, int> census;
+    std::map<RunOutcome, int> o3Census;
+    // matrix[cpu][mem][boot] -> row of glyphs over kernels x cores
+    banner("Fig 8 — Linux boot tests: kernels x CPU models x memory "
+           "systems x cores (480 runs)");
+    std::printf("glyphs: P=boots  K=kernel panic  S=simulator crash "
+                "(segfault)  D=deadlock\n        T=never finishes  "
+                "U=unsupported configuration\n\n");
+
+    for (const auto &boot : boots) {
+        std::printf("boot type: %s%s\n", boot.c_str(),
+                    boot == "init" ? " (kernel only)"
+                                   : " (runlevel 5, multi-user)");
+        std::printf("%-8s %-16s", "cpu", "memory");
+        for (const auto &kv : sim::fs::fig8Kernels())
+            std::printf(" %-9s", kv.c_str());
+        std::printf("  (cores 1/2/4/8)\n");
+        rule();
+        for (const auto &cpu : cpus) {
+            for (const auto &mem : mems) {
+                std::printf("%-8s %-16s", cpu.c_str(), mem.c_str());
+                for (const auto &kernel : sim::fs::fig8Kernels()) {
+                    char cell[16];
+                    int n = 0;
+                    for (int cores : coreCounts) {
+                        std::string name =
+                            cpu + "-" + mem + "-" +
+                            std::to_string(cores) + "-" + kernel + "-" +
+                            boot;
+                        Json doc = ws.adb().runs().findOne(Json::object(
+                            {{"name", Json(name)}}));
+                        RunOutcome o = Gem5Run::classify(doc);
+                        cell[n++] = outcomeGlyph(o);
+                        ++census[o];
+                        if (cpu == "o3")
+                            ++o3Census[o];
+                    }
+                    cell[n] = 0;
+                    std::printf(" %-9s", cell);
+                }
+                std::printf("\n");
+            }
+        }
+        std::printf("\n");
+    }
+
+    rule();
+    std::printf("census over all 480 runs:\n");
+    for (const auto &kv : census)
+        std::printf("  %-12s %3d\n", runOutcomeName(kv.first),
+                    kv.second);
+    int o3_supported = 0;
+    for (const auto &kv : o3Census)
+        if (kv.first != RunOutcome::Unsupported)
+            o3_supported += kv.second;
+    std::printf("\nO3CPU (supported configs: %d):\n", o3_supported);
+    for (const auto &kv : o3Census) {
+        if (kv.first == RunOutcome::Unsupported)
+            continue;
+        std::printf("  %-12s %3d%s\n", runOutcomeName(kv.first),
+                    kv.second,
+                    kv.first == RunOutcome::Success
+                        ? csprintf("  (%.0f%% of supported runs)",
+                                   100.0 * kv.second / o3_supported)
+                              .c_str()
+                        : "");
+    }
+    std::printf("\npaper expects (gem5 v20.1.0.4): O3 ~40%% success, "
+                "27 kernel panics, 11 segfaults,\n4 MI_example "
+                "deadlocks, 16 runs that never finish.\n\n");
+}
+
+bool sweepDone = false;
+
+void
+BM_Fig8BootSweep(benchmark::State &state)
+{
+    for (auto _ : state) {
+        if (!sweepDone) {
+            runSweep();
+            sweepDone = true;
+        }
+    }
+    state.counters["runs"] = 480;
+}
+
+BENCHMARK(BM_Fig8BootSweep)->Iterations(1)->Unit(benchmark::kSecond);
+
+/** Single-boot latency for each CPU model (simulator throughput). */
+void
+BM_SingleBoot(benchmark::State &state)
+{
+    static const char *cpu_names[] = {"kvm", "atomic", "timing", "o3"};
+    const char *cpu = cpu_names[state.range(0)];
+    setQuiet(true);
+    for (auto _ : state) {
+        sim::fs::FsConfig cfg;
+        cfg.cpuType = sim::cpuTypeFromName(cpu);
+        cfg.numCpus = 1;
+        cfg.memSystem = "classic";
+        cfg.kernelVersion = "5.4.49";
+        cfg.simVersion = "";
+        sim::fs::FsSystem fs(cfg);
+        auto result = fs.run(2'000'000'000'000ULL);
+        benchmark::DoNotOptimize(result.simTicks);
+        state.counters["guest_insts"] =
+            benchmark::Counter(double(result.totalInsts),
+                               benchmark::Counter::kIsRate);
+    }
+    setQuiet(false);
+    state.SetLabel(cpu);
+}
+
+BENCHMARK(BM_SingleBoot)->DenseRange(0, 3)->Unit(benchmark::kMillisecond);
+
+} // anonymous namespace
+
+BENCHMARK_MAIN();

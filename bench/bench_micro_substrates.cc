@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Microbenchmarks for the substrates every experiment stands on: the
+ * event queue, the document database, MD5 hashing, JSON round-trips,
+ * and raw simulator throughput per CPU model. These are engineering
+ * benchmarks (host performance), not paper reproductions.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "base/json.hh"
+#include "base/logging.hh"
+#include "base/md5.hh"
+#include "db/collection.hh"
+#include "sim/eventq.hh"
+#include "sim/fs/fs_system.hh"
+
+using namespace g5;
+
+namespace
+{
+
+void
+BM_EventQueueThroughput(benchmark::State &state)
+{
+    for (auto _ : state) {
+        sim::EventQueue eq;
+        std::uint64_t fired = 0;
+        std::function<void()> chain = [&] {
+            if (++fired < 100'000)
+                eq.schedule(eq.curTick() + 10, chain);
+        };
+        eq.schedule(0, chain);
+        eq.run();
+        benchmark::DoNotOptimize(fired);
+    }
+    state.SetItemsProcessed(std::int64_t(state.iterations()) * 100'000);
+}
+
+BENCHMARK(BM_EventQueueThroughput)->Unit(benchmark::kMillisecond);
+
+void
+BM_Md5Throughput(benchmark::State &state)
+{
+    std::string payload(std::size_t(state.range(0)), 'x');
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            Md5::hashBytes(payload.data(), payload.size()));
+    state.SetBytesProcessed(std::int64_t(state.iterations()) *
+                            state.range(0));
+}
+
+BENCHMARK(BM_Md5Throughput)->Arg(1 << 10)->Arg(1 << 20);
+
+void
+BM_JsonRoundTrip(benchmark::State &state)
+{
+    Json doc = Json::object();
+    for (int i = 0; i < 50; ++i) {
+        Json entry = Json::object();
+        entry["name"] = "artifact-" + std::to_string(i);
+        entry["hash"] = Md5::hashString(std::to_string(i));
+        entry["inputs"] = Json::array();
+        entry["runtime"] = i * 1.5;
+        doc["k" + std::to_string(i)] = std::move(entry);
+    }
+    for (auto _ : state) {
+        std::string text = doc.dump();
+        benchmark::DoNotOptimize(Json::parse(text));
+    }
+}
+
+BENCHMARK(BM_JsonRoundTrip)->Unit(benchmark::kMicrosecond);
+
+void
+BM_DbInsertAndQuery(benchmark::State &state)
+{
+    for (auto _ : state) {
+        db::Collection coll("runs");
+        for (int i = 0; i < 200; ++i) {
+            Json doc = Json::object();
+            doc["name"] = "run-" + std::to_string(i);
+            doc["status"] = i % 3 ? "SUCCESS" : "FAILURE";
+            doc["simTicks"] = i * 1000;
+            coll.insertOne(std::move(doc));
+        }
+        Json q = Json::object();
+        q["status"] = "SUCCESS";
+        q["simTicks"] = Json::object({{"$gt", Json(50'000)}});
+        benchmark::DoNotOptimize(coll.find(q));
+    }
+}
+
+BENCHMARK(BM_DbInsertAndQuery)->Unit(benchmark::kMillisecond);
+
+/** Simulated guest instructions per host second, per CPU model. */
+void
+BM_SimulatorMips(benchmark::State &state)
+{
+    static const char *names[] = {"kvm", "atomic", "timing", "o3"};
+    const char *cpu = names[state.range(0)];
+    setQuiet(true);
+    std::uint64_t insts = 0;
+    for (auto _ : state) {
+        sim::fs::FsConfig cfg;
+        cfg.cpuType = sim::cpuTypeFromName(cpu);
+        cfg.memSystem = "classic";
+        cfg.kernelVersion = "5.4.49";
+        cfg.bootType = sim::fs::BootType::Systemd;
+        cfg.simVersion = "";
+        sim::fs::FsSystem fs(cfg);
+        auto r = fs.run(5'000'000'000'000ULL);
+        insts += r.totalInsts;
+    }
+    setQuiet(false);
+    state.SetItemsProcessed(std::int64_t(insts));
+    state.SetLabel(std::string(cpu) + " (items = guest instructions)");
+}
+
+BENCHMARK(BM_SimulatorMips)->DenseRange(0, 3)
+    ->Unit(benchmark::kMillisecond);
+
+} // anonymous namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Reproduces Table I: the g5-resources catalog, plus timing of the
+ * resource materializers (disk-image builds through the Packer
+ * substitute) and the licensing behaviour for SPEC.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.hh"
+#include "resources/catalog.hh"
+
+using namespace g5;
+using namespace g5::bench;
+using namespace g5::resources;
+
+namespace
+{
+
+bool printed = false;
+
+void
+printTable1()
+{
+    if (printed)
+        return;
+    printed = true;
+
+    banner("Table I — the g5-resources catalog");
+    std::printf("%-14s %-18s %s\n", "name", "type", "description");
+    rule();
+    for (const auto &entry : catalog()) {
+        std::string desc = entry.description;
+        if (desc.size() > 44)
+            desc = desc.substr(0, 41) + "...";
+        std::printf("%-14s %-18s %s%s\n", entry.name.c_str(),
+                    resourceTypeName(entry.type), desc.c_str(),
+                    entry.requiresLicense ? " [license required]" : "");
+    }
+    rule();
+    std::printf("%zu resources; GCN3_X86 variants: ", catalog().size());
+    for (const auto &entry : catalog())
+        if (entry.variant == "GCN3_X86")
+            std::printf("%s ", entry.name.c_str());
+    std::printf("\n\n");
+
+    // Licensing policy demonstration (spec-2006 / spec-2017).
+    setQuiet(true);
+    try {
+        buildSpecImage("2017", std::nullopt);
+        std::printf("ERROR: spec image built without a license!\n");
+    } catch (const FatalError &e) {
+        std::printf("spec-2017 without a license: refused (\"%s\")\n",
+                    e.what());
+    }
+    auto licensed = buildSpecImage("2017", std::string("user-iso"));
+    std::printf("spec-2017 with a license token: image built, %zu "
+                "bytes\n\n",
+                licensed->sizeBytes());
+    setQuiet(false);
+}
+
+void
+BM_Table1Catalog(benchmark::State &state)
+{
+    printTable1();
+    for (auto _ : state) {
+        for (const auto &entry : catalog())
+            benchmark::DoNotOptimize(findResource(entry.name));
+    }
+    state.counters["resources"] = double(catalog().size());
+}
+
+BENCHMARK(BM_Table1Catalog);
+
+void
+BM_BuildBootExitImage(benchmark::State &state)
+{
+    printTable1();
+    for (auto _ : state) {
+        auto img = buildBootExitImage();
+        benchmark::DoNotOptimize(img->sizeBytes());
+    }
+}
+
+BENCHMARK(BM_BuildBootExitImage)->Unit(benchmark::kMicrosecond);
+
+void
+BM_BuildParsecImage(benchmark::State &state)
+{
+    printTable1();
+    const char *release = state.range(0) == 0 ? "18.04" : "20.04";
+    for (auto _ : state) {
+        auto img = buildParsecImage(release);
+        benchmark::DoNotOptimize(img->sizeBytes());
+    }
+    state.SetLabel(std::string("ubuntu-") + release);
+}
+
+BENCHMARK(BM_BuildParsecImage)->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+/** Images rebuild deterministically (reproducibility invariant). */
+void
+BM_ImageDeterminism(benchmark::State &state)
+{
+    printTable1();
+    for (auto _ : state) {
+        auto a = buildParsecImage("20.04");
+        auto b = buildParsecImage("20.04");
+        if (a->serialize() != b->serialize())
+            state.SkipWithError("image build is not deterministic");
+        benchmark::DoNotOptimize(a);
+    }
+}
+
+BENCHMARK(BM_ImageDeterminism)->Unit(benchmark::kMillisecond);
+
+} // anonymous namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * g5art_query — a command-line client for a persisted g5art database
+ * (the "query the database at any time" arrow of Fig 2, step 8).
+ *
+ * Usage:
+ *   example_g5art_query <db-dir> runs [status]
+ *   example_g5art_query <db-dir> artifacts [type]
+ *   example_g5art_query <db-dir> show <hash-or-run-id>
+ *   example_g5art_query <db-dir> csv <field> [field ...]
+ *   example_g5art_query <db-dir> provenance <artifact-hash>
+ *
+ * With no db-dir on disk yet, run example_quickstart or any bench with
+ * an on-disk Workspace first, or point it at a directory produced by
+ * `Workspace(root, db_dir)`.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "art/report.hh"
+#include "art/run.hh"
+#include "db/query.hh"
+#include "art/workspace.hh"
+
+using namespace g5;
+using namespace g5::art;
+
+namespace
+{
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: example_g5art_query <db-dir> <command> [args]\n"
+        "  runs [status]            list runs (optionally by status)\n"
+        "  artifacts [type]         list artifacts (optionally by type)\n"
+        "  show <hash|run-id>       dump one document as JSON\n"
+        "  csv <field> [field...]   export all runs as CSV\n"
+        "  provenance <hash>        runs that used this artifact\n");
+    return 2;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 3)
+        return usage();
+    std::string db_dir = argv[1];
+    std::string cmd = argv[2];
+
+    auto database = std::make_shared<db::Database>(db_dir);
+    ArtifactDb adb(database);
+
+    if (cmd == "runs") {
+        Json q = Json::object();
+        if (argc > 3)
+            q["status"] = argv[3];
+        std::printf("%-36s %-10s %-12s %14s\n", "name", "status",
+                    "outcome", "simTicks");
+        adb.runs().forEach([&](const Json &doc) {
+            if (!db::matches(doc, q))
+                return;
+            std::printf("%-36s %-10s %-12s %14lld\n",
+                        doc.getString("name").c_str(),
+                        doc.getString("status").c_str(),
+                        doc.getString("outcome").c_str(),
+                        (long long)doc.getInt("simTicks"));
+        });
+        return 0;
+    }
+
+    if (cmd == "artifacts") {
+        std::vector<Json> hits =
+            argc > 3 ? adb.searchByType(argv[3])
+                     : adb.artifacts().find(Json::object());
+        std::printf("%-24s %-16s %s\n", "name", "type", "hash");
+        for (const auto &doc : hits)
+            std::printf("%-24s %-16s %s\n",
+                        doc.getString("name").c_str(),
+                        doc.getString("type").c_str(),
+                        doc.getString("hash").c_str());
+        return 0;
+    }
+
+    if (cmd == "show" && argc > 3) {
+        std::string key = argv[3];
+        Json doc = adb.artifacts().findOne(
+            Json::object({{"hash", Json(key)}}));
+        if (doc.isNull())
+            doc = adb.runs().findById(key);
+        if (doc.isNull()) {
+            std::fprintf(stderr, "nothing with hash/id '%s'\n",
+                         key.c_str());
+            return 1;
+        }
+        std::printf("%s\n", doc.dump(2).c_str());
+        return 0;
+    }
+
+    if (cmd == "csv" && argc > 3) {
+        std::vector<std::string> columns = {"name", "status"};
+        for (int i = 3; i < argc; ++i)
+            columns.push_back(argv[i]);
+        std::printf("%s",
+                    runsToCsv(adb, Json::object(), columns).c_str());
+        return 0;
+    }
+
+    if (cmd == "provenance" && argc > 3) {
+        auto runs = adb.runsUsingArtifact(argv[3]);
+        std::printf("%zu run(s) used artifact %s:\n", runs.size(),
+                    argv[3]);
+        for (const auto &doc : runs)
+            std::printf("  %-36s %s\n", doc.getString("name").c_str(),
+                        doc.getString("outcome").c_str());
+        return 0;
+    }
+
+    return usage();
+}

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Use-case 3 in miniature: compare the simple and dynamic register
+ * allocators on selected GPU applications.
+ *
+ * Usage: ./build/examples/example_gpu_regalloc [app ...]
+ *        (defaults: FAMutex fwd_pool MatrixTranspose HACC)
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sim/gpu/gpu.hh"
+#include "workloads/gpu_apps.hh"
+
+using namespace g5;
+using namespace g5::sim::gpu;
+using namespace g5::workloads;
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> apps;
+    for (int i = 1; i < argc; ++i)
+        apps.push_back(argv[i]);
+    if (apps.empty())
+        apps = {"FAMutex", "fwd_pool", "MatrixTranspose", "HACC"};
+
+    GpuConfig cfg; // Table III defaults
+    std::printf("GCN3-style GPU: %u CUs x %u SIMD16, %u waves/SIMD max, "
+                "%uK VGPRs/CU\n\n",
+                cfg.numCus, cfg.simdPerCu, cfg.maxWavesPerSimd,
+                cfg.vgprPerCu / 1024);
+    std::printf("%-24s %12s %12s %9s %10s %9s\n", "application",
+                "simple(cyc)", "dynamic(cyc)", "speedup", "waves/CU",
+                "retries");
+
+    for (const auto &name : apps) {
+        const GpuAppEntry &app = gpuApp(name);
+        GpuModel simple(cfg, RegAllocPolicy::Simple);
+        GpuModel dynamic(cfg, RegAllocPolicy::Dynamic);
+        GpuRunResult rs = simple.run(app.kernel);
+        GpuRunResult rd = dynamic.run(app.kernel);
+
+        std::printf("%-24s %12llu %12llu %9.3f %10llu %9llu\n",
+                    name.c_str(),
+                    (unsigned long long)rs.shaderCycles,
+                    (unsigned long long)rd.shaderCycles,
+                    double(rs.shaderCycles) / double(rd.shaderCycles),
+                    (unsigned long long)rd.maxResidentWavesPerCu,
+                    (unsigned long long)rd.atomicRetries);
+    }
+
+    std::printf("\nspeedup > 1: the dynamic allocator's extra wavefronts "
+                "hide memory latency;\nspeedup < 1: oversubscription "
+                "amplifies dependence-tracking stalls, cache\nthrash "
+                "and lock contention (the paper's surprising result).\n");
+    return 0;
+}

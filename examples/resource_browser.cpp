@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Browse the g5-resources catalog and inspect a disk image's manifest
+ * and Packer provenance.
+ *
+ * Usage: ./build/examples/example_resource_browser [resource]
+ *        (default: parsec)
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "base/logging.hh"
+#include "resources/catalog.hh"
+
+using namespace g5;
+using namespace g5::resources;
+
+int
+main(int argc, char **argv)
+{
+    std::string which = argc > 1 ? argv[1] : "parsec";
+
+    std::printf("g5-resources catalog (%zu entries):\n", catalog().size());
+    for (const auto &entry : catalog()) {
+        std::printf("  %-14s %-18s%s%s\n", entry.name.c_str(),
+                    resourceTypeName(entry.type),
+                    entry.variant.empty()
+                        ? ""
+                        : (" [" + entry.variant + "]").c_str(),
+                    entry.requiresLicense ? " [license required]" : "");
+    }
+
+    const ResourceEntry *entry = findResource(which);
+    if (!entry) {
+        std::printf("\nno resource named '%s'\n", which.c_str());
+        return 1;
+    }
+    std::printf("\n%s — %s\n", entry->name.c_str(),
+                entry->description.c_str());
+
+    sim::fs::DiskImagePtr image;
+    if (which == "parsec")
+        image = buildParsecImage("20.04");
+    else if (which == "boot-exit")
+        image = buildBootExitImage();
+
+    if (image) {
+        std::printf("\nmaterialized image (%zu bytes serialized):\n",
+                    image->sizeBytes());
+        std::printf("  OS: %s %s, kernel %s, compiler %s\n",
+                    image->osInfo().getString("name").c_str(),
+                    image->osInfo().getString("release").c_str(),
+                    image->osInfo().getString("kernel").c_str(),
+                    image->osInfo().getString("compiler").c_str());
+        std::printf("  programs:\n");
+        for (const auto &path : image->programPaths())
+            std::printf("    %s\n", path.c_str());
+        std::printf("  provenance (Packer steps):\n");
+        for (const auto &step :
+             image->manifest().at("provenance").asArray())
+            std::printf("    - %s\n", step.asString().c_str());
+    } else {
+        std::printf("\n(no materializer wired for '%s'; images exist "
+                    "for 'parsec' and 'boot-exit')\n",
+                    which.c_str());
+    }
+    return 0;
+}

@@ -1,0 +1,212 @@
+#include "art/artifact.hh"
+
+#include <fstream>
+#include <sstream>
+
+#include "base/logging.hh"
+#include "base/md5.hh"
+#include "base/uuid.hh"
+#include "base/wallclock.hh"
+
+namespace g5::art
+{
+
+ArtifactDb::ArtifactDb(std::shared_ptr<db::Database> database)
+    : database(std::move(database))
+{
+    artifacts().createUniqueIndex("hash");
+}
+
+db::Collection &
+ArtifactDb::artifacts()
+{
+    return database->collection("artifacts");
+}
+
+db::Collection &
+ArtifactDb::runs()
+{
+    return database->collection("runs");
+}
+
+std::string
+ArtifactDb::putBlob(const std::string &bytes)
+{
+    return database->putBlob(bytes);
+}
+
+void
+ArtifactDb::downloadFile(const std::string &hash,
+                         const std::string &host_path)
+{
+    database->exportBlob(hash, host_path);
+}
+
+std::vector<Json>
+ArtifactDb::searchByName(const std::string &name)
+{
+    return artifacts().find(Json::object({{"name", Json(name)}}));
+}
+
+std::vector<Json>
+ArtifactDb::searchByType(const std::string &typ)
+{
+    return artifacts().find(Json::object({{"type", Json(typ)}}));
+}
+
+std::vector<Json>
+ArtifactDb::searchByLikeNameType(const std::string &fragment,
+                                 const std::string &typ)
+{
+    std::vector<Json> out;
+    for (const auto &doc : searchByType(typ))
+        if (doc.getString("name").find(fragment) != std::string::npos)
+            out.push_back(doc);
+    return out;
+}
+
+std::vector<Json>
+ArtifactDb::runsUsingArtifact(const std::string &hash)
+{
+    std::vector<Json> out;
+    runs().forEach([&](const Json &doc) {
+        if (!doc.contains("artifacts"))
+            return;
+        for (const auto &kv : doc.at("artifacts").asObject()) {
+            if (kv.second.isString() && kv.second.asString() == hash) {
+                out.push_back(doc);
+                return;
+            }
+        }
+    });
+    return out;
+}
+
+namespace
+{
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        fatal("Artifact: cannot read file '" + path + "'");
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+} // anonymous namespace
+
+Artifact
+Artifact::registerArtifact(ArtifactDb &adb, const Params &params)
+{
+    if (params.name.empty())
+        fatal("Artifact: 'name' is required");
+    if (params.typ.empty())
+        fatal("Artifact: 'typ' is required");
+
+    bool is_repo = !params.gitHash.empty();
+    if (params.path.empty() && !is_repo)
+        fatal("Artifact '" + params.name +
+              "': need either a file path or a git revision");
+
+    // Content identity: the file's MD5, or the git revision for repos.
+    std::string content;
+    std::string hash;
+    if (is_repo) {
+        hash = params.gitHash;
+    } else {
+        content = readFile(params.path);
+        hash = Md5::hashBytes(content.data(), content.size());
+    }
+
+    // Deduplicate on hash (the database also enforces this).
+    Json existing = adb.artifacts().findOne(
+        Json::object({{"hash", Json(hash)}}));
+    if (!existing.isNull()) {
+        if (existing.getString("name") != params.name ||
+            existing.getString("type") != params.typ) {
+            warn("Artifact '" + params.name + "': content hash " + hash +
+                 " is already registered as '" +
+                 existing.getString("name") +
+                 "'; returning the stored artifact");
+        }
+        Artifact a;
+        a.doc = existing;
+        a.idStr = existing.getString("_id");
+        a.hashStr = existing.getString("hash");
+        a.nameStr = existing.getString("name");
+        a.typStr = existing.getString("type");
+        a.pathStr = existing.getString("path");
+        return a;
+    }
+
+    Json doc = Json::object();
+    doc["_id"] = Uuid::generate().str();
+    doc["hash"] = hash;
+    doc["name"] = params.name;
+    doc["type"] = params.typ;
+    doc["command"] = params.command;
+    doc["cwd"] = params.cwd;
+    doc["path"] = params.path;
+    doc["documentation"] = params.documentation;
+    doc["registeredAt"] = isoTimestamp();
+    Json inputs = Json::array();
+    for (const auto &h : params.inputs)
+        inputs.push(h);
+    doc["inputs"] = std::move(inputs);
+    Json git = Json::object();
+    if (is_repo) {
+        git["url"] = params.gitUrl;
+        git["hash"] = params.gitHash;
+    }
+    doc["git"] = std::move(git);
+
+    // Upload the backing file unless the blob already exists.
+    if (!is_repo && !adb.database->hasBlob(hash)) {
+        std::string key = adb.putBlob(content);
+        if (key != hash)
+            panic("Artifact: blob key does not match content hash");
+    }
+
+    adb.artifacts().insertOne(doc);
+
+    Artifact a;
+    a.doc = std::move(doc);
+    a.idStr = a.doc.getString("_id");
+    a.hashStr = hash;
+    a.nameStr = params.name;
+    a.typStr = params.typ;
+    a.pathStr = params.path;
+    return a;
+}
+
+Artifact
+Artifact::fromHash(ArtifactDb &adb, const std::string &hash)
+{
+    Json doc =
+        adb.artifacts().findOne(Json::object({{"hash", Json(hash)}}));
+    if (doc.isNull())
+        fatal("Artifact: no artifact with hash '" + hash + "'");
+    Artifact a;
+    a.idStr = doc.getString("_id");
+    a.hashStr = doc.getString("hash");
+    a.nameStr = doc.getString("name");
+    a.typStr = doc.getString("type");
+    a.pathStr = doc.getString("path");
+    a.doc = std::move(doc);
+    return a;
+}
+
+std::vector<std::string>
+Artifact::inputHashes() const
+{
+    std::vector<std::string> out;
+    if (doc.contains("inputs"))
+        for (const auto &h : doc.at("inputs").asArray())
+            out.push_back(h.asString());
+    return out;
+}
+
+} // namespace g5::art

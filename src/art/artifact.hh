@@ -1,0 +1,140 @@
+/**
+ * @file
+ * The artifact layer of g5art — the C++ counterpart of the paper's
+ * gem5art-artifact package (Section IV-B).
+ *
+ * An Artifact documents one component of an experiment: a simulator
+ * binary, a kernel, a disk image, a source repository, a run script.
+ * Registration records the user-supplied attributes (command, type,
+ * name, cwd, path, inputs, documentation) and generates the rest:
+ *
+ *  - hash: MD5 of the file at `path`, or the revision hash for git
+ *    repositories;
+ *  - id:   a UUID;
+ *  - git:  {url, hash} when the artifact is a repository.
+ *
+ * The database enforces hash uniqueness: re-registering identical
+ * content returns the existing artifact; registering different content
+ * under an existing hash is impossible by construction. The artifact's
+ * backing file is uploaded to the blob store unless already present.
+ */
+
+#ifndef G5_ART_ARTIFACT_HH
+#define G5_ART_ARTIFACT_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/json.hh"
+#include "db/database.hh"
+
+namespace g5::art
+{
+
+/** A connection to the artifact database (gem5art's getDBConnection). */
+class ArtifactDb
+{
+  public:
+    /** Wrap a database; creates the collections + unique hash index. */
+    explicit ArtifactDb(std::shared_ptr<db::Database> database);
+
+    db::Database &db() { return *database; }
+
+    /** The "artifacts" collection. */
+    db::Collection &artifacts();
+
+    /** The "runs" collection. */
+    db::Collection &runs();
+
+    /** Store file bytes in the blob store; @return the MD5 key. */
+    std::string putBlob(const std::string &bytes);
+
+    /** Download an artifact's file to @p host_path by its hash. */
+    void downloadFile(const std::string &hash,
+                      const std::string &host_path);
+
+    // --- gem5art-style artifact queries ---
+
+    /** All artifacts with this exact name. */
+    std::vector<Json> searchByName(const std::string &name);
+
+    /** All artifacts of this type ("gem5 binary", "disk image", ...). */
+    std::vector<Json> searchByType(const std::string &typ);
+
+    /** Artifacts whose name contains @p fragment, of @p typ. */
+    std::vector<Json> searchByLikeNameType(const std::string &fragment,
+                                           const std::string &typ);
+
+    /**
+     * Runs whose recorded inputs include the artifact with @p hash —
+     * the provenance question gem5art exists to answer.
+     */
+    std::vector<Json> runsUsingArtifact(const std::string &hash);
+
+    std::shared_ptr<db::Database> database;
+};
+
+class Artifact
+{
+  public:
+    /** The user-supplied attributes of Fig 3. */
+    struct Params
+    {
+        /** Command that creates the resource (documentation). */
+        std::string command;
+        /** Artifact type, e.g. "gem5 binary", "disk image". */
+        std::string typ;
+        std::string name;
+        /** Directory the command runs in. */
+        std::string cwd;
+        /** Host path of the artifact's file ("" for repositories). */
+        std::string path;
+        /** Hashes of input artifacts (dependency DAG). */
+        std::vector<std::string> inputs;
+        std::string documentation;
+        /** For repositories: the git URL and revision. */
+        std::string gitUrl;
+        std::string gitHash;
+    };
+
+    /**
+     * Register an artifact (Fig 3's Artifact.registerArtifact).
+     *
+     * Content identity: when an artifact with the same hash already
+     * exists, the stored artifact is returned (a warn is emitted if
+     * the attributes differ). Otherwise the document is inserted and
+     * the backing file uploaded.
+     */
+    static Artifact registerArtifact(ArtifactDb &adb,
+                                     const Params &params);
+
+    /** Load an artifact by hash; throws FatalError when unknown. */
+    static Artifact fromHash(ArtifactDb &adb, const std::string &hash);
+
+    const std::string &id() const { return idStr; }
+    const std::string &hash() const { return hashStr; }
+    const std::string &name() const { return nameStr; }
+    const std::string &typ() const { return typStr; }
+    const std::string &path() const { return pathStr; }
+
+    /** The full database document. */
+    const Json &document() const { return doc; }
+
+    /** Hashes of this artifact's inputs. */
+    std::vector<std::string> inputHashes() const;
+
+  private:
+    Artifact() = default;
+
+    std::string idStr;
+    std::string hashStr;
+    std::string nameStr;
+    std::string typStr;
+    std::string pathStr;
+    Json doc;
+};
+
+} // namespace g5::art
+
+#endif // G5_ART_ARTIFACT_HH

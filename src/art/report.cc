@@ -1,0 +1,113 @@
+#include "art/report.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/logging.hh"
+#include "base/str.hh"
+
+namespace g5::art
+{
+
+namespace
+{
+
+/** Escape one CSV field (RFC 4180 quoting). */
+std::string
+csvField(const std::string &value)
+{
+    if (value.find_first_of(",\"\n") == std::string::npos)
+        return value;
+    std::string out = "\"";
+    for (char c : value) {
+        if (c == '"')
+            out += "\"\"";
+        else
+            out += c;
+    }
+    out += "\"";
+    return out;
+}
+
+std::string
+renderValue(const Json *v)
+{
+    if (!v || v->isNull())
+        return "";
+    if (v->isString())
+        return v->asString();
+    if (v->isBool())
+        return v->asBool() ? "true" : "false";
+    if (v->isInt())
+        return std::to_string(v->asInt());
+    if (v->isDouble())
+        return csprintf("%.6g", v->asDouble());
+    return v->dump();
+}
+
+} // anonymous namespace
+
+std::string
+runsToCsv(ArtifactDb &adb, const Json &query,
+          const std::vector<std::string> &columns)
+{
+    if (columns.empty())
+        fatal("runsToCsv: need at least one column");
+
+    std::vector<std::string> header;
+    for (const auto &col : columns)
+        header.push_back(csvField(col));
+    std::string out = join(header, ",") + "\n";
+
+    for (const auto &doc : adb.runs().find(query)) {
+        std::vector<std::string> row;
+        for (const auto &col : columns)
+            row.push_back(csvField(renderValue(doc.find(col))));
+        out += join(row, ",") + "\n";
+    }
+    return out;
+}
+
+std::string
+asciiBarChart(const std::vector<std::pair<std::string, double>> &rows,
+              unsigned width)
+{
+    if (rows.empty())
+        return "(no data)\n";
+
+    double max_val = 0;
+    std::size_t label_w = 0;
+    for (const auto &row : rows) {
+        if (row.second < 0)
+            fatal("asciiBarChart: negative values are not drawable");
+        max_val = std::max(max_val, row.second);
+        label_w = std::max(label_w, row.first.size());
+    }
+
+    std::string out;
+    for (const auto &row : rows) {
+        unsigned bar =
+            max_val > 0 ? unsigned(std::lround(row.second / max_val *
+                                               width))
+                        : 0;
+        out += csprintf("%-*s |%-*s %.4g\n", int(label_w),
+                        row.first.c_str(), int(width),
+                        std::string(bar, '#').c_str(), row.second);
+    }
+    return out;
+}
+
+std::vector<std::pair<std::string, double>>
+collectMetric(ArtifactDb &adb, const Json &query,
+              const std::string &field)
+{
+    std::vector<std::pair<std::string, double>> out;
+    for (const auto &doc : adb.runs().find(query)) {
+        const Json *v = doc.find(field);
+        if (v && v->isNumber())
+            out.emplace_back(doc.getString("name"), v->asDouble());
+    }
+    return out;
+}
+
+} // namespace g5::art

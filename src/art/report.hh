@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Result analysis helpers — the role Jupyter + Matplotlib play in the
+ * paper's use-case 1 ("we created a Jupyter Notebook instance to
+ * analyze data and automatically create graphs"): pull runs out of the
+ * database with a query, tabulate selected fields as CSV, and render
+ * quick terminal bar charts.
+ */
+
+#ifndef G5_ART_REPORT_HH
+#define G5_ART_REPORT_HH
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "art/artifact.hh"
+
+namespace g5::art
+{
+
+/**
+ * Export matching run documents as CSV.
+ *
+ * @param adb     the database.
+ * @param query   Mongo-style filter over run documents.
+ * @param columns dotted field paths ("name", "params.cpu",
+ *                "stats.cpu0.numInsts"); missing fields render empty.
+ * @return header + one row per matching run.
+ */
+std::string runsToCsv(ArtifactDb &adb, const Json &query,
+                      const std::vector<std::string> &columns);
+
+/**
+ * Render a horizontal ASCII bar chart.
+ *
+ * @param rows  (label, value) pairs; values must be >= 0.
+ * @param width maximum bar width in characters.
+ */
+std::string asciiBarChart(
+    const std::vector<std::pair<std::string, double>> &rows,
+    unsigned width = 50);
+
+/**
+ * Collect one numeric field from matching runs as (run name, value).
+ * Non-numeric / missing fields are skipped.
+ */
+std::vector<std::pair<std::string, double>>
+collectMetric(ArtifactDb &adb, const Json &query,
+              const std::string &field);
+
+} // namespace g5::art
+
+#endif // G5_ART_REPORT_HH

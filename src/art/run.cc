@@ -1,0 +1,330 @@
+#include "art/run.hh"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "base/logging.hh"
+#include "base/uuid.hh"
+#include "base/wallclock.hh"
+#include "scheduler/task_queue.hh"
+#include "sim/fs/fs_system.hh"
+
+namespace stdfs = std::filesystem;
+
+namespace g5::art
+{
+
+using sim::fs::DiskImage;
+using sim::fs::FsConfig;
+using sim::fs::FsSystem;
+using sim::fs::KernelSpec;
+using sim::fs::SimResult;
+
+const char *
+runOutcomeName(RunOutcome o)
+{
+    switch (o) {
+      case RunOutcome::Success:
+        return "success";
+      case RunOutcome::KernelPanic:
+        return "kernel-panic";
+      case RunOutcome::SimCrash:
+        return "sim-crash";
+      case RunOutcome::Deadlock:
+        return "deadlock";
+      case RunOutcome::Timeout:
+        return "timeout";
+      case RunOutcome::Unsupported:
+        return "unsupported";
+      case RunOutcome::Failure:
+        return "failure";
+      case RunOutcome::Pending:
+        return "pending";
+    }
+    return "?";
+}
+
+namespace
+{
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        fatal("Gem5Run: cannot read '" + path + "'");
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+void
+writeFile(const std::string &path, const std::string &bytes)
+{
+    stdfs::path p(path);
+    if (p.has_parent_path())
+        stdfs::create_directories(p.parent_path());
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out)
+        fatal("Gem5Run: cannot write '" + path + "'");
+    out.write(bytes.data(), std::streamsize(bytes.size()));
+}
+
+} // anonymous namespace
+
+Gem5Run
+Gem5Run::createFSRun(
+    ArtifactDb &adb, const std::string &name,
+    const std::string &gem5_binary, const std::string &run_script,
+    const std::string &outdir, const Artifact &gem5_artifact,
+    const Artifact &gem5_git_artifact,
+    const Artifact &run_script_git_artifact,
+    const std::string &linux_binary, const std::string &disk_image,
+    const Artifact &linux_binary_artifact,
+    const Artifact &disk_image_artifact, const Json &params,
+    double timeout_s)
+{
+    Gem5Run run;
+    run.runId = Uuid::generate().str();
+    run.runName = name;
+    run.gem5Binary = gem5_binary;
+    run.runScript = run_script;
+    run.outdir = outdir;
+    run.linuxBinary = linux_binary;
+    run.diskImage = disk_image;
+    run.params = params.isObject() ? params : Json::object();
+    run.timeoutS = timeout_s;
+
+    Json doc = Json::object();
+    doc["_id"] = run.runId;
+    doc["type"] = "gem5 run fs";
+    doc["name"] = name;
+    doc["gem5Binary"] = gem5_binary;
+    doc["runScript"] = run_script;
+    doc["outdir"] = outdir;
+    doc["linuxBinary"] = linux_binary;
+    doc["diskImage"] = disk_image;
+    doc["artifacts"] = Json::object({
+        {"gem5", Json(gem5_artifact.hash())},
+        {"gem5Git", Json(gem5_git_artifact.hash())},
+        {"runScriptGit", Json(run_script_git_artifact.hash())},
+        {"linuxBinary", Json(linux_binary_artifact.hash())},
+        {"diskImage", Json(disk_image_artifact.hash())},
+    });
+    doc["params"] = run.params;
+    doc["timeoutSeconds"] = timeout_s;
+    doc["status"] = "PENDING";
+    doc["outcome"] = runOutcomeName(RunOutcome::Pending);
+    doc["createdAt"] = isoTimestamp();
+    adb.runs().insertOne(std::move(doc));
+
+    return run;
+}
+
+Gem5Run
+Gem5Run::createSERun(
+    ArtifactDb &adb, const std::string &name,
+    const std::string &gem5_binary, const std::string &run_script,
+    const std::string &outdir, const Artifact &gem5_artifact,
+    const Artifact &gem5_git_artifact,
+    const Artifact &run_script_git_artifact,
+    const std::string &workload_binary,
+    const Artifact &workload_artifact, const Json &params,
+    double timeout_s)
+{
+    Gem5Run run;
+    run.runId = Uuid::generate().str();
+    run.runName = name;
+    run.gem5Binary = gem5_binary;
+    run.runScript = run_script;
+    run.outdir = outdir;
+    run.workloadBinary = workload_binary;
+    run.params = params.isObject() ? params : Json::object();
+    run.timeoutS = timeout_s;
+
+    Json doc = Json::object();
+    doc["_id"] = run.runId;
+    doc["type"] = "gem5 run se";
+    doc["name"] = name;
+    doc["gem5Binary"] = gem5_binary;
+    doc["runScript"] = run_script;
+    doc["outdir"] = outdir;
+    doc["workloadBinary"] = workload_binary;
+    doc["artifacts"] = Json::object({
+        {"gem5", Json(gem5_artifact.hash())},
+        {"gem5Git", Json(gem5_git_artifact.hash())},
+        {"runScriptGit", Json(run_script_git_artifact.hash())},
+        {"workload", Json(workload_artifact.hash())},
+    });
+    doc["params"] = run.params;
+    doc["timeoutSeconds"] = timeout_s;
+    doc["status"] = "PENDING";
+    doc["outcome"] = runOutcomeName(RunOutcome::Pending);
+    doc["createdAt"] = isoTimestamp();
+    adb.runs().insertOne(std::move(doc));
+
+    return run;
+}
+
+Json
+Gem5Run::document(ArtifactDb &adb) const
+{
+    return adb.runs().findById(runId);
+}
+
+RunOutcome
+Gem5Run::classify(const Json &run_doc)
+{
+    std::string outcome = run_doc.getString("outcome");
+    for (RunOutcome o :
+         {RunOutcome::Success, RunOutcome::KernelPanic,
+          RunOutcome::SimCrash, RunOutcome::Deadlock, RunOutcome::Timeout,
+          RunOutcome::Unsupported, RunOutcome::Failure,
+          RunOutcome::Pending}) {
+        if (outcome == runOutcomeName(o))
+            return o;
+    }
+    return RunOutcome::Pending;
+}
+
+Json
+Gem5Run::execute(ArtifactDb &adb, scheduler::CancelToken *token)
+{
+    auto update = [&](const Json &fields) {
+        adb.runs().updateOne(Json::object({{"_id", Json(runId)}}),
+                             Json::object({{"$set", fields}}));
+    };
+
+    double start_wall = monotonicSeconds();
+    update(Json::object({{"status", Json("RUNNING")},
+                         {"startedAt", Json(isoTimestamp())}}));
+
+    auto finish = [&](RunOutcome outcome, const std::string &status,
+                      const std::string &error) {
+        Json fields = Json::object();
+        fields["status"] = status;
+        fields["outcome"] = runOutcomeName(outcome);
+        if (!error.empty())
+            fields["error"] = error;
+        fields["wallSeconds"] = monotonicSeconds() - start_wall;
+        fields["finishedAt"] = isoTimestamp();
+        update(fields);
+    };
+
+    // --- assemble the configuration the run script describes ---
+    FsConfig cfg;
+    SimResult result;
+    try {
+        // The "gem5 binary" is a build descriptor: version + variant.
+        Json binary = Json::parse(readFile(gem5Binary));
+        cfg.simVersion = binary.getString("version");
+
+        if (workloadBinary.empty()) {
+            // Full-system run: kernel + disk.
+            KernelSpec kernel = KernelSpec::load(linuxBinary);
+            cfg.kernelVersion = kernel.version;
+            if (!diskImage.empty())
+                cfg.disk = DiskImage::load(diskImage);
+            cfg.bootType = sim::fs::bootTypeFromName(
+                params.getString("boot_type", "init"));
+            cfg.initProgramPath = params.getString("workload", "");
+            cfg.initArg = params.getInt("workload_arg", 0);
+            cfg.checkpointAfterBoot =
+                params.getBool("checkpoint_after_boot", false);
+        } else {
+            // SE run: the workload binary executes directly.
+            cfg.seProgram = sim::isa::Program::fromJson(
+                Json::parse(readFile(workloadBinary)));
+            cfg.seArg = params.getInt("workload_arg", 0);
+        }
+
+        cfg.cpuType =
+            sim::cpuTypeFromName(params.getString("cpu", "timing"));
+        cfg.numCpus = unsigned(params.getInt("num_cpus", 1));
+        cfg.memSystem = params.getString("mem_system", "classic");
+
+        Tick max_ticks = Tick(
+            params.getInt("max_ticks", 2'000'000'000'000)); // 2 s sim
+
+        std::string restore_from = params.getString("restore_from", "");
+        std::unique_ptr<FsSystem> system;
+        if (restore_from.empty()) {
+            system = std::make_unique<FsSystem>(cfg);
+        } else {
+            system = std::make_unique<FsSystem>(
+                cfg, Json::parse(readFile(restore_from)));
+        }
+        result = system->run(max_ticks, token);
+
+        // hack-back support: persist a requested checkpoint.
+        std::string checkpoint_to =
+            params.getString("checkpoint_to", "");
+        if (!checkpoint_to.empty() && result.exitCause == "checkpoint")
+            writeFile(checkpoint_to, system->checkpoint().dump());
+    } catch (const scheduler::TaskTimeout &) {
+        // gem5art kills the job; record and let the task layer see it.
+        finish(RunOutcome::Timeout, "TIMEOUT",
+               "job exceeded its timeout and was terminated");
+        throw;
+    } catch (const SimulatorCrash &e) {
+        finish(RunOutcome::SimCrash, "FAILURE", e.what());
+        return document(adb);
+    } catch (const PanicError &e) {
+        std::string msg = e.what();
+        RunOutcome outcome =
+            msg.find("Possible Deadlock") != std::string::npos
+                ? RunOutcome::Deadlock
+                : RunOutcome::SimCrash;
+        finish(outcome, "FAILURE", msg);
+        return document(adb);
+    } catch (const FatalError &e) {
+        std::string msg = e.what();
+        bool unsupported =
+            msg.find("cannot handle more than one core") !=
+                std::string::npos ||
+            msg.find("is not supported") != std::string::npos;
+        finish(unsupported ? RunOutcome::Unsupported
+                           : RunOutcome::Failure,
+               "FAILURE", msg);
+        return document(adb);
+    }
+
+    // --- gem5-style output files ---
+    writeFile(outdir + "/stats.txt", result.statsText);
+    writeFile(outdir + "/system.terminal", result.consoleText);
+    writeFile(outdir + "/results.json", result.toJson().dump(2));
+
+    // --- archive the results in the database ---
+    std::string results_blob = adb.putBlob(result.toJson().dump());
+    Json fields = Json::object();
+    fields["exitCause"] = result.exitCause;
+    fields["exitCode"] = result.exitCode;
+    fields["simTicks"] = result.simTicks;
+    fields["roiTicks"] = result.roiTicks();
+    fields["workBeginTick"] = result.workBeginTick;
+    fields["workEndTick"] = result.workEndTick;
+    fields["totalInsts"] = result.totalInsts;
+    fields["resultsBlob"] = results_blob;
+    fields["stats"] = result.stats;
+    update(fields);
+
+    bool se_success =
+        result.exitCause == "exiting with last active thread context" &&
+        result.exitCode == 0;
+    bool checkpointed = result.exitCause == "checkpoint";
+    if (result.success() || se_success || checkpointed)
+        finish(RunOutcome::Success, "SUCCESS", "");
+    else if (result.limitReached)
+        finish(RunOutcome::Timeout, "TIMEOUT",
+               "simulate() limit reached before the guest finished");
+    else if (result.exitCause == "guest kernel panicked")
+        finish(RunOutcome::KernelPanic, "FAILURE",
+               "guest kernel panicked");
+    else
+        finish(RunOutcome::Failure, "FAILURE", result.exitCause);
+
+    return document(adb);
+}
+
+} // namespace g5::art

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * The run layer of g5art — the counterpart of gem5art-run (Section
+ * IV-C and Fig 4).
+ *
+ * A Gem5Run is a special artifact: it references every input artifact
+ * of one full-system simulation (the simulator binary and repository,
+ * the run script and its repository, the kernel binary, the disk
+ * image), carries the run's parameters, and — once executed — points at
+ * its results. All of it lives in the database's "runs" collection, so
+ * any data point can be traced back to the exact inputs that produced
+ * it.
+ *
+ * Executing a run loads the kernel spec and disk image from the
+ * registered files, builds the FsConfig the "run script" describes,
+ * drives the sim5 simulator, writes gem5-style output files
+ * (stats.txt, system.terminal, results.json) into the output
+ * directory, and archives a summary in the database.
+ */
+
+#ifndef G5_ART_RUN_HH
+#define G5_ART_RUN_HH
+
+#include <string>
+
+#include "art/artifact.hh"
+#include "base/json.hh"
+
+namespace g5::scheduler
+{
+class CancelToken;
+} // namespace g5::scheduler
+
+namespace g5::art
+{
+
+/** The outcome classes Fig 8 reports. */
+enum class RunOutcome {
+    Success,
+    KernelPanic,
+    SimCrash,     ///< the simulator itself died (segfault class)
+    Deadlock,     ///< protocol deadlock abort
+    Timeout,      ///< never finished (tick limit / scheduler timeout)
+    Unsupported,  ///< configuration rejected at build time
+    Failure,      ///< any other failure
+    Pending,
+};
+
+const char *runOutcomeName(RunOutcome o);
+
+class Gem5Run
+{
+  public:
+    /**
+     * Create a full-system run object (Fig 4's createFSRun).
+     *
+     * @param adb                      artifact database.
+     * @param name                     display name of the data point.
+     * @param gem5_binary              host path of the simulator binary.
+     * @param run_script               host path of the run script.
+     * @param outdir                   output directory for this run.
+     * @param gem5_artifact            the simulator binary's artifact.
+     * @param gem5_git_artifact        its source repository.
+     * @param run_script_git_artifact  the run script's repository.
+     * @param linux_binary             host path of the kernel binary.
+     * @param disk_image               host path of the disk image.
+     * @param linux_binary_artifact    the kernel binary's artifact.
+     * @param disk_image_artifact      the disk image's artifact.
+     * @param params                   run-script parameters: cpu,
+     *        num_cpus, mem_system, boot_type, workload, workload_arg,
+     *        max_ticks.
+     * @param timeout_s                job timeout in (host) seconds.
+     */
+    static Gem5Run createFSRun(
+        ArtifactDb &adb, const std::string &name,
+        const std::string &gem5_binary, const std::string &run_script,
+        const std::string &outdir, const Artifact &gem5_artifact,
+        const Artifact &gem5_git_artifact,
+        const Artifact &run_script_git_artifact,
+        const std::string &linux_binary, const std::string &disk_image,
+        const Artifact &linux_binary_artifact,
+        const Artifact &disk_image_artifact, const Json &params,
+        double timeout_s = 15 * 60);
+
+    /**
+     * Create a syscall-emulation run (gem5art's createSERun): no
+     * kernel, no disk image — the workload binary runs directly on the
+     * OS services.
+     *
+     * @param workload_binary host path of the serialized SimISA binary.
+     * @param params cpu, num_cpus, mem_system, workload_arg, max_ticks.
+     */
+    static Gem5Run createSERun(
+        ArtifactDb &adb, const std::string &name,
+        const std::string &gem5_binary, const std::string &run_script,
+        const std::string &outdir, const Artifact &gem5_artifact,
+        const Artifact &gem5_git_artifact,
+        const Artifact &run_script_git_artifact,
+        const std::string &workload_binary,
+        const Artifact &workload_artifact, const Json &params,
+        double timeout_s = 15 * 60);
+
+    /** The run's UUID. */
+    const std::string &id() const { return runId; }
+    const std::string &name() const { return runName; }
+
+    /** Job timeout in seconds (for the task layer). */
+    double timeoutSeconds() const { return timeoutS; }
+
+    /**
+     * Execute the simulation on the calling thread.
+     *
+     * Never throws for simulated-simulator failures — those are
+     * recorded in the run document (the whole point of gem5art is that
+     * failed runs are data). A scheduler timeout (TaskTimeout) does
+     * propagate after being recorded.
+     *
+     * @return the final run document.
+     */
+    Json execute(ArtifactDb &adb,
+                 scheduler::CancelToken *token = nullptr);
+
+    /** Fetch the run document currently stored in the database. */
+    Json document(ArtifactDb &adb) const;
+
+    /** Classify a stored run document into a Fig 8 outcome. */
+    static RunOutcome classify(const Json &run_doc);
+
+  private:
+    Gem5Run() = default;
+
+    std::string runId;
+    std::string runName;
+    std::string gem5Binary;
+    std::string runScript;
+    std::string outdir;
+    std::string linuxBinary;   ///< empty for SE runs
+    std::string diskImage;     ///< empty for SE runs
+    std::string workloadBinary; ///< SE runs only
+    Json params;
+    double timeoutS = 0;
+};
+
+} // namespace g5::art
+
+#endif // G5_ART_RUN_HH

@@ -1,0 +1,23 @@
+#include "art/tasks.hh"
+
+namespace g5::art
+{
+
+Tasks::Tasks(ArtifactDb &adb, unsigned workers, Backend backend)
+    : adb(adb), queue(backend == Backend::Inline ? 0 : workers, backend)
+{}
+
+scheduler::TaskFuturePtr
+Tasks::applyAsync(Gem5Run run)
+{
+    double timeout = run.timeoutSeconds();
+    ArtifactDb *adbp = &adb;
+    return queue.applyAsync(
+        run.name(),
+        [run, adbp](scheduler::CancelToken &token) mutable {
+            return run.execute(*adbp, &token);
+        },
+        timeout);
+}
+
+} // namespace g5::art

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * The tasks layer of g5art — the counterpart of gem5art-tasks
+ * (Section IV-D).
+ *
+ * Run objects become jobs on an external scheduler: the Threaded
+ * backend plays Celery / Python multiprocessing, the Inline backend is
+ * "no job scheduler at all". Timeouts come from each run's registered
+ * timeout, enforced cooperatively through the simulator's event loop.
+ */
+
+#ifndef G5_ART_TASKS_HH
+#define G5_ART_TASKS_HH
+
+#include <memory>
+
+#include "art/run.hh"
+#include "scheduler/task_queue.hh"
+
+namespace g5::art
+{
+
+class Tasks
+{
+  public:
+    using Backend = scheduler::TaskQueue::Backend;
+
+    /**
+     * @param adb     shared artifact database.
+     * @param workers worker count (ignored by the Inline backend).
+     */
+    Tasks(ArtifactDb &adb, unsigned workers = 2,
+          Backend backend = Backend::Threaded);
+
+    /**
+     * Submit a run for execution (the launch script's apply_async).
+     * The run's own timeout governs the job.
+     */
+    scheduler::TaskFuturePtr applyAsync(Gem5Run run);
+
+    /** Block until every submitted run reached a terminal state. */
+    void waitAll() { queue.waitAll(); }
+
+    /** Scheduler-side state counts. */
+    Json summary() const { return queue.summary(); }
+
+  private:
+    ArtifactDb &adb;
+    scheduler::TaskQueue queue;
+};
+
+} // namespace g5::art
+
+#endif // G5_ART_TASKS_HH

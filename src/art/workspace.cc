@@ -1,0 +1,188 @@
+#include "art/workspace.hh"
+
+#include <filesystem>
+#include <fstream>
+
+#include "base/logging.hh"
+#include "base/md5.hh"
+#include "base/uuid.hh"
+#include "sim/fs/kernel.hh"
+
+namespace stdfs = std::filesystem;
+
+namespace g5::art
+{
+
+namespace
+{
+
+void
+writeFile(const std::string &path, const std::string &bytes)
+{
+    stdfs::path p(path);
+    if (p.has_parent_path())
+        stdfs::create_directories(p.parent_path());
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out)
+        fatal("Workspace: cannot write '" + path + "'");
+    out.write(bytes.data(), std::streamsize(bytes.size()));
+}
+
+} // anonymous namespace
+
+Workspace::Workspace(const std::string &root, const std::string &db_dir)
+{
+    stdfs::path base(root);
+    stdfs::create_directories(base);
+    rootDir = (base / ("ws-" + Uuid::generate().str().substr(0, 8)))
+                  .string();
+    stdfs::create_directories(rootDir);
+
+    database = db_dir.empty()
+                   ? std::make_shared<db::Database>()
+                   : std::make_shared<db::Database>(db_dir);
+    artifactDb = std::make_unique<ArtifactDb>(database);
+}
+
+Artifact
+Workspace::repoArtifact(const std::string &name, const std::string &url,
+                        const std::string &revision)
+{
+    Artifact::Params params;
+    params.command = "git clone " + url;
+    params.typ = "git repo";
+    params.name = name;
+    params.cwd = rootDir;
+    params.documentation = name + " source repository";
+    params.gitUrl = url;
+    params.gitHash = revision;
+    return Artifact::registerArtifact(*artifactDb, params);
+}
+
+Artifact
+Workspace::gem5Repo()
+{
+    return repoArtifact("gem5", "https://gem5.googlesource.com/",
+                        "440f0bc579fb8b10da7181");
+}
+
+Workspace::Item
+Workspace::gem5Binary(const std::string &version,
+                      const std::string &static_config)
+{
+    Artifact repo = gem5Repo();
+
+    // The build descriptor stands in for the compiled simulator: the
+    // version selects the bug census, the static configuration mirrors
+    // "scons build/X86/gem5.opt".
+    Json binary = Json::object();
+    binary["kind"] = "gem5-binary";
+    binary["version"] = version;
+    binary["staticConfig"] = static_config;
+    binary["compiler"] = "gcc 7.5";
+    std::string path = rootDir + "/gem5/build/" + static_config +
+                       "/gem5-" + version + ".opt";
+    writeFile(path, binary.dump(2));
+
+    Artifact::Params params;
+    params.command = "cd gem5; git checkout 440f0bc579fb8b10da7181;\n"
+                     "scons build/" +
+                     static_config + "/gem5.opt -j8";
+    params.typ = "gem5 binary";
+    params.name = "gem5";
+    params.cwd = rootDir + "/gem5";
+    params.path = path;
+    params.inputs = {repo.hash()};
+    params.documentation =
+        "gem5 " + version + " binary, " + static_config +
+        " static configuration, compiled with GCC 7.5";
+    Artifact binary_artifact =
+        Artifact::registerArtifact(*artifactDb, params);
+    return Item{path, binary_artifact, repo};
+}
+
+Workspace::Item
+Workspace::kernel(const std::string &version)
+{
+    Artifact repo = repoArtifact(
+        "linux-stable",
+        "https://git.kernel.org/pub/scm/linux/kernel/git/stable/"
+        "linux.git",
+        "v" + version);
+
+    sim::fs::KernelSpec spec = sim::fs::KernelSpec::forVersion(version);
+    std::string path = rootDir + "/linux-stable/vmlinux-" + version;
+    spec.save(path);
+
+    Artifact::Params params;
+    params.command = "cd linux-stable; git checkout v" + version +
+                     "; make -j8 vmlinux";
+    params.typ = "kernel";
+    params.name = "vmlinux-" + version;
+    params.cwd = rootDir + "/linux-stable";
+    params.path = path;
+    params.inputs = {repo.hash()};
+    params.documentation = "Linux kernel " + version +
+                           " built with the gem5-resources config";
+    Artifact artifact = Artifact::registerArtifact(*artifactDb, params);
+    return Item{path, artifact, repo};
+}
+
+Workspace::Item
+Workspace::disk(const std::string &name,
+                const sim::fs::DiskImagePtr &image,
+                const std::string &source_repo_name)
+{
+    Artifact repo = repoArtifact(
+        source_repo_name,
+        "https://gem5.googlesource.com/public/gem5-resources",
+        "c5f5c70d0291e105444f534cf538ea40e4ddcb96");
+
+    std::string path = rootDir + "/disks/" + name + ".img";
+    image->save(path);
+
+    Artifact::Params params;
+    params.command = "packer build " + name + ".json";
+    params.typ = "disk image";
+    params.name = name;
+    params.cwd = rootDir + "/disks";
+    params.path = path;
+    params.inputs = {repo.hash()};
+    params.documentation =
+        "S5DK disk image '" + name + "' built by the packer template";
+    Artifact artifact = Artifact::registerArtifact(*artifactDb, params);
+    return Item{path, artifact, repo};
+}
+
+Workspace::Item
+Workspace::runScript(const std::string &name,
+                     const std::string &description)
+{
+    Artifact repo = repoArtifact(
+        "g5art-experiments",
+        "https://example.org/experiments.git",
+        Md5::hashString(name).substr(0, 20));
+
+    std::string path = rootDir + "/configs/" + name;
+    writeFile(path, "# run script: " + name + "\n# " + description +
+                        "\n");
+
+    Artifact::Params params;
+    params.command = "git clone https://example.org/experiments.git";
+    params.typ = "run script";
+    params.name = name;
+    params.cwd = rootDir + "/configs";
+    params.path = path;
+    params.inputs = {repo.hash()};
+    params.documentation = description;
+    Artifact artifact = Artifact::registerArtifact(*artifactDb, params);
+    return Item{path, artifact, repo};
+}
+
+std::string
+Workspace::outdir(const std::string &run_name) const
+{
+    return rootDir + "/results/" + run_name;
+}
+
+} // namespace g5::art

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Workspace — the experiment-side conveniences a gem5art launch script
+ * normally assembles by hand: a directory holding the "compiled"
+ * simulator binary, kernel binaries, disk images and run scripts, with
+ * each materialized file registered as an artifact (including its
+ * source-repository artifact, mirroring Fig 5's artifact block).
+ *
+ * Benches, examples, and tests build their cross-product studies on
+ * top of this so the launch code stays as small as the paper's Fig 5.
+ */
+
+#ifndef G5_ART_WORKSPACE_HH
+#define G5_ART_WORKSPACE_HH
+
+#include <memory>
+#include <string>
+
+#include "art/artifact.hh"
+#include "sim/fs/disk_image.hh"
+
+namespace g5::art
+{
+
+class Workspace
+{
+  public:
+    /** A materialized file plus its artifacts. */
+    struct Item
+    {
+        std::string path;       ///< host path of the file
+        Artifact artifact;      ///< the file artifact
+        Artifact repoArtifact;  ///< its source repository artifact
+    };
+
+    /**
+     * @param root  directory to materialize into (created; a unique
+     *              subdirectory is used per Workspace).
+     * @param db_dir on-disk database directory; "" = in-memory.
+     */
+    explicit Workspace(const std::string &root,
+                       const std::string &db_dir = "");
+
+    ArtifactDb &adb() { return *artifactDb; }
+
+    /** The gem5 source repository artifact (shared by binaries). */
+    Artifact gem5Repo();
+
+    /**
+     * "Build" the simulator binary: write the build descriptor file
+     * (version + static configuration) and register it.
+     */
+    Item gem5Binary(const std::string &version = "20.1.0.4",
+                    const std::string &static_config = "X86");
+
+    /** "Compile" a kernel: write the vmlinux file and register it. */
+    Item kernel(const std::string &version);
+
+    /** Write a disk image built elsewhere and register it. */
+    Item disk(const std::string &name,
+              const sim::fs::DiskImagePtr &image,
+              const std::string &source_repo_name = "gem5-resources");
+
+    /** Register a run script (configuration file) artifact. */
+    Item runScript(const std::string &name,
+                   const std::string &description);
+
+    /** A per-run output directory under the workspace. */
+    std::string outdir(const std::string &run_name) const;
+
+    /** The workspace root directory. */
+    const std::string &root() const { return rootDir; }
+
+  private:
+    Artifact repoArtifact(const std::string &name,
+                          const std::string &url,
+                          const std::string &revision);
+
+    std::string rootDir;
+    std::shared_ptr<db::Database> database;
+    std::unique_ptr<ArtifactDb> artifactDb;
+};
+
+} // namespace g5::art
+
+#endif // G5_ART_WORKSPACE_HH

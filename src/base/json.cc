@@ -1,0 +1,678 @@
+#include "base/json.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace g5
+{
+
+Json
+Json::object(std::initializer_list<std::pair<std::string, Json>> init)
+{
+    Json j = object();
+    for (const auto &kv : init)
+        j.objVal[kv.first] = kv.second;
+    return j;
+}
+
+namespace
+{
+
+[[noreturn]] void
+typeError(const char *wanted, Json::Type got)
+{
+    static const char *names[] = {
+        "null", "bool", "int", "double", "string", "array", "object",
+    };
+    throw JsonError(std::string("Json: expected ") + wanted + ", have " +
+                    names[int(got)]);
+}
+
+} // anonymous namespace
+
+bool
+Json::asBool() const
+{
+    if (ty != Type::Bool)
+        typeError("bool", ty);
+    return boolVal;
+}
+
+std::int64_t
+Json::asInt() const
+{
+    if (ty == Type::Int)
+        return intVal;
+    if (ty == Type::Double)
+        return std::int64_t(dblVal);
+    typeError("number", ty);
+}
+
+double
+Json::asDouble() const
+{
+    if (ty == Type::Int)
+        return double(intVal);
+    if (ty == Type::Double)
+        return dblVal;
+    typeError("number", ty);
+}
+
+const std::string &
+Json::asString() const
+{
+    if (ty != Type::String)
+        typeError("string", ty);
+    return strVal;
+}
+
+const Json::ArrayT &
+Json::asArray() const
+{
+    if (ty != Type::Array)
+        typeError("array", ty);
+    return arrVal;
+}
+
+Json::ArrayT &
+Json::asArray()
+{
+    if (ty != Type::Array)
+        typeError("array", ty);
+    return arrVal;
+}
+
+const Json::ObjectT &
+Json::asObject() const
+{
+    if (ty != Type::Object)
+        typeError("object", ty);
+    return objVal;
+}
+
+Json::ObjectT &
+Json::asObject()
+{
+    if (ty != Type::Object)
+        typeError("object", ty);
+    return objVal;
+}
+
+Json &
+Json::operator[](const std::string &key)
+{
+    if (ty == Type::Null)
+        ty = Type::Object; // auto-vivify, like most JSON DOMs
+    if (ty != Type::Object)
+        typeError("object", ty);
+    return objVal[key];
+}
+
+const Json &
+Json::at(const std::string &key) const
+{
+    if (ty != Type::Object)
+        typeError("object", ty);
+    auto it = objVal.find(key);
+    if (it == objVal.end())
+        throw JsonError("Json: missing key '" + key + "'");
+    return it->second;
+}
+
+Json &
+Json::operator[](std::size_t idx)
+{
+    if (ty != Type::Array)
+        typeError("array", ty);
+    if (idx >= arrVal.size())
+        throw JsonError("Json: array index out of range");
+    return arrVal[idx];
+}
+
+const Json &
+Json::at(std::size_t idx) const
+{
+    if (ty != Type::Array)
+        typeError("array", ty);
+    if (idx >= arrVal.size())
+        throw JsonError("Json: array index out of range");
+    return arrVal[idx];
+}
+
+bool
+Json::contains(const std::string &key) const
+{
+    return ty == Type::Object && objVal.count(key) > 0;
+}
+
+std::size_t
+Json::size() const
+{
+    switch (ty) {
+      case Type::Array:
+        return arrVal.size();
+      case Type::Object:
+        return objVal.size();
+      case Type::String:
+        return strVal.size();
+      default:
+        return 0;
+    }
+}
+
+void
+Json::push(Json v)
+{
+    if (ty == Type::Null)
+        ty = Type::Array;
+    if (ty != Type::Array)
+        typeError("array", ty);
+    arrVal.push_back(std::move(v));
+}
+
+std::string
+Json::getString(const std::string &key, const std::string &dflt) const
+{
+    if (!contains(key) || !objVal.at(key).isString())
+        return dflt;
+    return objVal.at(key).strVal;
+}
+
+std::int64_t
+Json::getInt(const std::string &key, std::int64_t dflt) const
+{
+    if (!contains(key) || !objVal.at(key).isNumber())
+        return dflt;
+    return objVal.at(key).asInt();
+}
+
+double
+Json::getDouble(const std::string &key, double dflt) const
+{
+    if (!contains(key) || !objVal.at(key).isNumber())
+        return dflt;
+    return objVal.at(key).asDouble();
+}
+
+bool
+Json::getBool(const std::string &key, bool dflt) const
+{
+    if (!contains(key) || !objVal.at(key).isBool())
+        return dflt;
+    return objVal.at(key).boolVal;
+}
+
+const Json *
+Json::find(const std::string &dotted_path) const
+{
+    const Json *cur = this;
+    std::size_t start = 0;
+    while (start <= dotted_path.size()) {
+        std::size_t dot = dotted_path.find('.', start);
+        std::string key = dotted_path.substr(
+            start, dot == std::string::npos ? std::string::npos
+                                            : dot - start);
+        if (!cur->isObject())
+            return nullptr;
+        auto it = cur->objVal.find(key);
+        if (it == cur->objVal.end())
+            return nullptr;
+        cur = &it->second;
+        if (dot == std::string::npos)
+            return cur;
+        start = dot + 1;
+    }
+    return nullptr;
+}
+
+bool
+Json::operator==(const Json &other) const
+{
+    if (isNumber() && other.isNumber()) {
+        if (isInt() && other.isInt())
+            return intVal == other.intVal;
+        return asDouble() == other.asDouble();
+    }
+    if (ty != other.ty)
+        return false;
+    switch (ty) {
+      case Type::Null:
+        return true;
+      case Type::Bool:
+        return boolVal == other.boolVal;
+      case Type::String:
+        return strVal == other.strVal;
+      case Type::Array:
+        return arrVal == other.arrVal;
+      case Type::Object:
+        return objVal == other.objVal;
+      default:
+        return false; // unreachable; numbers handled above
+    }
+}
+
+namespace
+{
+
+void
+escapeString(std::string &out, const std::string &s)
+{
+    out += '"';
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\b':
+            out += "\\b";
+            break;
+          case '\f':
+            out += "\\f";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += char(c);
+            }
+        }
+    }
+    out += '"';
+}
+
+void
+formatDouble(std::string &out, double v)
+{
+    if (std::isnan(v) || std::isinf(v)) {
+        // JSON has no NaN/Inf; store as null like most serializers.
+        out += "null";
+        return;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    out += buf;
+    // Ensure the round-trip stays a double, not an int.
+    std::string_view sv(buf);
+    if (sv.find('.') == std::string_view::npos &&
+        sv.find('e') == std::string_view::npos &&
+        sv.find('E') == std::string_view::npos) {
+        out += ".0";
+    }
+}
+
+} // anonymous namespace
+
+void
+Json::dumpTo(std::string &out, int indent, int depth) const
+{
+    auto newline = [&](int d) {
+        if (indent > 0) {
+            out += '\n';
+            out.append(std::size_t(indent) * d, ' ');
+        }
+    };
+
+    switch (ty) {
+      case Type::Null:
+        out += "null";
+        break;
+      case Type::Bool:
+        out += boolVal ? "true" : "false";
+        break;
+      case Type::Int:
+        out += std::to_string(intVal);
+        break;
+      case Type::Double:
+        formatDouble(out, dblVal);
+        break;
+      case Type::String:
+        escapeString(out, strVal);
+        break;
+      case Type::Array: {
+        if (arrVal.empty()) {
+            out += "[]";
+            break;
+        }
+        out += '[';
+        bool first = true;
+        for (const auto &v : arrVal) {
+            if (!first)
+                out += indent > 0 ? "," : ",";
+            first = false;
+            newline(depth + 1);
+            v.dumpTo(out, indent, depth + 1);
+        }
+        newline(depth);
+        out += ']';
+        break;
+      }
+      case Type::Object: {
+        if (objVal.empty()) {
+            out += "{}";
+            break;
+        }
+        out += '{';
+        bool first = true;
+        for (const auto &kv : objVal) {
+            if (!first)
+                out += ",";
+            first = false;
+            newline(depth + 1);
+            escapeString(out, kv.first);
+            out += indent > 0 ? ": " : ":";
+            kv.second.dumpTo(out, indent, depth + 1);
+        }
+        newline(depth);
+        out += '}';
+        break;
+      }
+    }
+}
+
+std::string
+Json::dump(int indent) const
+{
+    std::string out;
+    dumpTo(out, indent, 0);
+    return out;
+}
+
+namespace
+{
+
+/** Recursive-descent JSON parser. */
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text)
+        : src(text), pos(0)
+    {}
+
+    Json
+    parseDocument()
+    {
+        Json v = parseValue();
+        skipWs();
+        if (pos != src.size())
+            fail("trailing characters after JSON value");
+        return v;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const std::string &why)
+    {
+        throw JsonError("JSON parse error at offset " +
+                        std::to_string(pos) + ": " + why);
+    }
+
+    void
+    skipWs()
+    {
+        while (pos < src.size()) {
+            char c = src[pos];
+            if (c == ' ' || c == '\t' || c == '\n' || c == '\r')
+                ++pos;
+            else
+                break;
+        }
+    }
+
+    char
+    peek()
+    {
+        if (pos >= src.size())
+            fail("unexpected end of input");
+        return src[pos];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fail(std::string("expected '") + c + "'");
+        ++pos;
+    }
+
+    bool
+    consumeLiteral(const char *lit)
+    {
+        std::size_t len = std::char_traits<char>::length(lit);
+        if (src.compare(pos, len, lit) == 0) {
+            pos += len;
+            return true;
+        }
+        return false;
+    }
+
+    Json
+    parseValue()
+    {
+        skipWs();
+        char c = peek();
+        switch (c) {
+          case '{':
+            return parseObject();
+          case '[':
+            return parseArray();
+          case '"':
+            return Json(parseString());
+          case 't':
+            if (consumeLiteral("true"))
+                return Json(true);
+            fail("bad literal");
+          case 'f':
+            if (consumeLiteral("false"))
+                return Json(false);
+            fail("bad literal");
+          case 'n':
+            if (consumeLiteral("null"))
+                return Json(nullptr);
+            fail("bad literal");
+          default:
+            return parseNumber();
+        }
+    }
+
+    Json
+    parseObject()
+    {
+        expect('{');
+        Json obj = Json::object();
+        skipWs();
+        if (peek() == '}') {
+            ++pos;
+            return obj;
+        }
+        for (;;) {
+            skipWs();
+            std::string key = parseString();
+            skipWs();
+            expect(':');
+            obj[key] = parseValue();
+            skipWs();
+            char c = peek();
+            if (c == ',') {
+                ++pos;
+                continue;
+            }
+            if (c == '}') {
+                ++pos;
+                return obj;
+            }
+            fail("expected ',' or '}' in object");
+        }
+    }
+
+    Json
+    parseArray()
+    {
+        expect('[');
+        Json arr = Json::array();
+        skipWs();
+        if (peek() == ']') {
+            ++pos;
+            return arr;
+        }
+        for (;;) {
+            arr.push(parseValue());
+            skipWs();
+            char c = peek();
+            if (c == ',') {
+                ++pos;
+                continue;
+            }
+            if (c == ']') {
+                ++pos;
+                return arr;
+            }
+            fail("expected ',' or ']' in array");
+        }
+    }
+
+    std::string
+    parseString()
+    {
+        expect('"');
+        std::string out;
+        for (;;) {
+            if (pos >= src.size())
+                fail("unterminated string");
+            char c = src[pos++];
+            if (c == '"')
+                return out;
+            if (c == '\\') {
+                if (pos >= src.size())
+                    fail("unterminated escape");
+                char e = src[pos++];
+                switch (e) {
+                  case '"':
+                    out += '"';
+                    break;
+                  case '\\':
+                    out += '\\';
+                    break;
+                  case '/':
+                    out += '/';
+                    break;
+                  case 'b':
+                    out += '\b';
+                    break;
+                  case 'f':
+                    out += '\f';
+                    break;
+                  case 'n':
+                    out += '\n';
+                    break;
+                  case 'r':
+                    out += '\r';
+                    break;
+                  case 't':
+                    out += '\t';
+                    break;
+                  case 'u': {
+                    if (pos + 4 > src.size())
+                        fail("short \\u escape");
+                    unsigned cp = 0;
+                    for (int i = 0; i < 4; ++i) {
+                        char h = src[pos++];
+                        cp <<= 4;
+                        if (h >= '0' && h <= '9')
+                            cp |= unsigned(h - '0');
+                        else if (h >= 'a' && h <= 'f')
+                            cp |= unsigned(h - 'a' + 10);
+                        else if (h >= 'A' && h <= 'F')
+                            cp |= unsigned(h - 'A' + 10);
+                        else
+                            fail("bad hex digit in \\u escape");
+                    }
+                    // Encode the code point as UTF-8 (BMP only; surrogate
+                    // pairs are passed through as separate code points).
+                    if (cp < 0x80) {
+                        out += char(cp);
+                    } else if (cp < 0x800) {
+                        out += char(0xc0 | (cp >> 6));
+                        out += char(0x80 | (cp & 0x3f));
+                    } else {
+                        out += char(0xe0 | (cp >> 12));
+                        out += char(0x80 | ((cp >> 6) & 0x3f));
+                        out += char(0x80 | (cp & 0x3f));
+                    }
+                    break;
+                  }
+                  default:
+                    fail("bad escape character");
+                }
+            } else {
+                out += c;
+            }
+        }
+    }
+
+    Json
+    parseNumber()
+    {
+        std::size_t start = pos;
+        if (peek() == '-')
+            ++pos;
+        bool is_double = false;
+        while (pos < src.size()) {
+            char c = src[pos];
+            if (c >= '0' && c <= '9') {
+                ++pos;
+            } else if (c == '.' || c == 'e' || c == 'E' || c == '+' ||
+                       c == '-') {
+                if (c == '.' || c == 'e' || c == 'E')
+                    is_double = true;
+                ++pos;
+            } else {
+                break;
+            }
+        }
+        if (pos == start || (pos == start + 1 && src[start] == '-'))
+            fail("malformed number");
+        std::string tok = src.substr(start, pos - start);
+        if (!is_double) {
+            errno = 0;
+            char *end = nullptr;
+            long long v = std::strtoll(tok.c_str(), &end, 10);
+            if (errno == 0 && end && *end == '\0')
+                return Json(std::int64_t(v));
+            // fall through to double on overflow
+        }
+        char *end = nullptr;
+        double d = std::strtod(tok.c_str(), &end);
+        if (!end || *end != '\0')
+            fail("malformed number '" + tok + "'");
+        return Json(d);
+    }
+
+    const std::string &src;
+    std::size_t pos;
+};
+
+} // anonymous namespace
+
+Json
+Json::parse(const std::string &text)
+{
+    Parser p(text);
+    return p.parseDocument();
+}
+
+} // namespace g5

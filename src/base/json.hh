@@ -1,0 +1,155 @@
+/**
+ * @file
+ * A self-contained JSON document model, parser, and serializer.
+ *
+ * The db layer stores documents as Json values; artifacts, runs, stats
+ * dumps, kernel specs, and disk-image manifests all serialize through this
+ * type. Objects keep keys in sorted order so serialization (and therefore
+ * content hashing) is deterministic.
+ *
+ * Numbers are kept as either Int (int64) or Double, mirroring what BSON
+ * would do; the parser picks Int when the literal has no fraction or
+ * exponent and fits in int64.
+ */
+
+#ifndef G5_BASE_JSON_HH
+#define G5_BASE_JSON_HH
+
+#include <cstdint>
+#include <initializer_list>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace g5
+{
+
+/** Raised on malformed JSON text or type mismatches. */
+class JsonError : public std::runtime_error
+{
+  public:
+    explicit JsonError(const std::string &msg)
+        : std::runtime_error(msg)
+    {}
+};
+
+/** A JSON value: null, bool, int64, double, string, array, or object. */
+class Json
+{
+  public:
+    enum class Type { Null, Bool, Int, Double, String, Array, Object };
+
+    using ArrayT = std::vector<Json>;
+    using ObjectT = std::map<std::string, Json>;
+
+    /** Construct null. */
+    Json() : ty(Type::Null) {}
+    Json(std::nullptr_t) : ty(Type::Null) {}
+    Json(bool v) : ty(Type::Bool) { boolVal = v; }
+    Json(int v) : ty(Type::Int) { intVal = v; }
+    Json(unsigned v) : ty(Type::Int) { intVal = std::int64_t(v); }
+    Json(std::int64_t v) : ty(Type::Int) { intVal = v; }
+    Json(std::uint64_t v) : ty(Type::Int) { intVal = std::int64_t(v); }
+    Json(double v) : ty(Type::Double) { dblVal = v; }
+    Json(const char *v) : ty(Type::String), strVal(v) {}
+    Json(const std::string &v) : ty(Type::String), strVal(v) {}
+    Json(std::string &&v) : ty(Type::String), strVal(std::move(v)) {}
+    Json(const ArrayT &v) : ty(Type::Array), arrVal(v) {}
+    Json(ArrayT &&v) : ty(Type::Array), arrVal(std::move(v)) {}
+
+    /** @return an empty array value. */
+    static Json array() { Json j; j.ty = Type::Array; return j; }
+
+    /** @return an empty object value. */
+    static Json object() { Json j; j.ty = Type::Object; return j; }
+
+    /** Build an object from key/value pairs. */
+    static Json object(
+        std::initializer_list<std::pair<std::string, Json>> init);
+
+    Type type() const { return ty; }
+    bool isNull() const { return ty == Type::Null; }
+    bool isBool() const { return ty == Type::Bool; }
+    bool isInt() const { return ty == Type::Int; }
+    bool isDouble() const { return ty == Type::Double; }
+    bool isNumber() const { return isInt() || isDouble(); }
+    bool isString() const { return ty == Type::String; }
+    bool isArray() const { return ty == Type::Array; }
+    bool isObject() const { return ty == Type::Object; }
+
+    /** @return the bool payload; throws JsonError on wrong type. */
+    bool asBool() const;
+    /** @return the integer payload (Double truncates); throws on others. */
+    std::int64_t asInt() const;
+    /** @return the numeric payload as double. */
+    double asDouble() const;
+    /** @return the string payload; throws JsonError on wrong type. */
+    const std::string &asString() const;
+    /** @return the array payload; throws JsonError on wrong type. */
+    const ArrayT &asArray() const;
+    ArrayT &asArray();
+    /** @return the object payload; throws JsonError on wrong type. */
+    const ObjectT &asObject() const;
+    ObjectT &asObject();
+
+    /** Object member access; inserts null when absent (object only). */
+    Json &operator[](const std::string &key);
+    /** Const object member access; throws JsonError when absent. */
+    const Json &at(const std::string &key) const;
+    /** Array element access; throws JsonError when out of range. */
+    Json &operator[](std::size_t idx);
+    const Json &at(std::size_t idx) const;
+
+    /** @return true when this object has member @p key. */
+    bool contains(const std::string &key) const;
+
+    /** Array/object/string element count; 0 for scalars. */
+    std::size_t size() const;
+
+    /** Append to an array (value must be an array). */
+    void push(Json v);
+
+    /** Object member lookup with a default for absent/null members. */
+    std::string getString(const std::string &key,
+                          const std::string &dflt = "") const;
+    std::int64_t getInt(const std::string &key, std::int64_t dflt = 0) const;
+    double getDouble(const std::string &key, double dflt = 0.0) const;
+    bool getBool(const std::string &key, bool dflt = false) const;
+
+    /**
+     * Navigate a dotted path ("a.b.c") through nested objects.
+     * @return pointer to the value, or nullptr when any hop is missing.
+     */
+    const Json *find(const std::string &dotted_path) const;
+
+    /** Deep structural equality (Int 3 == Double 3.0 compares equal). */
+    bool operator==(const Json &other) const;
+    bool operator!=(const Json &other) const { return !(*this == other); }
+
+    /**
+     * Serialize. @p indent <= 0 produces compact one-line output;
+     * positive values pretty-print with that many spaces per level.
+     */
+    std::string dump(int indent = -1) const;
+
+    /** Parse JSON text; throws JsonError with offset info on bad input. */
+    static Json parse(const std::string &text);
+
+  private:
+    void dumpTo(std::string &out, int indent, int depth) const;
+
+    Type ty;
+    union {
+        bool boolVal;
+        std::int64_t intVal;
+        double dblVal;
+    };
+    std::string strVal;
+    ArrayT arrVal;
+    ObjectT objVal;
+};
+
+} // namespace g5
+
+#endif // G5_BASE_JSON_HH

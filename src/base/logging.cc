@@ -1,0 +1,79 @@
+#include "base/logging.hh"
+
+#include <cstdarg>
+#include <cstdio>
+#include <vector>
+
+namespace g5
+{
+
+namespace
+{
+bool quietFlag = false;
+} // anonymous namespace
+
+std::string
+csprintf(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    va_list args_copy;
+    va_copy(args_copy, args);
+    int len = std::vsnprintf(nullptr, 0, fmt, args_copy);
+    va_end(args_copy);
+    std::vector<char> buf(len + 1);
+    std::vsnprintf(buf.data(), buf.size(), fmt, args);
+    va_end(args);
+    return std::string(buf.data(), len);
+}
+
+void
+panic(const std::string &msg)
+{
+    if (!quietFlag)
+        std::fprintf(stderr, "panic: %s\n", msg.c_str());
+    throw PanicError(msg);
+}
+
+void
+fatal(const std::string &msg)
+{
+    if (!quietFlag)
+        std::fprintf(stderr, "fatal: %s\n", msg.c_str());
+    throw FatalError(msg);
+}
+
+void
+inform(const std::string &msg)
+{
+    if (!quietFlag)
+        std::fprintf(stderr, "info: %s\n", msg.c_str());
+}
+
+void
+warn(const std::string &msg)
+{
+    if (!quietFlag)
+        std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+hack(const std::string &msg)
+{
+    if (!quietFlag)
+        std::fprintf(stderr, "hack: %s\n", msg.c_str());
+}
+
+void
+setQuiet(bool q)
+{
+    quietFlag = q;
+}
+
+bool
+quiet()
+{
+    return quietFlag;
+}
+
+} // namespace g5

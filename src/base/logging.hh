@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Status-message and error-reporting helpers in the gem5 tradition.
+ *
+ * The distinction between the two error paths matters (and mirrors
+ * src/base/logging.hh in gem5):
+ *
+ *  - panic():  something happened that should never happen regardless of
+ *              what the user does — an internal bug. Throws PanicError.
+ *  - fatal():  the simulation cannot continue because of a user-level
+ *              problem (bad configuration, invalid arguments). Throws
+ *              FatalError.
+ *
+ * Because g5 is a library (experiments run many simulations in one
+ * process), both conditions are reported as exceptions rather than
+ * aborting the process; the art layer records them per run.
+ *
+ * inform()/warn()/hack() print status to stderr and never stop anything.
+ */
+
+#ifndef G5_BASE_LOGGING_HH
+#define G5_BASE_LOGGING_HH
+
+#include <stdexcept>
+#include <string>
+
+namespace g5
+{
+
+/** Raised by panic(): an internal invariant was violated (a g5 bug). */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &msg)
+        : std::logic_error(msg)
+    {}
+};
+
+/** Raised by fatal(): the user asked for something unsupported/invalid. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg)
+        : std::runtime_error(msg)
+    {}
+};
+
+/**
+ * Raised when a modeled host-level simulator crash occurs (e.g. the
+ * v20.1.0.4 O3 segmentation fault reproduced for the Fig 8 census).
+ * Distinct from PanicError so the art layer can classify the run the way
+ * the paper does ("gem5 crashed" vs "kernel panic").
+ */
+class SimulatorCrash : public std::runtime_error
+{
+  public:
+    explicit SimulatorCrash(const std::string &msg)
+        : std::runtime_error(msg)
+    {}
+};
+
+/** printf-style formatting into a std::string. */
+std::string csprintf(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Report an internal invariant violation. Never returns. */
+[[noreturn]] void panic(const std::string &msg);
+
+/** Report an unrecoverable user error. Never returns. */
+[[noreturn]] void fatal(const std::string &msg);
+
+/** Print an informational message ("info: ..."). */
+void inform(const std::string &msg);
+
+/** Print a warning ("warn: ..."). */
+void warn(const std::string &msg);
+
+/** Print a hack notice ("hack: ..."). */
+void hack(const std::string &msg);
+
+/** Globally silence inform/warn/hack (used by tests and benches). */
+void setQuiet(bool quiet);
+
+/** @return true when status messages are suppressed. */
+bool quiet();
+
+} // namespace g5
+
+#endif // G5_BASE_LOGGING_HH

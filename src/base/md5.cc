@@ -1,0 +1,188 @@
+#include "base/md5.hh"
+
+#include <cstring>
+#include <fstream>
+
+#include "base/logging.hh"
+#include "base/str.hh"
+
+namespace g5
+{
+
+namespace
+{
+
+// Per-round shift amounts (RFC 1321).
+constexpr std::uint32_t shifts[64] = {
+    7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22,
+    5,  9, 14, 20, 5,  9, 14, 20, 5,  9, 14, 20, 5,  9, 14, 20,
+    4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23,
+    6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21,
+};
+
+// K[i] = floor(2^32 * abs(sin(i + 1))).
+constexpr std::uint32_t sines[64] = {
+    0xd76aa478, 0xe8c7b756, 0x242070db, 0xc1bdceee,
+    0xf57c0faf, 0x4787c62a, 0xa8304613, 0xfd469501,
+    0x698098d8, 0x8b44f7af, 0xffff5bb1, 0x895cd7be,
+    0x6b901122, 0xfd987193, 0xa679438e, 0x49b40821,
+    0xf61e2562, 0xc040b340, 0x265e5a51, 0xe9b6c7aa,
+    0xd62f105d, 0x02441453, 0xd8a1e681, 0xe7d3fbc8,
+    0x21e1cde6, 0xc33707d6, 0xf4d50d87, 0x455a14ed,
+    0xa9e3e905, 0xfcefa3f8, 0x676f02d9, 0x8d2a4c8a,
+    0xfffa3942, 0x8771f681, 0x6d9d6122, 0xfde5380c,
+    0xa4beea44, 0x4bdecfa9, 0xf6bb4b60, 0xbebfbc70,
+    0x289b7ec6, 0xeaa127fa, 0xd4ef3085, 0x04881d05,
+    0xd9d4d039, 0xe6db99e5, 0x1fa27cf8, 0xc4ac5665,
+    0xf4292244, 0x432aff97, 0xab9423a7, 0xfc93a039,
+    0x655b59c3, 0x8f0ccc92, 0xffeff47d, 0x85845dd1,
+    0x6fa87e4f, 0xfe2ce6e0, 0xa3014314, 0x4e0811a1,
+    0xf7537e82, 0xbd3af235, 0x2ad7d2bb, 0xeb86d391,
+};
+
+inline std::uint32_t
+rotl32(std::uint32_t x, std::uint32_t c)
+{
+    return (x << c) | (x >> (32 - c));
+}
+
+} // anonymous namespace
+
+Md5::Md5()
+    : a0(0x67452301), b0(0xefcdab89), c0(0x98badcfe), d0(0x10325476),
+      totalLen(0), bufferLen(0), finalized(false)
+{}
+
+void
+Md5::processBlock(const std::uint8_t *block)
+{
+    std::uint32_t m[16];
+    for (int i = 0; i < 16; ++i) {
+        m[i] = std::uint32_t(block[i * 4]) |
+               std::uint32_t(block[i * 4 + 1]) << 8 |
+               std::uint32_t(block[i * 4 + 2]) << 16 |
+               std::uint32_t(block[i * 4 + 3]) << 24;
+    }
+
+    std::uint32_t a = a0, b = b0, c = c0, d = d0;
+
+    for (int i = 0; i < 64; ++i) {
+        std::uint32_t f;
+        int g;
+        if (i < 16) {
+            f = (b & c) | (~b & d);
+            g = i;
+        } else if (i < 32) {
+            f = (d & b) | (~d & c);
+            g = (5 * i + 1) % 16;
+        } else if (i < 48) {
+            f = b ^ c ^ d;
+            g = (3 * i + 5) % 16;
+        } else {
+            f = c ^ (b | ~d);
+            g = (7 * i) % 16;
+        }
+        f = f + a + sines[i] + m[g];
+        a = d;
+        d = c;
+        c = b;
+        b = b + rotl32(f, shifts[i]);
+    }
+
+    a0 += a;
+    b0 += b;
+    c0 += c;
+    d0 += d;
+}
+
+void
+Md5::update(const void *data, std::size_t len)
+{
+    if (finalized)
+        panic("Md5::update after digest()");
+    const auto *bytes = static_cast<const std::uint8_t *>(data);
+    totalLen += len;
+
+    while (len > 0) {
+        std::size_t take = std::min<std::size_t>(len, 64 - bufferLen);
+        std::memcpy(buffer + bufferLen, bytes, take);
+        bufferLen += take;
+        bytes += take;
+        len -= take;
+        if (bufferLen == 64) {
+            processBlock(buffer);
+            bufferLen = 0;
+        }
+    }
+}
+
+std::array<std::uint8_t, 16>
+Md5::digest()
+{
+    if (finalized)
+        panic("Md5::digest called twice");
+
+    std::uint64_t bit_len = totalLen * 8;
+
+    // Pad: 0x80, zeros, then the 64-bit little-endian length.
+    std::uint8_t pad = 0x80;
+    update(&pad, 1);
+    totalLen -= 1; // padding is not message content
+    std::uint8_t zero = 0;
+    while (bufferLen != 56) {
+        update(&zero, 1);
+        totalLen -= 1;
+    }
+    std::uint8_t len_bytes[8];
+    for (int i = 0; i < 8; ++i)
+        len_bytes[i] = std::uint8_t(bit_len >> (8 * i));
+    update(len_bytes, 8);
+    finalized = true;
+
+    std::array<std::uint8_t, 16> out;
+    std::uint32_t words[4] = {a0, b0, c0, d0};
+    for (int w = 0; w < 4; ++w)
+        for (int i = 0; i < 4; ++i)
+            out[w * 4 + i] = std::uint8_t(words[w] >> (8 * i));
+    return out;
+}
+
+std::string
+Md5::hexDigest()
+{
+    auto d = digest();
+    return toHex(d.data(), d.size());
+}
+
+std::string
+Md5::hashBytes(const void *data, std::size_t len)
+{
+    Md5 h;
+    h.update(data, len);
+    return h.hexDigest();
+}
+
+std::string
+Md5::hashString(const std::string &s)
+{
+    return hashBytes(s.data(), s.size());
+}
+
+std::string
+Md5::hashFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        fatal("Md5::hashFile: cannot open '" + path + "'");
+    Md5 h;
+    char buf[65536];
+    while (in) {
+        in.read(buf, sizeof(buf));
+        std::streamsize got = in.gcount();
+        if (got > 0)
+            h.update(buf, std::size_t(got));
+    }
+    return h.hexDigest();
+}
+
+} // namespace g5

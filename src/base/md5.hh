@@ -1,0 +1,61 @@
+/**
+ * @file
+ * MD5 message digest (RFC 1321), implemented from scratch.
+ *
+ * gem5art identifies every artifact by the MD5 of its backing file (or the
+ * git revision hash for repositories); the db layer's blob store is
+ * content-addressed by the same digest. MD5 is used here strictly for
+ * content identity, never for security.
+ */
+
+#ifndef G5_BASE_MD5_HH
+#define G5_BASE_MD5_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace g5
+{
+
+/** Incremental MD5 hasher. */
+class Md5
+{
+  public:
+    Md5();
+
+    /** Absorb @p len bytes from @p data. */
+    void update(const void *data, std::size_t len);
+
+    /** Absorb a string's bytes. */
+    void update(const std::string &s) { update(s.data(), s.size()); }
+
+    /** Finalize and return the 16-byte digest. Hasher becomes unusable. */
+    std::array<std::uint8_t, 16> digest();
+
+    /** Finalize and return the digest as 32 lowercase hex chars. */
+    std::string hexDigest();
+
+    /** One-shot convenience: hex MD5 of a byte buffer. */
+    static std::string hashBytes(const void *data, std::size_t len);
+
+    /** One-shot convenience: hex MD5 of a string. */
+    static std::string hashString(const std::string &s);
+
+    /** Hex MD5 of a file's contents; throws FatalError if unreadable. */
+    static std::string hashFile(const std::string &path);
+
+  private:
+    void processBlock(const std::uint8_t *block);
+
+    std::uint32_t a0, b0, c0, d0;
+    std::uint64_t totalLen;
+    std::uint8_t buffer[64];
+    std::size_t bufferLen;
+    bool finalized;
+};
+
+} // namespace g5
+
+#endif // G5_BASE_MD5_HH

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * Everything stochastic in g5 — synthetic address streams, defect
+ * activation, artifact UUIDs under test — draws from these generators so
+ * that every experiment regenerates bit-identically from its
+ * configuration. SplitMix64 seeds Xoshiro256**, the standard pairing.
+ */
+
+#ifndef G5_BASE_RANDOM_HH
+#define G5_BASE_RANDOM_HH
+
+#include <cstdint>
+#include <string>
+
+namespace g5
+{
+
+/** SplitMix64 step; also useful as a cheap 64-bit mixer/hash. */
+std::uint64_t splitmix64(std::uint64_t &state);
+
+/** Mix an arbitrary string into a 64-bit seed (FNV-1a then SplitMix). */
+std::uint64_t hashString(const std::string &s);
+
+/** Combine two 64-bit hashes (order dependent). */
+std::uint64_t hashCombine(std::uint64_t a, std::uint64_t b);
+
+/**
+ * Xoshiro256** — a small, fast, high-quality PRNG.
+ *
+ * Not cryptographic; used only for reproducible simulation stochastics.
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed (expanded via SplitMix64). */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** Construct from a string key, e.g. a run configuration signature. */
+    explicit Rng(const std::string &key);
+
+    /** @return the next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** @return a uniform integer in [0, bound). bound must be > 0. */
+    std::uint64_t below(std::uint64_t bound);
+
+    /** @return a uniform integer in [lo, hi] inclusive. */
+    std::int64_t range(std::int64_t lo, std::int64_t hi);
+
+    /** @return a uniform double in [0, 1). */
+    double real();
+
+    /** @return true with probability p (clamped to [0,1]). */
+    bool chance(double p);
+
+    /** @return a normally distributed value (Box–Muller). */
+    double gaussian(double mean, double stddev);
+
+  private:
+    std::uint64_t s[4];
+};
+
+} // namespace g5
+
+#endif // G5_BASE_RANDOM_HH

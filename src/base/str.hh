@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Small string helpers used throughout g5.
+ */
+
+#ifndef G5_BASE_STR_HH
+#define G5_BASE_STR_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace g5
+{
+
+/** Split @p s on @p delim; empty fields are preserved. */
+std::vector<std::string> split(const std::string &s, char delim);
+
+/** Join @p parts with @p sep between elements. */
+std::string join(const std::vector<std::string> &parts,
+                 const std::string &sep);
+
+/** Strip leading and trailing whitespace. */
+std::string trim(const std::string &s);
+
+/** @return true when @p s begins with @p prefix. */
+bool startsWith(const std::string &s, const std::string &prefix);
+
+/** @return true when @p s ends with @p suffix. */
+bool endsWith(const std::string &s, const std::string &suffix);
+
+/** Lower-case an ASCII string. */
+std::string toLower(const std::string &s);
+
+/** Render bytes as lowercase hex. */
+std::string toHex(const std::uint8_t *data, std::size_t len);
+
+/** Parse lowercase/uppercase hex into bytes; throws FatalError on junk. */
+std::vector<std::uint8_t> fromHex(const std::string &hex);
+
+} // namespace g5
+
+#endif // G5_BASE_STR_HH

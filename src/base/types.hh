@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Fundamental scalar type aliases shared by every g5 subsystem.
+ *
+ * These mirror the conventions of event-driven architecture simulators:
+ * simulated time is counted in integer ticks (1 tick = 1 ps at the default
+ * clock resolution) and guest physical addresses are 64-bit.
+ */
+
+#ifndef G5_BASE_TYPES_HH
+#define G5_BASE_TYPES_HH
+
+#include <cstdint>
+
+namespace g5
+{
+
+/** Simulated time, in ticks. 1 tick == 1 picosecond. */
+using Tick = std::uint64_t;
+
+/** A cycle count for a clocked object. */
+using Cycles = std::uint64_t;
+
+/** A guest physical address. */
+using Addr = std::uint64_t;
+
+/** Maximum representable tick; used as "never". */
+constexpr Tick maxTick = ~Tick(0);
+
+/** Ticks per second at the default 1 ps resolution. */
+constexpr Tick simClockFrequency = 1'000'000'000'000ULL;
+
+/** Convert a frequency in Hz to a clock period in ticks. */
+constexpr Tick
+freqToPeriod(std::uint64_t hz)
+{
+    return hz == 0 ? maxTick : simClockFrequency / hz;
+}
+
+/** Convert nanoseconds to ticks. */
+constexpr Tick
+nsToTicks(std::uint64_t ns)
+{
+    return ns * 1000;
+}
+
+} // namespace g5
+
+#endif // G5_BASE_TYPES_HH

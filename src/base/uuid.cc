@@ -1,0 +1,91 @@
+#include "base/uuid.hh"
+
+#include <cstdint>
+#include <mutex>
+#include <random>
+
+#include "base/logging.hh"
+#include "base/random.hh"
+#include "base/str.hh"
+
+namespace g5
+{
+
+namespace
+{
+
+std::string
+formatUuid(const std::uint8_t bytes[16])
+{
+    std::string hex = toHex(bytes, 16);
+    return hex.substr(0, 8) + "-" + hex.substr(8, 4) + "-" +
+           hex.substr(12, 4) + "-" + hex.substr(16, 4) + "-" +
+           hex.substr(20, 12);
+}
+
+void
+stampVersion(std::uint8_t bytes[16])
+{
+    bytes[6] = std::uint8_t((bytes[6] & 0x0f) | 0x40); // version 4
+    bytes[8] = std::uint8_t((bytes[8] & 0x3f) | 0x80); // RFC 4122 variant
+}
+
+} // anonymous namespace
+
+Uuid::Uuid()
+    : text("00000000-0000-0000-0000-000000000000")
+{}
+
+Uuid::Uuid(const std::string &t)
+    : text(toLower(t))
+{
+    if (text.size() != 36 || text[8] != '-' || text[13] != '-' ||
+        text[18] != '-' || text[23] != '-') {
+        fatal("Uuid: malformed UUID '" + t + "'");
+    }
+    for (std::size_t i = 0; i < text.size(); ++i) {
+        if (i == 8 || i == 13 || i == 18 || i == 23)
+            continue;
+        char c = text[i];
+        bool ok = (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f');
+        if (!ok)
+            fatal("Uuid: malformed UUID '" + t + "'");
+    }
+}
+
+Uuid
+Uuid::generate()
+{
+    static std::mutex mtx;
+    static Rng *rng = nullptr;
+    std::lock_guard<std::mutex> lock(mtx);
+    if (!rng) {
+        std::random_device rd;
+        std::uint64_t seed = (std::uint64_t(rd()) << 32) ^ rd();
+        rng = new Rng(seed);
+    }
+    return generateFrom(*rng);
+}
+
+Uuid
+Uuid::generateFrom(Rng &rng)
+{
+    std::uint8_t bytes[16];
+    for (int w = 0; w < 2; ++w) {
+        std::uint64_t v = rng.next();
+        for (int i = 0; i < 8; ++i)
+            bytes[w * 8 + i] = std::uint8_t(v >> (8 * i));
+    }
+    stampVersion(bytes);
+    Uuid out;
+    out.text = formatUuid(bytes);
+    return out;
+}
+
+bool
+Uuid::isNil() const
+{
+    return text == "00000000-0000-0000-0000-000000000000";
+}
+
+} // namespace g5

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * RFC 4122 version-4 UUIDs.
+ *
+ * gem5art assigns every artifact and run a UUID. Production callers use
+ * generate() (seeded from std::random_device once per process); tests and
+ * reproducible experiments use generateFrom() with an explicit Rng so runs
+ * are replayable.
+ */
+
+#ifndef G5_BASE_UUID_HH
+#define G5_BASE_UUID_HH
+
+#include <string>
+
+namespace g5
+{
+
+class Rng;
+
+/** A v4 UUID in canonical 8-4-4-4-12 hex form. */
+class Uuid
+{
+  public:
+    /** The nil UUID (all zeros). */
+    Uuid();
+
+    /** Parse from canonical text; throws FatalError on malformed input. */
+    explicit Uuid(const std::string &text);
+
+    /** Generate a fresh random v4 UUID (process-global entropy). */
+    static Uuid generate();
+
+    /** Generate a v4 UUID from a caller-provided deterministic Rng. */
+    static Uuid generateFrom(Rng &rng);
+
+    /** @return canonical lowercase text form. */
+    const std::string &str() const { return text; }
+
+    /** @return true when this is the nil UUID. */
+    bool isNil() const;
+
+    bool operator==(const Uuid &other) const { return text == other.text; }
+    bool operator!=(const Uuid &other) const { return text != other.text; }
+    bool operator<(const Uuid &other) const { return text < other.text; }
+
+  private:
+    std::string text;
+};
+
+} // namespace g5
+
+#endif // G5_BASE_UUID_HH

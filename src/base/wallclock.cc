@@ -1,0 +1,31 @@
+#include "base/wallclock.hh"
+
+#include <chrono>
+#include <cstdio>
+#include <ctime>
+
+namespace g5
+{
+
+double
+monotonicSeconds()
+{
+    using clock = std::chrono::steady_clock;
+    auto now = clock::now().time_since_epoch();
+    return std::chrono::duration<double>(now).count();
+}
+
+std::string
+isoTimestamp()
+{
+    std::time_t t = std::time(nullptr);
+    std::tm tm_utc;
+    gmtime_r(&t, &tm_utc);
+    char buf[80];
+    std::snprintf(buf, sizeof(buf), "%04d-%02d-%02dT%02d:%02d:%02dZ",
+                  tm_utc.tm_year + 1900, tm_utc.tm_mon + 1, tm_utc.tm_mday,
+                  tm_utc.tm_hour, tm_utc.tm_min, tm_utc.tm_sec);
+    return buf;
+}
+
+} // namespace g5

@@ -1,0 +1,23 @@
+/**
+ * @file
+ * Host wall-clock helpers for timestamps and run-duration accounting.
+ */
+
+#ifndef G5_BASE_WALLCLOCK_HH
+#define G5_BASE_WALLCLOCK_HH
+
+#include <cstdint>
+#include <string>
+
+namespace g5
+{
+
+/** @return seconds (with sub-second precision) since an arbitrary epoch. */
+double monotonicSeconds();
+
+/** @return the current UTC time as an ISO-8601 string (second granularity). */
+std::string isoTimestamp();
+
+} // namespace g5
+
+#endif // G5_BASE_WALLCLOCK_HH

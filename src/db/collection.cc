@@ -1,0 +1,237 @@
+#include "db/collection.hh"
+
+#include "base/logging.hh"
+#include "base/str.hh"
+#include "base/uuid.hh"
+#include "db/query.hh"
+
+namespace g5::db
+{
+
+Collection::Collection(std::string name)
+    : collName(std::move(name))
+{}
+
+std::string
+Collection::indexKey(const Json &value)
+{
+    return value.dump();
+}
+
+void
+Collection::checkUnique(const Json &doc, const std::string &skip_id) const
+{
+    for (const auto &field : uniqueFields) {
+        const Json *v = doc.find(field);
+        if (!v || v->isNull())
+            continue; // sparse semantics
+        for (const auto &other : docs) {
+            if (other.getString("_id") == skip_id)
+                continue;
+            const Json *ov = other.find(field);
+            if (ov && *ov == *v) {
+                throw DuplicateKeyError(
+                    "collection '" + collName + "': duplicate value " +
+                    v->dump() + " for unique field '" + field + "'");
+            }
+        }
+    }
+}
+
+std::string
+Collection::insertOne(Json doc)
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    if (!doc.isObject())
+        fatal("collection '" + collName + "': documents must be objects");
+
+    std::string id = doc.getString("_id");
+    if (id.empty()) {
+        id = Uuid::generate().str();
+        doc["_id"] = id;
+    }
+    if (byId.count(id)) {
+        throw DuplicateKeyError("collection '" + collName +
+                                "': duplicate _id '" + id + "'");
+    }
+    checkUnique(doc, id);
+
+    byId[id] = docs.size();
+    docs.push_back(std::move(doc));
+    return id;
+}
+
+std::vector<Json>
+Collection::find(const Json &query) const
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    std::vector<Json> out;
+    for (const auto &doc : docs)
+        if (matches(doc, query))
+            out.push_back(doc);
+    return out;
+}
+
+Json
+Collection::findOne(const Json &query) const
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    for (const auto &doc : docs)
+        if (matches(doc, query))
+            return doc;
+    return Json();
+}
+
+Json
+Collection::findById(const std::string &id) const
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    auto it = byId.find(id);
+    if (it == byId.end())
+        return Json();
+    return docs[it->second];
+}
+
+std::size_t
+Collection::count(const Json &query) const
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    std::size_t n = 0;
+    for (const auto &doc : docs)
+        if (matches(doc, query))
+            ++n;
+    return n;
+}
+
+bool
+Collection::updateOne(const Json &query, const Json &update)
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    for (auto &doc : docs) {
+        if (!matches(doc, query))
+            continue;
+
+        Json updated = doc;
+        bool has_op = false;
+        if (update.isObject()) {
+            if (update.contains("$set")) {
+                has_op = true;
+                for (const auto &kv : update.at("$set").asObject())
+                    updated[kv.first] = kv.second;
+            }
+            if (update.contains("$inc")) {
+                has_op = true;
+                for (const auto &kv : update.at("$inc").asObject()) {
+                    std::int64_t cur = updated.getInt(kv.first, 0);
+                    updated[kv.first] = cur + kv.second.asInt();
+                }
+            }
+        }
+        if (!has_op) {
+            std::string id = doc.getString("_id");
+            updated = update;
+            updated["_id"] = id;
+        }
+
+        checkUnique(updated, doc.getString("_id"));
+        doc = std::move(updated);
+        return true;
+    }
+    return false;
+}
+
+std::size_t
+Collection::deleteMany(const Json &query)
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    std::vector<Json> kept;
+    std::size_t removed = 0;
+    for (auto &doc : docs) {
+        if (matches(doc, query))
+            ++removed;
+        else
+            kept.push_back(std::move(doc));
+    }
+    docs = std::move(kept);
+    byId.clear();
+    for (std::size_t i = 0; i < docs.size(); ++i)
+        byId[docs[i].getString("_id")] = i;
+    return removed;
+}
+
+void
+Collection::createUniqueIndex(const std::string &field_path)
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    // Verify existing documents first so a bad index never half-applies.
+    std::set<std::string> seen;
+    for (const auto &doc : docs) {
+        const Json *v = doc.find(field_path);
+        if (!v || v->isNull())
+            continue;
+        std::string key = indexKey(*v);
+        if (!seen.insert(key).second) {
+            throw DuplicateKeyError(
+                "collection '" + collName + "': existing duplicates on '" +
+                field_path + "', cannot create unique index");
+        }
+    }
+    uniqueFields.insert(field_path);
+}
+
+std::vector<Json>
+Collection::distinct(const std::string &field_path) const
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    std::map<std::string, Json> seen;
+    for (const auto &doc : docs) {
+        const Json *v = doc.find(field_path);
+        if (v)
+            seen.emplace(indexKey(*v), *v);
+    }
+    std::vector<Json> out;
+    for (auto &kv : seen)
+        out.push_back(std::move(kv.second));
+    return out;
+}
+
+void
+Collection::forEach(const std::function<void(const Json &)> &fn) const
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    for (const auto &doc : docs)
+        fn(doc);
+}
+
+std::string
+Collection::toJsonl() const
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    std::string out;
+    for (const auto &doc : docs) {
+        out += doc.dump();
+        out += '\n';
+    }
+    return out;
+}
+
+void
+Collection::loadJsonl(const std::string &text)
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    docs.clear();
+    byId.clear();
+    for (const auto &line : split(text, '\n')) {
+        std::string t = trim(line);
+        if (t.empty())
+            continue;
+        Json doc = Json::parse(t);
+        std::string id = doc.getString("_id");
+        if (id.empty())
+            fatal("collection '" + collName + "': JSONL doc without _id");
+        byId[id] = docs.size();
+        docs.push_back(std::move(doc));
+    }
+}
+
+} // namespace g5::db

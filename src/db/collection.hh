@@ -1,0 +1,113 @@
+/**
+ * @file
+ * A collection of JSON documents with Mongo-like CRUD and unique indexes.
+ *
+ * Documents are Json objects. Every document carries a string "_id"
+ * (assigned a UUID at insert when absent). Unique indexes over dotted
+ * field paths are enforced at insert/update time — gem5art relies on this
+ * to guarantee that no two distinct artifacts share a content hash.
+ */
+
+#ifndef G5_DB_COLLECTION_HH
+#define G5_DB_COLLECTION_HH
+
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "base/json.hh"
+
+namespace g5::db
+{
+
+/** Raised when an insert/update violates a unique index. */
+class DuplicateKeyError : public std::runtime_error
+{
+  public:
+    explicit DuplicateKeyError(const std::string &msg)
+        : std::runtime_error(msg)
+    {}
+};
+
+class Collection
+{
+  public:
+    explicit Collection(std::string name);
+
+    /** @return the collection's name. */
+    const std::string &name() const { return collName; }
+
+    /**
+     * Insert a document. Assigns a UUID "_id" when absent.
+     * @return the document's _id.
+     * @throws DuplicateKeyError on unique-index or _id collision.
+     */
+    std::string insertOne(Json doc);
+
+    /** @return all documents matching @p query, in insertion order. */
+    std::vector<Json> find(const Json &query) const;
+
+    /** @return the first match, or a null Json when none. */
+    Json findOne(const Json &query) const;
+
+    /** @return the document with the given _id, or null Json. */
+    Json findById(const std::string &id) const;
+
+    /** @return the number of documents matching @p query. */
+    std::size_t count(const Json &query) const;
+
+    /** @return the total number of documents. */
+    std::size_t size() const { return docs.size(); }
+
+    /**
+     * Update the first match with an update spec: {"$set": {...}} and/or
+     * {"$inc": {...}}; a spec without operators replaces the document
+     * (keeping its _id).
+     * @return true when a document was updated.
+     */
+    bool updateOne(const Json &query, const Json &update);
+
+    /** Delete all matches. @return the number of documents removed. */
+    std::size_t deleteMany(const Json &query);
+
+    /**
+     * Enforce uniqueness of a dotted field path. Existing duplicates cause
+     * a DuplicateKeyError. Documents missing the field are exempt
+     * (sparse-index semantics).
+     */
+    void createUniqueIndex(const std::string &field_path);
+
+    /** @return the sorted distinct serialized values of a field path. */
+    std::vector<Json> distinct(const std::string &field_path) const;
+
+    /** Iterate every document (read-only). */
+    void forEach(const std::function<void(const Json &)> &fn) const;
+
+    /** Serialize every document, one compact JSON text per line. */
+    std::string toJsonl() const;
+
+    /** Replace contents from JSONL text (used when loading from disk). */
+    void loadJsonl(const std::string &text);
+
+  private:
+    /** Key a field value for index bookkeeping. */
+    static std::string indexKey(const Json &value);
+
+    void checkUnique(const Json &doc, const std::string &skip_id) const;
+
+    std::string collName;
+    std::vector<Json> docs;
+    std::map<std::string, std::size_t> byId;
+    std::set<std::string> uniqueFields;
+    /** Guards all public operations: collections are shared across
+     *  scheduler workers running gem5 jobs concurrently. */
+    mutable std::mutex mtx;
+};
+
+} // namespace g5::db
+
+#endif // G5_DB_COLLECTION_HH

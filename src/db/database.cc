@@ -1,0 +1,178 @@
+#include "db/database.hh"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "base/logging.hh"
+#include "base/md5.hh"
+#include "base/str.hh"
+
+namespace fs = std::filesystem;
+
+namespace g5::db
+{
+
+namespace
+{
+
+std::string
+readFileOrDie(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        fatal("database: cannot read '" + path + "'");
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+void
+writeFileOrDie(const std::string &path, const std::string &bytes)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out)
+        fatal("database: cannot write '" + path + "'");
+    out.write(bytes.data(), std::streamsize(bytes.size()));
+    if (!out)
+        fatal("database: short write to '" + path + "'");
+}
+
+} // anonymous namespace
+
+Database::Database() = default;
+
+Database::Database(const std::string &dir)
+    : rootDir(dir)
+{
+    fs::create_directories(fs::path(rootDir) / "collections");
+    fs::create_directories(fs::path(rootDir) / "blobs");
+    loadFromDisk();
+}
+
+void
+Database::loadFromDisk()
+{
+    fs::path colls = fs::path(rootDir) / "collections";
+    for (const auto &entry : fs::directory_iterator(colls)) {
+        if (!entry.is_regular_file())
+            continue;
+        fs::path p = entry.path();
+        if (p.extension() != ".jsonl")
+            continue;
+        std::string name = p.stem().string();
+        auto coll = std::make_unique<Collection>(name);
+        coll->loadJsonl(readFileOrDie(p.string()));
+        collections[name] = std::move(coll);
+    }
+}
+
+Collection &
+Database::collection(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    auto it = collections.find(name);
+    if (it == collections.end()) {
+        it = collections
+                 .emplace(name, std::make_unique<Collection>(name))
+                 .first;
+    }
+    return *it->second;
+}
+
+std::vector<std::string>
+Database::collectionNames() const
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    std::vector<std::string> names;
+    for (const auto &kv : collections)
+        names.push_back(kv.first);
+    return names;
+}
+
+std::string
+Database::putBlob(const std::string &bytes)
+{
+    std::string key = Md5::hashBytes(bytes.data(), bytes.size());
+    std::lock_guard<std::mutex> lock(mtx);
+    if (rootDir.empty()) {
+        memBlobs.emplace(key, bytes);
+    } else {
+        fs::path p = fs::path(rootDir) / "blobs" / key;
+        if (!fs::exists(p))
+            writeFileOrDie(p.string(), bytes);
+    }
+    return key;
+}
+
+std::string
+Database::putFile(const std::string &host_path)
+{
+    return putBlob(readFileOrDie(host_path));
+}
+
+bool
+Database::hasBlob(const std::string &md5_key) const
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    if (rootDir.empty())
+        return memBlobs.count(md5_key) > 0;
+    return fs::exists(fs::path(rootDir) / "blobs" / md5_key);
+}
+
+std::string
+Database::getBlob(const std::string &md5_key) const
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    if (rootDir.empty()) {
+        auto it = memBlobs.find(md5_key);
+        if (it == memBlobs.end())
+            fatal("database: unknown blob '" + md5_key + "'");
+        return it->second;
+    }
+    fs::path p = fs::path(rootDir) / "blobs" / md5_key;
+    if (!fs::exists(p))
+        fatal("database: unknown blob '" + md5_key + "'");
+    return readFileOrDie(p.string());
+}
+
+void
+Database::exportBlob(const std::string &md5_key,
+                     const std::string &host_path) const
+{
+    std::string bytes = getBlob(md5_key);
+    fs::path p(host_path);
+    if (p.has_parent_path())
+        fs::create_directories(p.parent_path());
+    writeFileOrDie(host_path, bytes);
+}
+
+std::size_t
+Database::blobCount() const
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    if (rootDir.empty())
+        return memBlobs.size();
+    std::size_t n = 0;
+    for (const auto &entry :
+         fs::directory_iterator(fs::path(rootDir) / "blobs")) {
+        if (entry.is_regular_file())
+            ++n;
+    }
+    return n;
+}
+
+void
+Database::save()
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    if (rootDir.empty())
+        return;
+    for (const auto &kv : collections) {
+        fs::path p = fs::path(rootDir) / "collections" /
+                     (kv.first + ".jsonl");
+        writeFileOrDie(p.string(), kv.second->toJsonl());
+    }
+}
+
+} // namespace g5::db

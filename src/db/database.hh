@@ -1,0 +1,92 @@
+/**
+ * @file
+ * An embedded document database with a content-addressed blob store.
+ *
+ * This is the MongoDB substitute documented in DESIGN.md. It offers the
+ * slice of functionality gem5art needs:
+ *
+ *  - named collections of JSON documents with unique indexes;
+ *  - a blob store keyed by MD5 (GridFS stand-in) for artifact files;
+ *  - durable persistence (a directory of JSONL files + blob files), or a
+ *    purely in-memory mode for tests.
+ *
+ * Thread-safe: a single coarse mutex guards all operations, which is
+ * plenty for the scheduler's worker counts.
+ */
+
+#ifndef G5_DB_DATABASE_HH
+#define G5_DB_DATABASE_HH
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "db/collection.hh"
+
+namespace g5::db
+{
+
+class Database
+{
+  public:
+    /** Create an in-memory database (nothing touches the filesystem). */
+    Database();
+
+    /**
+     * Open (or create) an on-disk database rooted at @p dir. Collections
+     * load from <dir>/collections/ (JSONL); blobs live in <dir>/blobs/.
+     */
+    explicit Database(const std::string &dir);
+
+    /** @return the on-disk root, or "" for in-memory databases. */
+    const std::string &path() const { return rootDir; }
+
+    /** @return the named collection, creating it on first use. */
+    Collection &collection(const std::string &name);
+
+    /** @return the names of all existing collections, sorted. */
+    std::vector<std::string> collectionNames() const;
+
+    /**
+     * Store @p bytes in the blob store.
+     * @return the blob's MD5 hex key. Idempotent.
+     */
+    std::string putBlob(const std::string &bytes);
+
+    /** Store a host file's contents. @return the MD5 key. */
+    std::string putFile(const std::string &host_path);
+
+    /** @return true when a blob with this MD5 key exists. */
+    bool hasBlob(const std::string &md5_key) const;
+
+    /** Fetch blob bytes; throws FatalError when the key is unknown. */
+    std::string getBlob(const std::string &md5_key) const;
+
+    /** Write a blob out to a host file (artifact "downloadFile"). */
+    void exportBlob(const std::string &md5_key,
+                    const std::string &host_path) const;
+
+    /** @return the number of stored blobs. */
+    std::size_t blobCount() const;
+
+    /** Flush all collections to disk (no-op for in-memory databases). */
+    void save();
+
+    /** Acquire the database mutex around a caller-composed transaction. */
+    std::unique_lock<std::mutex> lockGuard() { return
+        std::unique_lock<std::mutex>(mtx); }
+
+  private:
+    void loadFromDisk();
+
+    std::string rootDir;
+    std::map<std::string, std::unique_ptr<Collection>> collections;
+    std::map<std::string, std::string> memBlobs; // in-memory mode only
+    mutable std::mutex mtx;
+};
+
+} // namespace g5::db
+
+#endif // G5_DB_DATABASE_HH

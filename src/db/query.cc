@@ -1,0 +1,179 @@
+#include "db/query.hh"
+
+#include "base/logging.hh"
+
+namespace g5::db
+{
+
+namespace
+{
+
+/** Total order over comparable Json scalars; returns false on mixed types
+ *  other than int/double. Sets @p ok accordingly. */
+int
+compareValues(const Json &a, const Json &b, bool &ok)
+{
+    ok = true;
+    if (a.isNumber() && b.isNumber()) {
+        double x = a.asDouble();
+        double y = b.asDouble();
+        return x < y ? -1 : (x > y ? 1 : 0);
+    }
+    if (a.isString() && b.isString())
+        return a.asString().compare(b.asString());
+    if (a.isBool() && b.isBool())
+        return int(a.asBool()) - int(b.asBool());
+    ok = false;
+    return 0;
+}
+
+bool
+matchOperators(const Json *field, const Json &ops)
+{
+    for (const auto &kv : ops.asObject()) {
+        const std::string &op = kv.first;
+        const Json &operand = kv.second;
+
+        if (op == "$exists") {
+            bool want = operand.isBool() ? operand.asBool() : true;
+            if ((field != nullptr) != want)
+                return false;
+            continue;
+        }
+
+        if (op == "$eq") {
+            if (!field || *field != operand)
+                return false;
+            continue;
+        }
+        if (op == "$ne") {
+            if (field && *field == operand)
+                return false;
+            continue;
+        }
+        if (op == "$in") {
+            if (!operand.isArray())
+                fatal("query: $in needs an array operand");
+            if (!field)
+                return false;
+            bool found = false;
+            for (const auto &cand : operand.asArray()) {
+                if (*field == cand) {
+                    found = true;
+                    break;
+                }
+            }
+            if (!found)
+                return false;
+            continue;
+        }
+        if (op == "$nin") {
+            if (!operand.isArray())
+                fatal("query: $nin needs an array operand");
+            if (field) {
+                for (const auto &cand : operand.asArray())
+                    if (*field == cand)
+                        return false;
+            }
+            continue;
+        }
+
+        if (op == "$gt" || op == "$gte" || op == "$lt" || op == "$lte") {
+            if (!field)
+                return false;
+            bool ok = false;
+            int c = compareValues(*field, operand, ok);
+            if (!ok)
+                return false;
+            if (op == "$gt" && !(c > 0))
+                return false;
+            if (op == "$gte" && !(c >= 0))
+                return false;
+            if (op == "$lt" && !(c < 0))
+                return false;
+            if (op == "$lte" && !(c <= 0))
+                return false;
+            continue;
+        }
+
+        fatal("query: unsupported operator '" + op + "'");
+    }
+    return true;
+}
+
+bool
+isOperatorObject(const Json &v)
+{
+    if (!v.isObject() || v.size() == 0)
+        return false;
+    for (const auto &kv : v.asObject())
+        if (kv.first.empty() || kv.first[0] != '$')
+            return false;
+    return true;
+}
+
+} // anonymous namespace
+
+bool
+matches(const Json &doc, const Json &query)
+{
+    if (!query.isObject())
+        fatal("query: query must be a JSON object");
+
+    for (const auto &kv : query.asObject()) {
+        const std::string &key = kv.first;
+        const Json &cond = kv.second;
+
+        if (key == "$and") {
+            for (const auto &sub : cond.asArray())
+                if (!matches(doc, sub))
+                    return false;
+            continue;
+        }
+        if (key == "$or") {
+            bool any = false;
+            for (const auto &sub : cond.asArray()) {
+                if (matches(doc, sub)) {
+                    any = true;
+                    break;
+                }
+            }
+            if (!any)
+                return false;
+            continue;
+        }
+        if (key == "$not") {
+            if (matches(doc, cond))
+                return false;
+            continue;
+        }
+
+        const Json *field = doc.find(key);
+        if (isOperatorObject(cond)) {
+            if (!matchOperators(field, cond))
+                return false;
+        } else {
+            // Literal equality. An array field also matches when it
+            // contains the literal (Mongo semantics).
+            if (!field)
+                return false;
+            if (*field == cond)
+                continue;
+            if (field->isArray()) {
+                bool found = false;
+                for (const auto &elem : field->asArray()) {
+                    if (elem == cond) {
+                        found = true;
+                        break;
+                    }
+                }
+                if (found)
+                    continue;
+            }
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace g5::db

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Mongo-style query matching over Json documents.
+ *
+ * A query is a Json object whose keys are dotted field paths and whose
+ * values are either literals (equality) or operator objects:
+ *
+ *   {"type": "gem5 binary"}                       — equality
+ *   {"runtime": {"$gt": 10, "$lte": 100}}         — comparisons
+ *   {"name": {"$in": ["parsec", "npb"]}}          — membership
+ *   {"git.hash": {"$exists": true}}               — presence
+ *   {"$or": [{...}, {...}]}, {"$and": [...]}      — boolean combinators
+ *
+ * This is the slice of MongoDB's query language gem5art actually uses.
+ */
+
+#ifndef G5_DB_QUERY_HH
+#define G5_DB_QUERY_HH
+
+#include "base/json.hh"
+
+namespace g5::db
+{
+
+/** @return true when @p doc satisfies @p query. */
+bool matches(const Json &doc, const Json &query);
+
+} // namespace g5::db
+
+#endif // G5_DB_QUERY_HH

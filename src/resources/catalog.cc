@@ -1,0 +1,293 @@
+#include "resources/catalog.hh"
+
+#include "base/logging.hh"
+#include "resources/packer.hh"
+#include "sim/fs/guest_abi.hh"
+#include "sim/isa/builder.hh"
+#include "sim/fs/known_issues.hh"
+#include "workloads/parsec.hh"
+#include "workloads/suites.hh"
+
+namespace g5::resources
+{
+
+const char *
+resourceTypeName(ResourceType t)
+{
+    switch (t) {
+      case ResourceType::Benchmark:
+        return "Benchmark";
+      case ResourceType::BenchmarkTest:
+        return "Benchmark / Test";
+      case ResourceType::Test:
+        return "Test";
+      case ResourceType::Kernel:
+        return "Kernel";
+      case ResourceType::Application:
+        return "Application";
+      case ResourceType::Environment:
+        return "Environment";
+    }
+    return "?";
+}
+
+Json
+ResourceEntry::toJson() const
+{
+    Json j = Json::object();
+    j["name"] = name;
+    j["type"] = resourceTypeName(type);
+    j["description"] = description;
+    if (!variant.empty())
+        j["variant"] = variant;
+    j["requiresLicense"] = requiresLicense;
+    return j;
+}
+
+const std::vector<ResourceEntry> &
+catalog()
+{
+    using RT = ResourceType;
+    static const std::vector<ResourceEntry> entries = {
+        {"boot-exit", RT::BenchmarkTest,
+         "Scripts and binaries capable of completing and exiting the "
+         "booting process of a Linux kernel with an Ubuntu 18.04 Server "
+         "user-land in full-system mode; serves as the FS-mode test "
+         "suite.",
+         "", false},
+        {"gapbs", RT::Benchmark,
+         "Scripts, binaries, and documentation for running the GAP "
+         "Benchmark Suite in full-system mode.",
+         "", false},
+        {"hack-back", RT::Benchmark,
+         "Creates a checkpoint after boot and then executes a "
+         "host-provided script inside full-system simulation.",
+         "", false},
+        {"linux-kernel", RT::Kernel,
+         "Kernel configurations and documentation for compiling Linux "
+         "kernels known to boot in the simulator.",
+         "", false},
+        {"npb", RT::Benchmark,
+         "Scripts, binaries, and documentation for running the NAS "
+         "Parallel Benchmarks in full-system mode.",
+         "", false},
+        {"parsec", RT::Benchmark,
+         "Scripts, binaries, and documentation for running the PARSEC "
+         "benchmark suite with a Linux kernel and Ubuntu user-land in "
+         "full-system mode.",
+         "", false},
+        {"riscv-fs", RT::Test,
+         "Scripts and documentation to build a RISC-V bbl + kernel "
+         "payload and disk image for full-system simulation.",
+         "", false},
+        {"spec-2006", RT::Benchmark,
+         "Scripts for running SPEC CPU 2006 in full-system mode. "
+         "Licensing forbids distributing pre-made disk images.",
+         "", true},
+        {"spec-2017", RT::Benchmark,
+         "Scripts for running SPEC CPU 2017 in full-system mode. "
+         "Licensing forbids distributing pre-made disk images.",
+         "", true},
+        {"GCN-docker", RT::Environment,
+         "A container image with ROCm 1.6 and GCC 5.4 for building and "
+         "running GPU applications on the simulated GCN3 GPU.",
+         "GCN3_X86", false},
+        {"HeteroSync", RT::Benchmark,
+         "A benchmark suite for fine-grained synchronization on "
+         "tightly-coupled GPUs.",
+         "GCN3_X86", false},
+        {"DNNMark", RT::Benchmark,
+         "A benchmark framework characterizing primitive deep neural "
+         "network workloads.",
+         "GCN3_X86", false},
+        {"halo-finder", RT::Application,
+         "Part of the HACC code base; GPU-accelerated halo finding.",
+         "GCN3_X86", false},
+        {"Pennant", RT::Application,
+         "An unstructured-mesh GPU mini-app for advanced architecture "
+         "research.",
+         "GCN3_X86", false},
+        {"LULESH", RT::Application,
+         "A DOE proxy application for hydrodynamics modeling.",
+         "GCN3_X86", false},
+        {"hip-samples", RT::Application,
+         "Applications introducing GPU programming concepts usable in "
+         "ROCm HIP.",
+         "GCN3_X86", false},
+        {"gem5-tests", RT::Test,
+         "asmtest (RISC-V), insttest (SPARC), riscv-tests, simple "
+         "(m5ops / semi-hosting), and square (AMD GPU) test binaries.",
+         "", false},
+    };
+    return entries;
+}
+
+const ResourceEntry *
+findResource(const std::string &name)
+{
+    for (const auto &entry : catalog())
+        if (entry.name == name)
+            return &entry;
+    return nullptr;
+}
+
+sim::fs::DiskImagePtr
+buildBootExitImage()
+{
+    PackerBuilder pb("boot-exit.json");
+    pb.baseOs("ubuntu", "18.04", "4.15.18", "gcc-7.4")
+        .file("/etc/os-release",
+              "NAME=\"Ubuntu\"\nVERSION=\"18.04 LTS\"\n")
+        .file("/root/README",
+              "boot-exit: boots the kernel and exits via an m5 op; no "
+              "benchmark payload.")
+        .file("/sbin/m5-exit.sh", "#!/bin/sh\nm5 exit\n");
+    return pb.build();
+}
+
+sim::fs::DiskImagePtr
+buildHackBackImage(sim::isa::ProgramPtr host_script)
+{
+    if (!host_script) {
+        sim::isa::ProgramBuilder pb("hack_back_default.sh");
+        pb.movi(1, pb.str("hack-back: hello from the host script"));
+        pb.syscall(sim::fs::SYS_WRITE);
+        pb.movi(1, 0);
+        pb.syscall(sim::fs::SYS_EXIT);
+        host_script = pb.finish();
+    }
+
+    PackerBuilder pb("hack-back.json");
+    pb.baseOs("ubuntu", "18.04", "4.15.18", "gcc-7.4")
+        .file("/etc/os-release",
+              "NAME=\"Ubuntu\"\nVERSION=\"18.04 LTS\"\n")
+        .file("/root/README",
+              "hack-back: checkpoints after boot, then executes the "
+              "script the host placed at /root/hack_back.sh.")
+        .provision("install host script",
+                   [host_script](sim::fs::DiskImage &img) {
+                       img.addProgram("/root/hack_back.sh",
+                                      host_script);
+                   });
+    return pb.build();
+}
+
+sim::fs::DiskImagePtr
+buildParsecImage(const std::string &ubuntu_release)
+{
+    workloads::OsProfile os;
+    if (ubuntu_release == "18.04")
+        os = workloads::ubuntu1804();
+    else if (ubuntu_release == "20.04")
+        os = workloads::ubuntu2004();
+    else
+        fatal("buildParsecImage: unsupported Ubuntu release '" +
+              ubuntu_release + "'");
+
+    PackerBuilder pb("parsec/parsec-" + ubuntu_release + ".json");
+    pb.baseOs("ubuntu", os.release, os.kernel, os.compiler.name)
+        .file("/etc/os-release", "NAME=\"Ubuntu\"\nVERSION=\"" +
+                                     os.release + " LTS\"\n")
+        .file("/parsec/README",
+              "PARSEC 3.0 built from source with " + os.compiler.name +
+                  "; inputs: simmedium.");
+
+    // "Compile and install" every suite application with the release's
+    // toolchain — the step gem5-resources performs inside Packer.
+    for (const auto &app : workloads::parsecSuite()) {
+        pb.provision(
+            "build " + app.name + " with " + os.compiler.name,
+            [app, os](sim::fs::DiskImage &img) {
+                img.addProgram("/parsec/bin/" + app.name,
+                               workloads::compileParsecApp(app, os));
+            });
+    }
+    return pb.build();
+}
+
+namespace
+{
+
+sim::fs::DiskImagePtr
+buildSuiteImage(const std::string &suite_name,
+                const std::vector<workloads::ParsecAppSpec> &suite,
+                const std::string &bin_dir)
+{
+    workloads::OsProfile os = workloads::ubuntu1804();
+    PackerBuilder pb(suite_name + "/" + suite_name + ".json");
+    pb.baseOs("ubuntu", os.release, os.kernel, os.compiler.name)
+        .file("/etc/os-release",
+              "NAME=\"Ubuntu\"\nVERSION=\"18.04 LTS\"\n")
+        .file(bin_dir + "/README",
+              suite_name + " built from source with " +
+                  os.compiler.name + ".");
+    for (const auto &app : suite) {
+        pb.provision("build " + app.name + " with " + os.compiler.name,
+                     [app, os, bin_dir](sim::fs::DiskImage &img) {
+                         img.addProgram(
+                             bin_dir + "/" + app.name,
+                             workloads::compileParsecApp(app, os));
+                     });
+    }
+    return pb.build();
+}
+
+} // anonymous namespace
+
+sim::fs::DiskImagePtr
+buildNpbImage()
+{
+    return buildSuiteImage("npb", workloads::npbSuite(), "/npb/bin");
+}
+
+sim::fs::DiskImagePtr
+buildGapbsImage()
+{
+    return buildSuiteImage("gapbs", workloads::gapbsSuite(),
+                           "/gapbs/bin");
+}
+
+sim::fs::DiskImagePtr
+buildSpecImage(const std::string &year,
+               std::optional<std::string> license_iso)
+{
+    if (year != "2006" && year != "2017")
+        fatal("buildSpecImage: unknown SPEC CPU year '" + year + "'");
+    if (!license_iso || license_iso->empty()) {
+        fatal("spec-" + year +
+              ": licensing forbids pre-made disk images; provide your "
+              "licensed SPEC .iso to build one locally");
+    }
+
+    PackerBuilder pb("spec-" + year + "/spec.json");
+    pb.baseOs("ubuntu", "18.04", "4.15.18", "gcc-7.4")
+        .file("/spec/iso-source", *license_iso)
+        .file("/spec/README",
+              "SPEC CPU " + year + " installed from user-provided ISO.");
+    // A representative subset stands in for the licensed binaries.
+    for (const auto &app : workloads::parsecSuite()) {
+        pb.provision("install spec surrogate " + app.name,
+                     [app](sim::fs::DiskImage &img) {
+                         img.addProgram(
+                             "/spec/bin/" + app.name,
+                             workloads::compileParsecApp(
+                                 app, workloads::ubuntu1804()));
+                     });
+        break; // one surrogate binary is enough to make the image real
+    }
+    return pb.build();
+}
+
+const std::vector<std::string> &
+supportedKernels()
+{
+    static const std::vector<std::string> kernels = [] {
+        std::vector<std::string> v = sim::fs::fig8Kernels();
+        v.push_back("4.15.18"); // Ubuntu 18.04 (use-case 1)
+        v.push_back("5.4.51");  // Ubuntu 20.04 (use-case 1)
+        return v;
+    }();
+    return kernels;
+}
+
+} // namespace g5::resources

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * The g5-resources catalog — the Table I inventory of known-good
+ * simulation inputs, with the metadata the paper's resource listing
+ * carries (name, type, description) plus the machinery to materialize
+ * each resource as concrete files (disk images, kernel binaries, run
+ * configurations).
+ *
+ * Proprietary suites (SPEC CPU 2006/2017) follow the paper's policy:
+ * the catalog carries the build scripts, but materializing the disk
+ * image requires the caller to present a licensed source (simulated by
+ * a licence token), otherwise materialization refuses.
+ */
+
+#ifndef G5_RESOURCES_CATALOG_HH
+#define G5_RESOURCES_CATALOG_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "base/json.hh"
+#include "sim/fs/disk_image.hh"
+
+namespace g5::resources
+{
+
+/** Resource classes from Table I. */
+enum class ResourceType {
+    Benchmark,
+    BenchmarkTest,  ///< "Benchmark / Test" (boot-exit)
+    Test,
+    Kernel,
+    Application,
+    Environment,
+};
+
+const char *resourceTypeName(ResourceType t);
+
+/** One catalog row (a Table I entry). */
+struct ResourceEntry
+{
+    std::string name;
+    ResourceType type;
+    std::string description;
+    /** The gem5 variant it targets ("", or "GCN3_X86"). */
+    std::string variant;
+    /** True when licensing forbids shipping pre-built images. */
+    bool requiresLicense = false;
+
+    Json toJson() const;
+};
+
+/** The full Table I catalog (16 entries, in table order). */
+const std::vector<ResourceEntry> &catalog();
+
+/** Look up an entry by name; nullptr when unknown. */
+const ResourceEntry *findResource(const std::string &name);
+
+/**
+ * Materializers: build the actual artifact bytes for the resources the
+ * use cases consume. Each returns deterministic content, so artifact
+ * hashes are stable.
+ */
+
+/** Build the boot-exit disk image (use-case 2). */
+sim::fs::DiskImagePtr buildBootExitImage();
+
+/**
+ * Build the hack-back disk image: a checkpoint is taken right after
+ * boot, then the guest executes a host-provided script (program index
+ * 0 on the image). Restore the checkpoint against an image built with
+ * a different @p host_script to run new work without re-booting.
+ * @param host_script the script to install; nullptr installs a default
+ *        "hello from hack-back" script.
+ */
+sim::fs::DiskImagePtr
+buildHackBackImage(sim::isa::ProgramPtr host_script = nullptr);
+
+/**
+ * Build a PARSEC disk image for the given Ubuntu release ("18.04" or
+ * "20.04") — benchmarks compiled with that release's toolchain
+ * (use-case 1).
+ */
+sim::fs::DiskImagePtr buildParsecImage(const std::string &ubuntu_release);
+
+/** Build the NPB disk image (class S, Ubuntu 18.04 toolchain). */
+sim::fs::DiskImagePtr buildNpbImage();
+
+/** Build the GAPBS disk image (Ubuntu 18.04 toolchain). */
+sim::fs::DiskImagePtr buildGapbsImage();
+
+/**
+ * Build a SPEC CPU disk image ("2006" or "2017").
+ * @param license_iso a caller-provided licensed source token; pass
+ *        std::nullopt to observe the licensing refusal.
+ * @throws FatalError when no licence token is supplied.
+ */
+sim::fs::DiskImagePtr buildSpecImage(const std::string &year,
+                                     std::optional<std::string> license_iso);
+
+/** The linux-kernel resource: supported version strings. */
+const std::vector<std::string> &supportedKernels();
+
+} // namespace g5::resources
+
+#endif // G5_RESOURCES_CATALOG_HH

@@ -1,0 +1,338 @@
+#include "resources/guest_tests.hh"
+
+#include "resources/packer.hh"
+#include "sim/fs/guest_abi.hh"
+#include "sim/isa/builder.hh"
+
+namespace g5::resources
+{
+
+using sim::isa::ProgramBuilder;
+using sim::isa::ProgramPtr;
+using namespace sim::fs;
+
+namespace
+{
+
+/**
+ * Check helper: compare r10 against an expected constant; on mismatch
+ * fail the run with the check's ordinal as the exit code.
+ */
+class TestWriter
+{
+  public:
+    explicit TestWriter(const std::string &name)
+        : pb(name)
+    {
+        pb.movi(9, 0);
+    }
+
+    ProgramBuilder pb;
+
+    void
+    expect(std::int64_t expected)
+    {
+        ++checkNo;
+        auto pass = pb.newLabel();
+        pb.movi(11, expected);
+        pb.beq(10, 11, pass);
+        pb.movi(1, checkNo);
+        pb.m5op(M5_FAIL);
+        pb.halt();
+        pb.bind(pass);
+    }
+
+    ProgramPtr
+    finish(const std::string &pass_msg)
+    {
+        pb.movi(1, pb.str(pass_msg));
+        pb.syscall(SYS_WRITE);
+        pb.m5op(M5_EXIT);
+        pb.halt();
+        return pb.finish();
+    }
+
+  private:
+    int checkNo = 0;
+};
+
+ProgramPtr
+asmtestAlu()
+{
+    TestWriter t("asmtest-alu");
+    auto &pb = t.pb;
+
+    pb.movi(2, 1000);
+    pb.movi(3, 37);
+    pb.add(10, 2, 3);
+    t.expect(1037);
+    pb.sub(10, 2, 3);
+    t.expect(963);
+    pb.mul(10, 2, 3);
+    t.expect(37000);
+    pb.div(10, 2, 3);
+    t.expect(27);
+    pb.div(10, 2, 9); // divide by zero yields 0 by ISA definition
+    t.expect(0);
+    pb.movi(2, 0b110101);
+    pb.movi(3, 0b011110);
+    pb.and_(10, 2, 3);
+    t.expect(0b010100);
+    pb.or_(10, 2, 3);
+    t.expect(0b111111);
+    pb.xor_(10, 2, 3);
+    t.expect(0b101011);
+    pb.movi(2, -1);
+    pb.movi(3, 62);
+    pb.shr(10, 2, 3); // logical shift of all-ones
+    t.expect(3);
+    pb.movi(2, 5);
+    pb.movi(3, 3);
+    pb.shl(10, 2, 3);
+    t.expect(40);
+    pb.movi(2, -9);
+    pb.addi(10, 2, 4);
+    t.expect(-5);
+    pb.muli(10, 2, -3);
+    t.expect(27);
+    return t.finish("asmtest-alu: all checks passed");
+}
+
+ProgramPtr
+asmtestBranch()
+{
+    TestWriter t("asmtest-branch");
+    auto &pb = t.pb;
+
+    // Counted loop: sum 1..100 == 5050.
+    pb.movi(2, 100);
+    pb.movi(10, 0);
+    auto loop = pb.newLabel();
+    auto done = pb.newLabel();
+    pb.bind(loop);
+    pb.beq(2, 9, done);
+    pb.add(10, 10, 2);
+    pb.addi(2, 2, -1);
+    pb.jmp(loop);
+    pb.bind(done);
+    t.expect(5050);
+
+    // Signed comparisons around zero.
+    pb.movi(2, -1);
+    pb.movi(3, 1);
+    pb.movi(10, 0);
+    auto not_taken = pb.newLabel();
+    pb.bge(2, 3, not_taken); // -1 >= 1 must NOT branch
+    pb.movi(10, 7);
+    pb.bind(not_taken);
+    t.expect(7);
+
+    pb.movi(10, 0);
+    auto taken = pb.newLabel();
+    auto after = pb.newLabel();
+    pb.blt(2, 3, taken); // -1 < 1 must branch
+    pb.jmp(after);
+    pb.bind(taken);
+    pb.movi(10, 13);
+    pb.bind(after);
+    t.expect(13);
+    return t.finish("asmtest-branch: all checks passed");
+}
+
+ProgramPtr
+asmtestMem()
+{
+    TestWriter t("asmtest-mem");
+    auto &pb = t.pb;
+    constexpr std::int64_t base = 0x20000;
+
+    pb.movi(2, base);
+    pb.movi(3, 1234);
+    pb.st(2, 0, 3);
+    pb.ld(10, 2, 0);
+    t.expect(1234);
+
+    // Aliasing through different base+offset pairs.
+    pb.movi(4, base - 64);
+    pb.ld(10, 4, 64);
+    t.expect(1234);
+
+    // Store/load different offsets stay independent.
+    pb.movi(3, 77);
+    pb.st(2, 8, 3);
+    pb.ld(10, 2, 0);
+    t.expect(1234);
+    pb.ld(10, 2, 8);
+    t.expect(77);
+
+    // Atomic fetch-add returns the OLD value and applies the delta.
+    pb.movi(3, 10);
+    pb.amo(10, 2, 0, 3);
+    t.expect(1234);
+    pb.ld(10, 2, 0);
+    t.expect(1244);
+    // Negative delta.
+    pb.movi(3, -244);
+    pb.amo(10, 2, 0, 3);
+    t.expect(1244);
+    pb.ld(10, 2, 0);
+    t.expect(1000);
+    return t.finish("asmtest-mem: all checks passed");
+}
+
+ProgramPtr
+insttestShift()
+{
+    TestWriter t("insttest-shift");
+    auto &pb = t.pb;
+    // Shift-amount masking (mod 64).
+    pb.movi(2, 1);
+    pb.movi(3, 64); // 64 & 63 == 0
+    pb.shl(10, 2, 3);
+    t.expect(1);
+    pb.movi(3, 65); // 65 & 63 == 1
+    pb.shl(10, 2, 3);
+    t.expect(2);
+    pb.movi(2, std::int64_t(0x8000000000000000ULL));
+    pb.movi(3, 63);
+    pb.shr(10, 2, 3);
+    t.expect(1);
+    return t.finish("insttest-shift: all checks passed");
+}
+
+ProgramPtr
+simpleM5ops()
+{
+    TestWriter t("simple-m5ops");
+    auto &pb = t.pb;
+    pb.m5op(M5_RESET_STATS);
+    pb.m5op(M5_WORK_BEGIN);
+    pb.movi(2, 1000);
+    auto loop = pb.newLabel();
+    auto done = pb.newLabel();
+    pb.bind(loop);
+    pb.beq(2, 9, done);
+    pb.addi(2, 2, -1);
+    pb.jmp(loop);
+    pb.bind(done);
+    pb.m5op(M5_WORK_END);
+    pb.movi(10, 1);
+    t.expect(1); // the ops must not disturb architectural state
+    return t.finish("simple: m5ops exercised");
+}
+
+ProgramPtr
+squareTest()
+{
+    TestWriter t("square");
+    auto &pb = t.pb;
+    constexpr std::int64_t in = 0x30000, out = 0x40000;
+
+    // Fill in[i] = i, compute out[i] = i*i, then checksum.
+    pb.movi(2, 64); // n
+    pb.movi(4, in);
+    pb.movi(5, out);
+    pb.movi(6, 0); // i
+    auto fill = pb.newLabel();
+    auto fill_done = pb.newLabel();
+    pb.bind(fill);
+    pb.bge(6, 2, fill_done);
+    pb.muli(7, 6, 8);
+    pb.add(8, 4, 7);
+    pb.st(8, 0, 6);
+    pb.addi(6, 6, 1);
+    pb.jmp(fill);
+    pb.bind(fill_done);
+
+    pb.movi(6, 0);
+    auto sq = pb.newLabel();
+    auto sq_done = pb.newLabel();
+    pb.bind(sq);
+    pb.bge(6, 2, sq_done);
+    pb.muli(7, 6, 8);
+    pb.add(8, 4, 7);
+    pb.ld(12, 8, 0);
+    pb.mul(12, 12, 12);
+    pb.add(8, 5, 7);
+    pb.st(8, 0, 12);
+    pb.addi(6, 6, 1);
+    pb.jmp(sq);
+    pb.bind(sq_done);
+
+    pb.movi(6, 0);
+    pb.movi(10, 0);
+    auto sum = pb.newLabel();
+    auto sum_done = pb.newLabel();
+    pb.bind(sum);
+    pb.bge(6, 2, sum_done);
+    pb.muli(7, 6, 8);
+    pb.add(8, 5, 7);
+    pb.ld(12, 8, 0);
+    pb.add(10, 10, 12);
+    pb.addi(6, 6, 1);
+    pb.jmp(sum);
+    pb.bind(sum_done);
+    // sum of squares 0..63 = 63*64*127/6 = 85344
+    t.expect(85344);
+    return t.finish("square: vector squared correctly");
+}
+
+ProgramPtr
+riscvTestsTorture()
+{
+    TestWriter t("riscv-tests-torture");
+    auto &pb = t.pb;
+    // An LCG iterated 10k times has a known final value; any mis-
+    // executed instruction anywhere in the chain changes it.
+    pb.movi(2, 12345);
+    pb.movi(3, 10000);
+    auto loop = pb.newLabel();
+    auto done = pb.newLabel();
+    pb.bind(loop);
+    pb.beq(3, 9, done);
+    pb.muli(2, 2, 1103515245);
+    pb.addi(2, 2, 12345);
+    pb.movi(4, 0x7fffffff);
+    pb.and_(2, 2, 4);
+    pb.addi(3, 3, -1);
+    pb.jmp(loop);
+    pb.bind(done);
+    pb.mov(10, 2);
+    t.expect(1387838121); // precomputed reference value
+    return t.finish("riscv-tests: torture chain matched");
+}
+
+} // anonymous namespace
+
+const std::vector<std::pair<std::string, ProgramPtr>> &
+guestTestPrograms()
+{
+    static const std::vector<std::pair<std::string, ProgramPtr>> tests =
+        {
+            {"asmtest-alu", asmtestAlu()},
+            {"asmtest-branch", asmtestBranch()},
+            {"asmtest-mem", asmtestMem()},
+            {"insttest-shift", insttestShift()},
+            {"simple-m5ops", simpleM5ops()},
+            {"square", squareTest()},
+            {"riscv-tests-torture", riscvTestsTorture()},
+        };
+    return tests;
+}
+
+sim::fs::DiskImagePtr
+buildGem5TestsImage()
+{
+    PackerBuilder pb("gem5-tests.json");
+    pb.baseOs("ubuntu", "18.04", "4.15.18", "gcc-7.4");
+    for (const auto &test : guestTestPrograms()) {
+        pb.provision("install " + test.first,
+                     [test](sim::fs::DiskImage &img) {
+                         img.addProgram("/tests/" + test.first,
+                                        test.second);
+                     });
+    }
+    return pb.build();
+}
+
+} // namespace g5::resources

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * The gem5-tests resource: self-checking guest programs, the analogue
+ * of gem5-resources' asmtest / insttest / riscv-tests / simple /
+ * square binaries.
+ *
+ * Each program verifies a slice of the ISA or the m5-op interface from
+ * *inside* the guest: it computes results, compares them against
+ * expectations baked in at "compile" time, and signals a mismatch with
+ * an m5 fail op (non-zero exit code). Running them across every CPU
+ * model is how the simulator validates that timing models never change
+ * architectural behaviour.
+ */
+
+#ifndef G5_RESOURCES_GUEST_TESTS_HH
+#define G5_RESOURCES_GUEST_TESTS_HH
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/fs/disk_image.hh"
+#include "sim/isa/program.hh"
+
+namespace g5::resources
+{
+
+/** All guest self-tests: (name, program). */
+const std::vector<std::pair<std::string, sim::isa::ProgramPtr>> &
+guestTestPrograms();
+
+/** Build the gem5-tests disk image (one binary per test). */
+sim::fs::DiskImagePtr buildGem5TestsImage();
+
+} // namespace g5::resources
+
+#endif // G5_RESOURCES_GUEST_TESTS_HH

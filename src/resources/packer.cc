@@ -1,0 +1,66 @@
+#include "resources/packer.hh"
+
+namespace g5::resources
+{
+
+PackerBuilder::PackerBuilder(std::string template_name)
+    : templateName(std::move(template_name))
+{
+    osInfo = Json::object();
+}
+
+PackerBuilder &
+PackerBuilder::baseOs(const std::string &name, const std::string &release,
+                      const std::string &kernel,
+                      const std::string &compiler)
+{
+    osInfo["name"] = name;
+    osInfo["release"] = release;
+    osInfo["kernel"] = kernel;
+    osInfo["compiler"] = compiler;
+    return *this;
+}
+
+PackerBuilder &
+PackerBuilder::provision(const std::string &step_name, Step step)
+{
+    steps.emplace_back(step_name, std::move(step));
+    return *this;
+}
+
+PackerBuilder &
+PackerBuilder::file(const std::string &path, const std::string &contents)
+{
+    return provision("file: " + path,
+                     [path, contents](sim::fs::DiskImage &img) {
+                         img.addDataFile(path, contents);
+                     });
+}
+
+sim::fs::DiskImagePtr
+PackerBuilder::build() const
+{
+    auto img = std::make_shared<sim::fs::DiskImage>();
+    img->setOsInfo(osInfo);
+    img->addProvenance("packer template: " + templateName);
+    for (const auto &step : steps) {
+        step.second(*img);
+        img->addProvenance(step.first);
+    }
+    return img;
+}
+
+Json
+PackerBuilder::templateJson() const
+{
+    Json j = Json::object();
+    j["template"] = templateName;
+    j["os"] = osInfo;
+    Json names = Json::array();
+    for (const auto &step : steps)
+        names.push(step.first);
+    j["provisioners"] = std::move(names);
+    return j;
+}
+
+} // namespace g5::resources

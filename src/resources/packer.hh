@@ -1,0 +1,59 @@
+/**
+ * @file
+ * PackerBuilder — the Packer substitute: scripted, reproducible disk
+ * image builds.
+ *
+ * A build is a named template plus an ordered list of provisioning
+ * steps; running it produces an S5DK DiskImage whose provenance section
+ * records every step, so anyone holding the template can regenerate a
+ * bit-identical image (the role Packer scripts play in gem5-resources).
+ */
+
+#ifndef G5_RESOURCES_PACKER_HH
+#define G5_RESOURCES_PACKER_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "base/json.hh"
+#include "sim/fs/disk_image.hh"
+
+namespace g5::resources
+{
+
+class PackerBuilder
+{
+  public:
+    using Step = std::function<void(sim::fs::DiskImage &)>;
+
+    explicit PackerBuilder(std::string template_name);
+
+    /** Set the base OS the image installs ("ubuntu", "18.04", ...). */
+    PackerBuilder &baseOs(const std::string &name,
+                          const std::string &release,
+                          const std::string &kernel,
+                          const std::string &compiler);
+
+    /** Add a named provisioning step (an "inline shell" equivalent). */
+    PackerBuilder &provision(const std::string &step_name, Step step);
+
+    /** Add a plain file (a "file provisioner"). */
+    PackerBuilder &file(const std::string &path,
+                        const std::string &contents);
+
+    /** Run the template. May be called repeatedly; deterministic. */
+    sim::fs::DiskImagePtr build() const;
+
+    /** The template itself, as JSON (the "Packer script"). */
+    Json templateJson() const;
+
+  private:
+    std::string templateName;
+    Json osInfo;
+    std::vector<std::pair<std::string, Step>> steps;
+};
+
+} // namespace g5::resources
+
+#endif // G5_RESOURCES_PACKER_HH

@@ -1,0 +1,228 @@
+#include "scheduler/task_queue.hh"
+
+#include "base/logging.hh"
+#include "base/wallclock.hh"
+
+namespace g5::scheduler
+{
+
+const char *
+taskStateName(TaskState s)
+{
+    switch (s) {
+      case TaskState::Pending:
+        return "PENDING";
+      case TaskState::Running:
+        return "RUNNING";
+      case TaskState::Success:
+        return "SUCCESS";
+      case TaskState::Failure:
+        return "FAILURE";
+      case TaskState::Timeout:
+        return "TIMEOUT";
+    }
+    return "UNKNOWN";
+}
+
+void
+CancelToken::arm(double seconds)
+{
+    deadline = seconds > 0 ? monotonicSeconds() + seconds : 0;
+}
+
+bool
+CancelToken::expired() const
+{
+    if (cancelled.load())
+        return true;
+    return deadline > 0 && monotonicSeconds() > deadline;
+}
+
+void
+CancelToken::checkpoint() const
+{
+    if (expired())
+        throw TaskTimeout("task exceeded its timeout");
+}
+
+TaskFuture::TaskFuture(std::string name, TaskFn fn, double timeout_s)
+    : taskName(std::move(name)), fn(std::move(fn)),
+      timeoutSeconds(timeout_s)
+{}
+
+void
+TaskFuture::wait()
+{
+    std::unique_lock<std::mutex> lock(mtx);
+    cv.wait(lock, [this] {
+        return st != TaskState::Pending && st != TaskState::Running;
+    });
+}
+
+TaskState
+TaskFuture::state() const
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    return st;
+}
+
+Json
+TaskFuture::result()
+{
+    wait();
+    std::lock_guard<std::mutex> lock(mtx);
+    return payload;
+}
+
+std::string
+TaskFuture::error()
+{
+    wait();
+    std::lock_guard<std::mutex> lock(mtx);
+    return errMsg;
+}
+
+double
+TaskFuture::wallSeconds()
+{
+    wait();
+    std::lock_guard<std::mutex> lock(mtx);
+    return wallSecs;
+}
+
+void
+TaskFuture::execute()
+{
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        st = TaskState::Running;
+    }
+    token.arm(timeoutSeconds);
+    double start = monotonicSeconds();
+
+    TaskState final_state;
+    Json final_payload;
+    std::string final_err;
+    try {
+        final_payload = fn(token);
+        final_state = TaskState::Success;
+    } catch (const TaskTimeout &e) {
+        final_state = TaskState::Timeout;
+        final_err = e.what();
+    } catch (const std::exception &e) {
+        final_state = TaskState::Failure;
+        final_err = e.what();
+    } catch (...) {
+        final_state = TaskState::Failure;
+        final_err = "unknown exception";
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        st = final_state;
+        payload = std::move(final_payload);
+        errMsg = std::move(final_err);
+        wallSecs = monotonicSeconds() - start;
+    }
+    cv.notify_all();
+}
+
+TaskQueue::TaskQueue(unsigned workers, Backend backend)
+    : backend(backend)
+{
+    if (backend == Backend::Threaded) {
+        if (workers == 0)
+            fatal("TaskQueue: Threaded backend needs >= 1 worker");
+        for (unsigned i = 0; i < workers; ++i)
+            threads.emplace_back([this] { workerLoop(); });
+    }
+}
+
+TaskQueue::~TaskQueue()
+{
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        shuttingDown = true;
+    }
+    cv.notify_all();
+    for (auto &t : threads)
+        t.join();
+}
+
+TaskFuturePtr
+TaskQueue::applyAsync(const std::string &name, TaskFn fn, double timeout_s)
+{
+    auto fut = std::make_shared<TaskFuture>(name, std::move(fn), timeout_s);
+    if (backend == Backend::Inline) {
+        {
+            std::lock_guard<std::mutex> lock(mtx);
+            all.push_back(fut);
+        }
+        fut->execute();
+        return fut;
+    }
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        if (shuttingDown)
+            fatal("TaskQueue: applyAsync after shutdown");
+        pending.push_back(fut);
+        all.push_back(fut);
+    }
+    cv.notify_one();
+    return fut;
+}
+
+void
+TaskQueue::workerLoop()
+{
+    for (;;) {
+        TaskFuturePtr task;
+        {
+            std::unique_lock<std::mutex> lock(mtx);
+            cv.wait(lock,
+                    [this] { return shuttingDown || !pending.empty(); });
+            if (pending.empty()) {
+                if (shuttingDown)
+                    return;
+                continue;
+            }
+            task = pending.front();
+            pending.pop_front();
+            ++running;
+        }
+        task->execute();
+        {
+            std::lock_guard<std::mutex> lock(mtx);
+            --running;
+        }
+        cv.notify_all();
+    }
+}
+
+void
+TaskQueue::waitAll()
+{
+    if (backend == Backend::Inline)
+        return; // inline tasks finished at submit time
+    std::unique_lock<std::mutex> lock(mtx);
+    cv.wait(lock, [this] { return pending.empty() && running == 0; });
+}
+
+Json
+TaskQueue::summary() const
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    int counts[5] = {0, 0, 0, 0, 0};
+    for (const auto &t : all)
+        ++counts[int(t->state())];
+    Json out = Json::object();
+    out["PENDING"] = counts[0];
+    out["RUNNING"] = counts[1];
+    out["SUCCESS"] = counts[2];
+    out["FAILURE"] = counts[3];
+    out["TIMEOUT"] = counts[4];
+    out["total"] = std::int64_t(all.size());
+    return out;
+}
+
+} // namespace g5::scheduler

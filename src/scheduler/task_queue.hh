@@ -1,0 +1,168 @@
+/**
+ * @file
+ * A job scheduler in the role Celery / Python multiprocessing play for
+ * gem5art: accept an unbounded stream of independent simulation jobs,
+ * run them on a bounded worker pool, track per-task state, and enforce
+ * per-task timeouts.
+ *
+ * Timeouts are cooperative: each job receives a CancelToken and long-
+ * running code (the sim5 event loop) polls it. When the deadline passes,
+ * the next poll throws TaskTimeout, unwinding the job — the moral
+ * equivalent of gem5art killing a gem5 process after its timeout.
+ *
+ * Two backends mirror the paper's options:
+ *  - Backend::Threaded — worker threads (Celery / multiprocessing);
+ *  - Backend::Inline   — run on the submitting thread ("no scheduler").
+ */
+
+#ifndef G5_SCHEDULER_TASK_QUEUE_HH
+#define G5_SCHEDULER_TASK_QUEUE_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "base/json.hh"
+
+namespace g5::scheduler
+{
+
+/** Lifecycle states, matching Celery's vocabulary. */
+enum class TaskState { Pending, Running, Success, Failure, Timeout };
+
+/** @return a human-readable state name. */
+const char *taskStateName(TaskState s);
+
+/** Thrown (via CancelToken::checkpoint) when a task exceeds its timeout. */
+class TaskTimeout : public std::runtime_error
+{
+  public:
+    explicit TaskTimeout(const std::string &msg)
+        : std::runtime_error(msg)
+    {}
+};
+
+/** Cooperative cancellation/deadline token handed to every task body. */
+class CancelToken
+{
+  public:
+    CancelToken() : deadline(0), cancelled(false) {}
+
+    /** Arm the deadline @p seconds from now (0 disables). */
+    void arm(double seconds);
+
+    /** Request cancellation regardless of the deadline. */
+    void cancel() { cancelled.store(true); }
+
+    /** @return true when the deadline passed or cancel() was called. */
+    bool expired() const;
+
+    /** Throw TaskTimeout when expired; call this from inner loops. */
+    void checkpoint() const;
+
+  private:
+    double deadline; // monotonic seconds; 0 = none
+    std::atomic<bool> cancelled;
+};
+
+/** The body of a task: receives its token, returns a JSON result. */
+using TaskFn = std::function<Json(CancelToken &)>;
+
+/** Handle for a submitted task; shared between caller and worker. */
+class TaskFuture
+{
+  public:
+    TaskFuture(std::string name, TaskFn fn, double timeout_s);
+
+    /** @return the task's name (for reporting). */
+    const std::string &name() const { return taskName; }
+
+    /** Block until the task reaches a terminal state. */
+    void wait();
+
+    /** @return the current state. */
+    TaskState state() const;
+
+    /** @return the result payload (valid after Success). */
+    Json result();
+
+    /** @return the error message (valid after Failure/Timeout). */
+    std::string error();
+
+    /** @return wall-clock seconds the task ran for (terminal states). */
+    double wallSeconds();
+
+  private:
+    friend class TaskQueue;
+    void execute();
+
+    std::string taskName;
+    TaskFn fn;
+    double timeoutSeconds;
+    CancelToken token;
+
+    mutable std::mutex mtx;
+    std::condition_variable cv;
+    TaskState st = TaskState::Pending;
+    Json payload;
+    std::string errMsg;
+    double wallSecs = 0.0;
+};
+
+using TaskFuturePtr = std::shared_ptr<TaskFuture>;
+
+class TaskQueue
+{
+  public:
+    enum class Backend { Threaded, Inline };
+
+    /**
+     * @param workers number of worker threads (Threaded backend).
+     * @param backend execution backend.
+     */
+    explicit TaskQueue(unsigned workers = 2,
+                       Backend backend = Backend::Threaded);
+
+    /** Drains the queue and joins workers. */
+    ~TaskQueue();
+
+    TaskQueue(const TaskQueue &) = delete;
+    TaskQueue &operator=(const TaskQueue &) = delete;
+
+    /**
+     * Submit a task (gem5art's apply_async).
+     * @param name      display name.
+     * @param fn        task body.
+     * @param timeout_s per-task timeout in seconds; 0 = unlimited.
+     */
+    TaskFuturePtr applyAsync(const std::string &name, TaskFn fn,
+                             double timeout_s = 0.0);
+
+    /** Block until every submitted task is terminal. */
+    void waitAll();
+
+    /** @return counts of tasks by state, as a JSON object. */
+    Json summary() const;
+
+  private:
+    void workerLoop();
+
+    Backend backend;
+    std::vector<std::thread> threads;
+    mutable std::mutex mtx;
+    std::condition_variable cv;
+    std::deque<TaskFuturePtr> pending;
+    std::vector<TaskFuturePtr> all;
+    bool shuttingDown = false;
+    unsigned running = 0;
+};
+
+} // namespace g5::scheduler
+
+#endif // G5_SCHEDULER_TASK_QUEUE_HH

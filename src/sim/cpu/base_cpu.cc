@@ -1,0 +1,190 @@
+#include "sim/cpu/base_cpu.hh"
+
+#include "base/logging.hh"
+#include "sim/trace.hh"
+
+namespace g5::sim
+{
+
+const char *
+cpuTypeName(CpuType t)
+{
+    switch (t) {
+      case CpuType::Kvm:
+        return "kvmCPU";
+      case CpuType::AtomicSimple:
+        return "AtomicSimpleCPU";
+      case CpuType::TimingSimple:
+        return "TimingSimpleCPU";
+      case CpuType::O3:
+        return "O3CPU";
+    }
+    return "?";
+}
+
+CpuType
+cpuTypeFromName(const std::string &name)
+{
+    if (name == "kvm" || name == "kvmCPU")
+        return CpuType::Kvm;
+    if (name == "atomic" || name == "AtomicSimpleCPU")
+        return CpuType::AtomicSimple;
+    if (name == "timing" || name == "TimingSimpleCPU")
+        return CpuType::TimingSimple;
+    if (name == "o3" || name == "O3CPU")
+        return CpuType::O3;
+    fatal("unknown CPU type '" + name + "'");
+}
+
+BaseCpu::BaseCpu(System &sys, int cpu_id)
+    : sys(sys), id(cpu_id), period(sys.cpuPeriod),
+      stats(csprintf("cpu%d", cpu_id))
+{
+    stats.addStat("numInsts", &numInsts, "committed instructions");
+    stats.addStat("numSyscalls", &numSyscalls, "syscalls serviced");
+    stats.addStat("numMemRefs", &numMemRefs, "data memory references");
+    stats.addStat("busyTicks", &busyTicks, "ticks with a thread resident");
+    stats.addStat("idleTicks", &idleTicks, "ticks spent idle");
+    stats.addStat("contextSwitches", &contextSwitches,
+                  "software thread switches");
+}
+
+BaseCpu::~BaseCpu() = default;
+
+void
+BaseCpu::start()
+{
+    idleSince = sys.curTick();
+    kick();
+}
+
+void
+BaseCpu::kick()
+{
+    // Only an idle CPU needs a kick: one with a resident thread is
+    // either mid-tick or waiting on a memory response and will
+    // reschedule itself.
+    if (tickPending || tc)
+        return;
+    tickPending = true;
+    sys.eventq.schedule(sys.curTick(), [this] {
+        tickPending = false;
+        tick();
+    }, EventQueue::cpuTickPri);
+}
+
+void
+BaseCpu::finalizeIdle(Tick now)
+{
+    if (idle) {
+        idleTicks += double(now - idleSince);
+        idleSince = now;
+    }
+}
+
+void
+BaseCpu::scheduleTick(Tick delay)
+{
+    if (tickPending)
+        panic("BaseCpu: tick already scheduled");
+    tickPending = true;
+    sys.eventq.schedule(sys.curTick() + delay, [this] {
+        tickPending = false;
+        tick();
+    }, EventQueue::cpuTickPri);
+}
+
+bool
+BaseCpu::acquireThread()
+{
+    if (tc)
+        return true;
+    if (!sys.os)
+        return false;
+    tc = sys.os->pickNext(id);
+    if (!tc) {
+        if (!idle) {
+            idle = true;
+            idleSince = sys.curTick();
+        }
+        return false;
+    }
+    if (idle) {
+        idleTicks += double(sys.curTick() - idleSince);
+        idle = false;
+    }
+    tc->status = isa::ThreadContext::Status::Running;
+    tc->cpuId = id;
+    sliceInsts = 0;
+    ++contextSwitches;
+    DTRACE("Cpu", sys.curTick(), "cpu%d: switching to thread %d", id,
+           tc->tid);
+    return true;
+}
+
+void
+BaseCpu::releaseThread()
+{
+    tc = nullptr;
+    sliceInsts = 0;
+}
+
+bool
+BaseCpu::chargeInstruction(bool allow_preempt)
+{
+    ++numInsts;
+    ++tc->numInsts;
+    ++sliceInsts;
+    if (allow_preempt && sliceInsts >= quantumInsts && sys.os &&
+        sys.os->hasRunnable()) {
+        // Timeslice expired with waiters: preempt.
+        tc->status = isa::ThreadContext::Status::Runnable;
+        sys.os->requeue(tc);
+        releaseThread();
+        return true;
+    }
+    return false;
+}
+
+Tick
+BaseCpu::handleSpecial(const isa::StepInfo &info, bool &lost_thread)
+{
+    lost_thread = false;
+    Tick extra = 0;
+
+    switch (info.kind) {
+      case isa::StepKind::Syscall: {
+        ++numSyscalls;
+        extra = sys.os->syscall(*tc, info.code, id);
+        if (tc->status != isa::ThreadContext::Status::Running) {
+            // Blocked or finished inside the kernel.
+            releaseThread();
+            lost_thread = true;
+        }
+        break;
+      }
+      case isa::StepKind::M5Op:
+        sys.os->m5op(*tc, info.code);
+        break;
+      case isa::StepKind::IoRead: {
+        auto [value, latency] = sys.os->ioRead(info.addr);
+        isa::completeLoad(*tc, info.rd, value);
+        extra = latency;
+        break;
+      }
+      case isa::StepKind::IoWrite:
+        extra = sys.os->ioWrite(info.addr, info.value);
+        break;
+      case isa::StepKind::Halt:
+        tc->status = isa::ThreadContext::Status::Finished;
+        sys.os->threadHalted(*tc);
+        releaseThread();
+        lost_thread = true;
+        break;
+      default:
+        panic("BaseCpu::handleSpecial: not a special StepInfo");
+    }
+    return extra;
+}
+
+} // namespace g5::sim

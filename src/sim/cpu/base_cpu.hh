@@ -1,0 +1,119 @@
+/**
+ * @file
+ * BaseCpu — shared machinery for all sim5 CPU models: thread
+ * acquisition from the OS scheduler, idle accounting, quantum-based
+ * preemption, and the common stats every model reports.
+ *
+ * A CPU owns one hardware thread slot. The guest OS multiplexes software
+ * ThreadContexts onto it: the CPU asks pickNext() when it has nothing to
+ * run, goes idle when the OS has nothing, and is kick()ed when work
+ * appears.
+ */
+
+#ifndef G5_SIM_CPU_BASE_CPU_HH
+#define G5_SIM_CPU_BASE_CPU_HH
+
+#include <string>
+
+#include "sim/isa/exec.hh"
+#include "sim/system.hh"
+
+namespace g5::sim
+{
+
+/** The CPU models of Fig 8, plus the GPU-less default. */
+enum class CpuType { Kvm, AtomicSimple, TimingSimple, O3 };
+
+/** @return the Fig 8 display name ("kvmCPU", "AtomicSimpleCPU", ...). */
+const char *cpuTypeName(CpuType t);
+
+/** Parse a display name; throws FatalError on junk. */
+CpuType cpuTypeFromName(const std::string &name);
+
+class BaseCpu
+{
+  public:
+    BaseCpu(System &sys, int cpu_id);
+    virtual ~BaseCpu();
+
+    BaseCpu(const BaseCpu &) = delete;
+    BaseCpu &operator=(const BaseCpu &) = delete;
+
+    /** @return the model's display name. */
+    virtual std::string typeName() const = 0;
+
+    /** Schedule the first tick (called once by the system builder). */
+    void start();
+
+    /** Wake an idle CPU because the OS has runnable work. */
+    void kick();
+
+    /** @return the context currently on this CPU (may be nullptr). */
+    isa::ThreadContext *context() { return tc; }
+
+    int cpuId() const { return id; }
+
+    /** Close the current idle period (end-of-simulation accounting). */
+    void finalizeIdle(Tick now);
+
+    StatGroup &statGroup() { return stats; }
+
+    // Common statistics (public so tests can read them directly).
+    Scalar numInsts;        ///< committed instructions
+    Scalar numSyscalls;     ///< syscalls serviced
+    Scalar numMemRefs;      ///< data memory references issued
+    Scalar busyTicks;       ///< ticks with a thread resident
+    Scalar idleTicks;       ///< ticks spent idle
+    Scalar contextSwitches; ///< thread switch count
+
+  protected:
+    /** Model-specific work; rescheduled via scheduleTick(). */
+    virtual void tick() = 0;
+
+    /** Schedule the next tick() @p delay ticks from now. */
+    void scheduleTick(Tick delay);
+
+    /**
+     * Ensure a thread is resident, consulting the OS when needed.
+     * Handles idle accounting. @return true when tc is valid.
+     */
+    bool acquireThread();
+
+    /** Release the current thread slot (blocked/finished/preempted). */
+    void releaseThread();
+
+    /**
+     * Quantum bookkeeping: call once per committed instruction.
+     * @param allow_preempt false when the instruction must not be
+     *        preempted at this point (its side effects are still
+     *        pending, e.g. a syscall about to be serviced).
+     * @return true when the OS preempted the current thread (the model
+     * must stop executing it this tick).
+     */
+    bool chargeInstruction(bool allow_preempt = true);
+
+    /** Process a non-memory StepInfo (syscall/m5/io/halt).
+     *  @return extra latency in ticks; sets @p lost_thread when the
+     *  current thread left the CPU. */
+    Tick handleSpecial(const isa::StepInfo &info, bool &lost_thread);
+
+    System &sys;
+    const int id;
+    const Tick period;
+
+    isa::ThreadContext *tc = nullptr;
+    bool tickPending = false;
+    bool idle = true;
+    Tick idleSince = 0;
+
+    /** Instructions after which a runnable waiter forces preemption. */
+    std::uint64_t quantumInsts = 20'000;
+    std::uint64_t sliceInsts = 0;
+
+  private:
+    StatGroup stats;
+};
+
+} // namespace g5::sim
+
+#endif // G5_SIM_CPU_BASE_CPU_HH

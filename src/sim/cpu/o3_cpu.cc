@@ -1,0 +1,170 @@
+#include "sim/cpu/o3_cpu.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace g5::sim
+{
+
+using isa::StepInfo;
+using isa::StepKind;
+
+O3Cpu::O3Cpu(System &sys, int cpu_id)
+    : BaseCpu(sys, cpu_id)
+{
+    statGroup().addStat("numBranches", &numBranches,
+                        "conditional branches executed");
+    statGroup().addStat("numMispredicts", &numMispredicts,
+                        "branches mispredicted");
+    statGroup().addStat("loadsOverlapped", &numLoadsOverlapped,
+                        "loads issued while others were in flight");
+}
+
+Tick
+O3Cpu::operandsReadyAt(const isa::Inst &inst) const
+{
+    isa::RegInfo regs = isa::regInfo(inst);
+    Tick ready = 0;
+    if (regs.src1 >= 0)
+        ready = std::max(ready, regReadyAt[regs.src1]);
+    if (regs.src2 >= 0)
+        ready = std::max(ready, regReadyAt[regs.src2]);
+    return ready;
+}
+
+Tick
+O3Cpu::drainTime() const
+{
+    Tick t = 0;
+    for (Tick r : regReadyAt)
+        t = std::max(t, r);
+    for (Tick r : inflightLoads)
+        t = std::max(t, r);
+    return t;
+}
+
+void
+O3Cpu::resetScoreboard(Tick at)
+{
+    for (auto &r : regReadyAt)
+        r = at;
+    inflightLoads.clear();
+}
+
+void
+O3Cpu::tick()
+{
+    if (!acquireThread())
+        return;
+
+    const Tick start = sys.curTick();
+    Tick cur = start;            // issue-stage clock
+    unsigned issued_this_cycle = 0;
+    resetScoreboard(start);
+
+    auto advance_issue = [&](Tick ready) {
+        if (ready > cur) {
+            cur = ready;
+            issued_this_cycle = 0;
+        }
+        if (++issued_this_cycle >= issueWidth) {
+            cur += period;
+            issued_this_cycle = 0;
+        }
+    };
+
+    Tick end = start;
+    for (std::uint64_t n = 0; n < batchInsts; ++n) {
+        const isa::Inst &inst = tc->fetch(); // peek for dependencies
+        isa::RegInfo regs = isa::regInfo(inst);
+        Tick ready = std::max(cur, operandsReadyAt(inst));
+
+        StepInfo info = isa::step(*tc);
+
+        if (info.kind == StepKind::Done) {
+            Tick completion = ready + period * info.latency;
+            if (regs.dst >= 0)
+                regReadyAt[regs.dst] = completion;
+            end = std::max(end, completion);
+
+            if (info.isBranch) {
+                ++numBranches;
+                if (info.branchTaken &&
+                    sys.rng.chance(mispredictRate)) {
+                    ++numMispredicts;
+                    cur = completion + period * mispredictPenalty;
+                    issued_this_cycle = 0;
+                } else {
+                    advance_issue(ready);
+                }
+            } else {
+                advance_issue(ready);
+            }
+            if (chargeInstruction())
+                break;
+            continue;
+        }
+
+        if (info.kind == StepKind::Load || info.kind == StepKind::Store ||
+            info.kind == StepKind::Amo) {
+            ++numMemRefs;
+
+            // LSQ: cap outstanding loads; amo is serializing-ish but
+            // still overlaps with independent work.
+            while (inflightLoads.size() >= maxOutstandingLoads) {
+                ready = std::max(ready, inflightLoads.front());
+                inflightLoads.pop_front();
+            }
+            if (!inflightLoads.empty())
+                ++numLoadsOverlapped;
+
+            bool write = info.kind != StepKind::Load;
+            Tick lat = sys.memSystem->atomicAccess(id, info.addr, write);
+            Tick completion = ready + period + lat;
+
+            // Functional effect commits now (event order = commit order).
+            if (info.kind == StepKind::Load) {
+                isa::completeLoad(*tc, info.rd,
+                                  sys.physmem.read(info.addr));
+            } else if (info.kind == StepKind::Store) {
+                sys.physmem.write(info.addr, info.value);
+            } else {
+                isa::completeLoad(
+                    *tc, info.rd,
+                    sys.physmem.amoAdd(info.addr, info.value));
+                // Atomics serialize the memory pipeline.
+                cur = std::max(cur, completion);
+            }
+
+            if (regs.dst >= 0)
+                regReadyAt[regs.dst] = completion;
+            inflightLoads.push_back(completion);
+            end = std::max(end, completion);
+            advance_issue(ready);
+            if (chargeInstruction())
+                break;
+            continue;
+        }
+
+        // Serializing instruction: drain, then service.
+        Tick drained = std::max(ready, drainTime());
+        cur = drained;
+        issued_this_cycle = 0;
+        end = std::max(end, cur);
+
+        chargeInstruction(false);
+        bool lost = false;
+        Tick extra = handleSpecial(info, lost);
+        cur += period + extra;
+        end = std::max(end, cur);
+        if (lost || sys.eventq.exitPending())
+            break;
+        resetScoreboard(cur);
+    }
+
+    Tick spent = std::max(end, cur) - start;
+    scheduleTick(spent ? spent : period);
+}
+
+} // namespace g5::sim

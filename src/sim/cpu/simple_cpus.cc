@@ -1,0 +1,203 @@
+#include "sim/cpu/simple_cpus.hh"
+
+#include "base/logging.hh"
+
+namespace g5::sim
+{
+
+using isa::StepInfo;
+using isa::StepKind;
+
+KvmCpu::KvmCpu(System &sys, int cpu_id)
+    : BaseCpu(sys, cpu_id)
+{}
+
+void
+KvmCpu::tick()
+{
+    if (!acquireThread())
+        return; // idle until kicked
+
+    Tick spent = 0;
+    for (std::uint64_t n = 0; n < batchInsts; ++n) {
+        StepInfo info = isa::step(*tc);
+        spent += ticksPerInst;
+
+        if (info.kind == StepKind::Done) {
+            if (chargeInstruction())
+                break; // preempted
+            continue;
+        }
+
+        // Functional memory, no timing: this is the KVM fast path.
+        if (info.kind == StepKind::Load) {
+            ++numMemRefs;
+            isa::completeLoad(*tc, info.rd, sys.physmem.read(info.addr));
+            if (chargeInstruction())
+                break;
+            continue;
+        }
+        if (info.kind == StepKind::Store) {
+            ++numMemRefs;
+            sys.physmem.write(info.addr, info.value);
+            if (chargeInstruction())
+                break;
+            continue;
+        }
+        if (info.kind == StepKind::Amo) {
+            ++numMemRefs;
+            isa::completeLoad(*tc, info.rd,
+                              sys.physmem.amoAdd(info.addr, info.value));
+            if (chargeInstruction())
+                break;
+            continue;
+        }
+
+        chargeInstruction(false);
+        bool lost = false;
+        spent += handleSpecial(info, lost);
+        if (lost || sys.eventq.exitPending())
+            break;
+    }
+
+    scheduleTick(spent ? spent : period);
+}
+
+AtomicSimpleCpu::AtomicSimpleCpu(System &sys, int cpu_id)
+    : BaseCpu(sys, cpu_id)
+{
+    if (!sys.memSystem->supportsAtomicCpu()) {
+        fatal("AtomicSimpleCPU is not supported with the " +
+              sys.memSystem->protocolName() +
+              " (Ruby) memory system in this version");
+    }
+}
+
+void
+AtomicSimpleCpu::tick()
+{
+    if (!acquireThread())
+        return;
+
+    Tick spent = 0;
+    for (std::uint64_t n = 0; n < batchInsts; ++n) {
+        StepInfo info = isa::step(*tc);
+        spent += period * info.latency;
+
+        if (info.kind == StepKind::Done) {
+            if (chargeInstruction())
+                break;
+            continue;
+        }
+
+        if (info.kind == StepKind::Load || info.kind == StepKind::Store ||
+            info.kind == StepKind::Amo) {
+            ++numMemRefs;
+            bool write = info.kind != StepKind::Load;
+            spent += sys.memSystem->atomicAccess(id, info.addr, write);
+            if (info.kind == StepKind::Load) {
+                isa::completeLoad(*tc, info.rd,
+                                  sys.physmem.read(info.addr));
+            } else if (info.kind == StepKind::Store) {
+                sys.physmem.write(info.addr, info.value);
+            } else {
+                isa::completeLoad(
+                    *tc, info.rd, sys.physmem.amoAdd(info.addr,
+                                                     info.value));
+            }
+            if (chargeInstruction())
+                break;
+            continue;
+        }
+
+        chargeInstruction(false);
+        bool lost = false;
+        spent += handleSpecial(info, lost);
+        if (lost || sys.eventq.exitPending())
+            break;
+    }
+
+    scheduleTick(spent ? spent : period);
+}
+
+TimingSimpleCpu::TimingSimpleCpu(System &sys, int cpu_id)
+    : BaseCpu(sys, cpu_id)
+{}
+
+void
+TimingSimpleCpu::tick()
+{
+    if (waitingForMem)
+        panic("TimingSimpleCpu: tick while waiting for memory");
+    if (!acquireThread())
+        return;
+
+    Tick spent = 0;
+    for (std::uint64_t n = 0; n < 5000; ++n) {
+        StepInfo info = isa::step(*tc);
+
+        if (info.kind == StepKind::Done) {
+            spent += period * info.latency;
+            if (chargeInstruction())
+                break;
+            continue;
+        }
+
+        if (info.kind == StepKind::Load || info.kind == StepKind::Store ||
+            info.kind == StepKind::Amo) {
+            ++numMemRefs;
+            chargeInstruction(false); // commit happens at response
+            spent += period; // issue cycle
+            pendingMem = info;
+            waitingForMem = true;
+            bool write = info.kind != StepKind::Load;
+            // The request leaves the CPU once the preceding ALU work has
+            // drained (spent ticks from now).
+            sys.eventq.schedule(
+                sys.curTick() + spent,
+                [this, write] {
+                    sys.memSystem->access(id, pendingMem.addr, write,
+                                          [this] { completeAccess(); });
+                },
+                EventQueue::cpuTickPri);
+            return;
+        }
+
+        chargeInstruction(false);
+        bool lost = false;
+        spent += period + handleSpecial(info, lost);
+        if (lost || sys.eventq.exitPending())
+            break;
+    }
+
+    scheduleTick(spent ? spent : period);
+}
+
+void
+TimingSimpleCpu::completeAccess()
+{
+    if (!waitingForMem)
+        panic("TimingSimpleCpu: spurious memory response");
+    waitingForMem = false;
+
+    switch (pendingMem.kind) {
+      case StepKind::Load:
+        isa::completeLoad(*tc, pendingMem.rd,
+                          sys.physmem.read(pendingMem.addr));
+        break;
+      case StepKind::Store:
+        sys.physmem.write(pendingMem.addr, pendingMem.value);
+        break;
+      case StepKind::Amo:
+        isa::completeLoad(
+            *tc, pendingMem.rd,
+            sys.physmem.amoAdd(pendingMem.addr, pendingMem.value));
+        break;
+      default:
+        panic("TimingSimpleCpu: bad pending access kind");
+    }
+
+    scheduleTick(period);
+}
+
+} // namespace g5::sim

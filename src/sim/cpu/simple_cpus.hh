@@ -1,0 +1,81 @@
+/**
+ * @file
+ * The three simple CPU models of Fig 8:
+ *
+ *  - KvmCpu: executes guest code functionally at a nominal "host" rate,
+ *    bypassing the memory system entirely (gem5's KVM CPU uses host
+ *    hardware; the analogue here is zero-fidelity, maximum-speed
+ *    execution). Works with every memory system.
+ *
+ *  - AtomicSimpleCpu: one instruction per cycle with atomic-mode memory
+ *    latencies folded in. Requires a memory system that supports atomic
+ *    accesses (the classic system; Ruby rejects it, as in v20.1.0.4).
+ *
+ *  - TimingSimpleCpu: blocks on every data access, resuming when the
+ *    memory system's response event fires.
+ *
+ * All three batch ALU work inside a single event to keep host cost per
+ * simulated instruction low; batches break at memory ops, syscalls,
+ * branch quanta, and preemption points.
+ */
+
+#ifndef G5_SIM_CPU_SIMPLE_CPUS_HH
+#define G5_SIM_CPU_SIMPLE_CPUS_HH
+
+#include "sim/cpu/base_cpu.hh"
+
+namespace g5::sim
+{
+
+class KvmCpu : public BaseCpu
+{
+  public:
+    KvmCpu(System &sys, int cpu_id);
+
+    std::string typeName() const override { return "kvmCPU"; }
+
+    /** Ticks charged per instruction (default ~0.3 ns: "host speed"). */
+    Tick ticksPerInst = 300;
+
+  protected:
+    void tick() override;
+
+  private:
+    static constexpr std::uint64_t batchInsts = 20'000;
+};
+
+class AtomicSimpleCpu : public BaseCpu
+{
+  public:
+    AtomicSimpleCpu(System &sys, int cpu_id);
+
+    std::string typeName() const override { return "AtomicSimpleCPU"; }
+
+  protected:
+    void tick() override;
+
+  private:
+    static constexpr std::uint64_t batchInsts = 5'000;
+};
+
+class TimingSimpleCpu : public BaseCpu
+{
+  public:
+    TimingSimpleCpu(System &sys, int cpu_id);
+
+    std::string typeName() const override { return "TimingSimpleCPU"; }
+
+  protected:
+    void tick() override;
+
+  private:
+    /** Complete an outstanding load/store/amo response. */
+    void completeAccess();
+
+    bool waitingForMem = false;
+    isa::StepInfo pendingMem;
+};
+
+} // namespace g5::sim
+
+#endif // G5_SIM_CPU_SIMPLE_CPUS_HH

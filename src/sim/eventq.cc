@@ -1,0 +1,88 @@
+#include "sim/eventq.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+#include "scheduler/task_queue.hh"
+
+namespace g5::sim
+{
+
+EventQueue::EventQueue() = default;
+
+std::uint64_t
+EventQueue::schedule(Tick when, std::function<void()> fn, int priority)
+{
+    if (when < now)
+        panic(csprintf("event scheduled in the past (%llu < %llu)",
+                       (unsigned long long)when, (unsigned long long)now));
+    std::uint64_t id = nextSeq++;
+    pq.push(Entry{when, priority, id, std::move(fn)});
+    ++liveEvents;
+    return id;
+}
+
+void
+EventQueue::deschedule(std::uint64_t event_id)
+{
+    cancelled.push_back(event_id);
+    if (liveEvents > 0)
+        --liveEvents;
+}
+
+bool
+EventQueue::isCancelled(std::uint64_t seq)
+{
+    auto it = std::find(cancelled.begin(), cancelled.end(), seq);
+    if (it == cancelled.end())
+        return false;
+    cancelled.erase(it);
+    return true;
+}
+
+void
+EventQueue::exitSimLoop(const std::string &cause, int code)
+{
+    exitRequested = true;
+    exitDesc.cause = cause;
+    exitDesc.code = code;
+    exitDesc.limitReached = false;
+}
+
+ExitEvent
+EventQueue::run(Tick max_tick, scheduler::CancelToken *token)
+{
+    exitRequested = false;
+    exitDesc = ExitEvent{};
+
+    while (!pq.empty()) {
+        Entry entry = pq.top();
+        if (entry.when > max_tick) {
+            exitDesc.cause = "simulate() limit reached";
+            exitDesc.code = 0;
+            exitDesc.limitReached = true;
+            now = max_tick;
+            return exitDesc;
+        }
+        pq.pop();
+        if (isCancelled(entry.seq))
+            continue;
+        --liveEvents;
+
+        now = entry.when;
+        entry.fn();
+        ++eventsRun;
+
+        if (token && (eventsRun % pollInterval) == 0)
+            token->checkpoint();
+
+        if (exitRequested)
+            return exitDesc;
+    }
+
+    exitDesc.cause = "event queue drained";
+    exitDesc.code = 0;
+    return exitDesc;
+}
+
+} // namespace g5::sim

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * The discrete-event kernel of sim5.
+ *
+ * A single EventQueue per System orders callbacks by (tick, priority,
+ * insertion sequence). The main loop (EventQueue::run) pops events until
+ * an exit is signalled, the tick limit is reached, or the queue drains.
+ * Cooperative cancellation (scheduler timeouts) is polled every
+ * pollInterval events.
+ */
+
+#ifndef G5_SIM_EVENTQ_HH
+#define G5_SIM_EVENTQ_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "base/types.hh"
+
+namespace g5::scheduler
+{
+class CancelToken;
+} // namespace g5::scheduler
+
+namespace g5::sim
+{
+
+/** Why the event loop stopped. */
+struct ExitEvent
+{
+    /** Machine-readable cause, e.g. "m5_exit instruction encountered". */
+    std::string cause;
+    /** Exit code (0 = success). */
+    int code = 0;
+    /** True when the loop hit its tick limit instead of a real exit. */
+    bool limitReached = false;
+};
+
+class EventQueue
+{
+  public:
+    /** Standard priorities; lower runs first at equal ticks. */
+    static constexpr int defaultPri = 0;
+    static constexpr int cpuTickPri = 10;
+    static constexpr int memRespPri = -10;
+
+    EventQueue();
+
+    /** @return current simulated time. */
+    Tick curTick() const { return now; }
+
+    /**
+     * Schedule @p fn at absolute tick @p when (>= curTick).
+     * @return an event id usable with deschedule().
+     */
+    std::uint64_t schedule(Tick when, std::function<void()> fn,
+                           int priority = defaultPri);
+
+    /** Cancel a scheduled event; harmless if already fired. */
+    void deschedule(std::uint64_t event_id);
+
+    /** @return true when no events remain. */
+    bool empty() const { return liveEvents == 0; }
+
+    /** @return number of pending (non-cancelled) events. */
+    std::size_t size() const { return liveEvents; }
+
+    /** Signal the event loop to stop after the current event. */
+    void exitSimLoop(const std::string &cause, int code = 0);
+
+    /** @return true when an exit was requested but not yet honoured
+     *  (lets CPU batch loops stop executing past an m5 exit). */
+    bool exitPending() const { return exitRequested; }
+
+    /**
+     * Run the loop.
+     * @param max_tick  stop (limitReached) when time would pass this.
+     * @param token     optional cooperative cancellation token.
+     * @return the exit descriptor.
+     */
+    ExitEvent run(Tick max_tick = maxTick,
+                  scheduler::CancelToken *token = nullptr);
+
+    /** Total events executed (for perf accounting / tests). */
+    std::uint64_t numEventsRun() const { return eventsRun; }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        int priority;
+        std::uint64_t seq;
+        std::function<void()> fn;
+
+        bool
+        operator>(const Entry &o) const
+        {
+            if (when != o.when)
+                return when > o.when;
+            if (priority != o.priority)
+                return priority > o.priority;
+            return seq > o.seq;
+        }
+    };
+
+    static constexpr std::uint64_t pollInterval = 4096;
+
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> pq;
+    std::vector<std::uint64_t> cancelled; // sorted-on-demand id list
+    Tick now = 0;
+    std::uint64_t nextSeq = 0;
+    std::uint64_t eventsRun = 0;
+    std::size_t liveEvents = 0;
+
+    bool exitRequested = false;
+    ExitEvent exitDesc;
+
+    bool isCancelled(std::uint64_t seq);
+};
+
+} // namespace g5::sim
+
+#endif // G5_SIM_EVENTQ_HH

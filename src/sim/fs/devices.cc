@@ -1,0 +1,38 @@
+#include "sim/fs/devices.hh"
+
+#include "base/str.hh"
+
+namespace g5::sim::fs
+{
+
+void
+Terminal::writeLine(const std::string &line)
+{
+    lines.push_back(line);
+    bytesWritten += double(line.size() + 1);
+}
+
+std::string
+Terminal::text() const
+{
+    return join(lines, "\n");
+}
+
+bool
+Terminal::contains(const std::string &needle) const
+{
+    for (const auto &line : lines)
+        if (line.find(needle) != std::string::npos)
+            return true;
+    return false;
+}
+
+Tick
+DiskDevice::readLatency(std::uint64_t words)
+{
+    ++reads;
+    wordsRead += double(words);
+    return seekTicks + words * perWordTicks;
+}
+
+} // namespace g5::sim::fs

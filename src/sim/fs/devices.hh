@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Peripheral models for full-system simulation: a console terminal and
+ * a latency-modelled disk.
+ */
+
+#ifndef G5_SIM_FS_DEVICES_HH
+#define G5_SIM_FS_DEVICES_HH
+
+#include <string>
+#include <vector>
+
+#include "base/types.hh"
+#include "sim/stats.hh"
+
+namespace g5::sim::fs
+{
+
+/** The guest's serial console; collects everything the guest prints. */
+class Terminal
+{
+  public:
+    /** Append a full line of console output. */
+    void writeLine(const std::string &line);
+
+    /** @return all output as one newline-joined string. */
+    std::string text() const;
+
+    /** @return the number of lines printed. */
+    std::size_t numLines() const { return lines.size(); }
+
+    /** @return true when any line contains @p needle. */
+    bool contains(const std::string &needle) const;
+
+    Scalar bytesWritten;
+
+  private:
+    std::vector<std::string> lines;
+};
+
+/** A simple disk with fixed seek latency and per-word streaming cost. */
+class DiskDevice
+{
+  public:
+    /** Latency to read @p words 64-bit words (one request). */
+    Tick readLatency(std::uint64_t words);
+
+    /** Device register read latency (driver probing). */
+    Tick probeLatency() const { return 1'000'000; } // 1 us
+
+    Scalar reads, wordsRead;
+
+  private:
+    static constexpr Tick seekTicks = 50'000'000;   // 50 us
+    static constexpr Tick perWordTicks = 20;        // ~400 MB/s
+};
+
+} // namespace g5::sim::fs
+
+#endif // G5_SIM_FS_DEVICES_HH

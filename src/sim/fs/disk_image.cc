@@ -1,0 +1,145 @@
+#include "sim/fs/disk_image.hh"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "base/logging.hh"
+
+namespace g5::sim::fs
+{
+
+DiskImage::DiskImage()
+{
+    image = Json::object();
+    image["format"] = "S5DK1";
+    image["os"] = Json::object();
+    image["files"] = Json::object();
+    image["provenance"] = Json::array();
+}
+
+void
+DiskImage::setOsInfo(Json os_info)
+{
+    image["os"] = std::move(os_info);
+}
+
+void
+DiskImage::addProgram(const std::string &path, const isa::ProgramPtr &prog)
+{
+    Json entry = Json::object();
+    entry["kind"] = "program";
+    entry["program"] = prog->toJson();
+    image["files"][path] = std::move(entry);
+}
+
+void
+DiskImage::addDataFile(const std::string &path, const std::string &text)
+{
+    Json entry = Json::object();
+    entry["kind"] = "data";
+    entry["text"] = text;
+    image["files"][path] = std::move(entry);
+}
+
+void
+DiskImage::addProvenance(const std::string &step)
+{
+    image["provenance"].push(step);
+}
+
+bool
+DiskImage::hasFile(const std::string &path) const
+{
+    return image.at("files").contains(path);
+}
+
+std::vector<std::string>
+DiskImage::programPaths() const
+{
+    std::vector<std::string> out;
+    for (const auto &kv : image.at("files").asObject()) {
+        if (kv.second.getString("kind") == "program")
+            out.push_back(kv.first); // map iteration is already sorted
+    }
+    return out;
+}
+
+int
+DiskImage::programIndex(const std::string &path) const
+{
+    auto paths = programPaths();
+    for (std::size_t i = 0; i < paths.size(); ++i)
+        if (paths[i] == path)
+            return int(i);
+    return -1;
+}
+
+isa::ProgramPtr
+DiskImage::programAt(int index) const
+{
+    auto paths = programPaths();
+    if (index < 0 || std::size_t(index) >= paths.size())
+        fatal(csprintf("DiskImage: program index %d out of range", index));
+    return programByPath(paths[std::size_t(index)]);
+}
+
+isa::ProgramPtr
+DiskImage::programByPath(const std::string &path) const
+{
+    if (!hasFile(path))
+        fatal("DiskImage: no file '" + path + "'");
+    const Json &entry = image.at("files").at(path);
+    if (entry.getString("kind") != "program")
+        fatal("DiskImage: '" + path + "' is not a program");
+    return isa::Program::fromJson(entry.at("program"));
+}
+
+std::string
+DiskImage::serialize() const
+{
+    return image.dump();
+}
+
+void
+DiskImage::save(const std::string &host_path) const
+{
+    std::filesystem::path p(host_path);
+    if (p.has_parent_path())
+        std::filesystem::create_directories(p.parent_path());
+    std::ofstream out(host_path, std::ios::binary | std::ios::trunc);
+    if (!out)
+        fatal("DiskImage: cannot write '" + host_path + "'");
+    std::string text = serialize();
+    out.write(text.data(), std::streamsize(text.size()));
+}
+
+std::shared_ptr<DiskImage>
+DiskImage::deserialize(const std::string &text)
+{
+    Json parsed;
+    try {
+        parsed = Json::parse(text);
+    } catch (const JsonError &e) {
+        fatal(std::string("DiskImage: not a valid image: ") + e.what());
+    }
+    if (parsed.getString("format") != "S5DK1")
+        fatal("DiskImage: unsupported format '" +
+              parsed.getString("format") + "'");
+    auto img = std::make_shared<DiskImage>();
+    img->image = std::move(parsed);
+    return img;
+}
+
+std::shared_ptr<DiskImage>
+DiskImage::load(const std::string &host_path)
+{
+    std::ifstream in(host_path, std::ios::binary);
+    if (!in)
+        fatal("DiskImage: cannot read '" + host_path + "'");
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return deserialize(ss.str());
+}
+
+} // namespace g5::sim::fs

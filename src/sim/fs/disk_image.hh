@@ -1,0 +1,97 @@
+/**
+ * @file
+ * The S5DK disk-image format — the unit Packer builds, gem5art hashes,
+ * and sim5 FS mode boots from.
+ *
+ * An image is a JSON container:
+ *
+ *   {
+ *     "format": "S5DK1",
+ *     "os": { "name": "ubuntu", "release": "20.04",
+ *             "kernel": "5.4.51", "compiler": "gcc-9.3", ... },
+ *     "files": {
+ *        "/bin/blackscholes": {"kind": "program", "program": {...}},
+ *        "/etc/os-release":   {"kind": "data", "text": "..."}
+ *     },
+ *     "provenance": [ ...packer build steps... ]
+ *   }
+ *
+ * Programs (SimISA binaries) are addressable both by path and by a
+ * stable integer index (sorted path order) — the index is what
+ * SYS_EXEC uses at runtime.
+ */
+
+#ifndef G5_SIM_FS_DISK_IMAGE_HH
+#define G5_SIM_FS_DISK_IMAGE_HH
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/json.hh"
+#include "sim/isa/program.hh"
+
+namespace g5::sim::fs
+{
+
+class DiskImage
+{
+  public:
+    DiskImage();
+
+    /** Set the userland/OS descriptor (name, release, compiler, ...). */
+    void setOsInfo(Json os_info);
+    const Json &osInfo() const { return image.at("os"); }
+
+    /** Install a SimISA binary at @p path. */
+    void addProgram(const std::string &path, const isa::ProgramPtr &prog);
+
+    /** Install a plain data file at @p path. */
+    void addDataFile(const std::string &path, const std::string &text);
+
+    /** Record a provenance entry (Packer build step). */
+    void addProvenance(const std::string &step);
+
+    /** @return true when @p path exists. */
+    bool hasFile(const std::string &path) const;
+
+    /** @return sorted program paths; position = SYS_EXEC index. */
+    std::vector<std::string> programPaths() const;
+
+    /** Resolve a program path to its SYS_EXEC index; -1 when absent. */
+    int programIndex(const std::string &path) const;
+
+    /** Load the program at @p index; throws FatalError out of range. */
+    isa::ProgramPtr programAt(int index) const;
+
+    /** Load the program at @p path; throws FatalError when absent. */
+    isa::ProgramPtr programByPath(const std::string &path) const;
+
+    /** Total image size in bytes of serialized JSON (for accounting). */
+    std::size_t sizeBytes() const { return serialize().size(); }
+
+    /** Serialize the whole image (deterministic). */
+    std::string serialize() const;
+
+    /** Write to a host file. */
+    void save(const std::string &host_path) const;
+
+    /** Parse from serialized text; throws FatalError on bad format. */
+    static std::shared_ptr<DiskImage> deserialize(const std::string &text);
+
+    /** Read from a host file. */
+    static std::shared_ptr<DiskImage> load(const std::string &host_path);
+
+    /** Access the raw manifest (tests, provenance inspection). */
+    const Json &manifest() const { return image; }
+
+  private:
+    Json image;
+};
+
+using DiskImagePtr = std::shared_ptr<DiskImage>;
+
+} // namespace g5::sim::fs
+
+#endif // G5_SIM_FS_DISK_IMAGE_HH

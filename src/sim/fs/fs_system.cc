@@ -1,0 +1,215 @@
+#include "sim/fs/fs_system.hh"
+
+#include "base/logging.hh"
+#include "sim/cpu/o3_cpu.hh"
+#include "sim/cpu/simple_cpus.hh"
+#include "sim/fs/known_issues.hh"
+#include "sim/mem/classic.hh"
+#include "sim/ruby/ruby.hh"
+
+namespace g5::sim::fs
+{
+
+std::string
+FsConfig::signature() const
+{
+    std::string sig = std::string(cpuTypeName(cpuType)) + "/" +
+                      std::to_string(numCpus) + "cpu/" + memSystem +
+                      "/" + kernelVersion + "/" +
+                      bootTypeName(bootType) + "/" +
+                      (initProgramPath.empty() ? "-" : initProgramPath) +
+                      "/arg" + std::to_string(initArg) + "/gem5-" +
+                      simVersion;
+    if (seProgram)
+        sig += "/se:" + seProgram->name() + "/arg" +
+               std::to_string(seArg);
+    return sig;
+}
+
+bool
+SimResult::success() const
+{
+    return exitCause == "m5_exit instruction encountered" &&
+           exitCode == 0;
+}
+
+Tick
+SimResult::roiTicks() const
+{
+    if (workEndTick > workBeginTick && workBeginTick > 0)
+        return workEndTick - workBeginTick;
+    return simTicks;
+}
+
+Json
+SimResult::toJson() const
+{
+    Json j = Json::object();
+    j["exitCause"] = exitCause;
+    j["exitCode"] = exitCode;
+    j["limitReached"] = limitReached;
+    j["simTicks"] = simTicks;
+    j["workBeginTick"] = workBeginTick;
+    j["workEndTick"] = workEndTick;
+    j["totalInsts"] = totalInsts;
+    j["success"] = success();
+    j["stats"] = stats;
+    return j;
+}
+
+void
+FsSystem::buildHardware()
+{
+    if (cfg.numCpus == 0)
+        fatal("FsSystem: need at least one CPU");
+
+    sys = std::make_unique<System>(hashString(cfg.signature()));
+
+    // --- memory system ---
+    if (cfg.memSystem == "classic") {
+        mem::ClassicConfig mc;
+        mc.numCpus = cfg.numCpus;
+        sys->memSystem =
+            std::make_unique<mem::ClassicMem>(sys->eventq, mc);
+    } else {
+        ruby::RubyConfig rc;
+        rc.protocol = ruby::protocolFromName(cfg.memSystem);
+        rc.numCpus = cfg.numCpus;
+        sys->memSystem =
+            std::make_unique<ruby::RubyMem>(sys->eventq, rc);
+    }
+
+    // --- support matrix (the "unsupported" cells of Fig 8) ---
+    bool timing_mode = cfg.cpuType == CpuType::TimingSimple ||
+                       cfg.cpuType == CpuType::O3;
+    if (timing_mode && cfg.numCpus > 1 &&
+        !sys->memSystem->supportsMultipleTimingCpus()) {
+        fatal(std::string(cpuTypeName(cfg.cpuType)) +
+              " cannot handle more than one core with the classic "
+              "memory system in full-system mode");
+    }
+
+    // --- CPUs (AtomicSimpleCpu itself rejects Ruby) ---
+    for (unsigned i = 0; i < cfg.numCpus; ++i) {
+        std::unique_ptr<BaseCpu> cpu;
+        switch (cfg.cpuType) {
+          case CpuType::Kvm:
+            cpu = std::make_unique<KvmCpu>(*sys, int(i));
+            break;
+          case CpuType::AtomicSimple:
+            cpu = std::make_unique<AtomicSimpleCpu>(*sys, int(i));
+            break;
+          case CpuType::TimingSimple:
+            cpu = std::make_unique<TimingSimpleCpu>(*sys, int(i));
+            break;
+          case CpuType::O3:
+            cpu = std::make_unique<O3Cpu>(*sys, int(i));
+            break;
+        }
+        sys->rootStats.addChild(&cpu->statGroup());
+        sys->cpus.push_back(std::move(cpu));
+    }
+    sys->rootStats.addChild(&sys->memSystem->statGroup());
+
+    // --- guest OS + kernel ---
+    KernelSpec kernel = KernelSpec::forVersion(cfg.kernelVersion);
+    guestOs = std::make_unique<GuestOs>(*sys, kernel, cfg.disk);
+    sys->os = guestOs.get();
+    sys->rootStats.addChild(&guestOs->statGroup());
+
+    // --- known issues of the simulated simulator version ---
+    sys->defect = knownIssueFor(cfg);
+    if (sys->defect.kind == DefectPlan::Kind::Deadlock) {
+        auto *rubymem =
+            dynamic_cast<ruby::RubyMem *>(sys->memSystem.get());
+        if (!rubymem)
+            panic("Deadlock defect assigned to a non-Ruby config");
+        // Drop a response once boot is deep into page-init traffic.
+        rubymem->armDroppedResponse(1000);
+    }
+}
+
+FsSystem::FsSystem(const FsConfig &cfg)
+    : cfg(cfg)
+{
+    buildHardware();
+
+    // --- workload: SE program, or a full boot ---
+    if (cfg.seProgram) {
+        guestOs->startProgram(cfg.seProgram, cfg.seArg);
+    } else {
+        int init_idx = -1;
+        if (!cfg.initProgramPath.empty()) {
+            if (!cfg.disk)
+                fatal("FsSystem: initProgramPath set but no disk image");
+            init_idx = cfg.disk->programIndex(cfg.initProgramPath);
+            if (init_idx < 0)
+                fatal("FsSystem: program '" + cfg.initProgramPath +
+                      "' not on the disk image");
+        }
+        guestOs->startBoot(cfg.bootType, init_idx, cfg.initArg,
+                           cfg.checkpointAfterBoot);
+    }
+
+    for (auto &cpu : sys->cpus)
+        cpu->start();
+}
+
+FsSystem::FsSystem(const FsConfig &cfg, const Json &checkpoint)
+    : cfg(cfg)
+{
+    if (checkpoint.getString("format") != "s5ckpt1")
+        fatal("FsSystem: not a sim5 checkpoint");
+
+    buildHardware();
+    guestOs->restoreState(checkpoint.at("os"));
+    sys->physmem.restore(checkpoint.at("memory"));
+
+    for (auto &cpu : sys->cpus)
+        cpu->start();
+}
+
+Json
+FsSystem::checkpoint() const
+{
+    Json ckpt = Json::object();
+    ckpt["format"] = "s5ckpt1";
+    ckpt["configSignature"] = cfg.signature();
+    ckpt["os"] = guestOs->saveState();
+    ckpt["memory"] = sys->physmem.toJson();
+    return ckpt;
+}
+
+FsSystem::~FsSystem() = default;
+
+SimResult
+FsSystem::run(Tick max_ticks, scheduler::CancelToken *token)
+{
+    ExitEvent exit_ev = sys->eventq.run(max_ticks, token);
+
+    SimResult result;
+    result.exitCause = exit_ev.cause;
+    result.exitCode = exit_ev.code;
+    result.limitReached = exit_ev.limitReached;
+    result.simTicks = sys->curTick();
+    result.workBeginTick = guestOs->workBeginTick;
+    result.workEndTick = guestOs->workEndTick;
+    result.consoleText = guestOs->terminal.text();
+
+    std::uint64_t insts = 0;
+    for (auto &cpu : sys->cpus) {
+        insts += std::uint64_t(cpu->numInsts.value());
+        // Close out utilization accounting: busy = total - idle.
+        cpu->finalizeIdle(result.simTicks);
+        double idle = cpu->idleTicks.value();
+        cpu->busyTicks.set(double(result.simTicks) > idle
+                               ? double(result.simTicks) - idle
+                               : 0.0);
+    }
+    result.totalInsts = insts;
+    result.stats = sys->rootStats.dumpJson();
+    result.statsText = sys->rootStats.dumpText();
+    return result;
+}
+
+} // namespace g5::sim::fs

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * FsSystem — the full-system assembly: given an FsConfig (what a gem5
+ * run script receives as parameters), build the System — CPUs, memory
+ * system, guest OS, kernel, disk — install any known-issue defect of
+ * the simulated simulator version, and run to completion.
+ *
+ * This is the "gem5 binary + run script" of the reproduction: the art
+ * layer invokes it through SimulatorLauncher.
+ */
+
+#ifndef G5_SIM_FS_FS_SYSTEM_HH
+#define G5_SIM_FS_FS_SYSTEM_HH
+
+#include <memory>
+#include <string>
+
+#include "sim/cpu/base_cpu.hh"
+#include "sim/fs/disk_image.hh"
+#include "sim/fs/guest_os.hh"
+#include "sim/fs/kernel.hh"
+#include "sim/system.hh"
+
+namespace g5::scheduler
+{
+class CancelToken;
+} // namespace g5::scheduler
+
+namespace g5::sim::fs
+{
+
+/** Everything needed to specify one full-system run (one data point). */
+struct FsConfig
+{
+    CpuType cpuType = CpuType::TimingSimple;
+    unsigned numCpus = 1;
+
+    /** "classic", "MI_example", or "MESI_Two_Level". */
+    std::string memSystem = "classic";
+
+    /** Kernel version ("vmlinux" is generated from its spec). */
+    std::string kernelVersion = "5.4.49";
+
+    BootType bootType = BootType::KernelOnly;
+
+    /** Mounted disk image (may be null when no workload runs). */
+    DiskImagePtr disk;
+
+    /** Program on the disk image init execs after boot; "" = none. */
+    std::string initProgramPath;
+    std::int64_t initArg = 0;
+
+    /** Quiesce for a checkpoint between boot and workload (hack-back). */
+    bool checkpointAfterBoot = false;
+
+    /** Simulate the bug census of this gem5 version ("" = bug-free). */
+    std::string simVersion = "20.1.0.4";
+
+    /**
+     * SE mode (gem5art's createSERun): run this binary directly on the
+     * bare OS services, with no kernel boot. The run ends when the
+     * last guest thread exits (or on an m5 exit).
+     */
+    isa::ProgramPtr seProgram;
+    std::int64_t seArg = 0;
+
+    /** A one-line signature (also the determinism seed). */
+    std::string signature() const;
+};
+
+/** The outcome of one full-system simulation. */
+struct SimResult
+{
+    std::string exitCause;
+    int exitCode = 0;
+    bool limitReached = false;
+
+    Tick simTicks = 0;
+    Tick workBeginTick = 0;
+    Tick workEndTick = 0;
+    std::uint64_t totalInsts = 0;
+
+    std::string consoleText;
+    Json stats;
+    /** gem5-style stats.txt rendering of the stats tree. */
+    std::string statsText;
+
+    /** @return true for a clean m5-exit with code 0. */
+    bool success() const;
+
+    /** @return ROI duration (workEnd - workBegin), or simTicks. */
+    Tick roiTicks() const;
+
+    Json toJson() const;
+};
+
+class FsSystem
+{
+  public:
+    /**
+     * Build the system; throws FatalError for unsupported
+     * configurations (the paper's "unsupported" cells in Fig 8).
+     */
+    explicit FsSystem(const FsConfig &cfg);
+
+    /**
+     * Restore a system from a checkpoint taken by checkpoint(). The
+     * configuration may differ in CPU/memory model (the whole point of
+     * checkpoints: boot once with kvm, measure with a detailed model)
+     * but must use the same disk image contents.
+     */
+    FsSystem(const FsConfig &cfg, const Json &checkpoint);
+
+    ~FsSystem();
+
+    /**
+     * Serialize guest state (threads + physical memory). Valid after
+     * the run stopped at a quiescent point — typically the guest's
+     * m5 checkpoint op ("checkpoint" exit cause), as the hack-back
+     * resource does right after boot.
+     */
+    Json checkpoint() const;
+
+    /**
+     * Boot and run until m5-exit, failure, or @p max_ticks.
+     * @param token optional cooperative timeout from the scheduler.
+     *
+     * PanicError/SimulatorCrash propagate to the caller — they are the
+     * simulated simulator aborting, which the art layer records as a
+     * failed run.
+     */
+    SimResult run(Tick max_ticks = maxTick,
+                  scheduler::CancelToken *token = nullptr);
+
+    System &system() { return *sys; }
+    GuestOs &os() { return *guestOs; }
+    const FsConfig &config() const { return cfg; }
+
+  private:
+    /** Assemble memory system, CPUs, OS, and defect model. */
+    void buildHardware();
+
+    FsConfig cfg;
+    std::unique_ptr<System> sys;
+    std::unique_ptr<GuestOs> guestOs;
+};
+
+} // namespace g5::sim::fs
+
+#endif // G5_SIM_FS_FS_SYSTEM_HH

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * The guest/kernel ABI of sim5 full-system mode: syscall numbers, m5
+ * pseudo-op functions, and device MMIO windows.
+ *
+ * Calling convention: the syscall code is the instruction immediate,
+ * arguments travel in r1..r3, and the result returns in r1.
+ */
+
+#ifndef G5_SIM_FS_GUEST_ABI_HH
+#define G5_SIM_FS_GUEST_ABI_HH
+
+#include <cstdint>
+
+#include "base/types.hh"
+
+namespace g5::sim::fs
+{
+
+/** Syscall numbers. */
+enum Sys : std::int64_t {
+    SYS_WRITE = 1,       ///< r1 = string-table index -> console
+    SYS_EXIT = 2,        ///< r1 = exit code; thread terminates
+    SYS_SPAWN = 3,       ///< r1 = entry pc, r2 = arg; ret tid
+    SYS_FUTEX_WAIT = 4,  ///< r1 = addr, r2 = expected; 0 = slept
+    SYS_FUTEX_WAKE = 5,  ///< r1 = addr, r2 = max; ret woken count
+    SYS_YIELD = 6,
+    SYS_NANOSLEEP = 7,   ///< r1 = nanoseconds
+    SYS_GETCPU = 8,      ///< ret cpu id
+    SYS_GETTID = 9,      ///< ret tid
+    SYS_EXEC = 10,       ///< r1 = disk program index, r2 = arg; ret tid
+    SYS_READ_DISK = 11,  ///< r1 = 64-bit words to read (latency charge)
+    SYS_JOIN = 12,       ///< r1 = tid; block until it finishes
+};
+
+/** m5 pseudo-op functions (subset of gem5's m5ops). */
+enum M5Func : std::int64_t {
+    M5_EXIT = 1,         ///< end the simulation
+    M5_FAIL = 2,         ///< end the simulation with failure (code in r1)
+    M5_WORK_BEGIN = 3,   ///< mark region-of-interest start
+    M5_WORK_END = 4,     ///< mark region-of-interest end
+    M5_RESET_STATS = 5,  ///< timestamp a stats reset
+    M5_CHECKPOINT = 6,   ///< stop so the host can take a checkpoint
+};
+
+/** Device MMIO windows for IoRd/IoWr. */
+constexpr Addr terminalMmioBase = 0x1000'0000;
+constexpr Addr diskMmioBase = 0x2000'0000;
+constexpr Addr mmioWindow = 0x1000'0000;
+
+} // namespace g5::sim::fs
+
+#endif // G5_SIM_FS_GUEST_ABI_HH

@@ -1,0 +1,538 @@
+#include "sim/fs/guest_os.hh"
+
+#include <set>
+
+#include "base/logging.hh"
+#include "sim/fs/guest_abi.hh"
+#include "sim/trace.hh"
+
+namespace g5::sim::fs
+{
+
+using isa::ThreadContext;
+
+GuestOs::GuestOs(System &sys, KernelSpec kernel, DiskImagePtr disk_image)
+    : sys(sys), kernel(std::move(kernel)),
+      diskImage(std::move(disk_image)), stats("os")
+{
+    stats.addStat("numSyscalls", &numSyscallsServed, "syscalls serviced");
+    stats.addStat("threadsSpawned", &numThreadsSpawned,
+                  "guest threads created");
+    stats.addStat("futexWaits", &numFutexWaits, "futex wait syscalls");
+    stats.addStat("futexWakes", &numFutexWakes, "futex wake syscalls");
+    stats.addStat("diskReadTicks", &numDiskReadTicks,
+                  "ticks charged for disk reads");
+    stats.addStat("timerTicks", &numTimerTicks, "OS timer interrupts");
+    stats.addStat("terminalBytes", &terminal.bytesWritten,
+                  "console bytes written");
+    stats.addStat("diskReads", &disk.reads, "disk read requests");
+    stats.addStat("diskWordsRead", &disk.wordsRead, "disk words read");
+}
+
+ThreadContext *
+GuestOs::createThread(isa::ProgramPtr prog, std::uint64_t entry,
+                      std::int64_t arg)
+{
+    int tid = int(threads.size());
+    threads.push_back(std::make_unique<ThreadContext>(tid, std::move(prog)));
+    ThreadContext *tc = threads.back().get();
+    tc->pc = entry;
+    tc->regs[1] = arg;
+    ++numThreadsSpawned;
+    ++liveThreadCount;
+    DTRACE("Exec", sys.curTick(), "thread %d created: %s @ pc %llu",
+           tid, tc->prog->name().c_str(), (unsigned long long)entry);
+    return tc;
+}
+
+void
+GuestOs::makeRunnable(ThreadContext *tc)
+{
+    tc->status = ThreadContext::Status::Runnable;
+    runQueue.push_back(tc);
+    sys.kickIdleCpus();
+}
+
+void
+GuestOs::startBoot(BootType boot, int init_program_index,
+                   std::int64_t init_arg, bool checkpoint_after_boot)
+{
+    unsigned num_cpus = unsigned(sys.cpus.size());
+    auto prog = buildBootProgram(kernel, boot, num_cpus,
+                                 init_program_index, init_arg,
+                                 checkpoint_after_boot);
+    ThreadContext *tc = createThread(std::move(prog), 0, 0);
+    makeRunnable(tc);
+    scheduleTimer();
+}
+
+ThreadContext *
+GuestOs::startProgram(isa::ProgramPtr prog, std::int64_t arg)
+{
+    ThreadContext *tc = createThread(std::move(prog), 0, arg);
+    makeRunnable(tc);
+    if (!timerRunning)
+        scheduleTimer();
+    return tc;
+}
+
+void
+GuestOs::scheduleTimer()
+{
+    timerRunning = true;
+    sys.eventq.schedule(sys.curTick() + timerPeriod, [this] {
+        ++numTimerTicks;
+        scheduleTimer();
+    });
+}
+
+ThreadContext *
+GuestOs::pickNext(int cpu_id)
+{
+    (void)cpu_id;
+    if (runQueue.empty())
+        return nullptr;
+    ThreadContext *tc = runQueue.front();
+    runQueue.pop_front();
+    return tc;
+}
+
+bool
+GuestOs::hasRunnable() const
+{
+    return !runQueue.empty();
+}
+
+void
+GuestOs::requeue(ThreadContext *tc)
+{
+    runQueue.push_back(tc);
+}
+
+void
+GuestOs::finishThread(ThreadContext &tc, std::int64_t code)
+{
+    tc.status = ThreadContext::Status::Finished;
+    tc.exitCode = code;
+    DTRACE("Exec", sys.curTick(), "thread %d exited with code %lld",
+           tc.tid, (long long)code);
+    auto it = joinWaiters.find(tc.tid);
+    if (it != joinWaiters.end()) {
+        for (ThreadContext *waiter : it->second)
+            makeRunnable(waiter);
+        joinWaiters.erase(it);
+    }
+    if (liveThreadCount > 0)
+        --liveThreadCount;
+    // SE-style completion: when the last guest thread exits without an
+    // explicit m5 exit, the simulation is done (gem5's "exiting with
+    // last active thread context").
+    if (liveThreadCount == 0 && !sys.eventq.exitPending()) {
+        sys.eventq.exitSimLoop(
+            "exiting with last active thread context", int(code));
+    }
+}
+
+void
+GuestOs::maybeFireDefect()
+{
+    if (defectFired || sys.defect.kind == DefectPlan::Kind::None)
+        return;
+    if (syscallsSeen < defectTriggerSyscalls)
+        return;
+
+    switch (sys.defect.kind) {
+      case DefectPlan::Kind::KernelPanic:
+        defectFired = true;
+        terminal.writeLine("BUG: unable to handle kernel NULL pointer "
+                           "dereference at 0000000000000000");
+        terminal.writeLine("Kernel panic - not syncing: " +
+                           (sys.defect.detail.empty()
+                                ? std::string("Fatal exception")
+                                : sys.defect.detail));
+        sys.eventq.exitSimLoop("guest kernel panicked", 2);
+        break;
+      case DefectPlan::Kind::HostSegfault:
+        defectFired = true;
+        throw SimulatorCrash(
+            "Segmentation fault (core dumped) — " +
+            (sys.defect.detail.empty() ? std::string("O3CPU LSQ")
+                                       : sys.defect.detail));
+      case DefectPlan::Kind::Livelock: {
+        // The boot thread stops making forward progress: model the O3
+        // replay storm by blocking it on a futex channel nothing ever
+        // wakes. The OS timer keeps simulated time flowing, so the run
+        // ends only at the caller's tick limit (a scheduler timeout).
+        defectFired = true;
+        break;
+      }
+      case DefectPlan::Kind::Deadlock:
+      case DefectPlan::Kind::None:
+        break; // deadlocks are modelled inside the Ruby memory system
+    }
+}
+
+Tick
+GuestOs::syscall(ThreadContext &tc, std::int64_t code, int cpu_id)
+{
+    ++numSyscallsServed;
+    ++syscallsSeen;
+    DTRACE("Syscall", sys.curTick(),
+           "tid %d on cpu%d: syscall %lld (r1=%lld r2=%lld)", tc.tid,
+           cpu_id, (long long)code, (long long)tc.regs[1],
+           (long long)tc.regs[2]);
+    maybeFireDefect();
+
+    Tick cost = kernel.syscallOverhead;
+
+    if (defectFired && sys.defect.kind == DefectPlan::Kind::Livelock) {
+        // Every kernel entry replays forever; the thread never returns.
+        tc.status = ThreadContext::Status::Blocked;
+        tc.waitAddr = ~Addr(0);
+        return cost;
+    }
+
+    auto &r = tc.regs;
+    switch (code) {
+      case SYS_WRITE: {
+        std::size_t idx = std::size_t(r[1]);
+        if (idx >= tc.prog->strings.size())
+            fatal("guest: SYS_WRITE with bad string index");
+        terminal.writeLine(tc.prog->strings[idx]);
+        cost += 50'000; // UART is slow
+        break;
+      }
+      case SYS_EXIT:
+        finishThread(tc, r[1]);
+        break;
+      case SYS_SPAWN: {
+        std::uint64_t entry = std::uint64_t(r[1]);
+        if (entry >= tc.prog->size())
+            fatal("guest: SYS_SPAWN entry out of range");
+        ThreadContext *child = createThread(tc.prog, entry, r[2]);
+        makeRunnable(child);
+        r[1] = child->tid;
+        cost += 20'000; // clone() isn't free
+        break;
+      }
+      case SYS_FUTEX_WAIT: {
+        ++numFutexWaits;
+        Addr addr = Addr(r[1]);
+        std::int64_t expected = r[2];
+        if (sys.physmem.read(addr) != expected) {
+            r[1] = 1; // EAGAIN: value changed, don't sleep
+        } else {
+            tc.status = ThreadContext::Status::Blocked;
+            tc.waitAddr = addr;
+            futexWaiters[addr].push_back(&tc);
+            r[1] = 0;
+        }
+        break;
+      }
+      case SYS_FUTEX_WAKE: {
+        ++numFutexWakes;
+        Addr addr = Addr(r[1]);
+        std::int64_t max_wake = r[2];
+        std::int64_t woken = 0;
+        auto it = futexWaiters.find(addr);
+        if (it != futexWaiters.end()) {
+            while (woken < max_wake && !it->second.empty()) {
+                ThreadContext *waiter = it->second.front();
+                it->second.pop_front();
+                waiter->waitAddr = 0;
+                ++woken;
+                // Wake-to-run latency depends on the kernel's scheduler.
+                sys.eventq.schedule(sys.curTick() + kernel.wakeLatency,
+                                    [this, waiter] {
+                                        makeRunnable(waiter);
+                                    });
+            }
+            if (it->second.empty())
+                futexWaiters.erase(it);
+        }
+        r[1] = woken;
+        break;
+      }
+      case SYS_YIELD:
+        if (hasRunnable()) {
+            tc.status = ThreadContext::Status::Runnable;
+            runQueue.push_back(&tc);
+        }
+        break;
+      case SYS_NANOSLEEP: {
+        Tick ns = Tick(r[1] < 0 ? 0 : r[1]);
+        tc.status = ThreadContext::Status::Blocked;
+        ThreadContext *tcp = &tc;
+        sys.eventq.schedule(sys.curTick() + ns * 1000,
+                            [this, tcp] { makeRunnable(tcp); });
+        break;
+      }
+      case SYS_GETCPU:
+        r[1] = cpu_id;
+        break;
+      case SYS_GETTID:
+        r[1] = tc.tid;
+        break;
+      case SYS_EXEC: {
+        if (!diskImage)
+            fatal("guest: SYS_EXEC with no disk image mounted");
+        isa::ProgramPtr prog = diskImage->programAt(int(r[1]));
+        // Loading the binary costs a disk read of its size.
+        Tick load = disk.readLatency(prog->size());
+        numDiskReadTicks += double(load);
+        cost += load;
+        ThreadContext *child = createThread(std::move(prog), 0, r[2]);
+        makeRunnable(child);
+        r[1] = child->tid;
+        break;
+      }
+      case SYS_READ_DISK: {
+        // The thread genuinely blocks on the device and is woken by
+        // the completion interrupt.
+        std::uint64_t words = std::uint64_t(r[1] < 0 ? 0 : r[1]);
+        Tick lat = disk.readLatency(words);
+        numDiskReadTicks += double(lat);
+        tc.status = ThreadContext::Status::Blocked;
+        ThreadContext *tcp = &tc;
+        sys.eventq.schedule(sys.curTick() + lat,
+                            [this, tcp] { makeRunnable(tcp); });
+        break;
+      }
+      case SYS_JOIN: {
+        int tid = int(r[1]);
+        ThreadContext *target = thread(tid);
+        if (!target)
+            fatal("guest: SYS_JOIN on unknown tid");
+        if (target->status != ThreadContext::Status::Finished) {
+            tc.status = ThreadContext::Status::Blocked;
+            joinWaiters[tid].push_back(&tc);
+        }
+        break;
+      }
+      default:
+        fatal(csprintf("guest: unknown syscall %lld", (long long)code));
+    }
+
+    return cost;
+}
+
+void
+GuestOs::m5op(ThreadContext &tc, std::int64_t func)
+{
+    switch (func) {
+      case M5_EXIT:
+        sys.eventq.exitSimLoop("m5_exit instruction encountered", 0);
+        break;
+      case M5_FAIL:
+        sys.eventq.exitSimLoop("m5_fail instruction encountered",
+                               int(tc.regs[1]));
+        break;
+      case M5_WORK_BEGIN:
+        workBeginTick = sys.curTick();
+        break;
+      case M5_WORK_END:
+        workEndTick = sys.curTick();
+        break;
+      case M5_RESET_STATS:
+        // Zero the whole stats tree, exactly like gem5's m5 resetstats
+        // (workloads call it at the ROI boundary).
+        sys.rootStats.reset();
+        break;
+      case M5_CHECKPOINT:
+        // Stop the loop so the host can serialize state (hack-back).
+        sys.eventq.exitSimLoop("checkpoint", 0);
+        break;
+      default:
+        fatal(csprintf("guest: unknown m5 op %lld", (long long)func));
+    }
+}
+
+std::pair<std::int64_t, Tick>
+GuestOs::ioRead(Addr addr)
+{
+    if (addr >= diskMmioBase && addr < diskMmioBase + mmioWindow) {
+        // Device register: status word + probe latency.
+        return {1, disk.probeLatency()};
+    }
+    if (addr >= terminalMmioBase && addr < terminalMmioBase + mmioWindow)
+        return {0, 100'000};
+    fatal(csprintf("guest: I/O read from unmapped address %#llx",
+                   (unsigned long long)addr));
+}
+
+Tick
+GuestOs::ioWrite(Addr addr, std::int64_t value)
+{
+    (void)value;
+    if (addr >= terminalMmioBase && addr < terminalMmioBase + mmioWindow)
+        return 100'000;
+    if (addr >= diskMmioBase && addr < diskMmioBase + mmioWindow)
+        return disk.probeLatency();
+    fatal(csprintf("guest: I/O write to unmapped address %#llx",
+                   (unsigned long long)addr));
+}
+
+void
+GuestOs::threadHalted(ThreadContext &tc)
+{
+    finishThread(tc, 0);
+}
+
+ThreadContext *
+GuestOs::thread(int tid)
+{
+    if (tid < 0 || std::size_t(tid) >= threads.size())
+        return nullptr;
+    return threads[std::size_t(tid)].get();
+}
+
+Json
+GuestOs::saveState() const
+{
+    // Which threads are blocked on joins (as opposed to futexes)?
+    std::set<int> join_blocked;
+    for (const auto &kv : joinWaiters)
+        for (const ThreadContext *tc : kv.second)
+            join_blocked.insert(tc->tid);
+
+    Json out = Json::object();
+    Json tjson = Json::array();
+    for (const auto &tptr : threads) {
+        const ThreadContext &tc = *tptr;
+        std::string status;
+        switch (tc.status) {
+          case ThreadContext::Status::Running:
+          case ThreadContext::Status::Runnable:
+            status = "runnable";
+            break;
+          case ThreadContext::Status::Finished:
+            status = "finished";
+            break;
+          case ThreadContext::Status::Blocked:
+            if (tc.waitAddr != 0 && tc.waitAddr != ~Addr(0)) {
+                status = "blocked-futex";
+            } else if (join_blocked.count(tc.tid)) {
+                status = "blocked-join";
+            } else {
+                fatal(csprintf(
+                    "checkpoint: thread %d is blocked on a host-side "
+                    "event (timer/disk); checkpoints require a "
+                    "quiescent point",
+                    tc.tid));
+            }
+            break;
+        }
+        Json t = Json::object();
+        t["tid"] = tc.tid;
+        t["pc"] = tc.pc;
+        t["status"] = status;
+        t["waitAddr"] = tc.waitAddr;
+        t["exitCode"] = tc.exitCode;
+        t["numInsts"] = tc.numInsts;
+        Json regs = Json::array();
+        for (int i = 0; i < isa::numRegs; ++i)
+            regs.push(tc.regs[i]);
+        t["regs"] = std::move(regs);
+        t["program"] = tc.prog->toJson();
+        tjson.push(std::move(t));
+    }
+    out["threads"] = std::move(tjson);
+
+    Json rq = Json::array();
+    for (const ThreadContext *tc : runQueue)
+        rq.push(tc->tid);
+    out["runQueue"] = std::move(rq);
+
+    Json joins = Json::array();
+    for (const auto &kv : joinWaiters) {
+        Json entry = Json::object();
+        entry["target"] = kv.first;
+        Json waiters = Json::array();
+        for (const ThreadContext *tc : kv.second)
+            waiters.push(tc->tid);
+        entry["waiters"] = std::move(waiters);
+        joins.push(std::move(entry));
+    }
+    out["joinWaiters"] = std::move(joins);
+
+    // Futex queues rebuild from each thread's waitAddr, preserving
+    // per-address FIFO order.
+    Json futexes = Json::array();
+    for (const auto &kv : futexWaiters) {
+        Json entry = Json::object();
+        entry["addr"] = kv.first;
+        Json waiters = Json::array();
+        for (const ThreadContext *tc : kv.second)
+            waiters.push(tc->tid);
+        entry["waiters"] = std::move(waiters);
+        futexes.push(std::move(entry));
+    }
+    out["futexWaiters"] = std::move(futexes);
+
+    out["workBeginTick"] = workBeginTick;
+    out["workEndTick"] = workEndTick;
+    return out;
+}
+
+void
+GuestOs::restoreState(const Json &state)
+{
+    if (!threads.empty())
+        fatal("GuestOs::restoreState: OS already has threads");
+
+    for (const auto &t : state.at("threads").asArray()) {
+        auto prog = isa::Program::fromJson(t.at("program"));
+        ThreadContext *tc =
+            createThread(std::move(prog), std::uint64_t(t.getInt("pc")),
+                         0);
+        const auto &regs = t.at("regs").asArray();
+        for (int i = 0; i < isa::numRegs && i < int(regs.size()); ++i)
+            tc->regs[i] = regs[std::size_t(i)].asInt();
+        tc->waitAddr = Addr(t.getInt("waitAddr"));
+        tc->exitCode = t.getInt("exitCode");
+        tc->numInsts = std::uint64_t(t.getInt("numInsts"));
+        std::string status = t.getString("status");
+        if (status == "finished") {
+            tc->status = ThreadContext::Status::Finished;
+            if (liveThreadCount > 0)
+                --liveThreadCount;
+        } else if (status == "runnable") {
+            tc->status = ThreadContext::Status::Runnable;
+        } else {
+            tc->status = ThreadContext::Status::Blocked;
+        }
+    }
+
+    std::set<int> queued;
+    for (const auto &tid : state.at("runQueue").asArray()) {
+        queued.insert(int(tid.asInt()));
+        runQueue.push_back(thread(int(tid.asInt())));
+    }
+    // A thread that was Running on a CPU at the checkpoint is runnable
+    // but absent from the saved queue: schedule it first.
+    for (const auto &tptr : threads) {
+        if (tptr->status == ThreadContext::Status::Runnable &&
+            !queued.count(tptr->tid)) {
+            runQueue.push_front(tptr.get());
+        }
+    }
+
+    for (const auto &entry : state.at("futexWaiters").asArray()) {
+        Addr addr = Addr(entry.getInt("addr"));
+        for (const auto &tid : entry.at("waiters").asArray())
+            futexWaiters[addr].push_back(thread(int(tid.asInt())));
+    }
+    for (const auto &entry : state.at("joinWaiters").asArray()) {
+        int target = int(entry.getInt("target"));
+        for (const auto &tid : entry.at("waiters").asArray())
+            joinWaiters[target].push_back(thread(int(tid.asInt())));
+    }
+
+    workBeginTick = Tick(state.getInt("workBeginTick"));
+    workEndTick = Tick(state.getInt("workEndTick"));
+
+    scheduleTimer();
+    sys.kickIdleCpus();
+}
+
+} // namespace g5::sim::fs

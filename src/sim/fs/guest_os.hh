@@ -1,0 +1,142 @@
+/**
+ * @file
+ * GuestOs — the miniature operating system of sim5 full-system mode.
+ *
+ * It owns every guest software thread, schedules them onto CPUs through
+ * a global run queue (round-robin with instruction-quantum preemption,
+ * driven from BaseCpu), and services the guest ABI: console writes,
+ * thread spawn/join/exit, futexes with version-dependent wake latency,
+ * sleeping, disk reads, and exec of binaries from the mounted S5DK disk
+ * image. m5 pseudo-ops (exit / work begin / work end) terminate the
+ * simulation and timestamp the region of interest.
+ *
+ * A periodic timer interrupt keeps the event queue alive while all CPUs
+ * idle — exactly why a hung guest shows up as "simulate() limit
+ * reached" rather than a drained queue, matching how a hung gem5 run
+ * shows up as a scheduler timeout in the paper's Fig 8.
+ */
+
+#ifndef G5_SIM_FS_GUEST_OS_HH
+#define G5_SIM_FS_GUEST_OS_HH
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "sim/fs/devices.hh"
+#include "sim/fs/disk_image.hh"
+#include "sim/fs/kernel.hh"
+#include "sim/system.hh"
+
+namespace g5::sim::fs
+{
+
+class GuestOs : public OsCallbacks
+{
+  public:
+    /**
+     * @param sys    the owning system (os pointer is wired by caller).
+     * @param kernel the booted kernel's spec (syscall/wake costs).
+     * @param disk   mounted disk image; may be nullptr for bare runs.
+     */
+    GuestOs(System &sys, KernelSpec kernel, DiskImagePtr disk);
+
+    /** Console device. */
+    Terminal terminal;
+    /** Disk device (latency model; contents come from the image). */
+    DiskDevice disk;
+
+    /**
+     * Create the boot thread from the kernel's generated boot program
+     * and start the OS timer. CPUs are started separately.
+     */
+    void startBoot(BootType boot, int init_program_index = -1,
+                   std::int64_t init_arg = 0,
+                   bool checkpoint_after_boot = false);
+
+    /** Start an arbitrary program as a thread (tests, SE-style runs). */
+    isa::ThreadContext *startProgram(isa::ProgramPtr prog,
+                                     std::int64_t arg = 0);
+
+    // --- OsCallbacks ---
+    isa::ThreadContext *pickNext(int cpu_id) override;
+    bool hasRunnable() const override;
+    void requeue(isa::ThreadContext *tc) override;
+    Tick syscall(isa::ThreadContext &tc, std::int64_t code,
+                 int cpu_id) override;
+    void m5op(isa::ThreadContext &tc, std::int64_t func) override;
+    std::pair<std::int64_t, Tick> ioRead(Addr addr) override;
+    Tick ioWrite(Addr addr, std::int64_t value) override;
+    void threadHalted(isa::ThreadContext &tc) override;
+
+    /** Region-of-interest timestamps (0 when never marked). */
+    Tick workBeginTick = 0;
+    Tick workEndTick = 0;
+
+    /** @return total threads ever created. */
+    std::size_t numThreads() const { return threads.size(); }
+
+    /** @return the thread with @p tid, or nullptr. */
+    isa::ThreadContext *thread(int tid);
+
+    /** @return threads created minus threads finished. */
+    std::size_t liveThreads() const { return liveThreadCount; }
+
+    /**
+     * Serialize guest software state (threads, registers, futex and
+     * join queues, run-queue order) for a checkpoint. Requires
+     * quiescence: every thread Runnable, futex/join-blocked, or
+     * Finished — a thread sleeping on a timer or disk interrupt has
+     * host-side events that cannot be serialized (the same restriction
+     * gem5 places on checkpoint points).
+     * @throws FatalError when the system is not quiescent.
+     */
+    Json saveState() const;
+
+    /**
+     * Rebuild guest software state from saveState() output and start
+     * the OS timer. The GuestOs must be freshly constructed.
+     */
+    void restoreState(const Json &state);
+
+    StatGroup &statGroup() { return stats; }
+
+    // Statistics (public for tests).
+    Scalar numSyscallsServed, numThreadsSpawned, numFutexWaits,
+        numFutexWakes, numDiskReadTicks, numTimerTicks;
+
+  private:
+    isa::ThreadContext *createThread(isa::ProgramPtr prog,
+                                     std::uint64_t entry,
+                                     std::int64_t arg);
+    void makeRunnable(isa::ThreadContext *tc);
+    void finishThread(isa::ThreadContext &tc, std::int64_t code);
+    void scheduleTimer();
+    void maybeFireDefect();
+
+    System &sys;
+    KernelSpec kernel;
+    DiskImagePtr diskImage;
+
+    std::vector<std::unique_ptr<isa::ThreadContext>> threads;
+    std::deque<isa::ThreadContext *> runQueue;
+    std::map<Addr, std::deque<isa::ThreadContext *>> futexWaiters;
+    std::map<int, std::vector<isa::ThreadContext *>> joinWaiters;
+
+    std::uint64_t syscallsSeen = 0;
+    std::size_t liveThreadCount = 0;
+    bool defectFired = false;
+    bool timerRunning = false;
+
+    /** Syscalls before a configured defect manifests (mid-boot). */
+    static constexpr std::uint64_t defectTriggerSyscalls = 5;
+    /** OS timer interrupt period (1 ms). */
+    static constexpr Tick timerPeriod = 1'000'000'000;
+
+    StatGroup stats;
+};
+
+} // namespace g5::sim::fs
+
+#endif // G5_SIM_FS_GUEST_OS_HH

@@ -1,0 +1,286 @@
+#include "sim/fs/kernel.hh"
+
+#include <filesystem>
+
+#include "base/logging.hh"
+#include "base/str.hh"
+#include "sim/fs/guest_abi.hh"
+#include "sim/isa/builder.hh"
+
+namespace g5::sim::fs
+{
+
+const char *
+bootTypeName(BootType t)
+{
+    return t == BootType::KernelOnly ? "init" : "systemd";
+}
+
+BootType
+bootTypeFromName(const std::string &name)
+{
+    if (name == "init" || name == "kernel")
+        return BootType::KernelOnly;
+    if (name == "systemd" || name == "multi-user")
+        return BootType::Systemd;
+    fatal("unknown boot type '" + name + "'");
+}
+
+KernelSpec
+KernelSpec::forVersion(const std::string &version)
+{
+    auto parts = split(version, '.');
+    if (parts.size() != 3)
+        fatal("KernelSpec: version must be MAJOR.MINOR.PATCH, got '" +
+              version + "'");
+
+    KernelSpec spec;
+    spec.version = version;
+    try {
+        spec.major = std::stoi(parts[0]);
+        spec.minor = std::stoi(parts[1]);
+        spec.patch = std::stoi(parts[2]);
+    } catch (const std::exception &) {
+        fatal("KernelSpec: non-numeric version '" + version + "'");
+    }
+    if (spec.major < 2 || spec.major > 6)
+        fatal("KernelSpec: implausible kernel major version in '" +
+              version + "'");
+
+    // Version code, e.g. 4.19 -> 4019. Newer kernels boot more code.
+    int code = spec.major * 1000 + spec.minor;
+
+    spec.decompressIters = 20'000 + std::uint64_t(code - 4000) * 25;
+    spec.pageInitWords = 32'768;
+    spec.driverProbes = 40 + unsigned(code - 4000) / 8;
+    spec.rootfsWords = 64 * 1024;
+    spec.bootServices = code >= 5000 ? 18u : 12u;
+
+    // Post-4.14 kernels carry Meltdown/Spectre mitigations: syscalls
+    // cost more. Newer schedulers wake futex waiters faster.
+    spec.syscallOverhead = code >= 4014 ? 2500 : 1500;
+    spec.wakeLatency = code >= 5000 ? 2500 : 4000;
+
+    return spec;
+}
+
+Json
+KernelSpec::toJson() const
+{
+    Json j = Json::object();
+    j["kind"] = "vmlinux";
+    j["version"] = version;
+    j["decompressIters"] = decompressIters;
+    j["pageInitWords"] = pageInitWords;
+    j["driverProbes"] = std::int64_t(driverProbes);
+    j["rootfsWords"] = rootfsWords;
+    j["bootServices"] = std::int64_t(bootServices);
+    j["syscallOverhead"] = syscallOverhead;
+    j["wakeLatency"] = wakeLatency;
+    return j;
+}
+
+KernelSpec
+KernelSpec::fromJson(const Json &j)
+{
+    if (j.getString("kind") != "vmlinux")
+        fatal("KernelSpec: not a vmlinux descriptor");
+    KernelSpec spec = forVersion(j.getString("version"));
+    // Allow stored knobs to override the derived defaults (a "custom
+    // kernel config"), while version-derived values are the norm.
+    spec.decompressIters =
+        std::uint64_t(j.getInt("decompressIters",
+                               std::int64_t(spec.decompressIters)));
+    spec.pageInitWords = std::uint64_t(
+        j.getInt("pageInitWords", std::int64_t(spec.pageInitWords)));
+    spec.driverProbes = unsigned(
+        j.getInt("driverProbes", std::int64_t(spec.driverProbes)));
+    spec.rootfsWords = std::uint64_t(
+        j.getInt("rootfsWords", std::int64_t(spec.rootfsWords)));
+    spec.bootServices = unsigned(
+        j.getInt("bootServices", std::int64_t(spec.bootServices)));
+    spec.syscallOverhead = Tick(
+        j.getInt("syscallOverhead", std::int64_t(spec.syscallOverhead)));
+    spec.wakeLatency =
+        Tick(j.getInt("wakeLatency", std::int64_t(spec.wakeLatency)));
+    return spec;
+}
+
+void
+KernelSpec::save(const std::string &host_path) const
+{
+    std::filesystem::path p(host_path);
+    if (p.has_parent_path())
+        std::filesystem::create_directories(p.parent_path());
+    std::FILE *f = std::fopen(host_path.c_str(), "wb");
+    if (!f)
+        fatal("KernelSpec: cannot write '" + host_path + "'");
+    std::string text = toJson().dump(2);
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
+}
+
+KernelSpec
+KernelSpec::load(const std::string &host_path)
+{
+    std::FILE *f = std::fopen(host_path.c_str(), "rb");
+    if (!f)
+        fatal("KernelSpec: cannot read '" + host_path + "'");
+    std::string text;
+    char buf[4096];
+    std::size_t got;
+    while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        text.append(buf, got);
+    std::fclose(f);
+    return fromJson(Json::parse(text));
+}
+
+isa::ProgramPtr
+buildBootProgram(const KernelSpec &kernel, BootType boot,
+                 unsigned num_cpus, int init_program_index,
+                 std::int64_t init_arg, bool checkpoint_after_boot)
+{
+    using isa::ProgramBuilder;
+
+    ProgramBuilder pb("vmlinux-" + kernel.version);
+
+    // Register conventions inside generated code:
+    //   r1..r3  syscall args, r9 zero, r10..r19 locals.
+    constexpr int zero = 9;
+    pb.movi(zero, 0);
+
+    auto console = [&](const std::string &line) {
+        pb.movi(1, pb.str(line));
+        pb.syscall(SYS_WRITE);
+    };
+
+    console("Booting Linux version " + kernel.version +
+            " (gcc built) SMP");
+
+    // Phase 1: decompress/early-init — pure compute.
+    pb.movi(10, std::int64_t(kernel.decompressIters));
+    pb.movi(11, 0x9e3779b9);
+    auto decompress_loop = pb.newLabel();
+    pb.bind(decompress_loop);
+    pb.muli(11, 11, 1664525);
+    pb.addi(11, 11, 1013904223);
+    pb.addi(10, 10, -1);
+    pb.bne(10, zero, decompress_loop);
+
+    console("smp: Bringing up secondary CPUs ... (" +
+            std::to_string(num_cpus) + " total)");
+
+    // Phase 2: page/struct-page init — streaming stores.
+    pb.movi(12, std::int64_t(kernelScratchBase));
+    pb.movi(10, std::int64_t(kernel.pageInitWords / 8)); // 1 store / 64B
+    auto page_loop = pb.newLabel();
+    pb.bind(page_loop);
+    pb.st(12, 0, 11);
+    pb.addi(12, 12, 64);
+    pb.addi(10, 10, -1);
+    pb.bne(10, zero, page_loop);
+
+    // Phase 3: driver probes — device register reads.
+    pb.movi(13, std::int64_t(diskMmioBase));
+    pb.movi(10, std::int64_t(kernel.driverProbes));
+    auto probe_loop = pb.newLabel();
+    pb.bind(probe_loop);
+    pb.iord(14, 13, 0);
+    pb.addi(13, 13, 8);
+    pb.addi(10, 10, -1);
+    pb.bne(10, zero, probe_loop);
+
+    console("scsi 0:0:0:0: Direct-Access  QEMU HARDDISK");
+
+    // Phase 4: mount root — bulk disk reads.
+    pb.movi(1, std::int64_t(kernel.rootfsWords / 4));
+    pb.syscall(SYS_READ_DISK);
+    pb.movi(1, std::int64_t(kernel.rootfsWords / 4));
+    pb.syscall(SYS_READ_DISK);
+    console("EXT4-fs (sda1): mounted filesystem with ordered data mode");
+    console("Freeing unused kernel memory");
+    console("Run /sbin/init as init process");
+
+    auto jump_past_service = pb.newLabel();
+    auto service_entry = pb.newLabel();
+    unsigned services = 0;
+
+    if (boot == BootType::Systemd) {
+        // Spawn runlevel-5 services; they fan out across CPUs.
+        services = kernel.bootServices + num_cpus;
+        pb.jmp(jump_past_service);
+
+        // --- service body: arg arrives in r1 ---
+        pb.bind(service_entry);
+        pb.mov(15, 1);                  // service id
+        pb.movi(10, 4000);              // per-service compute
+        auto svc_loop = pb.newLabel();
+        pb.bind(svc_loop);
+        pb.muli(11, 11, 22695477);
+        pb.addi(11, 11, 1);
+        pb.addi(10, 10, -1);
+        pb.bne(10, zero, svc_loop);
+        pb.movi(1, 512);                // read a unit file
+        pb.syscall(SYS_READ_DISK);
+        pb.movi(16, std::int64_t(svcCounterAddr));
+        pb.movi(17, 1);
+        pb.amo(18, 16, 0, 17);          // done_count++
+        pb.movi(1, std::int64_t(svcCounterAddr));
+        pb.movi(2, 64);
+        pb.syscall(SYS_FUTEX_WAKE);
+        pb.movi(1, 0);
+        pb.syscall(SYS_EXIT);
+        // --- end service body ---
+
+        pb.bind(jump_past_service);
+        pb.movi(14, 0); // service index
+        pb.movi(19, std::int64_t(services));
+        auto spawn_loop = pb.newLabel();
+        pb.bind(spawn_loop);
+        pb.moviLabel(1, service_entry);
+        pb.syscall(SYS_SPAWN);
+        pb.addi(14, 14, 1);
+        pb.blt(14, 19, spawn_loop);
+
+        // Wait for all services: futex on the done counter.
+        pb.movi(16, std::int64_t(svcCounterAddr));
+        auto wait_loop = pb.newLabel();
+        auto wait_done = pb.newLabel();
+        pb.bind(wait_loop);
+        pb.ld(18, 16, 0);
+        pb.bge(18, 19, wait_done);
+        pb.movi(1, std::int64_t(svcCounterAddr));
+        pb.mov(2, 18);
+        pb.syscall(SYS_FUTEX_WAIT);
+        pb.jmp(wait_loop);
+        pb.bind(wait_done);
+        console("systemd[1]: Reached target Multi-User System.");
+        console("login: (runlevel 5)");
+    }
+
+    if (checkpoint_after_boot) {
+        // hack-back: quiesce right after boot so the host can save a
+        // checkpoint; on restore, execution continues from here.
+        console("hack-back: taking post-boot checkpoint");
+        pb.m5op(M5_CHECKPOINT);
+        console("hack-back: running host-provided script");
+    }
+
+    if (init_program_index >= 0) {
+        console("init: starting workload");
+        pb.movi(1, init_program_index);
+        pb.movi(2, init_arg);
+        pb.syscall(SYS_EXEC);
+        pb.mov(1, 1); // tid already in r1
+        pb.syscall(SYS_JOIN);
+        console("init: workload complete");
+    }
+
+    console("m5: exiting simulation");
+    pb.m5op(M5_EXIT);
+    pb.halt();
+
+    return pb.finish();
+}
+
+} // namespace g5::sim::fs

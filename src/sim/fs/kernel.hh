@@ -1,0 +1,92 @@
+/**
+ * @file
+ * The Linux-kernel model: a KernelSpec ("vmlinux") describes one kernel
+ * version and derives the boot workload sim5 executes for it.
+ *
+ * The spec serializes to JSON so kernel binaries are first-class,
+ * hashable artifacts (gem5-resources' linux-kernel resource). Version-
+ * dependent parameters are derived mechanistically: newer kernels carry
+ * more boot code and driver probes, pay higher syscall overhead (
+ * post-4.14 mitigations) but schedule wakeups faster.
+ */
+
+#ifndef G5_SIM_FS_KERNEL_HH
+#define G5_SIM_FS_KERNEL_HH
+
+#include <string>
+
+#include "base/json.hh"
+#include "base/types.hh"
+#include "sim/isa/program.hh"
+
+namespace g5::sim::fs
+{
+
+/** Boot modes of the paper's Fig 8. */
+enum class BootType {
+    KernelOnly,  ///< boot the kernel, start init, exit
+    Systemd,     ///< boot to runlevel 5 (multi-user) before exiting
+};
+
+/** @return "init" or "systemd" (the boot-exit resource's names). */
+const char *bootTypeName(BootType t);
+
+/** Parse a boot-type name; throws FatalError on junk. */
+BootType bootTypeFromName(const std::string &name);
+
+struct KernelSpec
+{
+    std::string version;       ///< e.g. "5.4.49"
+    int major = 0;
+    int minor = 0;
+    int patch = 0;
+
+    // Derived boot-workload knobs (see forVersion()).
+    std::uint64_t decompressIters = 0;
+    std::uint64_t pageInitWords = 0;
+    unsigned driverProbes = 0;
+    std::uint64_t rootfsWords = 0;
+    unsigned bootServices = 0;
+
+    /** Kernel-time cost charged per syscall, in ticks. */
+    Tick syscallOverhead = 0;
+    /** Futex wake-to-run latency, in ticks. */
+    Tick wakeLatency = 0;
+
+    /** Build the spec for a version string; throws FatalError on junk. */
+    static KernelSpec forVersion(const std::string &version);
+
+    Json toJson() const;
+    static KernelSpec fromJson(const Json &j);
+
+    /** Write the "vmlinux binary" to a host file. */
+    void save(const std::string &host_path) const;
+    static KernelSpec load(const std::string &host_path);
+};
+
+/**
+ * Emit the boot program for @p kernel.
+ *
+ * @param boot                boot mode.
+ * @param num_cpus            CPUs in the system (services fan out).
+ * @param init_program_index  SYS_EXEC index of the workload binary the
+ *                            init process should run; -1 for none
+ *                            (boot-exit behaviour).
+ * @param init_arg            argument passed to the workload (r1).
+ * @param checkpoint_after_boot insert an m5 checkpoint op between the
+ *                            end of boot and the workload (the
+ *                            hack-back resource's behaviour).
+ */
+isa::ProgramPtr buildBootProgram(const KernelSpec &kernel, BootType boot,
+                                 unsigned num_cpus,
+                                 int init_program_index = -1,
+                                 std::int64_t init_arg = 0,
+                                 bool checkpoint_after_boot = false);
+
+/** Guest addresses used by generated boot code. */
+constexpr Addr kernelScratchBase = 0x4000'0000;
+constexpr Addr svcCounterAddr = 0x4100'0000;
+
+} // namespace g5::sim::fs
+
+#endif // G5_SIM_FS_KERNEL_HH

@@ -1,0 +1,131 @@
+#include "sim/fs/known_issues.hh"
+
+#include <algorithm>
+
+#include "sim/fs/fs_system.hh"
+
+namespace g5::sim::fs
+{
+
+const std::vector<std::string> &
+fig8Kernels()
+{
+    static const std::vector<std::string> kernels = {
+        "4.4.186", "4.9.186", "4.14.134", "4.19.83", "5.4.49",
+    };
+    return kernels;
+}
+
+namespace
+{
+
+bool
+kernelIn(const FsConfig &cfg, std::initializer_list<const char *> list)
+{
+    return std::any_of(list.begin(), list.end(), [&](const char *v) {
+        return cfg.kernelVersion == v;
+    });
+}
+
+bool
+coresIn(const FsConfig &cfg, std::initializer_list<unsigned> list)
+{
+    return std::any_of(list.begin(), list.end(),
+                       [&](unsigned c) { return cfg.numCpus == c; });
+}
+
+DefectPlan
+plan(DefectPlan::Kind kind, const std::string &detail)
+{
+    DefectPlan p;
+    p.kind = kind;
+    p.detail = detail;
+    return p;
+}
+
+} // anonymous namespace
+
+DefectPlan
+knownIssueFor(const FsConfig &cfg)
+{
+    // The census belongs to one specific simulated version.
+    if (cfg.simVersion != buggedSimVersion)
+        return {};
+    // Only the O3CPU is implicated (Fig 8); the other models either
+    // work or are rejected as unsupported before a defect could apply.
+    if (cfg.cpuType != CpuType::O3)
+        return {};
+
+    const bool systemd = cfg.bootType == BootType::Systemd;
+
+    if (cfg.memSystem == "classic") {
+        // Single core only (multi-core classic+O3 is unsupported).
+        // The LSQ replay segfault (GEM5-782) reproduces with the newest
+        // kernel's early-boot pattern.
+        if (cfg.kernelVersion == "5.4.49" && !systemd) {
+            return plan(DefectPlan::Kind::HostSegfault,
+                        "O3CPU LSQ replay on classic memory [GEM5-782]");
+        }
+        return {};
+    }
+
+    if (cfg.memSystem == "MI_example") {
+        // Protocol deadlock: blocking directory loses a forwarded-ack
+        // race with many outstanding O3 requests on 8 cores + old
+        // kernels' boot-time page-init storm.
+        if (coresIn(cfg, {8}) && kernelIn(cfg, {"4.4.186", "4.9.186"})) {
+            return plan(DefectPlan::Kind::Deadlock,
+                        "MI_example directory ack race under O3");
+        }
+        // Guest kernel panics: speculative-replay corruption visible to
+        // old kernels' boot-time SMP bring-up.
+        if (coresIn(cfg, {2, 4}) &&
+            kernelIn(cfg, {"4.4.186", "4.9.186"})) {
+            return plan(DefectPlan::Kind::KernelPanic,
+                        "Attempted to kill init! exitcode=0x00000009");
+        }
+        if (cfg.numCpus == 8 && cfg.kernelVersion == "4.14.134" &&
+            systemd) {
+            return plan(DefectPlan::Kind::KernelPanic,
+                        "Attempted to kill init! exitcode=0x00000009");
+        }
+        // Simulator segfaults with the newest kernel under load.
+        if (cfg.kernelVersion == "5.4.49" && coresIn(cfg, {2, 4}) &&
+            systemd) {
+            return plan(DefectPlan::Kind::HostSegfault,
+                        "O3CPU LSQ replay under MI_example [GEM5-782]");
+        }
+        // Runs that never finish (issue-replay livelock).
+        if (cfg.kernelVersion == "4.19.83" && coresIn(cfg, {2, 4, 8})) {
+            return plan(DefectPlan::Kind::Livelock,
+                        "O3 issue-replay storm; no forward progress");
+        }
+        if (cfg.kernelVersion == "4.14.134" && coresIn(cfg, {2, 4})) {
+            return plan(DefectPlan::Kind::Livelock,
+                        "O3 issue-replay storm; no forward progress");
+        }
+        return {};
+    }
+
+    if (cfg.memSystem == "MESI_Two_Level") {
+        if (kernelIn(cfg, {"4.4.186", "4.9.186", "4.14.134"}) &&
+            coresIn(cfg, {2, 4, 8})) {
+            return plan(DefectPlan::Kind::KernelPanic,
+                        "Attempted to kill init! exitcode=0x00000009");
+        }
+        if (cfg.kernelVersion == "5.4.49") {
+            return plan(DefectPlan::Kind::HostSegfault,
+                        "O3CPU LSQ replay under MESI_Two_Level "
+                        "[GEM5-782]");
+        }
+        if (cfg.kernelVersion == "4.19.83" && coresIn(cfg, {2, 4, 8})) {
+            return plan(DefectPlan::Kind::Livelock,
+                        "O3 issue-replay storm; no forward progress");
+        }
+        return {};
+    }
+
+    return {};
+}
+
+} // namespace g5::sim::fs

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * The modeled bug census of the simulated simulator version.
+ *
+ * The paper's Fig 8 is, in essence, a census of gem5 v20.1.0.4's
+ * full-system bugs: which CPU x memory x kernel x core-count x boot-type
+ * combinations boot, and how the rest fail (27 guest kernel panics, 11
+ * simulator segfaults — tracked as GEM5-782 —, 4 MI_example protocol
+ * deadlocks, and 16 runs that never finish). sim5 does not share gem5's
+ * code, so those bugs are frozen here as data: knownIssueFor() maps a
+ * configuration to the defect it exhibits, and the simulator expresses
+ * each defect through a real failure mechanism (see DefectPlan).
+ *
+ * Only the O3CPU is affected; the kvm/atomic/timing models are stable in
+ * every *supported* configuration, and unsupported configurations
+ * (classic + multiple timing-mode CPUs, atomic + Ruby) are rejected at
+ * configuration time, exactly as Fig 8 reports.
+ */
+
+#ifndef G5_SIM_FS_KNOWN_ISSUES_HH
+#define G5_SIM_FS_KNOWN_ISSUES_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/system.hh"
+
+namespace g5::sim::fs
+{
+
+struct FsConfig; // fs_system.hh
+
+/** The five LTS kernels of the paper's Fig 8 sweep. */
+const std::vector<std::string> &fig8Kernels();
+
+/** The simulated simulator version carrying the census. */
+constexpr const char *buggedSimVersion = "20.1.0.4";
+
+/**
+ * @return the defect @p cfg exhibits under the simulated version, or a
+ * None plan when it boots cleanly.
+ */
+DefectPlan knownIssueFor(const FsConfig &cfg);
+
+} // namespace g5::sim::fs
+
+#endif // G5_SIM_FS_KNOWN_ISSUES_HH

@@ -1,0 +1,713 @@
+#include "sim/gpu/gpu.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <limits>
+
+#include "base/logging.hh"
+#include "base/random.hh"
+
+namespace g5::sim::gpu
+{
+
+const char *
+regAllocName(RegAllocPolicy p)
+{
+    return p == RegAllocPolicy::Simple ? "simple" : "dynamic";
+}
+
+RegAllocPolicy
+regAllocFromName(const std::string &name)
+{
+    if (name == "simple")
+        return RegAllocPolicy::Simple;
+    if (name == "dynamic")
+        return RegAllocPolicy::Dynamic;
+    fatal("unknown register allocator '" + name + "'");
+}
+
+Json
+KernelDesc::toJson() const
+{
+    Json j = Json::object();
+    j["name"] = name;
+    j["numWorkgroups"] = std::int64_t(numWorkgroups);
+    j["wavesPerWg"] = std::int64_t(wavesPerWg);
+    j["vgprsPerWave"] = std::int64_t(vgprsPerWave);
+    j["sgprsPerWave"] = std::int64_t(sgprsPerWave);
+    j["ldsPerWg"] = std::int64_t(ldsPerWg);
+    j["iterations"] = std::int64_t(iterations);
+    j["valuPerIter"] = std::int64_t(valuPerIter);
+    j["saluPerIter"] = std::int64_t(saluPerIter);
+    j["vmemPerIter"] = std::int64_t(vmemPerIter);
+    j["ldsOpsPerIter"] = std::int64_t(ldsOpsPerIter);
+    j["barriersPerIter"] = std::int64_t(barriersPerIter);
+    j["mutexKind"] = std::int64_t(mutexKind);
+    j["csPerIter"] = std::int64_t(csPerIter);
+    j["csMemOps"] = std::int64_t(csMemOps);
+    j["uniqueLockPerWg"] = uniqueLockPerWg;
+    j["l1Locality"] = l1Locality;
+    j["l2Locality"] = l2Locality;
+    return j;
+}
+
+KernelDesc
+KernelDesc::fromJson(const Json &j)
+{
+    KernelDesc k;
+    k.name = j.getString("name");
+    k.numWorkgroups = unsigned(j.getInt("numWorkgroups", 1));
+    k.wavesPerWg = unsigned(j.getInt("wavesPerWg", 1));
+    k.vgprsPerWave = unsigned(j.getInt("vgprsPerWave", 256));
+    k.sgprsPerWave = unsigned(j.getInt("sgprsPerWave", 128));
+    k.ldsPerWg = unsigned(j.getInt("ldsPerWg", 0));
+    k.iterations = unsigned(j.getInt("iterations", 1));
+    k.valuPerIter = unsigned(j.getInt("valuPerIter", 0));
+    k.saluPerIter = unsigned(j.getInt("saluPerIter", 0));
+    k.vmemPerIter = unsigned(j.getInt("vmemPerIter", 0));
+    k.ldsOpsPerIter = unsigned(j.getInt("ldsOpsPerIter", 0));
+    k.barriersPerIter = unsigned(j.getInt("barriersPerIter", 0));
+    k.mutexKind = MutexKind(j.getInt("mutexKind", 0));
+    k.csPerIter = unsigned(j.getInt("csPerIter", 0));
+    k.csMemOps = unsigned(j.getInt("csMemOps", 0));
+    k.uniqueLockPerWg = j.getBool("uniqueLockPerWg", false);
+    k.l1Locality = j.getDouble("l1Locality", 0.5);
+    k.l2Locality = j.getDouble("l2Locality", 0.7);
+    return k;
+}
+
+Json
+GpuRunResult::toJson() const
+{
+    Json j = Json::object();
+    j["shaderCycles"] = shaderCycles;
+    j["valuIssues"] = valuIssues;
+    j["wastedIssueCycles"] = wastedIssueCycles;
+    j["memRequests"] = memRequests;
+    j["l1Hits"] = l1Hits;
+    j["l2Hits"] = l2Hits;
+    j["dramAccesses"] = dramAccesses;
+    j["atomicRetries"] = atomicRetries;
+    j["barrierWaits"] = barrierWaits;
+    j["maxResidentWavesPerCu"] = maxResidentWavesPerCu;
+    return j;
+}
+
+GpuModel::GpuModel(const GpuConfig &cfg, RegAllocPolicy policy)
+    : cfg(cfg), policy(policy)
+{
+    if (cfg.numCus == 0 || cfg.simdPerCu == 0)
+        fatal("GpuModel: need at least one CU and one SIMD");
+}
+
+unsigned
+GpuModel::residentWaveLimit(const KernelDesc &kernel) const
+{
+    if (policy == RegAllocPolicy::Simple)
+        return cfg.simdPerCu; // one wave per SIMD16 at a time
+
+    unsigned by_slots = cfg.simdPerCu * cfg.maxWavesPerSimd;
+    unsigned by_vgpr =
+        kernel.vgprsPerWave ? cfg.vgprPerCu / kernel.vgprsPerWave
+                            : by_slots;
+    unsigned by_sgpr =
+        kernel.sgprsPerWave ? cfg.sgprPerCu / kernel.sgprsPerWave
+                            : by_slots;
+    unsigned waves = std::min({by_slots, by_vgpr, by_sgpr});
+    if (kernel.ldsPerWg) {
+        unsigned wgs = cfg.ldsBytesPerCu / kernel.ldsPerWg;
+        waves = std::min(waves, wgs * kernel.wavesPerWg);
+    }
+    return std::max(waves, 1u);
+}
+
+namespace
+{
+
+using Cycle = std::uint64_t;
+constexpr Cycle never = std::numeric_limits<Cycle>::max();
+
+/** What a wave does next. */
+enum class Phase {
+    CsAcquire, CsBody, CsRelease,
+    Vmem, Valu, Lds, Salu, Barrier,
+    NextIter, Done,
+};
+
+struct Wave
+{
+    unsigned wgId = 0;
+    unsigned cuId = 0;
+    unsigned simdId = 0;
+
+    Cycle readyAt = 0;
+    bool atBarrier = false;
+    bool parked = false;    ///< waiting on a ticket-lock handoff
+    bool done = false;
+
+    unsigned iter = 0;
+    Phase phase = Phase::NextIter;
+    unsigned phaseLeft = 0; ///< remaining ops in the current phase
+    unsigned csLeft = 0;    ///< remaining critical sections this iter
+    unsigned csMemLeft = 0;
+    unsigned backoff = 16;  ///< EBO state, cycles
+    bool countedWaiter = false; ///< already in the mutex waiter count
+    std::uint64_t ticket = 0;
+};
+
+struct WorkgroupState
+{
+    unsigned arrived = 0;
+    unsigned wavesDone = 0;
+    bool resident = false;
+};
+
+struct MutexState
+{
+    int owner = -1;              ///< wave index or -1
+    std::uint64_t nextTicket = 0;
+    std::uint64_t nowServing = 0;
+    std::deque<int> parkedWaves; ///< FIFO of ticket-lock waiters
+    unsigned waiters = 0;        ///< spinning/parked contenders
+};
+
+struct CuState
+{
+    Cycle saluBusyUntil = 0;
+    Cycle ldsBusyUntil = 0;
+    unsigned residentWaves = 0;
+    unsigned vgprUsed = 0;
+    unsigned sgprUsed = 0;
+    unsigned ldsUsed = 0;
+    std::vector<Cycle> simdBusyUntil;
+    std::vector<std::vector<int>> simdWaves; ///< wave indices per SIMD
+    std::vector<unsigned> rr;                ///< round-robin cursor
+};
+
+} // anonymous namespace
+
+GpuRunResult
+GpuModel::run(const KernelDesc &kernel)
+{
+    if (kernel.wavesPerWg == 0 || kernel.numWorkgroups == 0)
+        fatal("GpuModel: kernel '" + kernel.name + "' launches no work");
+    if (kernel.wavesPerWg > cfg.simdPerCu) {
+        fatal("GpuModel: kernel '" + kernel.name + "' has more waves "
+              "per workgroup than SIMDs per CU");
+    }
+
+    // Seeded by the kernel alone: two policies see the same draw
+    // stream, so identical schedules produce identical timings.
+    Rng rng(kernel.name);
+    GpuRunResult res;
+
+    // --- state ---
+    std::vector<Wave> waves(kernel.totalWaves());
+    std::vector<WorkgroupState> wgs(kernel.numWorkgroups);
+    std::vector<CuState> cus(cfg.numCus);
+    for (auto &cu : cus) {
+        cu.simdBusyUntil.assign(cfg.simdPerCu, 0);
+        cu.simdWaves.assign(cfg.simdPerCu, {});
+        cu.rr.assign(cfg.simdPerCu, 0);
+    }
+
+    unsigned num_mutexes = kernel.uniqueLockPerWg
+                               ? kernel.numWorkgroups
+                               : (kernel.mutexKind == MutexKind::None
+                                      ? 0
+                                      : 1);
+    std::vector<MutexState> mutexes(std::max(num_mutexes, 1u));
+
+    for (unsigned w = 0; w < waves.size(); ++w)
+        waves[w].wgId = w / kernel.wavesPerWg;
+
+    unsigned next_wg_to_dispatch = 0;
+    unsigned waves_done = 0;
+    Cycle dram_busy_until = 0;
+    Cycle atomic_busy_until = 0;
+    Cycle cycle = 0;
+
+    const unsigned wave_limit = residentWaveLimit(kernel);
+
+    // --- helpers ---
+    auto mutex_of = [&](const Wave &w) -> MutexState & {
+        return mutexes[kernel.uniqueLockPerWg ? w.wgId : 0];
+    };
+
+    auto mem_latency = [&](const CuState &cu, double locality) -> Cycle {
+        // L1 locality degrades as resident waves multiply the live
+        // working set per CU.
+        double occ = double(cu.residentWaves) / double(cfg.simdPerCu);
+        double p1 = locality / std::sqrt(std::max(occ, 1.0));
+        if (rng.chance(p1)) {
+            ++res.l1Hits;
+            return cfg.l1HitCycles;
+        }
+        if (rng.chance(kernel.l2Locality)) {
+            ++res.l2Hits;
+            return cfg.l2HitCycles;
+        }
+        ++res.dramAccesses;
+        Cycle start = std::max(cycle, dram_busy_until);
+        dram_busy_until = start + cfg.dramGapCycles;
+        return (start - cycle) + cfg.dramCycles;
+    };
+
+    auto atomic_latency = [&](MutexState &m) -> Cycle {
+        Cycle start = std::max(cycle, atomic_busy_until);
+        atomic_busy_until = start + cfg.atomicGapCycles;
+        // Atomics to a contended line queue behind the other waiters.
+        return (start - cycle) + cfg.atomicCycles + 2 * m.waiters;
+    };
+
+    // Lock-protected data lives on lines every waiter is polling; each
+    // critical-section access arbitrates against that polling traffic,
+    // so the lock-holder's progress degrades with the waiter count —
+    // the dominant reason oversubscription hurts the HeteroSync suite.
+    auto cs_mem_latency = [&](const CuState &cu, MutexState &m) -> Cycle {
+        Cycle base = mem_latency(cu, 0.15);
+        return base + Cycle(std::lround(double(base) * 0.35 *
+                                        double(m.waiters)));
+    };
+
+    auto start_iteration = [&](Wave &w) {
+        if (w.iter >= kernel.iterations) {
+            w.phase = Phase::Done;
+            return;
+        }
+        ++w.iter;
+        w.csLeft = kernel.csPerIter;
+        if (w.csLeft > 0 && kernel.mutexKind != MutexKind::None) {
+            w.phase = Phase::CsAcquire;
+        } else if (kernel.vmemPerIter) {
+            w.phase = Phase::Vmem;
+            w.phaseLeft = kernel.vmemPerIter;
+        } else if (kernel.valuPerIter) {
+            w.phase = Phase::Valu;
+            w.phaseLeft = kernel.valuPerIter;
+        } else if (kernel.ldsOpsPerIter) {
+            w.phase = Phase::Lds;
+            w.phaseLeft = kernel.ldsOpsPerIter;
+        } else if (kernel.saluPerIter) {
+            w.phase = Phase::Salu;
+            w.phaseLeft = kernel.saluPerIter;
+        } else if (kernel.barriersPerIter) {
+            w.phase = Phase::Barrier;
+            w.phaseLeft = kernel.barriersPerIter;
+        } else {
+            w.phase = Phase::NextIter;
+        }
+    };
+
+    auto next_phase = [&](Wave &w) {
+        switch (w.phase) {
+          case Phase::CsAcquire:
+          case Phase::CsBody:
+          case Phase::CsRelease:
+            // handled inline
+            break;
+          case Phase::Vmem:
+            if (kernel.valuPerIter) {
+                w.phase = Phase::Valu;
+                w.phaseLeft = kernel.valuPerIter;
+                return;
+            }
+            [[fallthrough]];
+          case Phase::Valu:
+            if (kernel.ldsOpsPerIter) {
+                w.phase = Phase::Lds;
+                w.phaseLeft = kernel.ldsOpsPerIter;
+                return;
+            }
+            [[fallthrough]];
+          case Phase::Lds:
+            if (kernel.saluPerIter) {
+                w.phase = Phase::Salu;
+                w.phaseLeft = kernel.saluPerIter;
+                return;
+            }
+            [[fallthrough]];
+          case Phase::Salu:
+            if (kernel.barriersPerIter) {
+                w.phase = Phase::Barrier;
+                w.phaseLeft = kernel.barriersPerIter;
+                return;
+            }
+            [[fallthrough]];
+          default:
+            w.phase = Phase::NextIter;
+        }
+    };
+
+    auto finish_wave = [&](Wave &w, int wave_idx) {
+        (void)wave_idx;
+        w.done = true;
+        ++waves_done;
+        WorkgroupState &wg = wgs[w.wgId];
+        if (++wg.wavesDone == kernel.wavesPerWg) {
+            // Free the workgroup's CU resources.
+            CuState &cu = cus[w.cuId];
+            cu.residentWaves -= kernel.wavesPerWg;
+            cu.vgprUsed -= kernel.wavesPerWg * kernel.vgprsPerWave;
+            cu.sgprUsed -= kernel.wavesPerWg * kernel.sgprsPerWave;
+            cu.ldsUsed -= kernel.ldsPerWg;
+            for (auto &simd : cu.simdWaves) {
+                simd.erase(std::remove_if(simd.begin(), simd.end(),
+                                          [&](int idx) {
+                                              return waves[idx].wgId ==
+                                                     w.wgId;
+                                          }),
+                           simd.end());
+            }
+        }
+    };
+
+    // Dispatch one workgroup to @p cu if the policy's budget allows.
+    auto try_dispatch = [&](unsigned cu_id) -> bool {
+        if (next_wg_to_dispatch >= kernel.numWorkgroups)
+            return false;
+        CuState &cu = cus[cu_id];
+
+        if (cu.residentWaves + kernel.wavesPerWg > wave_limit)
+            return false;
+        if (policy == RegAllocPolicy::Dynamic) {
+            if (cu.vgprUsed + kernel.wavesPerWg * kernel.vgprsPerWave >
+                cfg.vgprPerCu)
+                return false;
+            if (cu.sgprUsed + kernel.wavesPerWg * kernel.sgprsPerWave >
+                cfg.sgprPerCu)
+                return false;
+            if (kernel.ldsPerWg &&
+                cu.ldsUsed + kernel.ldsPerWg > cfg.ldsBytesPerCu)
+                return false;
+        }
+        // Find SIMD slots: simple needs an empty SIMD per wave;
+        // dynamic takes the least-loaded SIMDs under maxWavesPerSimd.
+        std::vector<unsigned> chosen;
+        std::vector<unsigned> load(cfg.simdPerCu);
+        for (unsigned s = 0; s < cfg.simdPerCu; ++s)
+            load[s] = unsigned(cu.simdWaves[s].size());
+        for (unsigned w = 0; w < kernel.wavesPerWg; ++w) {
+            unsigned best = cfg.simdPerCu;
+            for (unsigned s = 0; s < cfg.simdPerCu; ++s) {
+                bool ok = policy == RegAllocPolicy::Simple
+                              ? load[s] == 0
+                              : load[s] < cfg.maxWavesPerSimd;
+                if (ok && (best == cfg.simdPerCu ||
+                           load[s] < load[best])) {
+                    best = s;
+                }
+            }
+            if (best == cfg.simdPerCu)
+                return false;
+            chosen.push_back(best);
+            ++load[best];
+        }
+
+        unsigned wg = next_wg_to_dispatch++;
+        wgs[wg].resident = true;
+        cu.residentWaves += kernel.wavesPerWg;
+        cu.vgprUsed += kernel.wavesPerWg * kernel.vgprsPerWave;
+        cu.sgprUsed += kernel.wavesPerWg * kernel.sgprsPerWave;
+        cu.ldsUsed += kernel.ldsPerWg;
+        res.maxResidentWavesPerCu =
+            std::max<std::uint64_t>(res.maxResidentWavesPerCu,
+                                    cu.residentWaves);
+
+        for (unsigned w = 0; w < kernel.wavesPerWg; ++w) {
+            unsigned idx = wg * kernel.wavesPerWg + w;
+            Wave &wave = waves[idx];
+            wave.cuId = cu_id;
+            wave.simdId = chosen[w];
+            wave.readyAt = cycle + 8; // dispatch latency
+            start_iteration(wave);
+            cu.simdWaves[chosen[w]].push_back(int(idx));
+        }
+        return true;
+    };
+
+    // Execute one op of @p w; assumes the wave is ready.
+    auto execute = [&](Wave &w, int wave_idx, CuState &cu) {
+        switch (w.phase) {
+          case Phase::NextIter:
+            start_iteration(w);
+            if (w.phase == Phase::Done)
+                finish_wave(w, wave_idx);
+            return;
+          case Phase::Done:
+            return;
+
+          case Phase::CsAcquire: {
+            MutexState &m = mutex_of(w);
+            Cycle lat = atomic_latency(m);
+            ++res.memRequests;
+            if (kernel.mutexKind == MutexKind::FetchAdd) {
+                // Ticket lock: one atomic, then FIFO handoff.
+                w.ticket = m.nextTicket++;
+                if (m.owner < 0 && w.ticket == m.nowServing) {
+                    m.owner = wave_idx;
+                    w.phase = Phase::CsBody;
+                    w.csMemLeft = kernel.csMemOps;
+                    w.readyAt = cycle + lat;
+                } else {
+                    ++m.waiters;
+                    w.parked = true;
+                    m.parkedWaves.push_back(wave_idx);
+                    w.readyAt = never;
+                }
+            } else {
+                if (m.owner < 0) {
+                    m.owner = wave_idx;
+                    w.phase = Phase::CsBody;
+                    w.csMemLeft = kernel.csMemOps;
+                    w.backoff = 16;
+                    w.readyAt = cycle + lat;
+                    if (w.countedWaiter) {
+                        --m.waiters;
+                        w.countedWaiter = false;
+                    }
+                } else {
+                    // Failed acquire: back off and retry the atomic.
+                    ++res.atomicRetries;
+                    if (!w.countedWaiter) {
+                        ++m.waiters;
+                        w.countedWaiter = true;
+                    }
+                    unsigned cap = kernel.mutexKind == MutexKind::Sleep
+                                       ? 4096
+                                       : 1024;
+                    w.backoff = std::min(w.backoff * 2, cap);
+                    Cycle pause =
+                        kernel.mutexKind == MutexKind::Sleep
+                            ? w.backoff + 512
+                            : w.backoff;
+                    w.readyAt = cycle + lat + pause;
+                }
+            }
+            return;
+          }
+
+          case Phase::CsBody: {
+            // Critical-section loads/stores hit shared, contended data.
+            Cycle lat = cs_mem_latency(cu, mutex_of(w));
+            ++res.memRequests;
+            w.readyAt = cycle + lat;
+            if (--w.csMemLeft == 0)
+                w.phase = Phase::CsRelease;
+            return;
+          }
+
+          case Phase::CsRelease: {
+            MutexState &m = mutex_of(w);
+            Cycle lat = atomic_latency(m);
+            ++res.memRequests;
+            m.owner = -1;
+            w.parked = false;
+            if (kernel.mutexKind == MutexKind::FetchAdd) {
+                ++m.nowServing;
+                if (!m.parkedWaves.empty()) {
+                    int next = m.parkedWaves.front();
+                    m.parkedWaves.pop_front();
+                    Wave &nw = waves[next];
+                    m.owner = next;
+                    --m.waiters;
+                    nw.parked = false;
+                    nw.phase = Phase::CsBody;
+                    nw.csMemLeft = kernel.csMemOps;
+                    // Handoff: the serving counter's line bounces
+                    // through every poller before the next owner sees
+                    // its ticket come up.
+                    nw.readyAt = cycle + lat + 24 + 4 * m.waiters;
+                }
+            }
+            w.readyAt = cycle + lat;
+            if (--w.csLeft > 0) {
+                w.phase = Phase::CsAcquire;
+            } else if (kernel.vmemPerIter) {
+                w.phase = Phase::Vmem;
+                w.phaseLeft = kernel.vmemPerIter;
+            } else {
+                w.phase = Phase::Valu;
+                w.phaseLeft = kernel.valuPerIter;
+                if (!w.phaseLeft)
+                    next_phase(w);
+            }
+            return;
+          }
+
+          case Phase::Vmem: {
+            Cycle lat = mem_latency(cu, kernel.l1Locality);
+            ++res.memRequests;
+            // Coarse dependence tracking: the wave blocks until the
+            // response returns.
+            w.readyAt = cycle + lat;
+            if (--w.phaseLeft == 0)
+                next_phase(w);
+            return;
+          }
+
+          case Phase::Valu: {
+            ++res.valuIssues;
+            cu.simdBusyUntil[w.simdId] = cycle + cfg.valuCycles;
+            w.readyAt = cycle + cfg.valuCycles;
+            if (--w.phaseLeft == 0)
+                next_phase(w);
+            return;
+          }
+
+          case Phase::Lds: {
+            if (cu.ldsBusyUntil > cycle) {
+                w.readyAt = cu.ldsBusyUntil; // port conflict
+                return;
+            }
+            cu.ldsBusyUntil = cycle + 2;
+            w.readyAt = cycle + cfg.ldsCycles;
+            if (--w.phaseLeft == 0)
+                next_phase(w);
+            return;
+          }
+
+          case Phase::Salu: {
+            if (cu.saluBusyUntil > cycle) {
+                w.readyAt = cu.saluBusyUntil;
+                return;
+            }
+            cu.saluBusyUntil = cycle + cfg.saluCycles;
+            w.readyAt = cycle + cfg.saluCycles;
+            if (--w.phaseLeft == 0)
+                next_phase(w);
+            return;
+          }
+
+          case Phase::Barrier: {
+            WorkgroupState &wg = wgs[w.wgId];
+            w.atBarrier = true;
+            ++res.barrierWaits;
+            if (++wg.arrived == kernel.wavesPerWg) {
+                wg.arrived = 0;
+                for (unsigned i = 0; i < kernel.wavesPerWg; ++i) {
+                    Wave &peer = waves[w.wgId * kernel.wavesPerWg + i];
+                    peer.atBarrier = false;
+                    peer.readyAt = cycle + 2;
+                    if (&peer != &w) {
+                        if (--peer.phaseLeft == 0)
+                            next_phase(peer);
+                        else
+                            peer.phase = Phase::Barrier;
+                    }
+                }
+                if (--w.phaseLeft == 0)
+                    next_phase(w);
+            } else {
+                w.readyAt = never;
+            }
+            return;
+          }
+        }
+    };
+
+    // --- main loop ---
+    std::uint64_t guard = 0;
+    while (waves_done < waves.size()) {
+        if (++guard > 600'000'000)
+            panic("GpuModel: kernel '" + kernel.name +
+                  "' exceeded the cycle guard (hung?)");
+
+        bool progress = false;
+        bool ready_missed = false;
+
+        // One dispatch attempt per CU per cycle.
+        for (unsigned c = 0; c < cfg.numCus; ++c)
+            if (try_dispatch(c))
+                progress = true;
+
+        auto is_ready = [&](int idx) {
+            const Wave &w = waves[idx];
+            return !w.done && !w.atBarrier && !w.parked &&
+                   w.readyAt <= cycle;
+        };
+
+        for (unsigned c = 0; c < cfg.numCus; ++c) {
+            CuState &cu = cus[c];
+            for (unsigned s = 0; s < cfg.simdPerCu; ++s) {
+                if (cu.simdBusyUntil[s] > cycle)
+                    continue;
+                auto &resident = cu.simdWaves[s];
+                if (resident.empty())
+                    continue;
+
+                // Round-robin WITHOUT a readiness check: the arbiter
+                // examines exactly one wave per cycle; picking a
+                // blocked one wastes the slot (the modeled simplistic
+                // dependence tracking).
+                unsigned pick = cu.rr[s] % resident.size();
+                cu.rr[s]++;
+                if (cfg.perfectDependenceTracking &&
+                    !is_ready(resident[pick])) {
+                    // Ablation: an improved scoreboard knows readiness
+                    // and rotates to a ready wave at no cost.
+                    for (std::size_t probe = 0;
+                         probe < resident.size(); ++probe) {
+                        unsigned cand = (pick + unsigned(probe) + 1) %
+                                        unsigned(resident.size());
+                        if (is_ready(resident[cand])) {
+                            pick = cand;
+                            break;
+                        }
+                    }
+                }
+                if (!is_ready(resident[pick])) {
+                    // The scoreboard has no per-operand readiness: the
+                    // arbiter walks the wave's dependence state before
+                    // discovering it cannot issue, and the walk grows
+                    // with occupancy. This is the "simplistic
+                    // dependence tracking" stall of the paper.
+                    ++res.wastedIssueCycles;
+                    cu.simdBusyUntil[s] =
+                        cycle + 1 + Cycle(resident.size() / 2);
+                    // Was a schedulable wave passed over? Then time
+                    // must advance cycle by cycle, not skip ahead.
+                    for (int idx : resident) {
+                        if (is_ready(idx)) {
+                            ready_missed = true;
+                            break;
+                        }
+                    }
+                    continue;
+                }
+                Wave &w = waves[resident[pick]];
+                execute(w, resident[pick], cu);
+                progress = true;
+            }
+        }
+
+        // Advance time: next cycle, or skip ahead over a dead region.
+        if (progress || ready_missed) {
+            ++cycle;
+            continue;
+        }
+        Cycle next = never;
+        for (const Wave &w : waves) {
+            if (!w.done && !w.atBarrier && !w.parked &&
+                w.readyAt != never && w.readyAt > cycle)
+                next = std::min(next, w.readyAt);
+        }
+        for (const CuState &cu : cus) {
+            for (Cycle b : cu.simdBusyUntil)
+                if (b > cycle)
+                    next = std::min(next, b);
+        }
+        if (next == never || next <= cycle) {
+            // Nothing is in flight; avoid stalling forever.
+            ++cycle;
+        } else {
+            cycle = next;
+        }
+    }
+
+    res.shaderCycles = cycle;
+    return res;
+}
+
+} // namespace g5::sim::gpu

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * A GCN3-style GPU timing model, built for the paper's use-case 3: the
+ * interaction between register-allocation (wavefront scheduling) policy
+ * and the model's deliberately simplistic dependence tracking.
+ *
+ * Structure (Table III): numCus compute units, each with simdPerCu
+ * SIMD16 vector units, a scalar unit, an LDS port, vector/scalar
+ * register files, and a private L1 over a shared L2 and one DRAM
+ * channel.
+ *
+ * Two register allocators, as in gem5's GCN3 model circa v21.0:
+ *
+ *  - Simple:  at most ONE wavefront resident per SIMD16 at a time;
+ *             a workgroup dispatches only when every one of its waves
+ *             gets a free SIMD. Minimises stalls, foregoes overlap.
+ *  - Dynamic: up to maxWavesPerSimd resident waves per SIMD, limited by
+ *             the CU's vector/scalar register and LDS budgets.
+ *
+ * Dependence tracking is modeled the way the paper describes gem5's:
+ * coarse. A wave with ANY outstanding memory operation cannot issue,
+ * and the per-SIMD issue arbiter is a round-robin WITHOUT a readiness
+ * check — selecting a blocked wave wastes the issue cycle. Hence more
+ * resident waves buy latency hiding but also more wasted-issue cycles,
+ * more cache pressure (L1 locality degrades with occupancy), more
+ * memory queueing, and far more lock contention in synchronization
+ * benchmarks — which is exactly the tension Fig 9 measures.
+ *
+ * The model is cycle-stepped with idle-region skipping, self-contained
+ * (it does not use the CPU-side event queue), and reports execution
+ * time in shader cycles ("shader ticks" in the paper's Fig 9).
+ */
+
+#ifndef G5_SIM_GPU_GPU_HH
+#define G5_SIM_GPU_GPU_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/json.hh"
+
+namespace g5::sim::gpu
+{
+
+/** The two register-allocation policies of Fig 9. */
+enum class RegAllocPolicy { Simple, Dynamic };
+
+const char *regAllocName(RegAllocPolicy p);
+RegAllocPolicy regAllocFromName(const std::string &name);
+
+/** Hardware parameters (defaults = Table III). */
+struct GpuConfig
+{
+    unsigned numCus = 4;
+    unsigned simdPerCu = 4;
+    unsigned wavefrontSize = 64;
+    unsigned maxWavesPerSimd = 10;
+    unsigned vgprPerCu = 8192;
+    unsigned sgprPerCu = 8192;
+    unsigned ldsBytesPerCu = 64 * 1024;
+
+    // Latencies in shader cycles.
+    unsigned valuCycles = 4;      ///< 64 threads over 16 lanes
+    unsigned saluCycles = 1;
+    unsigned ldsCycles = 4;
+    unsigned l1HitCycles = 28;
+    unsigned l2HitCycles = 120;
+    unsigned dramCycles = 320;
+    unsigned dramGapCycles = 12;  ///< global bandwidth: min gap/burst
+    unsigned atomicCycles = 160;  ///< base latency of a global atomic
+    unsigned atomicGapCycles = 8; ///< atomic unit serialization
+
+    /**
+     * Ablation knob: model an improved scoreboard that knows which
+     * waves are ready (the "future contribution" the paper's use-case
+     * 3 calls for). When true, the per-SIMD arbiter always issues a
+     * ready wave if one exists and pays no scan stall.
+     */
+    bool perfectDependenceTracking = false;
+};
+
+/** How a synchronization benchmark acquires its critical sections. */
+enum class MutexKind {
+    None,        ///< no locks
+    SpinEbo,     ///< spin with exponential backoff
+    FetchAdd,    ///< ticket lock (fetch-add), FIFO handoff
+    Sleep,       ///< sleep-based backoff
+};
+
+/**
+ * A GPU kernel launch descriptor — the unit gem5-resources ships for
+ * each Table IV application. Per iteration, every wave executes
+ * csPerIter lock/critical-section sequences, vmemPerIter global memory
+ * ops, valuPerIter vector-ALU ops, ldsOpsPerIter LDS ops, saluPerIter
+ * scalar ops, and then barriersPerIter workgroup barriers.
+ */
+struct KernelDesc
+{
+    std::string name;
+
+    unsigned numWorkgroups = 1;
+    unsigned wavesPerWg = 1;
+    unsigned vgprsPerWave = 256;   ///< against the 8K/CU budget
+    unsigned sgprsPerWave = 128;
+    unsigned ldsPerWg = 0;         ///< bytes
+
+    unsigned iterations = 1;
+    unsigned valuPerIter = 0;
+    unsigned saluPerIter = 0;
+    unsigned vmemPerIter = 0;
+    unsigned ldsOpsPerIter = 0;
+    unsigned barriersPerIter = 0;
+
+    // Synchronization behaviour (HeteroSync-style workloads).
+    MutexKind mutexKind = MutexKind::None;
+    unsigned csPerIter = 0;
+    unsigned csMemOps = 0;         ///< loads+stores inside the CS
+    bool uniqueLockPerWg = false;  ///< the "Uniq" variants
+
+    /** Fraction of global accesses hitting L1 at baseline occupancy. */
+    double l1Locality = 0.5;
+    /** Fraction of L1 misses hitting L2. */
+    double l2Locality = 0.7;
+
+    /** @return total wavefronts the launch creates. */
+    unsigned totalWaves() const { return numWorkgroups * wavesPerWg; }
+
+    Json toJson() const;
+    static KernelDesc fromJson(const Json &j);
+};
+
+/** The outcome of one kernel launch. */
+struct GpuRunResult
+{
+    std::uint64_t shaderCycles = 0;   ///< Fig 9's execution time
+    std::uint64_t valuIssues = 0;
+    std::uint64_t wastedIssueCycles = 0;
+    std::uint64_t memRequests = 0;
+    std::uint64_t l1Hits = 0;
+    std::uint64_t l2Hits = 0;
+    std::uint64_t dramAccesses = 0;
+    std::uint64_t atomicRetries = 0;
+    std::uint64_t barrierWaits = 0;
+    std::uint64_t maxResidentWavesPerCu = 0;
+
+    Json toJson() const;
+};
+
+class GpuModel
+{
+  public:
+    GpuModel(const GpuConfig &cfg, RegAllocPolicy policy);
+
+    /** Run one kernel to completion; @return timing and counters. */
+    GpuRunResult run(const KernelDesc &kernel);
+
+    /** @return waves the policy allows resident per CU for @p kernel. */
+    unsigned residentWaveLimit(const KernelDesc &kernel) const;
+
+  private:
+    GpuConfig cfg;
+    RegAllocPolicy policy;
+};
+
+} // namespace g5::sim::gpu
+
+#endif // G5_SIM_GPU_GPU_HH

@@ -1,0 +1,122 @@
+#include "sim/isa/builder.hh"
+
+#include "base/logging.hh"
+
+namespace g5::sim::isa
+{
+
+ProgramBuilder::ProgramBuilder(std::string name)
+    : prog(std::make_shared<Program>(std::move(name)))
+{}
+
+ProgramBuilder::Label
+ProgramBuilder::newLabel()
+{
+    labelTargets.push_back(-1);
+    return Label(labelTargets.size() - 1);
+}
+
+void
+ProgramBuilder::bind(Label l)
+{
+    if (l < 0 || std::size_t(l) >= labelTargets.size())
+        panic("ProgramBuilder: bind of unknown label");
+    if (labelTargets[l] != -1)
+        panic("ProgramBuilder: label bound twice");
+    labelTargets[l] = std::int64_t(prog->code.size());
+}
+
+std::int64_t
+ProgramBuilder::str(const std::string &s)
+{
+    auto it = stringIds.find(s);
+    if (it != stringIds.end())
+        return it->second;
+    std::int64_t id = std::int64_t(prog->strings.size());
+    prog->strings.push_back(s);
+    stringIds[s] = id;
+    return id;
+}
+
+void
+ProgramBuilder::emit(Op op, int rd, int rs, int rt, std::int64_t imm)
+{
+    if (finished)
+        panic("ProgramBuilder: emit after finish()");
+    if (rd < 0 || rd >= numRegs || rs < 0 || rs >= numRegs || rt < 0 ||
+        rt >= numRegs) {
+        fatal("ProgramBuilder: register index out of range");
+    }
+    prog->code.push_back(Inst{op, std::uint8_t(rd), std::uint8_t(rs),
+                              std::uint8_t(rt), imm});
+}
+
+void
+ProgramBuilder::emitBranch(Op op, int rs, int rt, Label target)
+{
+    fixups.emplace_back(prog->code.size(), target);
+    emit(op, 0, rs, rt, 0);
+}
+
+void ProgramBuilder::nop() { emit(Op::Nop); }
+void ProgramBuilder::halt() { emit(Op::Halt); }
+void ProgramBuilder::add(int rd, int rs, int rt) { emit(Op::Add, rd, rs, rt); }
+void ProgramBuilder::sub(int rd, int rs, int rt) { emit(Op::Sub, rd, rs, rt); }
+void ProgramBuilder::mul(int rd, int rs, int rt) { emit(Op::Mul, rd, rs, rt); }
+void ProgramBuilder::div(int rd, int rs, int rt) { emit(Op::Div, rd, rs, rt); }
+void ProgramBuilder::and_(int rd, int rs, int rt) { emit(Op::And, rd, rs, rt); }
+void ProgramBuilder::or_(int rd, int rs, int rt) { emit(Op::Or, rd, rs, rt); }
+void ProgramBuilder::xor_(int rd, int rs, int rt) { emit(Op::Xor, rd, rs, rt); }
+void ProgramBuilder::shl(int rd, int rs, int rt) { emit(Op::Shl, rd, rs, rt); }
+void ProgramBuilder::shr(int rd, int rs, int rt) { emit(Op::Shr, rd, rs, rt); }
+void ProgramBuilder::movi(int rd, std::int64_t imm) { emit(Op::Movi, rd, 0, 0, imm); }
+
+void
+ProgramBuilder::moviLabel(int rd, Label target)
+{
+    fixups.emplace_back(prog->code.size(), target);
+    emit(Op::Movi, rd);
+}
+void ProgramBuilder::mov(int rd, int rs) { emit(Op::Mov, rd, rs); }
+void ProgramBuilder::addi(int rd, int rs, std::int64_t imm) { emit(Op::Addi, rd, rs, 0, imm); }
+void ProgramBuilder::muli(int rd, int rs, std::int64_t imm) { emit(Op::Muli, rd, rs, 0, imm); }
+void ProgramBuilder::fadd(int rd, int rs, int rt) { emit(Op::Fadd, rd, rs, rt); }
+void ProgramBuilder::fmul(int rd, int rs, int rt) { emit(Op::Fmul, rd, rs, rt); }
+void ProgramBuilder::fdiv(int rd, int rs, int rt) { emit(Op::Fdiv, rd, rs, rt); }
+void ProgramBuilder::ld(int rd, int rs, std::int64_t imm) { emit(Op::Ld, rd, rs, 0, imm); }
+void ProgramBuilder::st(int rs, std::int64_t imm, int rt) { emit(Op::St, 0, rs, rt, imm); }
+
+void
+ProgramBuilder::amo(int rd, int rs, std::int64_t imm, int rt)
+{
+    emit(Op::Amo, rd, rs, rt, imm);
+}
+
+void ProgramBuilder::beq(int rs, int rt, Label t) { emitBranch(Op::Beq, rs, rt, t); }
+void ProgramBuilder::bne(int rs, int rt, Label t) { emitBranch(Op::Bne, rs, rt, t); }
+void ProgramBuilder::blt(int rs, int rt, Label t) { emitBranch(Op::Blt, rs, rt, t); }
+void ProgramBuilder::bge(int rs, int rt, Label t) { emitBranch(Op::Bge, rs, rt, t); }
+void ProgramBuilder::jmp(Label t) { emitBranch(Op::Jmp, 0, 0, t); }
+void ProgramBuilder::syscall(std::int64_t code) { emit(Op::Syscall, 0, 0, 0, code); }
+void ProgramBuilder::m5op(std::int64_t func) { emit(Op::M5Op, 0, 0, 0, func); }
+void ProgramBuilder::iord(int rd, int rs, std::int64_t imm) { emit(Op::IoRd, rd, rs, 0, imm); }
+void ProgramBuilder::iowr(int rs, std::int64_t imm, int rt) { emit(Op::IoWr, 0, rs, rt, imm); }
+void ProgramBuilder::pause() { emit(Op::Pause); }
+
+ProgramPtr
+ProgramBuilder::finish()
+{
+    if (finished)
+        panic("ProgramBuilder: finish() called twice");
+    for (const auto &fixup : fixups) {
+        std::int64_t target = labelTargets[fixup.second];
+        if (target < 0)
+            fatal("ProgramBuilder '" + prog->name() +
+                  "': unbound label referenced");
+        prog->code[fixup.first].imm = target;
+    }
+    finished = true;
+    return prog;
+}
+
+} // namespace g5::sim::isa

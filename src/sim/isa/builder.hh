@@ -1,0 +1,98 @@
+/**
+ * @file
+ * ProgramBuilder — an assembler-style API for constructing SimISA
+ * programs with forward-referencing labels.
+ *
+ * Workload generators ("compilers") use this to emit benchmark binaries;
+ * the fs layer uses it to emit kernel boot code.
+ */
+
+#ifndef G5_SIM_ISA_BUILDER_HH
+#define G5_SIM_ISA_BUILDER_HH
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/isa/program.hh"
+
+namespace g5::sim::isa
+{
+
+class ProgramBuilder
+{
+  public:
+    /** An opaque label handle. */
+    using Label = int;
+
+    explicit ProgramBuilder(std::string name);
+
+    /** Allocate a fresh (unbound) label. */
+    Label newLabel();
+
+    /** Bind @p l to the next emitted instruction. */
+    void bind(Label l);
+
+    /** Intern a console string; @return its string-table index. */
+    std::int64_t str(const std::string &s);
+
+    // --- instruction emitters (in ISA order) ---
+    void nop();
+    void halt();
+    void add(int rd, int rs, int rt);
+    void sub(int rd, int rs, int rt);
+    void mul(int rd, int rs, int rt);
+    void div(int rd, int rs, int rt);
+    void and_(int rd, int rs, int rt);
+    void or_(int rd, int rs, int rt);
+    void xor_(int rd, int rs, int rt);
+    void shl(int rd, int rs, int rt);
+    void shr(int rd, int rs, int rt);
+    void movi(int rd, std::int64_t imm);
+    /** rd = the instruction index @p target resolves to (for SPAWN). */
+    void moviLabel(int rd, Label target);
+    void mov(int rd, int rs);
+    void addi(int rd, int rs, std::int64_t imm);
+    void muli(int rd, int rs, std::int64_t imm);
+    void fadd(int rd, int rs, int rt);
+    void fmul(int rd, int rs, int rt);
+    void fdiv(int rd, int rs, int rt);
+    void ld(int rd, int rs, std::int64_t imm);
+    void st(int rs, std::int64_t imm, int rt);
+    void amo(int rd, int rs, std::int64_t imm, int rt);
+    void beq(int rs, int rt, Label target);
+    void bne(int rs, int rt, Label target);
+    void blt(int rs, int rt, Label target);
+    void bge(int rs, int rt, Label target);
+    void jmp(Label target);
+    void syscall(std::int64_t code);
+    void m5op(std::int64_t func);
+    void iord(int rd, int rs, std::int64_t imm);
+    void iowr(int rs, std::int64_t imm, int rt);
+    void pause();
+
+    /** Current instruction count (useful for size accounting). */
+    std::size_t size() const { return prog->code.size(); }
+
+    /**
+     * Resolve all labels and return the finished, immutable program.
+     * @throws FatalError when a referenced label was never bound.
+     */
+    ProgramPtr finish();
+
+  private:
+    void emit(Op op, int rd = 0, int rs = 0, int rt = 0,
+              std::int64_t imm = 0);
+    void emitBranch(Op op, int rs, int rt, Label target);
+
+    std::shared_ptr<Program> prog;
+    std::vector<std::int64_t> labelTargets;       // -1 = unbound
+    std::vector<std::pair<std::size_t, Label>> fixups;
+    std::map<std::string, std::int64_t> stringIds;
+    bool finished = false;
+};
+
+} // namespace g5::sim::isa
+
+#endif // G5_SIM_ISA_BUILDER_HH

@@ -1,0 +1,169 @@
+#include "sim/isa/exec.hh"
+
+#include "base/logging.hh"
+
+namespace g5::sim::isa
+{
+
+StepInfo
+step(ThreadContext &tc)
+{
+    if (tc.status == ThreadContext::Status::Finished)
+        panic("isa::step on a finished thread");
+
+    const Inst &inst = tc.fetch();
+    StepInfo info;
+    info.op = inst.op;
+    info.latency = opLatency(inst.op);
+
+    auto &r = tc.regs;
+    std::uint64_t next_pc = tc.pc + 1;
+
+    switch (inst.op) {
+      case Op::Nop:
+      case Op::Pause:
+        break;
+
+      case Op::Halt:
+        info.kind = StepKind::Halt;
+        break;
+
+      case Op::Add:
+        r[inst.rd] = r[inst.rs] + r[inst.rt];
+        break;
+      case Op::Sub:
+        r[inst.rd] = r[inst.rs] - r[inst.rt];
+        break;
+      case Op::Mul:
+        r[inst.rd] = r[inst.rs] * r[inst.rt];
+        break;
+      case Op::Div:
+        r[inst.rd] = r[inst.rt] == 0 ? 0 : r[inst.rs] / r[inst.rt];
+        break;
+      case Op::And:
+        r[inst.rd] = r[inst.rs] & r[inst.rt];
+        break;
+      case Op::Or:
+        r[inst.rd] = r[inst.rs] | r[inst.rt];
+        break;
+      case Op::Xor:
+        r[inst.rd] = r[inst.rs] ^ r[inst.rt];
+        break;
+      case Op::Shl:
+        r[inst.rd] = r[inst.rs] << (r[inst.rt] & 63);
+        break;
+      case Op::Shr:
+        r[inst.rd] = std::int64_t(std::uint64_t(r[inst.rs]) >>
+                                  (r[inst.rt] & 63));
+        break;
+      case Op::Movi:
+        r[inst.rd] = inst.imm;
+        break;
+      case Op::Mov:
+        r[inst.rd] = r[inst.rs];
+        break;
+      case Op::Addi:
+        r[inst.rd] = r[inst.rs] + inst.imm;
+        break;
+      case Op::Muli:
+        r[inst.rd] = r[inst.rs] * inst.imm;
+        break;
+
+      // FP latency classes; values modelled as fixed-point in int regs.
+      case Op::Fadd:
+        r[inst.rd] = r[inst.rs] + r[inst.rt];
+        break;
+      case Op::Fmul:
+        r[inst.rd] = r[inst.rs] * r[inst.rt];
+        break;
+      case Op::Fdiv:
+        r[inst.rd] = r[inst.rt] == 0 ? 0 : r[inst.rs] / r[inst.rt];
+        break;
+
+      case Op::Ld:
+        info.kind = StepKind::Load;
+        info.addr = Addr(r[inst.rs] + inst.imm);
+        info.rd = inst.rd;
+        break;
+      case Op::St:
+        info.kind = StepKind::Store;
+        info.addr = Addr(r[inst.rs] + inst.imm);
+        info.value = r[inst.rt];
+        break;
+      case Op::Amo:
+        info.kind = StepKind::Amo;
+        info.addr = Addr(r[inst.rs] + inst.imm);
+        info.value = r[inst.rt];
+        info.rd = inst.rd;
+        break;
+
+      case Op::Beq:
+        info.isBranch = true;
+        if (r[inst.rs] == r[inst.rt]) {
+            info.branchTaken = true;
+            next_pc = std::uint64_t(inst.imm);
+        }
+        break;
+      case Op::Bne:
+        info.isBranch = true;
+        if (r[inst.rs] != r[inst.rt]) {
+            info.branchTaken = true;
+            next_pc = std::uint64_t(inst.imm);
+        }
+        break;
+      case Op::Blt:
+        info.isBranch = true;
+        if (r[inst.rs] < r[inst.rt]) {
+            info.branchTaken = true;
+            next_pc = std::uint64_t(inst.imm);
+        }
+        break;
+      case Op::Bge:
+        info.isBranch = true;
+        if (r[inst.rs] >= r[inst.rt]) {
+            info.branchTaken = true;
+            next_pc = std::uint64_t(inst.imm);
+        }
+        break;
+      case Op::Jmp:
+        info.isBranch = true;
+        info.branchTaken = true;
+        next_pc = std::uint64_t(inst.imm);
+        break;
+
+      case Op::Syscall:
+        info.kind = StepKind::Syscall;
+        info.code = inst.imm;
+        break;
+      case Op::M5Op:
+        info.kind = StepKind::M5Op;
+        info.code = inst.imm;
+        break;
+      case Op::IoRd:
+        info.kind = StepKind::IoRead;
+        info.addr = Addr(r[inst.rs] + inst.imm);
+        info.rd = inst.rd;
+        break;
+      case Op::IoWr:
+        info.kind = StepKind::IoWrite;
+        info.addr = Addr(r[inst.rs] + inst.imm);
+        info.value = r[inst.rt];
+        break;
+
+      case Op::NumOps:
+        panic("isa::step: invalid opcode");
+    }
+
+    tc.pc = next_pc;
+    return info;
+}
+
+void
+completeLoad(ThreadContext &tc, int rd, std::int64_t data)
+{
+    if (rd < 0 || rd >= numRegs)
+        panic("isa::completeLoad: bad destination register");
+    tc.regs[rd] = data;
+}
+
+} // namespace g5::sim::isa

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * SimISA execution semantics, shared by every CPU model.
+ *
+ * step() performs the register-file and control-flow effects of the
+ * instruction at tc.pc and reports what else the instruction needs from
+ * the machine (a memory access, a syscall, an m5 op, device I/O...). The
+ * CPU model then supplies timing and performs the access, committing
+ * loaded data via completeLoad(). This split keeps architectural
+ * semantics in exactly one place while letting each CPU model impose its
+ * own timing.
+ */
+
+#ifndef G5_SIM_ISA_EXEC_HH
+#define G5_SIM_ISA_EXEC_HH
+
+#include "base/types.hh"
+#include "sim/isa/thread.hh"
+
+namespace g5::sim::isa
+{
+
+/** What the instruction at hand requires beyond register effects. */
+enum class StepKind {
+    Done,       ///< fully executed (ALU/branch/nop/pause)
+    Load,       ///< needs a memory read into rd
+    Store,      ///< needs a memory write
+    Amo,        ///< needs an atomic fetch-add (read+write)
+    Syscall,    ///< OS service; code in info.code
+    M5Op,       ///< m5 pseudo-op; func in info.code
+    IoRead,     ///< device read into rd
+    IoWrite,    ///< device write
+    Halt,       ///< thread terminates
+};
+
+struct StepInfo
+{
+    StepKind kind = StepKind::Done;
+    Op op = Op::Nop;
+
+    /** Effective address for Load/Store/Amo/Io*. */
+    Addr addr = 0;
+    /** Destination register for Load/Amo/IoRead. */
+    int rd = 0;
+    /** Value to store (Store/IoWrite) or to add (Amo). */
+    std::int64_t value = 0;
+    /** Syscall code or m5 function. */
+    std::int64_t code = 0;
+
+    /** True for taken/not-taken conditional branches and jumps. */
+    bool isBranch = false;
+    /** True when a conditional branch was taken. */
+    bool branchTaken = false;
+    /** Execute latency class, in cycles. */
+    unsigned latency = 1;
+};
+
+/**
+ * Execute the instruction at tc.pc (register + pc effects) and return
+ * what else it needs. Retired-instruction accounting belongs to the CPU
+ * model (BaseCpu::chargeInstruction). Must not be called on a Finished
+ * thread.
+ */
+StepInfo step(ThreadContext &tc);
+
+/** Commit data returned by the memory system for a Load/Amo/IoRead. */
+void completeLoad(ThreadContext &tc, int rd, std::int64_t data);
+
+} // namespace g5::sim::isa
+
+#endif // G5_SIM_ISA_EXEC_HH

@@ -1,0 +1,121 @@
+#include "sim/isa/inst.hh"
+
+namespace g5::sim::isa
+{
+
+const char *
+opName(Op op)
+{
+    switch (op) {
+      case Op::Nop: return "nop";
+      case Op::Halt: return "halt";
+      case Op::Add: return "add";
+      case Op::Sub: return "sub";
+      case Op::Mul: return "mul";
+      case Op::Div: return "div";
+      case Op::And: return "and";
+      case Op::Or: return "or";
+      case Op::Xor: return "xor";
+      case Op::Shl: return "shl";
+      case Op::Shr: return "shr";
+      case Op::Movi: return "movi";
+      case Op::Mov: return "mov";
+      case Op::Addi: return "addi";
+      case Op::Muli: return "muli";
+      case Op::Fadd: return "fadd";
+      case Op::Fmul: return "fmul";
+      case Op::Fdiv: return "fdiv";
+      case Op::Ld: return "ld";
+      case Op::St: return "st";
+      case Op::Amo: return "amo";
+      case Op::Beq: return "beq";
+      case Op::Bne: return "bne";
+      case Op::Blt: return "blt";
+      case Op::Bge: return "bge";
+      case Op::Jmp: return "jmp";
+      case Op::Syscall: return "syscall";
+      case Op::M5Op: return "m5op";
+      case Op::IoRd: return "iord";
+      case Op::IoWr: return "iowr";
+      case Op::Pause: return "pause";
+      case Op::NumOps: break;
+    }
+    return "???";
+}
+
+bool
+isMemOp(Op op)
+{
+    return op == Op::Ld || op == Op::St || op == Op::Amo;
+}
+
+bool
+isControlOp(Op op)
+{
+    return op == Op::Beq || op == Op::Bne || op == Op::Blt ||
+           op == Op::Bge || op == Op::Jmp;
+}
+
+unsigned
+opLatency(Op op)
+{
+    switch (op) {
+      case Op::Mul:
+      case Op::Muli:
+        return 3;
+      case Op::Div:
+        return 12;
+      case Op::Fadd:
+        return 2;
+      case Op::Fmul:
+        return 4;
+      case Op::Fdiv:
+        return 12;
+      default:
+        return 1;
+    }
+}
+
+RegInfo
+regInfo(const Inst &inst)
+{
+    RegInfo info;
+    switch (inst.op) {
+      case Op::Add: case Op::Sub: case Op::Mul: case Op::Div:
+      case Op::And: case Op::Or: case Op::Xor: case Op::Shl:
+      case Op::Shr: case Op::Fadd: case Op::Fmul: case Op::Fdiv:
+        info.dst = inst.rd;
+        info.src1 = inst.rs;
+        info.src2 = inst.rt;
+        break;
+      case Op::Mov: case Op::Addi: case Op::Muli:
+        info.dst = inst.rd;
+        info.src1 = inst.rs;
+        break;
+      case Op::Movi:
+        info.dst = inst.rd;
+        break;
+      case Op::Ld: case Op::IoRd:
+        info.dst = inst.rd;
+        info.src1 = inst.rs;
+        break;
+      case Op::St: case Op::IoWr:
+        info.src1 = inst.rs;
+        info.src2 = inst.rt;
+        break;
+      case Op::Amo:
+        info.dst = inst.rd;
+        info.src1 = inst.rs;
+        info.src2 = inst.rt;
+        break;
+      case Op::Beq: case Op::Bne: case Op::Blt: case Op::Bge:
+        info.src1 = inst.rs;
+        info.src2 = inst.rt;
+        break;
+      default:
+        break;
+    }
+    return info;
+}
+
+} // namespace g5::sim::isa

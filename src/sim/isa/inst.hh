@@ -1,0 +1,92 @@
+/**
+ * @file
+ * SimISA — the small RISC-like instruction set executed by sim5 CPUs.
+ *
+ * Instructions are kept in decoded form (there is no binary encoding to
+ * decode; "compilation" in this ecosystem means generating decoded
+ * instruction vectors). The set is deliberately minimal but sufficient
+ * for full-system behaviour: ALU/FP work, loads/stores, an atomic
+ * fetch-add (the building block for locks and barriers), branches,
+ * syscalls into the guest OS, device I/O, and gem5-style m5 pseudo-ops.
+ */
+
+#ifndef G5_SIM_ISA_INST_HH
+#define G5_SIM_ISA_INST_HH
+
+#include <cstdint>
+
+namespace g5::sim::isa
+{
+
+/** Number of integer registers per thread context. */
+constexpr int numRegs = 32;
+
+enum class Op : std::uint8_t {
+    Nop,
+    Halt,       ///< terminate the owning thread
+
+    // Integer ALU
+    Add, Sub, Mul, Div, And, Or, Xor, Shl, Shr,
+    Movi,       ///< rd = imm
+    Mov,        ///< rd = rs
+    Addi,       ///< rd = rs + imm
+    Muli,       ///< rd = rs * imm
+
+    // Floating-point latency classes (values carried in int regs)
+    Fadd, Fmul, Fdiv,
+
+    // Memory (effective address = regs[rs] + imm, 8-byte granularity)
+    Ld,         ///< rd = mem[rs + imm]
+    St,         ///< mem[rs + imm] = rt
+    Amo,        ///< rd = mem[rs + imm]; mem[rs + imm] += rt (atomic)
+
+    // Control flow (absolute instruction-index targets in imm)
+    Beq, Bne, Blt, Bge,
+    Jmp,
+
+    // System
+    Syscall,    ///< code = imm; args r1..r3; result in r1
+    M5Op,       ///< m5 pseudo-op, func = imm (exit/workbegin/workend/fail)
+    IoRd,       ///< rd = device[rs + imm]
+    IoWr,       ///< device[rs + imm] = rt
+    Pause,      ///< spin-wait hint
+
+    NumOps
+};
+
+/** @return a short mnemonic for tracing. */
+const char *opName(Op op);
+
+/** @return true for Ld/St/Amo. */
+bool isMemOp(Op op);
+
+/** @return true for Beq/Bne/Blt/Bge/Jmp. */
+bool isControlOp(Op op);
+
+/** @return the ALU latency class in cycles for a non-memory op. */
+unsigned opLatency(Op op);
+
+/** A decoded SimISA instruction. */
+struct Inst
+{
+    Op op = Op::Nop;
+    std::uint8_t rd = 0;
+    std::uint8_t rs = 0;
+    std::uint8_t rt = 0;
+    std::int64_t imm = 0;
+};
+
+/** Dataflow ports of an instruction (-1 = unused), for OoO models. */
+struct RegInfo
+{
+    int dst = -1;
+    int src1 = -1;
+    int src2 = -1;
+};
+
+/** @return which registers @p inst reads and writes. */
+RegInfo regInfo(const Inst &inst);
+
+} // namespace g5::sim::isa
+
+#endif // G5_SIM_ISA_INST_HH

@@ -1,0 +1,67 @@
+#include "sim/isa/program.hh"
+
+#include "base/logging.hh"
+
+namespace g5::sim::isa
+{
+
+const Inst &
+Program::fetch(std::uint64_t pc) const
+{
+    if (pc >= code.size())
+        panic(csprintf("program '%s': pc %llu past end (%zu insts)",
+                       progName.c_str(), (unsigned long long)pc,
+                       code.size()));
+    return code[pc];
+}
+
+Json
+Program::toJson() const
+{
+    Json j = Json::object();
+    j["name"] = progName;
+    Json code_rows = Json::array();
+    for (const auto &inst : code) {
+        Json row = Json::array();
+        row.push(std::int64_t(inst.op));
+        row.push(std::int64_t(inst.rd));
+        row.push(std::int64_t(inst.rs));
+        row.push(std::int64_t(inst.rt));
+        row.push(inst.imm);
+        code_rows.push(std::move(row));
+    }
+    j["code"] = std::move(code_rows);
+    Json strs = Json::array();
+    for (const auto &s : strings)
+        strs.push(s);
+    j["strings"] = std::move(strs);
+    return j;
+}
+
+std::shared_ptr<Program>
+Program::fromJson(const Json &j)
+{
+    auto prog = std::make_shared<Program>(j.getString("name"));
+    if (!j.contains("code"))
+        fatal("Program::fromJson: missing 'code'");
+    for (const auto &row : j.at("code").asArray()) {
+        if (!row.isArray() || row.size() != 5)
+            fatal("Program::fromJson: malformed instruction row");
+        Inst inst;
+        std::int64_t opv = row.at(std::size_t(0)).asInt();
+        if (opv < 0 || opv >= std::int64_t(Op::NumOps))
+            fatal("Program::fromJson: bad opcode " + std::to_string(opv));
+        inst.op = Op(opv);
+        inst.rd = std::uint8_t(row.at(std::size_t(1)).asInt());
+        inst.rs = std::uint8_t(row.at(std::size_t(2)).asInt());
+        inst.rt = std::uint8_t(row.at(std::size_t(3)).asInt());
+        inst.imm = row.at(std::size_t(4)).asInt();
+        prog->code.push_back(inst);
+    }
+    if (j.contains("strings"))
+        for (const auto &s : j.at("strings").asArray())
+            prog->strings.push_back(s.asString());
+    return prog;
+}
+
+} // namespace g5::sim::isa

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * A SimISA program: the unit stored in disk images and executed by
+ * thread contexts.
+ *
+ * Programs carry a string table (console messages reference strings by
+ * index — the moral equivalent of .rodata) and serialize to/from JSON so
+ * they can live inside S5DK disk images and be content-hashed by the
+ * artifact layer.
+ */
+
+#ifndef G5_SIM_ISA_PROGRAM_HH
+#define G5_SIM_ISA_PROGRAM_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/json.hh"
+#include "sim/isa/inst.hh"
+
+namespace g5::sim::isa
+{
+
+class Program
+{
+  public:
+    Program() = default;
+    explicit Program(std::string name) : progName(std::move(name)) {}
+
+    const std::string &name() const { return progName; }
+    void setName(std::string n) { progName = std::move(n); }
+
+    /** The instruction vector (mutated only by ProgramBuilder). */
+    std::vector<Inst> code;
+
+    /** Console strings referenced by SYS_WRITE. */
+    std::vector<std::string> strings;
+
+    std::size_t size() const { return code.size(); }
+
+    /** Bounds-checked fetch; throws PanicError past the end. */
+    const Inst &fetch(std::uint64_t pc) const;
+
+    /** Serialize to a JSON object (code as [op,rd,rs,rt,imm] rows). */
+    Json toJson() const;
+
+    /** Rebuild from toJson() output; throws FatalError on bad input. */
+    static std::shared_ptr<Program> fromJson(const Json &j);
+
+  private:
+    std::string progName;
+};
+
+using ProgramPtr = std::shared_ptr<const Program>;
+
+} // namespace g5::sim::isa
+
+#endif // G5_SIM_ISA_PROGRAM_HH

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * ThreadContext — the architectural state of one guest software thread.
+ *
+ * Contexts are owned by the guest OS model and multiplexed onto CPU
+ * models by its scheduler, exactly as software threads map onto harts.
+ */
+
+#ifndef G5_SIM_ISA_THREAD_HH
+#define G5_SIM_ISA_THREAD_HH
+
+#include <cstdint>
+
+#include "base/types.hh"
+#include "sim/isa/program.hh"
+
+namespace g5::sim::isa
+{
+
+class ThreadContext
+{
+  public:
+    enum class Status {
+        Runnable,   ///< ready, waiting for a CPU
+        Running,    ///< currently on a CPU
+        Blocked,    ///< waiting (futex / sleep / I/O)
+        Finished,   ///< halted or exited
+    };
+
+    ThreadContext(int tid, ProgramPtr prog)
+        : tid(tid), prog(std::move(prog))
+    {
+        for (auto &r : regs)
+            r = 0;
+    }
+
+    /** Guest thread id. */
+    const int tid;
+
+    /** Integer register file. */
+    std::int64_t regs[numRegs];
+
+    /** Program counter (instruction index). */
+    std::uint64_t pc = 0;
+
+    /** The binary this thread executes. */
+    ProgramPtr prog;
+
+    Status status = Status::Runnable;
+
+    /** CPU currently (or last) hosting this context; -1 = none. */
+    int cpuId = -1;
+
+    /** Retired instruction count. */
+    std::uint64_t numInsts = 0;
+
+    /** Futex wait channel while Blocked on a futex; 0 otherwise. */
+    Addr waitAddr = 0;
+
+    /** Exit code once Finished. */
+    std::int64_t exitCode = 0;
+
+    /** Fetch the instruction at the current pc. */
+    const Inst &fetch() const { return prog->fetch(pc); }
+};
+
+} // namespace g5::sim::isa
+
+#endif // G5_SIM_ISA_THREAD_HH

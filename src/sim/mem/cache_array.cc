@@ -1,0 +1,89 @@
+#include "sim/mem/cache_array.hh"
+
+#include "base/logging.hh"
+
+namespace g5::sim::mem
+{
+
+namespace
+{
+
+bool
+isPowerOfTwo(std::size_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+} // anonymous namespace
+
+CacheArray::CacheArray(std::size_t size_bytes, unsigned assoc)
+    : ways(assoc)
+{
+    if (assoc == 0)
+        fatal("CacheArray: associativity must be >= 1");
+    std::size_t blocks = size_bytes / blockBytes;
+    if (blocks == 0 || blocks % assoc != 0)
+        fatal("CacheArray: size must be a multiple of assoc * 64B");
+    sets = unsigned(blocks / assoc);
+    if (!isPowerOfTwo(sets))
+        fatal("CacheArray: number of sets must be a power of two");
+    lines.resize(blocks);
+}
+
+std::size_t
+CacheArray::setIndex(Addr addr) const
+{
+    return std::size_t((addr / blockBytes) & (sets - 1));
+}
+
+CacheArray::Line *
+CacheArray::lookup(Addr addr)
+{
+    Addr tag = blockAlign(addr);
+    std::size_t base = setIndex(addr) * ways;
+    for (unsigned w = 0; w < ways; ++w) {
+        Line &line = lines[base + w];
+        if (line.valid && line.tag == tag)
+            return &line;
+    }
+    return nullptr;
+}
+
+CacheArray::Line *
+CacheArray::victim(Addr addr)
+{
+    std::size_t base = setIndex(addr) * ways;
+    Line *lru = &lines[base];
+    for (unsigned w = 0; w < ways; ++w) {
+        Line &line = lines[base + w];
+        if (!line.valid)
+            return &line;
+        if (line.lastUse < lru->lastUse)
+            lru = &line;
+    }
+    return lru;
+}
+
+void
+CacheArray::fill(Line *line, Addr addr, int state)
+{
+    line->valid = true;
+    line->tag = blockAlign(addr);
+    line->state = state;
+    line->lastUse = ++useCounter;
+}
+
+void
+CacheArray::touch(Line *line)
+{
+    line->lastUse = ++useCounter;
+}
+
+void
+CacheArray::invalidate(Addr addr)
+{
+    if (Line *line = lookup(addr))
+        line->valid = false;
+}
+
+} // namespace g5::sim::mem

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * A set-associative tag array with LRU replacement, shared by the
+ * classic caches and the Ruby cache controllers (which add coherence
+ * state on top via the per-line state field).
+ */
+
+#ifndef G5_SIM_MEM_CACHE_ARRAY_HH
+#define G5_SIM_MEM_CACHE_ARRAY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "base/types.hh"
+
+namespace g5::sim::mem
+{
+
+class CacheArray
+{
+  public:
+    /** Cache block size in bytes (fixed across sim5, like gem5). */
+    static constexpr unsigned blockBytes = 64;
+
+    struct Line
+    {
+        bool valid = false;
+        Addr tag = 0;
+        int state = 0;          ///< protocol-defined; 0 for classic
+        std::uint64_t lastUse = 0;
+    };
+
+    /**
+     * @param size_bytes  total capacity.
+     * @param assoc       ways per set.
+     */
+    CacheArray(std::size_t size_bytes, unsigned assoc);
+
+    /** @return the block-aligned address of @p addr. */
+    static Addr blockAlign(Addr addr) { return addr & ~Addr(blockBytes - 1); }
+
+    /** @return pointer to the valid line holding @p addr, or nullptr. */
+    Line *lookup(Addr addr);
+
+    /**
+     * Choose a victim way in @p addr's set (invalid first, else LRU).
+     * The caller inspects/handles the victim, then calls fill().
+     */
+    Line *victim(Addr addr);
+
+    /** Install @p addr into @p line (must come from victim()). */
+    void fill(Line *line, Addr addr, int state = 0);
+
+    /** Refresh LRU on a hit. */
+    void touch(Line *line);
+
+    /** Invalidate the line holding @p addr if present. */
+    void invalidate(Addr addr);
+
+    unsigned numSets() const { return sets; }
+    unsigned associativity() const { return ways; }
+
+  private:
+    std::size_t setIndex(Addr addr) const;
+
+    unsigned sets;
+    unsigned ways;
+    std::vector<Line> lines;
+    std::uint64_t useCounter = 0;
+};
+
+} // namespace g5::sim::mem
+
+#endif // G5_SIM_MEM_CACHE_ARRAY_HH

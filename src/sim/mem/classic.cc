@@ -1,0 +1,82 @@
+#include "sim/mem/classic.hh"
+
+#include "base/logging.hh"
+#include "sim/eventq.hh"
+
+namespace g5::sim::mem
+{
+
+ClassicMem::ClassicMem(EventQueue &eq, const ClassicConfig &cfg)
+    : eventq(eq), cfg(cfg), dram(cfg.dram), stats("mem")
+{
+    if (cfg.numCpus == 0)
+        fatal("ClassicMem: need at least one CPU");
+    for (unsigned i = 0; i < cfg.numCpus; ++i) {
+        l1s.push_back(
+            std::make_unique<CacheArray>(cfg.l1SizeBytes, cfg.l1Assoc));
+    }
+    l2 = std::make_unique<CacheArray>(cfg.l2SizeBytes, cfg.l2Assoc);
+
+    stats.addStat("l1_hits", &l1Hits, "L1 data cache hits (all CPUs)");
+    stats.addStat("l1_misses", &l1Misses, "L1 data cache misses");
+    stats.addStat("l2_hits", &l2Hits, "shared L2 hits");
+    stats.addStat("l2_misses", &l2Misses, "shared L2 misses");
+    stats.addStat("dram_reads", &dram.reads, "DRAM read bursts");
+    stats.addStat("dram_writes", &dram.writes, "DRAM write bursts");
+    stats.addStat("dram_queue_ticks", &dram.totalQueueTicks,
+                  "ticks requests spent queued at the DRAM channel");
+}
+
+Tick
+ClassicMem::lookupLatency(int cpu, Addr addr, bool write,
+                          bool timing_mode)
+{
+    if (cpu < 0 || unsigned(cpu) >= l1s.size())
+        panic("ClassicMem: access from unknown CPU");
+
+    CacheArray &l1 = *l1s[cpu];
+    if (auto *line = l1.lookup(addr)) {
+        l1.touch(line);
+        ++l1Hits;
+        return cfg.l1Latency;
+    }
+    ++l1Misses;
+
+    Tick latency = cfg.l1Latency + cfg.l2Latency;
+    if (auto *line = l2->lookup(addr)) {
+        l2->touch(line);
+        ++l2Hits;
+    } else {
+        ++l2Misses;
+        if (timing_mode) {
+            latency += dram.serviceLatency(eventq.curTick(), write);
+        } else {
+            // Atomic mode: flat device latency, no channel contention.
+            latency += cfg.dram.accessLatency;
+            if (write)
+                ++dram.writes;
+            else
+                ++dram.reads;
+        }
+        l2->fill(l2->victim(addr), addr);
+    }
+
+    l1.fill(l1.victim(addr), addr);
+    return latency;
+}
+
+void
+ClassicMem::access(int cpu, Addr addr, bool write, Callback done)
+{
+    Tick latency = lookupLatency(cpu, addr, write, true);
+    eventq.schedule(eventq.curTick() + latency, std::move(done),
+                    EventQueue::memRespPri);
+}
+
+Tick
+ClassicMem::atomicAccess(int cpu, Addr addr, bool write)
+{
+    return lookupLatency(cpu, addr, write, false);
+}
+
+} // namespace g5::sim::mem

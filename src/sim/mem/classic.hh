@@ -1,0 +1,76 @@
+/**
+ * @file
+ * The classic memory system: per-CPU L1 data caches, a shared L2, and a
+ * DDR3_1600_8x8-style DRAM channel behind them.
+ *
+ * Like gem5's classic system in FS mode circa v20.1.0.4 it is fast but
+ * lacks coherence fidelity: caches track only tags, and multiple
+ * timing-mode CPUs are unsupported (supportsMultipleTimingCpus() is
+ * false — the configuration Fig 8 marks unsupported). Any number of
+ * atomic-mode CPUs are fine.
+ */
+
+#ifndef G5_SIM_MEM_CLASSIC_HH
+#define G5_SIM_MEM_CLASSIC_HH
+
+#include <memory>
+#include <vector>
+
+#include "sim/mem/cache_array.hh"
+#include "sim/mem/dram.hh"
+#include "sim/mem/mem_system.hh"
+
+namespace g5::sim::mem
+{
+
+struct ClassicConfig
+{
+    unsigned numCpus = 1;
+    std::size_t l1SizeBytes = 32 * 1024;
+    unsigned l1Assoc = 4;
+    std::size_t l2SizeBytes = 1024 * 1024;
+    unsigned l2Assoc = 8;
+    Tick l1Latency = 1000;      ///< 1 ns
+    Tick l2Latency = 8000;      ///< 8 ns
+    DramConfig dram;
+};
+
+class ClassicMem : public MemSystem
+{
+  public:
+    ClassicMem(EventQueue &eq, const ClassicConfig &cfg);
+
+    std::string protocolName() const override { return "classic"; }
+
+    void access(int cpu, Addr addr, bool write, Callback done) override;
+    Tick atomicAccess(int cpu, Addr addr, bool write) override;
+
+    bool supportsAtomicCpu() const override { return true; }
+    bool supportsMultipleTimingCpus() const override { return false; }
+
+    StatGroup &statGroup() override { return stats; }
+
+    // Exposed counters for tests.
+    Scalar l1Hits, l1Misses, l2Hits, l2Misses;
+
+  private:
+    /**
+     * Walk the hierarchy and return total latency for this access.
+     * @param timing_mode true when driven by a timing CPU: only then
+     *        does the DRAM channel model queueing — atomic mode charges
+     *        flat latencies, like gem5's atomic mode, because the CPU's
+     *        clock does not advance between batched accesses.
+     */
+    Tick lookupLatency(int cpu, Addr addr, bool write, bool timing_mode);
+
+    EventQueue &eventq;
+    ClassicConfig cfg;
+    std::vector<std::unique_ptr<CacheArray>> l1s;
+    std::unique_ptr<CacheArray> l2;
+    Dram dram;
+    StatGroup stats;
+};
+
+} // namespace g5::sim::mem
+
+#endif // G5_SIM_MEM_CLASSIC_HH

@@ -1,0 +1,22 @@
+#include "sim/mem/dram.hh"
+
+namespace g5::sim::mem
+{
+
+Tick
+Dram::serviceLatency(Tick now, bool write)
+{
+    Tick start = now > busyUntil ? now : busyUntil;
+    Tick queue_delay = start - now;
+    busyUntil = start + cfg.burstGap;
+
+    if (write)
+        ++writes;
+    else
+        ++reads;
+    totalQueueTicks += double(queue_delay);
+
+    return queue_delay + cfg.accessLatency;
+}
+
+} // namespace g5::sim::mem

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * A single-channel DRAM timing model in the spirit of gem5's
+ * DDR3_1600_8x8: a fixed access latency (tRCD+tCL+tBURST-ish, folded
+ * into one number) plus bandwidth-limited service — one 64-byte burst
+ * per minimum inter-access gap, with queueing when the channel is busy.
+ */
+
+#ifndef G5_SIM_MEM_DRAM_HH
+#define G5_SIM_MEM_DRAM_HH
+
+#include "base/types.hh"
+#include "sim/stats.hh"
+
+namespace g5::sim::mem
+{
+
+struct DramConfig
+{
+    /** Device latency per access (row activate + CAS), ticks. */
+    Tick accessLatency = 45'000;            ///< 45 ns
+    /** Minimum gap between bursts — 64 B at 12.8 GB/s. */
+    Tick burstGap = 5'000;                  ///< 5 ns
+};
+
+class Dram
+{
+  public:
+    explicit Dram(const DramConfig &cfg) : cfg(cfg) {}
+
+    /**
+     * Compute the service latency of a burst issued at @p now, advancing
+     * the channel's busy window (so later requests queue behind it).
+     */
+    Tick serviceLatency(Tick now, bool write);
+
+    Scalar reads, writes, totalQueueTicks;
+
+  private:
+    DramConfig cfg;
+    Tick busyUntil = 0;
+};
+
+} // namespace g5::sim::mem
+
+#endif // G5_SIM_MEM_DRAM_HH

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * The timing interface between CPU models and a memory system.
+ *
+ * Two access modes mirror gem5:
+ *  - timing: access() schedules a completion callback on the event queue
+ *    (used by TimingSimpleCPU, O3CPU);
+ *  - atomic: atomicAccess() returns the access latency immediately (used
+ *    by AtomicSimpleCPU).
+ *
+ * Concrete implementations: ClassicMem (fast, no coherence fidelity) and
+ * RubyMem (directory coherence with MI_example / MESI_Two_Level).
+ * The capability predicates encode the gem5 v20.1.0.4 support matrix that
+ * Fig 8 of the paper exercises.
+ */
+
+#ifndef G5_SIM_MEM_MEM_SYSTEM_HH
+#define G5_SIM_MEM_MEM_SYSTEM_HH
+
+#include <functional>
+#include <string>
+
+#include "base/types.hh"
+#include "sim/stats.hh"
+
+namespace g5::sim
+{
+class EventQueue;
+} // namespace g5::sim
+
+namespace g5::sim::mem
+{
+
+class MemSystem
+{
+  public:
+    using Callback = std::function<void()>;
+
+    virtual ~MemSystem() = default;
+
+    /** @return "classic", "MI_example" or "MESI_Two_Level". */
+    virtual std::string protocolName() const = 0;
+
+    /**
+     * Timing-mode access from @p cpu for the block containing @p addr.
+     * @p done runs on the event queue when the access completes.
+     */
+    virtual void access(int cpu, Addr addr, bool write, Callback done) = 0;
+
+    /** Atomic-mode access: @return latency in ticks, effects immediate. */
+    virtual Tick atomicAccess(int cpu, Addr addr, bool write) = 0;
+
+    /** @return true when AtomicSimpleCPU may drive this system. */
+    virtual bool supportsAtomicCpu() const = 0;
+
+    /** @return true when >1 timing-mode CPU may drive this system. */
+    virtual bool supportsMultipleTimingCpus() const = 0;
+
+    /** Root of this memory system's statistics. */
+    virtual StatGroup &statGroup() = 0;
+};
+
+} // namespace g5::sim::mem
+
+#endif // G5_SIM_MEM_MEM_SYSTEM_HH

@@ -1,0 +1,94 @@
+#include "sim/mem/physmem.hh"
+
+#include <map>
+
+#include "base/logging.hh"
+
+namespace g5::sim::mem
+{
+
+PhysMem::Page &
+PhysMem::pageFor(Addr addr)
+{
+    auto it = pages.find(pageOf(addr));
+    if (it == pages.end()) {
+        it = pages.emplace(pageOf(addr), Page{}).first;
+        it->second.fill(0);
+    }
+    return it->second;
+}
+
+std::int64_t
+PhysMem::read(Addr addr) const
+{
+    auto it = pages.find(pageOf(addr));
+    if (it == pages.end())
+        return 0;
+    return it->second[wordOf(addr)];
+}
+
+void
+PhysMem::write(Addr addr, std::int64_t value)
+{
+    pageFor(addr)[wordOf(addr)] = value;
+}
+
+std::int64_t
+PhysMem::amoAdd(Addr addr, std::int64_t delta)
+{
+    auto &word = pageFor(addr)[wordOf(addr)];
+    std::int64_t old = word;
+    word += delta;
+    return old;
+}
+
+Json
+PhysMem::toJson() const
+{
+    // Sorted pages, sparse non-zero words: [[pageAddr,[[idx,val]...]]]
+    std::map<Addr, const Page *> sorted;
+    for (const auto &kv : pages)
+        sorted.emplace(kv.first, &kv.second);
+
+    Json out = Json::array();
+    for (const auto &kv : sorted) {
+        Json words = Json::array();
+        for (std::size_t i = 0; i < wordsPerPage; ++i) {
+            if ((*kv.second)[i] != 0) {
+                Json pair = Json::array();
+                pair.push(std::int64_t(i));
+                pair.push((*kv.second)[i]);
+                words.push(std::move(pair));
+            }
+        }
+        if (words.size() == 0)
+            continue;
+        Json page = Json::array();
+        page.push(std::int64_t(kv.first));
+        page.push(std::move(words));
+        out.push(std::move(page));
+    }
+    return out;
+}
+
+void
+PhysMem::restore(const Json &state)
+{
+    pages.clear();
+    if (!state.isArray())
+        fatal("PhysMem::restore: malformed memory checkpoint");
+    for (const auto &page : state.asArray()) {
+        Addr page_addr = Addr(page.at(std::size_t(0)).asInt());
+        Page &dst = pages.emplace(page_addr, Page{}).first->second;
+        dst.fill(0);
+        for (const auto &pair : page.at(std::size_t(1)).asArray()) {
+            std::size_t idx =
+                std::size_t(pair.at(std::size_t(0)).asInt());
+            if (idx >= wordsPerPage)
+                fatal("PhysMem::restore: word index out of range");
+            dst[idx] = pair.at(std::size_t(1)).asInt();
+        }
+    }
+}
+
+} // namespace g5::sim::mem

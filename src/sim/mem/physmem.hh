@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Sparse functional physical memory.
+ *
+ * sim5 separates function from timing: data always lives here and is
+ * read/written at commit time by CPU models, while the MemSystem models
+ * only latency and coherence permissions. Because the event loop is
+ * single-threaded, commit order equals event order, which makes Amo
+ * naturally atomic.
+ *
+ * Granularity is 8 bytes (one SimISA word); addresses are rounded down.
+ */
+
+#ifndef G5_SIM_MEM_PHYSMEM_HH
+#define G5_SIM_MEM_PHYSMEM_HH
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+
+#include "base/json.hh"
+#include "base/types.hh"
+
+namespace g5::sim::mem
+{
+
+class PhysMem
+{
+  public:
+    /** Words per backing page (4 KiB pages). */
+    static constexpr std::size_t wordsPerPage = 512;
+
+    /** Read the word containing @p addr (zero when never written). */
+    std::int64_t read(Addr addr) const;
+
+    /** Write the word containing @p addr. */
+    void write(Addr addr, std::int64_t value);
+
+    /** Atomic fetch-add; @return the old value. */
+    std::int64_t amoAdd(Addr addr, std::int64_t delta);
+
+    /** @return the number of touched pages (footprint accounting). */
+    std::size_t numPages() const { return pages.size(); }
+
+    /** Serialize non-zero words (checkpoint support). Deterministic. */
+    Json toJson() const;
+
+    /** Replace contents from toJson() output. */
+    void restore(const Json &state);
+
+  private:
+    using Page = std::array<std::int64_t, wordsPerPage>;
+
+    static Addr pageOf(Addr addr) { return addr >> 12; }
+    static std::size_t wordOf(Addr addr) { return (addr >> 3) & 511; }
+
+    Page &pageFor(Addr addr);
+
+    std::unordered_map<Addr, Page> pages;
+};
+
+} // namespace g5::sim::mem
+
+#endif // G5_SIM_MEM_PHYSMEM_HH

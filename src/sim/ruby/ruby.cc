@@ -1,0 +1,324 @@
+#include "sim/ruby/ruby.hh"
+
+#include "base/logging.hh"
+#include "sim/eventq.hh"
+#include "sim/trace.hh"
+
+namespace g5::sim::ruby
+{
+
+const char *
+protocolName(RubyProtocol p)
+{
+    return p == RubyProtocol::MIExample ? "MI_example" : "MESI_Two_Level";
+}
+
+RubyProtocol
+protocolFromName(const std::string &name)
+{
+    if (name == "MI_example" || name == "MI")
+        return RubyProtocol::MIExample;
+    if (name == "MESI_Two_Level" || name == "MESI")
+        return RubyProtocol::MESITwoLevel;
+    fatal("unknown Ruby protocol '" + name + "'");
+}
+
+RubyMem::RubyMem(EventQueue &eq, const RubyConfig &cfg)
+    : eventq(eq), cfg(cfg), dram(cfg.dram), stats("ruby")
+{
+    if (cfg.numCpus == 0)
+        fatal("RubyMem: need at least one CPU");
+    if (cfg.numCpus > 64)
+        fatal("RubyMem: sharer bitmask supports at most 64 CPUs");
+
+    for (unsigned i = 0; i < cfg.numCpus; ++i) {
+        l1s.push_back(
+            std::make_unique<mem::CacheArray>(cfg.l1SizeBytes,
+                                              cfg.l1Assoc));
+    }
+    if (cfg.protocol == RubyProtocol::MESITwoLevel) {
+        l2 = std::make_unique<mem::CacheArray>(cfg.l2SizeBytes,
+                                               cfg.l2Assoc);
+    }
+
+    stats.addStat("l1_hits", &l1Hits, "L1 hits (all controllers)");
+    stats.addStat("l1_misses", &l1Misses, "L1 misses");
+    stats.addStat("l2_hits", &l2Hits, "L2 hits (MESI only)");
+    stats.addStat("l2_misses", &l2Misses, "L2 misses (MESI only)");
+    stats.addStat("invalidations", &invalidationsSent,
+                  "invalidation messages sent");
+    stats.addStat("forwards", &forwardsSent,
+                  "requests forwarded to owners");
+    stats.addStat("writebacks", &writebacks, "owner writebacks");
+    stats.addStat("upgrades", &upgrades, "S->M upgrade requests");
+    stats.addStat("dir_queue_ticks", &dirQueueTicks,
+                  "ticks queued at the directory");
+    stats.addStat("mem_fetches", &memFetches, "directory DRAM fetches");
+    stats.addStat("dram_reads", &dram.reads, "DRAM read bursts");
+    stats.addStat("dram_writes", &dram.writes, "DRAM write bursts");
+}
+
+std::string
+RubyMem::protocolName() const
+{
+    return ruby::protocolName(cfg.protocol);
+}
+
+RubyMem::DirEntry &
+RubyMem::dirEntry(Addr block)
+{
+    return directory[block];
+}
+
+Tick
+RubyMem::dirQueueDelay()
+{
+    Tick now = eventq.curTick();
+    Tick start = now > dirBusyUntil ? now : dirBusyUntil;
+    dirBusyUntil = start + cfg.dirServiceGap;
+    Tick delay = start - now;
+    dirQueueTicks += double(delay);
+    return delay;
+}
+
+void
+RubyMem::fillL1(int cpu, Addr block, int state)
+{
+    auto &l1 = *l1s[cpu];
+    auto *victim = l1.victim(block);
+    if (victim->valid && (victim->state == M || victim->state == E)) {
+        // Evicting an owned line: writeback to the directory.
+        ++writebacks;
+        DirEntry &ventry = dirEntry(victim->tag);
+        if (ventry.owner == cpu)
+            ventry.owner = -1;
+    } else if (victim->valid) {
+        DirEntry &ventry = dirEntry(victim->tag);
+        ventry.sharers &= ~(std::uint64_t(1) << cpu);
+    }
+    l1.fill(victim, block, state);
+}
+
+Tick
+RubyMem::miAccess(int cpu, Addr block)
+{
+    // MI_example: both loads and stores need the block in M.
+    auto &l1 = *l1s[cpu];
+    if (auto *line = l1.lookup(block)) {
+        if (line->state == M) {
+            l1.touch(line);
+            ++l1Hits;
+            return cfg.l1Latency;
+        }
+    }
+    ++l1Misses;
+
+    // Request travels to the directory.
+    Tick latency = cfg.l1Latency + cfg.netHopLatency + dirQueueDelay();
+    DirEntry &entry = dirEntry(block);
+
+    if (entry.owner >= 0 && entry.owner != cpu) {
+        // Forward to the current owner; owner sends data + writeback.
+        ++forwardsSent;
+        ++writebacks;
+        latency += 2 * cfg.netHopLatency;
+        l1s[entry.owner]->invalidate(block);
+        ++invalidationsSent;
+    } else if (entry.owner != cpu) {
+        // Directory fetches the block from memory.
+        ++memFetches;
+        latency += dram.serviceLatency(eventq.curTick(), false);
+    }
+
+    // Data message back to the requester.
+    latency += cfg.netHopLatency;
+    entry.owner = cpu;
+    entry.sharers = 0;
+    fillL1(cpu, block, M);
+    return latency;
+}
+
+Tick
+RubyMem::mesiAccess(int cpu, Addr block, bool write)
+{
+    auto &l1 = *l1s[cpu];
+    auto *line = l1.lookup(block);
+
+    if (line) {
+        if (!write &&
+            (line->state == S || line->state == E || line->state == M)) {
+            l1.touch(line);
+            ++l1Hits;
+            return cfg.l1Latency;
+        }
+        if (write && (line->state == M || line->state == E)) {
+            line->state = M; // silent E->M
+            l1.touch(line);
+            ++l1Hits;
+            return cfg.l1Latency;
+        }
+        if (write && line->state == S) {
+            // Upgrade: invalidate the other sharers via the directory.
+            ++upgrades;
+            ++l1Misses;
+            Tick latency = cfg.l1Latency + cfg.netHopLatency +
+                           dirQueueDelay() + cfg.l2Latency;
+            DirEntry &entry = dirEntry(block);
+            std::uint64_t others =
+                entry.sharers & ~(std::uint64_t(1) << cpu);
+            for (unsigned i = 0; i < cfg.numCpus; ++i) {
+                if (others & (std::uint64_t(1) << i)) {
+                    l1s[i]->invalidate(block);
+                    ++invalidationsSent;
+                }
+            }
+            if (others)
+                latency += 2 * cfg.netHopLatency; // inv + ack round
+            entry.sharers = std::uint64_t(1) << cpu;
+            entry.owner = cpu;
+            line->state = M;
+            l1.touch(line);
+            latency += cfg.netHopLatency;
+            return latency;
+        }
+    }
+    ++l1Misses;
+
+    Tick latency = cfg.l1Latency + cfg.netHopLatency + dirQueueDelay() +
+                   cfg.l2Latency;
+    DirEntry &entry = dirEntry(block);
+
+    // Snoop the current owner out if there is one.
+    if (entry.owner >= 0 && entry.owner != cpu) {
+        auto *owner_line = l1s[entry.owner]->lookup(block);
+        if (owner_line &&
+            (owner_line->state == M || owner_line->state == E)) {
+            ++forwardsSent;
+            ++writebacks;
+            latency += 2 * cfg.netHopLatency;
+            if (write) {
+                l1s[entry.owner]->invalidate(block);
+                ++invalidationsSent;
+            } else {
+                owner_line->state = S;
+                entry.sharers |= std::uint64_t(1) << entry.owner;
+            }
+        }
+        entry.owner = -1;
+    }
+
+    if (write) {
+        // Invalidate every sharer.
+        std::uint64_t others = entry.sharers & ~(std::uint64_t(1) << cpu);
+        bool any = false;
+        for (unsigned i = 0; i < cfg.numCpus; ++i) {
+            if (others & (std::uint64_t(1) << i)) {
+                l1s[i]->invalidate(block);
+                ++invalidationsSent;
+                any = true;
+            }
+        }
+        if (any)
+            latency += 2 * cfg.netHopLatency;
+        entry.sharers = 0;
+    }
+
+    // Inclusive L2 lookup.
+    if (l2->lookup(block)) {
+        ++l2Hits;
+        l2->touch(l2->lookup(block));
+    } else {
+        ++l2Misses;
+        ++memFetches;
+        latency += dram.serviceLatency(eventq.curTick(), write);
+        l2->fill(l2->victim(block), block);
+    }
+
+    int new_state;
+    if (write) {
+        new_state = M;
+        dirEntry(block).owner = cpu;
+        dirEntry(block).sharers = std::uint64_t(1) << cpu;
+    } else if (dirEntry(block).sharers == 0 &&
+               dirEntry(block).owner < 0) {
+        new_state = E;
+        dirEntry(block).owner = cpu;
+    } else {
+        new_state = S;
+        dirEntry(block).sharers |= std::uint64_t(1) << cpu;
+    }
+    fillL1(cpu, block, new_state);
+
+    latency += cfg.netHopLatency; // data back to the requester
+    return latency;
+}
+
+Tick
+RubyMem::serviceAccess(int cpu, Addr addr, bool write)
+{
+    if (cpu < 0 || unsigned(cpu) >= cfg.numCpus)
+        panic("RubyMem: access from unknown CPU");
+    Addr block = mem::CacheArray::blockAlign(addr);
+    Tick latency = cfg.protocol == RubyProtocol::MIExample
+                       ? miAccess(cpu, block)
+                       : mesiAccess(cpu, block, write);
+    DTRACE("Ruby", eventq.curTick(),
+           "cpu%d %s %#llx -> %llu ticks (%s)", cpu,
+           write ? "ST" : "LD", (unsigned long long)block,
+           (unsigned long long)latency, protocolName().c_str());
+    return latency;
+}
+
+void
+RubyMem::access(int cpu, Addr addr, bool write, Callback done)
+{
+    ++accessCount;
+    if (deadlocked || (dropAt != 0 && accessCount >= dropAt)) {
+        // The response message for this request is lost (modelled
+        // protocol defect): the requester hangs; the sequencer watchdog
+        // aborts the simulation after the threshold.
+        if (!deadlocked) {
+            deadlocked = true;
+            eventq.schedule(
+                eventq.curTick() + cfg.deadlockThreshold, [this, cpu] {
+                    panic(csprintf(
+                        "Possible Deadlock detected: sequencer cpu%d "
+                        "has an outstanding request for %u ticks "
+                        "(protocol %s)",
+                        cpu, unsigned(cfg.deadlockThreshold),
+                        protocolName().c_str()));
+                });
+        }
+        return; // 'done' intentionally never scheduled
+    }
+
+    Tick latency = serviceAccess(cpu, addr, write);
+    eventq.schedule(eventq.curTick() + latency, std::move(done),
+                    EventQueue::memRespPri);
+}
+
+Tick
+RubyMem::atomicAccess(int cpu, Addr addr, bool write)
+{
+    ++accessCount;
+    if (deadlocked || (dropAt != 0 && accessCount >= dropAt)) {
+        if (!deadlocked) {
+            deadlocked = true;
+            eventq.schedule(
+                eventq.curTick() + cfg.deadlockThreshold, [this, cpu] {
+                    panic(csprintf(
+                        "Possible Deadlock detected: sequencer cpu%d "
+                        "has an outstanding request for %u ticks "
+                        "(protocol %s)",
+                        cpu, unsigned(cfg.deadlockThreshold),
+                        protocolName().c_str()));
+                });
+        }
+        // The requester stalls for the full threshold; the watchdog
+        // fires first.
+        return cfg.deadlockThreshold * 2;
+    }
+    return serviceAccess(cpu, addr, write);
+}
+
+} // namespace g5::sim::ruby

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * The Ruby-style memory system: detailed directory coherence with two
+ * protocols, matching the options exercised by the paper's Fig 8.
+ *
+ *  - MI_example: the pedagogical two-state protocol. Every access —
+ *    load or store — acquires the block in M, so read sharing causes
+ *    continuous invalidation ping-pong. Slow but simple, exactly like
+ *    gem5's MI_example.
+ *
+ *  - MESI_Two_Level: private L1s with MESI states over a shared,
+ *    inclusive L2 that embeds the directory. Loads can share (S/E),
+ *    stores upgrade, silent E->M.
+ *
+ * Protocol state machines run synchronously per access; latency is the
+ * sum of modelled network hops, cache latencies, DRAM service time, and
+ * directory queueing. Timing-mode accesses complete via an event;
+ * atomic-mode CPUs are rejected (as in gem5 v20.1.0.4, AtomicSimpleCPU
+ * cannot run on Ruby).
+ *
+ * A sequencer-style deadlock watchdog fires when an armed defect drops
+ * a response message (the MI_example O3 deadlock of Fig 8): the access
+ * never completes and, after deadlockThreshold ticks, the watchdog
+ * raises "Possible Deadlock detected", aborting the simulation the way
+ * a Ruby protocol deadlock aborts gem5.
+ */
+
+#ifndef G5_SIM_RUBY_RUBY_HH
+#define G5_SIM_RUBY_RUBY_HH
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/mem/cache_array.hh"
+#include "sim/mem/dram.hh"
+#include "sim/mem/mem_system.hh"
+
+namespace g5::sim
+{
+class EventQueue;
+} // namespace g5::sim
+
+namespace g5::sim::ruby
+{
+
+enum class RubyProtocol { MIExample, MESITwoLevel };
+
+/** @return the gem5 protocol name ("MI_example", "MESI_Two_Level"). */
+const char *protocolName(RubyProtocol p);
+
+/** Parse a protocol name; throws FatalError on junk. */
+RubyProtocol protocolFromName(const std::string &name);
+
+struct RubyConfig
+{
+    RubyProtocol protocol = RubyProtocol::MESITwoLevel;
+    unsigned numCpus = 1;
+    std::size_t l1SizeBytes = 32 * 1024;
+    unsigned l1Assoc = 4;
+    std::size_t l2SizeBytes = 1024 * 1024;
+    unsigned l2Assoc = 8;
+    Tick l1Latency = 1000;          ///< 1 ns
+    Tick l2Latency = 8000;          ///< 8 ns
+    Tick netHopLatency = 6000;      ///< 6 ns per network traversal
+    Tick dirServiceGap = 2000;      ///< directory bank occupancy
+    Tick deadlockThreshold = 100'000'000; ///< 100 us without a response
+    mem::DramConfig dram;
+};
+
+class RubyMem : public mem::MemSystem
+{
+  public:
+    RubyMem(EventQueue &eq, const RubyConfig &cfg);
+
+    std::string protocolName() const override;
+
+    void access(int cpu, Addr addr, bool write,
+                Callback done) override;
+    Tick atomicAccess(int cpu, Addr addr, bool write) override;
+
+    bool supportsAtomicCpu() const override { return false; }
+    bool supportsMultipleTimingCpus() const override { return true; }
+
+    StatGroup &statGroup() override { return stats; }
+
+    /**
+     * Arm the modelled protocol defect: the @p nth next access's
+     * response message is dropped, the requester hangs, and the
+     * deadlock watchdog aborts the run.
+     */
+    void armDroppedResponse(std::uint64_t nth) { dropAt = accessCount + nth; }
+
+    // Statistics (public for tests/benches).
+    Scalar l1Hits, l1Misses, l2Hits, l2Misses, invalidationsSent,
+        forwardsSent, writebacks, upgrades, dirQueueTicks, memFetches;
+
+  private:
+    /** L1 line states; MI uses only I/M. */
+    enum LineState : int { I = 0, S = 1, E = 2, M = 3 };
+
+    struct DirEntry
+    {
+        int owner = -1;              ///< L1 holding M/E; -1 none
+        std::uint64_t sharers = 0;   ///< bitmask of L1s in S
+    };
+
+    /** Run the protocol for one access; @return total latency. */
+    Tick serviceAccess(int cpu, Addr addr, bool write);
+
+    Tick miAccess(int cpu, Addr block);
+    Tick mesiAccess(int cpu, Addr block, bool write);
+
+    /** Directory bank occupancy/queueing. */
+    Tick dirQueueDelay();
+
+    /** Evict the victim line (writeback accounting) and fill. */
+    void fillL1(int cpu, Addr block, int state);
+
+    DirEntry &dirEntry(Addr block);
+
+    EventQueue &eventq;
+    RubyConfig cfg;
+    std::vector<std::unique_ptr<mem::CacheArray>> l1s;
+    std::unique_ptr<mem::CacheArray> l2; // MESI only
+    std::unordered_map<Addr, DirEntry> directory;
+    mem::Dram dram;
+    Tick dirBusyUntil = 0;
+
+    std::uint64_t accessCount = 0;
+    std::uint64_t dropAt = 0;   ///< 0 = defect unarmed
+    bool deadlocked = false;
+
+    StatGroup stats;
+};
+
+} // namespace g5::sim::ruby
+
+#endif // G5_SIM_RUBY_RUBY_HH

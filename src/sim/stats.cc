@@ -1,0 +1,87 @@
+#include "sim/stats.hh"
+
+#include <cstdio>
+
+#include "base/logging.hh"
+
+namespace g5::sim
+{
+
+StatGroup::StatGroup(std::string name)
+    : groupName(std::move(name))
+{}
+
+void
+StatGroup::addStat(const std::string &name, Scalar *stat,
+                   const std::string &desc)
+{
+    if (!stats.emplace(name, Entry{stat, desc}).second)
+        panic("StatGroup '" + groupName + "': duplicate stat '" + name +
+              "'");
+}
+
+void
+StatGroup::addChild(StatGroup *child)
+{
+    children.push_back(child);
+}
+
+std::string
+StatGroup::dumpText(const std::string &prefix) const
+{
+    std::string path =
+        prefix.empty() ? groupName
+                       : (groupName.empty() ? prefix
+                                            : prefix + "." + groupName);
+    std::string out;
+    for (const auto &kv : stats) {
+        char line[256];
+        std::string full =
+            path.empty() ? kv.first : path + "." + kv.first;
+        std::snprintf(line, sizeof(line), "%-48s %20.6f  # %s\n",
+                      full.c_str(), kv.second.stat->value(),
+                      kv.second.desc.c_str());
+        out += line;
+    }
+    for (const auto *child : children)
+        out += child->dumpText(path);
+    return out;
+}
+
+Json
+StatGroup::dumpJson() const
+{
+    Json obj = Json::object();
+    for (const auto &kv : stats)
+        obj[kv.first] = kv.second.stat->value();
+    for (const auto *child : children)
+        obj[child->name()] = child->dumpJson();
+    return obj;
+}
+
+void
+StatGroup::reset()
+{
+    for (auto &kv : stats)
+        kv.second.stat->set(0.0);
+    for (auto *child : children)
+        child->reset();
+}
+
+const Scalar *
+StatGroup::find(const std::string &dotted_path) const
+{
+    std::size_t dot = dotted_path.find('.');
+    if (dot == std::string::npos) {
+        auto it = stats.find(dotted_path);
+        return it == stats.end() ? nullptr : it->second.stat;
+    }
+    std::string head = dotted_path.substr(0, dot);
+    std::string tail = dotted_path.substr(dot + 1);
+    for (const auto *child : children)
+        if (child->name() == head)
+            return child->find(tail);
+    return nullptr;
+}
+
+} // namespace g5::sim

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * A miniature statistics framework in the spirit of gem5's Stats package.
+ *
+ * Components own Scalar counters registered in a StatGroup tree rooted at
+ * the System. The tree renders either as gem5-flavoured stats.txt lines
+ * ("name  value  # description") or as a JSON object for the database.
+ */
+
+#ifndef G5_SIM_STATS_HH
+#define G5_SIM_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "base/json.hh"
+
+namespace g5::sim
+{
+
+/** A named scalar statistic (double-valued counter). */
+class Scalar
+{
+  public:
+    Scalar() = default;
+
+    double value() const { return val; }
+    void set(double v) { val = v; }
+    void inc(double delta = 1.0) { val += delta; }
+
+    Scalar &operator++() { val += 1.0; return *this; }
+    Scalar &operator+=(double d) { val += d; return *this; }
+
+  private:
+    double val = 0.0;
+};
+
+/** A node in the stats tree: named scalars plus named children. */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name = "");
+
+    const std::string &name() const { return groupName; }
+
+    /** Register a scalar owned by the caller. Names must be unique. */
+    void addStat(const std::string &name, Scalar *stat,
+                 const std::string &desc = "");
+
+    /** Register a child group owned by the caller. */
+    void addChild(StatGroup *child);
+
+    /** Render the subtree as "path value # desc" lines. */
+    std::string dumpText(const std::string &prefix = "") const;
+
+    /** Render the subtree as nested JSON. */
+    Json dumpJson() const;
+
+    /** Look up a stat by dotted path ("cpu0.numInsts"); nullptr if none. */
+    const Scalar *find(const std::string &dotted_path) const;
+
+    /** Zero every scalar in the subtree (m5 resetstats semantics). */
+    void reset();
+
+  private:
+    struct Entry
+    {
+        Scalar *stat;
+        std::string desc;
+    };
+
+    std::string groupName;
+    std::map<std::string, Entry> stats;
+    std::vector<StatGroup *> children;
+};
+
+} // namespace g5::sim
+
+#endif // G5_SIM_STATS_HH

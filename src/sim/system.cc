@@ -1,0 +1,21 @@
+#include "sim/system.hh"
+
+#include "sim/cpu/base_cpu.hh"
+
+namespace g5::sim
+{
+
+System::System(std::uint64_t seed)
+    : rootStats("system"), rng(seed)
+{}
+
+System::~System() = default;
+
+void
+System::kickIdleCpus()
+{
+    for (auto &cpu : cpus)
+        cpu->kick();
+}
+
+} // namespace g5::sim

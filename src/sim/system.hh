@@ -1,0 +1,130 @@
+/**
+ * @file
+ * System — the container every sim5 simulation hangs off: the event
+ * queue, functional memory, the memory system, the CPUs, statistics,
+ * and the OS callback interface CPUs use for syscalls, m5 ops and I/O.
+ *
+ * The full-system builder (sim/fs/fs_system.hh) assembles a System from
+ * an FsConfig; unit tests assemble smaller ones by hand.
+ */
+
+#ifndef G5_SIM_SYSTEM_HH
+#define G5_SIM_SYSTEM_HH
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "base/random.hh"
+#include "base/types.hh"
+#include "sim/eventq.hh"
+#include "sim/isa/thread.hh"
+#include "sim/mem/mem_system.hh"
+#include "sim/mem/physmem.hh"
+#include "sim/stats.hh"
+
+namespace g5::sim
+{
+
+class BaseCpu;
+
+/**
+ * Services the guest OS provides to CPU models. Implemented by
+ * fs::GuestOs; unit tests may provide lighter stand-ins.
+ */
+class OsCallbacks
+{
+  public:
+    virtual ~OsCallbacks() = default;
+
+    /** Pop the next runnable thread for @p cpu_id; nullptr = idle. */
+    virtual isa::ThreadContext *pickNext(int cpu_id) = 0;
+
+    /** @return true when some thread waits for a CPU. */
+    virtual bool hasRunnable() const = 0;
+
+    /** Return a preempted (still runnable) thread to the run queue. */
+    virtual void requeue(isa::ThreadContext *tc) = 0;
+
+    /**
+     * Service a syscall; may change tc.status (block/finish).
+     * @return the kernel-time cost in ticks.
+     */
+    virtual Tick syscall(isa::ThreadContext &tc, std::int64_t code,
+                         int cpu_id) = 0;
+
+    /** Service an m5 pseudo-op (may exit the simulation). */
+    virtual void m5op(isa::ThreadContext &tc, std::int64_t func) = 0;
+
+    /** Device read: @return (value, latency). */
+    virtual std::pair<std::int64_t, Tick> ioRead(Addr addr) = 0;
+
+    /** Device write: @return latency. */
+    virtual Tick ioWrite(Addr addr, std::int64_t value) = 0;
+
+    /** A thread executed Halt. */
+    virtual void threadHalted(isa::ThreadContext &tc) = 0;
+};
+
+/**
+ * A modeled defect of the simulated simulator version (see DESIGN.md:
+ * the Fig 8 bug census of gem5 v20.1.0.4 is frozen as data and expressed
+ * through real failure mechanisms).
+ */
+struct DefectPlan
+{
+    enum class Kind {
+        None,
+        KernelPanic,    ///< guest kernel panics at triggerTick
+        HostSegfault,   ///< simulator "segfaults" (SimulatorCrash thrown)
+        Deadlock,       ///< Ruby drops an ack; watchdog trips
+        Livelock,       ///< O3 replay storm; run never finishes
+    };
+
+    Kind kind = Kind::None;
+    /** When the defect manifests. */
+    Tick triggerTick = 0;
+    /** Free-form detail recorded in the failure message. */
+    std::string detail;
+};
+
+class System
+{
+  public:
+    explicit System(std::uint64_t seed = 1);
+    ~System();
+
+    System(const System &) = delete;
+    System &operator=(const System &) = delete;
+
+    EventQueue eventq;
+    mem::PhysMem physmem;
+    std::unique_ptr<mem::MemSystem> memSystem;
+    std::vector<std::unique_ptr<BaseCpu>> cpus;
+
+    /** Root statistics group ("system"). */
+    StatGroup rootStats;
+
+    /** Seeded per-system RNG. */
+    Rng rng;
+
+    /** CPU clock period in ticks (default 500 = 2 GHz). */
+    Tick cpuPeriod = 500;
+
+    /** OS services; owned by the fs layer (or a test). */
+    OsCallbacks *os = nullptr;
+
+    /** Active defect model (None by default). */
+    DefectPlan defect;
+
+    /** Convenience: current tick. */
+    Tick curTick() const { return eventq.curTick(); }
+
+    /** Kick every idle CPU (the OS calls this when work appears). */
+    void kickIdleCpus();
+};
+
+} // namespace g5::sim
+
+#endif // G5_SIM_SYSTEM_HH

@@ -1,0 +1,69 @@
+#include "sim/trace.hh"
+
+#include <cstdio>
+#include <set>
+
+#include "base/logging.hh"
+
+namespace g5::sim::trace
+{
+
+namespace
+{
+
+std::set<std::string> liveFlags;
+bool captureMode = false;
+std::string buffer;
+
+} // anonymous namespace
+
+void
+enable(const std::string &flag)
+{
+    liveFlags.insert(flag);
+}
+
+void
+disable(const std::string &flag)
+{
+    if (flag == "All")
+        liveFlags.clear();
+    else
+        liveFlags.erase(flag);
+}
+
+bool
+enabled(const std::string &flag)
+{
+    if (liveFlags.empty())
+        return false;
+    return liveFlags.count(flag) > 0 || liveFlags.count("All") > 0;
+}
+
+void
+captureToBuffer(bool capture)
+{
+    captureMode = capture;
+}
+
+std::string
+takeCaptured()
+{
+    std::string out;
+    out.swap(buffer);
+    return out;
+}
+
+void
+emit(Tick when, const std::string &flag, const std::string &msg)
+{
+    std::string line = csprintf("%12llu: %s: %s\n",
+                                (unsigned long long)when, flag.c_str(),
+                                msg.c_str());
+    if (captureMode)
+        buffer += line;
+    else
+        std::fputs(line.c_str(), stderr);
+}
+
+} // namespace g5::sim::trace

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Flag-gated execution tracing — the analogue of gem5's DPRINTF /
+ * --debug-flags machinery.
+ *
+ * Components emit through DTRACE(flag, eq, fmt, ...); nothing is
+ * formatted unless the flag is enabled, so tracing is free in normal
+ * runs. Output lines follow gem5's "tick: Flag: message" shape and go
+ * either to stderr or to an in-memory capture buffer (tests use the
+ * latter).
+ *
+ * Flags in use: "Syscall" (guest OS services), "Exec" (thread
+ * lifecycle), "Ruby" (coherence protocol events), "Cpu" (context
+ * switches).
+ */
+
+#ifndef G5_SIM_TRACE_HH
+#define G5_SIM_TRACE_HH
+
+#include <string>
+#include <vector>
+
+#include "base/types.hh"
+
+namespace g5::sim::trace
+{
+
+/** Enable one flag, or "All". */
+void enable(const std::string &flag);
+
+/** Disable one flag, or "All" to clear everything. */
+void disable(const std::string &flag);
+
+/** @return true when @p flag (or All) is enabled. */
+bool enabled(const std::string &flag);
+
+/** Route output into the in-memory buffer instead of stderr. */
+void captureToBuffer(bool capture);
+
+/** @return and clear the capture buffer. */
+std::string takeCaptured();
+
+/** Emit one trace line (call through the DTRACE macro). */
+void emit(Tick when, const std::string &flag, const std::string &msg);
+
+} // namespace g5::sim::trace
+
+/**
+ * Trace with lazy formatting: evaluates the message only when the flag
+ * is live. @p eq_tick is the current tick expression.
+ */
+#define DTRACE(flag, eq_tick, ...)                                     \
+    do {                                                               \
+        if (::g5::sim::trace::enabled(flag)) {                         \
+            ::g5::sim::trace::emit((eq_tick), (flag),                  \
+                                   ::g5::csprintf(__VA_ARGS__));       \
+        }                                                              \
+    } while (0)
+
+#endif // G5_SIM_TRACE_HH

@@ -1,0 +1,182 @@
+#include "workloads/gpu_apps.hh"
+
+#include "base/logging.hh"
+
+namespace g5::workloads
+{
+
+using sim::gpu::KernelDesc;
+using sim::gpu::MutexKind;
+
+namespace
+{
+
+KernelDesc
+kernel(const std::string &name, unsigned wgs, unsigned waves_per_wg,
+       unsigned iters, unsigned valu, unsigned vmem, unsigned lds,
+       unsigned salu, unsigned barriers, double l1_loc, double l2_loc,
+       unsigned vgprs = 256)
+{
+    KernelDesc k;
+    k.name = name;
+    k.numWorkgroups = wgs;
+    k.wavesPerWg = waves_per_wg;
+    k.iterations = iters;
+    k.valuPerIter = valu;
+    k.vmemPerIter = vmem;
+    k.ldsOpsPerIter = lds;
+    k.saluPerIter = salu;
+    k.barriersPerIter = barriers;
+    k.l1Locality = l1_loc;
+    k.l2Locality = l2_loc;
+    k.vgprsPerWave = vgprs;
+    return k;
+}
+
+KernelDesc
+mutexKernel(const std::string &name, MutexKind kind, bool uniq)
+{
+    // HeteroSync shape: 8 WGs/CU x 4 CUs, 10 Ld/St per thread per CS,
+    // 2 iterations. Global variants use one lock; Uniq variants give
+    // each workgroup its own lock (contention only inside the WG).
+    KernelDesc k;
+    k.name = name;
+    k.mutexKind = kind;
+    k.iterations = 2;
+    k.csPerIter = 4;
+    k.csMemOps = 10;
+    k.valuPerIter = 4;
+    k.l1Locality = 0.3;
+    k.l2Locality = 0.6;
+    k.vgprsPerWave = 64;
+    k.sgprsPerWave = 64;
+    k.numWorkgroups = 32;
+    k.wavesPerWg = 1;
+    if (uniq) {
+        // The "Uniq" variants give each workgroup its own mutex, but
+        // HeteroSync allocates the mutex array contiguously, so the
+        // per-WG locks false-share cache lines: contention is reduced,
+        // not eliminated. Modeled as lighter traffic on the shared
+        // lock lines.
+        k.csPerIter = 2;
+        k.csMemOps = 6;
+    }
+    return k;
+}
+
+std::vector<GpuAppEntry>
+buildApps()
+{
+    std::vector<GpuAppEntry> apps;
+    auto add = [&](KernelDesc k, const std::string &group,
+                   const std::string &input) {
+        apps.push_back(GpuAppEntry{std::move(k), group, input});
+    };
+
+    // --- HIP samples ---
+    add(kernel("2dshfl", 1, 1, 4, 10, 2, 0, 2, 0, 0.8, 0.9, 64),
+        "hip-samples", "4x4");
+    add(kernel("dynamic_shared", 1, 4, 8, 8, 2, 8, 2, 1, 0.8, 0.9, 128),
+        "hip-samples", "16x16");
+    add(kernel("inline_asm", 256, 4, 2, 24, 2, 0, 4, 0, 0.75, 0.8, 512),
+        "hip-samples", "1024x1024");
+    add(kernel("MatrixTranspose", 128, 4, 2, 6, 8, 0, 2, 0, 0.45, 0.6,
+               640),
+        "hip-samples", "1024x1024");
+    add(kernel("sharedMemory", 8, 4, 2, 20, 3, 10, 2, 1, 0.7, 0.8, 512),
+        "hip-samples", "64x64");
+    add(kernel("shfl", 1, 1, 4, 10, 2, 0, 2, 0, 0.8, 0.9, 64),
+        "hip-samples", "4x4");
+    add(kernel("stream", 64, 4, 4, 4, 8, 0, 2, 0, 0.40, 0.55, 640),
+        "hip-samples", "32x32");
+    add(kernel("unroll", 1, 2, 4, 16, 2, 0, 2, 0, 0.8, 0.9, 96),
+        "hip-samples", "4x4");
+
+    // --- HeteroSync ---
+    const char *hs_input = "10 Ld/St/thr/CS, 8 WGs/CU, 2 iters";
+    add(mutexKernel("SpinMutexEBO", MutexKind::SpinEbo, false),
+        "heterosync", hs_input);
+    add(mutexKernel("FAMutex", MutexKind::FetchAdd, false),
+        "heterosync", hs_input);
+    add(mutexKernel("SleepMutex", MutexKind::Sleep, false),
+        "heterosync", hs_input);
+    add(mutexKernel("SpinMutexEBOUniq", MutexKind::SpinEbo, true),
+        "heterosync", hs_input);
+    add(mutexKernel("FAMutexUniq", MutexKind::FetchAdd, true),
+        "heterosync", hs_input);
+    add(mutexKernel("SleepMutexUniq", MutexKind::Sleep, true),
+        "heterosync", hs_input);
+    {
+        // The tree barriers synchronize the whole grid through atomic
+        // exchange chains: globally contended, like the mutexes.
+        KernelDesc k = mutexKernel("LFTreeBarrUniq", MutexKind::SpinEbo,
+                                   false);
+        k.csPerIter = 8;
+        k.csMemOps = 6;
+        k.valuPerIter = 6;
+        add(std::move(k), "heterosync",
+            "10 Ld/St/thr/barrier, 8 WGs/CU, 2 iters");
+    }
+    {
+        KernelDesc k = mutexKernel("LFTreeBarrUniqLocalExch",
+                                   MutexKind::SpinEbo, false);
+        k.csPerIter = 8;
+        k.csMemOps = 4;      // the local-exchange variant moves less
+        k.ldsOpsPerIter = 8; // global data, more LDS traffic
+        k.valuPerIter = 6;
+        add(std::move(k), "heterosync",
+            "10 Ld/St/thr/barrier, 8 WGs/CU, 2 iters");
+    }
+
+    // --- DNNMark ---
+    add(kernel("bwd_bypass", 48, 4, 2, 10, 4, 0, 2, 0, 0.85, 0.8, 1024),
+        "dnnmark", "NCHW = 100, 1000, 1, 1");
+    add(kernel("bwd_bn", 48, 4, 2, 20, 6, 0, 2, 2, 0.8, 0.75, 1024),
+        "dnnmark", "NCHW = 100, 1000, 1, 1");
+    add(kernel("bwd_composed_model", 3, 2, 2, 12, 4, 0, 2, 1, 0.7, 0.8),
+        "dnnmark", "NCHW = 32, 32, 3, 1");
+    add(kernel("bwd_pool", 192, 4, 2, 3, 12, 0, 1, 0, 0.85, 0.25),
+        "dnnmark", "NCHW = 100, 3, 256, 256");
+    add(kernel("bwd_softmax", 48, 4, 2, 50, 5, 0, 2, 1, 0.65, 0.7, 1024),
+        "dnnmark", "NCHW = 100, 1000, 1, 1");
+    add(kernel("fwd_bypass", 48, 4, 2, 10, 4, 0, 2, 0, 0.85, 0.8, 1024),
+        "dnnmark", "NCHW = 100, 1000, 1, 1");
+    add(kernel("fwd_bn", 48, 4, 2, 20, 6, 0, 2, 2, 0.8, 0.75, 1024),
+        "dnnmark", "NCHW = 100, 1000, 1, 1");
+    add(kernel("fwd_composed_model", 3, 2, 2, 12, 4, 0, 2, 1, 0.7, 0.8),
+        "dnnmark", "NCHW = 32, 32, 3, 1");
+    add(kernel("fwd_pool", 192, 4, 2, 3, 12, 0, 1, 0, 0.85, 0.25),
+        "dnnmark", "NCHW = 100, 3, 256, 256");
+    add(kernel("fwd_softmax", 48, 4, 2, 50, 5, 0, 2, 1, 0.65, 0.7, 1024),
+        "dnnmark", "NCHW = 100, 1000, 1, 1");
+
+    // --- DOE proxy applications ---
+    add(kernel("HACC", 4, 4, 3, 20, 4, 0, 4, 1, 0.7, 0.8),
+        "proxy-apps", "(forceTreeTest) 0.5 0.1 64 0.1 100 N 12 rcb");
+    add(kernel("LULESH", 4, 4, 2, 16, 6, 0, 4, 2, 0.65, 0.75),
+        "proxy-apps", "1 iteration");
+    add(kernel("PENNANT", 96, 4, 2, 14, 6, 0, 4, 1, 0.6, 0.7, 800),
+        "proxy-apps", "noh");
+
+    return apps;
+}
+
+} // anonymous namespace
+
+const std::vector<GpuAppEntry> &
+gpuApps()
+{
+    static const std::vector<GpuAppEntry> apps = buildApps();
+    return apps;
+}
+
+const GpuAppEntry &
+gpuApp(const std::string &name)
+{
+    for (const auto &app : gpuApps())
+        if (app.kernel.name == name)
+            return app;
+    fatal("unknown GPU application '" + name + "'");
+}
+
+} // namespace g5::workloads

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * The 29 GPU workloads of Table IV (use-case 3), as KernelDesc
+ * launches for the GCN3-style GPU model.
+ *
+ * Groups, with the paper's inputs:
+ *  - HIP samples:   2dshfl, dynamic_shared, inline_asm, MatrixTranspose,
+ *                    sharedMemory, shfl, stream, unroll
+ *  - HeteroSync:    SpinMutexEBO, FAMutex, SleepMutex + *Uniq variants,
+ *                    LFTreeBarrUniq, LFTreeBarrUniqLocalExch
+ *                    (10 Ld/St per thread per CS, 8 WGs/CU, 2 iters)
+ *  - DNNMark:       fwd/bwd bypass, bn, composed_model, pool, softmax
+ *  - Proxy apps:    HACC (forceTreeTest), LULESH (1 iter), PENNANT (noh)
+ *
+ * Descriptor shapes follow each application's published behaviour:
+ * problem sizes are scaled down uniformly (DESIGN.md's substitution
+ * rule) but the *relative* structure — how much work exists versus the
+ * GPU's occupancy limits, sync intensity, locality — is preserved,
+ * because that is what drives Fig 9.
+ */
+
+#ifndef G5_WORKLOADS_GPU_APPS_HH
+#define G5_WORKLOADS_GPU_APPS_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/gpu/gpu.hh"
+
+namespace g5::workloads
+{
+
+/** A Table IV entry: the kernel plus its printed input-size string. */
+struct GpuAppEntry
+{
+    sim::gpu::KernelDesc kernel;
+    std::string group;      ///< "hip-samples", "heterosync", ...
+    std::string inputSize;  ///< the Table IV input column
+};
+
+/** All 29 applications, in Table IV order. */
+const std::vector<GpuAppEntry> &gpuApps();
+
+/** Look up by name; throws FatalError when unknown. */
+const GpuAppEntry &gpuApp(const std::string &name);
+
+} // namespace g5::workloads
+
+#endif // G5_WORKLOADS_GPU_APPS_HH

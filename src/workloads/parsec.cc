@@ -1,0 +1,466 @@
+#include "workloads/parsec.hh"
+
+#include <cmath>
+
+#include "base/logging.hh"
+#include "sim/fs/guest_abi.hh"
+#include "sim/isa/builder.hh"
+
+namespace g5::workloads
+{
+
+using sim::isa::ProgramBuilder;
+using sim::isa::ProgramPtr;
+using namespace sim::fs; // syscall/m5 numbers
+
+OsProfile
+ubuntu1804()
+{
+    return OsProfile{
+        "ubuntu-18.04",
+        "18.04",
+        "4.15.18",
+        // GCC 7.4: fewer dynamic instructions, but poorer data layout
+        // (no interprocedural layout optimization) and more register
+        // spills around the hot loops.
+        CompilerProfile{"gcc-7.4", 1.00, 2, 0.00, 6},
+        4, // the older runtime futex-sleeps almost immediately
+    };
+}
+
+OsProfile
+ubuntu2004()
+{
+    return OsProfile{
+        "ubuntu-20.04",
+        "20.04",
+        "5.4.51",
+        // GCC 9.3: more aggressive unrolling/vectorized prologues emit
+        // more dynamic instructions, but data layout improves markedly
+        // and spills mostly disappear.
+        CompilerProfile{"gcc-9.3", 1.12, 4, 0.10, 1},
+        64, // adaptive mutex/barrier spinning before sleeping
+    };
+}
+
+const std::vector<ParsecAppSpec> &
+parsecSuite()
+{
+    // The ten Table II applications. Shapes follow each program's
+    // published characterization (Bienia'11): serial fraction, sync
+    // style, working set, and compute/memory balance.
+    static const std::vector<ParsecAppSpec> suite = {
+        // name          serial  items  inst mem  wsKB  loc  lock barr fp
+        {"blackscholes", 0.010, 16384, 180,  6,   512, 0.85,   0,  1, true},
+        {"bodytrack",    0.050,  9000, 140, 10,  1024, 0.75,  64,  6, true},
+        {"dedup",        0.080, 12000,  90, 14,  4096, 0.55,  16,  1, false},
+        {"ferret",       0.040, 10000, 160, 12,  2048, 0.70,  32,  2, true},
+        {"fluidanimate", 0.020, 12000, 110, 12,  1024, 0.72, 128,  8, true},
+        {"freqmine",     0.060, 14000, 100, 16,  8192, 0.50,   0,  2, false},
+        {"raytrace",     0.030, 10000, 200,  8,  2048, 0.80,   0,  1, true},
+        {"streamcluster",0.015, 16000,  70, 18,  8192, 0.45,   0, 12, false},
+        {"swaptions",    0.005, 12000, 220,  5,   256, 0.88,   0,  1, true},
+        {"vips",         0.045, 11000, 120, 11,  2048, 0.68,  64,  3, false},
+    };
+    return suite;
+}
+
+const ParsecAppSpec &
+parsecApp(const std::string &name)
+{
+    for (const auto &app : parsecSuite())
+        if (app.name == name)
+            return app;
+    fatal("unknown PARSEC application '" + name + "'");
+}
+
+namespace
+{
+
+// Guest address map of the generated process.
+constexpr std::int64_t ctrlBase = 0x5000'0000;
+constexpr std::int64_t ctrlNthreads = ctrlBase + 0;
+constexpr std::int64_t ctrlTicket = ctrlBase + 64;   // own blocks: no
+constexpr std::int64_t ctrlServing = ctrlBase + 128; // false sharing
+constexpr std::int64_t ctrlBarCount = ctrlBase + 192;
+constexpr std::int64_t ctrlBarGen = ctrlBase + 256;
+constexpr std::int64_t ctrlDone = ctrlBase + 320;
+constexpr std::int64_t sharedBase = 0x6000'0000;  // lock-protected data
+constexpr std::int64_t dataBase = 0x7000'0000;    // per-thread arrays
+
+// Register conventions inside generated code.
+constexpr int rZero = 9;
+constexpr int rTid = 4;
+constexpr int rN = 5;
+constexpr int rItems = 6;
+constexpr int rItem = 7;
+constexpr int rSeqPtr = 8;
+constexpr int rLcg = 20;
+constexpr int rMask = 21;
+constexpr int rPhase = 22;
+constexpr int rBase = 26;   ///< this thread's array base address
+
+/** Emit `count` ALU ops rotated over `unroll` accumulator chains. */
+void
+emitCompute(ProgramBuilder &pb, unsigned count, unsigned unroll, bool fp)
+{
+    // Accumulators r10..r10+unroll-1 (unroll <= 8).
+    unsigned chains = std::min(unroll, 8u);
+    for (unsigned i = 0; i < count; ++i) {
+        int acc = int(10 + (i % chains));
+        switch (i % 4) {
+          case 0:
+            if (fp)
+                pb.fmul(acc, acc, rLcg);
+            else
+                pb.mul(acc, acc, rLcg);
+            break;
+          case 1:
+            pb.addi(acc, acc, 0x9e37);
+            break;
+          case 2:
+            if (fp)
+                pb.fadd(acc, acc, rItem);
+            else
+                pb.xor_(acc, acc, rItem);
+            break;
+          case 3:
+            pb.add(acc, acc, rTid);
+            break;
+        }
+    }
+}
+
+/** Emit the data-region setup: rBase = this thread's array, rSeqPtr =
+ *  walk offset, rMask = working-set byte mask (power of two - 8). */
+void
+emitDataSetup(ProgramBuilder &pb, const ParsecAppSpec &app)
+{
+    std::int64_t ws_bytes = std::int64_t(app.workingSetKB) * 1024;
+    std::int64_t mask = 1;
+    while (mask * 2 <= ws_bytes)
+        mask *= 2;
+    pb.movi(rMask, mask - 8);
+    pb.movi(rBase, dataBase);
+    pb.movi(14, 1 << 21); // 2 MiB per-thread array stride
+    pb.mul(14, rTid, 14);
+    pb.add(rBase, rBase, 14);
+    pb.movi(rSeqPtr, 0);
+    pb.movi(10, 1);
+    pb.movi(11, 2);
+    pb.movi(12, 3);
+    pb.movi(13, 5);
+}
+
+/** Emit the per-item memory accesses: a sequential walk for the local
+ *  fraction and LCG-scattered reads across the working set otherwise. */
+void
+emitMemOps(ProgramBuilder &pb, const ParsecAppSpec &app,
+           double seq_fraction, unsigned spill_ops)
+{
+    // Register spills: repeated traffic to the same stack slot (hits
+    // L1 after the first touch, but each access still pays latency on
+    // a timing CPU and occupies issue slots everywhere).
+    for (unsigned i = 0; i < spill_ops; ++i) {
+        if (i % 2 == 0)
+            pb.st(rBase, -64, 10);
+        else
+            pb.ld(11, rBase, -64);
+    }
+
+    unsigned seq_ops =
+        unsigned(std::lround(app.memPerItem * seq_fraction));
+    if (seq_ops > app.memPerItem)
+        seq_ops = app.memPerItem;
+    unsigned rnd_ops = app.memPerItem - seq_ops;
+
+    // Sequential: consecutive words — 8 per 64B block hit in L1.
+    if (seq_ops > 0) {
+        pb.add(18, rBase, rSeqPtr);
+        for (unsigned i = 0; i < seq_ops; ++i) {
+            if (i % 3 == 2)
+                pb.st(18, std::int64_t(i) * 8, 10);
+            else
+                pb.ld(11, 18, std::int64_t(i) * 8);
+        }
+        pb.addi(rSeqPtr, rSeqPtr, std::int64_t(seq_ops) * 8);
+        pb.and_(rSeqPtr, rSeqPtr, rMask);
+    }
+
+    // Scattered: LCG over the working set (capacity misses when the
+    // working set exceeds the cache).
+    for (unsigned i = 0; i < rnd_ops; ++i) {
+        pb.muli(rLcg, rLcg, 6364136223846793005LL);
+        pb.addi(rLcg, rLcg, 1442695040888963407LL);
+        pb.and_(15, rLcg, rMask);
+        pb.add(16, rBase, 15);
+        if (i % 4 == 3)
+            pb.st(16, 0, 10);
+        else
+            pb.ld(11, 16, 0);
+    }
+}
+
+/** Emit a ticket-lock acquire/critical-section/release sequence. */
+void
+emitLockedSection(ProgramBuilder &pb, const OsProfile &os)
+{
+    // ticket = fetch_add(ticketCounter, 1)
+    pb.movi(14, ctrlTicket);
+    pb.movi(15, 1);
+    pb.amo(24, 14, 0, 15);
+
+    auto spin = pb.newLabel();
+    auto acquired = pb.newLabel();
+    pb.bind(spin);
+    pb.movi(14, ctrlServing);
+    pb.ld(16, 14, 0);
+    pb.beq(16, 24, acquired);
+
+    // Adaptive spinning (runtime-dependent) before futex-sleeping.
+    pb.movi(23, std::int64_t(os.adaptiveSpin));
+    auto spin_body = pb.newLabel();
+    auto spin_done = pb.newLabel();
+    pb.bind(spin_body);
+    pb.beq(23, rZero, spin_done);
+    pb.pause();
+    pb.ld(16, 14, 0);
+    pb.beq(16, 24, acquired);
+    pb.addi(23, 23, -1);
+    pb.jmp(spin_body);
+    pb.bind(spin_done);
+
+    pb.movi(1, ctrlServing);
+    pb.mov(2, 16);
+    pb.syscall(SYS_FUTEX_WAIT);
+    pb.jmp(spin);
+
+    pb.bind(acquired);
+    // Critical section: touch contended shared blocks.
+    pb.movi(14, sharedBase);
+    pb.st(14, 0, 24);
+    pb.ld(16, 14, 64);
+    pb.st(14, 128, 16);
+    pb.st(14, 192, 24);
+    // Release: serving++ and wake waiters.
+    pb.movi(14, ctrlServing);
+    pb.movi(15, 1);
+    pb.amo(16, 14, 0, 15);
+    pb.movi(1, ctrlServing);
+    pb.movi(2, 64);
+    pb.syscall(SYS_FUTEX_WAKE);
+}
+
+/** Emit a sense-reversing futex barrier across all nthreads. */
+void
+emitBarrier(ProgramBuilder &pb, const OsProfile &os)
+{
+    auto not_last = pb.newLabel();
+    auto done = pb.newLabel();
+
+    pb.movi(14, ctrlBarGen);
+    pb.ld(17, 14, 0);              // my generation
+    pb.movi(14, ctrlBarCount);
+    pb.movi(15, 1);
+    pb.amo(18, 14, 0, 15);         // old count
+    pb.addi(18, 18, 1);
+    pb.blt(18, rN, not_last);
+
+    // Last arriver: reset the count, bump the generation, wake all.
+    pb.st(14, 0, rZero);
+    pb.movi(14, ctrlBarGen);
+    pb.movi(15, 1);
+    pb.amo(16, 14, 0, 15);
+    pb.movi(1, ctrlBarGen);
+    pb.movi(2, 64);
+    pb.syscall(SYS_FUTEX_WAKE);
+    pb.jmp(done);
+
+    pb.bind(not_last);
+    auto wait_loop = pb.newLabel();
+    pb.bind(wait_loop);
+    pb.movi(14, ctrlBarGen);
+    pb.ld(19, 14, 0);
+    pb.bne(19, 17, done);          // generation advanced
+
+    pb.movi(23, std::int64_t(os.adaptiveSpin));
+    auto spin_body = pb.newLabel();
+    auto spin_out = pb.newLabel();
+    pb.bind(spin_body);
+    pb.beq(23, rZero, spin_out);
+    pb.pause();
+    pb.ld(19, 14, 0);
+    pb.bne(19, 17, done);
+    pb.addi(23, 23, -1);
+    pb.jmp(spin_body);
+    pb.bind(spin_out);
+
+    pb.movi(1, ctrlBarGen);
+    pb.mov(2, 17);
+    pb.syscall(SYS_FUTEX_WAIT);
+    pb.jmp(wait_loop);
+
+    pb.bind(done);
+}
+
+/** Emit the parallel worker body (main inlines it too, as tid 0). */
+void
+emitWorkerBody(ProgramBuilder &pb, const ParsecAppSpec &app,
+               const OsProfile &os, std::uint64_t parallel_items,
+               unsigned inst_per_item)
+{
+    double seq_fraction =
+        std::min(0.98, app.locality + os.compiler.layoutLocality);
+
+    // Per-thread setup.
+    pb.movi(rLcg, 0x243F6A8885A308D3LL);
+    pb.add(rLcg, rLcg, rTid);
+    emitDataSetup(pb, app);
+
+    // items per thread = parallel_items / nthreads
+    pb.movi(rItems, std::int64_t(parallel_items));
+    pb.div(rItems, rItems, rN);
+
+    // phases
+    pb.movi(rPhase, std::int64_t(app.barrierPhases));
+    auto phase_loop = pb.newLabel();
+    auto phase_done = pb.newLabel();
+    pb.bind(phase_loop);
+    pb.beq(rPhase, rZero, phase_done);
+
+    // items per phase = items / phases
+    pb.movi(14, std::int64_t(app.barrierPhases));
+    pb.div(rItem, rItems, 14);
+    auto item_loop = pb.newLabel();
+    auto item_done = pb.newLabel();
+    pb.bind(item_loop);
+    pb.beq(rItem, rZero, item_done);
+
+    emitCompute(pb, inst_per_item, os.compiler.unrollFactor,
+                app.fpHeavy);
+    emitMemOps(pb, app, seq_fraction, os.compiler.spillOps);
+
+    if (app.lockEveryItems > 0) {
+        // Every Nth item acquires the global lock (N a power of two).
+        auto skip_lock = pb.newLabel();
+        pb.movi(14, std::int64_t(app.lockEveryItems - 1));
+        pb.and_(15, rItem, 14);
+        pb.bne(15, rZero, skip_lock);
+        emitLockedSection(pb, os);
+        pb.bind(skip_lock);
+    }
+
+    pb.addi(rItem, rItem, -1);
+    pb.jmp(item_loop);
+    pb.bind(item_done);
+
+    emitBarrier(pb, os);
+    pb.addi(rPhase, rPhase, -1);
+    pb.jmp(phase_loop);
+    pb.bind(phase_done);
+}
+
+} // anonymous namespace
+
+ProgramPtr
+compileParsecApp(const ParsecAppSpec &app, const OsProfile &os)
+{
+    ProgramBuilder pb("parsec-" + app.name + "-" + os.name);
+    pb.movi(rZero, 0);
+
+    unsigned inst_per_item = unsigned(
+        std::lround(app.instPerItem * os.compiler.instMultiplier));
+    auto serial_items =
+        std::uint64_t(double(app.workItems) * app.serialFraction);
+    std::uint64_t parallel_items = app.workItems - serial_items;
+
+    auto worker_entry = pb.newLabel();
+    auto main_start = pb.newLabel();
+    pb.jmp(main_start);
+
+    // ---- worker thread: r1 = tid ----
+    pb.bind(worker_entry);
+    pb.mov(rTid, 1);
+    pb.movi(14, ctrlNthreads);
+    pb.ld(rN, 14, 0);
+    emitWorkerBody(pb, app, os, parallel_items, inst_per_item);
+    pb.movi(14, ctrlDone);
+    pb.movi(15, 1);
+    pb.amo(16, 14, 0, 15);
+    pb.movi(1, ctrlDone);
+    pb.movi(2, 64);
+    pb.syscall(SYS_FUTEX_WAKE);
+    pb.movi(1, 0);
+    pb.syscall(SYS_EXIT);
+
+    // ---- main thread: r1 = nthreads ----
+    pb.bind(main_start);
+    pb.mov(rN, 1);
+    pb.movi(14, ctrlNthreads);
+    pb.st(14, 0, rN);
+    pb.movi(1, pb.str(app.name + ": starting (simmedium, " +
+                      os.compiler.name + ")"));
+    pb.syscall(SYS_WRITE);
+    pb.m5op(M5_WORK_BEGIN);
+
+    // Spawn workers 1..n-1.
+    pb.movi(25, 1);
+    auto spawn_loop = pb.newLabel();
+    auto spawn_done = pb.newLabel();
+    pb.bind(spawn_loop);
+    pb.bge(25, rN, spawn_done);
+    pb.moviLabel(1, worker_entry);
+    pb.mov(2, 25);
+    pb.syscall(SYS_SPAWN);
+    pb.addi(25, 25, 1);
+    pb.jmp(spawn_loop);
+    pb.bind(spawn_done);
+
+    // Serial (Amdahl) portion runs on the main thread.
+    pb.movi(rTid, 0);
+    if (serial_items > 0) {
+        pb.movi(rLcg, 0x13198A2E03707344LL);
+        emitDataSetup(pb, app);
+        pb.movi(rItem, std::int64_t(serial_items));
+        auto serial_loop = pb.newLabel();
+        auto serial_done = pb.newLabel();
+        pb.bind(serial_loop);
+        pb.beq(rItem, rZero, serial_done);
+        emitCompute(pb, inst_per_item, os.compiler.unrollFactor,
+                    app.fpHeavy);
+        emitMemOps(pb, app,
+                   std::min(0.98,
+                            app.locality + os.compiler.layoutLocality),
+                   os.compiler.spillOps);
+        pb.addi(rItem, rItem, -1);
+        pb.jmp(serial_loop);
+        pb.bind(serial_done);
+    }
+
+    // Main participates as tid 0.
+    emitWorkerBody(pb, app, os, parallel_items, inst_per_item);
+
+    // Wait for the workers.
+    pb.movi(14, ctrlDone);
+    auto join_loop = pb.newLabel();
+    auto join_done = pb.newLabel();
+    pb.bind(join_loop);
+    pb.ld(16, 14, 0);
+    pb.addi(17, rN, -1);
+    pb.bge(16, 17, join_done);
+    pb.movi(1, ctrlDone);
+    pb.mov(2, 16);
+    pb.syscall(SYS_FUTEX_WAIT);
+    pb.jmp(join_loop);
+    pb.bind(join_done);
+
+    pb.m5op(M5_WORK_END);
+    pb.movi(1, pb.str(app.name + ": ROI complete"));
+    pb.syscall(SYS_WRITE);
+    pb.movi(1, 0);
+    pb.syscall(SYS_EXIT);
+
+    return pb.finish();
+}
+
+} // namespace g5::workloads

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * The PARSEC-like benchmark suite of use-case 1, generated as SimISA
+ * binaries by a synthetic "compiler".
+ *
+ * The paper's Fig 6/7 effect is an artifact of the *software stack*
+ * baked into the disk image: Ubuntu 20.04 ships GCC 9.3 and a newer
+ * runtime, Ubuntu 18.04 ships GCC 7.4. We reproduce the mechanism, not
+ * the numbers: a CompilerProfile changes the emitted instruction stream
+ * (more instructions under the newer compiler, but better memory
+ * layout), and an OsProfile changes the runtime's synchronization
+ * behaviour (adaptive spinning before futex sleeps). The binaries land
+ * on the disk image, so the OS difference travels with the image —
+ * exactly as in the paper.
+ *
+ * Each application is characterized by its parallel structure (Amdahl
+ * serial fraction, barrier phases, lock frequency), working-set size,
+ * and compute/memory mix; the ten applications of Table II get
+ * distinct, documented profiles.
+ */
+
+#ifndef G5_WORKLOADS_PARSEC_HH
+#define G5_WORKLOADS_PARSEC_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/isa/program.hh"
+
+namespace g5::workloads
+{
+
+/** A synthetic compiler: how source becomes SimISA. */
+struct CompilerProfile
+{
+    std::string name;        ///< e.g. "gcc-7.4"
+    double instMultiplier;   ///< dynamic instruction scale vs baseline
+    unsigned unrollFactor;   ///< loop unrolling (fewer branches, more ILP)
+    double layoutLocality;   ///< extra sequential-access fraction
+    unsigned spillOps;       ///< register spills: stack traffic per item
+};
+
+/** A userland: compiler + runtime behaviour. */
+struct OsProfile
+{
+    std::string name;        ///< "ubuntu-18.04"
+    std::string release;     ///< "18.04"
+    std::string kernel;      ///< the paired kernel version
+    CompilerProfile compiler;
+    /** Spin iterations before a lock/barrier waiter futex-sleeps. */
+    unsigned adaptiveSpin;
+};
+
+/** Ubuntu 18.04 LTS: GCC 7.4, kernel 4.15.18, eager-sleep runtime. */
+OsProfile ubuntu1804();
+
+/** Ubuntu 20.04 LTS: GCC 9.3, kernel 5.4.51, adaptive-spin runtime. */
+OsProfile ubuntu2004();
+
+/** Static characteristics of one PARSEC application (simmedium). */
+struct ParsecAppSpec
+{
+    std::string name;
+    double serialFraction;    ///< work done single-threaded
+    std::uint64_t workItems;  ///< parallel work units
+    unsigned instPerItem;     ///< baseline ALU ops per item
+    unsigned memPerItem;      ///< memory ops per item
+    unsigned workingSetKB;    ///< per-thread working set
+    double locality;          ///< baseline sequential-access fraction
+    unsigned lockEveryItems;  ///< items between lock acquisitions (0 = none)
+    unsigned barrierPhases;   ///< barrier-delimited phases
+    bool fpHeavy;             ///< dominant op class
+};
+
+/** The ten applications of Table II (x264/facesim/canneal excluded,
+ *  as in the paper — they crash outside the simulator too). */
+const std::vector<ParsecAppSpec> &parsecSuite();
+
+/** Look up an app by name; throws FatalError when unknown. */
+const ParsecAppSpec &parsecApp(const std::string &name);
+
+/**
+ * "Compile" @p app for @p os: emit the SimISA binary whose main thread
+ * marks the ROI with m5 work-begin/end, spawns nthreads-1 workers
+ * (nthreads arrives at runtime in r1), runs the parallel phases with
+ * ticket locks and futex barriers, and exits.
+ */
+sim::isa::ProgramPtr compileParsecApp(const ParsecAppSpec &app,
+                                      const OsProfile &os);
+
+} // namespace g5::workloads
+
+#endif // G5_WORKLOADS_PARSEC_HH

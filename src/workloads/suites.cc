@@ -1,0 +1,55 @@
+#include "workloads/suites.hh"
+
+#include "base/logging.hh"
+
+namespace g5::workloads
+{
+
+const std::vector<ParsecAppSpec> &
+npbSuite()
+{
+    // NAS Parallel Benchmarks: dense numeric kernels, heavy barrier
+    // synchronization, regular access with large working sets for the
+    // memory-bound members (cg, mg, ft, is).
+    static const std::vector<ParsecAppSpec> suite = {
+        // name  serial items  inst mem  wsKB  loc  lock barr fp
+        {"bt.S", 0.010, 9000, 180, 10, 2048, 0.80, 0, 8, true},
+        {"cg.S", 0.015, 8000,  80, 18, 8192, 0.40, 0, 10, true},
+        {"ep.S", 0.002, 12000, 240, 3,  128, 0.95, 0, 1, true},
+        {"ft.S", 0.020, 8000, 120, 14, 8192, 0.55, 0, 6, true},
+        {"is.S", 0.010, 9000,  50, 16, 4096, 0.35, 0, 4, false},
+        {"lu.S", 0.020, 9000, 150, 12, 2048, 0.75, 0, 12, true},
+        {"mg.S", 0.015, 8000, 100, 15, 8192, 0.50, 0, 8, true},
+        {"sp.S", 0.015, 9000, 160, 11, 2048, 0.78, 0, 10, true},
+    };
+    return suite;
+}
+
+const std::vector<ParsecAppSpec> &
+gapbsSuite()
+{
+    // GAP Benchmark Suite: irregular graph kernels, pointer-chasing
+    // access (low locality), little lock traffic, few barriers per
+    // super-step.
+    static const std::vector<ParsecAppSpec> suite = {
+        // name  serial items  inst mem  wsKB  loc  lock barr fp
+        {"bfs",  0.020, 10000, 40, 16, 8192, 0.25, 0, 6, false},
+        {"sssp", 0.020, 9000,  60, 16, 8192, 0.25, 16, 6, false},
+        {"pr",   0.010, 10000, 70, 14, 8192, 0.35, 0, 8, true},
+        {"cc",   0.015, 9000,  50, 15, 8192, 0.28, 0, 6, false},
+        {"bc",   0.025, 8000,  80, 16, 8192, 0.30, 0, 8, true},
+        {"tc",   0.010, 8000, 110, 12, 4096, 0.45, 0, 2, false},
+    };
+    return suite;
+}
+
+const ParsecAppSpec &
+suiteApp(const std::vector<ParsecAppSpec> &suite, const std::string &name)
+{
+    for (const auto &app : suite)
+        if (app.name == name)
+            return app;
+    fatal("unknown suite application '" + name + "'");
+}
+
+} // namespace g5::workloads

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Additional full-system benchmark suites from the Table I catalog:
+ * the NAS Parallel Benchmarks (npb) and the GAP Benchmark Suite
+ * (gapbs).
+ *
+ * Both reuse the synthetic-application machinery of the PARSEC
+ * generator (an application = parallel structure + working set +
+ * compute/memory mix, compiled to SimISA by an OS profile's toolchain)
+ * with suite-appropriate characteristics: NPB kernels are barrier-
+ * synchronized dense numeric loops; GAPBS kernels are irregular,
+ * memory-latency-bound graph traversals.
+ */
+
+#ifndef G5_WORKLOADS_SUITES_HH
+#define G5_WORKLOADS_SUITES_HH
+
+#include "workloads/parsec.hh"
+
+namespace g5::workloads
+{
+
+/** The eight NPB kernels/pseudo-apps (class S scaled). */
+const std::vector<ParsecAppSpec> &npbSuite();
+
+/** The six GAPBS graph kernels. */
+const std::vector<ParsecAppSpec> &gapbsSuite();
+
+/** Look up by name across a given suite; throws FatalError on junk. */
+const ParsecAppSpec &suiteApp(const std::vector<ParsecAppSpec> &suite,
+                              const std::string &name);
+
+} // namespace g5::workloads
+
+#endif // G5_WORKLOADS_SUITES_HH

@@ -1,0 +1,240 @@
+/** @file Integration tests for the g5art artifact/run/tasks layers. */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "art/tasks.hh"
+#include "art/workspace.hh"
+#include "base/logging.hh"
+#include "resources/catalog.hh"
+
+using namespace g5;
+using namespace g5::art;
+
+namespace stdfs = std::filesystem;
+
+namespace
+{
+
+std::string
+tmpRoot()
+{
+    return (stdfs::temp_directory_path() / "g5art_test").string();
+}
+
+Json
+bootParams(const std::string &cpu, int cores, const std::string &mem)
+{
+    Json p = Json::object();
+    p["cpu"] = cpu;
+    p["num_cpus"] = cores;
+    p["mem_system"] = mem;
+    p["boot_type"] = "init";
+    return p;
+}
+
+class QuietGuard
+{
+  public:
+    QuietGuard() { setQuiet(true); }
+    ~QuietGuard() { setQuiet(false); }
+};
+
+} // anonymous namespace
+
+TEST(Artifact, RegisterGeneratesHashAndUploads)
+{
+    Workspace ws(tmpRoot());
+    auto binary = ws.gem5Binary();
+
+    EXPECT_EQ(binary.artifact.typ(), "gem5 binary");
+    EXPECT_EQ(binary.artifact.hash().size(), 32u); // MD5 hex
+    EXPECT_FALSE(binary.artifact.id().empty());
+    EXPECT_TRUE(ws.adb().db().hasBlob(binary.artifact.hash()));
+
+    // Repo artifacts use the git revision as their identity.
+    EXPECT_EQ(binary.repoArtifact.hash(), "440f0bc579fb8b10da7181");
+    EXPECT_EQ(binary.repoArtifact.document().find("git.url")->asString(),
+              "https://gem5.googlesource.com/");
+
+    // The dependency DAG records the repository as an input.
+    auto inputs = binary.artifact.inputHashes();
+    ASSERT_EQ(inputs.size(), 1u);
+    EXPECT_EQ(inputs[0], binary.repoArtifact.hash());
+}
+
+TEST(Artifact, DuplicateContentDeduplicates)
+{
+    Workspace ws(tmpRoot());
+    auto a = ws.gem5Binary();
+    auto b = ws.gem5Binary(); // identical content
+
+    EXPECT_EQ(a.artifact.hash(), b.artifact.hash());
+    EXPECT_EQ(a.artifact.id(), b.artifact.id()); // same stored artifact
+    EXPECT_EQ(ws.adb().artifacts().count(
+                  Json::object({{"type", Json("gem5 binary")}})),
+              1u);
+
+    // Different content (another version) is a distinct artifact.
+    auto c = ws.gem5Binary("21.0");
+    EXPECT_NE(c.artifact.hash(), a.artifact.hash());
+    EXPECT_EQ(ws.adb().artifacts().count(
+                  Json::object({{"type", Json("gem5 binary")}})),
+              2u);
+}
+
+TEST(Artifact, FromHashRoundTrip)
+{
+    Workspace ws(tmpRoot());
+    auto kernel = ws.kernel("5.4.49");
+    Artifact again = Artifact::fromHash(ws.adb(), kernel.artifact.hash());
+    EXPECT_EQ(again.name(), "vmlinux-5.4.49");
+    EXPECT_EQ(again.typ(), "kernel");
+    EXPECT_THROW(Artifact::fromHash(ws.adb(), "no-such-hash"),
+                 FatalError);
+}
+
+TEST(Artifact, MissingFileIsFatal)
+{
+    Workspace ws(tmpRoot());
+    Artifact::Params params;
+    params.typ = "disk image";
+    params.name = "ghost";
+    params.path = "/nonexistent/ghost.img";
+    EXPECT_THROW(Artifact::registerArtifact(ws.adb(), params),
+                 FatalError);
+}
+
+TEST(Gem5Run, BootExitRunSucceedsAndArchives)
+{
+    Workspace ws(tmpRoot());
+    auto binary = ws.gem5Binary();
+    auto kernel = ws.kernel("5.4.49");
+    auto disk = ws.disk("boot-exit", resources::buildBootExitImage());
+    auto script = ws.runScript("run_exit.py", "boot-exit run script");
+
+    Json params = bootParams("kvm", 1, "classic");
+    Gem5Run run = Gem5Run::createFSRun(
+        ws.adb(), "boot-test", binary.path, script.path,
+        ws.outdir("boot-test"), binary.artifact, binary.repoArtifact,
+        script.repoArtifact, kernel.path, disk.path, kernel.artifact,
+        disk.artifact, params, 60.0);
+
+    // The run document exists as PENDING before execution.
+    Json pending = run.document(ws.adb());
+    EXPECT_EQ(pending.getString("status"), "PENDING");
+    EXPECT_EQ(pending.find("artifacts.gem5")->asString(),
+              binary.artifact.hash());
+
+    Json doc = run.execute(ws.adb());
+    EXPECT_EQ(doc.getString("status"), "SUCCESS");
+    EXPECT_EQ(Gem5Run::classify(doc), RunOutcome::Success);
+    EXPECT_GT(doc.getInt("simTicks"), 0);
+    EXPECT_GT(doc.getInt("totalInsts"), 0);
+
+    // gem5-style output files landed in the output directory.
+    EXPECT_TRUE(stdfs::exists(ws.outdir("boot-test") + "/stats.txt"));
+    EXPECT_TRUE(
+        stdfs::exists(ws.outdir("boot-test") + "/system.terminal"));
+    EXPECT_TRUE(
+        stdfs::exists(ws.outdir("boot-test") + "/results.json"));
+
+    // The results blob is queryable from the database.
+    std::string blob =
+        ws.adb().db().getBlob(doc.getString("resultsBlob"));
+    Json results = Json::parse(blob);
+    EXPECT_TRUE(results.getBool("success"));
+}
+
+TEST(Gem5Run, FailuresAreRecordedAsData)
+{
+    QuietGuard quiet;
+    Workspace ws(tmpRoot());
+    auto binary = ws.gem5Binary("20.1.0.4");
+    auto kernel44 = ws.kernel("4.4.186");
+    auto kernel54 = ws.kernel("5.4.49");
+    auto disk = ws.disk("boot-exit", resources::buildBootExitImage());
+    auto script = ws.runScript("run_exit.py", "boot-exit run script");
+
+    auto make_run = [&](const std::string &name,
+                        const Workspace::Item &kern, const Json &params) {
+        return Gem5Run::createFSRun(
+            ws.adb(), name, binary.path, script.path, ws.outdir(name),
+            binary.artifact, binary.repoArtifact, script.repoArtifact,
+            kern.path, disk.path, kernel44.artifact, disk.artifact,
+            params, 60.0);
+    };
+
+    // Guest kernel panic (O3 + MESI + old kernel, v20.1.0.4 census).
+    Json doc = make_run("panic", kernel44,
+                        bootParams("o3", 2, "MESI_Two_Level"))
+                   .execute(ws.adb());
+    EXPECT_EQ(Gem5Run::classify(doc), RunOutcome::KernelPanic);
+    EXPECT_EQ(doc.getString("status"), "FAILURE");
+
+    // Simulator segfault.
+    doc = make_run("segv", kernel54, bootParams("o3", 4, "MESI_Two_Level"))
+              .execute(ws.adb());
+    EXPECT_EQ(Gem5Run::classify(doc), RunOutcome::SimCrash);
+    EXPECT_NE(doc.getString("error").find("Segmentation fault"),
+              std::string::npos);
+
+    // MI_example protocol deadlock.
+    doc = make_run("dead", kernel44, bootParams("o3", 8, "MI_example"))
+              .execute(ws.adb());
+    EXPECT_EQ(Gem5Run::classify(doc), RunOutcome::Deadlock);
+
+    // Unsupported configuration.
+    doc = make_run("unsup", kernel44, bootParams("timing", 2, "classic"))
+              .execute(ws.adb());
+    EXPECT_EQ(Gem5Run::classify(doc), RunOutcome::Unsupported);
+
+    doc = make_run("unsup2", kernel44, bootParams("atomic", 1, "MI_example"))
+              .execute(ws.adb());
+    EXPECT_EQ(Gem5Run::classify(doc), RunOutcome::Unsupported);
+
+    // Livelock: the guest hangs and the tick limit fires.
+    Json livelock_params = bootParams("o3", 4, "MI_example");
+    livelock_params["max_ticks"] = std::int64_t(50'000'000'000);
+    doc = make_run("hang", ws.kernel("4.19.83"), livelock_params)
+              .execute(ws.adb());
+    EXPECT_EQ(Gem5Run::classify(doc), RunOutcome::Timeout);
+}
+
+TEST(Tasks, AsyncCrossProductExecutes)
+{
+    Workspace ws(tmpRoot());
+    auto binary = ws.gem5Binary();
+    auto kernel = ws.kernel("4.19.83");
+    auto disk = ws.disk("boot-exit", resources::buildBootExitImage());
+    auto script = ws.runScript("run_exit.py", "boot-exit run script");
+
+    Tasks tasks(ws.adb(), 2);
+    std::vector<scheduler::TaskFuturePtr> futures;
+    for (const char *cpu : {"kvm", "atomic"}) {
+        for (int cores : {1, 2, 4}) {
+            std::string name =
+                std::string(cpu) + "-" + std::to_string(cores);
+            futures.push_back(tasks.applyAsync(Gem5Run::createFSRun(
+                ws.adb(), name, binary.path, script.path,
+                ws.outdir(name), binary.artifact, binary.repoArtifact,
+                script.repoArtifact, kernel.path, disk.path,
+                kernel.artifact, disk.artifact,
+                bootParams(cpu, cores, "classic"), 120.0)));
+        }
+    }
+    tasks.waitAll();
+
+    for (auto &fut : futures)
+        EXPECT_EQ(fut->state(), scheduler::TaskState::Success)
+            << fut->name() << ": " << fut->error();
+
+    // Every run archived as a success in the shared database.
+    EXPECT_EQ(ws.adb().runs().count(
+                  Json::object({{"status", Json("SUCCESS")}})),
+              6u);
+    Json summary = tasks.summary();
+    EXPECT_EQ(summary.getInt("SUCCESS"), 6);
+}

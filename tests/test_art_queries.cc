@@ -1,0 +1,97 @@
+/** @file Tests for the gem5art-style artifact/provenance queries. */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "art/run.hh"
+#include "art/workspace.hh"
+#include "resources/catalog.hh"
+
+using namespace g5;
+using namespace g5::art;
+
+namespace
+{
+
+Workspace &
+sharedWs()
+{
+    static Workspace ws(
+        (std::filesystem::temp_directory_path() / "g5_query_test")
+            .string());
+    static bool seeded = false;
+    if (!seeded) {
+        seeded = true;
+        auto binary = ws.gem5Binary("20.1.0.4");
+        ws.gem5Binary("21.0");
+        auto k1 = ws.kernel("4.19.83");
+        ws.kernel("5.4.49");
+        auto disk = ws.disk("boot-exit", resources::buildBootExitImage());
+        auto script = ws.runScript("run_exit.py", "boot-exit");
+
+        Json params = Json::object();
+        params["cpu"] = "kvm";
+        params["num_cpus"] = 1;
+        params["mem_system"] = "classic";
+        params["boot_type"] = "init";
+        Gem5Run::createFSRun(ws.adb(), "q-run", binary.path, script.path,
+                             ws.outdir("q-run"), binary.artifact,
+                             binary.repoArtifact, script.repoArtifact,
+                             k1.path, disk.path, k1.artifact,
+                             disk.artifact, params, 60.0)
+            .execute(ws.adb());
+    }
+    return ws;
+}
+
+} // anonymous namespace
+
+TEST(ArtQueries, SearchByName)
+{
+    // Three artifacts share the name: the source repo + two binaries.
+    auto hits = sharedWs().adb().searchByName("gem5");
+    EXPECT_EQ(hits.size(), 3u);
+    int binaries = 0, repos = 0;
+    for (const auto &doc : hits) {
+        binaries += doc.getString("type") == "gem5 binary";
+        repos += doc.getString("type") == "git repo";
+    }
+    EXPECT_EQ(binaries, 2);
+    EXPECT_EQ(repos, 1);
+    EXPECT_TRUE(sharedWs().adb().searchByName("nonexistent").empty());
+}
+
+TEST(ArtQueries, SearchByType)
+{
+    auto kernels = sharedWs().adb().searchByType("kernel");
+    EXPECT_EQ(kernels.size(), 2u);
+    auto disks = sharedWs().adb().searchByType("disk image");
+    EXPECT_EQ(disks.size(), 1u);
+}
+
+TEST(ArtQueries, SearchByLikeNameType)
+{
+    auto hits =
+        sharedWs().adb().searchByLikeNameType("5.4", "kernel");
+    ASSERT_EQ(hits.size(), 1u);
+    EXPECT_EQ(hits[0].getString("name"), "vmlinux-5.4.49");
+    EXPECT_TRUE(
+        sharedWs().adb().searchByLikeNameType("5.4", "disk image")
+            .empty());
+}
+
+TEST(ArtQueries, RunsUsingArtifactAnswersProvenance)
+{
+    auto &adb = sharedWs().adb();
+    auto used_kernel = adb.searchByLikeNameType("4.19.83", "kernel");
+    ASSERT_EQ(used_kernel.size(), 1u);
+    auto runs = adb.runsUsingArtifact(used_kernel[0].getString("hash"));
+    ASSERT_EQ(runs.size(), 1u);
+    EXPECT_EQ(runs[0].getString("name"), "q-run");
+
+    // The kernel that was never used appears in no runs.
+    auto unused = adb.searchByLikeNameType("5.4", "kernel");
+    EXPECT_TRUE(
+        adb.runsUsingArtifact(unused[0].getString("hash")).empty());
+}

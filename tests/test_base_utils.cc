@@ -1,0 +1,197 @@
+/** @file Tests for base utilities: strings, RNG, UUID, logging, time. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "base/logging.hh"
+#include "base/random.hh"
+#include "base/str.hh"
+#include "base/uuid.hh"
+#include "base/wallclock.hh"
+
+using namespace g5;
+
+TEST(Str, SplitJoinRoundTrip)
+{
+    auto parts = split("a,b,,c", ',');
+    ASSERT_EQ(parts.size(), 4u);
+    EXPECT_EQ(parts[0], "a");
+    EXPECT_EQ(parts[2], "");
+    EXPECT_EQ(join(parts, ","), "a,b,,c");
+
+    EXPECT_EQ(split("", ',').size(), 1u); // one empty field
+    EXPECT_EQ(split("xyz", ',').size(), 1u);
+    EXPECT_EQ(join({}, "-"), "");
+}
+
+TEST(Str, TrimAndCase)
+{
+    EXPECT_EQ(trim("  hello\t\n"), "hello");
+    EXPECT_EQ(trim(""), "");
+    EXPECT_EQ(trim(" \t "), "");
+    EXPECT_EQ(trim("x"), "x");
+    EXPECT_EQ(toLower("MiXeD Case 42"), "mixed case 42");
+}
+
+TEST(Str, PrefixSuffix)
+{
+    EXPECT_TRUE(startsWith("gem5art", "gem5"));
+    EXPECT_FALSE(startsWith("gem5", "gem5art"));
+    EXPECT_TRUE(endsWith("stats.txt", ".txt"));
+    EXPECT_FALSE(endsWith("txt", "stats.txt"));
+    EXPECT_TRUE(startsWith("x", ""));
+    EXPECT_TRUE(endsWith("x", ""));
+}
+
+TEST(Str, HexRoundTrip)
+{
+    std::uint8_t bytes[] = {0x00, 0x7f, 0xff, 0xab};
+    std::string hex = toHex(bytes, 4);
+    EXPECT_EQ(hex, "007fffab");
+    auto back = fromHex(hex);
+    ASSERT_EQ(back.size(), 4u);
+    EXPECT_EQ(back[3], 0xab);
+    EXPECT_EQ(fromHex("ABCD")[0], 0xab); // uppercase accepted
+
+    EXPECT_THROW(fromHex("abc"), FatalError);  // odd length
+    EXPECT_THROW(fromHex("zz"), FatalError);   // junk digit
+}
+
+TEST(Rng, DeterministicAndSeedSensitive)
+{
+    Rng a(12345), b(12345), c(54321);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+    bool differs = false;
+    Rng a2(12345);
+    for (int i = 0; i < 10; ++i)
+        differs |= a2.next() != c.next();
+    EXPECT_TRUE(differs);
+
+    Rng s1(std::string("config-A")), s2(std::string("config-A"));
+    EXPECT_EQ(s1.next(), s2.next());
+}
+
+TEST(Rng, UniformityBasics)
+{
+    Rng rng(7);
+    int buckets[10] = {};
+    for (int i = 0; i < 10000; ++i)
+        ++buckets[rng.below(10)];
+    for (int b = 0; b < 10; ++b)
+        EXPECT_NEAR(buckets[b], 1000, 200) << "bucket " << b;
+
+    for (int i = 0; i < 1000; ++i) {
+        double r = rng.real();
+        EXPECT_GE(r, 0.0);
+        EXPECT_LT(r, 1.0);
+        auto v = rng.range(-5, 5);
+        EXPECT_GE(v, -5);
+        EXPECT_LE(v, 5);
+    }
+    EXPECT_THROW(rng.below(0), PanicError);
+    EXPECT_THROW(rng.range(3, 2), PanicError);
+}
+
+TEST(Rng, ChanceAndGaussian)
+{
+    Rng rng(11);
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+    int hits = 0;
+    for (int i = 0; i < 10000; ++i)
+        hits += rng.chance(0.3);
+    EXPECT_NEAR(hits, 3000, 300);
+
+    double sum = 0, sq = 0;
+    for (int i = 0; i < 10000; ++i) {
+        double g = rng.gaussian(10.0, 2.0);
+        sum += g;
+        sq += g * g;
+    }
+    double mean = sum / 10000;
+    double var = sq / 10000 - mean * mean;
+    EXPECT_NEAR(mean, 10.0, 0.2);
+    EXPECT_NEAR(var, 4.0, 0.5);
+}
+
+TEST(Hashing, StringHashStability)
+{
+    EXPECT_EQ(hashString("gem5"), hashString("gem5"));
+    EXPECT_NE(hashString("gem5"), hashString("gem6"));
+    EXPECT_NE(hashCombine(1, 2), hashCombine(2, 1));
+}
+
+TEST(Uuid, GenerateIsV4AndUnique)
+{
+    std::set<std::string> seen;
+    for (int i = 0; i < 200; ++i) {
+        Uuid u = Uuid::generate();
+        ASSERT_EQ(u.str().size(), 36u);
+        EXPECT_EQ(u.str()[14], '4'); // version nibble
+        char variant = u.str()[19];
+        EXPECT_TRUE(variant == '8' || variant == '9' || variant == 'a' ||
+                    variant == 'b');
+        EXPECT_TRUE(seen.insert(u.str()).second);
+        EXPECT_FALSE(u.isNil());
+    }
+}
+
+TEST(Uuid, DeterministicFromRng)
+{
+    Rng a(99), b(99);
+    EXPECT_EQ(Uuid::generateFrom(a), Uuid::generateFrom(b));
+}
+
+TEST(Uuid, ParseValidation)
+{
+    Uuid ok("123E4567-e89b-42d3-A456-426614174000");
+    EXPECT_EQ(ok.str(), "123e4567-e89b-42d3-a456-426614174000");
+    EXPECT_TRUE(Uuid().isNil());
+    EXPECT_THROW(Uuid("not-a-uuid"), FatalError);
+    EXPECT_THROW(Uuid("123e4567e89b42d3a456426614174000"), FatalError);
+    EXPECT_THROW(Uuid("123e4567-e89b-42d3-a456-42661417400g"),
+                 FatalError);
+}
+
+TEST(Logging, ErrorClassesAreDistinct)
+{
+    setQuiet(true);
+    EXPECT_THROW(panic("invariant broke"), PanicError);
+    EXPECT_THROW(fatal("user error"), FatalError);
+    try {
+        fatal("a detailed message");
+    } catch (const FatalError &e) {
+        EXPECT_STREQ(e.what(), "a detailed message");
+    }
+    // PanicError is not a FatalError and vice versa.
+    try {
+        panic("x");
+    } catch (const FatalError &) {
+        FAIL() << "panic must not be catchable as FatalError";
+    } catch (const PanicError &) {
+    }
+    setQuiet(false);
+}
+
+TEST(Logging, Csprintf)
+{
+    EXPECT_EQ(csprintf("%d-%s", 42, "x"), "42-x");
+    EXPECT_EQ(csprintf("%08.3f", 1.5), "0001.500");
+    // Long output is not truncated.
+    std::string big = csprintf("%200d", 7);
+    EXPECT_EQ(big.size(), 200u);
+}
+
+TEST(Wallclock, MonotonicAndIsoFormat)
+{
+    double a = monotonicSeconds();
+    double b = monotonicSeconds();
+    EXPECT_GE(b, a);
+    std::string ts = isoTimestamp();
+    ASSERT_EQ(ts.size(), 20u);
+    EXPECT_EQ(ts[4], '-');
+    EXPECT_EQ(ts[10], 'T');
+    EXPECT_EQ(ts[19], 'Z');
+}

@@ -1,0 +1,309 @@
+/** @file Tests for checkpoint/restore, SE mode, and hack-back. */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "art/run.hh"
+#include "art/workspace.hh"
+#include "base/logging.hh"
+#include "resources/catalog.hh"
+#include "sim/fs/fs_system.hh"
+#include "sim/fs/guest_abi.hh"
+#include "sim/isa/builder.hh"
+
+using namespace g5;
+using namespace g5::sim;
+using namespace g5::sim::fs;
+
+namespace
+{
+
+constexpr Tick limit = 10'000'000'000'000ULL;
+
+FsConfig
+hackBackConfig(DiskImagePtr disk, CpuType cpu = CpuType::Kvm)
+{
+    FsConfig cfg;
+    cfg.cpuType = cpu;
+    cfg.numCpus = 1;
+    cfg.memSystem = "classic";
+    cfg.kernelVersion = "4.15.18";
+    cfg.disk = std::move(disk);
+    cfg.initProgramPath = "/root/hack_back.sh";
+    cfg.checkpointAfterBoot = true;
+    cfg.simVersion = "";
+    return cfg;
+}
+
+isa::ProgramPtr
+scriptThatWrites(const std::string &line)
+{
+    isa::ProgramBuilder pb("host_script");
+    pb.movi(1, pb.str(line));
+    pb.syscall(SYS_WRITE);
+    pb.movi(1, 0);
+    pb.syscall(SYS_EXIT);
+    return pb.finish();
+}
+
+} // anonymous namespace
+
+TEST(Checkpoint, BootStopsAtTheCheckpointOp)
+{
+    FsSystem fs(hackBackConfig(resources::buildHackBackImage()));
+    SimResult r = fs.run(limit);
+    EXPECT_EQ(r.exitCause, "checkpoint");
+    EXPECT_TRUE(fs.os().terminal.contains("taking post-boot checkpoint"));
+    // The host script has NOT run yet.
+    EXPECT_FALSE(fs.os().terminal.contains("hello from the host script"));
+
+    Json ckpt = fs.checkpoint();
+    EXPECT_EQ(ckpt.getString("format"), "s5ckpt1");
+    EXPECT_GT(ckpt.at("memory").size(), 0u);
+    EXPECT_GE(ckpt.at("os").at("threads").size(), 1u);
+}
+
+TEST(Checkpoint, RestoreContinuesWhereBootLeftOff)
+{
+    auto disk = resources::buildHackBackImage();
+    Json ckpt;
+    {
+        FsSystem fs(hackBackConfig(disk));
+        ASSERT_EQ(fs.run(limit).exitCause, "checkpoint");
+        ckpt = fs.checkpoint();
+    }
+
+    FsSystem restored(hackBackConfig(disk), ckpt);
+    SimResult r = restored.run(limit);
+    EXPECT_TRUE(r.success()) << r.exitCause;
+    // The restored run executed only the post-checkpoint phase: the
+    // host script ran, but the boot banner was never re-printed.
+    EXPECT_TRUE(restored.os().terminal.contains(
+        "hack-back: hello from the host script"));
+    EXPECT_FALSE(restored.os().terminal.contains("Booting Linux"));
+}
+
+TEST(Checkpoint, RestoreWithDifferentHostScript)
+{
+    // The hack-back trick: boot once, run many different scripts.
+    Json ckpt;
+    {
+        FsSystem fs(hackBackConfig(resources::buildHackBackImage()));
+        ASSERT_EQ(fs.run(limit).exitCause, "checkpoint");
+        ckpt = fs.checkpoint();
+    }
+
+    for (const char *msg : {"script A output", "script B output"}) {
+        auto new_disk =
+            resources::buildHackBackImage(scriptThatWrites(msg));
+        FsSystem restored(hackBackConfig(new_disk), ckpt);
+        SimResult r = restored.run(limit);
+        EXPECT_TRUE(r.success()) << r.exitCause;
+        EXPECT_TRUE(restored.os().terminal.contains(msg)) << msg;
+    }
+}
+
+TEST(Checkpoint, RestoreOntoDetailedCpu)
+{
+    // Boot fast (kvm), measure detailed (timing) — the canonical gem5
+    // checkpoint workflow.
+    auto disk = resources::buildHackBackImage();
+    Json ckpt;
+    {
+        FsSystem fs(hackBackConfig(disk, CpuType::Kvm));
+        ASSERT_EQ(fs.run(limit).exitCause, "checkpoint");
+        ckpt = fs.checkpoint();
+    }
+    FsSystem restored(hackBackConfig(disk, CpuType::TimingSimple), ckpt);
+    SimResult r = restored.run(limit);
+    EXPECT_TRUE(r.success()) << r.exitCause;
+    EXPECT_GT(r.totalInsts, 0u);
+}
+
+TEST(Checkpoint, MemoryContentsSurvive)
+{
+    // A program stores a value, checkpoints, then reads it back.
+    isa::ProgramBuilder pb("ckpt-mem");
+    pb.movi(3, 0x9000);
+    pb.movi(4, 4242);
+    pb.st(3, 0, 4);
+    pb.m5op(M5_CHECKPOINT);
+    pb.ld(5, 3, 0);
+    pb.movi(3, 0x9008);
+    pb.st(3, 0, 5);
+    pb.m5op(M5_EXIT);
+    pb.halt();
+    auto prog = pb.finish();
+
+    FsConfig cfg;
+    cfg.cpuType = CpuType::AtomicSimple;
+    cfg.memSystem = "classic";
+    cfg.simVersion = "";
+    cfg.seProgram = prog;
+
+    Json ckpt;
+    {
+        FsSystem fs(cfg);
+        ASSERT_EQ(fs.run(limit).exitCause, "checkpoint");
+        ckpt = fs.checkpoint();
+    }
+    FsSystem restored(cfg, ckpt);
+    SimResult r = restored.run(limit);
+    ASSERT_TRUE(r.success());
+    EXPECT_EQ(restored.system().physmem.read(0x9008), 4242);
+}
+
+TEST(Checkpoint, RejectsGarbageAndNonQuiescence)
+{
+    setQuiet(true);
+    FsConfig cfg;
+    cfg.simVersion = "";
+    EXPECT_THROW(FsSystem(cfg, Json::parse(R"({"format":"qcow2"})")),
+                 FatalError);
+
+    // A thread sleeping on the timer cannot be checkpointed.
+    isa::ProgramBuilder pb("sleeper");
+    pb.movi(1, 50'000'000); // 50 ms
+    pb.syscall(SYS_NANOSLEEP);
+    pb.halt();
+    FsConfig se;
+    se.simVersion = "";
+    se.seProgram = pb.finish();
+    FsSystem fs(se);
+    fs.run(1'000'000'000); // stop at 1 ms: thread still sleeping
+    EXPECT_THROW(fs.checkpoint(), FatalError);
+    setQuiet(false);
+}
+
+TEST(SeMode, RunsWorkloadWithoutBoot)
+{
+    isa::ProgramBuilder pb("se-workload");
+    pb.movi(1, pb.str("SE mode says hi"));
+    pb.syscall(SYS_WRITE);
+    pb.movi(1, 0);
+    pb.syscall(SYS_EXIT);
+
+    FsConfig cfg;
+    cfg.cpuType = CpuType::TimingSimple;
+    cfg.memSystem = "classic";
+    cfg.simVersion = "";
+    cfg.seProgram = pb.finish();
+
+    FsSystem fs(cfg);
+    SimResult r = fs.run(limit);
+    EXPECT_EQ(r.exitCause, "exiting with last active thread context");
+    EXPECT_EQ(r.exitCode, 0);
+    EXPECT_TRUE(fs.os().terminal.contains("SE mode says hi"));
+    EXPECT_FALSE(fs.os().terminal.contains("Booting Linux"));
+}
+
+TEST(SeMode, ExitCodePropagates)
+{
+    isa::ProgramBuilder pb("se-fail");
+    pb.movi(1, 3);
+    pb.syscall(SYS_EXIT);
+    FsConfig cfg;
+    cfg.simVersion = "";
+    cfg.seProgram = pb.finish();
+    FsSystem fs(cfg);
+    SimResult r = fs.run(limit);
+    EXPECT_EQ(r.exitCode, 3);
+}
+
+TEST(SeMode, ArtCreateSERunEndToEnd)
+{
+    namespace stdfs = std::filesystem;
+    art::Workspace ws(
+        (stdfs::temp_directory_path() / "g5_se_test").string());
+    auto binary = ws.gem5Binary("21.0", "X86");
+    auto script = ws.runScript("se_run.py", "SE-mode run script");
+
+    // "Compile" a workload binary onto disk and register it.
+    isa::ProgramBuilder pb("daxpy");
+    pb.movi(1, pb.str("daxpy done"));
+    pb.syscall(SYS_WRITE);
+    pb.movi(1, 0);
+    pb.syscall(SYS_EXIT);
+    std::string bin_path = ws.root() + "/workloads/daxpy";
+    {
+        stdfs::create_directories(ws.root() + "/workloads");
+        std::ofstream out(bin_path);
+        out << pb.finish()->toJson().dump();
+    }
+    art::Artifact::Params wp;
+    wp.typ = "binary";
+    wp.name = "daxpy";
+    wp.command = "gcc -O2 daxpy.c -o daxpy";
+    wp.path = bin_path;
+    art::Artifact workload =
+        art::Artifact::registerArtifact(ws.adb(), wp);
+
+    Json params = Json::object();
+    params["cpu"] = "atomic";
+    params["num_cpus"] = 1;
+    params["mem_system"] = "classic";
+
+    art::Gem5Run run = art::Gem5Run::createSERun(
+        ws.adb(), "daxpy-se", binary.path, script.path,
+        ws.outdir("daxpy-se"), binary.artifact, binary.repoArtifact,
+        script.repoArtifact, bin_path, workload, params, 60.0);
+    Json doc = run.execute(ws.adb());
+
+    EXPECT_EQ(doc.getString("status"), "SUCCESS");
+    EXPECT_EQ(doc.getString("type"), "gem5 run se");
+    EXPECT_EQ(doc.find("artifacts.workload")->asString(),
+              workload.hash());
+}
+
+TEST(HackBack, ArtCheckpointAndRestoreViaParams)
+{
+    namespace stdfs = std::filesystem;
+    art::Workspace ws(
+        (stdfs::temp_directory_path() / "g5_hb_test").string());
+    auto binary = ws.gem5Binary();
+    auto kernel = ws.kernel("4.15.18");
+    auto disk = ws.disk("hack-back", resources::buildHackBackImage());
+    auto script = ws.runScript("hack_back.py", "hack-back run script");
+    std::string ckpt_path = ws.root() + "/cpt/after_boot.json";
+
+    // Run 1: boot and checkpoint.
+    Json p1 = Json::object();
+    p1["cpu"] = "kvm";
+    p1["num_cpus"] = 1;
+    p1["mem_system"] = "classic";
+    p1["boot_type"] = "init";
+    p1["workload"] = "/root/hack_back.sh";
+    p1["checkpoint_after_boot"] = true;
+    p1["checkpoint_to"] = ckpt_path;
+    Json doc1 =
+        art::Gem5Run::createFSRun(
+            ws.adb(), "hb-boot", binary.path, script.path,
+            ws.outdir("hb-boot"), binary.artifact, binary.repoArtifact,
+            script.repoArtifact, kernel.path, disk.path,
+            kernel.artifact, disk.artifact, p1, 60.0)
+            .execute(ws.adb());
+    EXPECT_EQ(doc1.getString("status"), "SUCCESS");
+    EXPECT_EQ(doc1.getString("exitCause"), "checkpoint");
+    ASSERT_TRUE(stdfs::exists(ckpt_path));
+
+    // Run 2: restore and execute the host script.
+    Json p2 = Json::object();
+    p2["cpu"] = "kvm";
+    p2["num_cpus"] = 1;
+    p2["mem_system"] = "classic";
+    p2["boot_type"] = "init";
+    p2["workload"] = "/root/hack_back.sh";
+    p2["restore_from"] = ckpt_path;
+    Json doc2 =
+        art::Gem5Run::createFSRun(
+            ws.adb(), "hb-restore", binary.path, script.path,
+            ws.outdir("hb-restore"), binary.artifact,
+            binary.repoArtifact, script.repoArtifact, kernel.path,
+            disk.path, kernel.artifact, disk.artifact, p2, 60.0)
+            .execute(ws.adb());
+    EXPECT_EQ(doc2.getString("status"), "SUCCESS");
+    EXPECT_EQ(doc2.getString("exitCause"),
+              "m5_exit instruction encountered");
+}

@@ -1,0 +1,396 @@
+/** @file Tests for the four CPU models against a common OS harness. */
+
+#include <gtest/gtest.h>
+
+#include <deque>
+
+#include "base/logging.hh"
+#include "sim/cpu/o3_cpu.hh"
+#include "sim/cpu/simple_cpus.hh"
+#include "sim/isa/builder.hh"
+#include "sim/mem/classic.hh"
+#include "sim/ruby/ruby.hh"
+
+using namespace g5;
+using namespace g5::sim;
+using namespace g5::sim::isa;
+
+namespace
+{
+
+/** A minimal OS: one run queue, exit-on-halt, no syscalls. */
+class MiniOs : public OsCallbacks
+{
+  public:
+    explicit MiniOs(System &sys) : sys(sys) {}
+
+    ThreadContext *
+    pickNext(int) override
+    {
+        if (queue.empty())
+            return nullptr;
+        auto *tc = queue.front();
+        queue.pop_front();
+        return tc;
+    }
+
+    bool hasRunnable() const override { return !queue.empty(); }
+    void requeue(ThreadContext *tc) override { queue.push_back(tc); }
+
+    Tick
+    syscall(ThreadContext &tc, std::int64_t code, int) override
+    {
+        ++syscalls;
+        if (code == 99) { // test syscall: block forever
+            tc.status = ThreadContext::Status::Blocked;
+        }
+        return 1000;
+    }
+
+    void
+    m5op(ThreadContext &, std::int64_t func) override
+    {
+        if (func == 1)
+            sys.eventq.exitSimLoop("m5_exit instruction encountered");
+    }
+
+    std::pair<std::int64_t, Tick> ioRead(Addr) override
+    {
+        return {7, 500};
+    }
+    Tick ioWrite(Addr, std::int64_t) override { return 500; }
+
+    void
+    threadHalted(ThreadContext &tc) override
+    {
+        ++halted;
+        if (tc.tid == 0)
+            sys.eventq.exitSimLoop("main thread halted");
+    }
+
+    void
+    add(ThreadContext *tc)
+    {
+        queue.push_back(tc);
+    }
+
+    System &sys;
+    std::deque<ThreadContext *> queue;
+    int syscalls = 0;
+    int halted = 0;
+};
+
+struct Rig
+{
+    explicit Rig(CpuType type, unsigned cpus = 1)
+    {
+        sys = std::make_unique<System>(42);
+        mem::ClassicConfig mc;
+        mc.numCpus = cpus;
+        sys->memSystem =
+            std::make_unique<mem::ClassicMem>(sys->eventq, mc);
+        os = std::make_unique<MiniOs>(*sys);
+        sys->os = os.get();
+        for (unsigned i = 0; i < cpus; ++i) {
+            switch (type) {
+              case CpuType::Kvm:
+                sys->cpus.push_back(
+                    std::make_unique<KvmCpu>(*sys, int(i)));
+                break;
+              case CpuType::AtomicSimple:
+                sys->cpus.push_back(
+                    std::make_unique<AtomicSimpleCpu>(*sys, int(i)));
+                break;
+              case CpuType::TimingSimple:
+                sys->cpus.push_back(
+                    std::make_unique<TimingSimpleCpu>(*sys, int(i)));
+                break;
+              case CpuType::O3:
+                sys->cpus.push_back(
+                    std::make_unique<O3Cpu>(*sys, int(i)));
+                break;
+            }
+        }
+    }
+
+    /** Run program as thread 0; @return final sim time. */
+    Tick
+    run(ProgramPtr prog, std::int64_t arg = 0)
+    {
+        threads.push_back(std::make_unique<ThreadContext>(
+            int(threads.size()), std::move(prog)));
+        threads.back()->regs[1] = arg;
+        os->add(threads.back().get());
+        for (auto &cpu : sys->cpus)
+            cpu->start();
+        sys->eventq.run(Tick(1) << 50);
+        return sys->curTick();
+    }
+
+    std::unique_ptr<System> sys;
+    std::unique_ptr<MiniOs> os;
+    std::vector<std::unique_ptr<ThreadContext>> threads;
+};
+
+/** items x (compute + load/store) then halt. */
+ProgramPtr
+workProgram(int items, int alu_per_item, int mem_per_item)
+{
+    ProgramBuilder pb("work");
+    pb.movi(9, 0);
+    pb.movi(7, items);
+    pb.movi(8, 0x100000);
+    auto loop = pb.newLabel();
+    auto done = pb.newLabel();
+    pb.bind(loop);
+    pb.beq(7, 9, done);
+    for (int i = 0; i < alu_per_item; ++i)
+        pb.addi(10 + (i % 4), 10 + (i % 4), 1);
+    for (int i = 0; i < mem_per_item; ++i) {
+        if (i % 2 == 0)
+            pb.st(8, i * 8, 10);
+        else
+            pb.ld(11, 8, i * 8);
+    }
+    pb.addi(8, 8, 64);
+    pb.addi(7, 7, -1);
+    pb.jmp(loop);
+    pb.bind(done);
+    pb.halt();
+    return pb.finish();
+}
+
+std::uint64_t
+countInsts(const Rig &rig)
+{
+    std::uint64_t n = 0;
+    for (const auto &cpu : rig.sys->cpus)
+        n += std::uint64_t(cpu->numInsts.value());
+    return n;
+}
+
+} // anonymous namespace
+
+class AllCpuModels : public ::testing::TestWithParam<CpuType>
+{};
+
+TEST_P(AllCpuModels, ExecutesProgramToCompletion)
+{
+    Rig rig(GetParam());
+    rig.run(workProgram(100, 8, 4));
+    EXPECT_EQ(rig.os->halted, 1);
+    EXPECT_GT(countInsts(rig), 100u * 12);
+}
+
+TEST_P(AllCpuModels, ArchitecturalResultsAreModelIndependent)
+{
+    // Functional correctness must not depend on the timing model: run
+    // a checksum program and compare the memory result everywhere.
+    ProgramBuilder pb("checksum");
+    pb.movi(9, 0);
+    pb.movi(7, 500);
+    pb.movi(8, 0x200000);
+    pb.movi(10, 0);
+    auto loop = pb.newLabel();
+    auto done = pb.newLabel();
+    pb.bind(loop);
+    pb.beq(7, 9, done);
+    pb.mul(11, 7, 7);
+    pb.add(10, 10, 11);
+    pb.st(8, 0, 10);
+    pb.ld(12, 8, 0);
+    pb.add(10, 10, 12);
+    pb.addi(8, 8, 8);
+    pb.addi(7, 7, -1);
+    pb.jmp(loop);
+    pb.bind(done);
+    pb.movi(8, 0x300000);
+    pb.st(8, 0, 10);
+    pb.halt();
+    auto prog = pb.finish();
+
+    Rig rig(GetParam());
+    rig.run(prog);
+    std::int64_t result = rig.sys->physmem.read(0x300000);
+
+    Rig reference(CpuType::Kvm);
+    reference.run(prog);
+    EXPECT_EQ(result, reference.sys->physmem.read(0x300000));
+    EXPECT_NE(result, 0);
+}
+
+TEST_P(AllCpuModels, BlockedSyscallYieldsTheCpu)
+{
+    ProgramBuilder pb("blocker");
+    pb.syscall(99); // MiniOs blocks the thread forever
+    pb.halt();
+    Rig rig(GetParam());
+    rig.run(pb.finish());
+    // Thread never halted; the queue drains with the CPU idle.
+    EXPECT_EQ(rig.os->halted, 0);
+    EXPECT_EQ(rig.os->syscalls, 1);
+    EXPECT_EQ(rig.threads[0]->status, ThreadContext::Status::Blocked);
+}
+
+TEST_P(AllCpuModels, IoReadDeliversDeviceValue)
+{
+    ProgramBuilder pb("io");
+    pb.movi(2, 0x10000000);
+    pb.iord(1, 2, 0);
+    pb.movi(3, 0x400000);
+    pb.st(3, 0, 1);
+    pb.halt();
+    Rig rig(GetParam());
+    rig.run(pb.finish());
+    EXPECT_EQ(rig.sys->physmem.read(0x400000), 7);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Models, AllCpuModels,
+    ::testing::Values(CpuType::Kvm, CpuType::AtomicSimple,
+                      CpuType::TimingSimple, CpuType::O3),
+    [](const ::testing::TestParamInfo<CpuType> &info) {
+        return std::string(cpuTypeName(info.param));
+    });
+
+TEST(CpuTiming, KvmIsFastestTimingIsSlowerThanAtomic)
+{
+    auto prog = workProgram(2000, 8, 6);
+    Rig kvm(CpuType::Kvm);
+    Rig atomic(CpuType::AtomicSimple);
+    Rig timing(CpuType::TimingSimple);
+    Tick t_kvm = kvm.run(prog);
+    Tick t_atomic = atomic.run(prog);
+    Tick t_timing = timing.run(prog);
+
+    EXPECT_LT(t_kvm, t_atomic);
+    // Timing and atomic see the same cache hierarchy; timing adds real
+    // DRAM channel queueing, so it lands in the same ballpark or above.
+    double ratio = double(t_timing) / double(t_atomic);
+    EXPECT_GT(ratio, 0.8);
+    EXPECT_LT(ratio, 2.0);
+}
+
+TEST(CpuTiming, O3ExploitsIlp)
+{
+    // Independent chains: O3 should beat TimingSimple clearly.
+    ProgramBuilder pb("ilp");
+    pb.movi(9, 0);
+    pb.movi(7, 3000);
+    auto loop = pb.newLabel();
+    auto done = pb.newLabel();
+    pb.bind(loop);
+    pb.beq(7, 9, done);
+    for (int i = 0; i < 8; ++i)
+        pb.addi(10 + i, 10 + i, 1); // eight independent chains
+    pb.addi(7, 7, -1);
+    pb.jmp(loop);
+    pb.bind(done);
+    pb.halt();
+    auto prog = pb.finish();
+
+    Rig timing(CpuType::TimingSimple);
+    Rig o3(CpuType::O3);
+    Tick t_timing = timing.run(prog);
+    Tick t_o3 = o3.run(prog);
+    EXPECT_LT(t_o3 * 2, t_timing); // at least 2x from ILP
+}
+
+TEST(CpuTiming, O3OverlapsIndependentLoads)
+{
+    // Pointer-chase vs independent loads: only the latter overlaps.
+    auto chase = [] {
+        ProgramBuilder pb("chase");
+        pb.movi(9, 0);
+        pb.movi(7, 5000);
+        pb.movi(8, 0x500000);
+        pb.st(8, 0, 8); // mem[A] = A: a self-pointing chain link
+        auto loop = pb.newLabel();
+        auto done = pb.newLabel();
+        pb.bind(loop);
+        pb.beq(7, 9, done);
+        // Each load's address is the previous load's result: serial.
+        pb.ld(8, 8, 0);
+        pb.addi(7, 7, -1);
+        pb.jmp(loop);
+        pb.bind(done);
+        pb.halt();
+        return pb.finish();
+    }();
+    auto parallel = [] {
+        ProgramBuilder pb("parallel");
+        pb.movi(9, 0);
+        pb.movi(7, 5000);
+        pb.movi(8, 0x600000);
+        auto loop = pb.newLabel();
+        auto done = pb.newLabel();
+        pb.bind(loop);
+        pb.beq(7, 9, done);
+        pb.ld(10, 8, 0);
+        pb.movi(11, 0);
+        pb.addi(7, 7, -1);
+        pb.jmp(loop);
+        pb.bind(done);
+        pb.halt();
+        return pb.finish();
+    }();
+
+    Rig a(CpuType::O3);
+    Rig b(CpuType::O3);
+    Tick t_chase = a.run(chase);
+    Tick t_parallel = b.run(parallel);
+    EXPECT_LT(t_parallel, t_chase);
+
+    auto *o3 = dynamic_cast<O3Cpu *>(b.sys->cpus[0].get());
+    ASSERT_NE(o3, nullptr);
+    EXPECT_GT(o3->numLoadsOverlapped.value(), 0.0);
+}
+
+TEST(CpuScheduling, QuantumPreemptionSharesOneCpu)
+{
+    // Two CPU-bound threads on one CPU must interleave via the quantum.
+    Rig rig(CpuType::AtomicSimple);
+    auto prog = workProgram(30000, 8, 0);
+    rig.threads.push_back(std::make_unique<ThreadContext>(0, prog));
+    rig.threads.push_back(std::make_unique<ThreadContext>(1, prog));
+    rig.os->add(rig.threads[0].get());
+    rig.os->add(rig.threads[1].get());
+    for (auto &cpu : rig.sys->cpus)
+        cpu->start();
+    rig.sys->eventq.run(Tick(1) << 50);
+
+    EXPECT_EQ(rig.os->halted, 1); // exit fired when tid 0 halted...
+    // ...but tid 1 must have made real progress by then (preemption).
+    EXPECT_GT(rig.threads[1]->numInsts, 100'000u);
+    auto *cpu = rig.sys->cpus[0].get();
+    EXPECT_GT(cpu->contextSwitches.value(), 4.0);
+}
+
+TEST(CpuScheduling, MultipleCpusRunThreadsConcurrently)
+{
+    Rig rig(CpuType::AtomicSimple, 4);
+    auto prog = workProgram(5000, 8, 2);
+    for (int i = 0; i < 4; ++i) {
+        rig.threads.push_back(
+            std::make_unique<ThreadContext>(i, prog));
+        rig.os->add(rig.threads[i].get());
+    }
+    for (auto &cpu : rig.sys->cpus)
+        cpu->start();
+    rig.sys->eventq.run(Tick(1) << 50);
+
+    // All four CPUs must have committed work.
+    for (auto &cpu : rig.sys->cpus)
+        EXPECT_GT(cpu->numInsts.value(), 1000.0) << cpu->cpuId();
+}
+
+TEST(CpuModels, AtomicRejectsRubyAtConstruction)
+{
+    setQuiet(true);
+    System sys(1);
+    ruby::RubyConfig rc;
+    rc.numCpus = 1;
+    sys.memSystem = std::make_unique<ruby::RubyMem>(sys.eventq, rc);
+    EXPECT_THROW(AtomicSimpleCpu(sys, 0), FatalError);
+    setQuiet(false);
+}

@@ -1,0 +1,217 @@
+/** @file Unit tests for the embedded document database. */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "base/logging.hh"
+#include "base/json.hh"
+#include "db/database.hh"
+#include "db/query.hh"
+
+using g5::Json;
+using g5::db::Collection;
+using g5::db::Database;
+using g5::db::DuplicateKeyError;
+using g5::db::matches;
+
+namespace
+{
+
+Json
+doc(const std::string &text)
+{
+    return Json::parse(text);
+}
+
+} // anonymous namespace
+
+TEST(Query, EqualityAndDottedPaths)
+{
+    Json d = doc(R"({"type":"gem5 binary","git":{"hash":"abc"},"n":5})");
+    EXPECT_TRUE(matches(d, doc(R"({"type":"gem5 binary"})")));
+    EXPECT_FALSE(matches(d, doc(R"({"type":"disk image"})")));
+    EXPECT_TRUE(matches(d, doc(R"({"git.hash":"abc"})")));
+    EXPECT_FALSE(matches(d, doc(R"({"git.hash":"zzz"})")));
+    EXPECT_FALSE(matches(d, doc(R"({"missing":"x"})")));
+    EXPECT_TRUE(matches(d, doc("{}")));
+}
+
+TEST(Query, ComparisonOperators)
+{
+    Json d = doc(R"({"runtime": 42, "name": "parsec"})");
+    EXPECT_TRUE(matches(d, doc(R"({"runtime":{"$gt":10}})")));
+    EXPECT_FALSE(matches(d, doc(R"({"runtime":{"$gt":42}})")));
+    EXPECT_TRUE(matches(d, doc(R"({"runtime":{"$gte":42}})")));
+    EXPECT_TRUE(matches(d, doc(R"({"runtime":{"$lt":100,"$gt":0}})")));
+    EXPECT_FALSE(matches(d, doc(R"({"runtime":{"$lte":41}})")));
+    EXPECT_TRUE(matches(d, doc(R"({"name":{"$gt":"npb"}})")));
+    // Mixed incomparable types never match.
+    EXPECT_FALSE(matches(d, doc(R"({"name":{"$gt":3}})")));
+}
+
+TEST(Query, SetAndExistenceOperators)
+{
+    Json d = doc(R"({"name":"boot-exit","tags":["test","fs"]})");
+    EXPECT_TRUE(matches(d, doc(R"({"name":{"$in":["boot-exit","npb"]}})")));
+    EXPECT_FALSE(matches(d, doc(R"({"name":{"$in":["npb"]}})")));
+    EXPECT_TRUE(matches(d, doc(R"({"name":{"$nin":["npb"]}})")));
+    EXPECT_TRUE(matches(d, doc(R"({"tags":"fs"})"))); // array contains
+    EXPECT_TRUE(matches(d, doc(R"({"name":{"$exists":true}})")));
+    EXPECT_TRUE(matches(d, doc(R"({"zzz":{"$exists":false}})")));
+    EXPECT_FALSE(matches(d, doc(R"({"zzz":{"$exists":true}})")));
+    EXPECT_TRUE(matches(d, doc(R"({"name":{"$ne":"other"}})")));
+}
+
+TEST(Query, BooleanCombinators)
+{
+    Json d = doc(R"({"a":1,"b":2})");
+    EXPECT_TRUE(matches(d, doc(R"({"$or":[{"a":9},{"b":2}]})")));
+    EXPECT_FALSE(matches(d, doc(R"({"$or":[{"a":9},{"b":9}]})")));
+    EXPECT_TRUE(matches(d, doc(R"({"$and":[{"a":1},{"b":2}]})")));
+    EXPECT_FALSE(matches(d, doc(R"({"$and":[{"a":1},{"b":9}]})")));
+    EXPECT_TRUE(matches(d, doc(R"({"$not":{"a":9}})")));
+}
+
+TEST(Query, UnknownOperatorIsFatal)
+{
+    Json d = doc(R"({"a":1})");
+    EXPECT_THROW(matches(d, doc(R"({"a":{"$regex":"x"}})")),
+                 g5::FatalError);
+}
+
+TEST(Collection, InsertAssignsIdsAndFinds)
+{
+    Collection c("artifacts");
+    std::string id1 = c.insertOne(doc(R"({"name":"gem5","type":"binary"})"));
+    std::string id2 = c.insertOne(doc(R"({"name":"vmlinux","type":"kernel"})"));
+    EXPECT_NE(id1, id2);
+    EXPECT_EQ(c.size(), 2u);
+
+    auto hits = c.find(doc(R"({"type":"binary"})"));
+    ASSERT_EQ(hits.size(), 1u);
+    EXPECT_EQ(hits[0].getString("name"), "gem5");
+
+    EXPECT_EQ(c.findById(id2).getString("name"), "vmlinux");
+    EXPECT_TRUE(c.findById("nope").isNull());
+    EXPECT_TRUE(c.findOne(doc(R"({"type":"zzz"})")).isNull());
+    EXPECT_EQ(c.count(doc("{}")), 2u);
+}
+
+TEST(Collection, DuplicateIdsRejected)
+{
+    Collection c("x");
+    c.insertOne(doc(R"({"_id":"k1","v":1})"));
+    EXPECT_THROW(c.insertOne(doc(R"({"_id":"k1","v":2})")),
+                 DuplicateKeyError);
+}
+
+TEST(Collection, UniqueIndexSemantics)
+{
+    Collection c("artifacts");
+    c.createUniqueIndex("hash");
+    c.insertOne(doc(R"({"hash":"aaa","name":"one"})"));
+    // Same hash, different doc: rejected (gem5art's duplicate guard).
+    EXPECT_THROW(c.insertOne(doc(R"({"hash":"aaa","name":"two"})")),
+                 DuplicateKeyError);
+    // Sparse: documents without the field are exempt.
+    c.insertOne(doc(R"({"name":"no-hash-1"})"));
+    c.insertOne(doc(R"({"name":"no-hash-2"})"));
+    EXPECT_EQ(c.size(), 3u);
+    // Creating an index over existing duplicates fails atomically.
+    Collection d("dups");
+    d.insertOne(doc(R"({"k":"v"})"));
+    d.insertOne(doc(R"({"k":"v"})"));
+    EXPECT_THROW(d.createUniqueIndex("k"), DuplicateKeyError);
+}
+
+TEST(Collection, UpdateOperators)
+{
+    Collection c("runs");
+    c.insertOne(doc(R"({"name":"run1","status":"PENDING","tries":0})"));
+
+    EXPECT_TRUE(c.updateOne(doc(R"({"name":"run1"})"),
+                            doc(R"({"$set":{"status":"RUNNING"},
+                                    "$inc":{"tries":1}})")));
+    Json got = c.findOne(doc(R"({"name":"run1"})"));
+    EXPECT_EQ(got.getString("status"), "RUNNING");
+    EXPECT_EQ(got.getInt("tries"), 1);
+
+    // Replacement keeps _id.
+    std::string id = got.getString("_id");
+    EXPECT_TRUE(c.updateOne(doc(R"({"name":"run1"})"),
+                            doc(R"({"name":"run1","status":"SUCCESS"})")));
+    Json rep = c.findById(id);
+    EXPECT_EQ(rep.getString("status"), "SUCCESS");
+    EXPECT_FALSE(c.updateOne(doc(R"({"name":"zzz"})"), doc("{}")));
+}
+
+TEST(Collection, DeleteManyAndDistinct)
+{
+    Collection c("x");
+    for (int i = 0; i < 10; ++i) {
+        Json d = Json::object();
+        d["i"] = i;
+        d["parity"] = i % 2 ? "odd" : "even";
+        c.insertOne(std::move(d));
+    }
+    auto parities = c.distinct("parity");
+    EXPECT_EQ(parities.size(), 2u);
+    EXPECT_EQ(c.deleteMany(doc(R"({"parity":"odd"})")), 5u);
+    EXPECT_EQ(c.size(), 5u);
+    // _id index still consistent after compaction.
+    Json survivor = c.findOne(doc(R"({"i":4})"));
+    EXPECT_EQ(c.findById(survivor.getString("_id")).getInt("i"), 4);
+}
+
+TEST(Database, InMemoryBlobStore)
+{
+    Database db;
+    std::string key = db.putBlob("hello artifacts");
+    EXPECT_TRUE(db.hasBlob(key));
+    EXPECT_EQ(db.getBlob(key), "hello artifacts");
+    EXPECT_EQ(db.putBlob("hello artifacts"), key); // idempotent
+    EXPECT_EQ(db.blobCount(), 1u);
+    EXPECT_FALSE(db.hasBlob("0123456789abcdef0123456789abcdef"));
+    EXPECT_THROW(db.getBlob("0123456789abcdef0123456789abcdef"),
+                 g5::FatalError);
+}
+
+TEST(Database, PersistenceRoundTrip)
+{
+    namespace stdfs = std::filesystem;
+    stdfs::path dir =
+        stdfs::temp_directory_path() / "g5_db_test_persist";
+    stdfs::remove_all(dir);
+
+    std::string blob_key;
+    {
+        Database db(dir.string());
+        auto &c = db.collection("artifacts");
+        c.createUniqueIndex("hash");
+        c.insertOne(doc(R"({"name":"gem5","hash":"h1"})"));
+        c.insertOne(doc(R"({"name":"disk","hash":"h2"})"));
+        blob_key = db.putBlob("binary-bytes");
+        db.save();
+    }
+    {
+        Database db(dir.string());
+        auto &c = db.collection("artifacts");
+        EXPECT_EQ(c.size(), 2u);
+        EXPECT_EQ(c.findOne(doc(R"({"hash":"h2"})")).getString("name"),
+                  "disk");
+        EXPECT_EQ(db.getBlob(blob_key), "binary-bytes");
+
+        // exportBlob writes the original bytes back out.
+        stdfs::path out = dir / "exported.bin";
+        db.exportBlob(blob_key, out.string());
+        std::FILE *f = std::fopen(out.string().c_str(), "rb");
+        ASSERT_NE(f, nullptr);
+        char buf[64] = {};
+        std::size_t got = std::fread(buf, 1, sizeof(buf), f);
+        std::fclose(f);
+        EXPECT_EQ(std::string(buf, got), "binary-bytes");
+    }
+    stdfs::remove_all(dir);
+}

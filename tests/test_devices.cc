@@ -1,0 +1,125 @@
+/** @file Tests for peripherals and miscellaneous sim glue. */
+
+#include <gtest/gtest.h>
+
+#include "art/tasks.hh"
+#include "art/workspace.hh"
+#include "base/logging.hh"
+#include "resources/catalog.hh"
+#include "sim/cpu/o3_cpu.hh"
+#include "sim/fs/devices.hh"
+#include "sim/fs/fs_system.hh"
+
+using namespace g5;
+using namespace g5::sim;
+using namespace g5::sim::fs;
+
+TEST(Terminal, CollectsLinesInOrder)
+{
+    Terminal term;
+    EXPECT_EQ(term.numLines(), 0u);
+    term.writeLine("first");
+    term.writeLine("second");
+    EXPECT_EQ(term.text(), "first\nsecond");
+    EXPECT_TRUE(term.contains("irs"));
+    EXPECT_FALSE(term.contains("third"));
+    EXPECT_EQ(term.bytesWritten.value(), 13.0); // incl. newlines
+}
+
+TEST(DiskDevice, LatencyScalesWithTransferSize)
+{
+    DiskDevice disk;
+    Tick small = disk.readLatency(1);
+    Tick big = disk.readLatency(100'000);
+    EXPECT_GT(big, small);
+    EXPECT_GT(small, 0u); // seek dominates small reads
+    EXPECT_EQ(disk.reads.value(), 2.0);
+    EXPECT_EQ(disk.wordsRead.value(), 100'001.0);
+    EXPECT_GT(disk.probeLatency(), 0u);
+}
+
+TEST(O3Stats, BranchesAndMispredictsAreCounted)
+{
+    FsConfig cfg;
+    cfg.cpuType = CpuType::O3;
+    cfg.numCpus = 1;
+    cfg.memSystem = "classic";
+    cfg.kernelVersion = "4.19.83";
+    cfg.simVersion = "";
+    FsSystem fs(cfg);
+    SimResult r = fs.run(2'000'000'000'000ULL);
+    ASSERT_TRUE(r.success());
+
+    double branches = r.stats.find("cpu0.numBranches")->asDouble();
+    double mispredicts = r.stats.find("cpu0.numMispredicts")->asDouble();
+    EXPECT_GT(branches, 1000.0);
+    EXPECT_GT(mispredicts, 0.0);
+    // ~4% of taken branches mispredict; sanity-bound the rate.
+    EXPECT_LT(mispredicts / branches, 0.10);
+}
+
+TEST(ArtTimeout, HungRunIsKilledByTheScheduler)
+{
+    // A livelocked run under a tiny host timeout: gem5art kills the job
+    // and records TIMEOUT, exactly like the paper's 24-hour cap.
+    setQuiet(true);
+    art::Workspace ws("/tmp/g5art_timeout_test");
+    auto binary = ws.gem5Binary("20.1.0.4");
+    auto kernel = ws.kernel("4.19.83");
+    auto disk =
+        ws.disk("boot-exit", resources::buildBootExitImage());
+    auto script = ws.runScript("run_exit.py", "boot-exit");
+
+    Json params = Json::object();
+    params["cpu"] = "o3";
+    params["num_cpus"] = 4;
+    params["mem_system"] = "MI_example"; // livelock census entry
+    params["boot_type"] = "init";
+    params["max_ticks"] = std::int64_t(1) << 62; // no tick limit
+
+    art::Tasks tasks(ws.adb(), 1);
+    auto fut = tasks.applyAsync(art::Gem5Run::createFSRun(
+        ws.adb(), "hung-run", binary.path, script.path,
+        ws.outdir("hung-run"), binary.artifact, binary.repoArtifact,
+        script.repoArtifact, kernel.path, disk.path, kernel.artifact,
+        disk.artifact, params, /* timeout seconds */ 0.3));
+    fut->wait();
+    setQuiet(false);
+
+    EXPECT_EQ(fut->state(), scheduler::TaskState::Timeout);
+    Json doc = ws.adb().runs().findOne(
+        Json::object({{"name", Json("hung-run")}}));
+    EXPECT_EQ(doc.getString("status"), "TIMEOUT");
+    EXPECT_EQ(art::Gem5Run::classify(doc), art::RunOutcome::Timeout);
+}
+
+TEST(SimResult, RoiFallsBackToTotalTicks)
+{
+    SimResult r;
+    r.simTicks = 500;
+    EXPECT_EQ(r.roiTicks(), 500u);
+    r.workBeginTick = 100;
+    r.workEndTick = 400;
+    EXPECT_EQ(r.roiTicks(), 300u);
+    // Degenerate marks are ignored.
+    r.workEndTick = 50;
+    EXPECT_EQ(r.roiTicks(), 500u);
+}
+
+TEST(FsConfig, SignatureReflectsEveryKnob)
+{
+    FsConfig a;
+    std::string base = a.signature();
+    FsConfig b = a;
+    b.numCpus = 8;
+    EXPECT_NE(b.signature(), base);
+    b = a;
+    b.memSystem = "MI_example";
+    EXPECT_NE(b.signature(), base);
+    b = a;
+    b.kernelVersion = "4.4.186";
+    EXPECT_NE(b.signature(), base);
+    b = a;
+    b.simVersion = "";
+    EXPECT_NE(b.signature(), base);
+}

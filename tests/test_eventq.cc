@@ -1,0 +1,98 @@
+/** @file Unit tests for the discrete-event kernel. */
+
+#include <gtest/gtest.h>
+
+#include "base/logging.hh"
+#include "sim/eventq.hh"
+
+using g5::Tick;
+using g5::sim::EventQueue;
+using g5::sim::ExitEvent;
+
+TEST(EventQueue, OrdersByTickThenPriorityThenSeq)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(100, [&] { order.push_back(1); });
+    eq.schedule(50, [&] { order.push_back(2); });
+    eq.schedule(100, [&] { order.push_back(3); },
+                EventQueue::memRespPri); // lower priority value first
+    eq.schedule(50, [&] { order.push_back(4); });
+
+    ExitEvent ev = eq.run();
+    EXPECT_EQ(ev.cause, "event queue drained");
+    ASSERT_EQ(order.size(), 4u);
+    EXPECT_EQ(order[0], 2); // tick 50, insertion order
+    EXPECT_EQ(order[1], 4);
+    EXPECT_EQ(order[2], 3); // tick 100, memRespPri beats default
+    EXPECT_EQ(order[3], 1);
+    EXPECT_EQ(eq.curTick(), 100u);
+}
+
+TEST(EventQueue, SchedulingInThePastPanics)
+{
+    EventQueue eq;
+    eq.schedule(10, [&eq] {
+        EXPECT_THROW(eq.schedule(5, [] {}), g5::PanicError);
+    });
+    eq.run();
+}
+
+TEST(EventQueue, ExitStopsTheLoop)
+{
+    EventQueue eq;
+    int ran = 0;
+    eq.schedule(10, [&] {
+        ++ran;
+        eq.exitSimLoop("m5_exit instruction encountered", 0);
+    });
+    eq.schedule(20, [&] { ++ran; });
+
+    ExitEvent ev = eq.run();
+    EXPECT_EQ(ev.cause, "m5_exit instruction encountered");
+    EXPECT_FALSE(ev.limitReached);
+    EXPECT_EQ(ran, 1);
+    // The loop can resume with the remaining events afterwards.
+    ev = eq.run();
+    EXPECT_EQ(ran, 2);
+}
+
+TEST(EventQueue, TickLimitReported)
+{
+    EventQueue eq;
+    int ran = 0;
+    eq.schedule(1000, [&] { ++ran; });
+    ExitEvent ev = eq.run(500);
+    EXPECT_TRUE(ev.limitReached);
+    EXPECT_EQ(ev.cause, "simulate() limit reached");
+    EXPECT_EQ(ran, 0);
+    EXPECT_EQ(eq.curTick(), 500u);
+    // Event still pending; raising the limit runs it.
+    ev = eq.run(2000);
+    EXPECT_EQ(ran, 1);
+}
+
+TEST(EventQueue, DescheduleCancelsPendingEvent)
+{
+    EventQueue eq;
+    int ran = 0;
+    auto id = eq.schedule(10, [&] { ++ran; });
+    eq.schedule(20, [&] { ++ran; });
+    eq.deschedule(id);
+    eq.run();
+    EXPECT_EQ(ran, 1);
+}
+
+TEST(EventQueue, RecurringEventChains)
+{
+    EventQueue eq;
+    int fires = 0;
+    std::function<void()> rearm = [&] {
+        if (++fires < 5)
+            eq.schedule(eq.curTick() + 100, rearm);
+    };
+    eq.schedule(0, rearm);
+    eq.run();
+    EXPECT_EQ(fires, 5);
+    EXPECT_EQ(eq.curTick(), 400u);
+}

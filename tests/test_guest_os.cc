@@ -1,0 +1,392 @@
+/** @file Tests for the guest OS: syscalls, scheduling, devices. */
+
+#include <gtest/gtest.h>
+
+#include "base/logging.hh"
+#include "sim/cpu/simple_cpus.hh"
+#include "sim/fs/guest_abi.hh"
+#include "sim/fs/guest_os.hh"
+#include "sim/isa/builder.hh"
+#include "sim/mem/classic.hh"
+
+using namespace g5;
+using namespace g5::sim;
+using namespace g5::sim::fs;
+using namespace g5::sim::isa;
+
+namespace
+{
+
+/** A System + GuestOs + N kvm CPUs, running raw programs. */
+struct OsRig
+{
+    explicit OsRig(unsigned cpus = 1, const std::string &kernel = "5.4.49",
+                   DiskImagePtr disk = nullptr)
+    {
+        sys = std::make_unique<System>(7);
+        mem::ClassicConfig mc;
+        mc.numCpus = cpus;
+        sys->memSystem =
+            std::make_unique<mem::ClassicMem>(sys->eventq, mc);
+        os = std::make_unique<GuestOs>(
+            *sys, KernelSpec::forVersion(kernel), std::move(disk));
+        sys->os = os.get();
+        for (unsigned i = 0; i < cpus; ++i)
+            sys->cpus.push_back(std::make_unique<KvmCpu>(*sys, int(i)));
+    }
+
+    ExitEvent
+    run(ProgramPtr prog, std::int64_t arg = 0,
+        Tick limit = 100'000'000'000ULL)
+    {
+        os->startProgram(std::move(prog), arg);
+        for (auto &cpu : sys->cpus)
+            cpu->start();
+        return sys->eventq.run(limit);
+    }
+
+    std::unique_ptr<System> sys;
+    std::unique_ptr<GuestOs> os;
+};
+
+} // anonymous namespace
+
+TEST(GuestOs, ConsoleWriteLandsOnTerminal)
+{
+    ProgramBuilder pb("hello");
+    pb.movi(1, pb.str("hello full-system world"));
+    pb.syscall(SYS_WRITE);
+    pb.m5op(M5_EXIT);
+    pb.halt();
+
+    OsRig rig;
+    auto exit_ev = rig.run(pb.finish());
+    EXPECT_EQ(exit_ev.cause, "m5_exit instruction encountered");
+    EXPECT_TRUE(rig.os->terminal.contains("hello full-system world"));
+    EXPECT_EQ(rig.os->terminal.numLines(), 1u);
+}
+
+TEST(GuestOs, BadStringIndexIsFatal)
+{
+    ProgramBuilder pb("bad-write");
+    pb.movi(1, 999);
+    pb.syscall(SYS_WRITE);
+    pb.halt();
+    OsRig rig;
+    setQuiet(true);
+    EXPECT_THROW(rig.run(pb.finish()), FatalError);
+    setQuiet(false);
+}
+
+TEST(GuestOs, SpawnJoinExitProtocol)
+{
+    // Parent spawns a child that writes 11 to memory; parent joins and
+    // then reads it.
+    ProgramBuilder pb("spawn-join");
+    auto child = pb.newLabel();
+    auto parent = pb.newLabel();
+    pb.jmp(parent);
+
+    pb.bind(child);           // r1 = arg
+    pb.movi(3, 0x9000);
+    pb.st(3, 0, 1);           // mem[0x9000] = arg
+    pb.movi(1, 0);
+    pb.syscall(SYS_EXIT);
+
+    pb.bind(parent);
+    pb.moviLabel(1, child);
+    pb.movi(2, 11);           // arg
+    pb.syscall(SYS_SPAWN);    // r1 = child tid
+    pb.syscall(SYS_JOIN);     // wait for it
+    pb.movi(3, 0x9000);
+    pb.ld(4, 3, 0);
+    pb.movi(3, 0x9008);
+    pb.st(3, 0, 4);           // copy for the assertion
+    pb.m5op(M5_EXIT);
+    pb.halt();
+
+    OsRig rig(2);
+    auto exit_ev = rig.run(pb.finish());
+    EXPECT_EQ(exit_ev.cause, "m5_exit instruction encountered");
+    EXPECT_EQ(rig.sys->physmem.read(0x9008), 11);
+    EXPECT_EQ(rig.os->numThreads(), 2u);
+}
+
+TEST(GuestOs, JoinOnFinishedThreadReturnsImmediately)
+{
+    ProgramBuilder pb("join-done");
+    auto child = pb.newLabel();
+    auto parent = pb.newLabel();
+    pb.jmp(parent);
+    pb.bind(child);
+    pb.movi(1, 0);
+    pb.syscall(SYS_EXIT);
+    pb.bind(parent);
+    pb.moviLabel(1, child);
+    pb.movi(2, 0);
+    pb.syscall(SYS_SPAWN);
+    pb.mov(20, 1); // child tid
+    // Sleep so the child definitely finishes first.
+    pb.movi(1, 100000);
+    pb.syscall(SYS_NANOSLEEP);
+    pb.mov(1, 20);
+    pb.syscall(SYS_JOIN); // must not hang
+    pb.m5op(M5_EXIT);
+    pb.halt();
+    OsRig rig(2);
+    auto exit_ev = rig.run(pb.finish());
+    EXPECT_EQ(exit_ev.cause, "m5_exit instruction encountered");
+}
+
+TEST(GuestOs, FutexWaitWakeHandshake)
+{
+    // Child increments a flag and wakes; parent futex-waits on it.
+    ProgramBuilder pb("futex");
+    auto child = pb.newLabel();
+    auto parent = pb.newLabel();
+    pb.jmp(parent);
+
+    pb.bind(child);
+    pb.movi(1, 2000000); // 2 ms: let the parent sleep first
+    pb.syscall(SYS_NANOSLEEP);
+    pb.movi(3, 0xA000);
+    pb.movi(4, 1);
+    pb.amo(5, 3, 0, 4); // flag = 1
+    pb.movi(1, 0xA000);
+    pb.movi(2, 64);
+    pb.syscall(SYS_FUTEX_WAKE);
+    pb.movi(1, 0);
+    pb.syscall(SYS_EXIT);
+
+    pb.bind(parent);
+    pb.moviLabel(1, child);
+    pb.movi(2, 0);
+    pb.syscall(SYS_SPAWN);
+    auto wait_loop = pb.newLabel();
+    auto done = pb.newLabel();
+    pb.bind(wait_loop);
+    pb.movi(3, 0xA000);
+    pb.ld(4, 3, 0);
+    pb.movi(5, 1);
+    pb.beq(4, 5, done);
+    pb.movi(1, 0xA000);
+    pb.mov(2, 4);
+    pb.syscall(SYS_FUTEX_WAIT);
+    pb.jmp(wait_loop);
+    pb.bind(done);
+    pb.m5op(M5_EXIT);
+    pb.halt();
+
+    OsRig rig(2);
+    auto exit_ev = rig.run(pb.finish());
+    EXPECT_EQ(exit_ev.cause, "m5_exit instruction encountered");
+    EXPECT_GE(rig.os->numFutexWaits.value(), 1.0);
+    EXPECT_GE(rig.os->numFutexWakes.value(), 1.0);
+}
+
+TEST(GuestOs, FutexWaitValueMismatchDoesNotSleep)
+{
+    ProgramBuilder pb("futex-eagain");
+    pb.movi(3, 0xB000);
+    pb.movi(4, 7);
+    pb.st(3, 0, 4);          // value = 7
+    pb.movi(1, 0xB000);
+    pb.movi(2, 0);           // expect 0 -> mismatch
+    pb.syscall(SYS_FUTEX_WAIT);
+    pb.movi(3, 0xB008);
+    pb.st(3, 0, 1);          // r1 = 1 (EAGAIN) recorded
+    pb.m5op(M5_EXIT);
+    pb.halt();
+    OsRig rig;
+    rig.run(pb.finish());
+    EXPECT_EQ(rig.sys->physmem.read(0xB008), 1);
+}
+
+TEST(GuestOs, NanosleepAdvancesSimTime)
+{
+    ProgramBuilder pb("sleep");
+    pb.movi(1, 5'000'000); // 5 ms
+    pb.syscall(SYS_NANOSLEEP);
+    pb.m5op(M5_EXIT);
+    pb.halt();
+    OsRig rig;
+    auto exit_ev = rig.run(pb.finish());
+    EXPECT_EQ(exit_ev.cause, "m5_exit instruction encountered");
+    EXPECT_GE(rig.sys->curTick(), 5'000'000'000ULL); // >= 5 ms in ticks
+}
+
+TEST(GuestOs, GetCpuAndTid)
+{
+    ProgramBuilder pb("ids");
+    pb.syscall(SYS_GETCPU);
+    pb.movi(3, 0xC000);
+    pb.st(3, 0, 1);
+    pb.syscall(SYS_GETTID);
+    pb.movi(3, 0xC008);
+    pb.st(3, 0, 1);
+    pb.m5op(M5_EXIT);
+    pb.halt();
+    OsRig rig;
+    rig.run(pb.finish());
+    EXPECT_EQ(rig.sys->physmem.read(0xC000), 0); // only cpu 0 exists
+    EXPECT_EQ(rig.sys->physmem.read(0xC008), 0); // first thread
+}
+
+TEST(GuestOs, ExecLoadsProgramFromDiskImage)
+{
+    // Build a disk with one program that stores 77 and exits.
+    auto disk = std::make_shared<DiskImage>();
+    {
+        ProgramBuilder pb("payload");
+        pb.movi(3, 0xD000);
+        pb.movi(4, 77);
+        pb.st(3, 0, 4);
+        pb.movi(1, 0);
+        pb.syscall(SYS_EXIT);
+        disk->addProgram("/bin/payload", pb.finish());
+    }
+
+    ProgramBuilder pb("execer");
+    pb.movi(1, 0); // program index 0
+    pb.movi(2, 0);
+    pb.syscall(SYS_EXEC);
+    pb.syscall(SYS_JOIN);
+    pb.m5op(M5_EXIT);
+    pb.halt();
+
+    OsRig rig(1, "5.4.49", disk);
+    rig.run(pb.finish());
+    EXPECT_EQ(rig.sys->physmem.read(0xD000), 77);
+    EXPECT_GT(rig.os->disk.reads.value(), 0.0); // binary load charged
+}
+
+TEST(GuestOs, ExecWithoutDiskIsFatal)
+{
+    ProgramBuilder pb("no-disk");
+    pb.movi(1, 0);
+    pb.movi(2, 0);
+    pb.syscall(SYS_EXEC);
+    pb.halt();
+    OsRig rig;
+    setQuiet(true);
+    EXPECT_THROW(rig.run(pb.finish()), FatalError);
+    setQuiet(false);
+}
+
+TEST(GuestOs, UnknownSyscallIsFatal)
+{
+    ProgramBuilder pb("bad-sys");
+    pb.syscall(424242);
+    pb.halt();
+    OsRig rig;
+    setQuiet(true);
+    EXPECT_THROW(rig.run(pb.finish()), FatalError);
+    setQuiet(false);
+}
+
+TEST(GuestOs, UnmappedIoIsFatal)
+{
+    ProgramBuilder pb("bad-io");
+    pb.movi(2, 0x0DEAD000);
+    pb.iord(1, 2, 0);
+    pb.halt();
+    OsRig rig;
+    setQuiet(true);
+    EXPECT_THROW(rig.run(pb.finish()), FatalError);
+    setQuiet(false);
+}
+
+TEST(GuestOs, DiskReadChargesLatency)
+{
+    ProgramBuilder pb("disk-read");
+    pb.movi(1, 4096); // words
+    pb.syscall(SYS_READ_DISK);
+    pb.m5op(M5_EXIT);
+    pb.halt();
+    OsRig rig;
+    rig.run(pb.finish());
+    // Seek (50us) + streaming must appear in simulated time.
+    EXPECT_GE(rig.sys->curTick(), 50'000'000ULL);
+    EXPECT_EQ(rig.os->disk.wordsRead.value(), 4096.0);
+}
+
+TEST(GuestOs, WorkBeginEndMarksRoi)
+{
+    ProgramBuilder pb("roi");
+    pb.movi(1, 1'000'000);
+    pb.syscall(SYS_NANOSLEEP);
+    pb.m5op(M5_WORK_BEGIN);
+    pb.movi(1, 2'000'000);
+    pb.syscall(SYS_NANOSLEEP);
+    pb.m5op(M5_WORK_END);
+    pb.m5op(M5_EXIT);
+    pb.halt();
+    OsRig rig;
+    rig.run(pb.finish());
+    EXPECT_GT(rig.os->workBeginTick, 0u);
+    EXPECT_GT(rig.os->workEndTick,
+              rig.os->workBeginTick + 1'900'000'000ULL);
+}
+
+TEST(GuestOs, TimerKeepsHungSystemAlive)
+{
+    // A thread that blocks forever: without the OS timer the queue
+    // would drain; with it the run ends at the tick limit (the Fig 8
+    // "never finishes" signature).
+    ProgramBuilder pb("hang");
+    pb.movi(1, 0xE000);
+    pb.movi(2, 0);
+    pb.syscall(SYS_FUTEX_WAIT); // sleeps forever (value matches)
+    pb.halt();
+    OsRig rig;
+    auto exit_ev = rig.run(pb.finish(), 0, 10'000'000'000ULL); // 10ms
+    EXPECT_TRUE(exit_ev.limitReached);
+    EXPECT_GT(rig.os->numTimerTicks.value(), 5.0);
+}
+
+TEST(GuestOs, YieldRotatesEqualThreads)
+{
+    // Two spinning threads on one CPU with explicit yields both finish.
+    ProgramBuilder pb("yielders");
+    auto worker = pb.newLabel();
+    auto parent = pb.newLabel();
+    pb.jmp(parent);
+
+    pb.bind(worker);
+    pb.movi(7, 50);
+    auto loop = pb.newLabel();
+    auto done = pb.newLabel();
+    pb.movi(9, 0);
+    pb.bind(loop);
+    pb.beq(7, 9, done);
+    pb.syscall(SYS_YIELD);
+    pb.addi(7, 7, -1);
+    pb.jmp(loop);
+    pb.bind(done);
+    pb.movi(3, 0xF000);
+    pb.movi(4, 1);
+    pb.amo(5, 3, 0, 4);
+    pb.movi(1, 0);
+    pb.syscall(SYS_EXIT);
+
+    pb.bind(parent);
+    pb.moviLabel(1, worker);
+    pb.movi(2, 1);
+    pb.syscall(SYS_SPAWN);
+    pb.mov(20, 1);
+    pb.moviLabel(1, worker);
+    pb.movi(2, 2);
+    pb.syscall(SYS_SPAWN);
+    pb.mov(21, 1);
+    pb.mov(1, 20);
+    pb.syscall(SYS_JOIN);
+    pb.mov(1, 21);
+    pb.syscall(SYS_JOIN);
+    pb.m5op(M5_EXIT);
+    pb.halt();
+
+    OsRig rig(1);
+    auto exit_ev = rig.run(pb.finish());
+    EXPECT_EQ(exit_ev.cause, "m5_exit instruction encountered");
+    EXPECT_EQ(rig.sys->physmem.read(0xF000), 2);
+}

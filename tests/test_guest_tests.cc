@@ -1,0 +1,92 @@
+/** @file Run the gem5-tests guest self-tests on every CPU model and
+ *  memory system — the simulator's guest-visible correctness gate. */
+
+#include <gtest/gtest.h>
+
+#include "base/logging.hh"
+#include "resources/guest_tests.hh"
+#include "sim/fs/fs_system.hh"
+
+using namespace g5;
+using namespace g5::sim;
+using namespace g5::sim::fs;
+using namespace g5::resources;
+
+namespace
+{
+
+struct GuestTestCase
+{
+    std::string test;
+    CpuType cpu;
+    std::string mem;
+};
+
+std::vector<GuestTestCase>
+allCases()
+{
+    std::vector<GuestTestCase> cases;
+    for (const auto &test : guestTestPrograms()) {
+        cases.push_back({test.first, CpuType::Kvm, "classic"});
+        cases.push_back({test.first, CpuType::AtomicSimple, "classic"});
+        cases.push_back({test.first, CpuType::TimingSimple, "classic"});
+        cases.push_back({test.first, CpuType::O3, "classic"});
+        cases.push_back(
+            {test.first, CpuType::TimingSimple, "MI_example"});
+        cases.push_back({test.first, CpuType::O3, "MESI_Two_Level"});
+    }
+    return cases;
+}
+
+} // anonymous namespace
+
+class GuestSelfTests : public ::testing::TestWithParam<GuestTestCase>
+{};
+
+TEST_P(GuestSelfTests, PassesInsideTheGuest)
+{
+    const GuestTestCase &c = GetParam();
+
+    // Locate the program by name.
+    isa::ProgramPtr prog;
+    for (const auto &test : guestTestPrograms())
+        if (test.first == c.test)
+            prog = test.second;
+    ASSERT_NE(prog, nullptr);
+
+    FsConfig cfg;
+    cfg.cpuType = c.cpu;
+    cfg.numCpus = 1;
+    cfg.memSystem = c.mem;
+    cfg.simVersion = ""; // the self-tests gate sim5 itself
+    cfg.seProgram = prog;
+
+    FsSystem fs(cfg);
+    SimResult r = fs.run(10'000'000'000'000ULL);
+    // An m5 fail carries the failing check's ordinal as exit code.
+    EXPECT_TRUE(r.success())
+        << c.test << " on " << cpuTypeName(c.cpu) << "/" << c.mem
+        << ": " << r.exitCause << " (check #" << r.exitCode << ")";
+    // Each test prints its pass line right before the m5 exit.
+    EXPECT_FALSE(r.consoleText.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Gem5Tests, GuestSelfTests, ::testing::ValuesIn(allCases()),
+    [](const ::testing::TestParamInfo<GuestTestCase> &info) {
+        std::string name = info.param.test + "_" +
+                           cpuTypeName(info.param.cpu) + "_" +
+                           info.param.mem;
+        for (auto &ch : name)
+            if (!std::isalnum(static_cast<unsigned char>(ch)))
+                ch = '_';
+        return name;
+    });
+
+TEST(Gem5TestsImage, CarriesEveryTestBinary)
+{
+    auto img = buildGem5TestsImage();
+    EXPECT_EQ(img->programPaths().size(), guestTestPrograms().size());
+    EXPECT_TRUE(img->hasFile("/tests/asmtest-alu"));
+    EXPECT_TRUE(img->hasFile("/tests/square"));
+}

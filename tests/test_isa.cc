@@ -1,0 +1,319 @@
+/** @file Unit tests for SimISA: semantics, builder, serialization. */
+
+#include <gtest/gtest.h>
+
+#include "base/logging.hh"
+#include "sim/isa/builder.hh"
+#include "sim/isa/exec.hh"
+
+using namespace g5;
+using namespace g5::sim::isa;
+
+namespace
+{
+
+/** Build a one-instruction program and run step() on it. */
+StepInfo
+stepOne(const Inst &inst, ThreadContext &tc)
+{
+    auto prog = std::make_shared<Program>("t");
+    prog->code.push_back(inst);
+    prog->code.push_back(Inst{Op::Halt, 0, 0, 0, 0});
+    tc.prog = prog;
+    tc.pc = 0;
+    return step(tc);
+}
+
+ThreadContext
+makeTc()
+{
+    return ThreadContext(0, std::make_shared<Program>("empty"));
+}
+
+} // anonymous namespace
+
+struct AluCase
+{
+    Op op;
+    std::int64_t a, b, expect;
+};
+
+class AluSemantics : public ::testing::TestWithParam<AluCase>
+{};
+
+TEST_P(AluSemantics, ComputesExpectedValue)
+{
+    const AluCase &c = GetParam();
+    ThreadContext tc = makeTc();
+    tc.regs[2] = c.a;
+    tc.regs[3] = c.b;
+    StepInfo info = stepOne(Inst{c.op, 1, 2, 3, 0}, tc);
+    EXPECT_EQ(info.kind, StepKind::Done);
+    EXPECT_EQ(tc.regs[1], c.expect) << opName(c.op);
+    EXPECT_EQ(tc.pc, 1u); // fell through
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOps, AluSemantics,
+    ::testing::Values(
+        AluCase{Op::Add, 7, 5, 12}, AluCase{Op::Sub, 7, 5, 2},
+        AluCase{Op::Mul, 7, 5, 35}, AluCase{Op::Div, 35, 5, 7},
+        AluCase{Op::Div, 35, 0, 0}, // division by zero yields 0
+        AluCase{Op::And, 0b1100, 0b1010, 0b1000},
+        AluCase{Op::Or, 0b1100, 0b1010, 0b1110},
+        AluCase{Op::Xor, 0b1100, 0b1010, 0b0110},
+        AluCase{Op::Shl, 3, 4, 48}, AluCase{Op::Shr, 48, 4, 3},
+        AluCase{Op::Shr, -1, 60, 15}, // logical shift
+        AluCase{Op::Fadd, 10, 3, 13}, AluCase{Op::Fmul, 10, 3, 30},
+        AluCase{Op::Fdiv, 10, 0, 0}));
+
+TEST(IsaSemantics, ImmediateForms)
+{
+    ThreadContext tc = makeTc();
+    stepOne(Inst{Op::Movi, 1, 0, 0, -42}, tc);
+    EXPECT_EQ(tc.regs[1], -42);
+    tc.regs[2] = 10;
+    stepOne(Inst{Op::Addi, 1, 2, 0, -3}, tc);
+    EXPECT_EQ(tc.regs[1], 7);
+    stepOne(Inst{Op::Muli, 1, 2, 0, 4}, tc);
+    EXPECT_EQ(tc.regs[1], 40);
+    stepOne(Inst{Op::Mov, 1, 2, 0, 0}, tc);
+    EXPECT_EQ(tc.regs[1], 10);
+}
+
+TEST(IsaSemantics, MemoryOpsReportAddressAndValue)
+{
+    ThreadContext tc = makeTc();
+    tc.regs[2] = 0x1000;
+    tc.regs[3] = 99;
+
+    StepInfo load = stepOne(Inst{Op::Ld, 1, 2, 0, 0x20}, tc);
+    EXPECT_EQ(load.kind, StepKind::Load);
+    EXPECT_EQ(load.addr, 0x1020u);
+    EXPECT_EQ(load.rd, 1);
+
+    StepInfo store = stepOne(Inst{Op::St, 0, 2, 3, 8}, tc);
+    EXPECT_EQ(store.kind, StepKind::Store);
+    EXPECT_EQ(store.addr, 0x1008u);
+    EXPECT_EQ(store.value, 99);
+
+    StepInfo amo = stepOne(Inst{Op::Amo, 1, 2, 3, 0}, tc);
+    EXPECT_EQ(amo.kind, StepKind::Amo);
+    EXPECT_EQ(amo.value, 99);
+    EXPECT_EQ(amo.rd, 1);
+
+    completeLoad(tc, 1, 1234);
+    EXPECT_EQ(tc.regs[1], 1234);
+    EXPECT_THROW(completeLoad(tc, 99, 0), PanicError);
+}
+
+TEST(IsaSemantics, BranchesResolveInStep)
+{
+    ThreadContext tc = makeTc();
+    tc.regs[1] = 5;
+    tc.regs[2] = 5;
+
+    StepInfo taken = stepOne(Inst{Op::Beq, 0, 1, 2, 7}, tc);
+    EXPECT_TRUE(taken.isBranch);
+    EXPECT_TRUE(taken.branchTaken);
+    EXPECT_EQ(tc.pc, 7u);
+
+    tc.regs[2] = 6;
+    StepInfo untaken = stepOne(Inst{Op::Beq, 0, 1, 2, 7}, tc);
+    EXPECT_FALSE(untaken.branchTaken);
+    EXPECT_EQ(tc.pc, 1u);
+
+    stepOne(Inst{Op::Blt, 0, 1, 2, 9}, tc); // 5 < 6
+    EXPECT_EQ(tc.pc, 9u);
+    stepOne(Inst{Op::Bge, 0, 2, 1, 3}, tc); // 6 >= 5
+    EXPECT_EQ(tc.pc, 3u);
+    stepOne(Inst{Op::Jmp, 0, 0, 0, 11}, tc);
+    EXPECT_EQ(tc.pc, 11u);
+}
+
+TEST(IsaSemantics, SystemOpsClassified)
+{
+    ThreadContext tc = makeTc();
+    EXPECT_EQ(stepOne(Inst{Op::Syscall, 0, 0, 0, 4}, tc).kind,
+              StepKind::Syscall);
+    EXPECT_EQ(stepOne(Inst{Op::Syscall, 0, 0, 0, 4}, tc).code, 4);
+    EXPECT_EQ(stepOne(Inst{Op::M5Op, 0, 0, 0, 1}, tc).kind,
+              StepKind::M5Op);
+    EXPECT_EQ(stepOne(Inst{Op::Halt, 0, 0, 0, 0}, tc).kind,
+              StepKind::Halt);
+    tc.regs[2] = 0x10000000;
+    EXPECT_EQ(stepOne(Inst{Op::IoRd, 1, 2, 0, 0}, tc).kind,
+              StepKind::IoRead);
+    EXPECT_EQ(stepOne(Inst{Op::IoWr, 0, 2, 3, 0}, tc).kind,
+              StepKind::IoWrite);
+}
+
+TEST(IsaSemantics, LatencyClasses)
+{
+    EXPECT_EQ(opLatency(Op::Add), 1u);
+    EXPECT_GT(opLatency(Op::Mul), opLatency(Op::Add));
+    EXPECT_GT(opLatency(Op::Div), opLatency(Op::Mul));
+    EXPECT_GT(opLatency(Op::Fdiv), opLatency(Op::Fadd));
+}
+
+TEST(IsaSemantics, SteppingFinishedThreadPanics)
+{
+    ThreadContext tc = makeTc();
+    tc.status = ThreadContext::Status::Finished;
+    EXPECT_THROW(step(tc), PanicError);
+}
+
+TEST(IsaSemantics, FetchPastEndPanics)
+{
+    ThreadContext tc = makeTc();
+    tc.pc = 100;
+    EXPECT_THROW(step(tc), PanicError);
+}
+
+TEST(RegInfo, DataflowPortsPerShape)
+{
+    RegInfo r = regInfo(Inst{Op::Add, 1, 2, 3, 0});
+    EXPECT_EQ(r.dst, 1);
+    EXPECT_EQ(r.src1, 2);
+    EXPECT_EQ(r.src2, 3);
+
+    r = regInfo(Inst{Op::Movi, 4, 0, 0, 7});
+    EXPECT_EQ(r.dst, 4);
+    EXPECT_EQ(r.src1, -1);
+
+    r = regInfo(Inst{Op::St, 0, 5, 6, 0});
+    EXPECT_EQ(r.dst, -1);
+    EXPECT_EQ(r.src1, 5);
+    EXPECT_EQ(r.src2, 6);
+
+    r = regInfo(Inst{Op::Beq, 0, 7, 8, 0});
+    EXPECT_EQ(r.dst, -1);
+    EXPECT_EQ(r.src1, 7);
+
+    r = regInfo(Inst{Op::Nop, 0, 0, 0, 0});
+    EXPECT_EQ(r.dst, -1);
+    EXPECT_EQ(r.src1, -1);
+}
+
+TEST(ProgramBuilder, ForwardAndBackwardLabels)
+{
+    ProgramBuilder pb("labels");
+    auto fwd = pb.newLabel();
+    pb.movi(1, 0);
+    auto back = pb.newLabel();
+    pb.bind(back);
+    pb.addi(1, 1, 1);
+    pb.jmp(fwd);     // forward reference
+    pb.jmp(back);    // backward reference (dead code, but resolvable)
+    pb.bind(fwd);
+    pb.halt();
+    auto prog = pb.finish();
+
+    // jmp fwd at index 2 targets index 4 (halt).
+    EXPECT_EQ(prog->code[2].imm, 4);
+    // jmp back at index 3 targets index 1 (addi).
+    EXPECT_EQ(prog->code[3].imm, 1);
+}
+
+TEST(ProgramBuilder, MoviLabelResolvesToInstructionIndex)
+{
+    ProgramBuilder pb("spawnable");
+    auto entry = pb.newLabel();
+    pb.moviLabel(1, entry);
+    pb.halt();
+    pb.bind(entry);
+    pb.movi(2, 42);
+    pb.halt();
+    auto prog = pb.finish();
+    EXPECT_EQ(prog->code[0].imm, 2); // entry is instruction #2
+}
+
+TEST(ProgramBuilder, ErrorPaths)
+{
+    {
+        ProgramBuilder pb("unbound");
+        auto l = pb.newLabel();
+        pb.jmp(l);
+        EXPECT_THROW(pb.finish(), FatalError);
+    }
+    {
+        ProgramBuilder pb("double-bind");
+        auto l = pb.newLabel();
+        pb.bind(l);
+        EXPECT_THROW(pb.bind(l), PanicError);
+    }
+    {
+        ProgramBuilder pb("bad-reg");
+        EXPECT_THROW(pb.movi(32, 0), FatalError);
+        EXPECT_THROW(pb.add(1, -1, 2), FatalError);
+    }
+    {
+        ProgramBuilder pb("after-finish");
+        pb.halt();
+        pb.finish();
+        EXPECT_THROW(pb.nop(), PanicError);
+        EXPECT_THROW(pb.finish(), PanicError);
+    }
+}
+
+TEST(ProgramBuilder, StringInterning)
+{
+    ProgramBuilder pb("strings");
+    auto a = pb.str("hello");
+    auto b = pb.str("world");
+    auto c = pb.str("hello"); // duplicate
+    pb.halt();
+    auto prog = pb.finish();
+    EXPECT_EQ(a, c);
+    EXPECT_NE(a, b);
+    EXPECT_EQ(prog->strings.size(), 2u);
+    EXPECT_EQ(prog->strings[std::size_t(a)], "hello");
+}
+
+TEST(Program, JsonRoundTrip)
+{
+    ProgramBuilder pb("roundtrip");
+    pb.movi(1, -123456789012345LL);
+    pb.str("console line");
+    auto loop = pb.newLabel();
+    pb.bind(loop);
+    pb.addi(1, 1, 1);
+    pb.bne(1, 9, loop);
+    pb.syscall(2);
+    pb.halt();
+    auto prog = pb.finish();
+
+    auto back = Program::fromJson(
+        g5::Json::parse(prog->toJson().dump()));
+    ASSERT_EQ(back->size(), prog->size());
+    for (std::size_t i = 0; i < prog->size(); ++i) {
+        EXPECT_EQ(back->code[i].op, prog->code[i].op) << "inst " << i;
+        EXPECT_EQ(back->code[i].rd, prog->code[i].rd);
+        EXPECT_EQ(back->code[i].rs, prog->code[i].rs);
+        EXPECT_EQ(back->code[i].rt, prog->code[i].rt);
+        EXPECT_EQ(back->code[i].imm, prog->code[i].imm);
+    }
+    EXPECT_EQ(back->strings, prog->strings);
+    EXPECT_EQ(back->name(), "roundtrip");
+}
+
+TEST(Program, FromJsonRejectsGarbage)
+{
+    using g5::Json;
+    EXPECT_THROW(Program::fromJson(Json::parse("{}")), FatalError);
+    EXPECT_THROW(
+        Program::fromJson(Json::parse(R"({"code":[[999,0,0,0,0]]})")),
+        FatalError);
+    EXPECT_THROW(
+        Program::fromJson(Json::parse(R"({"code":[[1,2]]})")),
+        FatalError);
+}
+
+TEST(Program, OpNamesAreUniqueAndComplete)
+{
+    std::set<std::string> names;
+    for (int i = 0; i < int(Op::NumOps); ++i)
+        names.insert(opName(Op(i)));
+    EXPECT_EQ(names.size(), std::size_t(Op::NumOps));
+    EXPECT_EQ(names.count("???"), 0u);
+}

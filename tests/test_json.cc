@@ -1,0 +1,137 @@
+/** @file Unit tests for the JSON DOM, parser, and serializer. */
+
+#include <gtest/gtest.h>
+
+#include "base/json.hh"
+
+using g5::Json;
+using g5::JsonError;
+
+TEST(Json, ScalarRoundTrips)
+{
+    EXPECT_EQ(Json::parse("null").type(), Json::Type::Null);
+    EXPECT_TRUE(Json::parse("true").asBool());
+    EXPECT_FALSE(Json::parse("false").asBool());
+    EXPECT_EQ(Json::parse("42").asInt(), 42);
+    EXPECT_EQ(Json::parse("-7").asInt(), -7);
+    EXPECT_DOUBLE_EQ(Json::parse("3.25").asDouble(), 3.25);
+    EXPECT_DOUBLE_EQ(Json::parse("1e3").asDouble(), 1000.0);
+    EXPECT_EQ(Json::parse("\"hi\"").asString(), "hi");
+}
+
+TEST(Json, IntVsDoubleDetection)
+{
+    EXPECT_TRUE(Json::parse("5").isInt());
+    EXPECT_TRUE(Json::parse("5.0").isDouble());
+    EXPECT_TRUE(Json::parse("5e0").isDouble());
+    // Overflowing int64 falls back to double.
+    EXPECT_TRUE(Json::parse("99999999999999999999999").isDouble());
+}
+
+TEST(Json, StringEscapes)
+{
+    Json j = Json::parse(R"("a\"b\\c\nd\teA")");
+    EXPECT_EQ(j.asString(), "a\"b\\c\nd\teA");
+    // Serialization escapes control characters back.
+    Json s("line1\nline2\t\"x\"");
+    Json round = Json::parse(s.dump());
+    EXPECT_EQ(round.asString(), s.asString());
+}
+
+TEST(Json, NestedDocumentRoundTrip)
+{
+    const std::string text = R"({
+        "name": "gem5",
+        "versions": [20.1, 21, null],
+        "git": {"url": "https://gem5.googlesource.com", "hash": "440f0b"},
+        "flags": {"fs": true, "se": false}
+    })";
+    Json doc = Json::parse(text);
+    EXPECT_EQ(doc.getString("name"), "gem5");
+    EXPECT_EQ(doc.at("versions").size(), 3u);
+    EXPECT_EQ(doc.find("git.hash")->asString(), "440f0b");
+    EXPECT_TRUE(doc.find("flags.fs")->asBool());
+    EXPECT_EQ(doc.find("flags.missing"), nullptr);
+
+    // compact and pretty forms parse back to the same document
+    EXPECT_EQ(Json::parse(doc.dump()), doc);
+    EXPECT_EQ(Json::parse(doc.dump(2)), doc);
+}
+
+TEST(Json, ObjectKeysAreSortedDeterministically)
+{
+    Json a = Json::object();
+    a["zeta"] = 1;
+    a["alpha"] = 2;
+    Json b = Json::object();
+    b["alpha"] = 2;
+    b["zeta"] = 1;
+    EXPECT_EQ(a.dump(), b.dump());
+    EXPECT_LT(a.dump().find("alpha"), a.dump().find("zeta"));
+}
+
+TEST(Json, NumericCrossTypeEquality)
+{
+    EXPECT_EQ(Json(3), Json(3.0));
+    EXPECT_NE(Json(3), Json(3.5));
+    EXPECT_NE(Json(3), Json("3"));
+}
+
+TEST(Json, ParseErrorsCarryOffsets)
+{
+    EXPECT_THROW(Json::parse(""), JsonError);
+    EXPECT_THROW(Json::parse("{"), JsonError);
+    EXPECT_THROW(Json::parse("[1,]"), JsonError);
+    EXPECT_THROW(Json::parse("{\"a\":1,}"), JsonError);
+    EXPECT_THROW(Json::parse("tru"), JsonError);
+    EXPECT_THROW(Json::parse("\"unterminated"), JsonError);
+    EXPECT_THROW(Json::parse("1 2"), JsonError);
+    try {
+        Json::parse("[1, x]");
+        FAIL() << "expected JsonError";
+    } catch (const JsonError &e) {
+        EXPECT_NE(std::string(e.what()).find("offset"), std::string::npos);
+    }
+}
+
+TEST(Json, TypeMismatchesThrow)
+{
+    Json j = Json::parse("{\"a\": [1,2]}");
+    EXPECT_THROW(j.at("a").asString(), JsonError);
+    EXPECT_THROW(j.at("b"), JsonError);
+    EXPECT_THROW(j.at("a").at(std::size_t(5)), JsonError);
+    EXPECT_THROW(Json(5).asArray(), JsonError);
+}
+
+TEST(Json, GettersWithDefaults)
+{
+    Json j = Json::parse("{\"s\":\"v\",\"i\":7,\"d\":1.5,\"b\":true}");
+    EXPECT_EQ(j.getString("s"), "v");
+    EXPECT_EQ(j.getString("missing", "dflt"), "dflt");
+    EXPECT_EQ(j.getInt("i"), 7);
+    EXPECT_EQ(j.getInt("missing", -1), -1);
+    EXPECT_DOUBLE_EQ(j.getDouble("d"), 1.5);
+    EXPECT_TRUE(j.getBool("b"));
+    // Wrong-typed members fall back to the default too.
+    EXPECT_EQ(j.getInt("s", 9), 9);
+}
+
+TEST(Json, AutoVivification)
+{
+    Json j; // null
+    j["a"]["b"] = 1;
+    EXPECT_EQ(j.find("a.b")->asInt(), 1);
+    Json arr; // null
+    arr.push(1);
+    arr.push("two");
+    EXPECT_EQ(arr.size(), 2u);
+}
+
+TEST(Json, DoubleFormattingSurvivesRoundTrip)
+{
+    for (double v : {0.1, 1.0 / 3.0, 1e-10, 123456789.123456789, -2.5}) {
+        Json j(v);
+        EXPECT_DOUBLE_EQ(Json::parse(j.dump()).asDouble(), v);
+        EXPECT_TRUE(Json::parse(j.dump()).isDouble());
+    }
+}

@@ -1,0 +1,147 @@
+/** @file Tests for KernelSpec, boot-program generation, boot types. */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "base/logging.hh"
+#include "sim/fs/guest_abi.hh"
+#include "sim/fs/kernel.hh"
+#include "sim/fs/known_issues.hh"
+
+using namespace g5;
+using namespace g5::sim::fs;
+
+TEST(KernelSpec, VersionParsing)
+{
+    KernelSpec spec = KernelSpec::forVersion("4.19.83");
+    EXPECT_EQ(spec.major, 4);
+    EXPECT_EQ(spec.minor, 19);
+    EXPECT_EQ(spec.patch, 83);
+
+    EXPECT_THROW(KernelSpec::forVersion("4.19"), FatalError);
+    EXPECT_THROW(KernelSpec::forVersion("banana"), FatalError);
+    EXPECT_THROW(KernelSpec::forVersion("99.0.0"), FatalError);
+}
+
+TEST(KernelSpec, DerivedParametersScaleWithVersion)
+{
+    KernelSpec old_k = KernelSpec::forVersion("4.4.186");
+    KernelSpec new_k = KernelSpec::forVersion("5.4.49");
+    // Newer kernels boot more code and probe more drivers...
+    EXPECT_GT(new_k.decompressIters, old_k.decompressIters);
+    EXPECT_GT(new_k.driverProbes, old_k.driverProbes);
+    EXPECT_GT(new_k.bootServices, old_k.bootServices);
+    // ...pay the post-4.14 mitigation cost on syscalls...
+    EXPECT_GT(new_k.syscallOverhead, old_k.syscallOverhead);
+    // ...and wake futex waiters faster.
+    EXPECT_LT(new_k.wakeLatency, old_k.wakeLatency);
+
+    // The mitigation boundary sits between 4.9 and 4.14.
+    EXPECT_EQ(KernelSpec::forVersion("4.9.186").syscallOverhead,
+              old_k.syscallOverhead);
+    EXPECT_EQ(KernelSpec::forVersion("4.14.134").syscallOverhead,
+              new_k.syscallOverhead);
+}
+
+TEST(KernelSpec, VmlinuxSaveLoadRoundTrip)
+{
+    namespace stdfs = std::filesystem;
+    std::string path =
+        (stdfs::temp_directory_path() / "g5_vmlinux_test" / "vmlinux")
+            .string();
+
+    KernelSpec spec = KernelSpec::forVersion("4.14.134");
+    spec.save(path);
+    KernelSpec back = KernelSpec::load(path);
+    EXPECT_EQ(back.version, spec.version);
+    EXPECT_EQ(back.decompressIters, spec.decompressIters);
+    EXPECT_EQ(back.syscallOverhead, spec.syscallOverhead);
+    stdfs::remove_all(stdfs::path(path).parent_path());
+}
+
+TEST(KernelSpec, CustomConfigOverridesSurvive)
+{
+    // A stored vmlinux may carry a custom kernel config.
+    Json j = KernelSpec::forVersion("5.4.49").toJson();
+    j["bootServices"] = 99;
+    KernelSpec custom = KernelSpec::fromJson(j);
+    EXPECT_EQ(custom.bootServices, 99u);
+    EXPECT_EQ(custom.version, "5.4.49");
+
+    Json bad = Json::object();
+    bad["kind"] = "not-a-kernel";
+    EXPECT_THROW(KernelSpec::fromJson(bad), FatalError);
+}
+
+TEST(BootType, Names)
+{
+    EXPECT_EQ(bootTypeFromName("init"), BootType::KernelOnly);
+    EXPECT_EQ(bootTypeFromName("systemd"), BootType::Systemd);
+    EXPECT_THROW(bootTypeFromName("openrc"), FatalError);
+    EXPECT_STREQ(bootTypeName(BootType::KernelOnly), "init");
+    EXPECT_STREQ(bootTypeName(BootType::Systemd), "systemd");
+}
+
+TEST(BootProgram, StructureMatchesBootType)
+{
+    KernelSpec spec = KernelSpec::forVersion("5.4.49");
+    auto kernel_only = buildBootProgram(spec, BootType::KernelOnly, 4);
+    auto systemd = buildBootProgram(spec, BootType::Systemd, 4);
+
+    // Runlevel 5 spawns services: its program must be larger and
+    // contain SPAWN syscalls; kernel-only must not.
+    EXPECT_GT(systemd->size(), kernel_only->size());
+    auto count_spawns = [](const sim::isa::ProgramPtr &p) {
+        int n = 0;
+        for (const auto &inst : p->code)
+            if (inst.op == sim::isa::Op::Syscall && inst.imm == SYS_SPAWN)
+                ++n;
+        return n;
+    };
+    EXPECT_EQ(count_spawns(kernel_only), 0);
+    EXPECT_GT(count_spawns(systemd), 0);
+
+    // Both end with an m5 exit.
+    auto has_m5exit = [](const sim::isa::ProgramPtr &p) {
+        for (const auto &inst : p->code)
+            if (inst.op == sim::isa::Op::M5Op && inst.imm == M5_EXIT)
+                return true;
+        return false;
+    };
+    EXPECT_TRUE(has_m5exit(kernel_only));
+    EXPECT_TRUE(has_m5exit(systemd));
+}
+
+TEST(BootProgram, InitWorkloadAddsExecJoin)
+{
+    KernelSpec spec = KernelSpec::forVersion("4.19.83");
+    auto bare = buildBootProgram(spec, BootType::KernelOnly, 1, -1);
+    auto with_init = buildBootProgram(spec, BootType::KernelOnly, 1, 3,
+                                      8);
+    EXPECT_GT(with_init->size(), bare->size());
+    bool has_exec = false;
+    for (const auto &inst : with_init->code)
+        if (inst.op == sim::isa::Op::Syscall && inst.imm == SYS_EXEC)
+            has_exec = true;
+    EXPECT_TRUE(has_exec);
+}
+
+TEST(BootProgram, ConsoleBannerNamesTheKernel)
+{
+    KernelSpec spec = KernelSpec::forVersion("4.9.186");
+    auto prog = buildBootProgram(spec, BootType::KernelOnly, 2);
+    bool found = false;
+    for (const auto &s : prog->strings)
+        if (s.find("4.9.186") != std::string::npos)
+            found = true;
+    EXPECT_TRUE(found);
+}
+
+TEST(Fig8Kernels, FiveLtsVersions)
+{
+    const auto &kernels = fig8Kernels();
+    ASSERT_EQ(kernels.size(), 5u);
+    for (const auto &v : kernels)
+        EXPECT_NO_THROW(KernelSpec::forVersion(v)) << v;
+}

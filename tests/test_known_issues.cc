@@ -1,0 +1,149 @@
+/** @file The Fig 8 census invariant: exact defect counts over the grid. */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "sim/fs/fs_system.hh"
+#include "sim/fs/known_issues.hh"
+
+using namespace g5;
+using namespace g5::sim;
+using namespace g5::sim::fs;
+
+namespace
+{
+
+FsConfig
+makeConfig(CpuType cpu, const std::string &mem, unsigned cores,
+           const std::string &kernel, BootType boot)
+{
+    FsConfig cfg;
+    cfg.cpuType = cpu;
+    cfg.memSystem = mem;
+    cfg.numCpus = cores;
+    cfg.kernelVersion = kernel;
+    cfg.bootType = boot;
+    cfg.simVersion = "20.1.0.4";
+    return cfg;
+}
+
+bool
+isSupported(const FsConfig &cfg)
+{
+    bool timing_mode = cfg.cpuType == CpuType::TimingSimple ||
+                       cfg.cpuType == CpuType::O3;
+    if (timing_mode && cfg.memSystem == "classic" && cfg.numCpus > 1)
+        return false;
+    if (cfg.cpuType == CpuType::AtomicSimple &&
+        cfg.memSystem != "classic")
+        return false;
+    return true;
+}
+
+} // anonymous namespace
+
+TEST(KnownIssues, CensusCountsMatchThePaper)
+{
+    std::map<DefectPlan::Kind, int> counts;
+    int supported_o3 = 0, unsupported = 0, total = 0;
+
+    for (CpuType cpu : {CpuType::Kvm, CpuType::AtomicSimple,
+                        CpuType::TimingSimple, CpuType::O3}) {
+        for (const char *mem :
+             {"classic", "MI_example", "MESI_Two_Level"}) {
+            for (unsigned cores : {1u, 2u, 4u, 8u}) {
+                for (const auto &kernel : fig8Kernels()) {
+                    for (BootType boot :
+                         {BootType::KernelOnly, BootType::Systemd}) {
+                        ++total;
+                        FsConfig cfg = makeConfig(cpu, mem, cores,
+                                                  kernel, boot);
+                        if (!isSupported(cfg)) {
+                            ++unsupported;
+                            continue;
+                        }
+                        DefectPlan plan = knownIssueFor(cfg);
+                        ++counts[plan.kind];
+                        if (cpu == CpuType::O3)
+                            ++supported_o3;
+                        if (plan.kind != DefectPlan::Kind::None) {
+                            // Only the O3CPU is implicated.
+                            EXPECT_EQ(cpu, CpuType::O3)
+                                << cfg.signature();
+                        }
+                        if (plan.kind == DefectPlan::Kind::Deadlock) {
+                            // All deadlocks are MI_example runs.
+                            EXPECT_EQ(std::string(mem), "MI_example")
+                                << cfg.signature();
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    EXPECT_EQ(total, 480);
+    EXPECT_EQ(unsupported, 140); // 30 timing + 30 o3 + 80 atomic
+    // The paper's numbers, exactly.
+    EXPECT_EQ(counts[DefectPlan::Kind::KernelPanic], 27);
+    EXPECT_EQ(counts[DefectPlan::Kind::HostSegfault], 11);
+    EXPECT_EQ(counts[DefectPlan::Kind::Deadlock], 4);
+    EXPECT_EQ(counts[DefectPlan::Kind::Livelock], 16);
+    // O3 successes: 90 supported - 58 defects = 32 (~40%).
+    int o3_success = supported_o3 - 27 - 11 - 4 - 16;
+    EXPECT_EQ(o3_success, 32);
+}
+
+TEST(KnownIssues, OnlyTheBuggedVersionIsAffected)
+{
+    FsConfig cfg = makeConfig(CpuType::O3, "MESI_Two_Level", 4,
+                              "4.4.186", BootType::KernelOnly);
+    EXPECT_NE(knownIssueFor(cfg).kind, DefectPlan::Kind::None);
+
+    cfg.simVersion = "21.0";
+    EXPECT_EQ(knownIssueFor(cfg).kind, DefectPlan::Kind::None);
+    cfg.simVersion = "";
+    EXPECT_EQ(knownIssueFor(cfg).kind, DefectPlan::Kind::None);
+}
+
+TEST(KnownIssues, DefectsAreDeterministic)
+{
+    FsConfig cfg = makeConfig(CpuType::O3, "MI_example", 8, "4.4.186",
+                              BootType::Systemd);
+    DefectPlan a = knownIssueFor(cfg);
+    DefectPlan b = knownIssueFor(cfg);
+    EXPECT_EQ(a.kind, b.kind);
+    EXPECT_EQ(a.detail, b.detail);
+    EXPECT_EQ(a.kind, DefectPlan::Kind::Deadlock);
+}
+
+TEST(KnownIssues, SegfaultsCiteTheTracker)
+{
+    // The paper records the segfault as GEM5-782.
+    FsConfig cfg = makeConfig(CpuType::O3, "MESI_Two_Level", 2,
+                              "5.4.49", BootType::KernelOnly);
+    DefectPlan plan = knownIssueFor(cfg);
+    ASSERT_EQ(plan.kind, DefectPlan::Kind::HostSegfault);
+    EXPECT_NE(plan.detail.find("GEM5-782"), std::string::npos);
+}
+
+TEST(KnownIssues, ConfigSignatureIsInjectiveAcrossTheGrid)
+{
+    std::set<std::string> signatures;
+    int n = 0;
+    for (CpuType cpu : {CpuType::Kvm, CpuType::O3}) {
+        for (const char *mem : {"classic", "MI_example"}) {
+            for (unsigned cores : {1u, 8u}) {
+                for (BootType boot :
+                     {BootType::KernelOnly, BootType::Systemd}) {
+                    FsConfig cfg = makeConfig(cpu, mem, cores,
+                                              "4.19.83", boot);
+                    signatures.insert(cfg.signature());
+                    ++n;
+                }
+            }
+        }
+    }
+    EXPECT_EQ(signatures.size(), std::size_t(n));
+}

@@ -1,0 +1,72 @@
+/** @file Unit tests for the MD5 implementation against RFC 1321 vectors. */
+
+#include <gtest/gtest.h>
+
+#include "base/logging.hh"
+#include "base/md5.hh"
+
+using g5::Md5;
+
+TEST(Md5, Rfc1321Vectors)
+{
+    // The canonical test suite from RFC 1321 appendix A.5.
+    EXPECT_EQ(Md5::hashString(""), "d41d8cd98f00b204e9800998ecf8427e");
+    EXPECT_EQ(Md5::hashString("a"), "0cc175b9c0f1b6a831c399e269772661");
+    EXPECT_EQ(Md5::hashString("abc"), "900150983cd24fb0d6963f7d28e17f72");
+    EXPECT_EQ(Md5::hashString("message digest"),
+              "f96b697d7cb7938d525a2f31aaf161d0");
+    EXPECT_EQ(Md5::hashString("abcdefghijklmnopqrstuvwxyz"),
+              "c3fcd3d76192e4007dfb496cca67e13b");
+    EXPECT_EQ(Md5::hashString("ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmn"
+                              "opqrstuvwxyz0123456789"),
+              "d174ab98d277d9f5a5611c2c9f419d9f");
+    EXPECT_EQ(Md5::hashString("1234567890123456789012345678901234567890"
+                              "1234567890123456789012345678901234567890"),
+              "57edf4a22be3c955ac49da2e2107b67a");
+}
+
+TEST(Md5, IncrementalMatchesOneShot)
+{
+    std::string payload(100'000, 'x');
+    for (std::size_t i = 0; i < payload.size(); ++i)
+        payload[i] = char('a' + (i * 31) % 26);
+
+    Md5 h;
+    // Feed in awkward chunk sizes straddling block boundaries.
+    std::size_t pos = 0;
+    std::size_t chunk = 1;
+    while (pos < payload.size()) {
+        std::size_t take = std::min(chunk, payload.size() - pos);
+        h.update(payload.data() + pos, take);
+        pos += take;
+        chunk = (chunk * 7 + 3) % 200 + 1;
+    }
+    EXPECT_EQ(h.hexDigest(), Md5::hashString(payload));
+}
+
+TEST(Md5, BoundaryLengths)
+{
+    // Lengths around the 64-byte block and 56-byte padding boundaries.
+    for (std::size_t len : {55u, 56u, 57u, 63u, 64u, 65u, 119u, 120u}) {
+        std::string s(len, 'q');
+        Md5 a;
+        a.update(s);
+        Md5 b;
+        for (char c : s)
+            b.update(&c, 1);
+        EXPECT_EQ(a.hexDigest(), b.hexDigest()) << "len=" << len;
+    }
+}
+
+TEST(Md5, DigestTwiceIsAnError)
+{
+    Md5 h;
+    h.update("abc");
+    h.hexDigest();
+    EXPECT_THROW(h.hexDigest(), g5::PanicError);
+}
+
+TEST(Md5, HashFileMissingIsFatal)
+{
+    EXPECT_THROW(Md5::hashFile("/nonexistent/path/xyz"), g5::FatalError);
+}

@@ -1,0 +1,220 @@
+/** @file Unit tests for PhysMem, CacheArray, Dram, and ClassicMem. */
+
+#include <gtest/gtest.h>
+
+#include "base/logging.hh"
+#include "sim/eventq.hh"
+#include "sim/mem/cache_array.hh"
+#include "sim/mem/classic.hh"
+#include "sim/mem/physmem.hh"
+
+using namespace g5;
+using namespace g5::sim;
+using namespace g5::sim::mem;
+
+TEST(PhysMem, ReadsZeroUntilWritten)
+{
+    PhysMem mem;
+    EXPECT_EQ(mem.read(0x1000), 0);
+    mem.write(0x1000, 42);
+    EXPECT_EQ(mem.read(0x1000), 42);
+    EXPECT_EQ(mem.read(0x1008), 0);
+    EXPECT_EQ(mem.numPages(), 1u);
+}
+
+TEST(PhysMem, WordGranularityRoundsDown)
+{
+    PhysMem mem;
+    mem.write(0x1001, 7); // unaligned: same word as 0x1000
+    EXPECT_EQ(mem.read(0x1000), 7);
+    EXPECT_EQ(mem.read(0x1007), 7);
+    EXPECT_EQ(mem.read(0x1008), 0);
+}
+
+TEST(PhysMem, AmoAddReturnsOldValue)
+{
+    PhysMem mem;
+    EXPECT_EQ(mem.amoAdd(0x2000, 5), 0);
+    EXPECT_EQ(mem.amoAdd(0x2000, 3), 5);
+    EXPECT_EQ(mem.read(0x2000), 8);
+    EXPECT_EQ(mem.amoAdd(0x2000, -8), 8);
+    EXPECT_EQ(mem.read(0x2000), 0);
+}
+
+TEST(PhysMem, SparsePagesAreIndependent)
+{
+    PhysMem mem;
+    mem.write(0x0000'0000, 1);
+    mem.write(0x7000'0000, 2);
+    mem.write(0xFFFF'F000, 3);
+    EXPECT_EQ(mem.numPages(), 3u);
+    EXPECT_EQ(mem.read(0x0000'0000), 1);
+    EXPECT_EQ(mem.read(0x7000'0000), 2);
+    EXPECT_EQ(mem.read(0xFFFF'F000), 3);
+}
+
+TEST(CacheArray, HitsAfterFill)
+{
+    CacheArray cache(4096, 4); // 16 sets
+    EXPECT_EQ(cache.lookup(0x100), nullptr);
+    cache.fill(cache.victim(0x100), 0x100);
+    auto *line = cache.lookup(0x100);
+    ASSERT_NE(line, nullptr);
+    // Same block (64B): any offset inside hits.
+    EXPECT_EQ(cache.lookup(0x13F), line);
+    // Next block misses.
+    EXPECT_EQ(cache.lookup(0x140), nullptr);
+}
+
+TEST(CacheArray, LruEviction)
+{
+    CacheArray cache(2 * 64, 2); // 1 set, 2 ways
+    cache.fill(cache.victim(0x000), 0x000);
+    cache.fill(cache.victim(0x040), 0x040);
+    // Touch 0x000 so 0x040 becomes LRU.
+    cache.touch(cache.lookup(0x000));
+    cache.fill(cache.victim(0x080), 0x080);
+    EXPECT_NE(cache.lookup(0x000), nullptr);
+    EXPECT_EQ(cache.lookup(0x040), nullptr); // evicted
+    EXPECT_NE(cache.lookup(0x080), nullptr);
+}
+
+TEST(CacheArray, VictimPrefersInvalid)
+{
+    CacheArray cache(4 * 64, 4);
+    cache.fill(cache.victim(0x000), 0x000);
+    auto *v = cache.victim(0x100); // same set, three ways free
+    EXPECT_FALSE(v->valid);
+}
+
+TEST(CacheArray, InvalidateRemovesLine)
+{
+    CacheArray cache(4096, 4);
+    cache.fill(cache.victim(0x100), 0x100, 3);
+    EXPECT_EQ(cache.lookup(0x100)->state, 3);
+    cache.invalidate(0x100);
+    EXPECT_EQ(cache.lookup(0x100), nullptr);
+    cache.invalidate(0x200); // no-op on absent line
+}
+
+TEST(CacheArray, BadGeometryIsFatal)
+{
+    EXPECT_THROW(CacheArray(0, 4), FatalError);
+    EXPECT_THROW(CacheArray(4096, 0), FatalError);
+    EXPECT_THROW(CacheArray(100, 4), FatalError);   // not 64B multiple
+    EXPECT_THROW(CacheArray(3 * 64, 1), FatalError); // sets not 2^n
+}
+
+TEST(Dram, QueueingDelaysBackToBackBursts)
+{
+    DramConfig cfg;
+    cfg.accessLatency = 100;
+    cfg.burstGap = 10;
+    Dram dram(cfg);
+
+    EXPECT_EQ(dram.serviceLatency(1000, false), 100u); // idle channel
+    // Immediately following burst queues behind the first.
+    EXPECT_EQ(dram.serviceLatency(1000, false), 110u);
+    EXPECT_EQ(dram.serviceLatency(1000, true), 120u);
+    // After the channel drains, latency returns to the base.
+    EXPECT_EQ(dram.serviceLatency(5000, false), 100u);
+    EXPECT_EQ(dram.reads.value(), 3.0);
+    EXPECT_EQ(dram.writes.value(), 1.0);
+}
+
+namespace
+{
+
+/** Drive one timing access and return its latency in ticks. */
+Tick
+timedAccess(EventQueue &eq, ClassicMem &mem, int cpu, Addr addr,
+            bool write = false)
+{
+    Tick start = eq.curTick();
+    Tick done_at = 0;
+    mem.access(cpu, addr, write, [&] { done_at = eq.curTick(); });
+    eq.run();
+    return done_at - start;
+}
+
+} // anonymous namespace
+
+TEST(ClassicMem, HierarchyLatenciesOrdered)
+{
+    EventQueue eq;
+    ClassicConfig cfg;
+    ClassicMem mem(eq, cfg);
+
+    Tick cold = timedAccess(eq, mem, 0, 0x10000); // L1+L2 miss -> DRAM
+    Tick warm = timedAccess(eq, mem, 0, 0x10000); // L1 hit
+    EXPECT_GT(cold, warm);
+    EXPECT_EQ(warm, cfg.l1Latency);
+    EXPECT_GE(cold, cfg.l1Latency + cfg.l2Latency +
+                        cfg.dram.accessLatency);
+    EXPECT_EQ(mem.l1Hits.value(), 1.0);
+    EXPECT_EQ(mem.l1Misses.value(), 1.0);
+}
+
+TEST(ClassicMem, L2ServicesOtherCpusMisses)
+{
+    EventQueue eq;
+    ClassicConfig cfg;
+    cfg.numCpus = 2;
+    ClassicMem mem(eq, cfg);
+
+    timedAccess(eq, mem, 0, 0x20000);             // cpu0 pulls into L2
+    Tick cpu1 = timedAccess(eq, mem, 1, 0x20000); // cpu1: L1 miss, L2 hit
+    EXPECT_EQ(cpu1, cfg.l1Latency + cfg.l2Latency);
+    EXPECT_EQ(mem.l2Hits.value(), 1.0);
+}
+
+TEST(ClassicMem, AtomicAndTimingAgree)
+{
+    EventQueue eq1;
+    ClassicConfig cfg;
+    ClassicMem a(eq1, cfg);
+    Tick t_atomic = a.atomicAccess(0, 0x30000, false);
+
+    EventQueue eq2;
+    ClassicMem b(eq2, cfg);
+    Tick t_timing = timedAccess(eq2, b, 0, 0x30000);
+    EXPECT_EQ(t_atomic, t_timing);
+}
+
+TEST(ClassicMem, CapabilityMatrix)
+{
+    EventQueue eq;
+    ClassicMem mem(eq, ClassicConfig{});
+    EXPECT_TRUE(mem.supportsAtomicCpu());
+    EXPECT_FALSE(mem.supportsMultipleTimingCpus());
+    EXPECT_EQ(mem.protocolName(), "classic");
+}
+
+TEST(ClassicMem, UnknownCpuPanics)
+{
+    EventQueue eq;
+    ClassicMem mem(eq, ClassicConfig{});
+    EXPECT_THROW(mem.atomicAccess(5, 0x1000, false), PanicError);
+}
+
+TEST(ClassicMem, CapacityEvictionsGenerateDramTraffic)
+{
+    EventQueue eq;
+    ClassicConfig cfg;
+    cfg.l1SizeBytes = 1024; // tiny L1: 16 blocks
+    cfg.l1Assoc = 2;
+    cfg.l2SizeBytes = 4096; // tiny L2: 64 blocks
+    cfg.l2Assoc = 2;
+    ClassicMem mem(eq, cfg);
+
+    // Stream far more blocks than L2 holds, twice.
+    for (int round = 0; round < 2; ++round)
+        for (Addr a = 0; a < 128 * 64; a += 64)
+            mem.atomicAccess(0, a, false);
+
+    // The second round cannot hit in the 64-block L2 for all 128.
+    EXPECT_GT(mem.l2Misses.value(), 128.0);
+    const auto *dram_reads = mem.statGroup().find("dram_reads");
+    ASSERT_NE(dram_reads, nullptr);
+    EXPECT_GT(dram_reads->value(), 128.0);
+}

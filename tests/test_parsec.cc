@@ -1,0 +1,134 @@
+/** @file Integration tests for the PARSEC workload stack (use-case 1). */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "base/logging.hh"
+#include "resources/catalog.hh"
+#include "sim/fs/fs_system.hh"
+#include "workloads/parsec.hh"
+
+using namespace g5;
+using namespace g5::sim;
+using namespace g5::sim::fs;
+using namespace g5::workloads;
+
+namespace
+{
+
+/** Boot + run one PARSEC app on a PARSEC image. */
+SimResult
+runParsec(const std::string &app, const std::string &release,
+          unsigned cores, CpuType cpu = CpuType::Kvm)
+{
+    static std::map<std::string, DiskImagePtr> image_cache;
+    auto it = image_cache.find(release);
+    if (it == image_cache.end())
+        it = image_cache.emplace(release,
+                                 resources::buildParsecImage(release))
+                 .first;
+
+    FsConfig cfg;
+    cfg.cpuType = cpu;
+    cfg.numCpus = cores;
+    cfg.memSystem = "classic";
+    cfg.kernelVersion = release == "18.04" ? "4.15.18" : "5.4.51";
+    cfg.bootType = BootType::KernelOnly;
+    cfg.disk = it->second;
+    cfg.initProgramPath = "/parsec/bin/" + app;
+    cfg.initArg = cores; // nthreads
+    cfg.simVersion = ""; // bug-free
+    FsSystem fs(cfg);
+    return fs.run(60'000'000'000'000ULL); // 60 s simulated
+}
+
+} // anonymous namespace
+
+TEST(Parsec, SuiteHasTheTenTableTwoApps)
+{
+    const auto &suite = parsecSuite();
+    ASSERT_EQ(suite.size(), 10u);
+    for (const char *name :
+         {"blackscholes", "bodytrack", "dedup", "ferret", "fluidanimate",
+          "freqmine", "raytrace", "streamcluster", "swaptions", "vips"}) {
+        EXPECT_NO_THROW(parsecApp(name)) << name;
+    }
+    EXPECT_THROW(parsecApp("x264"), g5::FatalError); // excluded, as in paper
+}
+
+TEST(Parsec, CompilerProfilesDifferAcrossReleases)
+{
+    auto old_prog =
+        compileParsecApp(parsecApp("blackscholes"), ubuntu1804());
+    auto new_prog =
+        compileParsecApp(parsecApp("blackscholes"), ubuntu2004());
+    // GCC 9.3 emits a different (larger) instruction stream.
+    EXPECT_NE(old_prog->size(), new_prog->size());
+}
+
+TEST(Parsec, ImageCarriesAllBinariesAndProvenance)
+{
+    auto image = resources::buildParsecImage("20.04");
+    auto paths = image->programPaths();
+    EXPECT_EQ(paths.size(), 10u);
+    EXPECT_TRUE(image->hasFile("/parsec/bin/blackscholes"));
+    EXPECT_EQ(image->osInfo().getString("compiler"), "gcc-9.3");
+    // The packer template's steps are recorded.
+    EXPECT_GE(image->manifest().at("provenance").size(), 11u);
+    EXPECT_THROW(resources::buildParsecImage("16.04"), g5::FatalError);
+}
+
+TEST(Parsec, RunsToCompletionAndMarksRoi)
+{
+    SimResult r = runParsec("blackscholes", "20.04", 2);
+    ASSERT_TRUE(r.success()) << r.exitCause;
+    EXPECT_NE(r.consoleText.find("blackscholes: starting"),
+              std::string::npos);
+    EXPECT_NE(r.consoleText.find("blackscholes: ROI complete"),
+              std::string::npos);
+    EXPECT_GT(r.workBeginTick, 0u);
+    EXPECT_GT(r.workEndTick, r.workBeginTick);
+}
+
+TEST(Parsec, MultithreadingSpeedsUpRoi)
+{
+    SimResult one = runParsec("swaptions", "20.04", 1);
+    SimResult four = runParsec("swaptions", "20.04", 4);
+    ASSERT_TRUE(one.success());
+    ASSERT_TRUE(four.success());
+    double speedup = double(one.roiTicks()) / double(four.roiTicks());
+    EXPECT_GT(speedup, 2.0) << "speedup " << speedup;
+    EXPECT_LT(speedup, 4.5);
+}
+
+TEST(Parsec, SerialFractionCapsScaling)
+{
+    // dedup has an 8% serial fraction: Amdahl caps its speedup well
+    // below the embarrassingly-parallel swaptions.
+    SimResult one = runParsec("dedup", "20.04", 8);
+    SimResult swap = runParsec("swaptions", "20.04", 8);
+    SimResult one_d = runParsec("dedup", "20.04", 1);
+    SimResult one_s = runParsec("swaptions", "20.04", 1);
+    double dedup_speedup =
+        double(one_d.roiTicks()) / double(one.roiTicks());
+    double swap_speedup =
+        double(one_s.roiTicks()) / double(swap.roiTicks());
+    EXPECT_LT(dedup_speedup, swap_speedup);
+}
+
+TEST(Parsec, NewerUserlandExecutesMoreInstructionsFaster)
+{
+    // The Fig 6 mechanism, on the timing CPU: Ubuntu 20.04 binaries
+    // execute more instructions yet finish sooner. streamcluster is
+    // memory-bound, where the layout effect dominates.
+    SimResult old_run =
+        runParsec("streamcluster", "18.04", 1, CpuType::TimingSimple);
+    SimResult new_run =
+        runParsec("streamcluster", "20.04", 1, CpuType::TimingSimple);
+    ASSERT_TRUE(old_run.success()) << old_run.exitCause;
+    ASSERT_TRUE(new_run.success()) << new_run.exitCause;
+
+    EXPECT_GT(new_run.totalInsts, old_run.totalInsts);
+    EXPECT_LT(new_run.roiTicks(), old_run.roiTicks());
+}

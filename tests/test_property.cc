@@ -1,0 +1,252 @@
+/** @file Property-based tests: randomized round-trips and invariants. */
+
+#include <gtest/gtest.h>
+
+#include "base/json.hh"
+#include "base/md5.hh"
+#include "base/random.hh"
+#include "db/collection.hh"
+#include "sim/fs/guest_abi.hh"
+#include "sim/isa/program.hh"
+#include "workloads/parsec.hh"
+
+using namespace g5;
+
+namespace
+{
+
+/** Generate a random JSON document of bounded depth. */
+Json
+randomJson(Rng &rng, int depth)
+{
+    switch (depth <= 0 ? rng.below(5) : rng.below(7)) {
+      case 0:
+        return Json();
+      case 1:
+        return Json(rng.chance(0.5));
+      case 2:
+        return Json(std::int64_t(rng.next()) >> rng.below(32));
+      case 3:
+        return Json(rng.gaussian(0, 1e6));
+      case 4: {
+        std::string s;
+        std::size_t len = rng.below(20);
+        for (std::size_t i = 0; i < len; ++i) {
+            // Mix printable, quotes, escapes, control chars, UTF-8.
+            static const char alphabet[] =
+                "abcXYZ0189 \"\\\n\t/{}[]:,\x01\x1f\xc3\xa9";
+            s += alphabet[rng.below(sizeof(alphabet) - 1)];
+        }
+        return Json(s);
+      }
+      case 5: {
+        Json arr = Json::array();
+        std::size_t n = rng.below(5);
+        for (std::size_t i = 0; i < n; ++i)
+            arr.push(randomJson(rng, depth - 1));
+        return arr;
+      }
+      default: {
+        Json obj = Json::object();
+        std::size_t n = rng.below(5);
+        for (std::size_t i = 0; i < n; ++i)
+            obj["k" + std::to_string(rng.below(10))] =
+                randomJson(rng, depth - 1);
+        return obj;
+      }
+    }
+}
+
+} // anonymous namespace
+
+class JsonRoundTripProperty : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(JsonRoundTripProperty, ParseOfDumpIsIdentity)
+{
+    Rng rng(std::uint64_t(GetParam()) * 2654435761u + 17);
+    for (int i = 0; i < 50; ++i) {
+        Json doc = randomJson(rng, 4);
+        Json compact = Json::parse(doc.dump());
+        EXPECT_EQ(compact, doc);
+        Json pretty = Json::parse(doc.dump(2));
+        EXPECT_EQ(pretty, doc);
+        // Serialization is a pure function.
+        EXPECT_EQ(doc.dump(), compact.dump());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JsonRoundTripProperty,
+                         ::testing::Range(0, 8));
+
+TEST(Md5Property, ChunkingNeverChangesTheDigest)
+{
+    Rng rng(123);
+    for (int trial = 0; trial < 20; ++trial) {
+        std::size_t len = rng.below(3000);
+        std::string payload;
+        payload.reserve(len);
+        for (std::size_t i = 0; i < len; ++i)
+            payload += char(rng.below(256));
+
+        Md5 whole;
+        whole.update(payload);
+        Md5 chunked;
+        std::size_t pos = 0;
+        while (pos < payload.size()) {
+            std::size_t take = std::min<std::size_t>(
+                1 + rng.below(97), payload.size() - pos);
+            chunked.update(payload.data() + pos, take);
+            pos += take;
+        }
+        EXPECT_EQ(whole.hexDigest(), chunked.hexDigest());
+    }
+}
+
+TEST(Md5Property, DistinctInputsDistinctDigests)
+{
+    // Not a collision proof — a sanity check over structured inputs.
+    std::set<std::string> digests;
+    for (int i = 0; i < 500; ++i)
+        digests.insert(Md5::hashString("input-" + std::to_string(i)));
+    EXPECT_EQ(digests.size(), 500u);
+}
+
+TEST(CollectionProperty, RandomOpsPreserveInvariants)
+{
+    Rng rng(777);
+    db::Collection coll("fuzz");
+    coll.createUniqueIndex("uniq");
+    std::size_t live = 0;
+    std::set<std::int64_t> uniq_values;
+
+    for (int op = 0; op < 400; ++op) {
+        switch (rng.below(4)) {
+          case 0: { // insert
+            Json doc = Json::object();
+            doc["v"] = std::int64_t(rng.below(50));
+            std::int64_t u = std::int64_t(rng.below(100));
+            doc["uniq"] = u;
+            if (uniq_values.count(u)) {
+                EXPECT_THROW(coll.insertOne(doc),
+                             db::DuplicateKeyError);
+            } else {
+                coll.insertOne(doc);
+                uniq_values.insert(u);
+                ++live;
+            }
+            break;
+          }
+          case 1: { // delete
+            std::int64_t v = std::int64_t(rng.below(50));
+            Json q = Json::object();
+            q["v"] = v;
+            auto hit = coll.find(q);
+            std::size_t removed = coll.deleteMany(q);
+            EXPECT_EQ(removed, hit.size());
+            live -= removed;
+            for (const auto &doc : hit)
+                uniq_values.erase(doc.getInt("uniq"));
+            break;
+          }
+          case 2: { // query consistency
+            Json q = Json::object();
+            q["v"] = Json::object({{"$lt", Json(25)}});
+            auto hits = coll.find(q);
+            EXPECT_EQ(coll.count(q), hits.size());
+            for (const auto &doc : hits)
+                EXPECT_LT(doc.getInt("v"), 25);
+            break;
+          }
+          default: { // JSONL round trip preserves everything
+            db::Collection copy("copy");
+            copy.loadJsonl(coll.toJsonl());
+            EXPECT_EQ(copy.size(), coll.size());
+            break;
+          }
+        }
+        EXPECT_EQ(coll.size(), live);
+        EXPECT_EQ(coll.distinct("uniq").size(), uniq_values.size());
+    }
+}
+
+TEST(ProgramProperty, SerializationIsLossless)
+{
+    Rng rng(31337);
+    for (int trial = 0; trial < 10; ++trial) {
+        auto prog = std::make_shared<sim::isa::Program>(
+            "fuzz-" + std::to_string(trial));
+        std::size_t n = 20 + rng.below(200);
+        for (std::size_t i = 0; i < n; ++i) {
+            sim::isa::Inst inst;
+            inst.op = sim::isa::Op(rng.below(
+                std::uint64_t(sim::isa::Op::NumOps)));
+            inst.rd = std::uint8_t(rng.below(32));
+            inst.rs = std::uint8_t(rng.below(32));
+            inst.rt = std::uint8_t(rng.below(32));
+            inst.imm = std::int64_t(rng.next());
+            prog->code.push_back(inst);
+        }
+        prog->strings.push_back("console \"msg\" with\nnewline");
+
+        auto back = sim::isa::Program::fromJson(
+            Json::parse(prog->toJson().dump()));
+        ASSERT_EQ(back->size(), prog->size());
+        for (std::size_t i = 0; i < n; ++i) {
+            EXPECT_EQ(back->code[i].op, prog->code[i].op);
+            EXPECT_EQ(back->code[i].imm, prog->code[i].imm);
+        }
+        EXPECT_EQ(back->strings, prog->strings);
+    }
+}
+
+/** Every PARSEC app compiles for both userlands and the binaries are
+ *  structurally sane. */
+class ParsecCompileProperty
+    : public ::testing::TestWithParam<std::string>
+{};
+
+TEST_P(ParsecCompileProperty, CompilesForBothUserlands)
+{
+    const auto &app = workloads::parsecApp(GetParam());
+    for (const auto &os :
+         {workloads::ubuntu1804(), workloads::ubuntu2004()}) {
+        auto prog = workloads::compileParsecApp(app, os);
+        ASSERT_GT(prog->size(), 50u) << os.name;
+        // Every branch/jump target stays inside the program.
+        for (const auto &inst : prog->code) {
+            if (sim::isa::isControlOp(inst.op)) {
+                EXPECT_GE(inst.imm, 0);
+                EXPECT_LT(inst.imm, std::int64_t(prog->size()));
+            }
+        }
+        // Every SYS_WRITE string index resolves.
+        for (const auto &inst : prog->code) {
+            if (inst.op == sim::isa::Op::Syscall &&
+                inst.imm == sim::fs::SYS_WRITE) {
+                // (The index is loaded by the preceding movi; checked
+                // indirectly: the table must not be empty.)
+                EXPECT_FALSE(prog->strings.empty());
+            }
+        }
+        // The ROI is properly bracketed.
+        int begins = 0, ends = 0;
+        for (const auto &inst : prog->code) {
+            if (inst.op == sim::isa::Op::M5Op) {
+                begins += inst.imm == sim::fs::M5_WORK_BEGIN;
+                ends += inst.imm == sim::fs::M5_WORK_END;
+            }
+        }
+        EXPECT_EQ(begins, 1);
+        EXPECT_EQ(ends, 1);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Suite, ParsecCompileProperty,
+    ::testing::ValuesIn([] {
+        std::vector<std::string> names;
+        for (const auto &app : workloads::parsecSuite())
+            names.push_back(app.name);
+        return names;
+    }()));

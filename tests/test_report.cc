@@ -1,0 +1,100 @@
+/** @file Tests for the analysis/report helpers (CSV export, charts). */
+
+#include <gtest/gtest.h>
+
+#include "art/report.hh"
+#include "base/logging.hh"
+#include "base/str.hh"
+
+using namespace g5;
+using namespace g5::art;
+
+namespace
+{
+
+ArtifactDb &
+seededDb()
+{
+    static auto database = std::make_shared<db::Database>();
+    static ArtifactDb adb(database);
+    static bool seeded = false;
+    if (!seeded) {
+        seeded = true;
+        for (int i = 0; i < 4; ++i) {
+            Json doc = Json::object();
+            doc["name"] = "run-" + std::to_string(i);
+            doc["status"] = i == 3 ? "FAILURE" : "SUCCESS";
+            doc["simTicks"] = (i + 1) * 1000;
+            Json params = Json::object();
+            params["cpu"] = i % 2 ? "timing" : "kvm";
+            doc["params"] = params;
+            if (i == 2)
+                doc["note"] = "has, comma and \"quotes\"";
+            adb.runs().insertOne(std::move(doc));
+        }
+    }
+    return adb;
+}
+
+} // anonymous namespace
+
+TEST(Report, CsvExportsSelectedColumns)
+{
+    Json q = Json::object();
+    q["status"] = "SUCCESS";
+    std::string csv = runsToCsv(seededDb(), q,
+                                {"name", "params.cpu", "simTicks"});
+    auto lines = split(trim(csv), '\n');
+    ASSERT_EQ(lines.size(), 4u); // header + 3 successes
+    EXPECT_EQ(lines[0], "name,params.cpu,simTicks");
+    EXPECT_EQ(lines[1], "run-0,kvm,1000");
+    EXPECT_EQ(lines[2], "run-1,timing,2000");
+}
+
+TEST(Report, CsvQuotesSpecialCharacters)
+{
+    Json q = Json::object();
+    q["name"] = "run-2";
+    std::string csv = runsToCsv(seededDb(), q, {"name", "note"});
+    EXPECT_NE(csv.find("\"has, comma and \"\"quotes\"\"\""),
+              std::string::npos);
+}
+
+TEST(Report, CsvMissingFieldsRenderEmpty)
+{
+    Json q = Json::object();
+    q["name"] = "run-0";
+    std::string csv = runsToCsv(seededDb(), q, {"name", "zzz.missing"});
+    auto lines = split(trim(csv), '\n');
+    ASSERT_EQ(lines.size(), 2u);
+    EXPECT_EQ(lines[1], "run-0,");
+    EXPECT_THROW(runsToCsv(seededDb(), q, {}), FatalError);
+}
+
+TEST(Report, CollectMetricSkipsNonNumeric)
+{
+    Json all = Json::object();
+    auto metric = collectMetric(seededDb(), all, "simTicks");
+    EXPECT_EQ(metric.size(), 4u);
+    metric = collectMetric(seededDb(), all, "status"); // strings
+    EXPECT_TRUE(metric.empty());
+}
+
+TEST(Report, AsciiBarChartScalesToWidth)
+{
+    std::string chart = asciiBarChart(
+        {{"short", 10.0}, {"long-label", 20.0}, {"zero", 0.0}}, 20);
+    auto lines = split(trim(chart), '\n');
+    ASSERT_EQ(lines.size(), 3u);
+    // The max value fills the width; half value fills half.
+    EXPECT_NE(lines[1].find(std::string(20, '#')), std::string::npos);
+    EXPECT_NE(lines[0].find(std::string(10, '#')), std::string::npos);
+    EXPECT_EQ(lines[2].find('#'), std::string::npos);
+    // Labels are aligned.
+    EXPECT_EQ(lines[0].find('|'), lines[1].find('|'));
+
+    EXPECT_EQ(asciiBarChart({}), "(no data)\n");
+    setQuiet(true);
+    EXPECT_THROW(asciiBarChart({{"bad", -1.0}}), FatalError);
+    setQuiet(false);
+}

@@ -1,0 +1,161 @@
+/** @file Tests for the g5-resources catalog, Packer builder, images. */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "base/logging.hh"
+#include "resources/catalog.hh"
+#include "resources/packer.hh"
+#include "workloads/parsec.hh"
+
+using namespace g5;
+using namespace g5::resources;
+
+TEST(Catalog, TableOneInventory)
+{
+    // All 17 Table I rows present, with the right classes.
+    ASSERT_EQ(catalog().size(), 17u);
+    for (const char *name :
+         {"boot-exit", "gapbs", "hack-back", "linux-kernel", "npb",
+          "parsec", "riscv-fs", "spec-2006", "spec-2017", "GCN-docker",
+          "HeteroSync", "DNNMark", "halo-finder", "Pennant", "LULESH",
+          "hip-samples", "gem5-tests"}) {
+        ASSERT_NE(findResource(name), nullptr) << name;
+    }
+    EXPECT_EQ(findResource("boot-exit")->type,
+              ResourceType::BenchmarkTest);
+    EXPECT_EQ(findResource("linux-kernel")->type, ResourceType::Kernel);
+    EXPECT_EQ(findResource("GCN-docker")->type,
+              ResourceType::Environment);
+    EXPECT_EQ(findResource("GCN-docker")->variant, "GCN3_X86");
+    EXPECT_TRUE(findResource("spec-2006")->requiresLicense);
+    EXPECT_TRUE(findResource("spec-2017")->requiresLicense);
+    EXPECT_FALSE(findResource("parsec")->requiresLicense);
+    EXPECT_EQ(findResource("rodinia"), nullptr);
+}
+
+TEST(Catalog, EntriesSerializeForTheResourceWebsite)
+{
+    Json j = findResource("npb")->toJson();
+    EXPECT_EQ(j.getString("name"), "npb");
+    EXPECT_EQ(j.getString("type"), "Benchmark");
+    EXPECT_FALSE(j.getString("description").empty());
+}
+
+TEST(Packer, TemplateRecordsProvisioners)
+{
+    PackerBuilder pb("demo.json");
+    pb.baseOs("ubuntu", "18.04", "4.15.18", "gcc-7.4")
+        .file("/etc/motd", "hello")
+        .provision("install benchmark", [](sim::fs::DiskImage &img) {
+            img.addDataFile("/opt/bench", "payload");
+        });
+
+    Json tmpl = pb.templateJson();
+    EXPECT_EQ(tmpl.getString("template"), "demo.json");
+    EXPECT_EQ(tmpl.at("provisioners").size(), 2u);
+
+    auto img = pb.build();
+    EXPECT_TRUE(img->hasFile("/etc/motd"));
+    EXPECT_TRUE(img->hasFile("/opt/bench"));
+    EXPECT_EQ(img->osInfo().getString("release"), "18.04");
+    // Provenance: template line + one line per step.
+    EXPECT_EQ(img->manifest().at("provenance").size(), 3u);
+}
+
+TEST(Packer, RepeatedBuildsAreIdentical)
+{
+    PackerBuilder pb("det.json");
+    pb.baseOs("ubuntu", "20.04", "5.4.51", "gcc-9.3")
+        .file("/a", "1")
+        .file("/b", "2");
+    EXPECT_EQ(pb.build()->serialize(), pb.build()->serialize());
+}
+
+TEST(Images, BootExitHasNoWorkloadPayload)
+{
+    auto img = buildBootExitImage();
+    EXPECT_TRUE(img->programPaths().empty());
+    EXPECT_TRUE(img->hasFile("/etc/os-release"));
+    EXPECT_EQ(img->osInfo().getString("kernel"), "4.15.18");
+}
+
+TEST(Images, ParsecImagesDifferByToolchain)
+{
+    auto old_img = buildParsecImage("18.04");
+    auto new_img = buildParsecImage("20.04");
+    EXPECT_EQ(old_img->programPaths().size(), 10u);
+    EXPECT_EQ(new_img->programPaths().size(), 10u);
+    // Same paths, different binaries: the images must not be equal.
+    EXPECT_EQ(old_img->programPaths(), new_img->programPaths());
+    EXPECT_NE(old_img->serialize(), new_img->serialize());
+    // Program indexes are stable across builds of the same release.
+    EXPECT_EQ(old_img->programIndex("/parsec/bin/blackscholes"),
+              buildParsecImage("18.04")->programIndex(
+                  "/parsec/bin/blackscholes"));
+}
+
+TEST(Images, SpecLicensingPolicy)
+{
+    setQuiet(true);
+    EXPECT_THROW(buildSpecImage("2006", std::nullopt), FatalError);
+    EXPECT_THROW(buildSpecImage("2017", std::string("")), FatalError);
+    EXPECT_THROW(buildSpecImage("1999", std::string("iso")), FatalError);
+    setQuiet(false);
+    auto img = buildSpecImage("2006", std::string("my-spec.iso"));
+    EXPECT_TRUE(img->hasFile("/spec/iso-source"));
+}
+
+TEST(Images, DiskImageFileRoundTrip)
+{
+    namespace stdfs = std::filesystem;
+    auto img = buildParsecImage("20.04");
+    std::string path = (stdfs::temp_directory_path() /
+                        "g5_res_test" / "parsec.img")
+                           .string();
+    img->save(path);
+    auto loaded = sim::fs::DiskImage::load(path);
+    EXPECT_EQ(loaded->serialize(), img->serialize());
+    // A loaded program still deserializes and matches.
+    auto prog = loaded->programByPath("/parsec/bin/vips");
+    EXPECT_GT(prog->size(), 100u);
+    stdfs::remove_all(stdfs::path(path).parent_path());
+}
+
+TEST(Images, DeserializeRejectsJunk)
+{
+    setQuiet(true);
+    EXPECT_THROW(sim::fs::DiskImage::deserialize("not json"),
+                 FatalError);
+    EXPECT_THROW(sim::fs::DiskImage::deserialize(R"({"format":"EXT4"})"),
+                 FatalError);
+    EXPECT_THROW(sim::fs::DiskImage::load("/nonexistent.img"),
+                 FatalError);
+    setQuiet(false);
+}
+
+TEST(Images, ProgramAccessErrors)
+{
+    auto img = buildParsecImage("18.04");
+    setQuiet(true);
+    EXPECT_THROW(img->programAt(-1), FatalError);
+    EXPECT_THROW(img->programAt(100), FatalError);
+    EXPECT_THROW(img->programByPath("/bin/missing"), FatalError);
+    EXPECT_THROW(img->programByPath("/etc/os-release"), FatalError);
+    setQuiet(false);
+    EXPECT_EQ(img->programIndex("/bin/missing"), -1);
+}
+
+TEST(Kernels, SupportedListCoversBothUseCases)
+{
+    const auto &kernels = supportedKernels();
+    EXPECT_EQ(kernels.size(), 7u); // 5 LTS + the two Ubuntu kernels
+    bool has_1804 = false, has_2004 = false;
+    for (const auto &v : kernels) {
+        has_1804 |= v == "4.15.18";
+        has_2004 |= v == "5.4.51";
+    }
+    EXPECT_TRUE(has_1804);
+    EXPECT_TRUE(has_2004);
+}

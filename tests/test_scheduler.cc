@@ -1,0 +1,104 @@
+/** @file Unit tests for the Celery-substitute task queue. */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "base/logging.hh"
+#include "base/json.hh"
+#include "scheduler/task_queue.hh"
+
+using g5::Json;
+using namespace g5::scheduler;
+
+TEST(TaskQueue, RunsTasksAndReturnsResults)
+{
+    TaskQueue q(2);
+    auto fut = q.applyAsync("answer", [](CancelToken &) {
+        Json j = Json::object();
+        j["value"] = 42;
+        return j;
+    });
+    EXPECT_EQ(fut->result().getInt("value"), 42);
+    EXPECT_EQ(fut->state(), TaskState::Success);
+    EXPECT_TRUE(fut->error().empty());
+}
+
+TEST(TaskQueue, ManyTasksAllComplete)
+{
+    TaskQueue q(4);
+    std::atomic<int> ran{0};
+    std::vector<TaskFuturePtr> futs;
+    for (int i = 0; i < 50; ++i) {
+        futs.push_back(q.applyAsync("t" + std::to_string(i),
+                                    [&ran, i](CancelToken &) {
+                                        ++ran;
+                                        return Json(std::int64_t(i));
+                                    }));
+    }
+    q.waitAll();
+    EXPECT_EQ(ran.load(), 50);
+    for (int i = 0; i < 50; ++i)
+        EXPECT_EQ(futs[i]->result().asInt(), i);
+    Json s = q.summary();
+    EXPECT_EQ(s.getInt("SUCCESS"), 50);
+    EXPECT_EQ(s.getInt("total"), 50);
+}
+
+TEST(TaskQueue, FailureCapturesMessage)
+{
+    TaskQueue q(1);
+    auto fut = q.applyAsync("boom", [](CancelToken &) -> Json {
+        throw std::runtime_error("simulated gem5 abort");
+    });
+    fut->wait();
+    EXPECT_EQ(fut->state(), TaskState::Failure);
+    EXPECT_EQ(fut->error(), "simulated gem5 abort");
+}
+
+TEST(TaskQueue, TimeoutViaCheckpoint)
+{
+    TaskQueue q(1);
+    auto fut = q.applyAsync(
+        "hang",
+        [](CancelToken &token) -> Json {
+            for (;;) {
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(5));
+                token.checkpoint(); // throws once the deadline passes
+            }
+        },
+        0.05);
+    fut->wait();
+    EXPECT_EQ(fut->state(), TaskState::Timeout);
+    EXPECT_GE(fut->wallSeconds(), 0.04);
+}
+
+TEST(TaskQueue, InlineBackendRunsSynchronously)
+{
+    TaskQueue q(0, TaskQueue::Backend::Inline);
+    bool ran = false;
+    auto fut = q.applyAsync("sync", [&ran](CancelToken &) {
+        ran = true;
+        return Json(1);
+    });
+    EXPECT_TRUE(ran); // finished before applyAsync returned
+    EXPECT_EQ(fut->state(), TaskState::Success);
+}
+
+TEST(CancelToken, ExplicitCancel)
+{
+    CancelToken token;
+    EXPECT_FALSE(token.expired());
+    token.cancel();
+    EXPECT_TRUE(token.expired());
+    EXPECT_THROW(token.checkpoint(), TaskTimeout);
+}
+
+TEST(TaskQueue, ZeroWorkersThreadedIsFatal)
+{
+    EXPECT_THROW(TaskQueue(0, TaskQueue::Backend::Threaded),
+                 g5::FatalError);
+}

@@ -1,0 +1,73 @@
+/** @file Tests for the statistics framework. */
+
+#include <gtest/gtest.h>
+
+#include "base/logging.hh"
+#include "sim/stats.hh"
+
+using namespace g5;
+using namespace g5::sim;
+
+TEST(Stats, ScalarArithmetic)
+{
+    Scalar s;
+    EXPECT_EQ(s.value(), 0.0);
+    ++s;
+    s += 2.5;
+    s.inc();
+    s.inc(0.5);
+    EXPECT_DOUBLE_EQ(s.value(), 5.0);
+    s.set(-1.0);
+    EXPECT_DOUBLE_EQ(s.value(), -1.0);
+}
+
+TEST(Stats, TreeDumpAndFind)
+{
+    StatGroup root("system");
+    StatGroup cpu("cpu0");
+    Scalar insts, cycles, hits;
+    root.addChild(&cpu);
+    cpu.addStat("numInsts", &insts, "committed instructions");
+    cpu.addStat("numCycles", &cycles, "cycles");
+    root.addStat("l2_hits", &hits, "L2 hits");
+
+    insts.set(1000);
+    hits.set(7);
+
+    const Scalar *found = root.find("cpu0.numInsts");
+    ASSERT_NE(found, nullptr);
+    EXPECT_EQ(found->value(), 1000.0);
+    EXPECT_EQ(root.find("l2_hits")->value(), 7.0);
+    EXPECT_EQ(root.find("cpu0.zzz"), nullptr);
+    EXPECT_EQ(root.find("nope.numInsts"), nullptr);
+
+    std::string text = root.dumpText();
+    EXPECT_NE(text.find("system.cpu0.numInsts"), std::string::npos);
+    EXPECT_NE(text.find("# committed instructions"), std::string::npos);
+
+    Json j = root.dumpJson();
+    EXPECT_EQ(j.find("cpu0.numInsts")->asDouble(), 1000.0);
+    EXPECT_EQ(j.getDouble("l2_hits"), 7.0);
+}
+
+TEST(Stats, DuplicateNamePanics)
+{
+    StatGroup g("x");
+    Scalar a, b;
+    g.addStat("n", &a);
+    EXPECT_THROW(g.addStat("n", &b), PanicError);
+}
+
+TEST(Stats, DeepNesting)
+{
+    StatGroup root("root"), l1("l1"), l2("l2");
+    Scalar leaf;
+    root.addChild(&l1);
+    l1.addChild(&l2);
+    l2.addStat("leaf", &leaf, "deep");
+    leaf.set(3);
+    EXPECT_EQ(root.find("l1.l2.leaf")->value(), 3.0);
+    EXPECT_NE(root.dumpText().find("root.l1.l2.leaf"),
+              std::string::npos);
+    EXPECT_EQ(root.dumpJson().find("l1.l2.leaf")->asDouble(), 3.0);
+}

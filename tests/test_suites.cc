@@ -1,0 +1,116 @@
+/** @file Tests for the NPB and GAPBS suites and their disk images. */
+
+#include <gtest/gtest.h>
+
+#include "base/logging.hh"
+#include "resources/catalog.hh"
+#include "sim/fs/fs_system.hh"
+#include "workloads/suites.hh"
+
+using namespace g5;
+using namespace g5::sim;
+using namespace g5::sim::fs;
+using namespace g5::workloads;
+
+namespace
+{
+
+SimResult
+runSuiteApp(const DiskImagePtr &disk, const std::string &bin_path,
+            unsigned cores)
+{
+    FsConfig cfg;
+    cfg.cpuType = CpuType::Kvm;
+    cfg.numCpus = cores;
+    cfg.memSystem = "classic";
+    cfg.kernelVersion = "4.15.18";
+    cfg.disk = disk;
+    cfg.initProgramPath = bin_path;
+    cfg.initArg = cores;
+    cfg.simVersion = "";
+    FsSystem fs(cfg);
+    return fs.run(60'000'000'000'000ULL);
+}
+
+} // anonymous namespace
+
+TEST(Suites, NpbHasTheEightKernels)
+{
+    ASSERT_EQ(npbSuite().size(), 8u);
+    for (const char *name : {"bt.S", "cg.S", "ep.S", "ft.S", "is.S",
+                             "lu.S", "mg.S", "sp.S"})
+        EXPECT_NO_THROW(suiteApp(npbSuite(), name)) << name;
+    EXPECT_THROW(suiteApp(npbSuite(), "ua.S"), FatalError);
+}
+
+TEST(Suites, GapbsHasTheSixKernels)
+{
+    ASSERT_EQ(gapbsSuite().size(), 6u);
+    for (const char *name : {"bfs", "sssp", "pr", "cc", "bc", "tc"})
+        EXPECT_NO_THROW(suiteApp(gapbsSuite(), name)) << name;
+}
+
+TEST(Suites, ImagesCarryTheBinaries)
+{
+    auto npb = resources::buildNpbImage();
+    EXPECT_EQ(npb->programPaths().size(), 8u);
+    EXPECT_TRUE(npb->hasFile("/npb/bin/cg.S"));
+
+    auto gapbs = resources::buildGapbsImage();
+    EXPECT_EQ(gapbs->programPaths().size(), 6u);
+    EXPECT_TRUE(gapbs->hasFile("/gapbs/bin/bfs"));
+}
+
+TEST(Suites, NpbKernelRunsMultithreaded)
+{
+    auto img = resources::buildNpbImage();
+    SimResult r = runSuiteApp(img, "/npb/bin/ep.S", 4);
+    ASSERT_TRUE(r.success()) << r.exitCause;
+    EXPECT_NE(r.consoleText.find("ep.S: ROI complete"),
+              std::string::npos);
+    EXPECT_GT(r.roiTicks(), 0u);
+}
+
+TEST(Suites, GapbsKernelRunsMultithreaded)
+{
+    auto img = resources::buildGapbsImage();
+    SimResult r = runSuiteApp(img, "/gapbs/bin/bfs", 2);
+    ASSERT_TRUE(r.success()) << r.exitCause;
+    EXPECT_NE(r.consoleText.find("bfs: ROI complete"),
+              std::string::npos);
+}
+
+TEST(Suites, GraphKernelsAreMemoryBoundRelativeToNpbEp)
+{
+    // bfs (locality .25) must show a far worse memory profile than
+    // ep.S (locality .95) on a timing CPU.
+    auto run_timing = [](const DiskImagePtr &disk,
+                         const std::string &path) {
+        FsConfig cfg;
+        cfg.cpuType = CpuType::TimingSimple;
+        cfg.numCpus = 1;
+        cfg.memSystem = "classic";
+        cfg.kernelVersion = "4.15.18";
+        cfg.disk = disk;
+        cfg.initProgramPath = path;
+        cfg.initArg = 1;
+        cfg.simVersion = "";
+        FsSystem fs(cfg);
+        return fs.run(120'000'000'000'000ULL);
+    };
+    SimResult ep = run_timing(resources::buildNpbImage(), "/npb/bin/ep.S");
+    SimResult bfs =
+        run_timing(resources::buildGapbsImage(), "/gapbs/bin/bfs");
+    ASSERT_TRUE(ep.success());
+    ASSERT_TRUE(bfs.success());
+
+    double ep_miss_rate =
+        ep.stats.find("mem.l1_misses")->asDouble() /
+        (ep.stats.find("mem.l1_hits")->asDouble() +
+         ep.stats.find("mem.l1_misses")->asDouble());
+    double bfs_miss_rate =
+        bfs.stats.find("mem.l1_misses")->asDouble() /
+        (bfs.stats.find("mem.l1_hits")->asDouble() +
+         bfs.stats.find("mem.l1_misses")->asDouble());
+    EXPECT_GT(bfs_miss_rate, 2.0 * ep_miss_rate);
+}

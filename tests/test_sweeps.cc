@@ -1,0 +1,190 @@
+/** @file Parameter-sweep properties: performance must move the right
+ *  way when hardware resources change. */
+
+#include <gtest/gtest.h>
+
+#include "base/logging.hh"
+#include "sim/cpu/o3_cpu.hh"
+#include "sim/eventq.hh"
+#include "sim/fs/fs_system.hh"
+#include "sim/gpu/gpu.hh"
+#include "sim/isa/builder.hh"
+#include "sim/mem/classic.hh"
+#include "sim/ruby/ruby.hh"
+#include "workloads/gpu_apps.hh"
+
+using namespace g5;
+using namespace g5::sim;
+
+TEST(Sweeps, MoreComputeUnitsSpeedUpOversubscribedGpuKernels)
+{
+    const auto &app = workloads::gpuApp("PENNANT");
+    std::uint64_t prev = ~0ULL;
+    for (unsigned cus : {1u, 2u, 4u, 8u}) {
+        gpu::GpuConfig cfg;
+        cfg.numCus = cus;
+        gpu::GpuModel model(cfg, gpu::RegAllocPolicy::Dynamic);
+        std::uint64_t cycles = model.run(app.kernel).shaderCycles;
+        EXPECT_LT(cycles, prev) << cus << " CUs";
+        prev = cycles;
+    }
+}
+
+TEST(Sweeps, MoreWavesPerSimdHelpUntilSlotsExceedWork)
+{
+    const auto &app = workloads::gpuApp("MatrixTranspose");
+    gpu::GpuConfig narrow;
+    narrow.maxWavesPerSimd = 1;
+    gpu::GpuConfig wide;
+    wide.maxWavesPerSimd = 10;
+    std::uint64_t t_narrow =
+        gpu::GpuModel(narrow, gpu::RegAllocPolicy::Dynamic)
+            .run(app.kernel)
+            .shaderCycles;
+    std::uint64_t t_wide =
+        gpu::GpuModel(wide, gpu::RegAllocPolicy::Dynamic)
+            .run(app.kernel)
+            .shaderCycles;
+    EXPECT_LT(t_wide, t_narrow);
+}
+
+TEST(Sweeps, GpuDramGapThrottlesBandwidthBoundKernels)
+{
+    const auto &app = workloads::gpuApp("fwd_pool");
+    std::uint64_t prev = 0;
+    for (unsigned gap : {4u, 12u, 48u}) {
+        gpu::GpuConfig cfg;
+        cfg.dramGapCycles = gap;
+        std::uint64_t cycles =
+            gpu::GpuModel(cfg, gpu::RegAllocPolicy::Dynamic)
+                .run(app.kernel)
+                .shaderCycles;
+        EXPECT_GT(cycles, prev) << "gap " << gap;
+        prev = cycles;
+    }
+}
+
+TEST(Sweeps, LargerL1CutsMissesOnAReuseStream)
+{
+    // Walk a 64 KiB footprint repeatedly through L1s of 16/32/64 KiB.
+    auto misses_with = [](std::size_t l1_bytes) {
+        EventQueue eq;
+        mem::ClassicConfig cfg;
+        cfg.l1SizeBytes = l1_bytes;
+        mem::ClassicMem memsys(eq, cfg);
+        for (int round = 0; round < 4; ++round)
+            for (Addr a = 0; a < 64 * 1024; a += 64)
+                memsys.atomicAccess(0, a, false);
+        return memsys.l1Misses.value();
+    };
+    double small = misses_with(16 * 1024);
+    double medium = misses_with(32 * 1024);
+    double large = misses_with(128 * 1024);
+    // A cyclic sweep larger than the cache thrashes LRU completely:
+    // both undersized L1s miss on every access.
+    EXPECT_DOUBLE_EQ(small, 4096.0);
+    EXPECT_DOUBLE_EQ(medium, 4096.0);
+    // The whole footprint fits in the large L1: only cold misses.
+    EXPECT_GT(medium, large);
+    EXPECT_DOUBLE_EQ(large, 1024.0);
+}
+
+TEST(Sweeps, RubyHopLatencyStretchesMissPaths)
+{
+    auto miss_latency = [](Tick hop) {
+        EventQueue eq;
+        ruby::RubyConfig cfg;
+        cfg.protocol = ruby::RubyProtocol::MESITwoLevel;
+        cfg.numCpus = 2;
+        cfg.netHopLatency = hop;
+        ruby::RubyMem memsys(eq, cfg);
+        memsys.atomicAccess(0, 0x1000, true);     // owner
+        return memsys.atomicAccess(1, 0x1000, false); // 3-hop path
+    };
+    EXPECT_GT(miss_latency(20'000), miss_latency(6'000));
+    EXPECT_GT(miss_latency(6'000), miss_latency(1'000));
+}
+
+TEST(Sweeps, RubyDirectoryGapThrottlesRequestBursts)
+{
+    auto burst_total = [](Tick gap) {
+        EventQueue eq;
+        ruby::RubyConfig cfg;
+        cfg.numCpus = 8;
+        cfg.dirServiceGap = gap;
+        ruby::RubyMem memsys(eq, cfg);
+        Tick total = 0;
+        for (int cpu = 0; cpu < 8; ++cpu)
+            total += memsys.atomicAccess(cpu, Addr(cpu) << 20, false);
+        return total;
+    };
+    EXPECT_GT(burst_total(20'000), burst_total(2'000));
+}
+
+TEST(Sweeps, WiderO3IssueNeverHurtsAnIlpKernel)
+{
+    // Eight independent chains: issue width should scale throughput.
+    using namespace g5::sim::isa;
+    ProgramBuilder pb("ilp8");
+    pb.movi(9, 0);
+    pb.movi(7, 4000);
+    auto loop = pb.newLabel();
+    auto done = pb.newLabel();
+    pb.bind(loop);
+    pb.beq(7, 9, done);
+    for (int i = 0; i < 8; ++i)
+        pb.addi(10 + i, 10 + i, 1);
+    pb.addi(7, 7, -1);
+    pb.jmp(loop);
+    pb.bind(done);
+    pb.m5op(1); // m5 exit
+    pb.halt();
+    auto prog = pb.finish();
+
+    Tick prev = maxTick;
+    for (unsigned width : {1u, 2u, 4u}) {
+        fs::FsConfig cfg;
+        cfg.cpuType = CpuType::O3;
+        cfg.memSystem = "classic";
+        cfg.simVersion = "";
+        cfg.seProgram = prog;
+        fs::FsSystem fssys(cfg);
+        auto *o3 = dynamic_cast<O3Cpu *>(fssys.system().cpus[0].get());
+        ASSERT_NE(o3, nullptr);
+        o3->issueWidth = width;
+        Tick t = fssys.run(2'000'000'000'000ULL).simTicks;
+        EXPECT_LE(t, prev) << "width " << width;
+        prev = t;
+    }
+}
+
+TEST(Sweeps, O3MispredictPenaltySlowsBranchyCode)
+{
+    using namespace g5::sim::isa;
+    ProgramBuilder pb("branchy");
+    pb.movi(9, 0);
+    pb.movi(7, 30000);
+    auto loop = pb.newLabel();
+    auto done = pb.newLabel();
+    pb.bind(loop);
+    pb.beq(7, 9, done);
+    pb.addi(7, 7, -1);
+    pb.jmp(loop);
+    pb.bind(done);
+    pb.m5op(1);
+    pb.halt();
+    auto prog = pb.finish();
+
+    auto run_with_penalty = [&](unsigned penalty) {
+        fs::FsConfig cfg;
+        cfg.cpuType = CpuType::O3;
+        cfg.memSystem = "classic";
+        cfg.simVersion = "";
+        cfg.seProgram = prog;
+        fs::FsSystem fssys(cfg);
+        auto *o3 = dynamic_cast<O3Cpu *>(fssys.system().cpus[0].get());
+        o3->mispredictPenalty = penalty;
+        return fssys.run(2'000'000'000'000ULL).simTicks;
+    };
+    EXPECT_GT(run_with_penalty(100), run_with_penalty(2));
+}

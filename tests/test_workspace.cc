@@ -1,0 +1,87 @@
+/** @file Tests for the Workspace experiment helper. */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "art/workspace.hh"
+#include "base/json.hh"
+#include "sim/fs/kernel.hh"
+
+using namespace g5;
+using namespace g5::art;
+
+namespace stdfs = std::filesystem;
+
+TEST(Workspace, CreatesIsolatedRoots)
+{
+    std::string base =
+        (stdfs::temp_directory_path() / "g5_ws_iso").string();
+    Workspace a(base);
+    Workspace b(base);
+    EXPECT_NE(a.root(), b.root());
+    EXPECT_TRUE(stdfs::exists(a.root()));
+    EXPECT_TRUE(stdfs::exists(b.root()));
+    // Both roots live under the requested base.
+    EXPECT_EQ(a.root().find(base), 0u);
+}
+
+TEST(Workspace, Gem5BinaryDescribesTheBuild)
+{
+    Workspace ws((stdfs::temp_directory_path() / "g5_ws_bin").string());
+    auto item = ws.gem5Binary("21.0", "GCN3_X86");
+    ASSERT_TRUE(stdfs::exists(item.path));
+    EXPECT_NE(item.path.find("GCN3_X86"), std::string::npos);
+
+    std::ifstream in(item.path);
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    Json desc = Json::parse(text);
+    EXPECT_EQ(desc.getString("version"), "21.0");
+    EXPECT_EQ(desc.getString("staticConfig"), "GCN3_X86");
+
+    // The registered command documents how to rebuild it (Fig 3).
+    EXPECT_NE(item.artifact.document().getString("command").find(
+                  "scons build/GCN3_X86/gem5.opt"),
+              std::string::npos);
+}
+
+TEST(Workspace, KernelArtifactPairsWithItsRepo)
+{
+    Workspace ws((stdfs::temp_directory_path() / "g5_ws_k").string());
+    auto item = ws.kernel("4.14.134");
+    EXPECT_EQ(item.repoArtifact.typ(), "git repo");
+    EXPECT_EQ(item.repoArtifact.hash(), "v4.14.134");
+    // The vmlinux file loads back as the right kernel.
+    auto spec = sim::fs::KernelSpec::load(item.path);
+    EXPECT_EQ(spec.version, "4.14.134");
+}
+
+TEST(Workspace, OutdirIsPerRunAndInsideTheRoot)
+{
+    Workspace ws((stdfs::temp_directory_path() / "g5_ws_out").string());
+    std::string a = ws.outdir("run-a");
+    std::string b = ws.outdir("run-b");
+    EXPECT_NE(a, b);
+    EXPECT_EQ(a.find(ws.root()), 0u);
+}
+
+TEST(Workspace, OnDiskDatabaseModeWorks)
+{
+    std::string db_dir =
+        (stdfs::temp_directory_path() / "g5_ws_db").string();
+    stdfs::remove_all(db_dir);
+    {
+        Workspace ws(
+            (stdfs::temp_directory_path() / "g5_ws_dbws").string(),
+            db_dir);
+        ws.kernel("5.4.49");
+        ws.adb().db().save();
+    }
+    // The artifact survived in the persisted database directory.
+    auto database = std::make_shared<db::Database>(db_dir);
+    ArtifactDb adb(database);
+    EXPECT_EQ(adb.searchByLikeNameType("5.4.49", "kernel").size(), 1u);
+    stdfs::remove_all(db_dir);
+}
