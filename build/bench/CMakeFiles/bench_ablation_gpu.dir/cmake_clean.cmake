@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_gpu.dir/bench_ablation_gpu.cc.o"
+  "CMakeFiles/bench_ablation_gpu.dir/bench_ablation_gpu.cc.o.d"
+  "bench_ablation_gpu"
+  "bench_ablation_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

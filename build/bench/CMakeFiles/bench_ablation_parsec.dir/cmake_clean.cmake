@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_parsec.dir/bench_ablation_parsec.cc.o"
+  "CMakeFiles/bench_ablation_parsec.dir/bench_ablation_parsec.cc.o.d"
+  "bench_ablation_parsec"
+  "bench_ablation_parsec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_parsec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_parsec.dir/bench_fig6_parsec.cc.o"
+  "CMakeFiles/bench_fig6_parsec.dir/bench_fig6_parsec.cc.o.d"
+  "bench_fig6_parsec"
+  "bench_fig6_parsec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_parsec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

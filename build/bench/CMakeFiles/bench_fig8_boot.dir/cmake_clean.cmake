@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_boot.dir/bench_fig8_boot.cc.o"
+  "CMakeFiles/bench_fig8_boot.dir/bench_fig8_boot.cc.o.d"
+  "bench_fig8_boot"
+  "bench_fig8_boot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_boot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig9_gpu.cc" "bench/CMakeFiles/bench_fig9_gpu.dir/bench_fig9_gpu.cc.o" "gcc" "bench/CMakeFiles/bench_fig9_gpu.dir/bench_fig9_gpu.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/g5_art.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/g5_resources.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/g5_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/g5_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/g5_scheduler.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/g5_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/g5_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

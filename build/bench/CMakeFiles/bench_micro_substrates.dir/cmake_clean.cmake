@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_substrates.dir/bench_micro_substrates.cc.o"
+  "CMakeFiles/bench_micro_substrates.dir/bench_micro_substrates.cc.o.d"
+  "bench_micro_substrates"
+  "bench_micro_substrates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_substrates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_analyze_results.dir/analyze_results.cpp.o"
+  "CMakeFiles/example_analyze_results.dir/analyze_results.cpp.o.d"
+  "example_analyze_results"
+  "example_analyze_results.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_analyze_results.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_analyze_results.
+# This may be replaced when dependencies are built.

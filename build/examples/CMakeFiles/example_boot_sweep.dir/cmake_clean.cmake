@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_boot_sweep.dir/boot_sweep.cpp.o"
+  "CMakeFiles/example_boot_sweep.dir/boot_sweep.cpp.o.d"
+  "example_boot_sweep"
+  "example_boot_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_boot_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_g5art_query.dir/g5art_query.cpp.o"
+  "CMakeFiles/example_g5art_query.dir/g5art_query.cpp.o.d"
+  "example_g5art_query"
+  "example_g5art_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_g5art_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

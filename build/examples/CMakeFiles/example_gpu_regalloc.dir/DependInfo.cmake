@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/gpu_regalloc.cpp" "examples/CMakeFiles/example_gpu_regalloc.dir/gpu_regalloc.cpp.o" "gcc" "examples/CMakeFiles/example_gpu_regalloc.dir/gpu_regalloc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/g5_art.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/g5_resources.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/g5_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/g5_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/g5_scheduler.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/g5_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/g5_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

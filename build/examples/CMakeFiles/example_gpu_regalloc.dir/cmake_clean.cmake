@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_gpu_regalloc.dir/gpu_regalloc.cpp.o"
+  "CMakeFiles/example_gpu_regalloc.dir/gpu_regalloc.cpp.o.d"
+  "example_gpu_regalloc"
+  "example_gpu_regalloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_gpu_regalloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_hack_back_demo.dir/hack_back_demo.cpp.o"
+  "CMakeFiles/example_hack_back_demo.dir/hack_back_demo.cpp.o.d"
+  "example_hack_back_demo"
+  "example_hack_back_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_hack_back_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

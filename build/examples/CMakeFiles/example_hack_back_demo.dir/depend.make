@@ -1,0 +1,2 @@
+# Empty dependencies file for example_hack_back_demo.
+# This may be replaced when dependencies are built.

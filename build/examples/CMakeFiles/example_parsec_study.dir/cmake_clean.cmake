@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_parsec_study.dir/parsec_study.cpp.o"
+  "CMakeFiles/example_parsec_study.dir/parsec_study.cpp.o.d"
+  "example_parsec_study"
+  "example_parsec_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_parsec_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

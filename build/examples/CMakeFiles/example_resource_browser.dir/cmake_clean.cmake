@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_resource_browser.dir/resource_browser.cpp.o"
+  "CMakeFiles/example_resource_browser.dir/resource_browser.cpp.o.d"
+  "example_resource_browser"
+  "example_resource_browser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_resource_browser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

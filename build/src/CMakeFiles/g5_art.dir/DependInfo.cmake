@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/art/artifact.cc" "src/CMakeFiles/g5_art.dir/art/artifact.cc.o" "gcc" "src/CMakeFiles/g5_art.dir/art/artifact.cc.o.d"
+  "/root/repo/src/art/report.cc" "src/CMakeFiles/g5_art.dir/art/report.cc.o" "gcc" "src/CMakeFiles/g5_art.dir/art/report.cc.o.d"
+  "/root/repo/src/art/run.cc" "src/CMakeFiles/g5_art.dir/art/run.cc.o" "gcc" "src/CMakeFiles/g5_art.dir/art/run.cc.o.d"
+  "/root/repo/src/art/tasks.cc" "src/CMakeFiles/g5_art.dir/art/tasks.cc.o" "gcc" "src/CMakeFiles/g5_art.dir/art/tasks.cc.o.d"
+  "/root/repo/src/art/workspace.cc" "src/CMakeFiles/g5_art.dir/art/workspace.cc.o" "gcc" "src/CMakeFiles/g5_art.dir/art/workspace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/g5_resources.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/g5_scheduler.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/g5_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/g5_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/g5_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/g5_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/g5_art.dir/art/artifact.cc.o"
+  "CMakeFiles/g5_art.dir/art/artifact.cc.o.d"
+  "CMakeFiles/g5_art.dir/art/report.cc.o"
+  "CMakeFiles/g5_art.dir/art/report.cc.o.d"
+  "CMakeFiles/g5_art.dir/art/run.cc.o"
+  "CMakeFiles/g5_art.dir/art/run.cc.o.d"
+  "CMakeFiles/g5_art.dir/art/tasks.cc.o"
+  "CMakeFiles/g5_art.dir/art/tasks.cc.o.d"
+  "CMakeFiles/g5_art.dir/art/workspace.cc.o"
+  "CMakeFiles/g5_art.dir/art/workspace.cc.o.d"
+  "libg5_art.a"
+  "libg5_art.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/g5_art.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libg5_art.a"
+)

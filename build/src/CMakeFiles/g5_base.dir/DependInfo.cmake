@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/base/json.cc" "src/CMakeFiles/g5_base.dir/base/json.cc.o" "gcc" "src/CMakeFiles/g5_base.dir/base/json.cc.o.d"
+  "/root/repo/src/base/logging.cc" "src/CMakeFiles/g5_base.dir/base/logging.cc.o" "gcc" "src/CMakeFiles/g5_base.dir/base/logging.cc.o.d"
+  "/root/repo/src/base/md5.cc" "src/CMakeFiles/g5_base.dir/base/md5.cc.o" "gcc" "src/CMakeFiles/g5_base.dir/base/md5.cc.o.d"
+  "/root/repo/src/base/random.cc" "src/CMakeFiles/g5_base.dir/base/random.cc.o" "gcc" "src/CMakeFiles/g5_base.dir/base/random.cc.o.d"
+  "/root/repo/src/base/str.cc" "src/CMakeFiles/g5_base.dir/base/str.cc.o" "gcc" "src/CMakeFiles/g5_base.dir/base/str.cc.o.d"
+  "/root/repo/src/base/uuid.cc" "src/CMakeFiles/g5_base.dir/base/uuid.cc.o" "gcc" "src/CMakeFiles/g5_base.dir/base/uuid.cc.o.d"
+  "/root/repo/src/base/wallclock.cc" "src/CMakeFiles/g5_base.dir/base/wallclock.cc.o" "gcc" "src/CMakeFiles/g5_base.dir/base/wallclock.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

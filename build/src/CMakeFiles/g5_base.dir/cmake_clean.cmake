@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/g5_base.dir/base/json.cc.o"
+  "CMakeFiles/g5_base.dir/base/json.cc.o.d"
+  "CMakeFiles/g5_base.dir/base/logging.cc.o"
+  "CMakeFiles/g5_base.dir/base/logging.cc.o.d"
+  "CMakeFiles/g5_base.dir/base/md5.cc.o"
+  "CMakeFiles/g5_base.dir/base/md5.cc.o.d"
+  "CMakeFiles/g5_base.dir/base/random.cc.o"
+  "CMakeFiles/g5_base.dir/base/random.cc.o.d"
+  "CMakeFiles/g5_base.dir/base/str.cc.o"
+  "CMakeFiles/g5_base.dir/base/str.cc.o.d"
+  "CMakeFiles/g5_base.dir/base/uuid.cc.o"
+  "CMakeFiles/g5_base.dir/base/uuid.cc.o.d"
+  "CMakeFiles/g5_base.dir/base/wallclock.cc.o"
+  "CMakeFiles/g5_base.dir/base/wallclock.cc.o.d"
+  "libg5_base.a"
+  "libg5_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/g5_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/db/collection.cc" "src/CMakeFiles/g5_db.dir/db/collection.cc.o" "gcc" "src/CMakeFiles/g5_db.dir/db/collection.cc.o.d"
+  "/root/repo/src/db/database.cc" "src/CMakeFiles/g5_db.dir/db/database.cc.o" "gcc" "src/CMakeFiles/g5_db.dir/db/database.cc.o.d"
+  "/root/repo/src/db/query.cc" "src/CMakeFiles/g5_db.dir/db/query.cc.o" "gcc" "src/CMakeFiles/g5_db.dir/db/query.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/g5_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/g5_db.dir/db/collection.cc.o"
+  "CMakeFiles/g5_db.dir/db/collection.cc.o.d"
+  "CMakeFiles/g5_db.dir/db/database.cc.o"
+  "CMakeFiles/g5_db.dir/db/database.cc.o.d"
+  "CMakeFiles/g5_db.dir/db/query.cc.o"
+  "CMakeFiles/g5_db.dir/db/query.cc.o.d"
+  "libg5_db.a"
+  "libg5_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/g5_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

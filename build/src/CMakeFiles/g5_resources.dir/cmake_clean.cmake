@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/g5_resources.dir/resources/catalog.cc.o"
+  "CMakeFiles/g5_resources.dir/resources/catalog.cc.o.d"
+  "CMakeFiles/g5_resources.dir/resources/guest_tests.cc.o"
+  "CMakeFiles/g5_resources.dir/resources/guest_tests.cc.o.d"
+  "CMakeFiles/g5_resources.dir/resources/packer.cc.o"
+  "CMakeFiles/g5_resources.dir/resources/packer.cc.o.d"
+  "libg5_resources.a"
+  "libg5_resources.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/g5_resources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

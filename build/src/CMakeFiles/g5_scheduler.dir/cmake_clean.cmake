@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/g5_scheduler.dir/scheduler/task_queue.cc.o"
+  "CMakeFiles/g5_scheduler.dir/scheduler/task_queue.cc.o.d"
+  "libg5_scheduler.a"
+  "libg5_scheduler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/g5_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cpu/base_cpu.cc" "src/CMakeFiles/g5_sim.dir/sim/cpu/base_cpu.cc.o" "gcc" "src/CMakeFiles/g5_sim.dir/sim/cpu/base_cpu.cc.o.d"
+  "/root/repo/src/sim/cpu/o3_cpu.cc" "src/CMakeFiles/g5_sim.dir/sim/cpu/o3_cpu.cc.o" "gcc" "src/CMakeFiles/g5_sim.dir/sim/cpu/o3_cpu.cc.o.d"
+  "/root/repo/src/sim/cpu/simple_cpus.cc" "src/CMakeFiles/g5_sim.dir/sim/cpu/simple_cpus.cc.o" "gcc" "src/CMakeFiles/g5_sim.dir/sim/cpu/simple_cpus.cc.o.d"
+  "/root/repo/src/sim/eventq.cc" "src/CMakeFiles/g5_sim.dir/sim/eventq.cc.o" "gcc" "src/CMakeFiles/g5_sim.dir/sim/eventq.cc.o.d"
+  "/root/repo/src/sim/fs/devices.cc" "src/CMakeFiles/g5_sim.dir/sim/fs/devices.cc.o" "gcc" "src/CMakeFiles/g5_sim.dir/sim/fs/devices.cc.o.d"
+  "/root/repo/src/sim/fs/disk_image.cc" "src/CMakeFiles/g5_sim.dir/sim/fs/disk_image.cc.o" "gcc" "src/CMakeFiles/g5_sim.dir/sim/fs/disk_image.cc.o.d"
+  "/root/repo/src/sim/fs/fs_system.cc" "src/CMakeFiles/g5_sim.dir/sim/fs/fs_system.cc.o" "gcc" "src/CMakeFiles/g5_sim.dir/sim/fs/fs_system.cc.o.d"
+  "/root/repo/src/sim/fs/guest_os.cc" "src/CMakeFiles/g5_sim.dir/sim/fs/guest_os.cc.o" "gcc" "src/CMakeFiles/g5_sim.dir/sim/fs/guest_os.cc.o.d"
+  "/root/repo/src/sim/fs/kernel.cc" "src/CMakeFiles/g5_sim.dir/sim/fs/kernel.cc.o" "gcc" "src/CMakeFiles/g5_sim.dir/sim/fs/kernel.cc.o.d"
+  "/root/repo/src/sim/fs/known_issues.cc" "src/CMakeFiles/g5_sim.dir/sim/fs/known_issues.cc.o" "gcc" "src/CMakeFiles/g5_sim.dir/sim/fs/known_issues.cc.o.d"
+  "/root/repo/src/sim/gpu/gpu.cc" "src/CMakeFiles/g5_sim.dir/sim/gpu/gpu.cc.o" "gcc" "src/CMakeFiles/g5_sim.dir/sim/gpu/gpu.cc.o.d"
+  "/root/repo/src/sim/isa/builder.cc" "src/CMakeFiles/g5_sim.dir/sim/isa/builder.cc.o" "gcc" "src/CMakeFiles/g5_sim.dir/sim/isa/builder.cc.o.d"
+  "/root/repo/src/sim/isa/exec.cc" "src/CMakeFiles/g5_sim.dir/sim/isa/exec.cc.o" "gcc" "src/CMakeFiles/g5_sim.dir/sim/isa/exec.cc.o.d"
+  "/root/repo/src/sim/isa/inst.cc" "src/CMakeFiles/g5_sim.dir/sim/isa/inst.cc.o" "gcc" "src/CMakeFiles/g5_sim.dir/sim/isa/inst.cc.o.d"
+  "/root/repo/src/sim/isa/program.cc" "src/CMakeFiles/g5_sim.dir/sim/isa/program.cc.o" "gcc" "src/CMakeFiles/g5_sim.dir/sim/isa/program.cc.o.d"
+  "/root/repo/src/sim/mem/cache_array.cc" "src/CMakeFiles/g5_sim.dir/sim/mem/cache_array.cc.o" "gcc" "src/CMakeFiles/g5_sim.dir/sim/mem/cache_array.cc.o.d"
+  "/root/repo/src/sim/mem/classic.cc" "src/CMakeFiles/g5_sim.dir/sim/mem/classic.cc.o" "gcc" "src/CMakeFiles/g5_sim.dir/sim/mem/classic.cc.o.d"
+  "/root/repo/src/sim/mem/dram.cc" "src/CMakeFiles/g5_sim.dir/sim/mem/dram.cc.o" "gcc" "src/CMakeFiles/g5_sim.dir/sim/mem/dram.cc.o.d"
+  "/root/repo/src/sim/mem/physmem.cc" "src/CMakeFiles/g5_sim.dir/sim/mem/physmem.cc.o" "gcc" "src/CMakeFiles/g5_sim.dir/sim/mem/physmem.cc.o.d"
+  "/root/repo/src/sim/ruby/ruby.cc" "src/CMakeFiles/g5_sim.dir/sim/ruby/ruby.cc.o" "gcc" "src/CMakeFiles/g5_sim.dir/sim/ruby/ruby.cc.o.d"
+  "/root/repo/src/sim/stats.cc" "src/CMakeFiles/g5_sim.dir/sim/stats.cc.o" "gcc" "src/CMakeFiles/g5_sim.dir/sim/stats.cc.o.d"
+  "/root/repo/src/sim/system.cc" "src/CMakeFiles/g5_sim.dir/sim/system.cc.o" "gcc" "src/CMakeFiles/g5_sim.dir/sim/system.cc.o.d"
+  "/root/repo/src/sim/trace.cc" "src/CMakeFiles/g5_sim.dir/sim/trace.cc.o" "gcc" "src/CMakeFiles/g5_sim.dir/sim/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/g5_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

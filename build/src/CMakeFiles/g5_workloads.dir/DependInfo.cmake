@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/gpu_apps.cc" "src/CMakeFiles/g5_workloads.dir/workloads/gpu_apps.cc.o" "gcc" "src/CMakeFiles/g5_workloads.dir/workloads/gpu_apps.cc.o.d"
+  "/root/repo/src/workloads/parsec.cc" "src/CMakeFiles/g5_workloads.dir/workloads/parsec.cc.o" "gcc" "src/CMakeFiles/g5_workloads.dir/workloads/parsec.cc.o.d"
+  "/root/repo/src/workloads/suites.cc" "src/CMakeFiles/g5_workloads.dir/workloads/suites.cc.o" "gcc" "src/CMakeFiles/g5_workloads.dir/workloads/suites.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/g5_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/g5_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

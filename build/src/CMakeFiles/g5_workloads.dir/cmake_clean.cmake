@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/g5_workloads.dir/workloads/gpu_apps.cc.o"
+  "CMakeFiles/g5_workloads.dir/workloads/gpu_apps.cc.o.d"
+  "CMakeFiles/g5_workloads.dir/workloads/parsec.cc.o"
+  "CMakeFiles/g5_workloads.dir/workloads/parsec.cc.o.d"
+  "CMakeFiles/g5_workloads.dir/workloads/suites.cc.o"
+  "CMakeFiles/g5_workloads.dir/workloads/suites.cc.o.d"
+  "libg5_workloads.a"
+  "libg5_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/g5_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

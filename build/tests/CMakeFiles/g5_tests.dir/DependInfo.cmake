@@ -1,0 +1,55 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_art.cc" "tests/CMakeFiles/g5_tests.dir/test_art.cc.o" "gcc" "tests/CMakeFiles/g5_tests.dir/test_art.cc.o.d"
+  "/root/repo/tests/test_art_queries.cc" "tests/CMakeFiles/g5_tests.dir/test_art_queries.cc.o" "gcc" "tests/CMakeFiles/g5_tests.dir/test_art_queries.cc.o.d"
+  "/root/repo/tests/test_base_utils.cc" "tests/CMakeFiles/g5_tests.dir/test_base_utils.cc.o" "gcc" "tests/CMakeFiles/g5_tests.dir/test_base_utils.cc.o.d"
+  "/root/repo/tests/test_checkpoint.cc" "tests/CMakeFiles/g5_tests.dir/test_checkpoint.cc.o" "gcc" "tests/CMakeFiles/g5_tests.dir/test_checkpoint.cc.o.d"
+  "/root/repo/tests/test_cpu_models.cc" "tests/CMakeFiles/g5_tests.dir/test_cpu_models.cc.o" "gcc" "tests/CMakeFiles/g5_tests.dir/test_cpu_models.cc.o.d"
+  "/root/repo/tests/test_db.cc" "tests/CMakeFiles/g5_tests.dir/test_db.cc.o" "gcc" "tests/CMakeFiles/g5_tests.dir/test_db.cc.o.d"
+  "/root/repo/tests/test_devices.cc" "tests/CMakeFiles/g5_tests.dir/test_devices.cc.o" "gcc" "tests/CMakeFiles/g5_tests.dir/test_devices.cc.o.d"
+  "/root/repo/tests/test_eventq.cc" "tests/CMakeFiles/g5_tests.dir/test_eventq.cc.o" "gcc" "tests/CMakeFiles/g5_tests.dir/test_eventq.cc.o.d"
+  "/root/repo/tests/test_fs_boot.cc" "tests/CMakeFiles/g5_tests.dir/test_fs_boot.cc.o" "gcc" "tests/CMakeFiles/g5_tests.dir/test_fs_boot.cc.o.d"
+  "/root/repo/tests/test_gpu.cc" "tests/CMakeFiles/g5_tests.dir/test_gpu.cc.o" "gcc" "tests/CMakeFiles/g5_tests.dir/test_gpu.cc.o.d"
+  "/root/repo/tests/test_guest_os.cc" "tests/CMakeFiles/g5_tests.dir/test_guest_os.cc.o" "gcc" "tests/CMakeFiles/g5_tests.dir/test_guest_os.cc.o.d"
+  "/root/repo/tests/test_guest_tests.cc" "tests/CMakeFiles/g5_tests.dir/test_guest_tests.cc.o" "gcc" "tests/CMakeFiles/g5_tests.dir/test_guest_tests.cc.o.d"
+  "/root/repo/tests/test_integration.cc" "tests/CMakeFiles/g5_tests.dir/test_integration.cc.o" "gcc" "tests/CMakeFiles/g5_tests.dir/test_integration.cc.o.d"
+  "/root/repo/tests/test_isa.cc" "tests/CMakeFiles/g5_tests.dir/test_isa.cc.o" "gcc" "tests/CMakeFiles/g5_tests.dir/test_isa.cc.o.d"
+  "/root/repo/tests/test_json.cc" "tests/CMakeFiles/g5_tests.dir/test_json.cc.o" "gcc" "tests/CMakeFiles/g5_tests.dir/test_json.cc.o.d"
+  "/root/repo/tests/test_kernel.cc" "tests/CMakeFiles/g5_tests.dir/test_kernel.cc.o" "gcc" "tests/CMakeFiles/g5_tests.dir/test_kernel.cc.o.d"
+  "/root/repo/tests/test_known_issues.cc" "tests/CMakeFiles/g5_tests.dir/test_known_issues.cc.o" "gcc" "tests/CMakeFiles/g5_tests.dir/test_known_issues.cc.o.d"
+  "/root/repo/tests/test_md5.cc" "tests/CMakeFiles/g5_tests.dir/test_md5.cc.o" "gcc" "tests/CMakeFiles/g5_tests.dir/test_md5.cc.o.d"
+  "/root/repo/tests/test_mem.cc" "tests/CMakeFiles/g5_tests.dir/test_mem.cc.o" "gcc" "tests/CMakeFiles/g5_tests.dir/test_mem.cc.o.d"
+  "/root/repo/tests/test_parsec.cc" "tests/CMakeFiles/g5_tests.dir/test_parsec.cc.o" "gcc" "tests/CMakeFiles/g5_tests.dir/test_parsec.cc.o.d"
+  "/root/repo/tests/test_property.cc" "tests/CMakeFiles/g5_tests.dir/test_property.cc.o" "gcc" "tests/CMakeFiles/g5_tests.dir/test_property.cc.o.d"
+  "/root/repo/tests/test_report.cc" "tests/CMakeFiles/g5_tests.dir/test_report.cc.o" "gcc" "tests/CMakeFiles/g5_tests.dir/test_report.cc.o.d"
+  "/root/repo/tests/test_resources.cc" "tests/CMakeFiles/g5_tests.dir/test_resources.cc.o" "gcc" "tests/CMakeFiles/g5_tests.dir/test_resources.cc.o.d"
+  "/root/repo/tests/test_ruby.cc" "tests/CMakeFiles/g5_tests.dir/test_ruby.cc.o" "gcc" "tests/CMakeFiles/g5_tests.dir/test_ruby.cc.o.d"
+  "/root/repo/tests/test_scheduler.cc" "tests/CMakeFiles/g5_tests.dir/test_scheduler.cc.o" "gcc" "tests/CMakeFiles/g5_tests.dir/test_scheduler.cc.o.d"
+  "/root/repo/tests/test_stats.cc" "tests/CMakeFiles/g5_tests.dir/test_stats.cc.o" "gcc" "tests/CMakeFiles/g5_tests.dir/test_stats.cc.o.d"
+  "/root/repo/tests/test_suites.cc" "tests/CMakeFiles/g5_tests.dir/test_suites.cc.o" "gcc" "tests/CMakeFiles/g5_tests.dir/test_suites.cc.o.d"
+  "/root/repo/tests/test_sweeps.cc" "tests/CMakeFiles/g5_tests.dir/test_sweeps.cc.o" "gcc" "tests/CMakeFiles/g5_tests.dir/test_sweeps.cc.o.d"
+  "/root/repo/tests/test_trace.cc" "tests/CMakeFiles/g5_tests.dir/test_trace.cc.o" "gcc" "tests/CMakeFiles/g5_tests.dir/test_trace.cc.o.d"
+  "/root/repo/tests/test_workspace.cc" "tests/CMakeFiles/g5_tests.dir/test_workspace.cc.o" "gcc" "tests/CMakeFiles/g5_tests.dir/test_workspace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/g5_art.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/g5_resources.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/g5_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/g5_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/g5_scheduler.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/g5_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/g5_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
