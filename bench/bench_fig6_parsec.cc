@@ -83,7 +83,7 @@ runStudy()
     disks.emplace("20.04", ws.disk("parsec-ubuntu-20.04",
                                    resources::buildParsecImage("20.04")));
 
-    Tasks tasks(ws.adb(), 2);
+    Tasks tasks(ws.adb()); // 0 workers = one per hardware thread
     std::vector<RunKey> keys;
     for (const char *release : {"18.04", "20.04"}) {
         for (const auto &app : workloads::parsecSuite()) {

@@ -54,7 +54,7 @@ runStudy()
     disks.emplace("20.04", ws.disk("parsec-ubuntu-20.04",
                                    resources::buildParsecImage("20.04")));
 
-    Tasks tasks(ws.adb(), 2);
+    Tasks tasks(ws.adb()); // 0 workers = one per hardware thread
     for (const char *release : {"18.04", "20.04"}) {
         for (const auto &app : workloads::parsecSuite()) {
             for (int cores : {1, 8}) {

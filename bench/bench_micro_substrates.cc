@@ -8,10 +8,13 @@
 
 #include <benchmark/benchmark.h>
 
+#include "art/run.hh"
 #include "base/json.hh"
 #include "base/logging.hh"
 #include "base/md5.hh"
+#include "bench/bench_common.hh"
 #include "db/collection.hh"
+#include "resources/catalog.hh"
 #include "sim/eventq.hh"
 #include "sim/fs/fs_system.hh"
 
@@ -92,6 +95,154 @@ BM_DbInsertAndQuery(benchmark::State &state)
 }
 
 BENCHMARK(BM_DbInsertAndQuery)->Unit(benchmark::kMillisecond);
+
+Json
+hashedDoc(int i)
+{
+    Json doc = Json::object();
+    doc["name"] = "artifact-" + std::to_string(i);
+    doc["hash"] = Md5::hashString("artifact-" + std::to_string(i));
+    doc["type"] = i % 2 ? "binary" : "kernel";
+    return doc;
+}
+
+/**
+ * N inserts into a collection whose unique field is backed by a hash
+ * index: each duplicate check is an O(1) bucket probe.
+ */
+void
+BM_DbBulkInsertUnique_Indexed(benchmark::State &state)
+{
+    const int n = int(state.range(0));
+    for (auto _ : state) {
+        db::Collection coll("artifacts");
+        coll.createUniqueIndex("hash");
+        for (int i = 0; i < n; ++i)
+            coll.insertOne(hashedDoc(i));
+        benchmark::DoNotOptimize(coll.size());
+    }
+    state.SetItemsProcessed(std::int64_t(state.iterations()) * n);
+}
+
+BENCHMARK(BM_DbBulkInsertUnique_Indexed)
+    ->Arg(1'000)->Arg(10'000)->Unit(benchmark::kMillisecond);
+
+/**
+ * The pre-index behavior for comparison: every insert re-scans the
+ * whole collection for a duplicate, so N inserts are O(N^2).
+ */
+void
+BM_DbBulkInsertUnique_Scan(benchmark::State &state)
+{
+    const int n = int(state.range(0));
+    for (auto _ : state) {
+        db::Collection coll("artifacts");
+        for (int i = 0; i < n; ++i) {
+            Json doc = hashedDoc(i);
+            Json probe = Json::object();
+            probe["hash"] = doc.at("hash");
+            if (!coll.findOne(probe).isNull())
+                fatal("unexpected duplicate");
+            coll.insertOne(std::move(doc));
+        }
+        benchmark::DoNotOptimize(coll.size());
+    }
+    state.SetItemsProcessed(std::int64_t(state.iterations()) * n);
+}
+
+BENCHMARK(BM_DbBulkInsertUnique_Scan)
+    ->Arg(1'000)->Arg(10'000)->Unit(benchmark::kMillisecond);
+
+/** Equality lookup on an indexed field in a 10k-document collection. */
+void
+BM_DbFindByHash_Indexed(benchmark::State &state)
+{
+    db::Collection coll("artifacts");
+    coll.createIndex("hash");
+    const int n = int(state.range(0));
+    for (int i = 0; i < n; ++i)
+        coll.insertOne(hashedDoc(i));
+    int i = 0;
+    for (auto _ : state) {
+        Json q = Json::object();
+        q["hash"] = Md5::hashString("artifact-" + std::to_string(i));
+        benchmark::DoNotOptimize(coll.findOne(q));
+        i = (i + 7919) % n;
+    }
+    state.SetItemsProcessed(std::int64_t(state.iterations()));
+}
+
+BENCHMARK(BM_DbFindByHash_Indexed)->Arg(10'000);
+
+/** The same lookup without an index: a full collection scan. */
+void
+BM_DbFindByHash_Scan(benchmark::State &state)
+{
+    db::Collection coll("artifacts");
+    const int n = int(state.range(0));
+    for (int i = 0; i < n; ++i)
+        coll.insertOne(hashedDoc(i));
+    int i = 0;
+    for (auto _ : state) {
+        Json q = Json::object();
+        q["hash"] = Md5::hashString("artifact-" + std::to_string(i));
+        benchmark::DoNotOptimize(coll.findOne(q));
+        i = (i + 7919) % n;
+    }
+    state.SetItemsProcessed(std::int64_t(state.iterations()));
+}
+
+BENCHMARK(BM_DbFindByHash_Scan)->Arg(10'000)
+    ->Unit(benchmark::kMicrosecond);
+
+/**
+ * Serving a run from the content-addressed cache: index probe on
+ * inputHash plus a document copy, instead of a full simulation.
+ */
+void
+BM_RunCacheHit(benchmark::State &state)
+{
+    using namespace g5::art;
+    setQuiet(true);
+    Workspace ws(bench::benchRoot("micro_cache"));
+    auto binary = ws.gem5Binary("20.1.0.4");
+    auto kernel = ws.kernel("5.4.49");
+    auto disk = ws.disk("boot-exit", resources::buildBootExitImage());
+    auto script = ws.runScript("run_exit.py", "cache micro bench");
+    Json params = Json::object();
+    params["cpu"] = "kvm";
+    params["num_cpus"] = 1;
+    params["mem_system"] = "classic";
+    params["boot_type"] = "init";
+
+    int seq = 0;
+    auto makeRun = [&](const std::string &name) {
+        return Gem5Run::createFSRun(
+            ws.adb(), name, binary.path, script.path, ws.outdir(name),
+            binary.artifact, binary.repoArtifact, script.repoArtifact,
+            kernel.path, disk.path, kernel.artifact, disk.artifact,
+            params, 60.0);
+    };
+    makeRun("warm-" + std::to_string(seq++)).execute(ws.adb());
+
+    for (auto _ : state) {
+        state.PauseTiming();
+        Gem5Run run = makeRun("hit-" + std::to_string(seq++));
+        state.ResumeTiming();
+        Json doc = run.executeCached(ws.adb());
+        state.PauseTiming();
+        // Drop the copy so the inputHash bucket stays one deep.
+        Json victim = Json::object();
+        victim["_id"] = doc.at("_id");
+        ws.adb().runs().deleteMany(victim);
+        state.ResumeTiming();
+        benchmark::DoNotOptimize(doc);
+    }
+    setQuiet(false);
+    state.SetItemsProcessed(std::int64_t(state.iterations()));
+}
+
+BENCHMARK(BM_RunCacheHit)->Unit(benchmark::kMicrosecond);
 
 /** Simulated guest instructions per host second, per CPU model. */
 void

@@ -1,0 +1,27 @@
+#!/bin/sh
+# Record the substrate microbenchmark numbers as the checked-in
+# performance baseline (bench/BENCH_baseline.json).
+#
+# Usage: bench/record_baseline.sh [build-dir]
+#
+# Run it after `cmake --build <build-dir>` on an otherwise idle host;
+# commit the refreshed JSON alongside performance-sensitive changes so
+# reviews can compare against the previous baseline.
+set -eu
+
+build_dir=${1:-build}
+here=$(cd "$(dirname "$0")" && pwd)
+bin="$build_dir/bench/bench_micro_substrates"
+
+if [ ! -x "$bin" ]; then
+    echo "error: $bin not found or not executable;" \
+         "build the repo first (cmake --build $build_dir)" >&2
+    exit 1
+fi
+
+"$bin" \
+    --benchmark_out="$here/BENCH_baseline.json" \
+    --benchmark_out_format=json \
+    --benchmark_min_warmup_time=0.1
+
+echo "wrote $here/BENCH_baseline.json"

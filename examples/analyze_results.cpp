@@ -27,7 +27,7 @@ main()
     auto script = ws.runScript("run_exit.py", "boot-exit run script");
 
     // One timing boot per LTS kernel.
-    Tasks tasks(ws.adb(), 2);
+    Tasks tasks(ws.adb()); // 0 workers = one per hardware thread
     for (const auto &version : sim::fs::fig8Kernels()) {
         auto kernel = ws.kernel(version);
         Json params = Json::object();

@@ -37,7 +37,7 @@ main(int argc, char **argv)
     for (const auto &v : sim::fs::fig8Kernels())
         kernels.emplace(v, ws.kernel(v));
 
-    Tasks tasks(ws.adb(), 2);
+    Tasks tasks(ws.adb()); // 0 workers = one per hardware thread
     for (const char *mem : {"classic", "MI_example", "MESI_Two_Level"}) {
         for (int cores : {1, 2, 4, 8}) {
             for (const auto &kv : kernels) {

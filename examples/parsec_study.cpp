@@ -35,7 +35,7 @@ main(int argc, char **argv)
     auto script = ws.runScript("launch_parsec_tests.py",
                                "PARSEC launch script");
 
-    Tasks tasks(ws.adb(), 2);
+    Tasks tasks(ws.adb()); // 0 workers = one per hardware thread
     for (const char *release : {"18.04", "20.04"}) {
         auto kernel =
             ws.kernel(release == std::string("18.04") ? "4.15.18"

@@ -15,6 +15,13 @@ ArtifactDb::ArtifactDb(std::shared_ptr<db::Database> database)
     : database(std::move(database))
 {
     artifacts().createUniqueIndex("hash");
+    // Secondary indexes for the hot equality lookups: artifact searches
+    // by name/type, run collation by name, and the run-result cache's
+    // content-addressed probe.
+    artifacts().createIndex("name");
+    artifacts().createIndex("type");
+    runs().createIndex("name");
+    runs().createIndex("inputHash");
 }
 
 db::Collection &

@@ -1,10 +1,12 @@
 #include "art/run.hh"
 
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 
 #include "base/logging.hh"
+#include "base/md5.hh"
 #include "base/uuid.hh"
 #include "base/wallclock.hh"
 #include "scheduler/task_queue.hh"
@@ -71,6 +73,23 @@ writeFile(const std::string &path, const std::string &bytes)
     out.write(bytes.data(), std::streamsize(bytes.size()));
 }
 
+/**
+ * The cache key: every artifact hash (Json objects keep keys sorted, so
+ * the map serializes deterministically), the canonicalized parameters,
+ * and the run type. The artifact hashes cover the simulator version,
+ * kernel, disk image, and run script contents.
+ */
+std::string
+computeInputHash(const Json &artifacts, const Json &params,
+                 const std::string &run_type)
+{
+    Json key = Json::object();
+    key["artifacts"] = artifacts;
+    key["params"] = params;
+    key["type"] = run_type;
+    return Md5::hashString(key.dump());
+}
+
 } // anonymous namespace
 
 Gem5Run
@@ -113,6 +132,9 @@ Gem5Run::createFSRun(
         {"diskImage", Json(disk_image_artifact.hash())},
     });
     doc["params"] = run.params;
+    run.inputHashStr =
+        computeInputHash(doc.at("artifacts"), run.params, "fs");
+    doc["inputHash"] = run.inputHashStr;
     doc["timeoutSeconds"] = timeout_s;
     doc["status"] = "PENDING";
     doc["outcome"] = runOutcomeName(RunOutcome::Pending);
@@ -158,6 +180,9 @@ Gem5Run::createSERun(
         {"workload", Json(workload_artifact.hash())},
     });
     doc["params"] = run.params;
+    run.inputHashStr =
+        computeInputHash(doc.at("artifacts"), run.params, "se");
+    doc["inputHash"] = run.inputHashStr;
     doc["timeoutSeconds"] = timeout_s;
     doc["status"] = "PENDING";
     doc["outcome"] = runOutcomeName(RunOutcome::Pending);
@@ -186,6 +211,70 @@ Gem5Run::classify(const Json &run_doc)
             return o;
     }
     return RunOutcome::Pending;
+}
+
+bool
+Gem5Run::cacheBypassed()
+{
+    const char *v = std::getenv("G5ART_NO_CACHE");
+    return v != nullptr && *v != '\0' && std::string(v) != "0";
+}
+
+bool
+Gem5Run::outcomeCacheable(RunOutcome o)
+{
+    switch (o) {
+      case RunOutcome::Success:
+      case RunOutcome::KernelPanic:
+      case RunOutcome::SimCrash:
+      case RunOutcome::Deadlock:
+      case RunOutcome::Unsupported:
+        return true;
+      case RunOutcome::Timeout:
+      case RunOutcome::Failure:
+      case RunOutcome::Pending:
+        return false;
+    }
+    return false;
+}
+
+Json
+Gem5Run::executeCached(ArtifactDb &adb, scheduler::CancelToken *token)
+{
+    if (cacheBypassed() || inputHashStr.empty())
+        return execute(adb, token);
+
+    // The "inputHash" secondary index makes this probe O(matches).
+    Json q = Json::object({{"inputHash", Json(inputHashStr)}});
+    for (const Json &prior : adb.runs().find(q)) {
+        if (prior.getString("_id") == runId)
+            continue;
+        if (!outcomeCacheable(classify(prior)))
+            continue;
+
+        // Serve the hit: the prior results ARE this run's results.
+        static const char *result_keys[] = {
+            "status", "outcome", "error", "exitCause", "exitCode",
+            "simTicks", "roiTicks", "workBeginTick", "workEndTick",
+            "totalInsts", "resultsBlob", "stats",
+        };
+        Json fields = Json::object();
+        for (const char *key : result_keys)
+            if (prior.contains(key))
+                fields[key] = prior.at(key);
+        fields["cached"] = true;
+        // Provenance: always point at the originally simulated run.
+        fields["cachedFrom"] = prior.getBool("cached", false)
+                                   ? prior.getString("cachedFrom")
+                                   : prior.getString("_id");
+        fields["wallSeconds"] = 0.0;
+        fields["startedAt"] = isoTimestamp();
+        fields["finishedAt"] = isoTimestamp();
+        adb.runs().updateOne(Json::object({{"_id", Json(runId)}}),
+                             Json::object({{"$set", fields}}));
+        return document(adb);
+    }
+    return execute(adb, token);
 }
 
 Json

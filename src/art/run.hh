@@ -104,6 +104,14 @@ class Gem5Run
     const std::string &id() const { return runId; }
     const std::string &name() const { return runName; }
 
+    /**
+     * Deterministic content hash of the run's inputs: MD5 over the
+     * sorted artifact-hash map, the canonicalized parameters, and the
+     * run type. Two runs with equal input hashes simulate identically,
+     * which is what makes the run-result cache sound.
+     */
+    const std::string &inputHash() const { return inputHashStr; }
+
     /** Job timeout in seconds (for the task layer). */
     double timeoutSeconds() const { return timeoutS; }
 
@@ -120,6 +128,31 @@ class Gem5Run
     Json execute(ArtifactDb &adb,
                  scheduler::CancelToken *token = nullptr);
 
+    /**
+     * Execute through the content-addressed run cache: when the
+     * database already holds a run with the same inputHash and a
+     * deterministic terminal outcome (see outcomeCacheable), copy its
+     * results into this run's document — marked "cached": true with a
+     * "cachedFrom" provenance pointer — without re-simulating.
+     * Otherwise (cache miss, or caching disabled via the G5ART_NO_CACHE
+     * environment variable) falls back to execute().
+     *
+     * @return the final run document.
+     */
+    Json executeCached(ArtifactDb &adb,
+                       scheduler::CancelToken *token = nullptr);
+
+    /** @return true when G5ART_NO_CACHE is set (forces re-execution). */
+    static bool cacheBypassed();
+
+    /**
+     * @return true when a stored outcome may be served from cache.
+     * Success and the deterministic failure classes (kernel panic, sim
+     * crash, deadlock, unsupported) are; Timeout (host/scheduler
+     * dependent), generic Failure, and non-terminal Pending are not.
+     */
+    static bool outcomeCacheable(RunOutcome o);
+
     /** Fetch the run document currently stored in the database. */
     Json document(ArtifactDb &adb) const;
 
@@ -131,6 +164,7 @@ class Gem5Run
 
     std::string runId;
     std::string runName;
+    std::string inputHashStr;
     std::string gem5Binary;
     std::string runScript;
     std::string outdir;

@@ -3,21 +3,44 @@
 namespace g5::art
 {
 
-Tasks::Tasks(ArtifactDb &adb, unsigned workers, Backend backend)
-    : adb(adb), queue(backend == Backend::Inline ? 0 : workers, backend)
+Tasks::Tasks(ArtifactDb &adb, unsigned workers, Backend backend,
+             bool use_cache)
+    : adb(adb), queue(backend == Backend::Inline ? 0 : workers, backend),
+      useCache(use_cache)
 {}
+
+scheduler::TaskFn
+Tasks::taskFor(Gem5Run run)
+{
+    ArtifactDb *adbp = &adb;
+    bool cached = useCache;
+    return [run, adbp, cached](scheduler::CancelToken &token) mutable {
+        return cached ? run.executeCached(*adbp, &token)
+                      : run.execute(*adbp, &token);
+    };
+}
 
 scheduler::TaskFuturePtr
 Tasks::applyAsync(Gem5Run run)
 {
     double timeout = run.timeoutSeconds();
-    ArtifactDb *adbp = &adb;
-    return queue.applyAsync(
-        run.name(),
-        [run, adbp](scheduler::CancelToken &token) mutable {
-            return run.execute(*adbp, &token);
-        },
-        timeout);
+    std::string name = run.name();
+    return queue.applyAsync(name, taskFor(std::move(run)), timeout);
+}
+
+std::vector<scheduler::TaskFuturePtr>
+Tasks::applyAsyncBatch(std::vector<Gem5Run> runs)
+{
+    std::vector<scheduler::TaskSpec> specs;
+    specs.reserve(runs.size());
+    for (auto &run : runs) {
+        scheduler::TaskSpec spec;
+        spec.name = run.name();
+        spec.timeoutSeconds = run.timeoutSeconds();
+        spec.fn = taskFor(std::move(run));
+        specs.push_back(std::move(spec));
+    }
+    return queue.map(std::move(specs));
 }
 
 } // namespace g5::art

@@ -7,12 +7,19 @@
  * backend plays Celery / Python multiprocessing, the Inline backend is
  * "no job scheduler at all". Timeouts come from each run's registered
  * timeout, enforced cooperatively through the simulator's event loop.
+ *
+ * Runs execute through the content-addressed run cache by default: a
+ * run whose inputHash already has a deterministic terminal result in
+ * the database is answered from that document instead of re-simulated.
+ * Disable per-Tasks with useCache=false, or globally with the
+ * G5ART_NO_CACHE environment variable.
  */
 
 #ifndef G5_ART_TASKS_HH
 #define G5_ART_TASKS_HH
 
 #include <memory>
+#include <vector>
 
 #include "art/run.hh"
 #include "scheduler/task_queue.hh"
@@ -26,11 +33,14 @@ class Tasks
     using Backend = scheduler::TaskQueue::Backend;
 
     /**
-     * @param adb     shared artifact database.
-     * @param workers worker count (ignored by the Inline backend).
+     * @param adb       shared artifact database.
+     * @param workers   worker count (ignored by the Inline backend);
+     *                  0 saturates the host (one per hardware thread).
+     * @param backend   execution backend.
+     * @param use_cache serve repeat runs from the run-result cache.
      */
-    Tasks(ArtifactDb &adb, unsigned workers = 2,
-          Backend backend = Backend::Threaded);
+    Tasks(ArtifactDb &adb, unsigned workers = 0,
+          Backend backend = Backend::Threaded, bool use_cache = true);
 
     /**
      * Submit a run for execution (the launch script's apply_async).
@@ -38,15 +48,28 @@ class Tasks
      */
     scheduler::TaskFuturePtr applyAsync(Gem5Run run);
 
+    /**
+     * Submit a whole sweep at once: one lock acquisition and one pool
+     * wake-up for all runs instead of one per run.
+     */
+    std::vector<scheduler::TaskFuturePtr>
+    applyAsyncBatch(std::vector<Gem5Run> runs);
+
+    /** Toggle run-result cache usage for subsequent submissions. */
+    void setUseCache(bool use) { useCache = use; }
+
     /** Block until every submitted run reached a terminal state. */
     void waitAll() { queue.waitAll(); }
 
-    /** Scheduler-side state counts. */
+    /** Scheduler-side state counts (O(1)). */
     Json summary() const { return queue.summary(); }
 
   private:
+    scheduler::TaskFn taskFor(Gem5Run run);
+
     ArtifactDb &adb;
     scheduler::TaskQueue queue;
+    bool useCache;
 };
 
 } // namespace g5::art

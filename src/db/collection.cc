@@ -1,5 +1,7 @@
 #include "db/collection.hh"
 
+#include <algorithm>
+
 #include "base/logging.hh"
 #include "base/str.hh"
 #include "base/uuid.hh"
@@ -12,10 +14,123 @@ Collection::Collection(std::string name)
     : collName(std::move(name))
 {}
 
+namespace
+{
+
+/** Serialize a value so that equal values (including Int/Double pairs
+ *  that compare equal) produce identical keys. */
+void
+canonicalize(const Json &value, std::string &out)
+{
+    if (value.isNumber()) {
+        double d = value.asDouble();
+        std::int64_t i = value.asInt();
+        if (double(i) == d) {
+            out += std::to_string(i);
+            return;
+        }
+        out += Json(d).dump();
+        return;
+    }
+    if (value.isArray()) {
+        out += '[';
+        bool first = true;
+        for (const auto &elem : value.asArray()) {
+            if (!first)
+                out += ',';
+            first = false;
+            canonicalize(elem, out);
+        }
+        out += ']';
+        return;
+    }
+    if (value.isObject()) {
+        out += '{';
+        bool first = true;
+        for (const auto &kv : value.asObject()) {
+            if (!first)
+                out += ',';
+            first = false;
+            out += Json(kv.first).dump();
+            out += ':';
+            canonicalize(kv.second, out);
+        }
+        out += '}';
+        return;
+    }
+    out += value.dump();
+}
+
+} // anonymous namespace
+
 std::string
 Collection::indexKey(const Json &value)
 {
-    return value.dump();
+    std::string out;
+    canonicalize(value, out);
+    return out;
+}
+
+std::vector<std::string>
+Collection::indexKeysFor(const Json &value)
+{
+    std::vector<std::string> keys;
+    keys.push_back(indexKey(value));
+    if (value.isArray()) {
+        for (const auto &elem : value.asArray()) {
+            std::string k = indexKey(elem);
+            if (std::find(keys.begin(), keys.end(), k) == keys.end())
+                keys.push_back(std::move(k));
+        }
+    }
+    return keys;
+}
+
+void
+Collection::indexDoc(const Json &doc, const std::string &id)
+{
+    for (auto &entry : indexes) {
+        const Json *v = doc.find(entry.first);
+        if (!v)
+            continue; // sparse
+        for (const auto &key : indexKeysFor(*v))
+            entry.second.buckets[key].push_back(id);
+    }
+}
+
+void
+Collection::unindexDoc(const Json &doc, const std::string &id)
+{
+    for (auto &entry : indexes) {
+        const Json *v = doc.find(entry.first);
+        if (!v)
+            continue;
+        for (const auto &key : indexKeysFor(*v)) {
+            auto it = entry.second.buckets.find(key);
+            if (it == entry.second.buckets.end())
+                continue;
+            auto &ids = it->second;
+            ids.erase(std::remove(ids.begin(), ids.end(), id), ids.end());
+            if (ids.empty())
+                entry.second.buckets.erase(it);
+        }
+    }
+}
+
+Collection::FieldIndex
+Collection::buildIndex(const std::string &field_path, bool unique) const
+{
+    FieldIndex fi;
+    fi.unique = unique;
+    for (const auto &doc : docs) {
+        const Json *v = doc.find(field_path);
+        if (!v)
+            continue;
+        const std::string id = doc.getString("_id");
+        for (const auto &key : indexKeysFor(*v))
+            fi.buckets[key].push_back(id);
+    }
+    return fi;
 }
 
 void
@@ -25,9 +140,16 @@ Collection::checkUnique(const Json &doc, const std::string &skip_id) const
         const Json *v = doc.find(field);
         if (!v || v->isNull())
             continue; // sparse semantics
-        for (const auto &other : docs) {
-            if (other.getString("_id") == skip_id)
+        auto idx = indexes.find(field);
+        if (idx == indexes.end())
+            continue;
+        auto bucket = idx->second.buckets.find(indexKey(*v));
+        if (bucket == idx->second.buckets.end())
+            continue;
+        for (const auto &id : bucket->second) {
+            if (id == skip_id)
                 continue;
+            const Json &other = docs[byId.at(id)];
             const Json *ov = other.find(field);
             if (ov && *ov == *v) {
                 throw DuplicateKeyError(
@@ -57,8 +179,59 @@ Collection::insertOne(Json doc)
     checkUnique(doc, id);
 
     byId[id] = docs.size();
+    indexDoc(doc, id);
     docs.push_back(std::move(doc));
     return id;
+}
+
+bool
+Collection::planCandidates(const Json &query,
+                           std::vector<std::size_t> &positions) const
+{
+    if (!query.isObject())
+        return false;
+
+    const std::vector<std::string> *bucket = nullptr;
+    for (const auto &kv : query.asObject()) {
+        const std::string &key = kv.first;
+        if (!key.empty() && key[0] == '$')
+            continue; // combinators don't constrain a single field
+        const Json *operand = equalityOperand(kv.second);
+        if (!operand)
+            continue;
+
+        if (key == "_id") {
+            // The primary index answers this one exactly.
+            positions.clear();
+            if (operand->isString()) {
+                auto it = byId.find(operand->asString());
+                if (it != byId.end())
+                    positions.push_back(it->second);
+            }
+            return true;
+        }
+
+        auto idx = indexes.find(key);
+        if (idx == indexes.end())
+            continue;
+        auto b = idx->second.buckets.find(indexKey(*operand));
+        if (b == idx->second.buckets.end()) {
+            positions.clear();
+            return true; // indexed field, no candidates at all
+        }
+        // Prefer the most selective index available.
+        if (!bucket || b->second.size() < bucket->size())
+            bucket = &b->second;
+    }
+
+    if (!bucket)
+        return false;
+    positions.clear();
+    positions.reserve(bucket->size());
+    for (const auto &id : *bucket)
+        positions.push_back(byId.at(id));
+    std::sort(positions.begin(), positions.end());
+    return true;
 }
 
 std::vector<Json>
@@ -66,20 +239,41 @@ Collection::find(const Json &query) const
 {
     std::lock_guard<std::mutex> lock(mtx);
     std::vector<Json> out;
+    std::vector<std::size_t> cand;
+    if (planCandidates(query, cand)) {
+        for (std::size_t pos : cand)
+            if (matches(docs[pos], query))
+                out.push_back(docs[pos]);
+        return out;
+    }
     for (const auto &doc : docs)
         if (matches(doc, query))
             out.push_back(doc);
     return out;
 }
 
+std::size_t
+Collection::findFirstPos(const Json &query) const
+{
+    std::vector<std::size_t> cand;
+    if (planCandidates(query, cand)) {
+        for (std::size_t pos : cand)
+            if (matches(docs[pos], query))
+                return pos;
+        return npos;
+    }
+    for (std::size_t pos = 0; pos < docs.size(); ++pos)
+        if (matches(docs[pos], query))
+            return pos;
+    return npos;
+}
+
 Json
 Collection::findOne(const Json &query) const
 {
     std::lock_guard<std::mutex> lock(mtx);
-    for (const auto &doc : docs)
-        if (matches(doc, query))
-            return doc;
-    return Json();
+    std::size_t pos = findFirstPos(query);
+    return pos == npos ? Json() : docs[pos];
 }
 
 Json
@@ -97,6 +291,13 @@ Collection::count(const Json &query) const
 {
     std::lock_guard<std::mutex> lock(mtx);
     std::size_t n = 0;
+    std::vector<std::size_t> cand;
+    if (planCandidates(query, cand)) {
+        for (std::size_t pos : cand)
+            if (matches(docs[pos], query))
+                ++n;
+        return n;
+    }
     for (const auto &doc : docs)
         if (matches(doc, query))
             ++n;
@@ -107,55 +308,98 @@ bool
 Collection::updateOne(const Json &query, const Json &update)
 {
     std::lock_guard<std::mutex> lock(mtx);
-    for (auto &doc : docs) {
-        if (!matches(doc, query))
-            continue;
+    std::size_t pos = findFirstPos(query);
+    if (pos == npos)
+        return false;
+    Json &doc = docs[pos];
+    const std::string id = doc.getString("_id");
 
-        Json updated = doc;
-        bool has_op = false;
-        if (update.isObject()) {
-            if (update.contains("$set")) {
-                has_op = true;
-                for (const auto &kv : update.at("$set").asObject())
-                    updated[kv.first] = kv.second;
-            }
-            if (update.contains("$inc")) {
-                has_op = true;
-                for (const auto &kv : update.at("$inc").asObject()) {
-                    std::int64_t cur = updated.getInt(kv.first, 0);
-                    updated[kv.first] = cur + kv.second.asInt();
-                }
-            }
-        }
-        if (!has_op) {
-            std::string id = doc.getString("_id");
-            updated = update;
-            updated["_id"] = id;
-        }
+    bool has_op = update.isObject() &&
+                  (update.contains("$set") || update.contains("$inc"));
 
-        checkUnique(updated, doc.getString("_id"));
+    if (!has_op) {
+        // Replacement: a new document is unavoidable, but the old one
+        // is released rather than copied.
+        Json updated = update;
+        updated["_id"] = id;
+        unindexDoc(doc, id);
+        try {
+            checkUnique(updated, id);
+        } catch (...) {
+            indexDoc(doc, id);
+            throw;
+        }
         doc = std::move(updated);
+        indexDoc(doc, id);
         return true;
     }
-    return false;
+
+    // Operator update: mutate the affected fields in place, keeping
+    // just enough of the old values to roll back a uniqueness failure.
+    Json::ObjectT &members = doc.asObject();
+    std::map<std::string, Json> savedVals;
+    std::set<std::string> savedAbsent;
+    auto snapshot = [&](const std::string &key) {
+        if (savedVals.count(key) || savedAbsent.count(key))
+            return;
+        auto it = members.find(key);
+        if (it == members.end())
+            savedAbsent.insert(key);
+        else
+            savedVals.emplace(key, it->second);
+    };
+
+    unindexDoc(doc, id);
+    if (update.contains("$set")) {
+        for (const auto &kv : update.at("$set").asObject()) {
+            snapshot(kv.first);
+            doc[kv.first] = kv.second;
+        }
+    }
+    if (update.contains("$inc")) {
+        for (const auto &kv : update.at("$inc").asObject()) {
+            snapshot(kv.first);
+            std::int64_t cur = doc.getInt(kv.first, 0);
+            doc[kv.first] = cur + kv.second.asInt();
+        }
+    }
+    try {
+        checkUnique(doc, id);
+    } catch (...) {
+        for (auto &kv : savedVals)
+            doc[kv.first] = std::move(kv.second);
+        for (const auto &key : savedAbsent)
+            members.erase(key);
+        indexDoc(doc, id);
+        throw;
+    }
+    indexDoc(doc, id);
+    return true;
 }
 
 std::size_t
 Collection::deleteMany(const Json &query)
 {
     std::lock_guard<std::mutex> lock(mtx);
-    std::vector<Json> kept;
+    // Compact in place: deleted documents leave byId and every field
+    // index incrementally; survivors only have their position refreshed.
+    std::size_t write = 0;
     std::size_t removed = 0;
-    for (auto &doc : docs) {
-        if (matches(doc, query))
+    for (std::size_t read = 0; read < docs.size(); ++read) {
+        Json &doc = docs[read];
+        const std::string id = doc.getString("_id");
+        if (matches(doc, query)) {
+            unindexDoc(doc, id);
+            byId.erase(id);
             ++removed;
-        else
-            kept.push_back(std::move(doc));
+            continue;
+        }
+        byId[id] = write;
+        if (write != read)
+            docs[write] = std::move(doc);
+        ++write;
     }
-    docs = std::move(kept);
-    byId.clear();
-    for (std::size_t i = 0; i < docs.size(); ++i)
-        byId[docs[i].getString("_id")] = i;
+    docs.resize(write);
     return removed;
 }
 
@@ -177,6 +421,30 @@ Collection::createUniqueIndex(const std::string &field_path)
         }
     }
     uniqueFields.insert(field_path);
+    auto it = indexes.find(field_path);
+    if (it == indexes.end())
+        indexes.emplace(field_path, buildIndex(field_path, true));
+    else
+        it->second.unique = true;
+}
+
+void
+Collection::createIndex(const std::string &field_path)
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    if (indexes.count(field_path))
+        return;
+    indexes.emplace(field_path, buildIndex(field_path, false));
+}
+
+std::vector<std::string>
+Collection::indexedFields() const
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    std::vector<std::string> out;
+    for (const auto &entry : indexes)
+        out.push_back(entry.first);
+    return out;
 }
 
 std::vector<Json>
@@ -221,6 +489,8 @@ Collection::loadJsonl(const std::string &text)
     std::lock_guard<std::mutex> lock(mtx);
     docs.clear();
     byId.clear();
+    for (auto &entry : indexes)
+        entry.second.buckets.clear();
     for (const auto &line : split(text, '\n')) {
         std::string t = trim(line);
         if (t.empty())
@@ -230,6 +500,7 @@ Collection::loadJsonl(const std::string &text)
         if (id.empty())
             fatal("collection '" + collName + "': JSONL doc without _id");
         byId[id] = docs.size();
+        indexDoc(doc, id);
         docs.push_back(std::move(doc));
     }
 }

@@ -1,11 +1,21 @@
 /**
  * @file
- * A collection of JSON documents with Mongo-like CRUD and unique indexes.
+ * A collection of JSON documents with Mongo-like CRUD and hash indexes.
  *
  * Documents are Json objects. Every document carries a string "_id"
  * (assigned a UUID at insert when absent). Unique indexes over dotted
  * field paths are enforced at insert/update time — gem5art relies on this
  * to guarantee that no two distinct artifacts share a content hash.
+ *
+ * Every indexed field (unique or secondary, see createIndex) maintains a
+ * hash index from canonicalized field value to document ids. Top-level
+ * equality conditions ({"field": v} and {"field": {"$eq": v}}) are routed
+ * through these indexes by a small query planner, so find/findOne/count
+ * on an indexed field are O(matches) instead of O(collection), and the
+ * uniqueness check at insert is an O(1) probe instead of a full scan
+ * (bulk-inserting N documents is O(N), not O(N^2)). Queries the planner
+ * cannot serve fall back to the original full scan, so results are
+ * always identical to scanning.
  */
 
 #ifndef G5_DB_COLLECTION_HH
@@ -17,6 +27,7 @@
 #include <mutex>
 #include <set>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "base/json.hh"
@@ -81,6 +92,16 @@ class Collection
      */
     void createUniqueIndex(const std::string &field_path);
 
+    /**
+     * Maintain a secondary (non-unique) hash index over a dotted field
+     * path so equality queries on it skip the scan. Idempotent; never
+     * changes query results.
+     */
+    void createIndex(const std::string &field_path);
+
+    /** @return the sorted field paths currently indexed. */
+    std::vector<std::string> indexedFields() const;
+
     /** @return the sorted distinct serialized values of a field path. */
     std::vector<Json> distinct(const std::string &field_path) const;
 
@@ -94,15 +115,61 @@ class Collection
     void loadJsonl(const std::string &text);
 
   private:
-    /** Key a field value for index bookkeeping. */
+    /**
+     * Canonical key of a field value for index bookkeeping. Numeric
+     * values that compare equal (Json's Int 3 == Double 3.0) share a
+     * key, recursively through arrays and objects, so an index probe
+     * agrees with operator==.
+     */
     static std::string indexKey(const Json &value);
 
+    /**
+     * All keys a field value is findable under: the whole value, plus
+     * each element of an array value (Mongo's literal-equality "array
+     * contains" semantics).
+     */
+    static std::vector<std::string> indexKeysFor(const Json &value);
+
+    /** One field's hash index: canonical value key -> document ids. */
+    struct FieldIndex
+    {
+        bool unique = false;
+        std::unordered_map<std::string, std::vector<std::string>> buckets;
+    };
+
+    /** Add @p doc (by id) to every field index. Lock held. */
+    void indexDoc(const Json &doc, const std::string &id);
+
+    /** Remove @p doc (by id) from every field index. Lock held. */
+    void unindexDoc(const Json &doc, const std::string &id);
+
+    /** Build a field's buckets from the current documents. Lock held. */
+    FieldIndex buildIndex(const std::string &field_path,
+                          bool unique) const;
+
+    /**
+     * Query planner: when @p query has a top-level equality condition
+     * on "_id" or an indexed field, fill @p positions with the (sorted)
+     * candidate document positions and return true. Candidates are a
+     * superset of the matches for that one condition; callers still
+     * filter with matches(). Lock held.
+     */
+    bool planCandidates(const Json &query,
+                        std::vector<std::size_t> &positions) const;
+
+    /** Position of the first document matching @p query. Lock held. */
+    std::size_t findFirstPos(const Json &query) const;
+
+    /** O(1)-probe uniqueness check against every unique index. */
     void checkUnique(const Json &doc, const std::string &skip_id) const;
+
+    static constexpr std::size_t npos = std::size_t(-1);
 
     std::string collName;
     std::vector<Json> docs;
-    std::map<std::string, std::size_t> byId;
+    std::unordered_map<std::string, std::size_t> byId;
     std::set<std::string> uniqueFields;
+    std::map<std::string, FieldIndex> indexes;
     /** Guards all public operations: collections are shared across
      *  scheduler workers running gem5 jobs concurrently. */
     mutable std::mutex mtx;

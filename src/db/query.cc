@@ -101,6 +101,8 @@ matchOperators(const Json *field, const Json &ops)
     return true;
 }
 
+} // anonymous namespace
+
 bool
 isOperatorObject(const Json &v)
 {
@@ -112,7 +114,15 @@ isOperatorObject(const Json &v)
     return true;
 }
 
-} // anonymous namespace
+const Json *
+equalityOperand(const Json &cond)
+{
+    if (!isOperatorObject(cond))
+        return &cond;
+    if (cond.contains("$eq"))
+        return &cond.at("$eq");
+    return nullptr;
+}
 
 bool
 matches(const Json &doc, const Json &query)

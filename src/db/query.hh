@@ -25,6 +25,21 @@ namespace g5::db
 /** @return true when @p doc satisfies @p query. */
 bool matches(const Json &doc, const Json &query);
 
+/** @return true when @p v is an operator object ({"$gt": 3, ...}). */
+bool isOperatorObject(const Json &v);
+
+/**
+ * Extract the equality operand of a per-field condition, when it has
+ * one: a literal condition yields the literal, an operator object with
+ * "$eq" yields its operand (the remaining operators still apply as a
+ * residual filter). The query planner uses this to route conditions
+ * through a field index.
+ *
+ * @return pointer to the operand, or nullptr when the condition is not
+ *         an equality.
+ */
+const Json *equalityOperand(const Json &cond);
+
 } // namespace g5::db
 
 #endif // G5_DB_QUERY_HH

@@ -97,6 +97,8 @@ TaskFuture::execute()
         std::lock_guard<std::mutex> lock(mtx);
         st = TaskState::Running;
     }
+    if (transitionHook)
+        transitionHook(TaskState::Pending, TaskState::Running);
     token.arm(timeoutSeconds);
     double start = monotonicSeconds();
 
@@ -124,7 +126,16 @@ TaskFuture::execute()
         errMsg = std::move(final_err);
         wallSecs = monotonicSeconds() - start;
     }
+    if (transitionHook)
+        transitionHook(TaskState::Running, final_state);
     cv.notify_all();
+}
+
+unsigned
+TaskQueue::defaultWorkerCount()
+{
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
 }
 
 TaskQueue::TaskQueue(unsigned workers, Backend backend)
@@ -132,7 +143,7 @@ TaskQueue::TaskQueue(unsigned workers, Backend backend)
 {
     if (backend == Backend::Threaded) {
         if (workers == 0)
-            fatal("TaskQueue: Threaded backend needs >= 1 worker");
+            workers = defaultWorkerCount();
         for (unsigned i = 0; i < workers; ++i)
             threads.emplace_back([this] { workerLoop(); });
     }
@@ -150,14 +161,24 @@ TaskQueue::~TaskQueue()
 }
 
 TaskFuturePtr
+TaskQueue::makeFuture(std::string name, TaskFn fn, double timeout_s)
+{
+    auto fut = std::make_shared<TaskFuture>(std::move(name),
+                                            std::move(fn), timeout_s);
+    fut->transitionHook = [this](TaskState from, TaskState to) {
+        --stateCounts[int(from)];
+        ++stateCounts[int(to)];
+    };
+    ++stateCounts[int(TaskState::Pending)];
+    ++totalTasks;
+    return fut;
+}
+
+TaskFuturePtr
 TaskQueue::applyAsync(const std::string &name, TaskFn fn, double timeout_s)
 {
-    auto fut = std::make_shared<TaskFuture>(name, std::move(fn), timeout_s);
+    auto fut = makeFuture(name, std::move(fn), timeout_s);
     if (backend == Backend::Inline) {
-        {
-            std::lock_guard<std::mutex> lock(mtx);
-            all.push_back(fut);
-        }
         fut->execute();
         return fut;
     }
@@ -166,10 +187,34 @@ TaskQueue::applyAsync(const std::string &name, TaskFn fn, double timeout_s)
         if (shuttingDown)
             fatal("TaskQueue: applyAsync after shutdown");
         pending.push_back(fut);
-        all.push_back(fut);
     }
     cv.notify_one();
     return fut;
+}
+
+std::vector<TaskFuturePtr>
+TaskQueue::map(std::vector<TaskSpec> specs)
+{
+    std::vector<TaskFuturePtr> futs;
+    futs.reserve(specs.size());
+    for (auto &spec : specs)
+        futs.push_back(makeFuture(std::move(spec.name),
+                                  std::move(spec.fn),
+                                  spec.timeoutSeconds));
+    if (backend == Backend::Inline) {
+        for (auto &fut : futs)
+            fut->execute();
+        return futs;
+    }
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        if (shuttingDown)
+            fatal("TaskQueue: map after shutdown");
+        pending.insert(pending.end(), futs.begin(), futs.end());
+    }
+    // One wake-up for the whole batch instead of one per task.
+    cv.notify_all();
+    return futs;
 }
 
 void
@@ -211,17 +256,13 @@ TaskQueue::waitAll()
 Json
 TaskQueue::summary() const
 {
-    std::lock_guard<std::mutex> lock(mtx);
-    int counts[5] = {0, 0, 0, 0, 0};
-    for (const auto &t : all)
-        ++counts[int(t->state())];
     Json out = Json::object();
-    out["PENDING"] = counts[0];
-    out["RUNNING"] = counts[1];
-    out["SUCCESS"] = counts[2];
-    out["FAILURE"] = counts[3];
-    out["TIMEOUT"] = counts[4];
-    out["total"] = std::int64_t(all.size());
+    out["PENDING"] = stateCounts[int(TaskState::Pending)].load();
+    out["RUNNING"] = stateCounts[int(TaskState::Running)].load();
+    out["SUCCESS"] = stateCounts[int(TaskState::Success)].load();
+    out["FAILURE"] = stateCounts[int(TaskState::Failure)].load();
+    out["TIMEOUT"] = stateCounts[int(TaskState::Timeout)].load();
+    out["total"] = totalTasks.load();
     return out;
 }
 

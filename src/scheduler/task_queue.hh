@@ -74,6 +74,14 @@ class CancelToken
 /** The body of a task: receives its token, returns a JSON result. */
 using TaskFn = std::function<Json(CancelToken &)>;
 
+/** One entry of a batched submission (TaskQueue::map). */
+struct TaskSpec
+{
+    std::string name;
+    TaskFn fn;
+    double timeoutSeconds = 0.0;
+};
+
 /** Handle for a submitted task; shared between caller and worker. */
 class TaskFuture
 {
@@ -106,6 +114,9 @@ class TaskFuture
     TaskFn fn;
     double timeoutSeconds;
     CancelToken token;
+    /** Owner-queue hook fired on every state transition (running state
+     *  counts); set by TaskQueue before the task can execute. */
+    std::function<void(TaskState, TaskState)> transitionHook;
 
     mutable std::mutex mtx;
     std::condition_variable cv;
@@ -123,11 +134,18 @@ class TaskQueue
     enum class Backend { Threaded, Inline };
 
     /**
-     * @param workers number of worker threads (Threaded backend).
+     * @param workers number of worker threads (Threaded backend);
+     *                0 saturates the host (hardware_concurrency).
      * @param backend execution backend.
      */
-    explicit TaskQueue(unsigned workers = 2,
+    explicit TaskQueue(unsigned workers = 0,
                        Backend backend = Backend::Threaded);
+
+    /** Worker count used when callers pass 0: every hardware thread. */
+    static unsigned defaultWorkerCount();
+
+    /** @return the number of worker threads (0 for Inline). */
+    unsigned workerCount() const { return unsigned(threads.size()); }
 
     /** Drains the queue and joins workers. */
     ~TaskQueue();
@@ -144,23 +162,37 @@ class TaskQueue
     TaskFuturePtr applyAsync(const std::string &name, TaskFn fn,
                              double timeout_s = 0.0);
 
+    /**
+     * Batched submission: enqueue every spec under one lock and wake
+     * the whole pool once (notify_all), instead of a lock + notify_one
+     * per task. Use this when launching a sweep.
+     */
+    std::vector<TaskFuturePtr> map(std::vector<TaskSpec> specs);
+
     /** Block until every submitted task is terminal. */
     void waitAll();
 
-    /** @return counts of tasks by state, as a JSON object. */
+    /**
+     * @return counts of tasks by state, as a JSON object. O(1): the
+     * queue keeps running state counters instead of polling futures.
+     */
     Json summary() const;
 
   private:
     void workerLoop();
+    TaskFuturePtr makeFuture(std::string name, TaskFn fn,
+                             double timeout_s);
 
     Backend backend;
     std::vector<std::thread> threads;
     mutable std::mutex mtx;
     std::condition_variable cv;
     std::deque<TaskFuturePtr> pending;
-    std::vector<TaskFuturePtr> all;
     bool shuttingDown = false;
     unsigned running = 0;
+    /** Live per-state task counts, indexed by TaskState. */
+    std::atomic<std::int64_t> stateCounts[5] = {};
+    std::atomic<std::int64_t> totalTasks{0};
 };
 
 } // namespace g5::scheduler

@@ -2,8 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdio>
 #include <filesystem>
+#include <thread>
+#include <vector>
 
 #include "base/logging.hh"
 #include "base/json.hh"
@@ -163,6 +166,136 @@ TEST(Collection, DeleteManyAndDistinct)
     // _id index still consistent after compaction.
     Json survivor = c.findOne(doc(R"({"i":4})"));
     EXPECT_EQ(c.findById(survivor.getString("_id")).getInt("i"), 4);
+}
+
+TEST(Collection, IndexAndScanAgree)
+{
+    // Identical contents, one with secondary indexes, one without; the
+    // query planner must never change results.
+    Collection indexed("runs");
+    Collection scanned("runs");
+    indexed.createIndex("hash");
+    indexed.createIndex("cfg.mem");
+    for (int i = 0; i < 200; ++i) {
+        Json d = Json::object();
+        d["_id"] = "r" + std::to_string(i);
+        d["hash"] = "h" + std::to_string(i % 50);
+        d["n"] = i % 2 ? Json(i % 7) : Json(double(i % 7)); // 3 vs 3.0
+        d["cfg"] = Json::object({{"mem", Json(i % 3 ? "classic"
+                                                    : "ruby")}});
+        d["tags"] = Json::array();
+        d["tags"].push("t" + std::to_string(i % 4));
+        indexed.insertOne(d);
+        scanned.insertOne(d);
+    }
+    indexed.createIndex("n");
+    indexed.createIndex("tags");
+
+    std::vector<Json> queries = {
+        doc(R"({"hash":"h7"})"),
+        doc(R"({"hash":{"$eq":"h7"}})"),
+        doc(R"({"hash":"no-such"})"),
+        doc(R"({"cfg.mem":"ruby"})"),
+        doc(R"({"n":3})"),          // matches Int 3 and Double 3.0
+        doc(R"({"n":3.0})"),
+        doc(R"({"tags":"t2"})"),    // array-contains semantics
+        doc(R"({"hash":"h7","cfg.mem":"classic"})"),
+        doc(R"({"hash":{"$eq":"h7","$ne":"zzz"}})"),
+        doc(R"({"n":{"$gt":3}})"),  // no equality: planner falls back
+    };
+    for (const auto &q : queries) {
+        auto a = indexed.find(q);
+        auto b = scanned.find(q);
+        ASSERT_EQ(a.size(), b.size()) << q.dump();
+        for (std::size_t i = 0; i < a.size(); ++i)
+            EXPECT_EQ(a[i], b[i]) << q.dump();
+        EXPECT_EQ(indexed.count(q), scanned.count(q)) << q.dump();
+        EXPECT_EQ(indexed.findOne(q), scanned.findOne(q)) << q.dump();
+    }
+    auto fields = indexed.indexedFields();
+    EXPECT_EQ(fields.size(), 4u);
+}
+
+TEST(Collection, UniqueProbeUnderConcurrentInserts)
+{
+    // Many threads race to insert the same hashes; the unique-index
+    // probe must admit exactly one winner per hash.
+    Collection c("artifacts");
+    c.createUniqueIndex("hash");
+    constexpr int threads = 8;
+    constexpr int hashes = 64;
+    std::atomic<int> wins{0};
+    std::atomic<int> dups{0};
+    std::vector<std::thread> pool;
+    for (int t = 0; t < threads; ++t) {
+        pool.emplace_back([&c, &wins, &dups] {
+            for (int h = 0; h < hashes; ++h) {
+                Json d = Json::object();
+                d["hash"] = "h" + std::to_string(h);
+                try {
+                    c.insertOne(std::move(d));
+                    ++wins;
+                } catch (const DuplicateKeyError &) {
+                    ++dups;
+                }
+            }
+        });
+    }
+    for (auto &t : pool)
+        t.join();
+    EXPECT_EQ(wins.load(), hashes);
+    EXPECT_EQ(dups.load(), threads * hashes - hashes);
+    EXPECT_EQ(c.size(), std::size_t(hashes));
+}
+
+TEST(Collection, IndexConsistentAfterUpdateAndDelete)
+{
+    Collection c("runs");
+    c.createUniqueIndex("hash");
+    c.createIndex("status");
+    for (int i = 0; i < 30; ++i) {
+        Json d = Json::object();
+        d["_id"] = "r" + std::to_string(i);
+        d["hash"] = "h" + std::to_string(i);
+        d["status"] = "PENDING";
+        c.insertOne(std::move(d));
+    }
+
+    // $set moves docs between index buckets.
+    for (int i = 0; i < 30; i += 2) {
+        EXPECT_TRUE(c.updateOne(
+            doc(R"({"_id":"r)" + std::to_string(i) + R"("})"),
+            doc(R"({"$set":{"status":"SUCCESS"}})")));
+    }
+    EXPECT_EQ(c.count(doc(R"({"status":"SUCCESS"})")), 15u);
+    EXPECT_EQ(c.count(doc(R"({"status":"PENDING"})")), 15u);
+
+    // An update that violates the unique index rolls back completely.
+    EXPECT_THROW(c.updateOne(doc(R"({"_id":"r1"})"),
+                             doc(R"({"$set":{"hash":"h2"}})")),
+                 DuplicateKeyError);
+    EXPECT_EQ(c.findById("r1").getString("hash"), "h1");
+    EXPECT_EQ(c.findOne(doc(R"({"hash":"h1"})")).getString("_id"), "r1");
+
+    // Replacement updates re-key the indexes.
+    EXPECT_TRUE(c.updateOne(doc(R"({"hash":"h3"})"),
+                            doc(R"({"hash":"h3b","status":"FAILURE"})")));
+    EXPECT_TRUE(c.findOne(doc(R"({"hash":"h3"})")).isNull());
+    EXPECT_EQ(c.findOne(doc(R"({"hash":"h3b"})")).getString("_id"), "r3");
+    // The old key is free again.
+    c.insertOne(doc(R"({"hash":"h3","status":"NEW"})"));
+
+    // deleteMany prunes the indexes incrementally.
+    EXPECT_EQ(c.deleteMany(doc(R"({"status":"SUCCESS"})")), 15u);
+    EXPECT_EQ(c.count(doc(R"({"status":"SUCCESS"})")), 0u);
+    EXPECT_TRUE(c.findOne(doc(R"({"hash":"h4"})")).isNull());
+    EXPECT_EQ(c.findOne(doc(R"({"hash":"h5"})")).getString("_id"), "r5");
+    // Deleted hashes are insertable again; surviving ones still aren't.
+    c.insertOne(doc(R"({"hash":"h4"})"));
+    EXPECT_THROW(c.insertOne(doc(R"({"hash":"h5"})")),
+                 DuplicateKeyError);
+    // findById still agrees with positions after compaction.
+    EXPECT_EQ(c.findById("r5").getString("hash"), "h5");
 }
 
 TEST(Database, InMemoryBlobStore)

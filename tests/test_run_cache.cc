@@ -1,0 +1,268 @@
+/** @file Tests for the content-addressed run-result cache. */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+
+#include "art/tasks.hh"
+#include "art/workspace.hh"
+#include "base/logging.hh"
+#include "resources/catalog.hh"
+
+using namespace g5;
+using namespace g5::art;
+
+namespace
+{
+
+std::string
+tmpRoot()
+{
+    return (std::filesystem::temp_directory_path() / "g5art_cache_test")
+        .string();
+}
+
+Json
+bootParams(const std::string &cpu, int cores, const std::string &mem)
+{
+    Json p = Json::object();
+    p["cpu"] = cpu;
+    p["num_cpus"] = cores;
+    p["mem_system"] = mem;
+    p["boot_type"] = "init";
+    return p;
+}
+
+class QuietGuard
+{
+  public:
+    QuietGuard() { setQuiet(true); }
+    ~QuietGuard() { setQuiet(false); }
+};
+
+/** Clears G5ART_NO_CACHE for the test and restores it afterwards. */
+class CacheEnvGuard
+{
+  public:
+    CacheEnvGuard()
+    {
+        const char *v = std::getenv("G5ART_NO_CACHE");
+        had = v != nullptr;
+        if (had)
+            saved = v;
+        unsetenv("G5ART_NO_CACHE");
+    }
+    ~CacheEnvGuard()
+    {
+        if (had)
+            setenv("G5ART_NO_CACHE", saved.c_str(), 1);
+        else
+            unsetenv("G5ART_NO_CACHE");
+    }
+
+  private:
+    bool had = false;
+    std::string saved;
+};
+
+/** One workspace with the boot-exit resources materialized. */
+struct Fixture
+{
+    Fixture()
+        : ws(tmpRoot()), binary(ws.gem5Binary("20.1.0.4")),
+          kernel(ws.kernel("5.4.49")),
+          disk(ws.disk("boot-exit", resources::buildBootExitImage())),
+          script(ws.runScript("run_exit.py", "boot-exit run script"))
+    {}
+
+    Gem5Run
+    makeRun(const std::string &name, const Json &params,
+            const Workspace::Item *kern = nullptr, double timeout = 60.0)
+    {
+        const Workspace::Item &k = kern ? *kern : kernel;
+        return Gem5Run::createFSRun(
+            ws.adb(), name, binary.path, script.path, ws.outdir(name),
+            binary.artifact, binary.repoArtifact, script.repoArtifact,
+            k.path, disk.path, k.artifact, disk.artifact, params,
+            timeout);
+    }
+
+    Workspace ws;
+    Workspace::Item binary, kernel, disk, script;
+};
+
+} // anonymous namespace
+
+TEST(RunCache, HitOnIdenticalInputs)
+{
+    CacheEnvGuard env;
+    Fixture fx;
+    Json params = bootParams("kvm", 1, "classic");
+
+    Gem5Run first = fx.makeRun("orig", params);
+    Gem5Run second = fx.makeRun("repeat", params);
+    EXPECT_EQ(first.inputHash(), second.inputHash());
+    EXPECT_EQ(first.document(fx.ws.adb()).getString("inputHash"),
+              first.inputHash());
+
+    Json orig = first.execute(fx.ws.adb());
+    ASSERT_EQ(orig.getString("status"), "SUCCESS");
+
+    Json hit = second.executeCached(fx.ws.adb());
+    EXPECT_TRUE(hit.getBool("cached"));
+    EXPECT_EQ(hit.getString("cachedFrom"), first.id());
+    EXPECT_EQ(hit.getString("status"), "SUCCESS");
+    EXPECT_EQ(hit.getString("outcome"), orig.getString("outcome"));
+    EXPECT_EQ(hit.getInt("simTicks"), orig.getInt("simTicks"));
+    EXPECT_EQ(hit.getInt("totalInsts"), orig.getInt("totalInsts"));
+    EXPECT_EQ(hit.getString("resultsBlob"),
+              orig.getString("resultsBlob"));
+    EXPECT_EQ(hit.getDouble("wallSeconds"), 0.0);
+
+    // A hit served from a cached copy still names the original run.
+    Json third = fx.makeRun("repeat2", params).executeCached(fx.ws.adb());
+    EXPECT_TRUE(third.getBool("cached"));
+    EXPECT_EQ(third.getString("cachedFrom"), first.id());
+}
+
+TEST(RunCache, MissOnChangedParamOrArtifact)
+{
+    CacheEnvGuard env;
+    Fixture fx;
+    Json params = bootParams("kvm", 1, "classic");
+    Json orig = fx.makeRun("base", params).execute(fx.ws.adb());
+    ASSERT_EQ(orig.getString("status"), "SUCCESS");
+
+    // Changed parameter: different input hash, real execution.
+    Json more_cores = bootParams("kvm", 2, "classic");
+    Gem5Run run2 = fx.makeRun("more-cores", more_cores);
+    Json doc2 = run2.executeCached(fx.ws.adb());
+    EXPECT_FALSE(doc2.getBool("cached"));
+    EXPECT_FALSE(doc2.contains("cachedFrom"));
+    EXPECT_EQ(doc2.getString("status"), "SUCCESS");
+
+    // Changed artifact (another kernel): also a miss.
+    auto other_kernel = fx.ws.kernel("4.19.83");
+    Gem5Run run3 = fx.makeRun("other-kernel", params, &other_kernel);
+    EXPECT_NE(run3.inputHash(),
+              fx.makeRun("same", params).inputHash());
+    Json doc3 = run3.executeCached(fx.ws.adb());
+    EXPECT_FALSE(doc3.getBool("cached"));
+}
+
+TEST(RunCache, ForcedBypassReExecutes)
+{
+    CacheEnvGuard env;
+    Fixture fx;
+    Json params = bootParams("kvm", 1, "classic");
+    Json orig = fx.makeRun("warm", params).execute(fx.ws.adb());
+    ASSERT_EQ(orig.getString("status"), "SUCCESS");
+
+    setenv("G5ART_NO_CACHE", "1", 1);
+    EXPECT_TRUE(Gem5Run::cacheBypassed());
+    Json doc = fx.makeRun("bypass", params).executeCached(fx.ws.adb());
+    EXPECT_FALSE(doc.getBool("cached"));
+    EXPECT_EQ(doc.getString("status"), "SUCCESS");
+    unsetenv("G5ART_NO_CACHE");
+    EXPECT_FALSE(Gem5Run::cacheBypassed());
+
+    // The Tasks-level flag forces re-execution too.
+    Tasks no_cache(fx.ws.adb(), 1, Tasks::Backend::Threaded, false);
+    no_cache.applyAsync(fx.makeRun("flag-bypass", params))->wait();
+    Json flagged = fx.ws.adb().runs().findOne(
+        Json::object({{"name", Json("flag-bypass")}}));
+    EXPECT_FALSE(flagged.getBool("cached"));
+    EXPECT_EQ(flagged.getString("status"), "SUCCESS");
+}
+
+TEST(RunCache, TimeoutDocsAreNotServed)
+{
+    CacheEnvGuard env;
+    QuietGuard quiet;
+    Fixture fx;
+
+    // A livelocked configuration: the tick limit fires (outcome
+    // "timeout"), which must never be served as a cache hit.
+    auto kernel = fx.ws.kernel("4.19.83");
+    Json params = bootParams("o3", 4, "MI_example");
+    params["max_ticks"] = std::int64_t(50'000'000'000);
+    Json first = fx.makeRun("hang", params, &kernel).execute(fx.ws.adb());
+    ASSERT_EQ(Gem5Run::classify(first), RunOutcome::Timeout);
+
+    Json again =
+        fx.makeRun("hang2", params, &kernel).executeCached(fx.ws.adb());
+    EXPECT_FALSE(again.getBool("cached"));
+    EXPECT_EQ(Gem5Run::classify(again), RunOutcome::Timeout);
+
+    EXPECT_FALSE(Gem5Run::outcomeCacheable(RunOutcome::Timeout));
+    EXPECT_FALSE(Gem5Run::outcomeCacheable(RunOutcome::Failure));
+    EXPECT_FALSE(Gem5Run::outcomeCacheable(RunOutcome::Pending));
+    EXPECT_TRUE(Gem5Run::outcomeCacheable(RunOutcome::Success));
+}
+
+TEST(RunCache, DeterministicFailuresAreServed)
+{
+    CacheEnvGuard env;
+    QuietGuard quiet;
+    Fixture fx;
+
+    // A guest kernel panic is deterministic simulation output — runs
+    // with identical inputs may reuse it (this is what lets a warm Fig 8
+    // sweep skip its failed cells too).
+    auto kernel = fx.ws.kernel("4.4.186");
+    Json params = bootParams("o3", 2, "MESI_Two_Level");
+    Json first =
+        fx.makeRun("panic", params, &kernel).execute(fx.ws.adb());
+    ASSERT_EQ(Gem5Run::classify(first), RunOutcome::KernelPanic);
+
+    Json hit =
+        fx.makeRun("panic2", params, &kernel).executeCached(fx.ws.adb());
+    EXPECT_TRUE(hit.getBool("cached"));
+    EXPECT_EQ(Gem5Run::classify(hit), RunOutcome::KernelPanic);
+    EXPECT_EQ(hit.getString("error"), first.getString("error"));
+}
+
+TEST(RunCache, TasksLayerUsesCacheByDefault)
+{
+    CacheEnvGuard env;
+    Fixture fx;
+    Json params = bootParams("atomic", 1, "classic");
+
+    // Warm the cache with one real execution (concurrent identical
+    // runs may legitimately race past each other's in-flight results).
+    ASSERT_EQ(fx.makeRun("warm", params)
+                  .execute(fx.ws.adb())
+                  .getString("status"),
+              "SUCCESS");
+
+    std::vector<Gem5Run> first_wave;
+    for (int i = 0; i < 4; ++i)
+        first_wave.push_back(
+            fx.makeRun("wave1-" + std::to_string(i), params));
+    {
+        Tasks tasks(fx.ws.adb(), 2);
+        auto futs = tasks.applyAsyncBatch(std::move(first_wave));
+        tasks.waitAll();
+        for (auto &fut : futs)
+            EXPECT_EQ(fut->state(), scheduler::TaskState::Success);
+    }
+
+    // Every run in the wave was served from the warm result.
+    EXPECT_EQ(fx.ws.adb().runs().count(
+                  Json::object({{"cached", Json(true)}})),
+              4u);
+    std::vector<Gem5Run> second_wave;
+    for (int i = 0; i < 4; ++i)
+        second_wave.push_back(
+            fx.makeRun("wave2-" + std::to_string(i), params));
+    {
+        Tasks tasks(fx.ws.adb());
+        tasks.applyAsyncBatch(std::move(second_wave));
+        tasks.waitAll();
+        EXPECT_EQ(tasks.summary().getInt("SUCCESS"), 4);
+    }
+    EXPECT_EQ(fx.ws.adb().runs().count(
+                  Json::object({{"cached", Json(true)}})),
+              8u);
+}

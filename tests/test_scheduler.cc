@@ -97,8 +97,85 @@ TEST(CancelToken, ExplicitCancel)
     EXPECT_THROW(token.checkpoint(), TaskTimeout);
 }
 
-TEST(TaskQueue, ZeroWorkersThreadedIsFatal)
+TEST(TaskQueue, ZeroWorkersSaturatesTheHost)
 {
-    EXPECT_THROW(TaskQueue(0, TaskQueue::Backend::Threaded),
-                 g5::FatalError);
+    // 0 now means "one worker per hardware thread", not an error.
+    EXPECT_GE(TaskQueue::defaultWorkerCount(), 1u);
+    TaskQueue q(0, TaskQueue::Backend::Threaded);
+    EXPECT_EQ(q.workerCount(), TaskQueue::defaultWorkerCount());
+    auto fut = q.applyAsync("probe", [](CancelToken &) {
+        return Json(1);
+    });
+    EXPECT_EQ(fut->result().asInt(), 1);
+}
+
+TEST(TaskQueue, BatchedSubmissionRunsEveryTask)
+{
+    TaskQueue q(4);
+    std::atomic<int> ran{0};
+    std::vector<TaskSpec> specs;
+    for (int i = 0; i < 64; ++i) {
+        TaskSpec spec;
+        spec.name = "batch-" + std::to_string(i);
+        spec.fn = [&ran, i](CancelToken &) {
+            ++ran;
+            return Json(std::int64_t(i * i));
+        };
+        specs.push_back(std::move(spec));
+    }
+    auto futs = q.map(std::move(specs));
+    ASSERT_EQ(futs.size(), 64u);
+    q.waitAll();
+    EXPECT_EQ(ran.load(), 64);
+    for (int i = 0; i < 64; ++i) {
+        EXPECT_EQ(futs[i]->name(), "batch-" + std::to_string(i));
+        EXPECT_EQ(futs[i]->result().asInt(), i * i);
+    }
+    Json s = q.summary();
+    EXPECT_EQ(s.getInt("SUCCESS"), 64);
+    EXPECT_EQ(s.getInt("PENDING"), 0);
+    EXPECT_EQ(s.getInt("RUNNING"), 0);
+    EXPECT_EQ(s.getInt("total"), 64);
+}
+
+TEST(TaskQueue, BatchedSubmissionInlineBackend)
+{
+    TaskQueue q(0, TaskQueue::Backend::Inline);
+    std::vector<TaskSpec> specs;
+    for (int i = 0; i < 3; ++i) {
+        TaskSpec spec;
+        spec.name = "inline-" + std::to_string(i);
+        spec.fn = [i](CancelToken &) { return Json(std::int64_t(i)); };
+        specs.push_back(std::move(spec));
+    }
+    auto futs = q.map(std::move(specs));
+    for (int i = 0; i < 3; ++i)
+        EXPECT_EQ(futs[i]->state(), TaskState::Success);
+    EXPECT_EQ(q.summary().getInt("SUCCESS"), 3);
+}
+
+TEST(TaskQueue, SummaryCountsTimeoutsAndFailures)
+{
+    TaskQueue q(2);
+    q.applyAsync("ok", [](CancelToken &) { return Json(1); });
+    q.applyAsync("bad", [](CancelToken &) -> Json {
+        throw std::runtime_error("boom");
+    });
+    auto hang = q.applyAsync(
+        "slow",
+        [](CancelToken &token) -> Json {
+            for (;;) {
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(2));
+                token.checkpoint();
+            }
+        },
+        0.02);
+    q.waitAll();
+    hang->wait();
+    Json s = q.summary();
+    EXPECT_EQ(s.getInt("SUCCESS"), 1);
+    EXPECT_EQ(s.getInt("FAILURE"), 1);
+    EXPECT_EQ(s.getInt("TIMEOUT"), 1);
+    EXPECT_EQ(s.getInt("total"), 3);
 }
