@@ -8,12 +8,21 @@
 
 #include <benchmark/benchmark.h>
 
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
 #include "art/run.hh"
 #include "base/json.hh"
 #include "base/logging.hh"
 #include "base/md5.hh"
 #include "bench/bench_common.hh"
 #include "db/collection.hh"
+#include "db/database.hh"
 #include "resources/catalog.hh"
 #include "sim/eventq.hh"
 #include "sim/fs/fs_system.hh"
@@ -194,6 +203,238 @@ BM_DbFindByHash_Scan(benchmark::State &state)
 
 BENCHMARK(BM_DbFindByHash_Scan)->Arg(10'000)
     ->Unit(benchmark::kMicrosecond);
+
+// ---------------------------------------------------------------------
+// Concurrent database core: mixed insert+query throughput with 1/2/4/8
+// worker threads sharing one on-disk database, including the periodic
+// save() every sweep worker performs to persist its results mid-sweep.
+//
+// BM_DbConcurrentMixed runs the sharded core: per-collection
+// reader-writer locks and append-only WAL persistence (save appends
+// only the delta).
+//
+// BM_DbConcurrentMixedCoarse reproduces the seed's model as the
+// baseline: one coarse mutex serializing every database operation and
+// a save() that rewrites every collection wholesale.
+// ---------------------------------------------------------------------
+
+constexpr int mixedUnits = 256;     // op-units per thread
+constexpr int mixedSaveEvery = 32;  // persist cadence per thread
+constexpr int mixedHashSpace = 64;  // artifact working set
+
+Json
+mixedRunDoc(int t, int i)
+{
+    Json run = Json::object();
+    run["name"] = "run-" + std::to_string(t) + "-" + std::to_string(i);
+    run["inputHash"] =
+        "h" + std::to_string((t * 31 + i) % mixedHashSpace);
+    run["status"] = i % 3 ? "SUCCESS" : "FAILURE";
+    return run;
+}
+
+/**
+ * One sweep worker's slice: insert a run record, probe the artifact
+ * index, collate runs by input hash, and periodically persist.
+ */
+template <typename Harness>
+void
+mixedWorker(Harness &h, int t)
+{
+    for (int i = 0; i < mixedUnits; ++i) {
+        h.insertRun(mixedRunDoc(t, i));
+        Json probe = Json::object();
+        probe["hash"] = "h" + std::to_string(i % mixedHashSpace);
+        benchmark::DoNotOptimize(h.findArtifact(probe));
+        Json collate = Json::object();
+        collate["inputHash"] =
+            "h" + std::to_string((i * 7) % mixedHashSpace);
+        benchmark::DoNotOptimize(h.findRun(collate));
+        if (i % mixedSaveEvery == mixedSaveEvery - 1)
+            h.save();
+    }
+}
+
+/** The sharded core under test, straight through db::Database. */
+struct ShardedDbHarness
+{
+    explicit ShardedDbHarness(const std::string &dir)
+        : database(dir)
+    {
+        auto &artifacts = database.collection("artifacts");
+        artifacts.createUniqueIndex("hash");
+        database.collection("runs").createIndex("inputHash");
+        for (int k = 0; k < mixedHashSpace; ++k) {
+            Json a = Json::object();
+            a["hash"] = "h" + std::to_string(k);
+            a["name"] = "artifact-" + std::to_string(k);
+            artifacts.insertOne(std::move(a));
+        }
+        database.save();
+    }
+
+    void insertRun(Json doc)
+    {
+        database.collection("runs").insertOne(std::move(doc));
+    }
+    Json findArtifact(const Json &q)
+    {
+        return database.collection("artifacts").findOne(q);
+    }
+    Json findRun(const Json &q)
+    {
+        return database.collection("runs").findOne(q);
+    }
+    void save() { database.save(); }
+
+    db::Database database;
+};
+
+/**
+ * The seed's behavior, kept as the measured baseline: every operation
+ * behind one coarse mutex, and save() rewriting every collection's
+ * full JSONL file whether it changed or not.
+ */
+struct CoarseDbHarness
+{
+    explicit CoarseDbHarness(const std::string &dir)
+        : root(dir)
+    {
+        std::filesystem::create_directories(
+            std::filesystem::path(root) / "collections");
+        collection("artifacts").createUniqueIndex("hash");
+        collection("runs").createIndex("inputHash");
+        for (int k = 0; k < mixedHashSpace; ++k) {
+            Json a = Json::object();
+            a["hash"] = "h" + std::to_string(k);
+            a["name"] = "artifact-" + std::to_string(k);
+            collection("artifacts").insertOne(std::move(a));
+        }
+        save();
+    }
+
+    db::Collection &collection(const std::string &name)
+    {
+        auto it = colls.find(name);
+        if (it == colls.end()) {
+            it = colls.emplace(name,
+                               std::make_unique<db::Collection>(name))
+                     .first;
+        }
+        return *it->second;
+    }
+
+    void insertRun(Json doc)
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        collection("runs").insertOne(std::move(doc));
+    }
+    Json findArtifact(const Json &q)
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        return collection("artifacts").findOne(q);
+    }
+    Json findRun(const Json &q)
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        return collection("runs").findOne(q);
+    }
+    void save()
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        for (const auto &kv : colls) {
+            auto p = std::filesystem::path(root) / "collections" /
+                     (kv.first + ".jsonl");
+            std::ofstream out(p, std::ios::binary | std::ios::trunc);
+            std::string text = kv.second->toJsonl();
+            out.write(text.data(), std::streamsize(text.size()));
+        }
+    }
+
+    std::string root;
+    std::map<std::string, std::unique_ptr<db::Collection>> colls;
+    std::mutex mtx;
+};
+
+template <typename Harness>
+void
+mixedThroughputBench(benchmark::State &state, const std::string &tag)
+{
+    const int threads = int(state.range(0));
+    const std::string dir = bench::benchRoot("micro_dbconc_" + tag);
+    for (auto _ : state) {
+        state.PauseTiming();
+        std::filesystem::remove_all(dir);
+        auto h = std::make_unique<Harness>(dir);
+        state.ResumeTiming();
+
+        std::vector<std::thread> pool;
+        for (int t = 0; t < threads; ++t)
+            pool.emplace_back([&h, t] { mixedWorker(*h, t); });
+        for (auto &t : pool)
+            t.join();
+        h->save();
+
+        state.PauseTiming();
+        h.reset();
+        state.ResumeTiming();
+    }
+    std::filesystem::remove_all(dir);
+    // 3 database ops (1 insert + 2 indexed queries) per op-unit.
+    state.SetItemsProcessed(std::int64_t(state.iterations()) * threads *
+                            mixedUnits * 3);
+}
+
+void
+BM_DbConcurrentMixed(benchmark::State &state)
+{
+    mixedThroughputBench<ShardedDbHarness>(state, "sharded");
+}
+
+BENCHMARK(BM_DbConcurrentMixed)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void
+BM_DbConcurrentMixedCoarse(benchmark::State &state)
+{
+    mixedThroughputBench<CoarseDbHarness>(state, "coarse");
+}
+
+BENCHMARK(BM_DbConcurrentMixedCoarse)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+/** Streaming file ingest: putFile hashes + copies in 1 MiB chunks. */
+void
+BM_DbPutFileStreaming(benchmark::State &state)
+{
+    const std::size_t bytes = std::size_t(state.range(0));
+    const std::string dir = bench::benchRoot("micro_putfile");
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    const std::string src = dir + "/payload.bin";
+    {
+        std::ofstream out(src, std::ios::binary);
+        std::string chunk(1 << 16, 'g');
+        for (std::size_t n = 0; n < bytes; n += chunk.size())
+            out.write(chunk.data(), std::streamsize(chunk.size()));
+    }
+    for (auto _ : state) {
+        state.PauseTiming();
+        db::Database database(dir + "/db");
+        std::filesystem::remove_all(dir + "/db/blobs");
+        std::filesystem::create_directories(dir + "/db/blobs");
+        state.ResumeTiming();
+        benchmark::DoNotOptimize(database.putFile(src));
+    }
+    state.SetBytesProcessed(std::int64_t(state.iterations()) *
+                            std::int64_t(bytes));
+    std::filesystem::remove_all(dir);
+}
+
+BENCHMARK(BM_DbPutFileStreaming)
+    ->Arg(1 << 20)->Arg(16 << 20)->Unit(benchmark::kMillisecond);
 
 /**
  * Serving a run from the content-addressed cache: index probe on

@@ -25,3 +25,25 @@ fi
     --benchmark_min_warmup_time=0.1
 
 echo "wrote $here/BENCH_baseline.json"
+
+# Summarize the concurrent-DB acceptance number: mixed insert+query
+# throughput of the sharded WAL core vs the coarse rewrite-the-world
+# baseline at each thread count (>=3x at 8 threads is the bar).
+if command -v python3 >/dev/null 2>&1; then
+    python3 - "$here/BENCH_baseline.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    rates = {b["name"]: b["items_per_second"]
+             for b in json.load(f)["benchmarks"]
+             if "DbConcurrentMixed" in b["name"]
+             and "items_per_second" in b}
+for threads in (1, 2, 4, 8):
+    sharded = rates.get(f"BM_DbConcurrentMixed/{threads}/real_time")
+    coarse = rates.get(f"BM_DbConcurrentMixedCoarse/{threads}/real_time")
+    if sharded and coarse:
+        print(f"concurrent db @{threads} threads: "
+              f"sharded {sharded / 1e3:8.1f}k ops/s vs "
+              f"coarse {coarse / 1e3:7.1f}k ops/s "
+              f"-> {sharded / coarse:.1f}x")
+EOF
+fi

@@ -1,0 +1,23 @@
+#!/bin/sh
+# Build the tree with ThreadSanitizer (-DG5_SANITIZE=thread) and run the
+# concurrency-sensitive tests: the sharded database core, the WAL
+# persistence paths, and the scheduler's task pool.
+#
+# Usage: bench/run_tsan.sh [build-dir]     (default: build-tsan)
+#
+# Exits non-zero when TSan reports a race or a test fails.
+set -eu
+
+build_dir=${1:-build-tsan}
+src_dir=$(cd "$(dirname "$0")/.." && pwd)
+
+cmake -B "$build_dir" -S "$src_dir" \
+    -DG5_SANITIZE=thread \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+cmake --build "$build_dir" --target g5_tests -j "$(nproc)"
+
+TSAN_OPTIONS=${TSAN_OPTIONS:-halt_on_error=1} \
+"$build_dir/tests/g5_tests" \
+    --gtest_filter='DbConcurrent*:Database*:Collection*:TaskQueue*:CancelToken*'
+
+echo "TSan run clean: db + scheduler concurrency tests passed"

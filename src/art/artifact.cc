@@ -1,8 +1,5 @@
 #include "art/artifact.hh"
 
-#include <fstream>
-#include <sstream>
-
 #include "base/logging.hh"
 #include "base/md5.hh"
 #include "base/uuid.hh"
@@ -89,21 +86,18 @@ ArtifactDb::runsUsingArtifact(const std::string &hash)
     return out;
 }
 
-namespace
+Artifact
+Artifact::fromDoc(Json existing)
 {
-
-std::string
-readFile(const std::string &path)
-{
-    std::ifstream in(path, std::ios::binary);
-    if (!in)
-        fatal("Artifact: cannot read file '" + path + "'");
-    std::ostringstream ss;
-    ss << in.rdbuf();
-    return ss.str();
+    Artifact a;
+    a.idStr = existing.getString("_id");
+    a.hashStr = existing.getString("hash");
+    a.nameStr = existing.getString("name");
+    a.typStr = existing.getString("type");
+    a.pathStr = existing.getString("path");
+    a.doc = std::move(existing);
+    return a;
 }
-
-} // anonymous namespace
 
 Artifact
 Artifact::registerArtifact(ArtifactDb &adb, const Params &params)
@@ -118,15 +112,11 @@ Artifact::registerArtifact(ArtifactDb &adb, const Params &params)
         fatal("Artifact '" + params.name +
               "': need either a file path or a git revision");
 
-    // Content identity: the file's MD5, or the git revision for repos.
-    std::string content;
-    std::string hash;
-    if (is_repo) {
-        hash = params.gitHash;
-    } else {
-        content = readFile(params.path);
-        hash = Md5::hashBytes(content.data(), content.size());
-    }
+    // Content identity: the file's MD5 (hashed in fixed-size chunks —
+    // a multi-GB disk image is never slurped into memory), or the git
+    // revision for repos.
+    std::string hash =
+        is_repo ? params.gitHash : Md5::hashFile(params.path);
 
     // Deduplicate on hash (the database also enforces this).
     Json existing = adb.artifacts().findOne(
@@ -139,14 +129,7 @@ Artifact::registerArtifact(ArtifactDb &adb, const Params &params)
                  existing.getString("name") +
                  "'; returning the stored artifact");
         }
-        Artifact a;
-        a.doc = existing;
-        a.idStr = existing.getString("_id");
-        a.hashStr = existing.getString("hash");
-        a.nameStr = existing.getString("name");
-        a.typStr = existing.getString("type");
-        a.pathStr = existing.getString("path");
-        return a;
+        return fromDoc(std::move(existing));
     }
 
     Json doc = Json::object();
@@ -170,14 +153,25 @@ Artifact::registerArtifact(ArtifactDb &adb, const Params &params)
     }
     doc["git"] = std::move(git);
 
-    // Upload the backing file unless the blob already exists.
+    // Upload the backing file unless the blob already exists. putFile
+    // hashes and copies in fixed-size chunks (streaming).
     if (!is_repo && !adb.database->hasBlob(hash)) {
-        std::string key = adb.putBlob(content);
+        std::string key = adb.database->putFile(params.path);
         if (key != hash)
             panic("Artifact: blob key does not match content hash");
     }
 
-    adb.artifacts().insertOne(doc);
+    try {
+        adb.artifacts().insertOne(doc);
+    } catch (const db::DuplicateKeyError &) {
+        // Another worker registered the same content between our probe
+        // and the insert; the unique hash index picked the winner.
+        Json winner = adb.artifacts().findOne(
+            Json::object({{"hash", Json(hash)}}));
+        if (winner.isNull())
+            panic("Artifact: duplicate hash with no stored document");
+        return fromDoc(std::move(winner));
+    }
 
     Artifact a;
     a.doc = std::move(doc);
@@ -196,14 +190,7 @@ Artifact::fromHash(ArtifactDb &adb, const std::string &hash)
         adb.artifacts().findOne(Json::object({{"hash", Json(hash)}}));
     if (doc.isNull())
         fatal("Artifact: no artifact with hash '" + hash + "'");
-    Artifact a;
-    a.idStr = doc.getString("_id");
-    a.hashStr = doc.getString("hash");
-    a.nameStr = doc.getString("name");
-    a.typStr = doc.getString("type");
-    a.pathStr = doc.getString("path");
-    a.doc = std::move(doc);
-    return a;
+    return fromDoc(std::move(doc));
 }
 
 std::vector<std::string>

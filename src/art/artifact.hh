@@ -127,6 +127,9 @@ class Artifact
   private:
     Artifact() = default;
 
+    /** Materialize an Artifact from its stored database document. */
+    static Artifact fromDoc(Json doc);
+
     std::string idStr;
     std::string hashStr;
     std::string nameStr;

@@ -174,15 +174,15 @@ Md5::hashFile(const std::string &path)
     std::ifstream in(path, std::ios::binary);
     if (!in)
         fatal("Md5::hashFile: cannot open '" + path + "'");
-    Md5 h;
-    char buf[65536];
+    Md5Stream h;
+    std::vector<char> buf(1 << 20);
     while (in) {
-        in.read(buf, sizeof(buf));
+        in.read(buf.data(), std::streamsize(buf.size()));
         std::streamsize got = in.gcount();
         if (got > 0)
-            h.update(buf, std::size_t(got));
+            h.update(buf.data(), std::size_t(got));
     }
-    return h.hexDigest();
+    return h.final();
 }
 
 } // namespace g5

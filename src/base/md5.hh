@@ -56,6 +56,38 @@ class Md5
     bool finalized;
 };
 
+/**
+ * Streaming MD5 front-end for chunked file hashing: feed fixed-size
+ * chunks with update() and collect the hex digest with final(). The db
+ * layer's putFile/blob store and artifact registration hash disk
+ * images through this interface so the whole file is never resident
+ * in memory.
+ */
+class Md5Stream
+{
+  public:
+    /** Absorb @p len bytes from @p data. */
+    void update(const void *data, std::size_t len)
+    {
+        hasher.update(data, len);
+    }
+
+    /** Absorb a string's bytes. */
+    void update(const std::string &s) { hasher.update(s); }
+
+    /** Finalize: @return the 32-char lowercase hex digest. */
+    std::string final() { return hasher.hexDigest(); }
+
+    /** Finalize: @return the raw 16-byte digest. */
+    std::array<std::uint8_t, 16> finalBytes() { return hasher.digest(); }
+
+    /** Reset to the empty-message state for reuse. */
+    void reset() { hasher = Md5(); }
+
+  private:
+    Md5 hasher;
+};
+
 } // namespace g5
 
 #endif // G5_BASE_MD5_HH

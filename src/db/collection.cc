@@ -160,10 +160,45 @@ Collection::checkUnique(const Json &doc, const std::string &skip_id) const
     }
 }
 
+void
+Collection::logInsert(const Json &doc)
+{
+    if (!oplogEnabled)
+        return;
+    oplog += "{\"op\":\"i\",\"doc\":";
+    oplog += doc.dump();
+    oplog += "}\n";
+}
+
+void
+Collection::logUpdate(const Json &doc)
+{
+    if (!oplogEnabled)
+        return;
+    oplog += "{\"op\":\"u\",\"doc\":";
+    oplog += doc.dump();
+    oplog += "}\n";
+}
+
+void
+Collection::logDelete(const std::vector<std::string> &ids)
+{
+    if (!oplogEnabled || ids.empty())
+        return;
+    Json rec = Json::object();
+    rec["op"] = "d";
+    Json arr = Json::array();
+    for (const auto &id : ids)
+        arr.push(id);
+    rec["ids"] = std::move(arr);
+    oplog += rec.dump();
+    oplog += '\n';
+}
+
 std::string
 Collection::insertOne(Json doc)
 {
-    std::lock_guard<std::mutex> lock(mtx);
+    std::unique_lock<std::shared_mutex> lock(mtx);
     if (!doc.isObject())
         fatal("collection '" + collName + "': documents must be objects");
 
@@ -180,6 +215,7 @@ Collection::insertOne(Json doc)
 
     byId[id] = docs.size();
     indexDoc(doc, id);
+    logInsert(doc);
     docs.push_back(std::move(doc));
     return id;
 }
@@ -237,7 +273,7 @@ Collection::planCandidates(const Json &query,
 std::vector<Json>
 Collection::find(const Json &query) const
 {
-    std::lock_guard<std::mutex> lock(mtx);
+    std::shared_lock<std::shared_mutex> lock(mtx);
     std::vector<Json> out;
     std::vector<std::size_t> cand;
     if (planCandidates(query, cand)) {
@@ -271,7 +307,7 @@ Collection::findFirstPos(const Json &query) const
 Json
 Collection::findOne(const Json &query) const
 {
-    std::lock_guard<std::mutex> lock(mtx);
+    std::shared_lock<std::shared_mutex> lock(mtx);
     std::size_t pos = findFirstPos(query);
     return pos == npos ? Json() : docs[pos];
 }
@@ -279,7 +315,7 @@ Collection::findOne(const Json &query) const
 Json
 Collection::findById(const std::string &id) const
 {
-    std::lock_guard<std::mutex> lock(mtx);
+    std::shared_lock<std::shared_mutex> lock(mtx);
     auto it = byId.find(id);
     if (it == byId.end())
         return Json();
@@ -289,7 +325,7 @@ Collection::findById(const std::string &id) const
 std::size_t
 Collection::count(const Json &query) const
 {
-    std::lock_guard<std::mutex> lock(mtx);
+    std::shared_lock<std::shared_mutex> lock(mtx);
     std::size_t n = 0;
     std::vector<std::size_t> cand;
     if (planCandidates(query, cand)) {
@@ -304,10 +340,17 @@ Collection::count(const Json &query) const
     return n;
 }
 
+std::size_t
+Collection::size() const
+{
+    std::shared_lock<std::shared_mutex> lock(mtx);
+    return docs.size();
+}
+
 bool
 Collection::updateOne(const Json &query, const Json &update)
 {
-    std::lock_guard<std::mutex> lock(mtx);
+    std::unique_lock<std::shared_mutex> lock(mtx);
     std::size_t pos = findFirstPos(query);
     if (pos == npos)
         return false;
@@ -331,6 +374,7 @@ Collection::updateOne(const Json &query, const Json &update)
         }
         doc = std::move(updated);
         indexDoc(doc, id);
+        logUpdate(doc);
         return true;
     }
 
@@ -374,24 +418,25 @@ Collection::updateOne(const Json &query, const Json &update)
         throw;
     }
     indexDoc(doc, id);
+    logUpdate(doc);
     return true;
 }
 
 std::size_t
 Collection::deleteMany(const Json &query)
 {
-    std::lock_guard<std::mutex> lock(mtx);
+    std::unique_lock<std::shared_mutex> lock(mtx);
     // Compact in place: deleted documents leave byId and every field
     // index incrementally; survivors only have their position refreshed.
     std::size_t write = 0;
-    std::size_t removed = 0;
+    std::vector<std::string> removedIds;
     for (std::size_t read = 0; read < docs.size(); ++read) {
         Json &doc = docs[read];
         const std::string id = doc.getString("_id");
         if (matches(doc, query)) {
             unindexDoc(doc, id);
             byId.erase(id);
-            ++removed;
+            removedIds.push_back(id);
             continue;
         }
         byId[id] = write;
@@ -400,13 +445,14 @@ Collection::deleteMany(const Json &query)
         ++write;
     }
     docs.resize(write);
-    return removed;
+    logDelete(removedIds);
+    return removedIds.size();
 }
 
 void
 Collection::createUniqueIndex(const std::string &field_path)
 {
-    std::lock_guard<std::mutex> lock(mtx);
+    std::unique_lock<std::shared_mutex> lock(mtx);
     // Verify existing documents first so a bad index never half-applies.
     std::set<std::string> seen;
     for (const auto &doc : docs) {
@@ -431,7 +477,7 @@ Collection::createUniqueIndex(const std::string &field_path)
 void
 Collection::createIndex(const std::string &field_path)
 {
-    std::lock_guard<std::mutex> lock(mtx);
+    std::unique_lock<std::shared_mutex> lock(mtx);
     if (indexes.count(field_path))
         return;
     indexes.emplace(field_path, buildIndex(field_path, false));
@@ -440,7 +486,7 @@ Collection::createIndex(const std::string &field_path)
 std::vector<std::string>
 Collection::indexedFields() const
 {
-    std::lock_guard<std::mutex> lock(mtx);
+    std::shared_lock<std::shared_mutex> lock(mtx);
     std::vector<std::string> out;
     for (const auto &entry : indexes)
         out.push_back(entry.first);
@@ -450,7 +496,7 @@ Collection::indexedFields() const
 std::vector<Json>
 Collection::distinct(const std::string &field_path) const
 {
-    std::lock_guard<std::mutex> lock(mtx);
+    std::shared_lock<std::shared_mutex> lock(mtx);
     std::map<std::string, Json> seen;
     for (const auto &doc : docs) {
         const Json *v = doc.find(field_path);
@@ -466,7 +512,7 @@ Collection::distinct(const std::string &field_path) const
 void
 Collection::forEach(const std::function<void(const Json &)> &fn) const
 {
-    std::lock_guard<std::mutex> lock(mtx);
+    std::shared_lock<std::shared_mutex> lock(mtx);
     for (const auto &doc : docs)
         fn(doc);
 }
@@ -474,7 +520,7 @@ Collection::forEach(const std::function<void(const Json &)> &fn) const
 std::string
 Collection::toJsonl() const
 {
-    std::lock_guard<std::mutex> lock(mtx);
+    std::shared_lock<std::shared_mutex> lock(mtx);
     std::string out;
     for (const auto &doc : docs) {
         out += doc.dump();
@@ -486,9 +532,10 @@ Collection::toJsonl() const
 void
 Collection::loadJsonl(const std::string &text)
 {
-    std::lock_guard<std::mutex> lock(mtx);
+    std::unique_lock<std::shared_mutex> lock(mtx);
     docs.clear();
     byId.clear();
+    oplog.clear();
     for (auto &entry : indexes)
         entry.second.buckets.clear();
     for (const auto &line : split(text, '\n')) {
@@ -503,6 +550,100 @@ Collection::loadJsonl(const std::string &text)
         indexDoc(doc, id);
         docs.push_back(std::move(doc));
     }
+}
+
+void
+Collection::enableOplog()
+{
+    std::unique_lock<std::shared_mutex> lock(mtx);
+    oplogEnabled = true;
+}
+
+bool
+Collection::dirty() const
+{
+    std::shared_lock<std::shared_mutex> lock(mtx);
+    return !oplog.empty();
+}
+
+std::string
+Collection::drainOplog()
+{
+    std::unique_lock<std::shared_mutex> lock(mtx);
+    std::string out = std::move(oplog);
+    oplog.clear();
+    return out;
+}
+
+void
+Collection::upsertUnlogged(Json doc)
+{
+    std::string id = doc.getString("_id");
+    if (id.empty())
+        fatal("collection '" + collName + "': WAL doc without _id");
+    auto it = byId.find(id);
+    if (it != byId.end()) {
+        Json &old = docs[it->second];
+        unindexDoc(old, id);
+        old = std::move(doc);
+        indexDoc(old, id);
+        return;
+    }
+    byId[id] = docs.size();
+    indexDoc(doc, id);
+    docs.push_back(std::move(doc));
+}
+
+void
+Collection::removeIdsUnlogged(const std::set<std::string> &ids)
+{
+    std::size_t write = 0;
+    for (std::size_t read = 0; read < docs.size(); ++read) {
+        Json &doc = docs[read];
+        const std::string id = doc.getString("_id");
+        if (ids.count(id)) {
+            unindexDoc(doc, id);
+            byId.erase(id);
+            continue;
+        }
+        byId[id] = write;
+        if (write != read)
+            docs[write] = std::move(doc);
+        ++write;
+    }
+    docs.resize(write);
+}
+
+void
+Collection::applyOplogLine(const std::string &line)
+{
+    std::unique_lock<std::shared_mutex> lock(mtx);
+    Json rec = Json::parse(line);
+    std::string op = rec.getString("op");
+    if (op == "i" || op == "u") {
+        upsertUnlogged(rec.at("doc"));
+    } else if (op == "d") {
+        std::set<std::string> ids;
+        for (const auto &id : rec.at("ids").asArray())
+            ids.insert(id.asString());
+        removeIdsUnlogged(ids);
+    } else {
+        fatal("collection '" + collName + "': unknown WAL op '" + op +
+              "'");
+    }
+}
+
+std::string
+Collection::snapshotJsonl()
+{
+    std::unique_lock<std::shared_mutex> lock(mtx);
+    std::string out;
+    for (const auto &doc : docs) {
+        out += doc.dump();
+        out += '\n';
+    }
+    oplog.clear();
+    return out;
 }
 
 } // namespace g5::db

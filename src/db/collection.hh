@@ -16,6 +16,25 @@
  * (bulk-inserting N documents is O(N), not O(N^2)). Queries the planner
  * cannot serve fall back to the original full scan, so results are
  * always identical to scanning.
+ *
+ * Concurrency: every collection carries its own std::shared_mutex.
+ * Read operations (find/findOne/findById/count/distinct/forEach/size)
+ * take a shared lock and run concurrently with each other; mutations
+ * take an exclusive lock. Different collections never share a lock, so
+ * scheduler workers touching "artifacts" and "runs" proceed in
+ * parallel. Cross-collection transactions are composed through
+ * db::Database::lockGuard(), which acquires each collection's dedicated
+ * transaction mutex in lexicographic name order (see DESIGN.md,
+ * "Concurrency & durability").
+ *
+ * Durability: when the owning Database is on-disk it enables the
+ * operation log (enableOplog). Every committed mutation then appends a
+ * compact JSONL record ({"op":"i"|"u"|"d", ...}) to an in-memory
+ * pending list; Database::save() drains that list (drainOplog) into the
+ * collection's append-only WAL file and Database::loadFromDisk()
+ * replays it (applyOplogLine). Replay is idempotent (inserts upsert,
+ * deletes of missing ids are no-ops) so a crash between WAL append and
+ * snapshot compaction never corrupts the store.
  */
 
 #ifndef G5_DB_COLLECTION_HH
@@ -26,6 +45,7 @@
 #include <map>
 #include <mutex>
 #include <set>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -72,7 +92,7 @@ class Collection
     std::size_t count(const Json &query) const;
 
     /** @return the total number of documents. */
-    std::size_t size() const { return docs.size(); }
+    std::size_t size() const;
 
     /**
      * Update the first match with an update spec: {"$set": {...}} and/or
@@ -113,6 +133,46 @@ class Collection
 
     /** Replace contents from JSONL text (used when loading from disk). */
     void loadJsonl(const std::string &text);
+
+    // --- persistence hooks, used by db::Database ---
+
+    /**
+     * Start recording mutation records for WAL persistence. Off by
+     * default so standalone collections (tests, benches) pay nothing.
+     */
+    void enableOplog();
+
+    /** @return true when un-persisted mutations are pending. */
+    bool dirty() const;
+
+    /**
+     * Move out the pending WAL records (one compact JSON text per line,
+     * newline-terminated) and mark the collection clean. The caller is
+     * responsible for appending them to durable storage.
+     */
+    std::string drainOplog();
+
+    /**
+     * Replay one WAL record during load. Never re-logs; replay is
+     * idempotent ("i" upserts, "d" ignores unknown ids).
+     */
+    void applyOplogLine(const std::string &line);
+
+    /**
+     * Atomically serialize every document (as toJsonl) and discard any
+     * pending WAL records — the snapshot supersedes them. Used by
+     * Database compaction so records arriving between a drain and the
+     * snapshot are neither lost nor double-applied.
+     */
+    std::string snapshotJsonl();
+
+    /**
+     * The collection's transaction mutex. Held (in lexicographic
+     * collection-name order) by Database::lockGuard() around
+     * caller-composed multi-collection transactions; never taken by the
+     * CRUD operations themselves.
+     */
+    std::mutex &txnMutex() const { return txnMtx; }
 
   private:
     /**
@@ -163,6 +223,21 @@ class Collection
     /** O(1)-probe uniqueness check against every unique index. */
     void checkUnique(const Json &doc, const std::string &skip_id) const;
 
+    /** Append an insert record for @p doc to the oplog. Lock held. */
+    void logInsert(const Json &doc);
+
+    /** Append an update (post-image) record. Lock held. */
+    void logUpdate(const Json &doc);
+
+    /** Append a delete record for @p ids. Lock held. */
+    void logDelete(const std::vector<std::string> &ids);
+
+    /** Insert/replace a doc by id without logging (replay). Lock held. */
+    void upsertUnlogged(Json doc);
+
+    /** Remove docs by id without logging (replay). Lock held. */
+    void removeIdsUnlogged(const std::set<std::string> &ids);
+
     static constexpr std::size_t npos = std::size_t(-1);
 
     std::string collName;
@@ -170,9 +245,21 @@ class Collection
     std::unordered_map<std::string, std::size_t> byId;
     std::set<std::string> uniqueFields;
     std::map<std::string, FieldIndex> indexes;
-    /** Guards all public operations: collections are shared across
-     *  scheduler workers running gem5 jobs concurrently. */
-    mutable std::mutex mtx;
+
+    /** WAL records pending persistence (newline-terminated lines). */
+    std::string oplog;
+    bool oplogEnabled = false;
+
+    /**
+     * Reader–writer lock over the documents and indexes: collections
+     * are shared across scheduler workers running gem5 jobs
+     * concurrently, and reads (index probes, scans, cache lookups)
+     * must not serialize against each other.
+     */
+    mutable std::shared_mutex mtx;
+
+    /** Transaction mutex for Database::lockGuard (see txnMutex()). */
+    mutable std::mutex txnMtx;
 };
 
 } // namespace g5::db

@@ -1,5 +1,7 @@
 #include "db/database.hh"
 
+#include <algorithm>
+#include <atomic>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -15,6 +17,9 @@ namespace g5::db
 
 namespace
 {
+
+/** Chunk size for streaming file hashing/copies (1 MiB). */
+constexpr std::size_t chunkSize = 1 << 20;
 
 std::string
 readFileOrDie(const std::string &path)
@@ -38,7 +43,85 @@ writeFileOrDie(const std::string &path, const std::string &bytes)
         fatal("database: short write to '" + path + "'");
 }
 
+void
+appendFileOrDie(const std::string &path, const std::string &bytes)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::app);
+    if (!out)
+        fatal("database: cannot append to '" + path + "'");
+    out.write(bytes.data(), std::streamsize(bytes.size()));
+    if (!out)
+        fatal("database: short append to '" + path + "'");
+}
+
+/** Write @p bytes then atomically rename into place. */
+void
+writeFileAtomic(const fs::path &target, const std::string &bytes,
+                const std::string &tmp_tag)
+{
+    fs::path tmp = target;
+    tmp += "." + tmp_tag + ".tmp";
+    writeFileOrDie(tmp.string(), bytes);
+    std::error_code ec;
+    fs::rename(tmp, target, ec);
+    if (ec) {
+        fs::remove(tmp);
+        fatal("database: cannot rename '" + tmp.string() + "' to '" +
+              target.string() + "': " + ec.message());
+    }
+}
+
+/** A process-unique tag for temp file names (concurrent writers). */
+std::string
+uniqueTmpTag()
+{
+    static std::atomic<std::uint64_t> counter{0};
+    return std::to_string(counter.fetch_add(1, std::memory_order_relaxed));
+}
+
+/** Copy @p src to @p dst in fixed-size chunks (never whole-file). */
+void
+copyFileChunked(const std::string &src, const std::string &dst)
+{
+    std::ifstream in(src, std::ios::binary);
+    if (!in)
+        fatal("database: cannot read '" + src + "'");
+    std::ofstream out(dst, std::ios::binary | std::ios::trunc);
+    if (!out)
+        fatal("database: cannot write '" + dst + "'");
+    std::vector<char> buf(chunkSize);
+    while (in) {
+        in.read(buf.data(), std::streamsize(buf.size()));
+        std::streamsize got = in.gcount();
+        if (got > 0) {
+            out.write(buf.data(), got);
+            if (!out)
+                fatal("database: short write to '" + dst + "'");
+        }
+    }
+}
+
+std::size_t
+fileSizeOrZero(const fs::path &p)
+{
+    std::error_code ec;
+    auto n = fs::file_size(p, ec);
+    return ec ? 0 : std::size_t(n);
+}
+
 } // anonymous namespace
+
+TxnGuard::TxnGuard(std::vector<Collection *> colls)
+{
+    std::sort(colls.begin(), colls.end(),
+              [](const Collection *a, const Collection *b) {
+                  return a->name() < b->name();
+              });
+    colls.erase(std::unique(colls.begin(), colls.end()), colls.end());
+    locks.reserve(colls.size());
+    for (Collection *c : colls)
+        locks.emplace_back(c->txnMutex());
+}
 
 Database::Database() = default;
 
@@ -51,18 +134,52 @@ Database::Database(const std::string &dir)
 }
 
 void
+Database::replayWal(const std::string &name, Collection &coll)
+{
+    fs::path wal = fs::path(rootDir) / "collections" / (name + ".wal");
+    if (!fs::exists(wal))
+        return;
+    std::string text = readFileOrDie(wal.string());
+    std::size_t line_no = 0;
+    for (const auto &line : split(text, '\n')) {
+        std::string t = trim(line);
+        if (t.empty())
+            continue;
+        ++line_no;
+        try {
+            coll.applyOplogLine(t);
+        } catch (const std::exception &e) {
+            // A torn final line from an interrupted append is expected
+            // after a crash; everything before it is committed state.
+            warn("database: collection '" + name + "': WAL replay "
+                 "stopped at record " + std::to_string(line_no) + " (" +
+                 e.what() + "); recovering prior records only");
+            break;
+        }
+    }
+}
+
+void
 Database::loadFromDisk()
 {
     fs::path colls = fs::path(rootDir) / "collections";
+    // A collection exists on disk as a snapshot (<name>.jsonl), a WAL
+    // (<name>.wal), or both.
+    std::set<std::string> names;
     for (const auto &entry : fs::directory_iterator(colls)) {
         if (!entry.is_regular_file())
             continue;
         fs::path p = entry.path();
-        if (p.extension() != ".jsonl")
-            continue;
-        std::string name = p.stem().string();
+        if (p.extension() == ".jsonl" || p.extension() == ".wal")
+            names.insert(p.stem().string());
+    }
+    for (const auto &name : names) {
         auto coll = std::make_unique<Collection>(name);
-        coll->loadJsonl(readFileOrDie(p.string()));
+        coll->enableOplog();
+        fs::path snap = colls / (name + ".jsonl");
+        if (fs::exists(snap))
+            coll->loadJsonl(readFileOrDie(snap.string()));
+        replayWal(name, *coll);
         collections[name] = std::move(coll);
     }
 }
@@ -70,12 +187,19 @@ Database::loadFromDisk()
 Collection &
 Database::collection(const std::string &name)
 {
-    std::lock_guard<std::mutex> lock(mtx);
+    {
+        std::shared_lock<std::shared_mutex> lock(registryMtx);
+        auto it = collections.find(name);
+        if (it != collections.end())
+            return *it->second;
+    }
+    std::unique_lock<std::shared_mutex> lock(registryMtx);
     auto it = collections.find(name);
     if (it == collections.end()) {
-        it = collections
-                 .emplace(name, std::make_unique<Collection>(name))
-                 .first;
+        auto coll = std::make_unique<Collection>(name);
+        if (!rootDir.empty())
+            coll->enableOplog();
+        it = collections.emplace(name, std::move(coll)).first;
     }
     return *it->second;
 }
@@ -83,7 +207,7 @@ Database::collection(const std::string &name)
 std::vector<std::string>
 Database::collectionNames() const
 {
-    std::lock_guard<std::mutex> lock(mtx);
+    std::shared_lock<std::shared_mutex> lock(registryMtx);
     std::vector<std::string> names;
     for (const auto &kv : collections)
         names.push_back(kv.first);
@@ -94,13 +218,17 @@ std::string
 Database::putBlob(const std::string &bytes)
 {
     std::string key = Md5::hashBytes(bytes.data(), bytes.size());
-    std::lock_guard<std::mutex> lock(mtx);
     if (rootDir.empty()) {
+        std::lock_guard<std::mutex> lock(blobMtx);
         memBlobs.emplace(key, bytes);
-    } else {
-        fs::path p = fs::path(rootDir) / "blobs" / key;
-        if (!fs::exists(p))
-            writeFileOrDie(p.string(), bytes);
+        return key;
+    }
+    fs::path p = fs::path(rootDir) / "blobs" / key;
+    if (!fs::exists(p)) {
+        // Concurrent puts of the same content both land on an atomic
+        // rename to the same target; either winner leaves identical
+        // bytes in place.
+        writeFileAtomic(p, bytes, uniqueTmpTag());
     }
     return key;
 }
@@ -108,23 +236,82 @@ Database::putBlob(const std::string &bytes)
 std::string
 Database::putFile(const std::string &host_path)
 {
-    return putBlob(readFileOrDie(host_path));
+    std::ifstream in(host_path, std::ios::binary);
+    if (!in)
+        fatal("database: cannot read '" + host_path + "'");
+    std::vector<char> buf(chunkSize);
+
+    if (rootDir.empty()) {
+        // In-memory mode stores the bytes anyway; still hash in chunks.
+        Md5Stream h;
+        std::string bytes;
+        while (in) {
+            in.read(buf.data(), std::streamsize(buf.size()));
+            std::streamsize got = in.gcount();
+            if (got > 0) {
+                h.update(buf.data(), std::size_t(got));
+                bytes.append(buf.data(), std::size_t(got));
+            }
+        }
+        std::string key = h.final();
+        std::lock_guard<std::mutex> lock(blobMtx);
+        memBlobs.emplace(key, std::move(bytes));
+        return key;
+    }
+
+    // Single pass: hash while spooling to a temp blob, then rename to
+    // the content address (or drop the temp when the blob exists).
+    fs::path blobs = fs::path(rootDir) / "blobs";
+    fs::path tmp = blobs / (".put-" + uniqueTmpTag() + ".tmp");
+    {
+        std::ofstream out(tmp.string(), std::ios::binary | std::ios::trunc);
+        if (!out)
+            fatal("database: cannot write '" + tmp.string() + "'");
+        Md5Stream h;
+        while (in) {
+            in.read(buf.data(), std::streamsize(buf.size()));
+            std::streamsize got = in.gcount();
+            if (got > 0) {
+                h.update(buf.data(), std::size_t(got));
+                out.write(buf.data(), got);
+                if (!out)
+                    fatal("database: short write to '" + tmp.string() +
+                          "'");
+            }
+        }
+        out.close();
+        std::string key = h.final();
+        fs::path target = blobs / key;
+        if (fs::exists(target)) {
+            fs::remove(tmp);
+            return key;
+        }
+        std::error_code ec;
+        fs::rename(tmp, target, ec);
+        if (ec) {
+            fs::remove(tmp);
+            fatal("database: cannot rename blob into place: " +
+                  ec.message());
+        }
+        return key;
+    }
 }
 
 bool
 Database::hasBlob(const std::string &md5_key) const
 {
-    std::lock_guard<std::mutex> lock(mtx);
-    if (rootDir.empty())
+    if (rootDir.empty()) {
+        std::lock_guard<std::mutex> lock(blobMtx);
         return memBlobs.count(md5_key) > 0;
+    }
     return fs::exists(fs::path(rootDir) / "blobs" / md5_key);
 }
 
 std::string
 Database::getBlob(const std::string &md5_key) const
 {
-    std::lock_guard<std::mutex> lock(mtx);
     if (rootDir.empty()) {
+        std::lock_guard<std::mutex> lock(blobMtx);
         auto it = memBlobs.find(md5_key);
         if (it == memBlobs.end())
             fatal("database: unknown blob '" + md5_key + "'");
@@ -140,19 +327,37 @@ void
 Database::exportBlob(const std::string &md5_key,
                      const std::string &host_path) const
 {
-    std::string bytes = getBlob(md5_key);
-    fs::path p(host_path);
-    if (p.has_parent_path())
-        fs::create_directories(p.parent_path());
-    writeFileOrDie(host_path, bytes);
+    fs::path out(host_path);
+    if (out.has_parent_path())
+        fs::create_directories(out.parent_path());
+
+    if (rootDir.empty()) {
+        std::string bytes;
+        {
+            std::lock_guard<std::mutex> lock(blobMtx);
+            auto it = memBlobs.find(md5_key);
+            if (it == memBlobs.end())
+                fatal("database: unknown blob '" + md5_key + "'");
+            bytes = it->second;
+        }
+        writeFileOrDie(host_path, bytes);
+        return;
+    }
+
+    fs::path src = fs::path(rootDir) / "blobs" / md5_key;
+    if (!fs::exists(src))
+        fatal("database: unknown blob '" + md5_key + "'");
+    // Stream the copy: a multi-GB disk image never lives in memory.
+    copyFileChunked(src.string(), host_path);
 }
 
 std::size_t
 Database::blobCount() const
 {
-    std::lock_guard<std::mutex> lock(mtx);
-    if (rootDir.empty())
+    if (rootDir.empty()) {
+        std::lock_guard<std::mutex> lock(blobMtx);
         return memBlobs.size();
+    }
     std::size_t n = 0;
     for (const auto &entry :
          fs::directory_iterator(fs::path(rootDir) / "blobs")) {
@@ -163,16 +368,95 @@ Database::blobCount() const
 }
 
 void
+Database::compactCollection(const std::string &name, Collection &coll)
+{
+    fs::path dir = fs::path(rootDir) / "collections";
+    // snapshotJsonl atomically serializes the documents AND discards
+    // pending records, so nothing is lost or double-applied; the WAL is
+    // removed only after the snapshot rename, and replay is idempotent,
+    // so a crash between the two is safe.
+    writeFileAtomic(dir / (name + ".jsonl"), coll.snapshotJsonl(),
+                    uniqueTmpTag());
+    std::error_code ec;
+    fs::remove(dir / (name + ".wal"), ec);
+}
+
+void
 Database::save()
 {
-    std::lock_guard<std::mutex> lock(mtx);
     if (rootDir.empty())
         return;
-    for (const auto &kv : collections) {
-        fs::path p = fs::path(rootDir) / "collections" /
-                     (kv.first + ".jsonl");
-        writeFileOrDie(p.string(), kv.second->toJsonl());
+    std::lock_guard<std::mutex> save_lock(saveMtx);
+
+    std::vector<std::pair<std::string, Collection *>> colls;
+    {
+        std::shared_lock<std::shared_mutex> lock(registryMtx);
+        for (const auto &kv : collections)
+            colls.emplace_back(kv.first, kv.second.get());
     }
+
+    fs::path dir = fs::path(rootDir) / "collections";
+    for (auto &[name, coll] : colls) {
+        if (!coll->dirty())
+            continue; // clean collections cost nothing
+        std::string ops = coll->drainOplog();
+        if (ops.empty())
+            continue;
+        fs::path wal = dir / (name + ".wal");
+        appendFileOrDie(wal.string(), ops);
+
+        std::size_t wal_size = fileSizeOrZero(wal);
+        std::size_t snap_size = fileSizeOrZero(dir / (name + ".jsonl"));
+        if (wal_size > walCompactMinBytes &&
+            double(wal_size) > walCompactRatio * double(snap_size)) {
+            compactCollection(name, *coll);
+        }
+    }
+}
+
+void
+Database::compact()
+{
+    if (rootDir.empty())
+        return;
+    std::lock_guard<std::mutex> save_lock(saveMtx);
+    std::vector<std::pair<std::string, Collection *>> colls;
+    {
+        std::shared_lock<std::shared_mutex> lock(registryMtx);
+        for (const auto &kv : collections)
+            colls.emplace_back(kv.first, kv.second.get());
+    }
+    for (auto &[name, coll] : colls)
+        compactCollection(name, *coll);
+}
+
+void
+Database::setWalCompaction(std::size_t min_bytes, double ratio)
+{
+    std::lock_guard<std::mutex> save_lock(saveMtx);
+    walCompactMinBytes = min_bytes;
+    walCompactRatio = ratio;
+}
+
+TxnGuard
+Database::lockGuard()
+{
+    std::vector<Collection *> colls;
+    {
+        std::shared_lock<std::shared_mutex> lock(registryMtx);
+        for (const auto &kv : collections)
+            colls.push_back(kv.second.get());
+    }
+    return TxnGuard(std::move(colls));
+}
+
+TxnGuard
+Database::lockGuard(const std::vector<std::string> &names)
+{
+    std::vector<Collection *> colls;
+    for (const auto &name : names)
+        colls.push_back(&collection(name));
+    return TxnGuard(std::move(colls));
 }
 
 } // namespace g5::db

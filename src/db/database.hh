@@ -7,11 +7,27 @@
  *
  *  - named collections of JSON documents with unique indexes;
  *  - a blob store keyed by MD5 (GridFS stand-in) for artifact files;
- *  - durable persistence (a directory of JSONL files + blob files), or a
- *    purely in-memory mode for tests.
+ *  - durable persistence (a directory of JSONL snapshots plus
+ *    append-only JSONL write-ahead logs + blob files), or a purely
+ *    in-memory mode for tests.
  *
- * Thread-safe: a single coarse mutex guards all operations, which is
- * plenty for the scheduler's worker counts.
+ * Concurrency: there is no coarse database mutex. Each collection
+ * carries its own reader–writer lock (see Collection), the collection
+ * registry is guarded by a shared_mutex (lookups are shared, creation
+ * is exclusive), and blob files are written atomically via
+ * temp-file-then-rename so concurrent puts of the same content are
+ * benign. Cross-collection transactions go through lockGuard(), which
+ * acquires per-collection transaction mutexes in lexicographic name
+ * order (deadlock-free by construction).
+ *
+ * Durability: save() appends each dirty collection's pending operation
+ * records to <dir>/collections/<name>.wal and leaves clean collections
+ * untouched. When a WAL outgrows the snapshot (walCompactMinBytes and
+ * walCompactRatio), the collection is compacted: a fresh
+ * <name>.jsonl snapshot is written (atomically, via rename) and the WAL
+ * removed. loadFromDisk() loads the snapshot then replays the WAL;
+ * replay is idempotent and tolerates a torn final line, so reopening
+ * after a crash recovers every committed document.
  */
 
 #ifndef G5_DB_DATABASE_HH
@@ -20,6 +36,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -27,6 +44,25 @@
 
 namespace g5::db
 {
+
+/**
+ * RAII guard for a caller-composed multi-collection transaction:
+ * holds each collection's transaction mutex, always acquired in
+ * lexicographic collection-name order. Transactions exclude each
+ * other; individual CRUD operations remain atomic via the collection
+ * locks regardless.
+ */
+class TxnGuard
+{
+  public:
+    explicit TxnGuard(std::vector<Collection *> colls);
+
+    TxnGuard(TxnGuard &&) = default;
+    TxnGuard &operator=(TxnGuard &&) = default;
+
+  private:
+    std::vector<std::unique_lock<std::mutex>> locks;
+};
 
 class Database
 {
@@ -36,7 +72,8 @@ class Database
 
     /**
      * Open (or create) an on-disk database rooted at @p dir. Collections
-     * load from <dir>/collections/ (JSONL); blobs live in <dir>/blobs/.
+     * load from <dir>/collections/ (JSONL snapshot + WAL); blobs live in
+     * <dir>/blobs/.
      */
     explicit Database(const std::string &dir);
 
@@ -55,7 +92,11 @@ class Database
      */
     std::string putBlob(const std::string &bytes);
 
-    /** Store a host file's contents. @return the MD5 key. */
+    /**
+     * Store a host file's contents, hashing and copying in fixed-size
+     * chunks — a multi-GB disk image is never resident in memory.
+     * @return the MD5 key.
+     */
     std::string putFile(const std::string &host_path);
 
     /** @return true when a blob with this MD5 key exists. */
@@ -64,27 +105,65 @@ class Database
     /** Fetch blob bytes; throws FatalError when the key is unknown. */
     std::string getBlob(const std::string &md5_key) const;
 
-    /** Write a blob out to a host file (artifact "downloadFile"). */
+    /**
+     * Write a blob out to a host file (artifact "downloadFile"),
+     * streaming in fixed-size chunks for on-disk databases.
+     */
     void exportBlob(const std::string &md5_key,
                     const std::string &host_path) const;
 
     /** @return the number of stored blobs. */
     std::size_t blobCount() const;
 
-    /** Flush all collections to disk (no-op for in-memory databases). */
+    /**
+     * Persist pending changes (no-op for in-memory databases): append
+     * each dirty collection's WAL records; collections without changes
+     * cost nothing. Compacts a collection when its WAL outgrows its
+     * snapshot.
+     */
     void save();
 
-    /** Acquire the database mutex around a caller-composed transaction. */
-    std::unique_lock<std::mutex> lockGuard() { return
-        std::unique_lock<std::mutex>(mtx); }
+    /** Force-compact every collection into a fresh snapshot. */
+    void compact();
+
+    /**
+     * Tune the compaction policy: a collection compacts during save()
+     * once its WAL exceeds @p min_bytes AND @p ratio times its snapshot
+     * size. Mostly for tests; defaults are 64 KiB and 1.0.
+     */
+    void setWalCompaction(std::size_t min_bytes, double ratio);
+
+    /**
+     * Lock every existing collection for a caller-composed
+     * cross-collection transaction (ordered, deadlock-free).
+     */
+    TxnGuard lockGuard();
+
+    /** Lock only the named collections (created on first use). */
+    TxnGuard lockGuard(const std::vector<std::string> &names);
 
   private:
     void loadFromDisk();
 
+    /** Replay one collection's WAL file into @p coll, if present. */
+    void replayWal(const std::string &name, Collection &coll);
+
+    /** Write a fresh snapshot and drop the WAL. saveMtx held. */
+    void compactCollection(const std::string &name, Collection &coll);
+
     std::string rootDir;
     std::map<std::string, std::unique_ptr<Collection>> collections;
     std::map<std::string, std::string> memBlobs; // in-memory mode only
-    mutable std::mutex mtx;
+
+    /** Guards the collection registry (not the collections' data). */
+    mutable std::shared_mutex registryMtx;
+    /** Guards memBlobs (on-disk blobs rely on atomic renames). */
+    mutable std::mutex blobMtx;
+    /** Serializes save()/compact() so WAL appends never interleave. */
+    mutable std::mutex saveMtx;
+
+    std::size_t walCompactMinBytes = 64 * 1024;
+    double walCompactRatio = 1.0;
 };
 
 } // namespace g5::db

@@ -2,14 +2,18 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
+#include <sstream>
 #include <thread>
 #include <vector>
 
 #include "base/logging.hh"
 #include "base/json.hh"
+#include "base/md5.hh"
 #include "db/database.hh"
 #include "db/query.hh"
 
@@ -309,6 +313,287 @@ TEST(Database, InMemoryBlobStore)
     EXPECT_FALSE(db.hasBlob("0123456789abcdef0123456789abcdef"));
     EXPECT_THROW(db.getBlob("0123456789abcdef0123456789abcdef"),
                  g5::FatalError);
+}
+
+TEST(Database, SaveSkipsCleanCollectionsAndOnlyAppends)
+{
+    namespace stdfs = std::filesystem;
+    stdfs::path dir = stdfs::temp_directory_path() / "g5_db_test_dirty";
+    stdfs::remove_all(dir);
+
+    Database db(dir.string());
+    auto &a = db.collection("artifacts");
+    auto &b = db.collection("runs");
+    a.insertOne(doc(R"({"name":"one"})"));
+    b.insertOne(doc(R"({"name":"r1"})"));
+    db.save();
+
+    stdfs::path a_wal = dir / "collections" / "artifacts.wal";
+    stdfs::path b_wal = dir / "collections" / "runs.wal";
+    ASSERT_TRUE(stdfs::exists(a_wal));
+    ASSERT_TRUE(stdfs::exists(b_wal));
+
+    auto slurp = [](const stdfs::path &p) {
+        std::ifstream in(p, std::ios::binary);
+        std::ostringstream ss;
+        ss << in.rdbuf();
+        return ss.str();
+    };
+    std::string a_before = slurp(a_wal);
+    std::string b_before = slurp(b_wal);
+
+    // One insert into "artifacts" only: save() must append exactly one
+    // record to artifacts.wal and leave every "runs" file untouched.
+    a.insertOne(doc(R"({"name":"two"})"));
+    db.save();
+
+    std::string a_after = slurp(a_wal);
+    std::string b_after = slurp(b_wal);
+    EXPECT_EQ(b_after, b_before); // clean collection: byte-identical
+    ASSERT_GT(a_after.size(), a_before.size());
+    EXPECT_EQ(a_after.compare(0, a_before.size(), a_before), 0)
+        << "save must append, not rewrite";
+    EXPECT_EQ(std::count(a_after.begin() + a_before.size(),
+                         a_after.end(), '\n'), 1);
+    // No snapshot yet: nothing forced a compaction.
+    EXPECT_FALSE(stdfs::exists(dir / "collections" / "artifacts.jsonl"));
+
+    // A save with no changes anywhere rewrites nothing at all.
+    db.save();
+    EXPECT_EQ(slurp(a_wal), a_after);
+    EXPECT_EQ(slurp(b_wal), b_before);
+    stdfs::remove_all(dir);
+}
+
+TEST(Database, WalReplayRecoversCommittedDocuments)
+{
+    namespace stdfs = std::filesystem;
+    stdfs::path dir = stdfs::temp_directory_path() / "g5_db_test_wal";
+    stdfs::remove_all(dir);
+
+    // Session 1: inserts, updates and deletes land in the WAL; the
+    // Database object is destroyed without compaction (the "kill":
+    // nothing but the appended log survives).
+    {
+        Database db(dir.string());
+        auto &c = db.collection("runs");
+        for (int i = 0; i < 20; ++i) {
+            Json d = Json::object();
+            d["_id"] = "r" + std::to_string(i);
+            d["status"] = "PENDING";
+            d["n"] = i;
+            c.insertOne(std::move(d));
+        }
+        db.save();
+        c.updateOne(doc(R"({"_id":"r3"})"),
+                    doc(R"({"$set":{"status":"SUCCESS"}})"));
+        c.deleteMany(doc(R"({"_id":"r7"})"));
+        c.insertOne(doc(R"({"_id":"r20","status":"PENDING","n":20})"));
+        db.save();
+        EXPECT_TRUE(stdfs::exists(dir / "collections" / "runs.wal"));
+        EXPECT_FALSE(stdfs::exists(dir / "collections" / "runs.jsonl"));
+    }
+
+    // Session 2: reopening replays the log; every committed mutation is
+    // recovered.
+    {
+        Database db(dir.string());
+        auto &c = db.collection("runs");
+        EXPECT_EQ(c.size(), 20u); // 21 inserts - 1 delete
+        EXPECT_EQ(c.findById("r3").getString("status"), "SUCCESS");
+        EXPECT_TRUE(c.findById("r7").isNull());
+        EXPECT_EQ(c.findById("r20").getInt("n"), 20);
+        EXPECT_EQ(c.count(doc(R"({"status":"PENDING"})")), 19u);
+    }
+    stdfs::remove_all(dir);
+}
+
+TEST(Database, WalReplayToleratesTornTail)
+{
+    namespace stdfs = std::filesystem;
+    stdfs::path dir = stdfs::temp_directory_path() / "g5_db_test_torn";
+    stdfs::remove_all(dir);
+    {
+        Database db(dir.string());
+        auto &c = db.collection("runs");
+        c.insertOne(doc(R"({"_id":"r1","n":1})"));
+        c.insertOne(doc(R"({"_id":"r2","n":2})"));
+        db.save();
+    }
+    // Simulate a crash mid-append: a truncated record at the WAL tail.
+    {
+        std::ofstream wal(dir / "collections" / "runs.wal",
+                          std::ios::binary | std::ios::app);
+        wal << R"({"op":"i","doc":{"_id":"r3",)";
+    }
+    {
+        g5::setQuiet(true);
+        Database db(dir.string());
+        g5::setQuiet(false);
+        auto &c = db.collection("runs");
+        EXPECT_EQ(c.size(), 2u); // both committed docs, torn tail dropped
+        EXPECT_EQ(c.findById("r2").getInt("n"), 2);
+    }
+    stdfs::remove_all(dir);
+}
+
+TEST(Database, CompactionProducesByteStableSnapshot)
+{
+    namespace stdfs = std::filesystem;
+    stdfs::path dir = stdfs::temp_directory_path() / "g5_db_test_compact";
+    stdfs::remove_all(dir);
+
+    auto slurp = [](const stdfs::path &p) {
+        std::ifstream in(p, std::ios::binary);
+        std::ostringstream ss;
+        ss << in.rdbuf();
+        return ss.str();
+    };
+    stdfs::path snap = dir / "collections" / "runs.jsonl";
+    stdfs::path wal = dir / "collections" / "runs.wal";
+
+    std::string first;
+    {
+        Database db(dir.string());
+        db.setWalCompaction(1, 0.0); // compact on every save
+        auto &c = db.collection("runs");
+        for (int i = 0; i < 50; ++i) {
+            Json d = Json::object();
+            d["_id"] = "r" + std::to_string(i);
+            d["n"] = i;
+            c.insertOne(std::move(d));
+        }
+        c.deleteMany(doc(R"({"_id":"r13"})"));
+        db.save();
+        EXPECT_TRUE(stdfs::exists(snap));
+        EXPECT_FALSE(stdfs::exists(wal)); // log folded into the snapshot
+        first = slurp(snap);
+    }
+    {
+        // Reopen (snapshot only) and force another compaction: the same
+        // logical state must serialize to the same bytes.
+        Database db(dir.string());
+        EXPECT_EQ(db.collection("runs").size(), 49u);
+        db.compact();
+        EXPECT_EQ(slurp(snap), first);
+    }
+    {
+        // WAL + snapshot replayed together also converge to the same
+        // bytes once compacted.
+        Database db(dir.string());
+        auto &c = db.collection("runs");
+        c.insertOne(doc(R"({"_id":"r50","n":50})"));
+        db.setWalCompaction(1 << 30, 1e9); // appends only, no auto-compact
+        db.save();
+        EXPECT_TRUE(stdfs::exists(wal));
+    }
+    {
+        Database db(dir.string());
+        auto &c = db.collection("runs");
+        EXPECT_EQ(c.size(), 50u);
+        db.compact();
+        EXPECT_FALSE(stdfs::exists(wal));
+        EXPECT_EQ(slurp(snap).substr(0, first.size()), first);
+    }
+    stdfs::remove_all(dir);
+}
+
+TEST(Database, WalCompactionTriggersOnSizeRatio)
+{
+    namespace stdfs = std::filesystem;
+    stdfs::path dir = stdfs::temp_directory_path() / "g5_db_test_ratio";
+    stdfs::remove_all(dir);
+
+    Database db(dir.string());
+    db.setWalCompaction(256, 1.0);
+    auto &c = db.collection("runs");
+    stdfs::path snap = dir / "collections" / "runs.jsonl";
+    stdfs::path wal = dir / "collections" / "runs.wal";
+
+    // First burst exceeds min_bytes with no snapshot: compacts.
+    for (int i = 0; i < 20; ++i)
+        c.insertOne(doc(R"({"k":"0123456789012345678901234567890"})"));
+    db.save();
+    EXPECT_TRUE(stdfs::exists(snap));
+    EXPECT_FALSE(stdfs::exists(wal));
+
+    // A small delta stays in the WAL (wal < ratio * snapshot)...
+    c.insertOne(doc(R"({"k":"small"})"));
+    db.save();
+    EXPECT_TRUE(stdfs::exists(wal));
+
+    // ...until the log outgrows the snapshot, which folds it in.
+    for (int i = 0; i < 40; ++i)
+        c.insertOne(doc(R"({"k":"0123456789012345678901234567890"})"));
+    db.save();
+    EXPECT_FALSE(stdfs::exists(wal));
+    EXPECT_EQ(c.size(), 61u);
+
+    // Reopen to prove the compacted state is complete.
+    db.save();
+    Database db2(dir.string());
+    EXPECT_EQ(db2.collection("runs").size(), 61u);
+    stdfs::remove_all(dir);
+}
+
+TEST(Database, LockGuardOrderedTransactions)
+{
+    Database db;
+    db.collection("artifacts").insertOne(doc(R"({"n":1})"));
+    db.collection("runs").insertOne(doc(R"({"n":1})"));
+    {
+        auto txn = db.lockGuard({"runs", "artifacts"});
+        // CRUD still works while the transaction lock is held.
+        db.collection("artifacts").insertOne(doc(R"({"n":2})"));
+        EXPECT_EQ(db.collection("artifacts").size(), 2u);
+    }
+    {
+        auto txn = db.lockGuard(); // all collections, name order
+        EXPECT_EQ(db.collection("runs").size(), 1u);
+    }
+}
+
+TEST(Database, PutFileStreamsAndExportRoundTrips)
+{
+    namespace stdfs = std::filesystem;
+    stdfs::path dir = stdfs::temp_directory_path() / "g5_db_test_putfile";
+    stdfs::remove_all(dir);
+    stdfs::create_directories(dir);
+
+    // A payload larger than one hashing chunk, with non-trivial content.
+    std::string payload;
+    payload.reserve(3u << 20);
+    for (std::size_t i = 0; payload.size() < (3u << 20); ++i)
+        payload += "chunk-" + std::to_string(i * 2654435761u) + "\n";
+    stdfs::path src = dir / "disk.img";
+    {
+        std::ofstream out(src, std::ios::binary);
+        out.write(payload.data(), std::streamsize(payload.size()));
+    }
+    std::string expect = g5::Md5::hashString(payload);
+
+    {
+        Database db((dir / "db").string());
+        std::string key = db.putFile(src.string());
+        EXPECT_EQ(key, expect);
+        EXPECT_TRUE(db.hasBlob(key));
+        EXPECT_EQ(db.putFile(src.string()), key); // idempotent
+
+        stdfs::path out = dir / "exported" / "disk.img";
+        db.exportBlob(key, out.string());
+        EXPECT_EQ(g5::Md5::hashFile(out.string()), expect);
+        // No temp spool files left behind in the blob store.
+        for (const auto &e :
+             stdfs::directory_iterator(dir / "db" / "blobs")) {
+            EXPECT_EQ(e.path().filename().string(), key);
+        }
+    }
+    {
+        Database db; // in-memory mode hashes in chunks too
+        EXPECT_EQ(db.putFile(src.string()), expect);
+        EXPECT_EQ(db.getBlob(expect), payload);
+    }
+    stdfs::remove_all(dir);
 }
 
 TEST(Database, PersistenceRoundTrip)
