@@ -1,7 +1,8 @@
 #!/bin/sh
 # Build the tree with ThreadSanitizer (-DG5_SANITIZE=thread) and run the
 # concurrency-sensitive tests: the sharded database core, the WAL
-# persistence paths, and the scheduler's task pool.
+# persistence paths, the scheduler's task pool, and the failure paths —
+# retry/backoff, watchdog escalation, bounded shutdown, fault injection.
 #
 # Usage: bench/run_tsan.sh [build-dir]     (default: build-tsan)
 #
@@ -18,6 +19,6 @@ cmake --build "$build_dir" --target g5_tests -j "$(nproc)"
 
 TSAN_OPTIONS=${TSAN_OPTIONS:-halt_on_error=1} \
 "$build_dir/tests/g5_tests" \
-    --gtest_filter='DbConcurrent*:Database*:Collection*:TaskQueue*:CancelToken*'
+    --gtest_filter='DbConcurrent*:Database*:Collection*:TaskQueue*:CancelToken*:SchedulerRetry*:SchedulerStress*:FaultInject*:FaultRecovery*'
 
 echo "TSan run clean: db + scheduler concurrency tests passed"

@@ -3,6 +3,11 @@
  * Use-case 2 in miniature: boot-test a single CPU model across memory
  * systems, core counts, and the five LTS kernels — a slice of Fig 8.
  *
+ * The sweep is crash-resumable: progress is journalled to an on-disk
+ * database, so killing the process mid-sweep and re-running the same
+ * command resumes where it stopped, skipping every run that already
+ * has a terminal result.
+ *
  * Usage: ./build/examples/example_boot_sweep [cpu] [boot]
  *        cpu  in {kvm, atomic, timing, o3}   (default o3 — the
  *             interesting one: it exhibits the v20.1.0.4 bug census)
@@ -11,7 +16,9 @@
 
 #include <cstdio>
 #include <map>
+#include <vector>
 
+#include "art/sweep.hh"
 #include "art/tasks.hh"
 #include "art/workspace.hh"
 #include "base/logging.hh"
@@ -28,7 +35,11 @@ main(int argc, char **argv)
     std::string boot = argc > 2 ? argv[2] : "init";
 
     setQuiet(true); // failures are expected data here
-    Workspace ws("/tmp/g5art_boot_sweep");
+    // The on-disk database is what makes the sweep resumable: the
+    // journal (and every finished run document) survives the process.
+    std::string db_dir =
+        "/tmp/g5art_boot_sweep_db_" + cpu + "_" + boot;
+    Workspace ws("/tmp/g5art_boot_sweep", db_dir);
     auto gem5 = ws.gem5Binary("20.1.0.4");
     auto disk = ws.disk("boot-exit", resources::buildBootExitImage());
     auto script = ws.runScript("run_exit.py", "boot-exit run script");
@@ -37,7 +48,7 @@ main(int argc, char **argv)
     for (const auto &v : sim::fs::fig8Kernels())
         kernels.emplace(v, ws.kernel(v));
 
-    Tasks tasks(ws.adb()); // 0 workers = one per hardware thread
+    std::vector<Gem5Run> runs;
     for (const char *mem : {"classic", "MI_example", "MESI_Two_Level"}) {
         for (int cores : {1, 2, 4, 8}) {
             for (const auto &kv : kernels) {
@@ -49,7 +60,7 @@ main(int argc, char **argv)
                 params["max_ticks"] = std::int64_t(200'000'000'000);
                 std::string name = std::string(mem) + "-" +
                                    std::to_string(cores) + "-" + kv.first;
-                tasks.applyAsync(Gem5Run::createFSRun(
+                runs.push_back(Gem5Run::createFSRun(
                     ws.adb(), name, gem5.path, script.path,
                     ws.outdir(name), gem5.artifact, gem5.repoArtifact,
                     script.repoArtifact, kv.second.path, disk.path,
@@ -57,8 +68,18 @@ main(int argc, char **argv)
             }
         }
     }
+
+    Tasks tasks(ws.adb()); // 0 workers = one per hardware thread
+    SweepJournal sweep(ws.adb(), "boot-" + cpu + "-" + boot);
+    sweep.submit(tasks, runs);
     tasks.waitAll();
+    ws.adb().db().save();
     setQuiet(false);
+
+    if (sweep.skipped() > 0)
+        std::printf("resumed: %zu of %zu runs already had terminal "
+                    "results and were skipped\n\n",
+                    sweep.skipped(), runs.size());
 
     std::printf("%s, boot type '%s', gem5 %s:\n\n", cpu.c_str(),
                 boot.c_str(), "20.1.0.4");
@@ -82,6 +103,8 @@ main(int argc, char **argv)
     }
     std::printf("\nA single misconfigured run could waste engineering "
                 "effort on a phantom bug;\nwith every run archived, "
-                "the failure census above is reproducible.\n");
+                "the failure census above is reproducible — and a\n"
+                "killed sweep resumes from its journal instead of "
+                "starting over.\n");
     return 0;
 }

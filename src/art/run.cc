@@ -5,6 +5,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "base/faultinject.hh"
 #include "base/logging.hh"
 #include "base/md5.hh"
 #include "base/uuid.hh"
@@ -221,6 +222,18 @@ Gem5Run::cacheBypassed()
 }
 
 bool
+Gem5Run::outcomeTransient(RunOutcome o)
+{
+    switch (o) {
+      case RunOutcome::SimCrash:
+      case RunOutcome::Timeout:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
 Gem5Run::outcomeCacheable(RunOutcome o)
 {
     switch (o) {
@@ -286,8 +299,6 @@ Gem5Run::execute(ArtifactDb &adb, scheduler::CancelToken *token)
     };
 
     double start_wall = monotonicSeconds();
-    update(Json::object({{"status", Json("RUNNING")},
-                         {"startedAt", Json(isoTimestamp())}}));
 
     auto finish = [&](RunOutcome outcome, const std::string &status,
                       const std::string &error) {
@@ -296,15 +307,46 @@ Gem5Run::execute(ArtifactDb &adb, scheduler::CancelToken *token)
         fields["outcome"] = runOutcomeName(outcome);
         if (!error.empty())
             fields["error"] = error;
-        fields["wallSeconds"] = monotonicSeconds() - start_wall;
+        double wall = monotonicSeconds() - start_wall;
+        fields["wallSeconds"] = wall;
         fields["finishedAt"] = isoTimestamp();
+        // Per-attempt provenance: every execute() call — including
+        // retries of transient outcomes — leaves one record behind.
+        Json doc = document(adb);
+        Json attempts = doc.contains("attempts") ? doc.at("attempts")
+                                                 : Json::array();
+        Json rec = Json::object();
+        rec["attempt"] = std::int64_t(attempts.size()) + 1;
+        rec["outcome"] = runOutcomeName(outcome);
+        rec["wallSeconds"] = wall;
+        if (!error.empty())
+            rec["error"] = error;
+        attempts.push(std::move(rec));
+        fields["attempts"] = std::move(attempts);
         update(fields);
     };
+
+    // A task dequeued after its deadline passed (queue backlog) or
+    // cancelled before starting must still leave a terminal document —
+    // never a run stuck at Pending/RUNNING.
+    if (token && token->expired()) {
+        update(Json::object({{"startedAt", Json(isoTimestamp())}}));
+        finish(RunOutcome::Timeout, "TIMEOUT",
+               "job cancelled or timed out before execution");
+        throw scheduler::TaskTimeout(
+            "run '" + runName + "' cancelled before execution");
+    }
+
+    update(Json::object({{"status", Json("RUNNING")},
+                         {"startedAt", Json(isoTimestamp())}}));
 
     // --- assemble the configuration the run script describes ---
     FsConfig cfg;
     SimResult result;
     try {
+        // Injectable host-level failure (G5_FAULT=run.execute[:p[:s]]):
+        // a transient simulator crash, retried by the tasks layer.
+        fault::checkpoint("run.execute");
         // The "gem5 binary" is a build descriptor: version + variant.
         Json binary = Json::parse(readFile(gem5Binary));
         cfg.simVersion = binary.getString("version");
@@ -376,6 +418,16 @@ Gem5Run::execute(ArtifactDb &adb, scheduler::CancelToken *token)
         finish(unsupported ? RunOutcome::Unsupported
                            : RunOutcome::Failure,
                "FAILURE", msg);
+        return document(adb);
+    } catch (const InjectedFault &e) {
+        // Injected host faults model the simulator process dying:
+        // transient, so the tasks layer may retry this run.
+        finish(RunOutcome::SimCrash, "FAILURE", e.what());
+        return document(adb);
+    } catch (const std::exception &e) {
+        // Anything else (bad file, parse error, ...) still terminates
+        // the document: failed runs are data, never stuck at RUNNING.
+        finish(RunOutcome::Failure, "FAILURE", e.what());
         return document(adb);
     }
 

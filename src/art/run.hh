@@ -121,7 +121,11 @@ class Gem5Run
      * Never throws for simulated-simulator failures — those are
      * recorded in the run document (the whole point of gem5art is that
      * failed runs are data). A scheduler timeout (TaskTimeout) does
-     * propagate after being recorded.
+     * propagate, but only after a terminal Timeout outcome has been
+     * recorded in the document — a timed-out run is never left
+     * Pending/RUNNING. Every call appends one record to the document's
+     * "attempts" array ({attempt, outcome, wallSeconds, error?}), so
+     * retried runs keep full per-attempt provenance.
      *
      * @return the final run document.
      */
@@ -144,6 +148,17 @@ class Gem5Run
 
     /** @return true when G5ART_NO_CACHE is set (forces re-execution). */
     static bool cacheBypassed();
+
+    /**
+     * @return true when an outcome is transient — plausibly caused by
+     * host-level trouble rather than the configuration, so re-running
+     * the same inputs may legitimately produce a different result.
+     * SimCrash (segfault class) and Timeout (host/scheduler dependent)
+     * are transient; Success and the deterministic failure classes
+     * (KernelPanic, Deadlock, Unsupported) are not. The tasks layer
+     * retries fresh transient outcomes under its RetryPolicy.
+     */
+    static bool outcomeTransient(RunOutcome o);
 
     /**
      * @return true when a stored outcome may be served from cache.

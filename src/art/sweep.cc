@@ -1,0 +1,129 @@
+#include "art/sweep.hh"
+
+#include "base/faultinject.hh"
+#include "base/wallclock.hh"
+
+namespace g5::art
+{
+
+SweepJournal::SweepJournal(ArtifactDb &adb, std::string sweep_name)
+    : adb(adb), sweepName(std::move(sweep_name))
+{
+    journal();
+}
+
+db::Collection &
+SweepJournal::journal() const
+{
+    return adb.db().collection("sweeps");
+}
+
+std::string
+SweepJournal::keyFor(const Gem5Run &run) const
+{
+    return sweepName + "/" + run.inputHash();
+}
+
+bool
+SweepJournal::documentTerminal(const Json &run_doc)
+{
+    if (run_doc.isNull())
+        return false;
+    RunOutcome outcome = Gem5Run::classify(run_doc);
+    switch (outcome) {
+      case RunOutcome::Pending:
+        return false;
+      case RunOutcome::Timeout:
+        // Tick-limit timeouts archived their simulation result
+        // (exitCause et al.) and are deterministic data; a scheduler
+        // timeout bailed out before any result existed.
+        return run_doc.contains("exitCause");
+      default:
+        return true;
+    }
+}
+
+std::vector<scheduler::TaskFuturePtr>
+SweepJournal::submit(Tasks &tasks, const std::vector<Gem5Run> &runs)
+{
+    db::Collection &coll = journal();
+    std::vector<Gem5Run> fresh;
+    lastSkipped = 0;
+    for (const Gem5Run &run : runs) {
+        // Injectable crash mid-launch (G5_FAULT=sweep.submit): the
+        // kill-and-resume tests use this to interrupt a sweep between
+        // journal writes.
+        fault::checkpoint("sweep.submit");
+        std::string key = keyFor(run);
+        Json entry = coll.findById(key);
+        if (!entry.isNull() && entry.getString("status", "") == "DONE") {
+            ++lastSkipped;
+            continue;
+        }
+        Json fields = Json::object();
+        fields["sweep"] = sweepName;
+        fields["inputHash"] = run.inputHash();
+        fields["runName"] = run.name();
+        fields["status"] = std::string("PENDING");
+        fields["outcome"] = runOutcomeName(RunOutcome::Pending);
+        fields["updatedAt"] = isoTimestamp();
+        if (entry.isNull()) {
+            fields["_id"] = key;
+            coll.insertOne(std::move(fields));
+        } else {
+            coll.updateOne(Json::object({{"_id", Json(key)}}),
+                           Json::object({{"$set", std::move(fields)}}));
+        }
+        fresh.push_back(run);
+    }
+    // Persist the launch plan before any run executes, so a crash
+    // during the sweep finds every un-started run still journalled.
+    adb.db().save();
+
+    SweepJournal *self = this;
+    tasks.setOnComplete([self](const Gem5Run &run, const Json &doc) {
+        self->record(run, doc);
+    });
+    return tasks.applyAsyncBatch(std::move(fresh));
+}
+
+void
+SweepJournal::record(const Gem5Run &run, const Json &doc)
+{
+    bool terminal = documentTerminal(doc);
+    Json fields = Json::object();
+    fields["status"] = std::string(terminal ? "DONE" : "PENDING");
+    fields["outcome"] = runOutcomeName(Gem5Run::classify(doc));
+    fields["runId"] = doc.getString("_id", "");
+    fields["updatedAt"] = isoTimestamp();
+    journal().updateOne(Json::object({{"_id", Json(keyFor(run))}}),
+                        Json::object({{"$set", std::move(fields)}}));
+    // Terminal progress is durable immediately: a crash after this
+    // point never re-runs the simulation.
+    if (terminal)
+        adb.db().save();
+}
+
+Json
+SweepJournal::census() const
+{
+    std::vector<Json> entries =
+        journal().find(Json::object({{"sweep", Json(sweepName)}}));
+    Json by_outcome = Json::object();
+    std::int64_t done = 0;
+    for (const Json &entry : entries) {
+        if (entry.getString("status", "") == "DONE")
+            ++done;
+        std::string outcome = entry.getString("outcome", "pending");
+        by_outcome[outcome] =
+            by_outcome.getInt(outcome, 0) + std::int64_t(1);
+    }
+    Json out = Json::object();
+    out["total"] = std::int64_t(entries.size());
+    out["done"] = done;
+    out["pending"] = std::int64_t(entries.size()) - done;
+    out["outcomes"] = std::move(by_outcome);
+    return out;
+}
+
+} // namespace g5::art

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Crash-resumable sweep execution.
+ *
+ * A SweepJournal gives a parameter sweep (the paper's Fig 8 boot-test
+ * census) durable progress: every run gets one journal document in the
+ * "sweeps" collection, keyed by the *content* of its inputs
+ * (sweepName + "/" + inputHash) rather than by run UUID — so a
+ * relaunched process, which constructs brand-new Gem5Run objects with
+ * fresh UUIDs, still recognises work it already finished.
+ *
+ * submit() skips runs whose journal entry is terminal, (re-)marks the
+ * rest pending, persists the journal, and launches only the remainder.
+ * As attempts complete, a Tasks hook updates each entry and saves the
+ * database on terminal outcomes — killing the process mid-sweep loses
+ * at most the in-flight runs, and a subsequent submit() of the same
+ * sweep resumes exactly where it stopped. A scheduler timeout leaves
+ * its entry pending (timeouts are host-dependent, so a resume retries
+ * them); every simulator-level outcome — including failures, which are
+ * data — is terminal.
+ */
+
+#ifndef G5_ART_SWEEP_HH
+#define G5_ART_SWEEP_HH
+
+#include <string>
+#include <vector>
+
+#include "art/run.hh"
+#include "art/tasks.hh"
+
+namespace g5::art
+{
+
+class SweepJournal
+{
+  public:
+    /**
+     * Attach to (or create) the journal for @p sweep_name in @p adb's
+     * "sweeps" collection. The journal must outlive any Tasks it
+     * submitted through (its completion hook points back at it).
+     */
+    SweepJournal(ArtifactDb &adb, std::string sweep_name);
+
+    /**
+     * Launch the sweep, resuming any prior progress: runs whose journal
+     * entry is already terminal are skipped; the rest are journalled as
+     * pending, persisted, and submitted to @p tasks (whose completion
+     * hook this call installs — replacing any previously set one).
+     *
+     * @return futures for the runs actually submitted (the skipped runs
+     * have their results in the database already).
+     */
+    std::vector<scheduler::TaskFuturePtr>
+    submit(Tasks &tasks, const std::vector<Gem5Run> &runs);
+
+    /** Runs skipped as already-terminal by the last submit(). */
+    std::size_t skipped() const { return lastSkipped; }
+
+    /**
+     * Census of this sweep's journal: total / done / pending counts
+     * plus per-outcome counts ({"success": 12, "kernel panic": 3, ...}).
+     */
+    Json census() const;
+
+    /** The journal document key for @p run (stable across processes). */
+    std::string keyFor(const Gem5Run &run) const;
+
+    /**
+     * @return true when a run document settles its journal entry: any
+     * simulator-level outcome, including deterministic failures. A
+     * scheduler timeout (a Timeout with no archived simulation result)
+     * is host trouble, not data — it stays pending for the next launch.
+     */
+    static bool documentTerminal(const Json &run_doc);
+
+  private:
+    /** Per-attempt Tasks hook: update the entry, persist if terminal. */
+    void record(const Gem5Run &run, const Json &doc);
+
+    db::Collection &journal() const;
+
+    ArtifactDb &adb;
+    std::string sweepName;
+    std::size_t lastSkipped = 0;
+};
+
+} // namespace g5::art
+
+#endif // G5_ART_SWEEP_HH

@@ -14,9 +14,41 @@ Tasks::taskFor(Gem5Run run)
 {
     ArtifactDb *adbp = &adb;
     bool cached = useCache;
-    return [run, adbp, cached](scheduler::CancelToken &token) mutable {
-        return cached ? run.executeCached(*adbp, &token)
-                      : run.execute(*adbp, &token);
+    scheduler::RetryPolicy policy = retryPolicy;
+    RunHook hook = onComplete;
+    return [run, adbp, cached, policy,
+            hook](scheduler::CancelToken &token) mutable -> Json {
+        Json doc;
+        try {
+            doc = cached ? run.executeCached(*adbp, &token)
+                         : run.execute(*adbp, &token);
+        } catch (const scheduler::TaskTimeout &) {
+            // The run layer already recorded a terminal Timeout
+            // document; surface it to the hook, then let the scheduler
+            // classify the timeout (retried only if retryTimeouts).
+            if (hook)
+                hook(run, run.document(*adbp));
+            throw;
+        }
+        if (hook)
+            hook(run, doc);
+        // Fresh transient outcomes become scheduler-visible failures so
+        // the RetryPolicy can re-run them. Cached documents are served
+        // data — a crash recorded in a *previous* process is a result,
+        // not a fault to retry. The last allowed attempt returns the
+        // document as-is: failed runs are data.
+        RunOutcome outcome = Gem5Run::classify(doc);
+        bool fresh = !doc.getBool("cached", false);
+        if (fresh && outcome == RunOutcome::SimCrash &&
+            Gem5Run::outcomeTransient(outcome) &&
+            token.attempt() < policy.maxAttempts) {
+            throw TransientRunError(
+                "transient " + std::string(runOutcomeName(outcome)) +
+                    " in run '" + run.name() + "' (attempt " +
+                    std::to_string(token.attempt()) + ")",
+                doc);
+        }
+        return doc;
     };
 }
 
@@ -25,7 +57,8 @@ Tasks::applyAsync(Gem5Run run)
 {
     double timeout = run.timeoutSeconds();
     std::string name = run.name();
-    return queue.applyAsync(name, taskFor(std::move(run)), timeout);
+    return queue.applyAsync(name, taskFor(std::move(run)), timeout,
+                            retryPolicy);
 }
 
 std::vector<scheduler::TaskFuturePtr>
@@ -37,6 +70,7 @@ Tasks::applyAsyncBatch(std::vector<Gem5Run> runs)
         scheduler::TaskSpec spec;
         spec.name = run.name();
         spec.timeoutSeconds = run.timeoutSeconds();
+        spec.retry = retryPolicy;
         spec.fn = taskFor(std::move(run));
         specs.push_back(std::move(spec));
     }

@@ -13,11 +13,19 @@
  * the database is answered from that document instead of re-simulated.
  * Disable per-Tasks with useCache=false, or globally with the
  * G5ART_NO_CACHE environment variable.
+ *
+ * Fault tolerance: fresh (non-cached) transient outcomes — SimCrash,
+ * the segfault class — are surfaced to the scheduler as failures so the
+ * RetryPolicy can re-run them with exponential backoff. Deterministic
+ * outcomes (KernelPanic, Unsupported, tick-limit Timeout) and cached
+ * documents are final on the first attempt. The default policy is
+ * RetryPolicy::transientFaults(); override with setRetryPolicy().
  */
 
 #ifndef G5_ART_TASKS_HH
 #define G5_ART_TASKS_HH
 
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -27,10 +35,32 @@
 namespace g5::art
 {
 
+/**
+ * Thrown by the task wrapper when a fresh run produced a transient
+ * outcome (SimCrash) and attempts remain: unwinding with an exception
+ * is what lets the scheduler's RetryPolicy classify and re-enqueue the
+ * job. Carries the terminal run document of the failed attempt.
+ */
+class TransientRunError : public std::runtime_error
+{
+  public:
+    TransientRunError(const std::string &msg, Json doc)
+        : std::runtime_error(msg), runDoc(std::move(doc))
+    {}
+
+    const Json &document() const { return runDoc; }
+
+  private:
+    Json runDoc;
+};
+
 class Tasks
 {
   public:
     using Backend = scheduler::TaskQueue::Backend;
+
+    /** Callback fired after every attempt with the run document. */
+    using RunHook = std::function<void(const Gem5Run &, const Json &)>;
 
     /**
      * @param adb       shared artifact database.
@@ -58,11 +88,33 @@ class Tasks
     /** Toggle run-result cache usage for subsequent submissions. */
     void setUseCache(bool use) { useCache = use; }
 
+    /**
+     * Replace the retry policy applied to subsequent submissions.
+     * RetryPolicy::none() disables retries entirely.
+     */
+    void setRetryPolicy(scheduler::RetryPolicy policy)
+    {
+        retryPolicy = std::move(policy);
+    }
+
+    /**
+     * Install a completion hook invoked (on the worker thread) with the
+     * run's document after every attempt — terminal or transient. The
+     * sweep journal uses this to persist per-run progress.
+     */
+    void setOnComplete(RunHook hook) { onComplete = std::move(hook); }
+
     /** Block until every submitted run reached a terminal state. */
     void waitAll() { queue.waitAll(); }
 
+    /** Cancel queued runs and request cancellation of running ones. */
+    void cancelAll() { queue.cancelAll(); }
+
     /** Scheduler-side state counts (O(1)). */
     Json summary() const { return queue.summary(); }
+
+    /** The underlying scheduler (watchdog/drain tuning). */
+    scheduler::TaskQueue &scheduler() { return queue; }
 
   private:
     scheduler::TaskFn taskFor(Gem5Run run);
@@ -70,6 +122,9 @@ class Tasks
     ArtifactDb &adb;
     scheduler::TaskQueue queue;
     bool useCache;
+    scheduler::RetryPolicy retryPolicy =
+        scheduler::RetryPolicy::transientFaults();
+    RunHook onComplete;
 };
 
 } // namespace g5::art

@@ -1,0 +1,226 @@
+#include "base/faultinject.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+
+#include "base/logging.hh"
+#include "base/random.hh"
+#include "base/str.hh"
+
+namespace g5::fault
+{
+
+namespace
+{
+
+struct Point
+{
+    std::uint64_t hits = 0;
+    std::uint64_t fired = 0;
+
+    bool armed = false;
+    double prob = 1.0;
+    Rng rng{0};
+
+    /** armAfter mode: pass this many more times, fire once, disarm. */
+    bool oneShot = false;
+    std::uint64_t passesLeft = 0;
+};
+
+struct State
+{
+    std::mutex mtx;
+    std::map<std::string, Point> points;
+    /** Fast path: how many points are currently armed. */
+    std::atomic<int> armedCount{0};
+    std::once_flag envOnce;
+};
+
+State &
+state()
+{
+    static State s;
+    return s;
+}
+
+/** Read G5_FAULT once, lazily, merging with programmatic arms. */
+void
+armFromEnvOnce()
+{
+    State &s = state();
+    std::call_once(s.envOnce, [&] {
+        const char *v = std::getenv("G5_FAULT");
+        if (v != nullptr && *v != '\0')
+            armFromSpec(v);
+    });
+}
+
+/** Decide whether an armed point fires on this visit. Lock held. */
+bool
+draw(Point &p)
+{
+    if (p.oneShot) {
+        if (p.passesLeft > 0) {
+            --p.passesLeft;
+            return false;
+        }
+        p.armed = false; // fire exactly once
+        state().armedCount.fetch_sub(1, std::memory_order_relaxed);
+        return true;
+    }
+    return p.rng.chance(p.prob);
+}
+
+bool
+visit(const char *point, bool counted)
+{
+    armFromEnvOnce();
+    State &s = state();
+    std::lock_guard<std::mutex> lock(s.mtx);
+    Point &p = s.points[point];
+    if (counted)
+        ++p.hits;
+    if (!p.armed)
+        return false;
+    bool fire = draw(p);
+    if (fire)
+        ++p.fired;
+    return fire;
+}
+
+} // anonymous namespace
+
+void
+checkpoint(const char *point)
+{
+    // Unarmed processes pay one relaxed load — no lock, no map probe.
+    if (state().armedCount.load(std::memory_order_relaxed) == 0) {
+        armFromEnvOnce();
+        if (state().armedCount.load(std::memory_order_relaxed) == 0) {
+            std::lock_guard<std::mutex> lock(state().mtx);
+            ++state().points[point].hits;
+            return;
+        }
+    }
+    if (visit(point, true))
+        throw InjectedFault(std::string("injected fault at '") + point +
+                            "'");
+}
+
+bool
+shouldFire(const char *point)
+{
+    return visit(point, true);
+}
+
+void
+arm(const std::string &point, double prob, std::uint64_t seed)
+{
+    State &s = state();
+    std::lock_guard<std::mutex> lock(s.mtx);
+    Point &p = s.points[point];
+    if (!p.armed)
+        s.armedCount.fetch_add(1, std::memory_order_relaxed);
+    p.armed = true;
+    p.oneShot = false;
+    p.prob = prob;
+    // Distinct points with the same seed draw distinct sequences.
+    p.rng = Rng(hashCombine(seed, hashString(point)));
+}
+
+void
+armAfter(const std::string &point, std::uint64_t passes)
+{
+    State &s = state();
+    std::lock_guard<std::mutex> lock(s.mtx);
+    Point &p = s.points[point];
+    if (!p.armed)
+        s.armedCount.fetch_add(1, std::memory_order_relaxed);
+    p.armed = true;
+    p.oneShot = true;
+    p.passesLeft = passes;
+}
+
+void
+disarm(const std::string &point)
+{
+    State &s = state();
+    std::lock_guard<std::mutex> lock(s.mtx);
+    auto it = s.points.find(point);
+    if (it != s.points.end() && it->second.armed) {
+        it->second.armed = false;
+        s.armedCount.fetch_sub(1, std::memory_order_relaxed);
+    }
+}
+
+void
+reset()
+{
+    State &s = state();
+    std::lock_guard<std::mutex> lock(s.mtx);
+    for (auto &kv : s.points) {
+        if (kv.second.armed)
+            s.armedCount.fetch_sub(1, std::memory_order_relaxed);
+    }
+    s.points.clear();
+}
+
+void
+armFromSpec(const std::string &spec)
+{
+    for (const auto &entry : split(spec, ',')) {
+        std::string t = trim(entry);
+        if (t.empty())
+            continue;
+        auto parts = split(t, ':');
+        if (parts.empty() || trim(parts[0]).empty())
+            fatal("G5_FAULT: empty fault point in '" + spec + "'");
+        double prob = 1.0;
+        std::uint64_t seed = 0;
+        try {
+            if (parts.size() > 1)
+                prob = std::stod(parts[1]);
+            if (parts.size() > 2)
+                seed = std::stoull(parts[2]);
+        } catch (const std::exception &) {
+            fatal("G5_FAULT: cannot parse '" + t +
+                  "' (want point[:prob[:seed]])");
+        }
+        if (parts.size() > 3)
+            fatal("G5_FAULT: too many fields in '" + t + "'");
+        arm(trim(parts[0]), prob, seed);
+    }
+}
+
+std::uint64_t
+hits(const std::string &point)
+{
+    State &s = state();
+    std::lock_guard<std::mutex> lock(s.mtx);
+    auto it = s.points.find(point);
+    return it == s.points.end() ? 0 : it->second.hits;
+}
+
+std::uint64_t
+fired(const std::string &point)
+{
+    State &s = state();
+    std::lock_guard<std::mutex> lock(s.mtx);
+    auto it = s.points.find(point);
+    return it == s.points.end() ? 0 : it->second.fired;
+}
+
+std::vector<std::string>
+registry()
+{
+    State &s = state();
+    std::lock_guard<std::mutex> lock(s.mtx);
+    std::vector<std::string> names;
+    for (const auto &kv : s.points)
+        names.push_back(kv.first);
+    return names;
+}
+
+} // namespace g5::fault

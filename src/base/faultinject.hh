@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Deterministic fault injection for robustness tests.
+ *
+ * Production code marks interesting failure sites with named fault
+ * points (fault::checkpoint("db.save.append")). By default a checkpoint
+ * only counts the visit and returns. When a point is armed — through
+ * the G5_FAULT environment variable or programmatically from a test —
+ * the checkpoint throws InjectedFault, standing in for a host-level
+ * failure (full disk, OOM kill, transient simulator segfault) at
+ * exactly that site.
+ *
+ * Environment syntax (comma-separated specs):
+ *
+ *     G5_FAULT=point[:prob[:seed]][,point2[:prob[:seed]]...]
+ *
+ * e.g. G5_FAULT=db.blob.putFile:0.25:42 makes every putFile call fail
+ * with probability 0.25, drawn from a PRNG seeded with 42 — the same
+ * seed reproduces the same failure pattern bit-identically, which is
+ * what makes "run the sweep under injected faults" a regression test
+ * instead of a flake generator.
+ *
+ * Tests preferring exact placement over probability use armAfter():
+ * the point fires once after N successful passes, then disarms itself —
+ * the standard way to simulate "the process crashed at step N".
+ *
+ * Checkpoints are cheap when nothing is armed (one atomic load) and the
+ * registry of visited points (with hit/fired counts) is queryable, so
+ * tests can assert "exactly 4 runs executed" via hit deltas.
+ */
+
+#ifndef G5_BASE_FAULTINJECT_HH
+#define G5_BASE_FAULTINJECT_HH
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace g5
+{
+
+/** Thrown by an armed, firing fault point. */
+class InjectedFault : public std::runtime_error
+{
+  public:
+    explicit InjectedFault(const std::string &msg)
+        : std::runtime_error(msg)
+    {}
+};
+
+namespace fault
+{
+
+/**
+ * The instrumentation call sites place at a named failure site: count
+ * the visit and throw InjectedFault when the point is armed and its
+ * draw fires. Thread-safe; ~one atomic load when nothing is armed.
+ */
+void checkpoint(const char *point);
+
+/** Like checkpoint() but reports instead of throwing. */
+bool shouldFire(const char *point);
+
+/** Arm @p point: fire with probability @p prob, PRNG seeded @p seed. */
+void arm(const std::string &point, double prob = 1.0,
+         std::uint64_t seed = 0);
+
+/**
+ * Arm @p point to pass @p passes times, fire once, then disarm itself.
+ * Deterministic regardless of seed — the crash-at-step-N primitive.
+ */
+void armAfter(const std::string &point, std::uint64_t passes);
+
+/** Disarm one point (its counters survive). */
+void disarm(const std::string &point);
+
+/** Disarm every point and zero all counters (test isolation). */
+void reset();
+
+/** Parse and arm a G5_FAULT-syntax spec string. Throws on bad syntax. */
+void armFromSpec(const std::string &spec);
+
+/** @return times @p point was visited (armed or not). */
+std::uint64_t hits(const std::string &point);
+
+/** @return times @p point actually fired. */
+std::uint64_t fired(const std::string &point);
+
+/** @return the sorted names of every point visited or armed so far. */
+std::vector<std::string> registry();
+
+} // namespace fault
+} // namespace g5
+
+#endif // G5_BASE_FAULTINJECT_HH

@@ -6,6 +6,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "base/faultinject.hh"
 #include "base/logging.hh"
 #include "base/md5.hh"
 #include "base/str.hh"
@@ -236,6 +237,9 @@ Database::putBlob(const std::string &bytes)
 std::string
 Database::putFile(const std::string &host_path)
 {
+    // Injectable crash before the upload (G5_FAULT=db.blob.putFile):
+    // content-addressed blobs make an interrupted upload retryable.
+    fault::checkpoint("db.blob.putFile");
     std::ifstream in(host_path, std::ios::binary);
     if (!in)
         fatal("database: cannot read '" + host_path + "'");
@@ -371,6 +375,10 @@ void
 Database::compactCollection(const std::string &name, Collection &coll)
 {
     fs::path dir = fs::path(rootDir) / "collections";
+    // Injectable crash before the snapshot write
+    // (G5_FAULT=db.compact.snapshot): the WAL is still intact, so
+    // recovery replays it over the previous snapshot.
+    fault::checkpoint("db.compact.snapshot");
     // snapshotJsonl atomically serializes the documents AND discards
     // pending records, so nothing is lost or double-applied; the WAL is
     // removed only after the snapshot rename, and replay is idempotent,
@@ -399,6 +407,10 @@ Database::save()
     for (auto &[name, coll] : colls) {
         if (!coll->dirty())
             continue; // clean collections cost nothing
+        // Injectable crash before this collection's WAL append
+        // (G5_FAULT=db.save.append): collections already appended this
+        // save() stay durable — committed-prefix semantics.
+        fault::checkpoint("db.save.append");
         std::string ops = coll->drainOplog();
         if (ops.empty())
             continue;

@@ -1,0 +1,54 @@
+#include "scheduler/retry.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/random.hh"
+#include "scheduler/task_queue.hh"
+
+namespace g5::scheduler
+{
+
+bool
+RetryPolicy::shouldRetry(TaskState state, const std::string &error,
+                         unsigned attempt) const
+{
+    if (attempt >= maxAttempts)
+        return false;
+    if (state != TaskState::Failure && state != TaskState::Timeout)
+        return false; // Success (or non-terminal) never retries
+    if (classify)
+        return classify(state, error);
+    return state == TaskState::Failure ? retryFailures : retryTimeouts;
+}
+
+double
+RetryPolicy::delaySeconds(const std::string &task_name,
+                          unsigned attempt) const
+{
+    if (backoffBase <= 0)
+        return 0;
+    double exp = std::pow(backoffFactor, double(attempt >= 1 ? attempt - 1
+                                                             : 0));
+    double delay = std::min(backoffMax, backoffBase * exp);
+    if (jitterFrac > 0) {
+        Rng rng(hashCombine(jitterSeed, hashString(task_name)) + attempt);
+        delay *= 1.0 + jitterFrac * (2.0 * rng.real() - 1.0);
+    }
+    return std::max(0.0, delay);
+}
+
+RetryPolicy
+RetryPolicy::transientFaults(unsigned attempts)
+{
+    RetryPolicy p;
+    p.maxAttempts = attempts;
+    p.backoffBase = 0.02;
+    p.backoffFactor = 2.0;
+    p.backoffMax = 1.0;
+    p.retryFailures = true;
+    p.retryTimeouts = false;
+    return p;
+}
+
+} // namespace g5::scheduler

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Retry policy for scheduler tasks.
+ *
+ * A RetryPolicy says which terminal states of a task attempt are worth
+ * another try, how many attempts a task gets in total, and how long to
+ * wait between attempts: exponential backoff with deterministic jitter.
+ * The jitter is a pure function of (seed, task name, attempt), so a
+ * re-run of the same sweep spreads its retries the same way — delays
+ * never depend on wall-clock state, keeping fault-injection tests
+ * reproducible.
+ *
+ * Per-class retryability: failures and timeouts are separately
+ * switchable, and a classify callback can overrule both from the error
+ * text (e.g. "retry only transient run outcomes").
+ */
+
+#ifndef G5_SCHEDULER_RETRY_HH
+#define G5_SCHEDULER_RETRY_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace g5::scheduler
+{
+
+enum class TaskState; // see task_queue.hh
+
+struct RetryPolicy
+{
+    /** Total attempts a task may consume; 1 = never retry. */
+    unsigned maxAttempts = 1;
+
+    /** Delay before the 2nd attempt, in seconds. */
+    double backoffBase = 0.05;
+    /** Multiplier per further attempt (exponential backoff). */
+    double backoffFactor = 2.0;
+    /** Upper bound for any single delay, in seconds. */
+    double backoffMax = 5.0;
+    /** Jitter as a +/- fraction of the delay (0 disables). */
+    double jitterFrac = 0.25;
+    /** Seed for the deterministic jitter draw. */
+    std::uint64_t jitterSeed = 0;
+
+    /** Retry attempts that ended in TaskState::Failure? */
+    bool retryFailures = true;
+    /** Retry attempts that ended in TaskState::Timeout? */
+    bool retryTimeouts = false;
+
+    /**
+     * Optional per-class override: when set, it alone decides whether
+     * an attempt's terminal (state, error) is retryable; the two flags
+     * above are ignored. maxAttempts still bounds the total.
+     */
+    std::function<bool(TaskState, const std::string &error)> classify;
+
+    /** @return true when attempt @p attempt (1-based) may be retried. */
+    bool shouldRetry(TaskState state, const std::string &error,
+                     unsigned attempt) const;
+
+    /**
+     * Deterministic delay before attempt @p attempt + 1: capped
+     * exponential backoff, jittered from (jitterSeed, name, attempt).
+     */
+    double delaySeconds(const std::string &task_name,
+                        unsigned attempt) const;
+
+    /** The do-not-retry policy (the default everywhere). */
+    static RetryPolicy none() { return RetryPolicy{}; }
+
+    /**
+     * A policy for transient host-level trouble: @p attempts total
+     * attempts, fast exponential backoff, failures retried, timeouts
+     * not (a timed-out attempt already burned its full deadline).
+     */
+    static RetryPolicy transientFaults(unsigned attempts = 3);
+};
+
+} // namespace g5::scheduler
+
+#endif // G5_SCHEDULER_RETRY_HH

@@ -1,10 +1,24 @@
 #include "scheduler/task_queue.hh"
 
+#include <algorithm>
+#include <chrono>
+
 #include "base/logging.hh"
 #include "base/wallclock.hh"
 
 namespace g5::scheduler
 {
+
+namespace
+{
+
+std::chrono::duration<double>
+secs(double s)
+{
+    return std::chrono::duration<double>(s);
+}
+
+} // anonymous namespace
 
 const char *
 taskStateName(TaskState s)
@@ -20,6 +34,8 @@ taskStateName(TaskState s)
         return "FAILURE";
       case TaskState::Timeout:
         return "TIMEOUT";
+      case TaskState::Retrying:
+        return "RETRY";
     }
     return "UNKNOWN";
 }
@@ -27,7 +43,15 @@ taskStateName(TaskState s)
 void
 CancelToken::arm(double seconds)
 {
-    deadline = seconds > 0 ? monotonicSeconds() + seconds : 0;
+    deadline.store(seconds > 0 ? monotonicSeconds() + seconds : 0);
+}
+
+void
+CancelToken::beginAttempt(double timeout_s, unsigned attempt)
+{
+    cancelled.store(false);
+    attemptNo.store(attempt);
+    arm(timeout_s);
 }
 
 bool
@@ -35,7 +59,8 @@ CancelToken::expired() const
 {
     if (cancelled.load())
         return true;
-    return deadline > 0 && monotonicSeconds() > deadline;
+    double d = deadline.load();
+    return d > 0 && monotonicSeconds() > d;
 }
 
 void
@@ -45,9 +70,10 @@ CancelToken::checkpoint() const
         throw TaskTimeout("task exceeded its timeout");
 }
 
-TaskFuture::TaskFuture(std::string name, TaskFn fn, double timeout_s)
+TaskFuture::TaskFuture(std::string name, TaskFn fn, double timeout_s,
+                       RetryPolicy policy)
     : taskName(std::move(name)), fn(std::move(fn)),
-      timeoutSeconds(timeout_s)
+      timeoutSeconds(timeout_s), policy(std::move(policy))
 {}
 
 void
@@ -55,7 +81,8 @@ TaskFuture::wait()
 {
     std::unique_lock<std::mutex> lock(mtx);
     cv.wait(lock, [this] {
-        return st != TaskState::Pending && st != TaskState::Running;
+        return st == TaskState::Success || st == TaskState::Failure ||
+               st == TaskState::Timeout;
     });
 }
 
@@ -90,46 +117,190 @@ TaskFuture::wallSeconds()
     return wallSecs;
 }
 
-void
-TaskFuture::execute()
+unsigned
+TaskFuture::attempt() const
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    return attemptNo;
+}
+
+Json
+TaskFuture::attempts() const
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    return attemptsLog;
+}
+
+bool
+TaskFuture::wasAbandoned() const
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    return abandoned;
+}
+
+TaskFuture::AttemptOutcome
+TaskFuture::runAttempt()
+{
+    TaskState prev;
+    unsigned attempt_no;
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        if (st != TaskState::Pending && st != TaskState::Retrying)
+            return {}; // cancelled while queued
+        prev = st;
+        st = TaskState::Running;
+        attempt_no = ++attemptNo;
+    }
+    if (transitionHook)
+        transitionHook(prev, TaskState::Running);
+    token.beginAttempt(timeoutSeconds, attempt_no);
+    double start = monotonicSeconds();
+
+    TaskState attempt_state;
+    Json attempt_payload;
+    std::string attempt_err;
+    try {
+        attempt_payload = fn(token);
+        attempt_state = TaskState::Success;
+    } catch (const TaskTimeout &e) {
+        attempt_state = TaskState::Timeout;
+        attempt_err = e.what();
+    } catch (const std::exception &e) {
+        attempt_state = TaskState::Failure;
+        attempt_err = e.what();
+    } catch (...) {
+        attempt_state = TaskState::Failure;
+        attempt_err = "unknown exception";
+    }
+    double wall = monotonicSeconds() - start;
+
+    AttemptOutcome out;
+    TaskState final_state = attempt_state;
+    bool discard;
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        Json rec = Json::object();
+        rec["attempt"] = attempt_no;
+        rec["outcome"] = taskStateName(attempt_state);
+        rec["wallSeconds"] = wall;
+        if (!attempt_err.empty())
+            rec["error"] = attempt_err;
+        attemptsLog.push(std::move(rec));
+        wallSecs += wall;
+
+        // The watchdog terminalized us mid-attempt: the transition (and
+        // its hook) already happened; the late result is discarded.
+        discard = abandoned;
+        if (!discard) {
+            // An explicit cancel (cancelAll, watchdog escalation) is
+            // final; only organic failures consult the retry policy.
+            bool may_retry = !token.wasCancelled() &&
+                             policy.shouldRetry(attempt_state,
+                                                attempt_err, attempt_no);
+            if (may_retry) {
+                st = TaskState::Retrying;
+                final_state = TaskState::Retrying;
+                errMsg = attempt_err;
+                out.retry = true;
+                out.delaySeconds =
+                    policy.delaySeconds(taskName, attempt_no);
+            } else {
+                st = attempt_state;
+                payload = std::move(attempt_payload);
+                errMsg = attempt_err;
+            }
+        }
+    }
+    if (!discard) {
+        if (transitionHook)
+            transitionHook(TaskState::Running, final_state);
+        cv.notify_all();
+    }
+    return out;
+}
+
+bool
+TaskFuture::forceTimeout(const std::string &reason)
 {
     {
         std::lock_guard<std::mutex> lock(mtx);
-        st = TaskState::Running;
+        if (st != TaskState::Running)
+            return false;
+        st = TaskState::Timeout;
+        errMsg = reason;
+        abandoned = true;
     }
     if (transitionHook)
-        transitionHook(TaskState::Pending, TaskState::Running);
-    token.arm(timeoutSeconds);
-    double start = monotonicSeconds();
+        transitionHook(TaskState::Running, TaskState::Timeout);
+    cv.notify_all();
+    return true;
+}
 
-    TaskState final_state;
-    Json final_payload;
-    std::string final_err;
-    try {
-        final_payload = fn(token);
-        final_state = TaskState::Success;
-    } catch (const TaskTimeout &e) {
-        final_state = TaskState::Timeout;
-        final_err = e.what();
-    } catch (const std::exception &e) {
-        final_state = TaskState::Failure;
-        final_err = e.what();
-    } catch (...) {
-        final_state = TaskState::Failure;
-        final_err = "unknown exception";
-    }
-
+bool
+TaskFuture::cancelQueued(const std::string &reason)
+{
+    TaskState prev;
     {
         std::lock_guard<std::mutex> lock(mtx);
-        st = final_state;
-        payload = std::move(final_payload);
-        errMsg = std::move(final_err);
-        wallSecs = monotonicSeconds() - start;
+        if (st != TaskState::Pending && st != TaskState::Retrying)
+            return false;
+        prev = st;
+        st = TaskState::Timeout;
+        errMsg = reason;
     }
+    token.cancel();
     if (transitionHook)
-        transitionHook(TaskState::Running, final_state);
+        transitionHook(prev, TaskState::Timeout);
     cv.notify_all();
+    return true;
 }
+
+/**
+ * Shared pool state. Worker and watchdog threads hold a shared_ptr, so
+ * a thread detached at shutdown keeps the state alive for as long as it
+ * needs it.
+ */
+struct TaskQueue::Pool
+{
+    std::mutex mtx;
+    std::condition_variable cv;
+
+    std::deque<TaskFuturePtr> pending;
+    struct Delayed
+    {
+        double readyAt;
+        TaskFuturePtr task;
+    };
+    std::vector<Delayed> delayed; ///< retry backoff queue
+    std::vector<TaskFuturePtr> running;
+
+    std::vector<std::thread> threads;
+    /** Parallel to threads: set just before the worker returns, so the
+     *  destructor knows which threads join instantly vs. get detached. */
+    std::vector<std::unique_ptr<std::atomic<bool>>> exited;
+    unsigned liveWorkers = 0;
+
+    bool shuttingDown = false;
+    bool abortDrain = false;
+    bool watchdogStop = false;
+
+    double watchdogPollS = 0.02;
+    double watchdogGraceS = 0.25;
+    double drainTimeoutS = 30.0;
+
+    std::atomic<std::int64_t> stateCounts[numTaskStates] = {};
+    std::atomic<std::int64_t> totalTasks{0};
+    std::atomic<std::int64_t> retriesScheduled{0};
+    std::atomic<std::int64_t> quarantinedWorkers{0};
+
+    void
+    eraseRunning(const TaskFuturePtr &task)
+    {
+        auto it = std::find(running.begin(), running.end(), task);
+        if (it != running.end())
+            running.erase(it);
+    }
+};
 
 unsigned
 TaskQueue::defaultWorkerCount()
@@ -139,56 +310,152 @@ TaskQueue::defaultWorkerCount()
 }
 
 TaskQueue::TaskQueue(unsigned workers, Backend backend)
-    : backend(backend)
+    : backend(backend), pool(std::make_shared<Pool>())
 {
     if (backend == Backend::Threaded) {
         if (workers == 0)
             workers = defaultWorkerCount();
-        for (unsigned i = 0; i < workers; ++i)
-            threads.emplace_back([this] { workerLoop(); });
+        {
+            std::lock_guard<std::mutex> lock(pool->mtx);
+            for (unsigned i = 0; i < workers; ++i)
+                spawnWorker(pool);
+        }
+        watchdog = std::thread(&TaskQueue::watchdogLoop, pool);
     }
+}
+
+unsigned
+TaskQueue::workerCount() const
+{
+    if (backend == Backend::Inline)
+        return 0;
+    std::lock_guard<std::mutex> lock(pool->mtx);
+    return pool->liveWorkers;
+}
+
+void
+TaskQueue::spawnWorker(std::shared_ptr<Pool> pool)
+{
+    // pool->mtx held by the caller.
+    std::size_t idx = pool->threads.size();
+    pool->exited.push_back(std::make_unique<std::atomic<bool>>(false));
+    ++pool->liveWorkers;
+    pool->threads.emplace_back(&TaskQueue::workerLoop, pool, idx);
 }
 
 TaskQueue::~TaskQueue()
 {
+    if (backend == Backend::Inline)
+        return;
+
+    double drain_timeout;
     {
-        std::lock_guard<std::mutex> lock(mtx);
-        shuttingDown = true;
+        std::lock_guard<std::mutex> lock(pool->mtx);
+        pool->shuttingDown = true;
+        drain_timeout = pool->drainTimeoutS;
     }
-    cv.notify_all();
-    for (auto &t : threads)
-        t.join();
+    pool->cv.notify_all();
+
+    {
+        // Drain: workers run everything still queued (the watchdog
+        // promotes delayed retries immediately during shutdown), but
+        // never wait longer than the drain timeout on a poisoned task.
+        std::unique_lock<std::mutex> lock(pool->mtx);
+        bool drained = pool->cv.wait_for(lock, secs(drain_timeout),
+            [this] { return pool->liveWorkers == 0; });
+        if (!drained) {
+            warn("TaskQueue: drain timed out after " +
+                 std::to_string(drain_timeout) +
+                 "s; cancelling queued tasks and detaching stuck "
+                 "workers");
+            pool->abortDrain = true;
+            std::vector<TaskFuturePtr> queued(pool->pending.begin(),
+                                              pool->pending.end());
+            for (const auto &d : pool->delayed)
+                queued.push_back(d.task);
+            pool->pending.clear();
+            pool->delayed.clear();
+            for (const auto &t : pool->running)
+                t->token.cancel();
+            lock.unlock();
+            for (const auto &t : queued)
+                t->cancelQueued("cancelled: scheduler shut down before "
+                                "execution");
+            pool->cv.notify_all();
+            lock.lock();
+            // Give polled cancellations a moment to unwind cleanly.
+            pool->cv.wait_for(lock, secs(1.0),
+                [this] { return pool->liveWorkers == 0; });
+        }
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(pool->mtx);
+        pool->watchdogStop = true;
+    }
+    pool->cv.notify_all();
+    if (watchdog.joinable())
+        watchdog.join();
+
+    // After the watchdog is gone nothing mutates the thread table.
+    for (std::size_t i = 0; i < pool->threads.size(); ++i) {
+        if (pool->exited[i]->load())
+            pool->threads[i].join();
+        else
+            pool->threads[i].detach(); // stuck in a token-ignoring body
+    }
 }
 
 TaskFuturePtr
-TaskQueue::makeFuture(std::string name, TaskFn fn, double timeout_s)
+TaskQueue::makeFuture(std::string name, TaskFn fn, double timeout_s,
+                      RetryPolicy retry)
 {
     auto fut = std::make_shared<TaskFuture>(std::move(name),
-                                            std::move(fn), timeout_s);
-    fut->transitionHook = [this](TaskState from, TaskState to) {
-        --stateCounts[int(from)];
-        ++stateCounts[int(to)];
+                                            std::move(fn), timeout_s,
+                                            std::move(retry));
+    auto p = pool;
+    fut->transitionHook = [p](TaskState from, TaskState to) {
+        --p->stateCounts[int(from)];
+        ++p->stateCounts[int(to)];
     };
-    ++stateCounts[int(TaskState::Pending)];
-    ++totalTasks;
+    ++pool->stateCounts[int(TaskState::Pending)];
+    ++pool->totalTasks;
     return fut;
 }
 
-TaskFuturePtr
-TaskQueue::applyAsync(const std::string &name, TaskFn fn, double timeout_s)
+void
+TaskQueue::runInline(const TaskFuturePtr &fut)
 {
-    auto fut = makeFuture(name, std::move(fn), timeout_s);
+    for (;;) {
+        auto out = fut->runAttempt();
+        if (!out.retry)
+            return;
+        ++pool->retriesScheduled;
+        if (out.delaySeconds > 0)
+            std::this_thread::sleep_for(secs(out.delaySeconds));
+    }
+}
+
+TaskFuturePtr
+TaskQueue::applyAsync(const std::string &name, TaskFn fn,
+                      double timeout_s, RetryPolicy retry)
+{
+    auto fut = makeFuture(name, std::move(fn), timeout_s,
+                          std::move(retry));
     if (backend == Backend::Inline) {
-        fut->execute();
+        runInline(fut);
         return fut;
     }
     {
-        std::lock_guard<std::mutex> lock(mtx);
-        if (shuttingDown)
+        std::lock_guard<std::mutex> lock(pool->mtx);
+        if (pool->shuttingDown)
             fatal("TaskQueue: applyAsync after shutdown");
-        pending.push_back(fut);
+        pool->pending.push_back(fut);
     }
-    cv.notify_one();
+    // notify_all, not notify_one: workers share pool->cv with the
+    // watchdog and waitAll()/destructor waiters, so a single wakeup can
+    // be consumed by a thread that won't run the task.
+    pool->cv.notify_all();
     return fut;
 }
 
@@ -200,47 +467,129 @@ TaskQueue::map(std::vector<TaskSpec> specs)
     for (auto &spec : specs)
         futs.push_back(makeFuture(std::move(spec.name),
                                   std::move(spec.fn),
-                                  spec.timeoutSeconds));
+                                  spec.timeoutSeconds,
+                                  std::move(spec.retry)));
     if (backend == Backend::Inline) {
         for (auto &fut : futs)
-            fut->execute();
+            runInline(fut);
         return futs;
     }
     {
-        std::lock_guard<std::mutex> lock(mtx);
-        if (shuttingDown)
+        std::lock_guard<std::mutex> lock(pool->mtx);
+        if (pool->shuttingDown)
             fatal("TaskQueue: map after shutdown");
-        pending.insert(pending.end(), futs.begin(), futs.end());
+        pool->pending.insert(pool->pending.end(), futs.begin(),
+                             futs.end());
     }
     // One wake-up for the whole batch instead of one per task.
-    cv.notify_all();
+    pool->cv.notify_all();
     return futs;
 }
 
 void
-TaskQueue::workerLoop()
+TaskQueue::workerLoop(std::shared_ptr<Pool> pool, std::size_t idx)
 {
     for (;;) {
         TaskFuturePtr task;
         {
-            std::unique_lock<std::mutex> lock(mtx);
-            cv.wait(lock,
-                    [this] { return shuttingDown || !pending.empty(); });
-            if (pending.empty()) {
-                if (shuttingDown)
-                    return;
+            std::unique_lock<std::mutex> lock(pool->mtx);
+            pool->cv.wait(lock, [&] {
+                return pool->abortDrain || !pool->pending.empty() ||
+                       (pool->shuttingDown && pool->delayed.empty());
+            });
+            if (pool->abortDrain)
+                break;
+            if (pool->pending.empty()) {
+                if (pool->shuttingDown && pool->delayed.empty())
+                    break;
                 continue;
             }
-            task = pending.front();
-            pending.pop_front();
-            ++running;
+            task = pool->pending.front();
+            pool->pending.pop_front();
+            pool->running.push_back(task);
         }
-        task->execute();
-        {
-            std::lock_guard<std::mutex> lock(mtx);
-            --running;
+
+        auto out = task->runAttempt();
+        bool abandoned = task->wasAbandoned();
+        if (!abandoned) {
+            std::lock_guard<std::mutex> lock(pool->mtx);
+            pool->eraseRunning(task);
+            if (out.retry) {
+                pool->delayed.push_back(
+                    {monotonicSeconds() + out.delaySeconds, task});
+                ++pool->retriesScheduled;
+            }
         }
-        cv.notify_all();
+        pool->cv.notify_all();
+        if (abandoned) {
+            // The watchdog already published our Timeout, removed us
+            // from the running set, and spawned a replacement worker:
+            // this thread is quarantined and bows out.
+            break;
+        }
+    }
+    {
+        std::lock_guard<std::mutex> lock(pool->mtx);
+        --pool->liveWorkers;
+        pool->exited[idx]->store(true);
+    }
+    pool->cv.notify_all();
+}
+
+void
+TaskQueue::watchdogLoop(std::shared_ptr<Pool> pool)
+{
+    std::unique_lock<std::mutex> lock(pool->mtx);
+    for (;;) {
+        pool->cv.wait_for(lock, secs(pool->watchdogPollS));
+        if (pool->watchdogStop)
+            return;
+
+        double now = monotonicSeconds();
+        bool woke = false;
+
+        // Promote retry-delayed tasks whose backoff elapsed (all of
+        // them during shutdown — drain should not wait out backoffs).
+        for (std::size_t i = 0; i < pool->delayed.size();) {
+            if (pool->shuttingDown ||
+                pool->delayed[i].readyAt <= now) {
+                pool->pending.push_back(
+                    std::move(pool->delayed[i].task));
+                pool->delayed.erase(pool->delayed.begin() +
+                                    std::ptrdiff_t(i));
+                woke = true;
+            } else {
+                ++i;
+            }
+        }
+
+        // Enforce deadlines on tasks that never poll their token. The
+        // token self-expires at its deadline (no cancel() needed — an
+        // explicit cancel would also veto a policy-allowed timeout
+        // retry); the watchdog only escalates once the grace period
+        // passes without the body unwinding.
+        std::vector<TaskFuturePtr> overdue;
+        for (const auto &task : pool->running) {
+            double d = task->token.deadlineAt();
+            if (d <= 0)
+                continue;
+            if (now > d + pool->watchdogGraceS)
+                overdue.push_back(task);
+        }
+        for (const auto &task : overdue) {
+            if (!task->forceTimeout(
+                    "watchdog: task overran its deadline and ignored "
+                    "cancellation; worker quarantined"))
+                continue;
+            pool->eraseRunning(task);
+            ++pool->quarantinedWorkers;
+            if (!pool->shuttingDown)
+                spawnWorker(pool); // keep pool capacity
+            woke = true;
+        }
+
+        if (woke)
+            pool->cv.notify_all();
     }
 }
 
@@ -249,20 +598,65 @@ TaskQueue::waitAll()
 {
     if (backend == Backend::Inline)
         return; // inline tasks finished at submit time
-    std::unique_lock<std::mutex> lock(mtx);
-    cv.wait(lock, [this] { return pending.empty() && running == 0; });
+    std::unique_lock<std::mutex> lock(pool->mtx);
+    pool->cv.wait(lock, [this] {
+        return pool->pending.empty() && pool->delayed.empty() &&
+               pool->running.empty();
+    });
+}
+
+void
+TaskQueue::cancelAll()
+{
+    if (backend == Backend::Inline)
+        return; // nothing is ever queued
+    std::vector<TaskFuturePtr> queued;
+    {
+        std::lock_guard<std::mutex> lock(pool->mtx);
+        queued.assign(pool->pending.begin(), pool->pending.end());
+        for (const auto &d : pool->delayed)
+            queued.push_back(d.task);
+        pool->pending.clear();
+        pool->delayed.clear();
+        for (const auto &t : pool->running)
+            t->token.cancel();
+    }
+    for (const auto &t : queued)
+        t->cancelQueued("cancelled: cancelAll() before execution");
+    pool->cv.notify_all();
+}
+
+void
+TaskQueue::setWatchdog(double poll_s, double grace_s)
+{
+    std::lock_guard<std::mutex> lock(pool->mtx);
+    if (poll_s > 0)
+        pool->watchdogPollS = poll_s;
+    if (grace_s >= 0)
+        pool->watchdogGraceS = grace_s;
+}
+
+void
+TaskQueue::setDrainTimeout(double seconds)
+{
+    std::lock_guard<std::mutex> lock(pool->mtx);
+    if (seconds > 0)
+        pool->drainTimeoutS = seconds;
 }
 
 Json
 TaskQueue::summary() const
 {
     Json out = Json::object();
-    out["PENDING"] = stateCounts[int(TaskState::Pending)].load();
-    out["RUNNING"] = stateCounts[int(TaskState::Running)].load();
-    out["SUCCESS"] = stateCounts[int(TaskState::Success)].load();
-    out["FAILURE"] = stateCounts[int(TaskState::Failure)].load();
-    out["TIMEOUT"] = stateCounts[int(TaskState::Timeout)].load();
-    out["total"] = totalTasks.load();
+    out["PENDING"] = pool->stateCounts[int(TaskState::Pending)].load();
+    out["RUNNING"] = pool->stateCounts[int(TaskState::Running)].load();
+    out["SUCCESS"] = pool->stateCounts[int(TaskState::Success)].load();
+    out["FAILURE"] = pool->stateCounts[int(TaskState::Failure)].load();
+    out["TIMEOUT"] = pool->stateCounts[int(TaskState::Timeout)].load();
+    out["RETRY"] = pool->stateCounts[int(TaskState::Retrying)].load();
+    out["total"] = pool->totalTasks.load();
+    out["retries"] = pool->retriesScheduled.load();
+    out["quarantined"] = pool->quarantinedWorkers.load();
     return out;
 }
 

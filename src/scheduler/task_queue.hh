@@ -5,10 +5,26 @@
  * run them on a bounded worker pool, track per-task state, and enforce
  * per-task timeouts.
  *
- * Timeouts are cooperative: each job receives a CancelToken and long-
- * running code (the sim5 event loop) polls it. When the deadline passes,
- * the next poll throws TaskTimeout, unwinding the job — the moral
- * equivalent of gem5art killing a gem5 process after its timeout.
+ * Timeouts are cooperative first: each job receives a CancelToken and
+ * long-running code (the sim5 event loop) polls it. When the deadline
+ * passes, the next poll throws TaskTimeout, unwinding the job — the
+ * moral equivalent of gem5art killing a gem5 process after its timeout.
+ * A watchdog thread backstops jobs that never poll: once a task
+ * overruns its deadline by more than a grace period, it is force-marked
+ * Timeout and its worker quarantined (a replacement worker joins the
+ * pool; the stuck thread is abandoned and reaped when — if — its body
+ * returns). Waiters never hang on a task that ignores its token.
+ *
+ * Failed attempts can be retried under a RetryPolicy (see retry.hh):
+ * exponential backoff with deterministic jitter, per-class
+ * retryability, a per-attempt provenance log on every future.
+ * Explicitly cancelled attempts (cancelAll(), watchdog escalation) are
+ * never retried.
+ *
+ * Shutdown is graceful and bounded: the destructor drains remaining
+ * work, but gives up after a configurable drain timeout — pending tasks
+ * are then cancelled and stuck workers detached, so a poisoned sweep
+ * cannot hang the process.
  *
  * Two backends mirror the paper's options:
  *  - Backend::Threaded — worker threads (Celery / multiprocessing);
@@ -29,12 +45,17 @@
 #include <vector>
 
 #include "base/json.hh"
+#include "scheduler/retry.hh"
 
 namespace g5::scheduler
 {
 
-/** Lifecycle states, matching Celery's vocabulary. */
-enum class TaskState { Pending, Running, Success, Failure, Timeout };
+/** Lifecycle states, matching Celery's vocabulary (RETRY included). */
+enum class TaskState { Pending, Running, Success, Failure, Timeout,
+                       Retrying };
+
+/** Number of TaskState values (for state-count arrays). */
+constexpr int numTaskStates = 6;
 
 /** @return a human-readable state name. */
 const char *taskStateName(TaskState s);
@@ -52,7 +73,7 @@ class TaskTimeout : public std::runtime_error
 class CancelToken
 {
   public:
-    CancelToken() : deadline(0), cancelled(false) {}
+    CancelToken() : deadline(0), cancelled(false), attemptNo(0) {}
 
     /** Arm the deadline @p seconds from now (0 disables). */
     void arm(double seconds);
@@ -60,15 +81,35 @@ class CancelToken
     /** Request cancellation regardless of the deadline. */
     void cancel() { cancelled.store(true); }
 
+    /** @return true when cancel() was called (vs. deadline expiry). */
+    bool wasCancelled() const { return cancelled.load(); }
+
     /** @return true when the deadline passed or cancel() was called. */
     bool expired() const;
 
     /** Throw TaskTimeout when expired; call this from inner loops. */
     void checkpoint() const;
 
+    /** @return the absolute monotonic deadline (0 = none). */
+    double deadlineAt() const { return deadline.load(); }
+
+    /** @return the 1-based attempt this token currently guards. */
+    unsigned attempt() const { return attemptNo.load(); }
+
   private:
-    double deadline; // monotonic seconds; 0 = none
+    friend class TaskFuture;
+
+    /** Fresh deadline + cleared cancellation for attempt @p attempt. */
+    void beginAttempt(double timeout_s, unsigned attempt);
+
+    /**
+     * Written by the owning worker at attempt start, read concurrently
+     * by the watchdog and by expired() from other threads — atomic to
+     * keep the cross-thread read well-defined.
+     */
+    std::atomic<double> deadline; // monotonic seconds; 0 = none
     std::atomic<bool> cancelled;
+    std::atomic<unsigned> attemptNo;
 };
 
 /** The body of a task: receives its token, returns a JSON result. */
@@ -80,13 +121,15 @@ struct TaskSpec
     std::string name;
     TaskFn fn;
     double timeoutSeconds = 0.0;
+    RetryPolicy retry;
 };
 
 /** Handle for a submitted task; shared between caller and worker. */
 class TaskFuture
 {
   public:
-    TaskFuture(std::string name, TaskFn fn, double timeout_s);
+    TaskFuture(std::string name, TaskFn fn, double timeout_s,
+               RetryPolicy policy = RetryPolicy::none());
 
     /** @return the task's name (for reporting). */
     const std::string &name() const { return taskName; }
@@ -103,16 +146,52 @@ class TaskFuture
     /** @return the error message (valid after Failure/Timeout). */
     std::string error();
 
-    /** @return wall-clock seconds the task ran for (terminal states). */
+    /** @return wall-clock seconds spent executing, over all attempts. */
     double wallSeconds();
+
+    /** @return the number of attempts started so far. */
+    unsigned attempt() const;
+
+    /**
+     * Per-attempt provenance: a JSON array of
+     * {attempt, outcome, wallSeconds, error?} records, one per
+     * completed attempt (the run layer archives this in run documents).
+     */
+    Json attempts() const;
+
+    /** @return true when the watchdog force-timed-out this task. */
+    bool wasAbandoned() const;
 
   private:
     friend class TaskQueue;
-    void execute();
+
+    struct AttemptOutcome
+    {
+        bool retry = false;
+        double delaySeconds = 0;
+    };
+
+    /**
+     * Run one attempt on the calling thread. @return whether the queue
+     * should re-enqueue the task, and after what backoff delay.
+     */
+    AttemptOutcome runAttempt();
+
+    /**
+     * Watchdog escalation: if still Running, transition to Timeout,
+     * wake waiters, and mark the future abandoned so the (stuck)
+     * executing worker discards its eventual result.
+     * @return true when this call performed the transition.
+     */
+    bool forceTimeout(const std::string &reason);
+
+    /** Cancel a queued (Pending/Retrying) task: transition to Timeout. */
+    bool cancelQueued(const std::string &reason);
 
     std::string taskName;
     TaskFn fn;
     double timeoutSeconds;
+    RetryPolicy policy;
     CancelToken token;
     /** Owner-queue hook fired on every state transition (running state
      *  counts); set by TaskQueue before the task can execute. */
@@ -124,6 +203,9 @@ class TaskFuture
     Json payload;
     std::string errMsg;
     double wallSecs = 0.0;
+    unsigned attemptNo = 0;
+    Json attemptsLog = Json::array();
+    bool abandoned = false;
 };
 
 using TaskFuturePtr = std::shared_ptr<TaskFuture>;
@@ -144,10 +226,15 @@ class TaskQueue
     /** Worker count used when callers pass 0: every hardware thread. */
     static unsigned defaultWorkerCount();
 
-    /** @return the number of worker threads (0 for Inline). */
-    unsigned workerCount() const { return unsigned(threads.size()); }
+    /** @return the number of live worker threads (0 for Inline). */
+    unsigned workerCount() const;
 
-    /** Drains the queue and joins workers. */
+    /**
+     * Drains the queue and joins workers — but waits at most the drain
+     * timeout (setDrainTimeout): after it, remaining queued tasks are
+     * cancelled and workers stuck in token-ignoring bodies are detached
+     * rather than hanging the destructor.
+     */
     ~TaskQueue();
 
     TaskQueue(const TaskQueue &) = delete;
@@ -157,10 +244,12 @@ class TaskQueue
      * Submit a task (gem5art's apply_async).
      * @param name      display name.
      * @param fn        task body.
-     * @param timeout_s per-task timeout in seconds; 0 = unlimited.
+     * @param timeout_s per-attempt timeout in seconds; 0 = unlimited.
+     * @param retry     retry policy (default: no retries).
      */
     TaskFuturePtr applyAsync(const std::string &name, TaskFn fn,
-                             double timeout_s = 0.0);
+                             double timeout_s = 0.0,
+                             RetryPolicy retry = RetryPolicy::none());
 
     /**
      * Batched submission: enqueue every spec under one lock and wake
@@ -173,26 +262,50 @@ class TaskQueue
     void waitAll();
 
     /**
+     * Graceful drain: cancel every queued (Pending/Retrying) task
+     * immediately and request cancellation of every running one. Tasks
+     * polling their token unwind with TaskTimeout; tasks ignoring it
+     * are eventually escalated by the watchdog. Explicitly cancelled
+     * attempts are never retried.
+     */
+    void cancelAll();
+
+    /**
+     * Tune the watchdog: poll period and the grace period between the
+     * cooperative cancel and the forced Timeout + worker quarantine.
+     */
+    void setWatchdog(double poll_s, double grace_s);
+
+    /** Bound the destructor's drain wait (seconds; default 30). */
+    void setDrainTimeout(double seconds);
+
+    /**
      * @return counts of tasks by state, as a JSON object. O(1): the
      * queue keeps running state counters instead of polling futures.
+     * Also carries "retries" (attempt re-enqueues) and "quarantined"
+     * (workers replaced by the watchdog).
      */
     Json summary() const;
 
   private:
-    void workerLoop();
+    /**
+     * All queue state shared with worker/watchdog threads, owned by
+     * shared_ptr so a worker detached at shutdown (stuck in a task that
+     * ignores its token) never touches freed memory.
+     */
+    struct Pool;
+
+    static void workerLoop(std::shared_ptr<Pool> pool, std::size_t idx);
+    static void watchdogLoop(std::shared_ptr<Pool> pool);
+    static void spawnWorker(std::shared_ptr<Pool> pool);
+
     TaskFuturePtr makeFuture(std::string name, TaskFn fn,
-                             double timeout_s);
+                             double timeout_s, RetryPolicy retry);
+    void runInline(const TaskFuturePtr &fut);
 
     Backend backend;
-    std::vector<std::thread> threads;
-    mutable std::mutex mtx;
-    std::condition_variable cv;
-    std::deque<TaskFuturePtr> pending;
-    bool shuttingDown = false;
-    unsigned running = 0;
-    /** Live per-state task counts, indexed by TaskState. */
-    std::atomic<std::int64_t> stateCounts[5] = {};
-    std::atomic<std::int64_t> totalTasks{0};
+    std::shared_ptr<Pool> pool;
+    std::thread watchdog;
 };
 
 } // namespace g5::scheduler

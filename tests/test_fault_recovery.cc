@@ -1,0 +1,437 @@
+/**
+ * @file
+ * Crash-recovery tests driven by the deterministic fault-injection
+ * harness: WAL durability under injected save/compaction crashes,
+ * retryable blob uploads, transient-run retries with per-attempt
+ * provenance, terminal timeout documents, and kill-and-resume sweeps.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+#include "art/sweep.hh"
+#include "art/tasks.hh"
+#include "art/workspace.hh"
+#include "base/faultinject.hh"
+#include "base/logging.hh"
+#include "db/database.hh"
+#include "resources/catalog.hh"
+
+namespace stdfs = std::filesystem;
+
+using namespace g5;
+using namespace g5::art;
+using g5::db::Database;
+
+namespace
+{
+
+/** Reset the fault registry and quiet logging around each test. */
+class TestGuard
+{
+  public:
+    TestGuard() { fault::reset(); setQuiet(true); }
+    ~TestGuard() { fault::reset(); setQuiet(false); }
+};
+
+std::string
+freshDir(const std::string &name)
+{
+    stdfs::path dir = stdfs::temp_directory_path() / name;
+    stdfs::remove_all(dir);
+    return dir.string();
+}
+
+Json
+bootParams(const std::string &cpu, int cores, const std::string &mem)
+{
+    Json p = Json::object();
+    p["cpu"] = cpu;
+    p["num_cpus"] = cores;
+    p["mem_system"] = mem;
+    p["boot_type"] = "init";
+    return p;
+}
+
+/**
+ * A workspace with the boot-exit resources materialized. The shared
+ * host root is NOT cleared (Workspace uses a unique subdirectory per
+ * instance; parallel ctest processes share the root).
+ */
+struct Fixture
+{
+    explicit Fixture(const std::string &db_dir = "")
+        : ws((stdfs::temp_directory_path() / "g5_fault_ws").string(),
+             db_dir),
+          binary(ws.gem5Binary("20.1.0.4")),
+          kernel(ws.kernel("5.4.49")),
+          disk(ws.disk("boot-exit", resources::buildBootExitImage())),
+          script(ws.runScript("run_exit.py", "boot-exit run script"))
+    {}
+
+    Gem5Run
+    makeRun(const std::string &name, const Json &params,
+            const Workspace::Item *kern = nullptr, double timeout = 60.0)
+    {
+        const Workspace::Item &k = kern ? *kern : kernel;
+        return Gem5Run::createFSRun(
+            ws.adb(), name, binary.path, script.path, ws.outdir(name),
+            binary.artifact, binary.repoArtifact, script.repoArtifact,
+            k.path, disk.path, k.artifact, disk.artifact, params,
+            timeout);
+    }
+
+    Workspace ws;
+    Workspace::Item binary, kernel, disk, script;
+};
+
+} // anonymous namespace
+
+// --- database-layer recovery ------------------------------------------
+
+TEST(FaultRecovery, SaveCrashKeepsCommittedPrefix)
+{
+    TestGuard guard;
+    std::string dir = freshDir("g5_fault_db_save");
+    Database db(dir);
+    db.collection("runs").insertOne(
+        Json::parse(R"({"_id":"a","n":1})"));
+    db.save(); // "a" is committed to the WAL
+
+    db.collection("runs").insertOne(
+        Json::parse(R"({"_id":"b","n":2})"));
+    fault::arm("db.save.append");
+    EXPECT_THROW(db.save(), InjectedFault);
+    fault::disarm("db.save.append");
+
+    {
+        // A relaunched process sees the committed prefix.
+        Database reopened(dir);
+        EXPECT_FALSE(
+            reopened.collection("runs").findById("a").isNull());
+    }
+
+    // The crashed save() did not corrupt the live database either: the
+    // un-appended operations are still pending and the next save()
+    // commits them.
+    db.save();
+    Database reopened(dir);
+    EXPECT_FALSE(reopened.collection("runs").findById("a").isNull());
+    EXPECT_FALSE(reopened.collection("runs").findById("b").isNull());
+}
+
+TEST(FaultRecovery, CompactionCrashReplaysWal)
+{
+    TestGuard guard;
+    std::string dir = freshDir("g5_fault_db_compact");
+    Database db(dir);
+    for (int i = 0; i < 20; ++i) {
+        db.collection("runs").insertOne(Json::object(
+            {{"_id", Json("r" + std::to_string(i))}, {"n", Json(i)}}));
+    }
+    db.save(); // WAL holds all 20 inserts
+
+    fault::arm("db.compact.snapshot");
+    EXPECT_THROW(db.compact(), InjectedFault);
+    fault::disarm("db.compact.snapshot");
+
+    {
+        // The snapshot write never happened, but the WAL survived:
+        // recovery replays it in full.
+        Database reopened(dir);
+        EXPECT_EQ(reopened.collection("runs").size(), 20u);
+    }
+
+    // Compaction succeeds once the fault clears, and loses nothing.
+    db.compact();
+    Database reopened(dir);
+    EXPECT_EQ(reopened.collection("runs").size(), 20u);
+}
+
+TEST(FaultRecovery, BlobUploadIsRetryable)
+{
+    TestGuard guard;
+    std::string dir = freshDir("g5_fault_db_blob");
+    Database db(dir);
+    stdfs::path host = stdfs::path(dir) / "payload.bin";
+    {
+        std::ofstream out(host);
+        out << "disk image bytes";
+    }
+
+    fault::arm("db.blob.putFile");
+    EXPECT_THROW(db.putFile(host.string()), InjectedFault);
+    fault::disarm("db.blob.putFile");
+
+    // Content addressing makes the retry idempotent.
+    std::string key = db.putFile(host.string());
+    EXPECT_TRUE(db.hasBlob(key));
+    EXPECT_EQ(db.getBlob(key), "disk image bytes");
+}
+
+// --- run-layer retries and terminal documents -------------------------
+
+TEST(RunFault, InjectedCrashIsRetriedWithProvenance)
+{
+    TestGuard guard;
+    Fixture fx;
+    // The first execution dies from an injected host fault (one-shot);
+    // the retry runs clean.
+    fault::armAfter("run.execute", 0);
+
+    Tasks tasks(fx.ws.adb(), 0, Tasks::Backend::Inline);
+    auto fut =
+        tasks.applyAsync(fx.makeRun("crashy", bootParams("kvm", 1,
+                                                         "classic")));
+    fut->wait();
+    EXPECT_EQ(fut->state(), scheduler::TaskState::Success);
+    EXPECT_EQ(fut->attempt(), 2u);
+    EXPECT_EQ(fault::fired("run.execute"), 1u);
+
+    // The run document carries both attempts.
+    Json doc = fx.ws.adb().runs().findOne(
+        Json::object({{"name", Json("crashy")}}));
+    EXPECT_EQ(doc.getString("status"), "SUCCESS");
+    ASSERT_EQ(doc.at("attempts").size(), 2u);
+    EXPECT_EQ(doc.at("attempts").at(0).getString("outcome"),
+              "sim-crash");
+    EXPECT_EQ(doc.at("attempts").at(1).getString("outcome"), "success");
+
+    // The scheduler-side provenance agrees.
+    Json log = fut->attempts();
+    ASSERT_EQ(log.size(), 2u);
+    EXPECT_EQ(log.at(0).getString("outcome"), "FAILURE");
+    EXPECT_EQ(log.at(1).getString("outcome"), "SUCCESS");
+}
+
+TEST(RunFault, ExhaustedRetriesReturnTheCrashDocument)
+{
+    TestGuard guard;
+    Fixture fx;
+    fault::arm("run.execute"); // every attempt crashes
+
+    Tasks tasks(fx.ws.adb(), 0, Tasks::Backend::Inline);
+    tasks.setRetryPolicy(scheduler::RetryPolicy::transientFaults(2));
+    auto fut = tasks.applyAsync(
+        fx.makeRun("hopeless", bootParams("kvm", 1, "classic")));
+    fut->wait();
+    // Failed runs are data: the last attempt returns the document
+    // instead of failing the task.
+    EXPECT_EQ(fut->state(), scheduler::TaskState::Success);
+    Json doc = fut->result();
+    EXPECT_EQ(Gem5Run::classify(doc), RunOutcome::SimCrash);
+    EXPECT_EQ(doc.at("attempts").size(), 2u);
+    EXPECT_EQ(fault::fired("run.execute"), 2u);
+}
+
+TEST(RunFault, DeterministicFailuresAreNotRetried)
+{
+    TestGuard guard;
+    Fixture fx;
+    auto panicky = fx.ws.kernel("4.4.186");
+    Tasks tasks(fx.ws.adb(), 0, Tasks::Backend::Inline);
+    auto fut = tasks.applyAsync(
+        fx.makeRun("panic", bootParams("o3", 2, "MESI_Two_Level"),
+                   &panicky));
+    fut->wait();
+    EXPECT_EQ(fut->state(), scheduler::TaskState::Success);
+    EXPECT_EQ(fut->attempt(), 1u); // kernel panic: one attempt, final
+    Json doc = fut->result();
+    EXPECT_EQ(Gem5Run::classify(doc), RunOutcome::KernelPanic);
+    EXPECT_EQ(doc.at("attempts").size(), 1u);
+
+    EXPECT_FALSE(Gem5Run::outcomeTransient(RunOutcome::KernelPanic));
+    EXPECT_FALSE(Gem5Run::outcomeTransient(RunOutcome::Unsupported));
+    EXPECT_FALSE(Gem5Run::outcomeTransient(RunOutcome::Success));
+    EXPECT_TRUE(Gem5Run::outcomeTransient(RunOutcome::SimCrash));
+    EXPECT_TRUE(Gem5Run::outcomeTransient(RunOutcome::Timeout));
+}
+
+TEST(RunFault, TimeoutDocumentIsTerminalBeforePropagation)
+{
+    TestGuard guard;
+    Fixture fx;
+    auto kernel = fx.ws.kernel("4.19.83");
+    Json params = bootParams("o3", 4, "MI_example"); // livelocks
+    // A tick budget far beyond what 50 ms of host time can simulate:
+    // the scheduler deadline fires first, mid-simulation.
+    params["max_ticks"] = std::int64_t(5'000'000'000'000'000'000);
+
+    Gem5Run run = fx.makeRun("wedged", params, &kernel, 0.05);
+    scheduler::CancelToken token;
+    token.arm(0.05);
+    EXPECT_THROW(run.execute(fx.ws.adb(), &token),
+                 scheduler::TaskTimeout);
+
+    // The exception propagated only AFTER the document went terminal —
+    // a timed-out run is never left RUNNING.
+    Json doc = run.document(fx.ws.adb());
+    EXPECT_EQ(doc.getString("status"), "TIMEOUT");
+    EXPECT_EQ(Gem5Run::classify(doc), RunOutcome::Timeout);
+    EXPECT_TRUE(doc.contains("finishedAt"));
+    ASSERT_EQ(doc.at("attempts").size(), 1u);
+    EXPECT_EQ(doc.at("attempts").at(0).getString("outcome"), "timeout");
+}
+
+TEST(RunFault, PreExpiredTokenStillTerminalizesTheDocument)
+{
+    TestGuard guard;
+    Fixture fx;
+    Gem5Run run = fx.makeRun("stale", bootParams("kvm", 1, "classic"));
+    scheduler::CancelToken token;
+    token.cancel(); // e.g. cancelAll() before the worker dequeued it
+    EXPECT_THROW(run.execute(fx.ws.adb(), &token),
+                 scheduler::TaskTimeout);
+    Json doc = run.document(fx.ws.adb());
+    EXPECT_EQ(doc.getString("status"), "TIMEOUT");
+    EXPECT_EQ(doc.at("attempts").size(), 1u);
+}
+
+// --- kill-and-resume sweeps -------------------------------------------
+
+namespace
+{
+
+/** The interrupted-and-resumed sweep's run matrix (7 fast configs). */
+std::vector<Gem5Run>
+sweepRuns(Fixture &fx, const Workspace::Item &alt_kernel,
+          const Workspace::Item &panic_kernel)
+{
+    std::vector<Gem5Run> runs;
+    for (int cores : {1, 2, 4}) {
+        runs.push_back(fx.makeRun("kvm-main-" + std::to_string(cores),
+                                  bootParams("kvm", cores, "classic")));
+        runs.push_back(fx.makeRun("kvm-alt-" + std::to_string(cores),
+                                  bootParams("kvm", cores, "classic"),
+                                  &alt_kernel));
+    }
+    // One deterministic failure, so the census has a failed cell too.
+    runs.push_back(fx.makeRun("panic",
+                              bootParams("o3", 2, "MESI_Two_Level"),
+                              &panic_kernel));
+    return runs;
+}
+
+} // anonymous namespace
+
+TEST(SweepResume, KilledSweepResumesWithoutReexecuting)
+{
+    TestGuard guard;
+    std::string db_dir = freshDir("g5_sweep_resume_db");
+
+    Json interrupted_census;
+    std::uint64_t first_phase_execs = 0;
+    {
+        // --- phase 1: the sweep is killed after 3 of 7 runs ---
+        Fixture fx(db_dir);
+        auto alt = fx.ws.kernel("4.19.83");
+        auto panicky = fx.ws.kernel("4.4.186");
+        std::vector<Gem5Run> all = sweepRuns(fx, alt, panicky);
+        std::vector<Gem5Run> before_kill(all.begin(), all.begin() + 3);
+
+        Tasks tasks(fx.ws.adb(), 0, Tasks::Backend::Inline);
+        SweepJournal sweep(fx.ws.adb(), "fig8-slice");
+        sweep.submit(tasks, before_kill);
+        tasks.waitAll();
+        interrupted_census = sweep.census();
+        first_phase_execs = fault::hits("run.execute");
+        // The Workspace (and its Database) is destroyed here without
+        // any further save(): the kill.
+    }
+    EXPECT_EQ(interrupted_census.getInt("done"), 3);
+    EXPECT_EQ(first_phase_execs, 3u);
+
+    // --- phase 2: a fresh process re-launches the full sweep ---
+    Fixture fx(db_dir);
+    auto alt = fx.ws.kernel("4.19.83");
+    auto panicky = fx.ws.kernel("4.4.186");
+    // Brand-new Gem5Run objects: new UUIDs, same input hashes.
+    std::vector<Gem5Run> all = sweepRuns(fx, alt, panicky);
+
+    Tasks tasks(fx.ws.adb(), 0, Tasks::Backend::Inline);
+    tasks.setUseCache(false); // isolate journal-resume from run-cache
+    SweepJournal sweep(fx.ws.adb(), "fig8-slice");
+    sweep.submit(tasks, all);
+    tasks.waitAll();
+
+    // The 3 finished runs were skipped; only the remaining 4 executed.
+    EXPECT_EQ(sweep.skipped(), 3u);
+    EXPECT_EQ(fault::hits("run.execute") - first_phase_execs, 4u);
+
+    Json census = sweep.census();
+    EXPECT_EQ(census.getInt("total"), 7);
+    EXPECT_EQ(census.getInt("done"), 7);
+    EXPECT_EQ(census.getInt("pending"), 0);
+
+    // --- reference: the same sweep run uninterrupted ---
+    Fixture ref(freshDir("g5_sweep_ref_db"));
+    auto ref_alt = ref.ws.kernel("4.19.83");
+    auto ref_panicky = ref.ws.kernel("4.4.186");
+    Tasks ref_tasks(ref.ws.adb(), 0, Tasks::Backend::Inline);
+    SweepJournal ref_sweep(ref.ws.adb(), "fig8-slice");
+    ref_sweep.submit(ref_tasks, sweepRuns(ref, ref_alt, ref_panicky));
+    ref_tasks.waitAll();
+
+    // Same final census: resumption changed cost, not results.
+    EXPECT_EQ(census.at("outcomes"),
+              ref_sweep.census().at("outcomes"));
+}
+
+TEST(SweepResume, CrashDuringSubmitIsRecoverable)
+{
+    TestGuard guard;
+    Fixture fx(freshDir("g5_sweep_submit_db"));
+    std::vector<Gem5Run> runs;
+    for (int cores : {1, 2, 4, 8})
+        runs.push_back(fx.makeRun("kvm-" + std::to_string(cores),
+                                  bootParams("kvm", cores, "classic")));
+
+    Tasks tasks(fx.ws.adb(), 0, Tasks::Backend::Inline);
+    SweepJournal sweep(fx.ws.adb(), "submit-crash");
+    // The launcher dies while journalling the third run.
+    fault::armAfter("sweep.submit", 2);
+    EXPECT_THROW(sweep.submit(tasks, runs), InjectedFault);
+    EXPECT_EQ(fx.ws.adb().db().collection("sweeps").size(), 2u);
+
+    // Re-launching submits everything: journalled-but-unrun entries are
+    // re-queued, not duplicated (the key is the input hash).
+    sweep.submit(tasks, runs);
+    tasks.waitAll();
+    EXPECT_EQ(sweep.skipped(), 0u);
+    EXPECT_EQ(fx.ws.adb().db().collection("sweeps").size(), 4u);
+    Json census = sweep.census();
+    EXPECT_EQ(census.getInt("done"), 4);
+    EXPECT_EQ(census.at("outcomes").getInt("success"), 4);
+}
+
+TEST(SweepResume, SchedulerTimeoutStaysPendingAndRerunsOnResume)
+{
+    TestGuard guard;
+    Fixture fx(freshDir("g5_sweep_timeout_db"));
+    auto kernel = fx.ws.kernel("4.19.83");
+    Json params = bootParams("o3", 4, "MI_example"); // livelocks
+    // Unreachable within the 50 ms job budget: a host-side timeout.
+    params["max_ticks"] = std::int64_t(5'000'000'000'000'000'000);
+
+    Tasks tasks(fx.ws.adb(), 0, Tasks::Backend::Inline);
+    SweepJournal sweep(fx.ws.adb(), "flaky-host");
+    // First launch: a 50 ms job budget starves the run (host trouble).
+    sweep.submit(tasks, {fx.makeRun("wedged", params, &kernel, 0.05)});
+    tasks.waitAll();
+    Json census = sweep.census();
+    EXPECT_EQ(census.getInt("done"), 0);
+    EXPECT_EQ(census.getInt("pending"), 1);
+
+    // Resume with a sane budget but a reachable tick limit: the entry
+    // is re-queued (not skipped) and reaches a terminal outcome.
+    params["max_ticks"] = std::int64_t(50'000'000'000);
+    sweep.submit(tasks, {fx.makeRun("wedged2", params, &kernel, 60.0)});
+    tasks.waitAll();
+    // (different max_ticks => different inputHash => second entry)
+    Json after = sweep.census();
+    EXPECT_EQ(after.getInt("done"), 1);
+    EXPECT_EQ(after.getInt("pending"), 1); // original stays re-runnable
+}

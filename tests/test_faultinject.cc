@@ -1,0 +1,121 @@
+/** @file Tests for the deterministic fault-injection harness. */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "base/faultinject.hh"
+
+using namespace g5;
+
+namespace
+{
+
+/** Resets the fault registry around each test (isolation). */
+class FaultGuard
+{
+  public:
+    FaultGuard() { fault::reset(); }
+    ~FaultGuard() { fault::reset(); }
+};
+
+} // anonymous namespace
+
+TEST(FaultInject, DisarmedCheckpointOnlyCounts)
+{
+    FaultGuard guard;
+    EXPECT_EQ(fault::hits("test.point"), 0u);
+    for (int i = 0; i < 5; ++i)
+        EXPECT_NO_THROW(fault::checkpoint("test.point"));
+    EXPECT_EQ(fault::hits("test.point"), 5u);
+    EXPECT_EQ(fault::fired("test.point"), 0u);
+}
+
+TEST(FaultInject, ArmedPointThrowsAndCounts)
+{
+    FaultGuard guard;
+    fault::arm("test.always");
+    EXPECT_THROW(fault::checkpoint("test.always"), InjectedFault);
+    EXPECT_THROW(fault::checkpoint("test.always"), InjectedFault);
+    EXPECT_EQ(fault::hits("test.always"), 2u);
+    EXPECT_EQ(fault::fired("test.always"), 2u);
+
+    // Arming one point does not affect another.
+    EXPECT_NO_THROW(fault::checkpoint("test.other"));
+
+    fault::disarm("test.always");
+    EXPECT_NO_THROW(fault::checkpoint("test.always"));
+    EXPECT_EQ(fault::hits("test.always"), 3u); // counters survive
+}
+
+TEST(FaultInject, ProbabilisticFiringIsDeterministicPerSeed)
+{
+    FaultGuard guard;
+    auto pattern = [](std::uint64_t seed) {
+        fault::reset();
+        fault::arm("test.prob", 0.5, seed);
+        std::vector<bool> fired;
+        for (int i = 0; i < 64; ++i)
+            fired.push_back(fault::shouldFire("test.prob"));
+        return fired;
+    };
+
+    std::vector<bool> a = pattern(42);
+    std::vector<bool> b = pattern(42);
+    EXPECT_EQ(a, b); // same seed, bit-identical pattern
+
+    // ~half fire at prob 0.5 (loose bound; the draw is a real PRNG).
+    auto fires = std::count(a.begin(), a.end(), true);
+    EXPECT_GT(fires, 10);
+    EXPECT_LT(fires, 54);
+
+    std::vector<bool> c = pattern(43);
+    EXPECT_NE(a, c); // different seed, different pattern
+}
+
+TEST(FaultInject, ArmAfterFiresOnceAtStepN)
+{
+    FaultGuard guard;
+    fault::armAfter("test.stepn", 3);
+    // Three passes succeed...
+    for (int i = 0; i < 3; ++i)
+        EXPECT_NO_THROW(fault::checkpoint("test.stepn"));
+    // ...the fourth is the crash...
+    EXPECT_THROW(fault::checkpoint("test.stepn"), InjectedFault);
+    // ...and the point disarms itself (one-shot).
+    for (int i = 0; i < 4; ++i)
+        EXPECT_NO_THROW(fault::checkpoint("test.stepn"));
+    EXPECT_EQ(fault::fired("test.stepn"), 1u);
+    EXPECT_EQ(fault::hits("test.stepn"), 8u);
+}
+
+TEST(FaultInject, SpecParsing)
+{
+    FaultGuard guard;
+    fault::armFromSpec("a.one, b.two:0.0, c.three:1.0:7");
+    EXPECT_THROW(fault::checkpoint("a.one"), InjectedFault);
+    EXPECT_NO_THROW(fault::checkpoint("b.two")); // prob 0 never fires
+    EXPECT_THROW(fault::checkpoint("c.three"), InjectedFault);
+
+    EXPECT_THROW(fault::armFromSpec("p:not-a-number"), std::exception);
+    EXPECT_THROW(fault::armFromSpec(":0.5"), std::exception);
+
+    std::vector<std::string> reg = fault::registry();
+    EXPECT_TRUE(std::find(reg.begin(), reg.end(), "a.one") != reg.end());
+    EXPECT_TRUE(std::find(reg.begin(), reg.end(), "c.three") !=
+                reg.end());
+    EXPECT_TRUE(std::is_sorted(reg.begin(), reg.end()));
+}
+
+TEST(FaultInject, ResetClearsArmingAndCounters)
+{
+    FaultGuard guard;
+    fault::arm("test.reset");
+    EXPECT_THROW(fault::checkpoint("test.reset"), InjectedFault);
+    fault::reset();
+    EXPECT_NO_THROW(fault::checkpoint("test.reset"));
+    EXPECT_EQ(fault::hits("test.reset"), 1u); // counter restarted
+    EXPECT_EQ(fault::fired("test.reset"), 0u);
+}

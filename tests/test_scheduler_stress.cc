@@ -1,0 +1,381 @@
+/**
+ * @file
+ * Failure-path and stress tests for the task queue: retry with
+ * backoff, watchdog escalation of token-ignoring tasks, graceful
+ * cancellation, and bounded shutdown. These suites run under TSan in
+ * bench/run_tsan.sh.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "base/json.hh"
+#include "base/logging.hh"
+#include "base/wallclock.hh"
+#include "scheduler/task_queue.hh"
+
+using g5::Json;
+using g5::monotonicSeconds;
+using namespace g5::scheduler;
+
+namespace
+{
+
+void
+sleepMs(int ms)
+{
+    std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+/** A retry policy with negligible backoff, to keep tests fast. */
+RetryPolicy
+fastRetry(unsigned attempts)
+{
+    RetryPolicy p = RetryPolicy::transientFaults(attempts);
+    p.backoffBase = 0.001;
+    p.backoffMax = 0.01;
+    return p;
+}
+
+} // anonymous namespace
+
+TEST(SchedulerRetry, RetryUntilSuccess)
+{
+    TaskQueue q(2);
+    std::atomic<int> calls{0};
+    auto fut = q.applyAsync(
+        "flaky",
+        [&calls](CancelToken &) -> Json {
+            if (++calls < 3)
+                throw std::runtime_error("transient host fault");
+            return Json(7);
+        },
+        0.0, fastRetry(5));
+    EXPECT_EQ(fut->result().asInt(), 7);
+    EXPECT_EQ(fut->state(), TaskState::Success);
+    EXPECT_EQ(calls.load(), 3);
+    EXPECT_EQ(fut->attempt(), 3u);
+
+    // The provenance log names every attempt, in order.
+    Json log = fut->attempts();
+    ASSERT_EQ(log.size(), 3u);
+    EXPECT_EQ(log.at(0).getString("outcome"), "FAILURE");
+    EXPECT_EQ(log.at(0).getString("error"), "transient host fault");
+    EXPECT_EQ(log.at(1).getString("outcome"), "FAILURE");
+    EXPECT_EQ(log.at(2).getString("outcome"), "SUCCESS");
+    EXPECT_EQ(log.at(2).getInt("attempt"), 3);
+
+    q.waitAll();
+    Json s = q.summary();
+    EXPECT_EQ(s.getInt("SUCCESS"), 1);
+    EXPECT_EQ(s.getInt("retries"), 2);
+    EXPECT_EQ(s.getInt("total"), 1);
+}
+
+TEST(SchedulerRetry, ExhaustedAttemptsStayFailed)
+{
+    TaskQueue q(1);
+    std::atomic<int> calls{0};
+    auto fut = q.applyAsync(
+        "doomed",
+        [&calls](CancelToken &) -> Json {
+            ++calls;
+            throw std::runtime_error("still broken");
+        },
+        0.0, fastRetry(3));
+    fut->wait();
+    EXPECT_EQ(fut->state(), TaskState::Failure);
+    EXPECT_EQ(fut->error(), "still broken");
+    EXPECT_EQ(calls.load(), 3);
+    EXPECT_EQ(fut->attempts().size(), 3u);
+}
+
+TEST(SchedulerRetry, TimeoutsNotRetriedByDefault)
+{
+    TaskQueue q(1);
+    std::atomic<int> calls{0};
+    auto fut = q.applyAsync(
+        "slow",
+        [&calls](CancelToken &token) -> Json {
+            ++calls;
+            for (;;) {
+                sleepMs(2);
+                token.checkpoint();
+            }
+        },
+        0.02, fastRetry(3)); // transientFaults: retryTimeouts = false
+    fut->wait();
+    EXPECT_EQ(fut->state(), TaskState::Timeout);
+    EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(SchedulerRetry, TimeoutsRetriedWhenPolicyAllows)
+{
+    TaskQueue q(1);
+    RetryPolicy policy = fastRetry(2);
+    policy.retryTimeouts = true;
+    std::atomic<int> calls{0};
+    auto fut = q.applyAsync(
+        "slow-then-fast",
+        [&calls](CancelToken &token) -> Json {
+            if (++calls == 1) {
+                for (;;) { // first attempt: run into the deadline
+                    sleepMs(2);
+                    token.checkpoint();
+                }
+            }
+            return Json(1); // second attempt: instant
+        },
+        0.02, policy);
+    EXPECT_EQ(fut->result().asInt(), 1);
+    EXPECT_EQ(fut->state(), TaskState::Success);
+    EXPECT_EQ(calls.load(), 2);
+    // Each attempt got a fresh deadline: the token must not carry the
+    // first attempt's expiry into the second.
+    EXPECT_EQ(fut->attempts().at(0).getString("outcome"), "TIMEOUT");
+    EXPECT_EQ(fut->attempts().at(1).getString("outcome"), "SUCCESS");
+}
+
+TEST(SchedulerRetry, BackoffIsDeterministicAndBounded)
+{
+    RetryPolicy p;
+    p.maxAttempts = 5;
+    p.backoffBase = 0.1;
+    p.backoffFactor = 2.0;
+    p.backoffMax = 0.5;
+    p.jitterFrac = 0.25;
+    p.jitterSeed = 7;
+
+    for (unsigned attempt = 1; attempt <= 4; ++attempt) {
+        double a = p.delaySeconds("run-x", attempt);
+        double b = p.delaySeconds("run-x", attempt);
+        EXPECT_DOUBLE_EQ(a, b); // pure function of (seed, name, attempt)
+        double nominal =
+            std::min(p.backoffMax, p.backoffBase *
+                                       std::pow(p.backoffFactor,
+                                                double(attempt - 1)));
+        EXPECT_GE(a, nominal * (1.0 - p.jitterFrac) - 1e-12);
+        EXPECT_LE(a, nominal * (1.0 + p.jitterFrac) + 1e-12);
+    }
+    // Different tasks de-synchronize: not every delay collides.
+    EXPECT_NE(p.delaySeconds("run-x", 1), p.delaySeconds("run-y", 1));
+}
+
+TEST(SchedulerRetry, ExplicitCancelIsNeverRetried)
+{
+    TaskQueue q(1);
+    RetryPolicy policy = fastRetry(5);
+    policy.retryTimeouts = true; // even then, cancellation is final
+
+    std::atomic<int> slow_calls{0}, queued_calls{0};
+    auto slow = q.applyAsync(
+        "running",
+        [&slow_calls](CancelToken &token) -> Json {
+            ++slow_calls;
+            for (;;) {
+                sleepMs(2);
+                token.checkpoint();
+            }
+        },
+        10.0, policy);
+    auto queued = q.applyAsync(
+        "queued",
+        [&queued_calls](CancelToken &) -> Json {
+            ++queued_calls;
+            return Json(1);
+        },
+        10.0, policy);
+
+    while (slow->state() != TaskState::Running)
+        sleepMs(1);
+    q.cancelAll();
+    slow->wait();
+    queued->wait();
+
+    EXPECT_EQ(slow->state(), TaskState::Timeout);
+    EXPECT_EQ(slow_calls.load(), 1); // unwound once, not re-queued
+    EXPECT_EQ(queued->state(), TaskState::Timeout);
+    EXPECT_EQ(queued_calls.load(), 0); // never started
+    q.waitAll();
+    EXPECT_EQ(q.summary().getInt("retries"), 0);
+}
+
+TEST(SchedulerStress, ThrowingBodyLeavesWorkerUsable)
+{
+    TaskQueue q(1);
+    for (int i = 0; i < 8; ++i) {
+        auto bad = q.applyAsync("bad-" + std::to_string(i),
+                                [](CancelToken &) -> Json {
+                                    throw std::runtime_error("boom");
+                                });
+        bad->wait();
+        EXPECT_EQ(bad->state(), TaskState::Failure);
+    }
+    // The worker survived every unwind and still runs tasks.
+    auto ok = q.applyAsync("ok", [](CancelToken &) { return Json(1); });
+    EXPECT_EQ(ok->result().asInt(), 1);
+    EXPECT_EQ(q.summary().getInt("FAILURE"), 8);
+}
+
+TEST(SchedulerStress, WatchdogRescuesTokenIgnoringTask)
+{
+    TaskQueue q(1);
+    q.setWatchdog(0.01, 0.05);
+
+    std::atomic<bool> body_returned{false};
+    double start = monotonicSeconds();
+    auto stuck = q.applyAsync(
+        "ignores-token",
+        [&body_returned](CancelToken &) -> Json {
+            // Never polls the token — the cooperative mechanism cannot
+            // interrupt this body; only the watchdog can unblock waiters.
+            sleepMs(700);
+            body_returned = true;
+            return Json(1);
+        },
+        0.05);
+
+    stuck->wait(); // must NOT take the full 700 ms
+    double waited = monotonicSeconds() - start;
+    EXPECT_EQ(stuck->state(), TaskState::Timeout);
+    EXPECT_TRUE(stuck->wasAbandoned());
+    EXPECT_FALSE(body_returned.load()); // published before body ended
+    EXPECT_LT(waited, 0.6);
+
+    // The quarantined worker was replaced: the pool still executes.
+    auto after = q.applyAsync("after", [](CancelToken &) {
+        return Json(2);
+    });
+    EXPECT_EQ(after->result().asInt(), 2);
+    Json s = q.summary();
+    EXPECT_GE(s.getInt("quarantined"), 1);
+    EXPECT_EQ(s.getInt("TIMEOUT"), 1);
+    EXPECT_EQ(s.getInt("SUCCESS"), 1);
+
+    // Let the stuck body finish inside the queue's lifetime so the
+    // destructor joins it instead of detaching.
+    while (!body_returned.load())
+        sleepMs(10);
+}
+
+TEST(SchedulerStress, DestructorDrainsPendingWork)
+{
+    std::vector<TaskFuturePtr> futs;
+    std::atomic<int> ran{0};
+    {
+        TaskQueue q(2);
+        for (int i = 0; i < 32; ++i) {
+            futs.push_back(q.applyAsync("drain-" + std::to_string(i),
+                                        [&ran](CancelToken &) {
+                                            ++ran;
+                                            return Json(1);
+                                        }));
+        }
+        // No waitAll(): the destructor must finish the backlog itself.
+    }
+    EXPECT_EQ(ran.load(), 32);
+    for (const auto &fut : futs)
+        EXPECT_EQ(fut->state(), TaskState::Success);
+}
+
+TEST(SchedulerStress, DestructorDrainsDelayedRetries)
+{
+    TaskFuturePtr fut;
+    std::atomic<int> calls{0};
+    {
+        TaskQueue q(1);
+        RetryPolicy policy = fastRetry(3);
+        policy.backoffBase = 0.2; // long backoff; shutdown must not wait
+        policy.jitterFrac = 0;
+        fut = q.applyAsync(
+            "retry-at-shutdown",
+            [&calls](CancelToken &) -> Json {
+                if (++calls < 2)
+                    throw std::runtime_error("first attempt fails");
+                return Json(1);
+            },
+            0.0, policy);
+        sleepMs(30); // land in the delayed (backoff) queue
+    }
+    // The destructor promoted the delayed retry immediately and ran it.
+    EXPECT_EQ(fut->state(), TaskState::Success);
+    EXPECT_EQ(calls.load(), 2);
+}
+
+TEST(SchedulerStress, ShutdownIsBoundedWithStuckWorker)
+{
+    std::atomic<bool> body_done{false};
+    TaskFuturePtr queued;
+    double start = monotonicSeconds();
+    {
+        TaskQueue q(1);
+        q.setDrainTimeout(0.1);
+        // No per-task timeout: the watchdog has no deadline to enforce,
+        // so only the bounded drain protects the destructor.
+        q.applyAsync("stuck", [&body_done](CancelToken &) -> Json {
+            sleepMs(900);
+            body_done = true;
+            return Json(1);
+        });
+        queued = q.applyAsync("starved", [](CancelToken &) {
+            return Json(2);
+        });
+        sleepMs(20); // let the stuck task start
+    }
+    double elapsed = monotonicSeconds() - start;
+    EXPECT_LT(elapsed, 5.0); // did not hang on the 900 ms body forever
+    // The starved task was cancelled, not silently dropped.
+    EXPECT_EQ(queued->state(), TaskState::Timeout);
+    EXPECT_FALSE(queued->error().empty());
+    while (!body_done.load()) // let the detached worker finish cleanly
+        sleepMs(10);
+}
+
+TEST(SchedulerStress, MixedOutcomeStorm)
+{
+    TaskQueue q(4);
+    q.setWatchdog(0.01, 0.05);
+    std::vector<TaskFuturePtr> futs;
+    for (int i = 0; i < 120; ++i) {
+        switch (i % 3) {
+          case 0:
+            futs.push_back(q.applyAsync(
+                "ok-" + std::to_string(i),
+                [i](CancelToken &) { return Json(std::int64_t(i)); }));
+            break;
+          case 1:
+            futs.push_back(q.applyAsync(
+                "fail-" + std::to_string(i),
+                [](CancelToken &) -> Json {
+                    throw std::runtime_error("boom");
+                }));
+            break;
+          default:
+            futs.push_back(q.applyAsync(
+                "flaky-" + std::to_string(i),
+                [i, attempts = std::make_shared<std::atomic<int>>(0)](
+                    CancelToken &) -> Json {
+                    if (++*attempts < 2)
+                        throw std::runtime_error("transient");
+                    return Json(std::int64_t(i));
+                },
+                0.0, fastRetry(3)));
+            break;
+        }
+    }
+    q.waitAll();
+    Json s = q.summary();
+    EXPECT_EQ(s.getInt("SUCCESS"), 80); // 40 ok + 40 recovered flaky
+    EXPECT_EQ(s.getInt("FAILURE"), 40);
+    EXPECT_EQ(s.getInt("retries"), 40);
+    EXPECT_EQ(s.getInt("total"), 120);
+    for (const auto &fut : futs)
+        EXPECT_NE(fut->state(), TaskState::Pending);
+}
