@@ -85,6 +85,110 @@ BM_JsonRoundTrip(benchmark::State &state)
 
 BENCHMARK(BM_JsonRoundTrip)->Unit(benchmark::kMicrosecond);
 
+/**
+ * A run-document-shaped corpus for the JSON hot-path benches: nested
+ * objects, artifact hash maps, numeric stats, and string payloads —
+ * the mix the db/WAL/content-hash layers actually serialize.
+ */
+Json
+jsonBenchDoc(int i)
+{
+    Json doc = Json::object();
+    doc["_id"] = "run-" + std::to_string(i);
+    doc["type"] = "gem5 run fs";
+    doc["name"] = "boot-exit-" + std::to_string(i);
+    doc["artifacts"] = Json::object({
+        {"gem5", Json(Md5::hashString("gem5-" + std::to_string(i)))},
+        {"kernel", Json(Md5::hashString("kernel-" + std::to_string(i)))},
+        {"diskImage", Json(Md5::hashString("disk-" + std::to_string(i)))},
+    });
+    Json params = Json::object();
+    params["cpu"] = i % 2 ? "kvm" : "timing";
+    params["num_cpus"] = (i % 8) + 1;
+    params["boot_type"] = "systemd";
+    params["max_ticks"] = std::int64_t(2'000'000'000'000);
+    doc["params"] = std::move(params);
+    doc["status"] = "SUCCESS";
+    doc["simTicks"] = std::int64_t(1'944'167'201'000) + i;
+    doc["wallSeconds"] = 13.702183902823 + double(i) * 0.125;
+    Json stats = Json::object();
+    stats["numCycles"] = 972083600.0 + double(i);
+    stats["ipc"] = 0.36817012857741865;
+    stats["committedInsts"] = 357892144.0;
+    doc["stats"] = std::move(stats);
+    Json attempts = Json::array();
+    for (int a = 0; a < 3; ++a) {
+        Json rec = Json::object();
+        rec["attempt"] = a + 1;
+        rec["outcome"] = a == 2 ? "success" : "sim-crash";
+        rec["wallSeconds"] = 1.5 * double(a + 1);
+        attempts.push(std::move(rec));
+    }
+    doc["attempts"] = std::move(attempts);
+    return doc;
+}
+
+/** Serialize the run-doc corpus (the WAL/oplog/snapshot hot path). */
+void
+BM_JsonDump(benchmark::State &state)
+{
+    std::vector<Json> docs;
+    for (int i = 0; i < 64; ++i)
+        docs.push_back(jsonBenchDoc(i));
+    std::size_t bytes = 0;
+    for (auto _ : state) {
+        std::string out;
+        for (const auto &doc : docs)
+            out += doc.dump();
+        bytes += out.size();
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetBytesProcessed(std::int64_t(bytes));
+    state.SetItemsProcessed(std::int64_t(state.iterations()) * 64);
+}
+
+BENCHMARK(BM_JsonDump)->Unit(benchmark::kMicrosecond);
+
+/** Parse the run-doc corpus (the WAL-replay / snapshot-load path). */
+void
+BM_JsonParse(benchmark::State &state)
+{
+    std::vector<std::string> texts;
+    std::size_t total = 0;
+    for (int i = 0; i < 64; ++i) {
+        texts.push_back(jsonBenchDoc(i).dump());
+        total += texts.back().size();
+    }
+    for (auto _ : state) {
+        for (const auto &text : texts)
+            benchmark::DoNotOptimize(Json::parse(text));
+    }
+    state.SetBytesProcessed(std::int64_t(state.iterations()) *
+                            std::int64_t(total));
+    state.SetItemsProcessed(std::int64_t(state.iterations()) * 64);
+}
+
+BENCHMARK(BM_JsonParse)->Unit(benchmark::kMicrosecond);
+
+/** Content-hash a document (the Gem5Run::inputHash cache-key path). */
+void
+BM_DocHash(benchmark::State &state)
+{
+    std::vector<Json> docs;
+    for (int i = 0; i < 64; ++i)
+        docs.push_back(jsonBenchDoc(i));
+    for (auto _ : state) {
+        for (const auto &doc : docs) {
+            Md5Stream h;
+            h.update(doc.dump());
+            benchmark::DoNotOptimize(h.final());
+        }
+    }
+    state.SetItemsProcessed(std::int64_t(state.iterations()) * 64);
+}
+
+BENCHMARK(BM_DocHash)->Unit(benchmark::kMicrosecond);
+
 void
 BM_DbInsertAndQuery(benchmark::State &state)
 {
