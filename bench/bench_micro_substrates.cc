@@ -139,7 +139,7 @@ BM_JsonDump(benchmark::State &state)
     for (auto _ : state) {
         std::string out;
         for (const auto &doc : docs)
-            out += doc.dump();
+            doc.dumpTo(out);
         bytes += out.size();
         benchmark::DoNotOptimize(out.data());
     }
@@ -180,7 +180,7 @@ BM_DocHash(benchmark::State &state)
     for (auto _ : state) {
         for (const auto &doc : docs) {
             Md5Stream h;
-            h.update(doc.dump());
+            h.update(doc);
             benchmark::DoNotOptimize(h.final());
         }
     }

@@ -55,14 +55,18 @@ runsToCsv(ArtifactDb &adb, const Json &query,
         fatal("runsToCsv: need at least one column");
 
     std::vector<std::string> header;
-    for (const auto &col : columns)
+    // Split each dotted column path once up front instead of per row.
+    std::vector<JsonPath> paths;
+    for (const auto &col : columns) {
         header.push_back(csvField(col));
+        paths.emplace_back(col);
+    }
     std::string out = join(header, ",") + "\n";
 
     for (const auto &doc : adb.runs().find(query)) {
         std::vector<std::string> row;
-        for (const auto &col : columns)
-            row.push_back(csvField(renderValue(doc.find(col))));
+        for (const auto &path : paths)
+            row.push_back(csvField(renderValue(path.resolve(doc))));
         out += join(row, ",") + "\n";
     }
     return out;

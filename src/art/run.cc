@@ -88,7 +88,11 @@ computeInputHash(const Json &artifacts, const Json &params,
     key["artifacts"] = artifacts;
     key["params"] = params;
     key["type"] = run_type;
-    return Md5::hashString(key.dump());
+    // Hash during serialization: the key document streams straight
+    // into the digest, so the canonical text never materializes.
+    Md5Stream h;
+    h.update(key);
+    return h.final();
 }
 
 } // anonymous namespace

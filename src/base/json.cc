@@ -1,18 +1,290 @@
 #include "base/json.hh"
 
+#include <algorithm>
+#include <charconv>
 #include <cmath>
-#include <cstdio>
-#include <cstdlib>
+#include <cstring>
+#include <new>
 
 namespace g5
 {
+
+// ---------------------------------------------------------------------
+// JsonObject: flat sorted (key, value) vector
+// ---------------------------------------------------------------------
+
+void
+JsonObject::clear()
+{
+    items.clear();
+}
+
+JsonObject::StorageT::size_type
+JsonObject::lowerBound(std::string_view key) const
+{
+    // Branchless-ish binary search over the sorted key vector; the
+    // comparison cost is the string compare, so keep the loop tight.
+    StorageT::size_type lo = 0, hi = items.size();
+    while (lo < hi) {
+        StorageT::size_type mid = (lo + hi) / 2;
+        if (items[mid].first < key)
+            lo = mid + 1;
+        else
+            hi = mid;
+    }
+    return lo;
+}
+
+JsonObject::iterator
+JsonObject::find(std::string_view key)
+{
+    auto pos = lowerBound(key);
+    if (pos < items.size() && items[pos].first == key)
+        return items.begin() + StorageT::difference_type(pos);
+    return items.end();
+}
+
+JsonObject::const_iterator
+JsonObject::find(std::string_view key) const
+{
+    auto pos = lowerBound(key);
+    if (pos < items.size() && items[pos].first == key)
+        return items.begin() + StorageT::difference_type(pos);
+    return items.end();
+}
+
+std::size_t
+JsonObject::count(std::string_view key) const
+{
+    auto pos = lowerBound(key);
+    return pos < items.size() && items[pos].first == key ? 1 : 0;
+}
+
+Json &
+JsonObject::at(std::string_view key)
+{
+    auto it = find(key);
+    if (it == items.end())
+        throw JsonError("Json: missing key '" + std::string(key) + "'");
+    return it->second;
+}
+
+const Json &
+JsonObject::at(std::string_view key) const
+{
+    auto it = find(key);
+    if (it == items.end())
+        throw JsonError("Json: missing key '" + std::string(key) + "'");
+    return it->second;
+}
+
+Json &
+JsonObject::operator[](std::string_view key)
+{
+    auto pos = lowerBound(key);
+    if (pos < items.size() && items[pos].first == key)
+        return items[pos].second;
+    auto it = items.emplace(
+        items.begin() + StorageT::difference_type(pos),
+        std::string(key), Json());
+    return it->second;
+}
+
+std::pair<JsonObject::iterator, bool>
+JsonObject::emplace(std::string key, Json value)
+{
+    auto pos = lowerBound(key);
+    if (pos < items.size() && items[pos].first == key)
+        return {items.begin() + StorageT::difference_type(pos), false};
+    auto it = items.emplace(
+        items.begin() + StorageT::difference_type(pos),
+        std::move(key), std::move(value));
+    return {it, true};
+}
+
+Json &
+JsonObject::insertOrAssign(std::string key, Json value)
+{
+    auto pos = lowerBound(key);
+    if (pos < items.size() && items[pos].first == key) {
+        items[pos].second = std::move(value);
+        return items[pos].second;
+    }
+    auto it = items.emplace(
+        items.begin() + StorageT::difference_type(pos),
+        std::move(key), std::move(value));
+    return it->second;
+}
+
+std::size_t
+JsonObject::erase(std::string_view key)
+{
+    auto it = find(key);
+    if (it == items.end())
+        return 0;
+    items.erase(it);
+    return 1;
+}
+
+bool
+JsonObject::operator==(const JsonObject &other) const
+{
+    return items == other.items;
+}
+
+// ---------------------------------------------------------------------
+// JsonPath: pre-split dotted paths
+// ---------------------------------------------------------------------
+
+JsonPath::JsonPath(std::string_view path)
+    : dotted(path)
+{
+    std::uint32_t start = 0;
+    for (std::uint32_t i = 0; i <= dotted.size(); ++i) {
+        if (i == dotted.size() || dotted[i] == '.') {
+            segs.emplace_back(start, i - start);
+            start = i + 1;
+        }
+    }
+}
+
+const Json *
+JsonPath::resolve(const Json &root) const
+{
+    const Json *cur = &root;
+    for (const auto &[off, len] : segs) {
+        if (!cur->isObject())
+            return nullptr;
+        const auto &obj = cur->asObject();
+        auto it = obj.find(std::string_view(dotted).substr(off, len));
+        if (it == obj.end())
+            return nullptr;
+        cur = &it->second;
+    }
+    return cur;
+}
+
+// ---------------------------------------------------------------------
+// Json: lifetime of the tagged union
+// ---------------------------------------------------------------------
+
+void
+Json::destroy()
+{
+    switch (ty) {
+      case Type::String:
+        pay.s.~basic_string();
+        break;
+      case Type::Array:
+        pay.a.~ArrayT();
+        break;
+      case Type::Object:
+        pay.o.~ObjectT();
+        break;
+      default:
+        break;
+    }
+}
+
+void
+Json::copyFrom(const Json &other)
+{
+    ty = other.ty;
+    switch (ty) {
+      case Type::Null:
+        break;
+      case Type::Bool:
+        pay.b = other.pay.b;
+        break;
+      case Type::Int:
+        pay.i = other.pay.i;
+        break;
+      case Type::Double:
+        pay.d = other.pay.d;
+        break;
+      case Type::String:
+        new (&pay.s) std::string(other.pay.s);
+        break;
+      case Type::Array:
+        new (&pay.a) ArrayT(other.pay.a);
+        break;
+      case Type::Object:
+        new (&pay.o) ObjectT(other.pay.o);
+        break;
+    }
+}
+
+void
+Json::moveFrom(Json &&other) noexcept
+{
+    ty = other.ty;
+    switch (ty) {
+      case Type::Null:
+        break;
+      case Type::Bool:
+        pay.b = other.pay.b;
+        break;
+      case Type::Int:
+        pay.i = other.pay.i;
+        break;
+      case Type::Double:
+        pay.d = other.pay.d;
+        break;
+      case Type::String:
+        new (&pay.s) std::string(std::move(other.pay.s));
+        break;
+      case Type::Array:
+        new (&pay.a) ArrayT(std::move(other.pay.a));
+        break;
+      case Type::Object:
+        new (&pay.o) ObjectT(std::move(other.pay.o));
+        break;
+    }
+    // Collapse the source to null so its destructor is trivial and a
+    // moved-from document cannot alias freed storage.
+    other.destroy();
+    other.ty = Type::Null;
+}
+
+Json::Json(const Json &other)
+{
+    copyFrom(other);
+}
+
+Json::Json(Json &&other) noexcept
+{
+    moveFrom(std::move(other));
+}
+
+Json &
+Json::operator=(const Json &other)
+{
+    if (this != &other) {
+        // Copy first so self-referential assignment through a child
+        // (j = j.at("k")) reads the source before it is destroyed.
+        Json tmp(other);
+        destroy();
+        moveFrom(std::move(tmp));
+    }
+    return *this;
+}
+
+Json &
+Json::operator=(Json &&other) noexcept
+{
+    if (this != &other) {
+        destroy();
+        moveFrom(std::move(other));
+    }
+    return *this;
+}
 
 Json
 Json::object(std::initializer_list<std::pair<std::string, Json>> init)
 {
     Json j = object();
     for (const auto &kv : init)
-        j.objVal[kv.first] = kv.second;
+        j.pay.o.insertOrAssign(kv.first, kv.second);
     return j;
 }
 
@@ -36,16 +308,16 @@ Json::asBool() const
 {
     if (ty != Type::Bool)
         typeError("bool", ty);
-    return boolVal;
+    return pay.b;
 }
 
 std::int64_t
 Json::asInt() const
 {
     if (ty == Type::Int)
-        return intVal;
+        return pay.i;
     if (ty == Type::Double)
-        return std::int64_t(dblVal);
+        return std::int64_t(pay.d);
     typeError("number", ty);
 }
 
@@ -53,9 +325,9 @@ double
 Json::asDouble() const
 {
     if (ty == Type::Int)
-        return double(intVal);
+        return double(pay.i);
     if (ty == Type::Double)
-        return dblVal;
+        return pay.d;
     typeError("number", ty);
 }
 
@@ -64,7 +336,7 @@ Json::asString() const
 {
     if (ty != Type::String)
         typeError("string", ty);
-    return strVal;
+    return pay.s;
 }
 
 const Json::ArrayT &
@@ -72,7 +344,7 @@ Json::asArray() const
 {
     if (ty != Type::Array)
         typeError("array", ty);
-    return arrVal;
+    return pay.a;
 }
 
 Json::ArrayT &
@@ -80,7 +352,7 @@ Json::asArray()
 {
     if (ty != Type::Array)
         typeError("array", ty);
-    return arrVal;
+    return pay.a;
 }
 
 const Json::ObjectT &
@@ -88,7 +360,7 @@ Json::asObject() const
 {
     if (ty != Type::Object)
         typeError("object", ty);
-    return objVal;
+    return pay.o;
 }
 
 Json::ObjectT &
@@ -96,28 +368,28 @@ Json::asObject()
 {
     if (ty != Type::Object)
         typeError("object", ty);
-    return objVal;
+    return pay.o;
 }
 
 Json &
-Json::operator[](const std::string &key)
+Json::operator[](std::string_view key)
 {
-    if (ty == Type::Null)
-        ty = Type::Object; // auto-vivify, like most JSON DOMs
+    if (ty == Type::Null) {
+        // auto-vivify, like most JSON DOMs
+        ty = Type::Object;
+        new (&pay.o) ObjectT();
+    }
     if (ty != Type::Object)
         typeError("object", ty);
-    return objVal[key];
+    return pay.o[key];
 }
 
 const Json &
-Json::at(const std::string &key) const
+Json::at(std::string_view key) const
 {
     if (ty != Type::Object)
         typeError("object", ty);
-    auto it = objVal.find(key);
-    if (it == objVal.end())
-        throw JsonError("Json: missing key '" + key + "'");
-    return it->second;
+    return pay.o.at(key);
 }
 
 Json &
@@ -125,9 +397,9 @@ Json::operator[](std::size_t idx)
 {
     if (ty != Type::Array)
         typeError("array", ty);
-    if (idx >= arrVal.size())
+    if (idx >= pay.a.size())
         throw JsonError("Json: array index out of range");
-    return arrVal[idx];
+    return pay.a[idx];
 }
 
 const Json &
@@ -135,15 +407,15 @@ Json::at(std::size_t idx) const
 {
     if (ty != Type::Array)
         typeError("array", ty);
-    if (idx >= arrVal.size())
+    if (idx >= pay.a.size())
         throw JsonError("Json: array index out of range");
-    return arrVal[idx];
+    return pay.a[idx];
 }
 
 bool
-Json::contains(const std::string &key) const
+Json::contains(std::string_view key) const
 {
-    return ty == Type::Object && objVal.count(key) > 0;
+    return ty == Type::Object && pay.o.count(key) > 0;
 }
 
 std::size_t
@@ -151,11 +423,11 @@ Json::size() const
 {
     switch (ty) {
       case Type::Array:
-        return arrVal.size();
+        return pay.a.size();
       case Type::Object:
-        return objVal.size();
+        return pay.o.size();
       case Type::String:
-        return strVal.size();
+        return pay.s.size();
       default:
         return 0;
     }
@@ -164,66 +436,80 @@ Json::size() const
 void
 Json::push(Json v)
 {
-    if (ty == Type::Null)
+    if (ty == Type::Null) {
         ty = Type::Array;
+        new (&pay.a) ArrayT();
+    }
     if (ty != Type::Array)
         typeError("array", ty);
-    arrVal.push_back(std::move(v));
+    pay.a.push_back(std::move(v));
 }
 
 std::string
-Json::getString(const std::string &key, const std::string &dflt) const
+Json::getString(std::string_view key, const std::string &dflt) const
 {
-    if (!contains(key) || !objVal.at(key).isString())
+    if (ty != Type::Object)
         return dflt;
-    return objVal.at(key).strVal;
+    auto it = pay.o.find(key);
+    if (it == pay.o.end() || !it->second.isString())
+        return dflt;
+    return it->second.pay.s;
 }
 
 std::int64_t
-Json::getInt(const std::string &key, std::int64_t dflt) const
+Json::getInt(std::string_view key, std::int64_t dflt) const
 {
-    if (!contains(key) || !objVal.at(key).isNumber())
+    if (ty != Type::Object)
         return dflt;
-    return objVal.at(key).asInt();
+    auto it = pay.o.find(key);
+    if (it == pay.o.end() || !it->second.isNumber())
+        return dflt;
+    return it->second.asInt();
 }
 
 double
-Json::getDouble(const std::string &key, double dflt) const
+Json::getDouble(std::string_view key, double dflt) const
 {
-    if (!contains(key) || !objVal.at(key).isNumber())
+    if (ty != Type::Object)
         return dflt;
-    return objVal.at(key).asDouble();
+    auto it = pay.o.find(key);
+    if (it == pay.o.end() || !it->second.isNumber())
+        return dflt;
+    return it->second.asDouble();
 }
 
 bool
-Json::getBool(const std::string &key, bool dflt) const
+Json::getBool(std::string_view key, bool dflt) const
 {
-    if (!contains(key) || !objVal.at(key).isBool())
+    if (ty != Type::Object)
         return dflt;
-    return objVal.at(key).boolVal;
+    auto it = pay.o.find(key);
+    if (it == pay.o.end() || !it->second.isBool())
+        return dflt;
+    return it->second.pay.b;
 }
 
 const Json *
-Json::find(const std::string &dotted_path) const
+Json::find(std::string_view dotted_path) const
 {
     const Json *cur = this;
     std::size_t start = 0;
-    while (start <= dotted_path.size()) {
+    for (;;) {
         std::size_t dot = dotted_path.find('.', start);
-        std::string key = dotted_path.substr(
-            start, dot == std::string::npos ? std::string::npos
-                                            : dot - start);
+        std::string_view key =
+            dot == std::string_view::npos
+                ? dotted_path.substr(start)
+                : dotted_path.substr(start, dot - start);
         if (!cur->isObject())
             return nullptr;
-        auto it = cur->objVal.find(key);
-        if (it == cur->objVal.end())
+        auto it = cur->pay.o.find(key);
+        if (it == cur->pay.o.end())
             return nullptr;
         cur = &it->second;
-        if (dot == std::string::npos)
+        if (dot == std::string_view::npos)
             return cur;
         start = dot + 1;
     }
-    return nullptr;
 }
 
 bool
@@ -231,7 +517,7 @@ Json::operator==(const Json &other) const
 {
     if (isNumber() && other.isNumber()) {
         if (isInt() && other.isInt())
-            return intVal == other.intVal;
+            return pay.i == other.pay.i;
         return asDouble() == other.asDouble();
     }
     if (ty != other.ty)
@@ -240,166 +526,296 @@ Json::operator==(const Json &other) const
       case Type::Null:
         return true;
       case Type::Bool:
-        return boolVal == other.boolVal;
+        return pay.b == other.pay.b;
       case Type::String:
-        return strVal == other.strVal;
+        return pay.s == other.pay.s;
       case Type::Array:
-        return arrVal == other.arrVal;
+        return pay.a == other.pay.a;
       case Type::Object:
-        return objVal == other.objVal;
+        return pay.o == other.pay.o;
       default:
         return false; // unreachable; numbers handled above
     }
 }
 
+// ---------------------------------------------------------------------
+// Serializer
+// ---------------------------------------------------------------------
+
 namespace
 {
 
-void
-escapeString(std::string &out, const std::string &s)
+/** Appender writing straight into a caller-owned std::string. */
+struct StringAppender
 {
-    out += '"';
-    for (unsigned char c : s) {
-        switch (c) {
-          case '"':
-            out += "\\\"";
-            break;
-          case '\\':
-            out += "\\\\";
-            break;
-          case '\b':
-            out += "\\b";
-            break;
-          case '\f':
-            out += "\\f";
-            break;
-          case '\n':
-            out += "\\n";
-            break;
-          case '\r':
-            out += "\\r";
-            break;
-          case '\t':
-            out += "\\t";
-            break;
-          default:
-            if (c < 0x20) {
-                char buf[8];
-                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-                out += buf;
-            } else {
-                out += char(c);
-            }
+    std::string &out;
+
+    void append(const char *data, std::size_t len)
+    {
+        out.append(data, len);
+    }
+    void append(std::string_view sv) { out.append(sv); }
+    void push(char c) { out += c; }
+    void pad(std::size_t n, char c) { out.append(n, c); }
+    void flush() {}
+};
+
+/**
+ * Appender batching writes into a fixed stack buffer and flushing to a
+ * JsonSink in chunks, so the sink sees one virtual call per ~4 KiB of
+ * output rather than one per token.
+ */
+struct SinkAppender
+{
+    JsonSink &sink;
+    std::size_t n = 0;
+    char buf[4096];
+
+    void
+    append(const char *data, std::size_t len)
+    {
+        if (len >= sizeof(buf)) {
+            flush();
+            sink.write(data, len);
+            return;
+        }
+        if (n + len > sizeof(buf))
+            flush();
+        std::memcpy(buf + n, data, len);
+        n += len;
+    }
+    void append(std::string_view sv) { append(sv.data(), sv.size()); }
+    void
+    push(char c)
+    {
+        if (n == sizeof(buf))
+            flush();
+        buf[n++] = c;
+    }
+    void
+    pad(std::size_t count, char c)
+    {
+        for (std::size_t i = 0; i < count; ++i)
+            push(c);
+    }
+    void
+    flush()
+    {
+        if (n) {
+            sink.write(buf, n);
+            n = 0;
         }
     }
-    out += '"';
+};
+
+/** Bytes below 0x20 plus '"' and '\\' need escaping; all else copies. */
+inline bool
+needsEscape(unsigned char c)
+{
+    return c < 0x20 || c == '"' || c == '\\';
 }
 
+template <typename Out>
 void
-formatDouble(std::string &out, double v)
+escapeString(Out &out, std::string_view s)
+{
+    static const char hex[] = "0123456789abcdef";
+    out.push('"');
+    std::size_t run = 0; // start of the pending unescaped span
+    for (std::size_t i = 0; i < s.size(); ++i) {
+        unsigned char c = (unsigned char)s[i];
+        if (!needsEscape(c))
+            continue;
+        if (i > run)
+            out.append(s.data() + run, i - run);
+        run = i + 1;
+        switch (c) {
+          case '"':
+            out.append("\\\"", 2);
+            break;
+          case '\\':
+            out.append("\\\\", 2);
+            break;
+          case '\b':
+            out.append("\\b", 2);
+            break;
+          case '\f':
+            out.append("\\f", 2);
+            break;
+          case '\n':
+            out.append("\\n", 2);
+            break;
+          case '\r':
+            out.append("\\r", 2);
+            break;
+          case '\t':
+            out.append("\\t", 2);
+            break;
+          default: {
+            char u[6] = {'\\', 'u', '0', '0',
+                         hex[(c >> 4) & 0xf], hex[c & 0xf]};
+            out.append(u, 6);
+            break;
+          }
+        }
+    }
+    if (s.size() > run)
+        out.append(s.data() + run, s.size() - run);
+    out.push('"');
+}
+
+template <typename Out>
+void
+formatInt(Out &out, std::int64_t v)
+{
+    char buf[24];
+    auto res = std::to_chars(buf, buf + sizeof(buf), v);
+    out.append(buf, std::size_t(res.ptr - buf));
+}
+
+template <typename Out>
+void
+formatDouble(Out &out, double v)
 {
     if (std::isnan(v) || std::isinf(v)) {
         // JSON has no NaN/Inf; store as null like most serializers.
-        out += "null";
+        out.append("null", 4);
         return;
     }
-    char buf[32];
-    std::snprintf(buf, sizeof(buf), "%.17g", v);
-    out += buf;
+    // %.17g-equivalent formatting (std::to_chars with explicit
+    // precision is specified to match printf): byte-identical to every
+    // document ever persisted by the previous snprintf serializer.
+    char buf[40];
+    auto res = std::to_chars(buf, buf + sizeof(buf), v,
+                             std::chars_format::general, 17);
+    std::size_t len = std::size_t(res.ptr - buf);
+    out.append(buf, len);
     // Ensure the round-trip stays a double, not an int.
-    std::string_view sv(buf);
+    std::string_view sv(buf, len);
     if (sv.find('.') == std::string_view::npos &&
         sv.find('e') == std::string_view::npos &&
         sv.find('E') == std::string_view::npos) {
-        out += ".0";
+        out.append(".0", 2);
+    }
+}
+
+template <typename Out>
+void
+dumpValue(Out &out, const Json &v, int indent, int depth)
+{
+    auto newline = [&](int d) {
+        if (indent > 0) {
+            out.push('\n');
+            out.pad(std::size_t(indent) * std::size_t(d), ' ');
+        }
+    };
+
+    switch (v.type()) {
+      case Json::Type::Null:
+        out.append("null", 4);
+        break;
+      case Json::Type::Bool:
+        if (v.asBool())
+            out.append("true", 4);
+        else
+            out.append("false", 5);
+        break;
+      case Json::Type::Int:
+        formatInt(out, v.asInt());
+        break;
+      case Json::Type::Double:
+        formatDouble(out, v.asDouble());
+        break;
+      case Json::Type::String:
+        escapeString(out, v.asString());
+        break;
+      case Json::Type::Array: {
+        const auto &arr = v.asArray();
+        if (arr.empty()) {
+            out.append("[]", 2);
+            break;
+        }
+        out.push('[');
+        bool first = true;
+        for (const auto &elem : arr) {
+            if (!first)
+                out.push(',');
+            first = false;
+            newline(depth + 1);
+            dumpValue(out, elem, indent, depth + 1);
+        }
+        newline(depth);
+        out.push(']');
+        break;
+      }
+      case Json::Type::Object: {
+        const auto &obj = v.asObject();
+        if (obj.empty()) {
+            out.append("{}", 2);
+            break;
+        }
+        out.push('{');
+        bool first = true;
+        for (const auto &kv : obj) {
+            if (!first)
+                out.push(',');
+            first = false;
+            newline(depth + 1);
+            escapeString(out, kv.first);
+            if (indent > 0)
+                out.append(": ", 2);
+            else
+                out.push(':');
+            dumpValue(out, kv.second, indent, depth + 1);
+        }
+        newline(depth);
+        out.push('}');
+        break;
+      }
     }
 }
 
 } // anonymous namespace
 
-void
-Json::dumpTo(std::string &out, int indent, int depth) const
-{
-    auto newline = [&](int d) {
-        if (indent > 0) {
-            out += '\n';
-            out.append(std::size_t(indent) * d, ' ');
-        }
-    };
-
-    switch (ty) {
-      case Type::Null:
-        out += "null";
-        break;
-      case Type::Bool:
-        out += boolVal ? "true" : "false";
-        break;
-      case Type::Int:
-        out += std::to_string(intVal);
-        break;
-      case Type::Double:
-        formatDouble(out, dblVal);
-        break;
-      case Type::String:
-        escapeString(out, strVal);
-        break;
-      case Type::Array: {
-        if (arrVal.empty()) {
-            out += "[]";
-            break;
-        }
-        out += '[';
-        bool first = true;
-        for (const auto &v : arrVal) {
-            if (!first)
-                out += indent > 0 ? "," : ",";
-            first = false;
-            newline(depth + 1);
-            v.dumpTo(out, indent, depth + 1);
-        }
-        newline(depth);
-        out += ']';
-        break;
-      }
-      case Type::Object: {
-        if (objVal.empty()) {
-            out += "{}";
-            break;
-        }
-        out += '{';
-        bool first = true;
-        for (const auto &kv : objVal) {
-            if (!first)
-                out += ",";
-            first = false;
-            newline(depth + 1);
-            escapeString(out, kv.first);
-            out += indent > 0 ? ": " : ":";
-            kv.second.dumpTo(out, indent, depth + 1);
-        }
-        newline(depth);
-        out += '}';
-        break;
-      }
-    }
-}
-
 std::string
 Json::dump(int indent) const
 {
     std::string out;
-    dumpTo(out, indent, 0);
+    // Compact dumps of db documents typically land in the 100s of
+    // bytes; one up-front reservation avoids the early growth steps.
+    out.reserve(128);
+    StringAppender app{out};
+    dumpValue(app, *this, indent, 0);
     return out;
 }
+
+void
+Json::dumpTo(std::string &out, int indent) const
+{
+    StringAppender app{out};
+    dumpValue(app, *this, indent, 0);
+}
+
+void
+Json::dumpTo(JsonSink &sink, int indent) const
+{
+    SinkAppender app{sink};
+    dumpValue(app, *this, indent, 0);
+    app.flush();
+}
+
+// ---------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------
 
 namespace
 {
 
-/** Recursive-descent JSON parser. */
+/** Recursive-descent JSON parser over a borrowed string_view. */
 class Parser
 {
   public:
-    explicit Parser(const std::string &text)
+    explicit Parser(std::string_view text)
         : src(text), pos(0)
     {}
 
@@ -450,11 +866,10 @@ class Parser
     }
 
     bool
-    consumeLiteral(const char *lit)
+    consumeLiteral(std::string_view lit)
     {
-        std::size_t len = std::char_traits<char>::length(lit);
-        if (src.compare(pos, len, lit) == 0) {
-            pos += len;
+        if (src.substr(pos, lit.size()) == lit) {
+            pos += lit.size();
             return true;
         }
         return false;
@@ -494,6 +909,7 @@ class Parser
     {
         expect('{');
         Json obj = Json::object();
+        JsonObject &members = obj.asObject();
         skipWs();
         if (peek() == '}') {
             ++pos;
@@ -504,7 +920,12 @@ class Parser
             std::string key = parseString();
             skipWs();
             expect(':');
-            obj[key] = parseValue();
+            // Documents we parse are overwhelmingly our own dumps, so
+            // keys arrive in sorted order; insertOrAssign's append
+            // fast path makes that O(1) per member while arbitrary
+            // order (and duplicate keys: last wins, like std::map
+            // assignment) still lands correctly via binary insert.
+            members.insertOrAssign(std::move(key), parseValue());
             skipWs();
             char c = peek();
             if (c == ',') {
@@ -550,76 +971,91 @@ class Parser
     {
         expect('"');
         std::string out;
+        // Fast path: bulk-copy the span up to the next quote, escape,
+        // or control byte instead of appending byte-at-a-time.
         for (;;) {
+            std::size_t run = pos;
+            while (run < src.size()) {
+                unsigned char c = (unsigned char)src[run];
+                if (c == '"' || c == '\\' || c < 0x20)
+                    break;
+                ++run;
+            }
+            if (run > pos) {
+                out.append(src.data() + pos, run - pos);
+                pos = run;
+            }
             if (pos >= src.size())
                 fail("unterminated string");
             char c = src[pos++];
             if (c == '"')
                 return out;
-            if (c == '\\') {
-                if (pos >= src.size())
-                    fail("unterminated escape");
-                char e = src[pos++];
-                switch (e) {
-                  case '"':
-                    out += '"';
-                    break;
-                  case '\\':
-                    out += '\\';
-                    break;
-                  case '/':
-                    out += '/';
-                    break;
-                  case 'b':
-                    out += '\b';
-                    break;
-                  case 'f':
-                    out += '\f';
-                    break;
-                  case 'n':
-                    out += '\n';
-                    break;
-                  case 'r':
-                    out += '\r';
-                    break;
-                  case 't':
-                    out += '\t';
-                    break;
-                  case 'u': {
-                    if (pos + 4 > src.size())
-                        fail("short \\u escape");
-                    unsigned cp = 0;
-                    for (int i = 0; i < 4; ++i) {
-                        char h = src[pos++];
-                        cp <<= 4;
-                        if (h >= '0' && h <= '9')
-                            cp |= unsigned(h - '0');
-                        else if (h >= 'a' && h <= 'f')
-                            cp |= unsigned(h - 'a' + 10);
-                        else if (h >= 'A' && h <= 'F')
-                            cp |= unsigned(h - 'A' + 10);
-                        else
-                            fail("bad hex digit in \\u escape");
-                    }
-                    // Encode the code point as UTF-8 (BMP only; surrogate
-                    // pairs are passed through as separate code points).
-                    if (cp < 0x80) {
-                        out += char(cp);
-                    } else if (cp < 0x800) {
-                        out += char(0xc0 | (cp >> 6));
-                        out += char(0x80 | (cp & 0x3f));
-                    } else {
-                        out += char(0xe0 | (cp >> 12));
-                        out += char(0x80 | ((cp >> 6) & 0x3f));
-                        out += char(0x80 | (cp & 0x3f));
-                    }
-                    break;
-                  }
-                  default:
-                    fail("bad escape character");
-                }
-            } else {
+            if (c != '\\') {
+                // Raw control characters inside strings are tolerated
+                // (the previous parser accepted them too).
                 out += c;
+                continue;
+            }
+            if (pos >= src.size())
+                fail("unterminated escape");
+            char e = src[pos++];
+            switch (e) {
+              case '"':
+                out += '"';
+                break;
+              case '\\':
+                out += '\\';
+                break;
+              case '/':
+                out += '/';
+                break;
+              case 'b':
+                out += '\b';
+                break;
+              case 'f':
+                out += '\f';
+                break;
+              case 'n':
+                out += '\n';
+                break;
+              case 'r':
+                out += '\r';
+                break;
+              case 't':
+                out += '\t';
+                break;
+              case 'u': {
+                if (pos + 4 > src.size())
+                    fail("short \\u escape");
+                unsigned cp = 0;
+                for (int i = 0; i < 4; ++i) {
+                    char h = src[pos++];
+                    cp <<= 4;
+                    if (h >= '0' && h <= '9')
+                        cp |= unsigned(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        cp |= unsigned(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        cp |= unsigned(h - 'A' + 10);
+                    else
+                        fail("bad hex digit in \\u escape");
+                }
+                // Encode the code point as UTF-8 (BMP only; surrogate
+                // pairs are passed through as separate code points).
+                if (cp < 0x80) {
+                    out += char(cp);
+                } else if (cp < 0x800) {
+                    out += char(0xc0 | (cp >> 6));
+                    out += char(0x80 | (cp & 0x3f));
+                } else {
+                    out += char(0xe0 | (cp >> 12));
+                    out += char(0x80 | ((cp >> 6) & 0x3f));
+                    out += char(0x80 | (cp & 0x3f));
+                }
+                break;
+              }
+              default:
+                fail("bad escape character");
             }
         }
     }
@@ -646,30 +1082,32 @@ class Parser
         }
         if (pos == start || (pos == start + 1 && src[start] == '-'))
             fail("malformed number");
-        std::string tok = src.substr(start, pos - start);
+        const char *tok = src.data() + start;
+        const char *tok_end = src.data() + pos;
         if (!is_double) {
-            errno = 0;
-            char *end = nullptr;
-            long long v = std::strtoll(tok.c_str(), &end, 10);
-            if (errno == 0 && end && *end == '\0')
-                return Json(std::int64_t(v));
+            std::int64_t v = 0;
+            auto res = std::from_chars(tok, tok_end, v, 10);
+            if (res.ec == std::errc() && res.ptr == tok_end)
+                return Json(v);
             // fall through to double on overflow
         }
-        char *end = nullptr;
-        double d = std::strtod(tok.c_str(), &end);
-        if (!end || *end != '\0')
-            fail("malformed number '" + tok + "'");
+        double d = 0;
+        auto res = std::from_chars(tok, tok_end, d);
+        if (res.ec != std::errc() || res.ptr != tok_end) {
+            fail("malformed number '" +
+                 std::string(tok, std::size_t(tok_end - tok)) + "'");
+        }
         return Json(d);
     }
 
-    const std::string &src;
+    std::string_view src;
     std::size_t pos;
 };
 
 } // anonymous namespace
 
 Json
-Json::parse(const std::string &text)
+Json::parse(std::string_view text)
 {
     Parser p(text);
     return p.parseDocument();

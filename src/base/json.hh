@@ -10,6 +10,17 @@
  * Numbers are kept as either Int (int64) or Double, mirroring what BSON
  * would do; the parser picks Int when the literal has no fraction or
  * exponent and fits in int64.
+ *
+ * Representation (see DESIGN.md, "Document model internals"): each node
+ * is a compact tagged union — a one-byte type tag plus a payload union
+ * holding the bool/int64/double inline and the string/array/object
+ * storage in place (~40 bytes per node, down from >120 for the old
+ * struct that carried a string, a vector, AND a map in every node).
+ * Objects are flat sorted std::vector<std::pair<std::string, Json>>
+ * (JsonObject): lookups binary-search, iteration is cache-linear, and
+ * the sorted order keeps dump() byte-stable with the previous
+ * std::map-based serializer — WAL snapshots and content hashes never
+ * change across the upgrade.
  */
 
 #ifndef G5_BASE_JSON_HH
@@ -17,13 +28,16 @@
 
 #include <cstdint>
 #include <initializer_list>
-#include <map>
-#include <memory>
+#include <stdexcept>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 namespace g5
 {
+
+class Json;
 
 /** Raised on malformed JSON text or type mismatches. */
 class JsonError : public std::runtime_error
@@ -34,35 +48,187 @@ class JsonError : public std::runtime_error
     {}
 };
 
+/**
+ * Byte-stream target for Json serialization (see Json::dumpTo). The
+ * serializer buffers internally and hands over large, infrequent
+ * chunks, so a virtual write per chunk — not per token — is the cost.
+ * Md5Stream implements one to hash documents without materializing the
+ * text; the db layer appends WAL records through one into its oplog.
+ */
+class JsonSink
+{
+  public:
+    virtual ~JsonSink() = default;
+
+    /** Receive the next @p len serialized bytes. */
+    virtual void write(const char *data, std::size_t len) = 0;
+};
+
+/**
+ * An object's members: a flat vector of (key, value) pairs kept sorted
+ * by key. Binary-search lookups, cache-friendly iteration, and the
+ * sorted invariant keeps serialization deterministic (identical to the
+ * old std::map order). The map-like slice of the std::map API that the
+ * codebase uses (find/count/erase/emplace/operator[]) is preserved.
+ */
+class JsonObject
+{
+  public:
+    using value_type = std::pair<std::string, Json>;
+    using StorageT = std::vector<value_type>;
+    using iterator = StorageT::iterator;
+    using const_iterator = StorageT::const_iterator;
+
+    JsonObject() = default;
+
+    iterator begin() { return items.begin(); }
+    iterator end() { return items.end(); }
+    const_iterator begin() const { return items.begin(); }
+    const_iterator end() const { return items.end(); }
+
+    std::size_t size() const { return items.size(); }
+    bool empty() const { return items.empty(); }
+    void clear();
+
+    /** Binary-search lookup. @return end() when absent. */
+    iterator find(std::string_view key);
+    const_iterator find(std::string_view key) const;
+
+    std::size_t count(std::string_view key) const;
+
+    /** @return the member value; throws JsonError when absent. */
+    Json &at(std::string_view key);
+    const Json &at(std::string_view key) const;
+
+    /** Find-or-insert (null value when inserted), keeping sort order. */
+    Json &operator[](std::string_view key);
+
+    /** Insert when absent. @return (position, inserted). */
+    std::pair<iterator, bool> emplace(std::string key, Json value);
+
+    /** Insert or overwrite. @return reference to the stored value. */
+    Json &insertOrAssign(std::string key, Json value);
+
+    /** Remove a member. @return the number of members removed (0/1). */
+    std::size_t erase(std::string_view key);
+
+    bool operator==(const JsonObject &other) const;
+    bool operator!=(const JsonObject &other) const
+    {
+        return !(*this == other);
+    }
+
+  private:
+    /** Position of the first key >= @p key (insertion point). */
+    StorageT::size_type lowerBound(std::string_view key) const;
+
+    StorageT items;
+};
+
+/**
+ * A dotted field path ("a.b.c") split once at construction so per-
+ * document resolution never re-parses or allocates. The db query layer
+ * compiles every query path through this (db::CompiledQuery); ad-hoc
+ * lookups can keep using Json::find(), which walks the same way but
+ * re-splits per call.
+ */
+class JsonPath
+{
+  public:
+    JsonPath() = default;
+    explicit JsonPath(std::string_view dotted);
+
+    /** @return the value at this path under @p root, or nullptr. */
+    const Json *resolve(const Json &root) const;
+
+    /** @return the original dotted spelling. */
+    const std::string &str() const { return dotted; }
+
+    /** @return the number of segments. */
+    std::size_t size() const { return segs.size(); }
+
+  private:
+    std::string dotted;
+    /** (offset, length) of each segment within @p dotted. */
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> segs;
+};
+
 /** A JSON value: null, bool, int64, double, string, array, or object. */
 class Json
 {
   public:
-    enum class Type { Null, Bool, Int, Double, String, Array, Object };
+    enum class Type : std::uint8_t {
+        Null, Bool, Int, Double, String, Array, Object
+    };
 
     using ArrayT = std::vector<Json>;
-    using ObjectT = std::map<std::string, Json>;
+    using ObjectT = JsonObject;
 
     /** Construct null. */
     Json() : ty(Type::Null) {}
     Json(std::nullptr_t) : ty(Type::Null) {}
-    Json(bool v) : ty(Type::Bool) { boolVal = v; }
-    Json(int v) : ty(Type::Int) { intVal = v; }
-    Json(unsigned v) : ty(Type::Int) { intVal = std::int64_t(v); }
-    Json(std::int64_t v) : ty(Type::Int) { intVal = v; }
-    Json(std::uint64_t v) : ty(Type::Int) { intVal = std::int64_t(v); }
-    Json(double v) : ty(Type::Double) { dblVal = v; }
-    Json(const char *v) : ty(Type::String), strVal(v) {}
-    Json(const std::string &v) : ty(Type::String), strVal(v) {}
-    Json(std::string &&v) : ty(Type::String), strVal(std::move(v)) {}
-    Json(const ArrayT &v) : ty(Type::Array), arrVal(v) {}
-    Json(ArrayT &&v) : ty(Type::Array), arrVal(std::move(v)) {}
+    Json(bool v) : ty(Type::Bool) { pay.b = v; }
+    Json(int v) : ty(Type::Int) { pay.i = v; }
+    Json(unsigned v) : ty(Type::Int) { pay.i = std::int64_t(v); }
+    Json(long v) : ty(Type::Int) { pay.i = v; }
+    Json(long long v) : ty(Type::Int) { pay.i = v; }
+    /**
+     * Unsigned 64-bit values above INT64_MAX (tick counts near maxTick)
+     * cannot be stored as Int without wrapping negative; they degrade to
+     * Double instead (matching what the parser does for out-of-range
+     * integer literals).
+     */
+    Json(unsigned long v) { constructUnsigned(v); }
+    Json(unsigned long long v) { constructUnsigned(v); }
+    Json(double v) : ty(Type::Double) { pay.d = v; }
+    Json(const char *v) : ty(Type::String)
+    {
+        new (&pay.s) std::string(v);
+    }
+    Json(std::string_view v) : ty(Type::String)
+    {
+        new (&pay.s) std::string(v);
+    }
+    Json(const std::string &v) : ty(Type::String)
+    {
+        new (&pay.s) std::string(v);
+    }
+    Json(std::string &&v) : ty(Type::String)
+    {
+        new (&pay.s) std::string(std::move(v));
+    }
+    Json(const ArrayT &v) : ty(Type::Array)
+    {
+        new (&pay.a) ArrayT(v);
+    }
+    Json(ArrayT &&v) : ty(Type::Array)
+    {
+        new (&pay.a) ArrayT(std::move(v));
+    }
+
+    Json(const Json &other);
+    Json(Json &&other) noexcept;
+    Json &operator=(const Json &other);
+    Json &operator=(Json &&other) noexcept;
+    ~Json() { destroy(); }
 
     /** @return an empty array value. */
-    static Json array() { Json j; j.ty = Type::Array; return j; }
+    static Json array()
+    {
+        Json j;
+        j.ty = Type::Array;
+        new (&j.pay.a) ArrayT();
+        return j;
+    }
 
     /** @return an empty object value. */
-    static Json object() { Json j; j.ty = Type::Object; return j; }
+    static Json object()
+    {
+        Json j;
+        j.ty = Type::Object;
+        new (&j.pay.o) ObjectT();
+        return j;
+    }
 
     /** Build an object from key/value pairs. */
     static Json object(
@@ -94,15 +260,15 @@ class Json
     ObjectT &asObject();
 
     /** Object member access; inserts null when absent (object only). */
-    Json &operator[](const std::string &key);
+    Json &operator[](std::string_view key);
     /** Const object member access; throws JsonError when absent. */
-    const Json &at(const std::string &key) const;
+    const Json &at(std::string_view key) const;
     /** Array element access; throws JsonError when out of range. */
     Json &operator[](std::size_t idx);
     const Json &at(std::size_t idx) const;
 
     /** @return true when this object has member @p key. */
-    bool contains(const std::string &key) const;
+    bool contains(std::string_view key) const;
 
     /** Array/object/string element count; 0 for scalars. */
     std::size_t size() const;
@@ -111,17 +277,17 @@ class Json
     void push(Json v);
 
     /** Object member lookup with a default for absent/null members. */
-    std::string getString(const std::string &key,
+    std::string getString(std::string_view key,
                           const std::string &dflt = "") const;
-    std::int64_t getInt(const std::string &key, std::int64_t dflt = 0) const;
-    double getDouble(const std::string &key, double dflt = 0.0) const;
-    bool getBool(const std::string &key, bool dflt = false) const;
+    std::int64_t getInt(std::string_view key, std::int64_t dflt = 0) const;
+    double getDouble(std::string_view key, double dflt = 0.0) const;
+    bool getBool(std::string_view key, bool dflt = false) const;
 
     /**
      * Navigate a dotted path ("a.b.c") through nested objects.
      * @return pointer to the value, or nullptr when any hop is missing.
      */
-    const Json *find(const std::string &dotted_path) const;
+    const Json *find(std::string_view dotted_path) const;
 
     /** Deep structural equality (Int 3 == Double 3.0 compares equal). */
     bool operator==(const Json &other) const;
@@ -130,24 +296,58 @@ class Json
     /**
      * Serialize. @p indent <= 0 produces compact one-line output;
      * positive values pretty-print with that many spaces per level.
+     *
+     * Byte-stability guarantee: for any given document the output is a
+     * pure function of its value — sorted keys, std::to_chars integer
+     * digits, %.17g-equivalent doubles — and is byte-identical to every
+     * previous release's serializer. WAL files, run-cache inputHash
+     * keys, and blob content addresses depend on this (the golden-
+     * corpus test pins it).
      */
     std::string dump(int indent = -1) const;
 
+    /** Serialize, appending to @p out (no intermediate string). */
+    void dumpTo(std::string &out, int indent = -1) const;
+
+    /** Serialize into a sink, e.g. a hasher, in buffered chunks. */
+    void dumpTo(JsonSink &sink, int indent = -1) const;
+
     /** Parse JSON text; throws JsonError with offset info on bad input. */
-    static Json parse(const std::string &text);
+    static Json parse(std::string_view text);
 
   private:
-    void dumpTo(std::string &out, int indent, int depth) const;
+    union Payload {
+        bool b;
+        std::int64_t i;
+        double d;
+        std::string s;
+        ArrayT a;
+        ObjectT o;
+
+        // Lifetime is managed by Json (construct/destroy per tag).
+        Payload() {}
+        ~Payload() {}
+    };
+
+    void destroy();
+    void copyFrom(const Json &other);
+    void moveFrom(Json &&other) noexcept;
+
+    template <typename UInt>
+    void
+    constructUnsigned(UInt v)
+    {
+        if (v <= UInt(std::int64_t(0x7fffffffffffffffLL))) {
+            ty = Type::Int;
+            pay.i = std::int64_t(v);
+        } else {
+            ty = Type::Double;
+            pay.d = double(v);
+        }
+    }
 
     Type ty;
-    union {
-        bool boolVal;
-        std::int64_t intVal;
-        double dblVal;
-    };
-    std::string strVal;
-    ArrayT arrVal;
-    ObjectT objVal;
+    Payload pay;
 };
 
 } // namespace g5

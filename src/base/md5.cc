@@ -3,6 +3,7 @@
 #include <cstring>
 #include <fstream>
 
+#include "base/json.hh"
 #include "base/logging.hh"
 #include "base/str.hh"
 
@@ -166,6 +167,23 @@ std::string
 Md5::hashString(const std::string &s)
 {
     return hashBytes(s.data(), s.size());
+}
+
+void
+Md5Stream::update(const Json &j)
+{
+    struct HashSink : JsonSink
+    {
+        Md5 &h;
+        explicit HashSink(Md5 &hasher) : h(hasher) {}
+        void
+        write(const char *data, std::size_t len) override
+        {
+            h.update(data, len);
+        }
+    };
+    HashSink sink(hasher);
+    j.dumpTo(sink);
 }
 
 std::string

@@ -19,6 +19,8 @@
 namespace g5
 {
 
+class Json;
+
 /** Incremental MD5 hasher. */
 class Md5
 {
@@ -74,6 +76,14 @@ class Md5Stream
 
     /** Absorb a string's bytes. */
     void update(const std::string &s) { hasher.update(s); }
+
+    /**
+     * Absorb a document's compact serialization without materializing
+     * the text: the serializer streams its buffered chunks straight
+     * into the hasher. The digest equals
+     * Md5::hashString(j.dump()) by the byte-stability guarantee.
+     */
+    void update(const Json &j);
 
     /** Finalize: @return the 32-char lowercase hex digest. */
     std::string final() { return hasher.hexDigest(); }

@@ -17,10 +17,17 @@ namespace
 std::string
 formatUuid(const std::uint8_t bytes[16])
 {
-    std::string hex = toHex(bytes, 16);
-    return hex.substr(0, 8) + "-" + hex.substr(8, 4) + "-" +
-           hex.substr(12, 4) + "-" + hex.substr(16, 4) + "-" +
-           hex.substr(20, 12);
+    // Single pass, one allocation (ids are minted per insert).
+    static const char hexd[] = "0123456789abcdef";
+    std::string out(36, '-');
+    int pos = 0;
+    for (int i = 0; i < 16; ++i) {
+        if (pos == 8 || pos == 13 || pos == 18 || pos == 23)
+            ++pos;
+        out[std::size_t(pos++)] = hexd[bytes[i] >> 4];
+        out[std::size_t(pos++)] = hexd[bytes[i] & 0xf];
+    }
+    return out;
 }
 
 void

@@ -29,7 +29,7 @@ canonicalize(const Json &value, std::string &out)
             out += std::to_string(i);
             return;
         }
-        out += Json(d).dump();
+        Json(d).dumpTo(out);
         return;
     }
     if (value.isArray()) {
@@ -51,14 +51,14 @@ canonicalize(const Json &value, std::string &out)
             if (!first)
                 out += ',';
             first = false;
-            out += Json(kv.first).dump();
+            Json(kv.first).dumpTo(out);
             out += ':';
             canonicalize(kv.second, out);
         }
         out += '}';
         return;
     }
-    out += value.dump();
+    value.dumpTo(out);
 }
 
 } // anonymous namespace
@@ -93,6 +93,12 @@ Collection::indexDoc(const Json &doc, const std::string &id)
         const Json *v = doc.find(entry.first);
         if (!v)
             continue; // sparse
+        if (!v->isArray()) {
+            // Scalar values (the overwhelmingly common case) have
+            // exactly one key; skip the multikey vector entirely.
+            entry.second.buckets[indexKey(*v)].push_back(id);
+            continue;
+        }
         for (const auto &key : indexKeysFor(*v))
             entry.second.buckets[key].push_back(id);
     }
@@ -101,19 +107,26 @@ Collection::indexDoc(const Json &doc, const std::string &id)
 void
 Collection::unindexDoc(const Json &doc, const std::string &id)
 {
+    auto removeKey = [](FieldIndex &fi, const std::string &key,
+                            const std::string &id_) {
+        auto it = fi.buckets.find(key);
+        if (it == fi.buckets.end())
+            return;
+        auto &ids = it->second;
+        ids.erase(std::remove(ids.begin(), ids.end(), id_), ids.end());
+        if (ids.empty())
+            fi.buckets.erase(it);
+    };
     for (auto &entry : indexes) {
         const Json *v = doc.find(entry.first);
         if (!v)
             continue;
-        for (const auto &key : indexKeysFor(*v)) {
-            auto it = entry.second.buckets.find(key);
-            if (it == entry.second.buckets.end())
-                continue;
-            auto &ids = it->second;
-            ids.erase(std::remove(ids.begin(), ids.end(), id), ids.end());
-            if (ids.empty())
-                entry.second.buckets.erase(it);
+        if (!v->isArray()) {
+            removeKey(entry.second, indexKey(*v), id);
+            continue;
         }
+        for (const auto &key : indexKeysFor(*v))
+            removeKey(entry.second, key, id);
     }
 }
 
@@ -165,8 +178,10 @@ Collection::logInsert(const Json &doc)
 {
     if (!oplogEnabled)
         return;
+    // Serialize straight into the append buffer: WAL records never
+    // exist as a separate intermediate string.
     oplog += "{\"op\":\"i\",\"doc\":";
-    oplog += doc.dump();
+    doc.dumpTo(oplog);
     oplog += "}\n";
 }
 
@@ -176,7 +191,7 @@ Collection::logUpdate(const Json &doc)
     if (!oplogEnabled)
         return;
     oplog += "{\"op\":\"u\",\"doc\":";
-    oplog += doc.dump();
+    doc.dumpTo(oplog);
     oplog += "}\n";
 }
 
@@ -191,7 +206,7 @@ Collection::logDelete(const std::vector<std::string> &ids)
     for (const auto &id : ids)
         arr.push(id);
     rec["ids"] = std::move(arr);
-    oplog += rec.dump();
+    rec.dumpTo(oplog);
     oplog += '\n';
 }
 
@@ -277,13 +292,18 @@ Collection::find(const Json &query) const
     std::vector<Json> out;
     std::vector<std::size_t> cand;
     if (planCandidates(query, cand)) {
+        // Indexed probes yield a handful of candidates; interpreting
+        // the query directly beats paying compilation for so few docs.
         for (std::size_t pos : cand)
-            if (matches(docs[pos], query))
+            if (db::matches(docs[pos], query))
                 out.push_back(docs[pos]);
         return out;
     }
+    // Full scan: compile once so every dotted path in the query is
+    // split here, not once per scanned document.
+    CompiledQuery cq(query);
     for (const auto &doc : docs)
-        if (matches(doc, query))
+        if (cq.matches(doc))
             out.push_back(doc);
     return out;
 }
@@ -294,12 +314,13 @@ Collection::findFirstPos(const Json &query) const
     std::vector<std::size_t> cand;
     if (planCandidates(query, cand)) {
         for (std::size_t pos : cand)
-            if (matches(docs[pos], query))
+            if (db::matches(docs[pos], query))
                 return pos;
         return npos;
     }
+    CompiledQuery cq(query);
     for (std::size_t pos = 0; pos < docs.size(); ++pos)
-        if (matches(docs[pos], query))
+        if (cq.matches(docs[pos]))
             return pos;
     return npos;
 }
@@ -330,12 +351,13 @@ Collection::count(const Json &query) const
     std::vector<std::size_t> cand;
     if (planCandidates(query, cand)) {
         for (std::size_t pos : cand)
-            if (matches(docs[pos], query))
+            if (db::matches(docs[pos], query))
                 ++n;
         return n;
     }
+    CompiledQuery cq(query);
     for (const auto &doc : docs)
-        if (matches(doc, query))
+        if (cq.matches(doc))
             ++n;
     return n;
 }
@@ -430,10 +452,11 @@ Collection::deleteMany(const Json &query)
     // index incrementally; survivors only have their position refreshed.
     std::size_t write = 0;
     std::vector<std::string> removedIds;
+    CompiledQuery cq(query);
     for (std::size_t read = 0; read < docs.size(); ++read) {
         Json &doc = docs[read];
         const std::string id = doc.getString("_id");
-        if (matches(doc, query)) {
+        if (cq.matches(doc)) {
             unindexDoc(doc, id);
             byId.erase(id);
             removedIds.push_back(id);
@@ -523,7 +546,7 @@ Collection::toJsonl() const
     std::shared_lock<std::shared_mutex> lock(mtx);
     std::string out;
     for (const auto &doc : docs) {
-        out += doc.dump();
+        doc.dumpTo(out);
         out += '\n';
     }
     return out;
@@ -639,7 +662,7 @@ Collection::snapshotJsonl()
     std::unique_lock<std::shared_mutex> lock(mtx);
     std::string out;
     for (const auto &doc : docs) {
-        out += doc.dump();
+        doc.dumpTo(out);
         out += '\n';
     }
     oplog.clear();

@@ -44,17 +44,6 @@ writeFileOrDie(const std::string &path, const std::string &bytes)
         fatal("database: short write to '" + path + "'");
 }
 
-void
-appendFileOrDie(const std::string &path, const std::string &bytes)
-{
-    std::ofstream out(path, std::ios::binary | std::ios::app);
-    if (!out)
-        fatal("database: cannot append to '" + path + "'");
-    out.write(bytes.data(), std::streamsize(bytes.size()));
-    if (!out)
-        fatal("database: short append to '" + path + "'");
-}
-
 /** Write @p bytes then atomically rename into place. */
 void
 writeFileAtomic(const fs::path &target, const std::string &bytes,
@@ -379,14 +368,22 @@ Database::compactCollection(const std::string &name, Collection &coll)
     // (G5_FAULT=db.compact.snapshot): the WAL is still intact, so
     // recovery replays it over the previous snapshot.
     fault::checkpoint("db.compact.snapshot");
+    // The WAL file is about to be removed; release our append stream
+    // first so buffered bytes land and the handle doesn't go stale.
+    WalState &ws = walStates[name];
+    if (ws.stream.is_open())
+        ws.stream.close();
     // snapshotJsonl atomically serializes the documents AND discards
     // pending records, so nothing is lost or double-applied; the WAL is
     // removed only after the snapshot rename, and replay is idempotent,
     // so a crash between the two is safe.
-    writeFileAtomic(dir / (name + ".jsonl"), coll.snapshotJsonl(),
-                    uniqueTmpTag());
+    std::string snapshot = coll.snapshotJsonl();
+    writeFileAtomic(dir / (name + ".jsonl"), snapshot, uniqueTmpTag());
     std::error_code ec;
     fs::remove(dir / (name + ".wal"), ec);
+    ws.walSize = 0;
+    ws.snapSize = snapshot.size();
+    ws.sized = true;
 }
 
 void
@@ -415,12 +412,29 @@ Database::save()
         if (ops.empty())
             continue;
         fs::path wal = dir / (name + ".wal");
-        appendFileOrDie(wal.string(), ops);
+        WalState &ws = walStates[name];
+        if (!ws.sized) {
+            ws.walSize = fileSizeOrZero(wal);
+            ws.snapSize = fileSizeOrZero(dir / (name + ".jsonl"));
+            ws.sized = true;
+        }
+        // Append through a stream held open across saves: one
+        // write+flush per save instead of open/write/close, and the
+        // compaction check runs off cached sizes instead of stat(2).
+        if (!ws.stream.is_open()) {
+            ws.stream.open(wal, std::ios::binary | std::ios::app);
+            if (!ws.stream)
+                fatal("database: cannot append to '" + wal.string() +
+                      "'");
+        }
+        ws.stream.write(ops.data(), std::streamsize(ops.size()));
+        ws.stream.flush();
+        if (!ws.stream)
+            fatal("database: short append to '" + wal.string() + "'");
+        ws.walSize += ops.size();
 
-        std::size_t wal_size = fileSizeOrZero(wal);
-        std::size_t snap_size = fileSizeOrZero(dir / (name + ".jsonl"));
-        if (wal_size > walCompactMinBytes &&
-            double(wal_size) > walCompactRatio * double(snap_size)) {
+        if (ws.walSize > walCompactMinBytes &&
+            double(ws.walSize) > walCompactRatio * double(ws.snapSize)) {
             compactCollection(name, *coll);
         }
     }

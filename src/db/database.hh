@@ -33,6 +33,7 @@
 #ifndef G5_DB_DATABASE_HH
 #define G5_DB_DATABASE_HH
 
+#include <fstream>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -151,6 +152,20 @@ class Database
     /** Write a fresh snapshot and drop the WAL. saveMtx held. */
     void compactCollection(const std::string &name, Collection &coll);
 
+    /**
+     * Per-collection persistence state, guarded by saveMtx: a WAL
+     * append stream kept open across save() calls (one write+flush per
+     * save instead of open/write/close) and cached WAL/snapshot sizes
+     * so the compaction check never stats the filesystem.
+     */
+    struct WalState
+    {
+        std::ofstream stream;
+        std::size_t walSize = 0;
+        std::size_t snapSize = 0;
+        bool sized = false; // sizes initialized from disk
+    };
+
     std::string rootDir;
     std::map<std::string, std::unique_ptr<Collection>> collections;
     std::map<std::string, std::string> memBlobs; // in-memory mode only
@@ -161,6 +176,8 @@ class Database
     mutable std::mutex blobMtx;
     /** Serializes save()/compact() so WAL appends never interleave. */
     mutable std::mutex saveMtx;
+    /** WAL streams + cached sizes, keyed by collection. saveMtx held. */
+    std::map<std::string, WalState> walStates;
 
     std::size_t walCompactMinBytes = 64 * 1024;
     double walCompactRatio = 1.0;

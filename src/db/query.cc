@@ -101,6 +101,22 @@ matchOperators(const Json *field, const Json &ops)
     return true;
 }
 
+/** Literal equality, with Mongo's array-contains semantics. */
+bool
+matchLiteral(const Json *field, const Json &cond)
+{
+    if (!field)
+        return false;
+    if (*field == cond)
+        return true;
+    if (field->isArray()) {
+        for (const auto &elem : field->asArray())
+            if (elem == cond)
+                return true;
+    }
+    return false;
+}
+
 } // anonymous namespace
 
 bool
@@ -165,24 +181,72 @@ matches(const Json &doc, const Json &query)
         } else {
             // Literal equality. An array field also matches when it
             // contains the literal (Mongo semantics).
-            if (!field)
+            if (!matchLiteral(field, cond))
                 return false;
-            if (*field == cond)
-                continue;
-            if (field->isArray()) {
-                bool found = false;
-                for (const auto &elem : field->asArray()) {
-                    if (elem == cond) {
-                        found = true;
-                        break;
-                    }
-                }
-                if (found)
-                    continue;
-            }
-            return false;
         }
     }
+    return true;
+}
+
+CompiledQuery::CompiledQuery(const Json &query)
+{
+    if (!query.isObject())
+        fatal("query: query must be a JSON object");
+
+    for (const auto &kv : query.asObject()) {
+        const std::string &key = kv.first;
+        const Json &cond = kv.second;
+
+        if (key == "$and") {
+            for (const auto &sub : cond.asArray())
+                andSubs.emplace_back(sub);
+            continue;
+        }
+        if (key == "$or") {
+            hasOr = true;
+            for (const auto &sub : cond.asArray())
+                orSubs.emplace_back(sub);
+            continue;
+        }
+        if (key == "$not") {
+            notSubs.emplace_back(cond);
+            continue;
+        }
+
+        fields.push_back({JsonPath(key), &cond, isOperatorObject(cond)});
+    }
+}
+
+bool
+CompiledQuery::matches(const Json &doc) const
+{
+    for (const auto &fc : fields) {
+        const Json *field = fc.path.resolve(doc);
+        if (fc.isOp) {
+            if (!matchOperators(field, *fc.cond))
+                return false;
+        } else {
+            if (!matchLiteral(field, *fc.cond))
+                return false;
+        }
+    }
+    for (const auto &sub : andSubs)
+        if (!sub.matches(doc))
+            return false;
+    if (hasOr) {
+        bool any = false;
+        for (const auto &sub : orSubs) {
+            if (sub.matches(doc)) {
+                any = true;
+                break;
+            }
+        }
+        if (!any)
+            return false;
+    }
+    for (const auto &sub : notSubs)
+        if (sub.matches(doc))
+            return false;
     return true;
 }
 

@@ -17,6 +17,8 @@
 #ifndef G5_DB_QUERY_HH
 #define G5_DB_QUERY_HH
 
+#include <vector>
+
 #include "base/json.hh"
 
 namespace g5::db
@@ -24,6 +26,40 @@ namespace g5::db
 
 /** @return true when @p doc satisfies @p query. */
 bool matches(const Json &doc, const Json &query);
+
+/**
+ * A query pre-compiled for repeated evaluation: every dotted field path
+ * is split into a JsonPath once at construction, so scanning a
+ * collection resolves each path with binary searches only — no per-
+ * document string splitting or allocation. Collection::find/count/
+ * deleteMany compile the query once per call and evaluate it against
+ * every candidate document.
+ *
+ * The compiled form borrows operand values from the source query; the
+ * query Json must outlive the CompiledQuery.
+ */
+class CompiledQuery
+{
+  public:
+    explicit CompiledQuery(const Json &query);
+
+    /** @return true when @p doc satisfies the compiled query. */
+    bool matches(const Json &doc) const;
+
+  private:
+    struct FieldCond
+    {
+        JsonPath path;
+        const Json *cond;   // borrowed from the source query
+        bool isOp;          // operator object vs literal equality
+    };
+
+    std::vector<FieldCond> fields;
+    std::vector<CompiledQuery> andSubs; // $and clauses
+    std::vector<CompiledQuery> orSubs;  // $or clauses
+    std::vector<CompiledQuery> notSubs; // $not clauses
+    bool hasOr = false; // {"$or": []} matches nothing, not everything
+};
 
 /** @return true when @p v is an operator object ({"$gt": 3, ...}). */
 bool isOperatorObject(const Json &v);

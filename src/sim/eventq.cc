@@ -1,7 +1,5 @@
 #include "sim/eventq.hh"
 
-#include <algorithm>
-
 #include "base/logging.hh"
 #include "scheduler/task_queue.hh"
 
@@ -25,15 +23,17 @@ EventQueue::schedule(Tick when, std::function<void()> fn, int priority)
 void
 EventQueue::deschedule(std::uint64_t event_id)
 {
-    cancelled.push_back(event_id);
-    if (liveEvents > 0)
+    // O(1) tombstone insert; the guard keeps a double-deschedule of the
+    // same id from draining liveEvents twice (which made empty() lie).
+    if (cancelled.insert(event_id).second && liveEvents > 0)
         --liveEvents;
 }
 
 bool
 EventQueue::isCancelled(std::uint64_t seq)
 {
-    auto it = std::find(cancelled.begin(), cancelled.end(), seq);
+    // O(1) probe on the pop path (was a linear std::find per event).
+    auto it = cancelled.find(seq);
     if (it == cancelled.end())
         return false;
     cancelled.erase(it);

@@ -16,6 +16,7 @@
 #include <functional>
 #include <queue>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "base/types.hh"
@@ -109,7 +110,8 @@ class EventQueue
     static constexpr std::uint64_t pollInterval = 4096;
 
     std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> pq;
-    std::vector<std::uint64_t> cancelled; // sorted-on-demand id list
+    /** Tombstoned event ids; entries are dropped lazily at pop time. */
+    std::unordered_set<std::uint64_t> cancelled;
     Tick now = 0;
     std::uint64_t nextSeq = 0;
     std::uint64_t eventsRun = 0;

@@ -1,0 +1,367 @@
+/**
+ * @file
+ * Golden-corpus byte-identity tests for the Json serializer.
+ *
+ * The db layer's WAL files, the run cache's inputHash keys, and the
+ * blob store's content addresses are all MD5s of dump() output, so the
+ * serializer's bytes are an on-disk format: any change silently
+ * invalidates every previously persisted database. These goldens were
+ * captured from the original std::map-based serializer and pin the
+ * compact tagged-union implementation to the same bytes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+#include <random>
+
+#include "base/json.hh"
+#include "base/md5.hh"
+
+using g5::Json;
+using g5::Md5;
+using g5::Md5Stream;
+
+namespace
+{
+
+struct Golden
+{
+    const char *tag;
+    const char *compact;     // exact dump() bytes
+    const char *compactMd5;  // MD5 of the compact form
+    std::size_t prettyLen;   // dump(2) length
+    const char *prettyMd5;   // MD5 of the pretty form
+};
+
+// Captured from the pre-refactor serializer (see file comment).
+const Golden goldens[] = {
+    {
+        "artifact",
+        "{\"_id\":\"9a3c5b1e-0000-4a4a-8888-5bb1c2d3e4f5\","
+        "\"command\":\"scons build/X86/gem5.opt -j8\","
+        "\"cwd\":\"/projects/boot-tests\","
+        "\"documentation\":\"default gem5 binary\","
+        "\"git\":{\"hash\":\"4e8b0c2e05b16a6a45b1b5b0b1558a0b17b0c144\","
+        "\"origin\":\"https://gem5.googlesource.com/public/gem5\"},"
+        "\"hash\":\"0bd0c9d05a5910fd6ba87f4bd1f90915\","
+        "\"name\":\"gem5\",\"path\":\"gem5/build/X86/gem5.opt\","
+        "\"type\":\"gem5 binary\"}",
+        "efe761bb60e1e24a50e520f236a84e96",
+        427,
+        "abb265d8e5582cb34cb9c349c6d73d47",
+    },
+    {
+        "run",
+        "{\"_id\":\"11112222-3333-4444-5555-666677778888\","
+        "\"artifacts\":{\"diskImage\":\"aaff00112233445566778899aabbccdd\","
+        "\"gem5\":\"0bd0c9d05a5910fd6ba87f4bd1f90915\"},"
+        "\"big\":123456789.12345679,"
+        "\"denorm\":4.9406564584124654e-324,"
+        "\"hostSeconds\":0.10000000000000001,"
+        "\"huge\":1.7976931348623157e+308,"
+        "\"name\":\"boot-exit-kvm-1\",\"neg\":-2.5,"
+        "\"outcome\":\"success\","
+        "\"params\":{\"boot_type\":\"systemd\",\"cpu\":\"kvm\","
+        "\"max_ticks\":2000000000000,\"num_cpus\":4},"
+        "\"sci\":6.02e+23,\"simTicks\":1944167201000,"
+        "\"speedup\":0.33333333333333331,\"status\":\"SUCCESS\","
+        "\"tiny\":1e-10,\"type\":\"gem5 run fs\","
+        "\"wallSeconds\":13.702183902823,\"whole\":4.0}",
+        "180ab4c9518ba0760c7514440f0be07f",
+        692,
+        "0cf99ea7ed787e1eb09f8090f4f0cbc4",
+    },
+    {
+        "wal-insert",
+        "{\"doc\":{\"_id\":\"r-1\","
+        "\"inputHash\":\"00112233445566778899aabbccddeeff\","
+        "\"status\":\"PENDING\"},\"op\":\"i\"}",
+        "d8dd08e96f17db204431e4319b436bd4",
+        126,
+        "4659d7cc8b607731cc151de0960c45ae",
+    },
+    {
+        "wal-delete",
+        "{\"ids\":[\"r-1\",\"r-2\"],\"op\":\"d\"}",
+        "adf16a163cccc2fe64200239e2e014e9",
+        52,
+        "6d133d2358ee4de3696b02447c3b67ae",
+    },
+    {
+        "stats",
+        "{\"cpu\":{\"committedInsts\":357892144.0,\"idleTicks\":0.0,"
+        "\"ipc\":0.36817012857741865,\"numCycles\":972083600.0},"
+        "\"mem\":{\"avgLatency\":54.321987654320999,"
+        "\"bytesRead\":2863311530.0},"
+        "\"sim_ticks\":1944167201000.0}",
+        "e7fbdd06360cd159d35747e86688a00a",
+        252,
+        "409a689524dc62284842500b49109a5a",
+    },
+    {
+        "strings",
+        "[\"plain\",\"quote\\\" backslash\\\\ slash/\","
+        "\"ctl\\u0001\\u0002\\u001f end\","
+        "\"tab\\t nl\\n cr\\r bs\\b ff\\f\","
+        "\"caf\xc3\xa9 \xe2\x82\xac\",\"\"]",
+        "56694f9702b28500a9772f13405dcc2f",
+        128,
+        "9749308f3932fada2b47a4e12a01b074",
+    },
+    {
+        "edge",
+        "{\"deep\":[[],0,-9223372036854775808,9223372036854775807],"
+        "\"emptyArr\":[],\"emptyObj\":{},\"f\":false,"
+        "\"nested\":{\"a\":{\"b\":{\"c\":1}}},\"nullv\":null,\"t\":true}",
+        "c16239a58052faaea237591884f7c16c",
+        236,
+        "1317ef54caad1a3bbf82b2977e2258bb",
+    },
+};
+
+/** Build the same documents the goldens were captured from. */
+Json
+buildArtifact()
+{
+    Json art = Json::object();
+    art["_id"] = "9a3c5b1e-0000-4a4a-8888-5bb1c2d3e4f5";
+    art["type"] = "gem5 binary";
+    art["name"] = "gem5";
+    art["documentation"] = "default gem5 binary";
+    art["command"] = "scons build/X86/gem5.opt -j8";
+    art["path"] = "gem5/build/X86/gem5.opt";
+    art["hash"] = "0bd0c9d05a5910fd6ba87f4bd1f90915";
+    art["git"] = Json::object({
+        {"origin", Json("https://gem5.googlesource.com/public/gem5")},
+        {"hash", Json("4e8b0c2e05b16a6a45b1b5b0b1558a0b17b0c144")},
+    });
+    art["cwd"] = "/projects/boot-tests";
+    return art;
+}
+
+Json
+buildRun()
+{
+    Json run = Json::object();
+    run["_id"] = "11112222-3333-4444-5555-666677778888";
+    run["type"] = "gem5 run fs";
+    run["name"] = "boot-exit-kvm-1";
+    run["artifacts"] = Json::object({
+        {"gem5", Json("0bd0c9d05a5910fd6ba87f4bd1f90915")},
+        {"diskImage", Json("aaff00112233445566778899aabbccdd")},
+    });
+    run["params"] = Json::object({
+        {"cpu", Json("kvm")},
+        {"num_cpus", Json(4)},
+        {"boot_type", Json("systemd")},
+        {"max_ticks", Json(std::int64_t(2'000'000'000'000))},
+    });
+    run["status"] = "SUCCESS";
+    run["outcome"] = "success";
+    run["simTicks"] = std::int64_t(1'944'167'201'000);
+    run["wallSeconds"] = 13.702183902823;
+    run["hostSeconds"] = 0.1;
+    run["speedup"] = 1.0 / 3.0;
+    run["tiny"] = 1e-10;
+    run["big"] = 123456789.123456789;
+    run["neg"] = -2.5;
+    run["whole"] = 4.0;
+    run["sci"] = 6.02e23;
+    run["denorm"] = 5e-324;
+    run["huge"] = 1.7976931348623157e308;
+    return run;
+}
+
+} // anonymous namespace
+
+TEST(JsonGolden, ConstructedDocsMatchGoldenBytes)
+{
+    EXPECT_EQ(buildArtifact().dump(), goldens[0].compact);
+    EXPECT_EQ(buildRun().dump(), goldens[1].compact);
+}
+
+TEST(JsonGolden, ParseDumpIsByteIdentical)
+{
+    // parse() of golden text must reproduce the exact bytes: proves the
+    // serializer is stable across a load/store cycle (what WAL replay
+    // plus snapshotting does on every database open).
+    for (const auto &g : goldens) {
+        SCOPED_TRACE(g.tag);
+        Json doc = Json::parse(g.compact);
+        std::string compact = doc.dump();
+        EXPECT_EQ(compact, g.compact);
+        EXPECT_EQ(Md5::hashString(compact), g.compactMd5);
+        std::string pretty = doc.dump(2);
+        EXPECT_EQ(pretty.size(), g.prettyLen);
+        EXPECT_EQ(Md5::hashString(pretty), g.prettyMd5);
+    }
+}
+
+TEST(JsonGolden, NonfiniteDoublesSerializeAsNull)
+{
+    Json nf = Json::array();
+    nf.push(0.0 / 1.0);
+    nf.push(std::numeric_limits<double>::infinity());
+    nf.push(-std::numeric_limits<double>::infinity());
+    nf.push(std::numeric_limits<double>::quiet_NaN());
+    std::string compact = nf.dump();
+    EXPECT_EQ(compact, "[0.0,null,null,null]");
+    EXPECT_EQ(Md5::hashString(compact), "133c03ac41d4427bb530f6d7330dee12");
+    std::string pretty = nf.dump(2);
+    EXPECT_EQ(pretty.size(), 33u);
+    EXPECT_EQ(Md5::hashString(pretty), "362efc54394526c263df198465e9a0f4");
+}
+
+TEST(JsonGolden, SinkDumpMatchesStringDump)
+{
+    struct CollectSink : g5::JsonSink
+    {
+        std::string out;
+        void
+        write(const char *data, std::size_t len) override
+        {
+            out.append(data, len);
+        }
+    };
+    for (const auto &g : goldens) {
+        SCOPED_TRACE(g.tag);
+        Json doc = Json::parse(g.compact);
+        CollectSink sink;
+        doc.dumpTo(sink);
+        EXPECT_EQ(sink.out, g.compact);
+    }
+}
+
+TEST(JsonGolden, StreamedHashMatchesHashOfDump)
+{
+    // Md5Stream::update(Json) must produce the digest of dump() —
+    // Gem5Run::inputHash (run-cache keys) relies on the equivalence.
+    for (const auto &g : goldens) {
+        SCOPED_TRACE(g.tag);
+        Json doc = Json::parse(g.compact);
+        Md5Stream h;
+        h.update(doc);
+        EXPECT_EQ(h.final(), g.compactMd5);
+    }
+}
+
+TEST(JsonGolden, DoubleFormattingMatchesPrintf17g)
+{
+    // The serializer commits to %.17g-equivalent formatting;
+    // std::to_chars(general, 17) is specified to match. Verify over a
+    // deterministic sweep of magnitudes, signs, and bit patterns.
+    std::mt19937_64 rng(0x5eed5eedULL);
+    std::vector<double> cases = {
+        0.0, -0.0, 1.0, -1.0, 0.5, 1.0 / 3.0, 2.5, 1e-10, 1e10,
+        6.02e23, 5e-324, std::numeric_limits<double>::max(),
+        std::numeric_limits<double>::min(), 123456789.123456789,
+        9007199254740993.0, 1e308, 1e-308,
+    };
+    for (int i = 0; i < 2000; ++i) {
+        std::uint64_t bits = rng();
+        double d;
+        std::memcpy(&d, &bits, sizeof(d));
+        if (std::isnan(d) || std::isinf(d))
+            continue;
+        cases.push_back(d);
+    }
+    for (double d : cases) {
+        char want[64];
+        std::snprintf(want, sizeof(want), "%.17g", d);
+        std::string got = Json(d).dump();
+        // dump() appends ".0" when the %.17g form has no '.'/'e'.
+        std::string expect(want);
+        if (expect.find('.') == std::string::npos &&
+            expect.find('e') == std::string::npos &&
+            expect.find('E') == std::string::npos) {
+            expect += ".0";
+        }
+        EXPECT_EQ(got, expect) << "double bits mismatch for " << d;
+    }
+}
+
+TEST(JsonGolden, DumpParseDumpIsIdempotent)
+{
+    // Randomized: any document that has been through one dump/parse
+    // cycle must dump to the same bytes forever after.
+    std::mt19937_64 rng(1234);
+    auto randScalar = [&]() -> Json {
+        switch (rng() % 5) {
+          case 0:
+            return Json(std::int64_t(rng()));
+          case 1: {
+            double d;
+            std::uint64_t bits = rng();
+            std::memcpy(&d, &bits, sizeof(d));
+            if (std::isnan(d) || std::isinf(d))
+                d = 0.25;
+            return Json(d);
+          }
+          case 2:
+            return Json("s" + std::to_string(rng() % 1000));
+          case 3:
+            return Json(bool(rng() & 1));
+          default:
+            return Json();
+        }
+    };
+    for (int doc_i = 0; doc_i < 200; ++doc_i) {
+        Json doc = Json::object();
+        int fields = 1 + int(rng() % 8);
+        for (int f = 0; f < fields; ++f) {
+            std::string key = "k" + std::to_string(rng() % 20);
+            if (rng() % 4 == 0) {
+                Json arr = Json::array();
+                int n = int(rng() % 4);
+                for (int e = 0; e < n; ++e)
+                    arr.push(randScalar());
+                doc[key] = std::move(arr);
+            } else {
+                doc[key] = randScalar();
+            }
+        }
+        std::string once = doc.dump();
+        Json reparsed = Json::parse(once);
+        EXPECT_EQ(reparsed.dump(), once);
+        EXPECT_EQ(reparsed, doc);
+    }
+}
+
+TEST(JsonGolden, Uint64AboveInt64MaxDoesNotWrapNegative)
+{
+    // Regression: Json(uint64 > INT64_MAX) used to wrap into a negative
+    // Int, silently corrupting tick counts near maxTick. It now
+    // degrades to Double (matching the parser's overflow behaviour).
+    std::uint64_t big = 0xffffffffffffffffULL; // maxTick
+    Json j(big);
+    EXPECT_TRUE(j.isDouble());
+    EXPECT_GT(j.asDouble(), 0.0);
+    EXPECT_DOUBLE_EQ(j.asDouble(), 1.8446744073709552e19);
+
+    Json j2(std::uint64_t(1) << 63);
+    EXPECT_TRUE(j2.isDouble());
+    EXPECT_GT(j2.asDouble(), 0.0);
+
+    // At or below INT64_MAX stays an exact Int.
+    Json j3(std::uint64_t(0x7fffffffffffffffULL));
+    EXPECT_TRUE(j3.isInt());
+    EXPECT_EQ(j3.asInt(), std::int64_t(0x7fffffffffffffffLL));
+    Json j4(std::uint64_t(42));
+    EXPECT_TRUE(j4.isInt());
+    EXPECT_EQ(j4.asInt(), 42);
+
+    // The serialized form is positive either way.
+    EXPECT_EQ(Json(big).dump().find('-'), std::string::npos);
+}
+
+TEST(JsonGolden, CompactNodeFootprint)
+{
+    // The tentpole: a node is a tag plus a payload union, not a struct
+    // of every representation. Keep it honest with a static bound.
+    static_assert(sizeof(Json) <= 40, "Json node grew past 40 bytes");
+    EXPECT_LE(sizeof(Json), 40u);
+}
