@@ -20,6 +20,7 @@
 #include "base/json.hh"
 #include "base/logging.hh"
 #include "base/md5.hh"
+#include "base/tracing.hh"
 #include "bench/bench_common.hh"
 #include "db/collection.hh"
 #include "db/database.hh"
@@ -27,6 +28,7 @@
 #include "scheduler/task_queue.hh"
 #include "sim/eventq.hh"
 #include "sim/fs/fs_system.hh"
+#include "sim/trace.hh"
 
 using namespace g5;
 
@@ -148,6 +150,41 @@ BM_JsonDump(benchmark::State &state)
 }
 
 BENCHMARK(BM_JsonDump)->Unit(benchmark::kMicrosecond);
+
+/**
+ * The disabled trace path: guards the "observability is free when off"
+ * contract — a DTRACE with no flags enabled must stay a single atomic
+ * load (a few ns/op) and never allocate or format.
+ */
+void
+BM_TraceDisabledOverhead(benchmark::State &state)
+{
+    sim::trace::disable("All");
+    std::uint64_t probes = 0;
+    for (auto _ : state) {
+        for (int i = 0; i < 1024; ++i) {
+            DTRACE("Syscall", Tick(i), "tid %d syscall %d", i, i);
+            ++probes;
+        }
+    }
+    benchmark::DoNotOptimize(probes);
+    state.SetItemsProcessed(std::int64_t(state.iterations()) * 1024);
+}
+
+BENCHMARK(BM_TraceDisabledOverhead)->Unit(benchmark::kMicrosecond);
+
+/** The disabled span recorder: one relaxed load per scope. */
+void
+BM_TracingDisabledSpan(benchmark::State &state)
+{
+    for (auto _ : state) {
+        for (int i = 0; i < 1024; ++i)
+            tracing::Span span("never-recorded");
+    }
+    state.SetItemsProcessed(std::int64_t(state.iterations()) * 1024);
+}
+
+BENCHMARK(BM_TracingDisabledSpan)->Unit(benchmark::kMicrosecond);
 
 /** Parse the run-doc corpus (the WAL-replay / snapshot-load path). */
 void

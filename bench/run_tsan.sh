@@ -1,8 +1,10 @@
 #!/bin/sh
 # Build the tree with ThreadSanitizer (-DG5_SANITIZE=thread) and run the
 # concurrency-sensitive tests: the sharded database core, the WAL
-# persistence paths, the scheduler's task pool, and the failure paths —
-# retry/backoff, watchdog escalation, bounded shutdown, fault injection.
+# persistence paths, the scheduler's task pool, the failure paths —
+# retry/backoff, watchdog escalation, bounded shutdown, fault injection —
+# and the observability layer (metrics registry, span recorder, and the
+# concurrent DTRACE capture paths).
 #
 # Usage: bench/run_tsan.sh [build-dir]     (default: build-tsan)
 #
@@ -19,6 +21,6 @@ cmake --build "$build_dir" --target g5_tests -j "$(nproc)"
 
 TSAN_OPTIONS=${TSAN_OPTIONS:-halt_on_error=1} \
 "$build_dir/tests/g5_tests" \
-    --gtest_filter='DbConcurrent*:Database*:Collection*:TaskQueue*:CancelToken*:SchedulerRetry*:SchedulerStress*:FaultInject*:FaultRecovery*'
+    --gtest_filter='DbConcurrent*:Database*:Collection*:TaskQueue*:CancelToken*:SchedulerRetry*:SchedulerStress*:FaultInject*:FaultRecovery*:TraceConcurrent*:Metrics*:Tracing*'
 
-echo "TSan run clean: db + scheduler concurrency tests passed"
+echo "TSan run clean: db + scheduler + observability concurrency tests passed"

@@ -5,8 +5,12 @@
 #include <fstream>
 #include <sstream>
 
+#include <optional>
+
 #include "base/faultinject.hh"
 #include "base/logging.hh"
+#include "base/metrics.hh"
+#include "base/tracing.hh"
 #include "base/md5.hh"
 #include "base/uuid.hh"
 #include "base/wallclock.hh"
@@ -203,6 +207,17 @@ Gem5Run::document(ArtifactDb &adb) const
     return adb.runs().findById(runId);
 }
 
+Json
+Gem5Run::report(ArtifactDb &adb)
+{
+    Json snap = metrics::snapshot();
+    adb.runs().updateOne(
+        Json::object({{"_id", Json(runId)}}),
+        Json::object({{"$set",
+                       Json::object({{"metricsSnapshot", snap}})}}));
+    return document(adb);
+}
+
 RunOutcome
 Gem5Run::classify(const Json &run_doc)
 {
@@ -261,6 +276,11 @@ Gem5Run::executeCached(ArtifactDb &adb, scheduler::CancelToken *token)
     if (cacheBypassed() || inputHashStr.empty())
         return execute(adb, token);
 
+    static metrics::Counter &cache_hits =
+        metrics::counter("art.runCache.hits");
+    static metrics::Counter &cache_misses =
+        metrics::counter("art.runCache.misses");
+
     // The "inputHash" secondary index makes this probe O(matches).
     Json q = Json::object({{"inputHash", Json(inputHashStr)}});
     for (const Json &prior : adb.runs().find(q)) {
@@ -289,8 +309,17 @@ Gem5Run::executeCached(ArtifactDb &adb, scheduler::CancelToken *token)
         fields["finishedAt"] = isoTimestamp();
         adb.runs().updateOne(Json::object({{"_id", Json(runId)}}),
                              Json::object({{"$set", fields}}));
+        cache_hits.inc();
+        if (tracing::enabled()) {
+            Json args = Json::object();
+            args["outcome"] = fields.getString("outcome");
+            args["cachedFrom"] = fields.getString("cachedFrom");
+            tracing::instant("run:" + runName + ":cache-hit", "run",
+                             std::move(args));
+        }
         return document(adb);
     }
+    cache_misses.inc();
     return execute(adb, token);
 }
 
@@ -301,6 +330,14 @@ Gem5Run::execute(ArtifactDb &adb, scheduler::CancelToken *token)
         adb.runs().updateOne(Json::object({{"_id", Json(runId)}}),
                              Json::object({{"$set", fields}}));
     };
+
+    // One span per execute() call (so one per attempt); the outcome tag
+    // is attached by finish() just before the span closes.
+    std::optional<tracing::Span> span;
+    if (tracing::enabled()) {
+        span.emplace("run:" + runName, "run");
+        span->arg("inputHash", Json(inputHashStr));
+    }
 
     double start_wall = monotonicSeconds();
 
@@ -328,6 +365,8 @@ Gem5Run::execute(ArtifactDb &adb, scheduler::CancelToken *token)
         attempts.push(std::move(rec));
         fields["attempts"] = std::move(attempts);
         update(fields);
+        if (span)
+            span->arg("outcome", Json(runOutcomeName(outcome)));
     };
 
     // A task dequeued after its deadline passed (queue backlog) or

@@ -171,6 +171,15 @@ class Gem5Run
     /** Fetch the run document currently stored in the database. */
     Json document(ArtifactDb &adb) const;
 
+    /**
+     * Archive the current process-wide metrics snapshot (see
+     * base/metrics.hh) into the run document under "metricsSnapshot"
+     * and return the updated document. Call after execute() /
+     * executeCached() when a run report should carry the observability
+     * counters alongside the simulation results.
+     */
+    Json report(ArtifactDb &adb);
+
     /** Classify a stored run document into a Fig 8 outcome. */
     static RunOutcome classify(const Json &run_doc);
 

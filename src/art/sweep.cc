@@ -1,6 +1,10 @@
 #include "art/sweep.hh"
 
+#include <functional>
+
 #include "base/faultinject.hh"
+#include "base/metrics.hh"
+#include "base/tracing.hh"
 #include "base/wallclock.hh"
 
 namespace g5::art
@@ -80,6 +84,26 @@ SweepJournal::submit(Tasks &tasks, const std::vector<Gem5Run> &runs)
     // during the sweep finds every un-started run still journalled.
     adb.db().save();
 
+    {
+        std::lock_guard<std::mutex> lock(spanMtx);
+        pendingKeys.clear();
+        for (const Gem5Run &run : fresh)
+            pendingKeys.insert(keyFor(run));
+        spanOpen = tracing::enabled();
+        if (spanOpen) {
+            spanId = std::hash<std::string>{}(sweepName);
+            Json args = Json::object();
+            args["submitted"] = std::int64_t(fresh.size());
+            args["skipped"] = std::int64_t(lastSkipped);
+            tracing::asyncBegin("sweep:" + sweepName, spanId, "sweep",
+                                std::move(args));
+        }
+        // Everything already terminal (resume of a finished sweep):
+        // the sweep is complete the moment it launches.
+        if (pendingKeys.empty())
+            finishSweep();
+    }
+
     SweepJournal *self = this;
     tasks.setOnComplete([self](const Gem5Run &run, const Json &doc) {
         self->record(run, doc);
@@ -102,6 +126,42 @@ SweepJournal::record(const Gem5Run &run, const Json &doc)
     // point never re-runs the simulation.
     if (terminal)
         adb.db().save();
+
+    if (terminal) {
+        std::lock_guard<std::mutex> lock(spanMtx);
+        pendingKeys.erase(keyFor(run));
+        if (pendingKeys.empty())
+            finishSweep();
+    }
+}
+
+void
+SweepJournal::finishSweep()
+{
+    // Archive the observability counters with the sweep. The snapshot
+    // lives in its own "sweepMetrics" collection (keyed by sweep name)
+    // so the journal collection holds only run entries and census()
+    // stays a pure run count.
+    Json snap = metrics::snapshot();
+    db::Collection &coll = adb.db().collection("sweepMetrics");
+    Json fields = Json::object();
+    fields["sweep"] = sweepName;
+    fields["metricsSnapshot"] = std::move(snap);
+    fields["updatedAt"] = isoTimestamp();
+    if (coll.findById(sweepName).isNull()) {
+        fields["_id"] = sweepName;
+        coll.insertOne(std::move(fields));
+    } else {
+        coll.updateOne(Json::object({{"_id", Json(sweepName)}}),
+                       Json::object({{"$set", std::move(fields)}}));
+    }
+    adb.db().save();
+
+    if (spanOpen) {
+        spanOpen = false;
+        tracing::asyncEnd("sweep:" + sweepName, spanId, "sweep",
+                          census());
+    }
 }
 
 Json

@@ -23,6 +23,9 @@
 #ifndef G5_ART_SWEEP_HH
 #define G5_ART_SWEEP_HH
 
+#include <cstdint>
+#include <mutex>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -78,11 +81,26 @@ class SweepJournal
     /** Per-attempt Tasks hook: update the entry, persist if terminal. */
     void record(const Gem5Run &run, const Json &doc);
 
+    /**
+     * Called (under spanMtx) when the last submitted run settles:
+     * archives the process metrics snapshot into the "sweepMetrics"
+     * collection (_id = sweep name; kept out of the journal collection
+     * so census() stays a pure run count) and closes the sweep's async
+     * trace span when one is being recorded.
+     */
+    void finishSweep();
+
     db::Collection &journal() const;
 
     ArtifactDb &adb;
     std::string sweepName;
     std::size_t lastSkipped = 0;
+
+    /** Journal keys submitted but not yet terminal (span bookkeeping). */
+    std::mutex spanMtx;
+    std::set<std::string> pendingKeys;
+    bool spanOpen = false;
+    std::uint64_t spanId = 0;
 };
 
 } // namespace g5::art

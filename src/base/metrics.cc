@@ -1,0 +1,208 @@
+#include "base/metrics.hh"
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+
+#include "base/logging.hh"
+
+namespace g5::metrics
+{
+
+namespace
+{
+
+/** Fixed-point scale for Histogram sums (microunits). */
+constexpr double sumScale = 1e6;
+
+/**
+ * One registered metric: exactly one of the three kinds is set. The
+ * unique_ptr targets give every metric a stable address, which is what
+ * lets call sites cache references across registry growth.
+ */
+struct Entry
+{
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+
+    const char *
+    kind() const
+    {
+        return counter ? "counter" : gauge ? "gauge" : "histogram";
+    }
+};
+
+struct Registry
+{
+    mutable std::shared_mutex mtx;
+    std::map<std::string, Entry, std::less<>> entries;
+};
+
+/**
+ * Intentionally leaked singleton: metrics are incremented from worker
+ * threads and static destructors (database teardown), so the registry
+ * must outlive every other static. Still reachable at exit, so LSan
+ * does not flag it.
+ */
+Registry &
+registry()
+{
+    static Registry *r = new Registry();
+    return *r;
+}
+
+/** Find-or-create the entry for @p name; @p make fills a fresh one. */
+template <typename Make>
+Entry &
+entryFor(std::string_view name, Make make)
+{
+    Registry &r = registry();
+    {
+        std::shared_lock<std::shared_mutex> lock(r.mtx);
+        auto it = r.entries.find(name);
+        if (it != r.entries.end())
+            return it->second;
+    }
+    std::unique_lock<std::shared_mutex> lock(r.mtx);
+    auto it = r.entries.find(name);
+    if (it == r.entries.end()) {
+        it = r.entries.emplace(std::string(name), Entry()).first;
+        make(it->second);
+    }
+    return it->second;
+}
+
+} // anonymous namespace
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds(std::move(bounds)), buckets(this->bounds.size() + 1)
+{
+}
+
+std::vector<double>
+Histogram::latencySecondsBounds()
+{
+    return {0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10, 60, 300};
+}
+
+void
+Histogram::observe(double v)
+{
+    std::size_t i = 0;
+    while (i < bounds.size() && v > bounds[i])
+        ++i;
+    buckets[i].fetch_add(1, std::memory_order_relaxed);
+    cnt.fetch_add(1, std::memory_order_relaxed);
+    sumMicro.fetch_add(std::int64_t(v * sumScale),
+                       std::memory_order_relaxed);
+}
+
+double
+Histogram::sum() const
+{
+    return double(sumMicro.load(std::memory_order_relaxed)) / sumScale;
+}
+
+Json
+Histogram::snapshot() const
+{
+    Json out = Json::object();
+    std::int64_t n = count();
+    double s = sum();
+    out["count"] = n;
+    out["sum"] = s;
+    out["mean"] = n > 0 ? s / double(n) : 0.0;
+    Json bs = Json::object();
+    std::int64_t cumulative = 0;
+    for (std::size_t i = 0; i < bounds.size(); ++i) {
+        cumulative += buckets[i].load(std::memory_order_relaxed);
+        bs["<=" + Json(bounds[i]).dump()] = cumulative;
+    }
+    cumulative += buckets.back().load(std::memory_order_relaxed);
+    bs["+Inf"] = cumulative;
+    out["buckets"] = std::move(bs);
+    return out;
+}
+
+void
+Histogram::reset()
+{
+    for (auto &b : buckets)
+        b.store(0, std::memory_order_relaxed);
+    cnt.store(0, std::memory_order_relaxed);
+    sumMicro.store(0, std::memory_order_relaxed);
+}
+
+Counter &
+counter(std::string_view name)
+{
+    Entry &e = entryFor(name, [](Entry &fresh) {
+        fresh.counter = std::make_unique<Counter>();
+    });
+    if (!e.counter)
+        fatal("metrics: '" + std::string(name) + "' is a " +
+              e.kind() + ", not a counter");
+    return *e.counter;
+}
+
+Gauge &
+gauge(std::string_view name)
+{
+    Entry &e = entryFor(name, [](Entry &fresh) {
+        fresh.gauge = std::make_unique<Gauge>();
+    });
+    if (!e.gauge)
+        fatal("metrics: '" + std::string(name) + "' is a " +
+              e.kind() + ", not a gauge");
+    return *e.gauge;
+}
+
+Histogram &
+histogram(std::string_view name, std::vector<double> bounds)
+{
+    Entry &e = entryFor(name, [&](Entry &fresh) {
+        fresh.histogram = std::make_unique<Histogram>(
+            bounds.empty() ? Histogram::latencySecondsBounds()
+                           : std::move(bounds));
+    });
+    if (!e.histogram)
+        fatal("metrics: '" + std::string(name) + "' is a " +
+              e.kind() + ", not a histogram");
+    return *e.histogram;
+}
+
+Json
+snapshot()
+{
+    Registry &r = registry();
+    Json out = Json::object();
+    std::shared_lock<std::shared_mutex> lock(r.mtx);
+    for (const auto &[name, e] : r.entries) {
+        if (e.counter)
+            out[name] = e.counter->value();
+        else if (e.gauge)
+            out[name] = e.gauge->value();
+        else
+            out[name] = e.histogram->snapshot();
+    }
+    return out;
+}
+
+void
+resetAll()
+{
+    Registry &r = registry();
+    std::shared_lock<std::shared_mutex> lock(r.mtx);
+    for (auto &[name, e] : r.entries) {
+        if (e.counter)
+            e.counter->reset();
+        else if (e.gauge)
+            e.gauge->reset();
+        else
+            e.histogram->reset();
+    }
+}
+
+} // namespace g5::metrics

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * A process-wide, lock-cheap metrics registry — the observability
+ * counterpart of gem5's Stats machinery, shaped for concurrent sweep
+ * execution: many scheduler workers increment the same counters while
+ * a progress reporter snapshots them.
+ *
+ * Three metric kinds:
+ *
+ *  - Counter:   monotonically increasing int64 (ops, bytes, retries);
+ *  - Gauge:     settable/adjustable int64 (queue depth, busy workers);
+ *  - Histogram: fixed-bucket distribution with count/sum (latencies).
+ *
+ * All mutation is relaxed-atomic — incrementing a counter from a hot
+ * path costs one uncontended fetch_add, no locks. Registration
+ * (counter()/gauge()/histogram()) takes a shared_mutex on the registry
+ * map; call sites cache the returned reference (addresses are stable
+ * for the life of the process), so lookups stay off hot paths.
+ *
+ * snapshot() renders every registered metric into a Json object —
+ * sorted keys, deterministic layout — which the art layer archives
+ * into run/sweep documents and TaskQueue::summary() exposes as a live
+ * progress line. resetAll() zeroes values (registrations survive) for
+ * test isolation.
+ */
+
+#ifndef G5_BASE_METRICS_HH
+#define G5_BASE_METRICS_HH
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/json.hh"
+
+namespace g5::metrics
+{
+
+/** A monotonically increasing counter. Relaxed-atomic increments. */
+class Counter
+{
+  public:
+    void
+    inc(std::int64_t n = 1)
+    {
+        val.fetch_add(n, std::memory_order_relaxed);
+    }
+
+    std::int64_t value() const
+    {
+        return val.load(std::memory_order_relaxed);
+    }
+
+    void reset() { val.store(0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<std::int64_t> val{0};
+};
+
+/** A settable level (queue depth, live workers). Relaxed-atomic. */
+class Gauge
+{
+  public:
+    void set(std::int64_t v) { val.store(v, std::memory_order_relaxed); }
+
+    void
+    add(std::int64_t d)
+    {
+        val.fetch_add(d, std::memory_order_relaxed);
+    }
+
+    std::int64_t value() const
+    {
+        return val.load(std::memory_order_relaxed);
+    }
+
+    void reset() { val.store(0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<std::int64_t> val{0};
+};
+
+/**
+ * A fixed-bucket histogram: upper bounds are set at registration and
+ * never change, so observe() is a branchless-ish scan over a small
+ * array plus three relaxed atomic adds (bucket, count, sum). The
+ * implicit final bucket catches everything above the last bound.
+ */
+class Histogram
+{
+  public:
+    /** @param bounds ascending bucket upper bounds (inclusive). */
+    explicit Histogram(std::vector<double> bounds);
+
+    /** Record one observation. */
+    void observe(double v);
+
+    std::int64_t count() const
+    {
+        return cnt.load(std::memory_order_relaxed);
+    }
+
+    double sum() const;
+
+    /**
+     * Render as {"count": n, "sum": s, "mean": m,
+     * "buckets": {"<=bound": n, ..., "+Inf": n}} (cumulative counts,
+     * Prometheus-style).
+     */
+    Json snapshot() const;
+
+    void reset();
+
+    /** Default latency bounds in seconds: 1 ms .. 5 min, log-spaced. */
+    static std::vector<double> latencySecondsBounds();
+
+  private:
+    std::vector<double> bounds;
+    /** One per bound plus the overflow bucket. */
+    std::vector<std::atomic<std::int64_t>> buckets;
+    std::atomic<std::int64_t> cnt{0};
+    /** Sum in fixed point (microunits) so fetch_add stays integral. */
+    std::atomic<std::int64_t> sumMicro{0};
+};
+
+/**
+ * Find-or-register the named counter. The reference is stable for the
+ * process lifetime; cache it at the call site (member pointer or
+ * function-local static) to keep registry lookups off hot paths.
+ * @throws FatalError when @p name is registered as another kind.
+ */
+Counter &counter(std::string_view name);
+
+/** Find-or-register the named gauge (same contract as counter()). */
+Gauge &gauge(std::string_view name);
+
+/**
+ * Find-or-register the named histogram. @p bounds applies only on
+ * first registration (defaults to latencySecondsBounds()).
+ */
+Histogram &histogram(std::string_view name,
+                     std::vector<double> bounds = {});
+
+/**
+ * Snapshot every registered metric into one flat Json object keyed by
+ * metric name: counters/gauges as integers, histograms as nested
+ * objects (see Histogram::snapshot). Keys sort deterministically.
+ */
+Json snapshot();
+
+/** Zero every registered metric (registrations survive). For tests. */
+void resetAll();
+
+} // namespace g5::metrics
+
+#endif // G5_BASE_METRICS_HH

@@ -1,0 +1,317 @@
+#include "base/tracing.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "base/logging.hh"
+#include "base/wallclock.hh"
+
+namespace g5::tracing
+{
+
+namespace
+{
+
+/** One buffered chrome-trace event. */
+struct TraceEvent
+{
+    std::string name;
+    std::string cat;
+    char ph;             ///< 'X' complete, 'i' instant, 'b'/'e' async
+    double tsUs;         ///< microseconds since recording start
+    double durUs = 0;    ///< 'X' only
+    std::uint64_t id = 0; ///< async pairs only
+    int tid;
+    Json args;           ///< null when absent
+};
+
+/**
+ * A thread's private event buffer. The mutex is only ever contended
+ * when stop() drains a buffer while its owner thread is still
+ * recording — the append path is an uncontended lock.
+ */
+struct ThreadBuf
+{
+    std::mutex mtx;
+    std::vector<TraceEvent> events;
+    int tid;
+};
+
+struct Recorder
+{
+    std::atomic<bool> on{false};
+    std::mutex mtx; ///< registry of thread buffers + output path
+    std::vector<std::shared_ptr<ThreadBuf>> bufs;
+    std::string outPath;
+    int nextTid = 1;
+    /** Monotonic clock at start(); atomic so recording
+     *  threads read it without taking the registry lock. */
+    std::atomic<double> epochUs{0};
+};
+
+/** Leaked singleton: worker threads may record until process exit. */
+Recorder &
+recorder()
+{
+    static Recorder *r = new Recorder();
+    return *r;
+}
+
+double
+nowUs()
+{
+    return monotonicSeconds() * 1e6;
+}
+
+/**
+ * The calling thread's buffer, registered with the recorder on first
+ * use. The thread_local holds a shared_ptr so the registry's copy (and
+ * any events still buffered) survives the thread's exit until stop()
+ * drains them.
+ */
+ThreadBuf &
+myBuf()
+{
+    thread_local std::shared_ptr<ThreadBuf> buf = [] {
+        auto b = std::make_shared<ThreadBuf>();
+        Recorder &r = recorder();
+        std::lock_guard<std::mutex> lock(r.mtx);
+        b->tid = r.nextTid++;
+        r.bufs.push_back(b);
+        return b;
+    }();
+    return *buf;
+}
+
+void
+record(TraceEvent ev)
+{
+    ThreadBuf &b = myBuf();
+    ev.tid = b.tid;
+    std::lock_guard<std::mutex> lock(b.mtx);
+    b.events.push_back(std::move(ev));
+}
+
+Json
+eventJson(const TraceEvent &ev)
+{
+    Json out = Json::object();
+    out["name"] = ev.name;
+    out["cat"] = ev.cat;
+    out["ph"] = std::string(1, ev.ph);
+    out["ts"] = ev.tsUs;
+    if (ev.ph == 'X')
+        out["dur"] = ev.durUs;
+    if (ev.ph == 'b' || ev.ph == 'e')
+        out["id"] = std::int64_t(ev.id);
+    if (ev.ph == 'i')
+        out["s"] = "t"; // instant scope: thread
+    out["pid"] = 1;
+    out["tid"] = ev.tid;
+    if (!ev.args.isNull())
+        out["args"] = ev.args;
+    return out;
+}
+
+void
+flushAtExit()
+{
+    if (enabled())
+        stop();
+}
+
+/** Arms recording at load time when G5_TRACE_OUT names an output file. */
+struct EnvInit
+{
+    EnvInit()
+    {
+        const char *path = std::getenv("G5_TRACE_OUT");
+        if (path != nullptr && *path != '\0')
+            start(path);
+    }
+} envInit;
+
+} // anonymous namespace
+
+bool
+enabled()
+{
+    return recorder().on.load(std::memory_order_relaxed);
+}
+
+void
+start(const std::string &path)
+{
+    Recorder &r = recorder();
+    {
+        std::lock_guard<std::mutex> lock(r.mtx);
+        r.outPath = path;
+        r.epochUs.store(nowUs(), std::memory_order_relaxed);
+        for (const auto &buf : r.bufs) {
+            std::lock_guard<std::mutex> bl(buf->mtx);
+            buf->events.clear();
+        }
+    }
+    static std::once_flag at_exit_once;
+    std::call_once(at_exit_once, [] { std::atexit(flushAtExit); });
+    r.on.store(true, std::memory_order_seq_cst);
+}
+
+Json
+stop()
+{
+    Recorder &r = recorder();
+    // Publish "off" before draining: an emit that observed "on" while
+    // we drain lands in a still-registered buffer and is picked up by
+    // the drain loop below or by the next stop() — never lost, never
+    // touching a freed buffer.
+    r.on.store(false, std::memory_order_seq_cst);
+
+    std::vector<TraceEvent> events;
+    std::string path;
+    {
+        std::lock_guard<std::mutex> lock(r.mtx);
+        path = r.outPath;
+        for (const auto &buf : r.bufs) {
+            std::lock_guard<std::mutex> bl(buf->mtx);
+            for (auto &ev : buf->events)
+                events.push_back(std::move(ev));
+            buf->events.clear();
+        }
+    }
+    std::stable_sort(events.begin(), events.end(),
+                     [](const TraceEvent &a, const TraceEvent &b) {
+                         return a.tsUs < b.tsUs;
+                     });
+
+    Json traceEvents = Json::array();
+    for (const auto &ev : events)
+        traceEvents.push(eventJson(ev));
+    Json doc = Json::object();
+    doc["traceEvents"] = std::move(traceEvents);
+    doc["displayTimeUnit"] = "ms";
+
+    if (!path.empty()) {
+        std::filesystem::path p(path);
+        if (p.has_parent_path()) {
+            std::error_code ec;
+            std::filesystem::create_directories(p.parent_path(), ec);
+        }
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        if (!out) {
+            warn("tracing: cannot write '" + path + "'");
+        } else {
+            std::string text = doc.dump(2);
+            out.write(text.data(), std::streamsize(text.size()));
+        }
+    }
+    return doc;
+}
+
+std::size_t
+eventCount()
+{
+    Recorder &r = recorder();
+    std::lock_guard<std::mutex> lock(r.mtx);
+    std::size_t n = 0;
+    for (const auto &buf : r.bufs) {
+        std::lock_guard<std::mutex> bl(buf->mtx);
+        n += buf->events.size();
+    }
+    return n;
+}
+
+Span::Span(std::string_view name, std::string_view cat)
+    : live(enabled())
+{
+    if (!live)
+        return;
+    this->name = std::string(name);
+    this->cat = std::string(cat);
+    startUs = nowUs();
+}
+
+void
+Span::arg(std::string_view key, Json value)
+{
+    if (!live)
+        return;
+    if (!args.isObject())
+        args = Json::object();
+    args[key] = std::move(value);
+}
+
+Span::~Span()
+{
+    if (!live)
+        return;
+    double end = nowUs();
+    Recorder &r = recorder();
+    TraceEvent ev;
+    ev.name = std::move(name);
+    ev.cat = std::move(cat);
+    ev.ph = 'X';
+    ev.tsUs = startUs - r.epochUs.load(std::memory_order_relaxed);
+    ev.durUs = end - startUs;
+    ev.args = std::move(args);
+    record(std::move(ev));
+}
+
+void
+instant(std::string_view name, std::string_view cat, Json args)
+{
+    if (!enabled())
+        return;
+    TraceEvent ev;
+    ev.name = std::string(name);
+    ev.cat = std::string(cat);
+    ev.ph = 'i';
+    ev.tsUs = nowUs() -
+              recorder().epochUs.load(std::memory_order_relaxed);
+    ev.args = std::move(args);
+    record(std::move(ev));
+}
+
+namespace
+{
+
+void
+asyncEvent(char ph, std::string_view name, std::uint64_t id,
+           std::string_view cat, Json args)
+{
+    if (!enabled())
+        return;
+    TraceEvent ev;
+    ev.name = std::string(name);
+    ev.cat = std::string(cat);
+    ev.ph = ph;
+    ev.id = id;
+    ev.tsUs = nowUs() -
+              recorder().epochUs.load(std::memory_order_relaxed);
+    ev.args = std::move(args);
+    record(std::move(ev));
+}
+
+} // anonymous namespace
+
+void
+asyncBegin(std::string_view name, std::uint64_t id,
+           std::string_view cat, Json args)
+{
+    asyncEvent('b', name, id, cat, std::move(args));
+}
+
+void
+asyncEnd(std::string_view name, std::uint64_t id, std::string_view cat,
+         Json args)
+{
+    asyncEvent('e', name, id, cat, std::move(args));
+}
+
+} // namespace g5::tracing

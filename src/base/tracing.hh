@@ -1,0 +1,104 @@
+/**
+ * @file
+ * A span/event recorder with per-thread buffers and chrome://tracing
+ * export — the out-of-band profiling layer for experiment execution
+ * (in the spirit of FirePerf's out-of-band profiling: observing the
+ * system must not perturb it).
+ *
+ * When recording is off (the default), every instrumentation call is
+ * one relaxed atomic load and an early return — no locks, no
+ * allocation. When on (G5_TRACE_OUT=trace.json in the environment, or
+ * start() programmatically), events append to a per-thread buffer
+ * under that buffer's otherwise-uncontended mutex; threads never share
+ * buffers, so concurrent sweep workers record without serializing
+ * against each other.
+ *
+ * stop() merges every thread's buffer, sorts by timestamp, and writes
+ * a chrome://tracing / Perfetto-loadable JSON document
+ * ({"traceEvents": [...]}) to the registered path (when one was
+ * given), and returns the document. Synchronous spans are complete
+ * events ("ph":"X" with ts+dur), which the viewer nests by
+ * containment per thread; cross-thread operations (a sweep spanning
+ * many workers) use async begin/end pairs ("ph":"b"/"e").
+ *
+ * A recording started from G5_TRACE_OUT is flushed automatically at
+ * process exit.
+ */
+
+#ifndef G5_BASE_TRACING_HH
+#define G5_BASE_TRACING_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "base/json.hh"
+
+namespace g5::tracing
+{
+
+/** @return true when a recording is active. One relaxed atomic load. */
+bool enabled();
+
+/**
+ * Start recording. @p path receives the chrome-trace JSON at stop()
+ * (or process exit); pass "" to only buffer in memory (tests inspect
+ * the document stop() returns). Restarting clears prior events.
+ */
+void start(const std::string &path);
+
+/**
+ * Stop recording: merge per-thread buffers, sort by timestamp, write
+ * the JSON file when a path was registered, and return the document
+ * ({"traceEvents": [...]}). Safe to call when not recording (returns
+ * an empty document).
+ */
+Json stop();
+
+/** @return events recorded so far (recording continues). */
+std::size_t eventCount();
+
+/**
+ * RAII synchronous span: construction samples the clock, destruction
+ * records a complete event covering the scope. A span constructed
+ * while recording is off records nothing (and costs one atomic load).
+ */
+class Span
+{
+  public:
+    /** @param name event label. @param cat chrome-trace category. */
+    explicit Span(std::string_view name, std::string_view cat = "app");
+
+    ~Span();
+
+    Span(const Span &) = delete;
+    Span &operator=(const Span &) = delete;
+
+    /** Attach an argument (e.g. outcome tag) shown in the viewer. */
+    void arg(std::string_view key, Json value);
+
+  private:
+    bool live;
+    std::string name;
+    std::string cat;
+    double startUs = 0;
+    Json args;
+};
+
+/** Record an instantaneous event ("ph":"i"). */
+void instant(std::string_view name, std::string_view cat = "app",
+             Json args = Json());
+
+/**
+ * Begin/end an async span ("ph":"b"/"e"): the pair is matched by
+ * (name, id) and may begin and end on different threads — used for
+ * operations like a sweep that spans many workers.
+ */
+void asyncBegin(std::string_view name, std::uint64_t id,
+                std::string_view cat = "app", Json args = Json());
+void asyncEnd(std::string_view name, std::uint64_t id,
+              std::string_view cat = "app", Json args = Json());
+
+} // namespace g5::tracing
+
+#endif // G5_BASE_TRACING_HH

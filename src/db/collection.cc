@@ -232,6 +232,7 @@ Collection::insertOne(Json doc)
     indexDoc(doc, id);
     logInsert(doc);
     docs.push_back(std::move(doc));
+    insertsC.inc();
     return id;
 }
 
@@ -289,6 +290,7 @@ std::vector<Json>
 Collection::find(const Json &query) const
 {
     std::shared_lock<std::shared_mutex> lock(mtx);
+    queriesC.inc();
     std::vector<Json> out;
     std::vector<std::size_t> cand;
     if (planCandidates(query, cand)) {
@@ -329,6 +331,7 @@ Json
 Collection::findOne(const Json &query) const
 {
     std::shared_lock<std::shared_mutex> lock(mtx);
+    queriesC.inc();
     std::size_t pos = findFirstPos(query);
     return pos == npos ? Json() : docs[pos];
 }
@@ -337,6 +340,7 @@ Json
 Collection::findById(const std::string &id) const
 {
     std::shared_lock<std::shared_mutex> lock(mtx);
+    queriesC.inc();
     auto it = byId.find(id);
     if (it == byId.end())
         return Json();
@@ -347,6 +351,7 @@ std::size_t
 Collection::count(const Json &query) const
 {
     std::shared_lock<std::shared_mutex> lock(mtx);
+    queriesC.inc();
     std::size_t n = 0;
     std::vector<std::size_t> cand;
     if (planCandidates(query, cand)) {
@@ -441,6 +446,7 @@ Collection::updateOne(const Json &query, const Json &update)
     }
     indexDoc(doc, id);
     logUpdate(doc);
+    updatesC.inc();
     return true;
 }
 
@@ -469,6 +475,7 @@ Collection::deleteMany(const Json &query)
     }
     docs.resize(write);
     logDelete(removedIds);
+    deletesC.inc(std::int64_t(removedIds.size()));
     return removedIds.size();
 }
 

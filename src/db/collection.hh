@@ -51,6 +51,7 @@
 #include <vector>
 
 #include "base/json.hh"
+#include "base/metrics.hh"
 
 namespace g5::db
 {
@@ -241,6 +242,20 @@ class Collection
     static constexpr std::size_t npos = std::size_t(-1);
 
     std::string collName;
+
+    /**
+     * Per-collection operation counters in the process-wide metrics
+     * registry ("db.<name>.inserts" etc.). Resolved once here; each
+     * operation costs one relaxed atomic increment.
+     */
+    metrics::Counter &insertsC = metrics::counter("db." + collName +
+                                                  ".inserts");
+    metrics::Counter &updatesC = metrics::counter("db." + collName +
+                                                  ".updates");
+    metrics::Counter &deletesC = metrics::counter("db." + collName +
+                                                  ".deletes");
+    metrics::Counter &queriesC = metrics::counter("db." + collName +
+                                                  ".queries");
     std::vector<Json> docs;
     std::unordered_map<std::string, std::size_t> byId;
     std::set<std::string> uniqueFields;

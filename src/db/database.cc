@@ -8,6 +8,7 @@
 
 #include "base/faultinject.hh"
 #include "base/logging.hh"
+#include "base/metrics.hh"
 #include "base/md5.hh"
 #include "base/str.hh"
 
@@ -208,6 +209,9 @@ std::string
 Database::putBlob(const std::string &bytes)
 {
     std::string key = Md5::hashBytes(bytes.data(), bytes.size());
+    static metrics::Counter &blob_bytes =
+        metrics::counter("db.blob.bytesHashed");
+    blob_bytes.inc(std::int64_t(bytes.size()));
     if (rootDir.empty()) {
         std::lock_guard<std::mutex> lock(blobMtx);
         memBlobs.emplace(key, bytes);
@@ -233,6 +237,8 @@ Database::putFile(const std::string &host_path)
     if (!in)
         fatal("database: cannot read '" + host_path + "'");
     std::vector<char> buf(chunkSize);
+    static metrics::Counter &blob_bytes =
+        metrics::counter("db.blob.bytesHashed");
 
     if (rootDir.empty()) {
         // In-memory mode stores the bytes anyway; still hash in chunks.
@@ -243,6 +249,7 @@ Database::putFile(const std::string &host_path)
             std::streamsize got = in.gcount();
             if (got > 0) {
                 h.update(buf.data(), std::size_t(got));
+                blob_bytes.inc(got);
                 bytes.append(buf.data(), std::size_t(got));
             }
         }
@@ -266,6 +273,7 @@ Database::putFile(const std::string &host_path)
             std::streamsize got = in.gcount();
             if (got > 0) {
                 h.update(buf.data(), std::size_t(got));
+                blob_bytes.inc(got);
                 out.write(buf.data(), got);
                 if (!out)
                     fatal("database: short write to '" + tmp.string() +
@@ -368,6 +376,9 @@ Database::compactCollection(const std::string &name, Collection &coll)
     // (G5_FAULT=db.compact.snapshot): the WAL is still intact, so
     // recovery replays it over the previous snapshot.
     fault::checkpoint("db.compact.snapshot");
+    static metrics::Counter &compactions =
+        metrics::counter("db.wal.compactions");
+    compactions.inc();
     // The WAL file is about to be removed; release our append stream
     // first so buffered bytes land and the handle doesn't go stale.
     WalState &ws = walStates[name];
@@ -432,6 +443,9 @@ Database::save()
         if (!ws.stream)
             fatal("database: short append to '" + wal.string() + "'");
         ws.walSize += ops.size();
+        static metrics::Counter &wal_bytes =
+            metrics::counter("db.wal.bytesAppended");
+        wal_bytes.inc(std::int64_t(ops.size()));
 
         if (ws.walSize > walCompactMinBytes &&
             double(ws.walSize) > walCompactRatio * double(ws.snapSize)) {

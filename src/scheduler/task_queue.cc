@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <chrono>
+#include <optional>
 
 #include "base/logging.hh"
+#include "base/metrics.hh"
+#include "base/tracing.hh"
 #include "base/wallclock.hh"
 
 namespace g5::scheduler
@@ -154,6 +157,13 @@ TaskFuture::runAttempt()
     if (transitionHook)
         transitionHook(prev, TaskState::Running);
     token.beginAttempt(timeoutSeconds, attempt_no);
+    // One span per attempt on the executing worker's timeline; the
+    // optional keeps the disabled path allocation-free.
+    std::optional<tracing::Span> span;
+    if (tracing::enabled()) {
+        span.emplace("task:" + taskName, "scheduler");
+        span->arg("attempt", std::int64_t(attempt_no));
+    }
     double start = monotonicSeconds();
 
     TaskState attempt_state;
@@ -173,6 +183,13 @@ TaskFuture::runAttempt()
         attempt_err = "unknown exception";
     }
     double wall = monotonicSeconds() - start;
+    if (span) {
+        span->arg("outcome", taskStateName(attempt_state));
+        span.reset(); // record the attempt's extent now
+    }
+    static metrics::Histogram &task_seconds =
+        metrics::histogram("scheduler.task.seconds");
+    task_seconds.observe(wall);
 
     AttemptOutcome out;
     TaskState final_state = attempt_state;
@@ -292,6 +309,17 @@ struct TaskQueue::Pool
     std::atomic<std::int64_t> totalTasks{0};
     std::atomic<std::int64_t> retriesScheduled{0};
     std::atomic<std::int64_t> quarantinedWorkers{0};
+
+    /** Process-wide observability mirrors of the per-queue counters
+     *  (references resolved once; increments are relaxed atomics). */
+    metrics::Counter &submittedC =
+        metrics::counter("scheduler.tasks.submitted");
+    metrics::Counter &retriesC =
+        metrics::counter("scheduler.tasks.retries");
+    metrics::Counter &timeoutsC =
+        metrics::counter("scheduler.tasks.timeouts");
+    metrics::Counter &quarantinedC =
+        metrics::counter("scheduler.workers.quarantined");
 
     void
     eraseRunning(const TaskFuturePtr &task)
@@ -417,9 +445,12 @@ TaskQueue::makeFuture(std::string name, TaskFn fn, double timeout_s,
     fut->transitionHook = [p](TaskState from, TaskState to) {
         --p->stateCounts[int(from)];
         ++p->stateCounts[int(to)];
+        if (to == TaskState::Timeout)
+            p->timeoutsC.inc();
     };
     ++pool->stateCounts[int(TaskState::Pending)];
     ++pool->totalTasks;
+    pool->submittedC.inc();
     return fut;
 }
 
@@ -431,6 +462,7 @@ TaskQueue::runInline(const TaskFuturePtr &fut)
         if (!out.retry)
             return;
         ++pool->retriesScheduled;
+        pool->retriesC.inc();
         if (out.delaySeconds > 0)
             std::this_thread::sleep_for(secs(out.delaySeconds));
     }
@@ -518,6 +550,7 @@ TaskQueue::workerLoop(std::shared_ptr<Pool> pool, std::size_t idx)
                 pool->delayed.push_back(
                     {monotonicSeconds() + out.delaySeconds, task});
                 ++pool->retriesScheduled;
+                pool->retriesC.inc();
             }
         }
         pool->cv.notify_all();
@@ -583,6 +616,7 @@ TaskQueue::watchdogLoop(std::shared_ptr<Pool> pool)
                 continue;
             pool->eraseRunning(task);
             ++pool->quarantinedWorkers;
+            pool->quarantinedC.inc();
             if (!pool->shuttingDown)
                 spawnWorker(pool); // keep pool capacity
             woke = true;
@@ -657,6 +691,33 @@ TaskQueue::summary() const
     out["total"] = pool->totalTasks.load();
     out["retries"] = pool->retriesScheduled.load();
     out["quarantined"] = pool->quarantinedWorkers.load();
+
+    // Live observability: queue pressure and worker utilization (a
+    // sweep's progress line), plus the task-latency distribution.
+    Json m = Json::object();
+    {
+        std::lock_guard<std::mutex> lock(pool->mtx);
+        std::int64_t depth =
+            std::int64_t(pool->pending.size() + pool->delayed.size());
+        std::int64_t busy = std::int64_t(pool->running.size());
+        std::int64_t live = std::int64_t(pool->liveWorkers);
+        m["queueDepth"] = depth;
+        m["workersBusy"] = busy;
+        m["workersLive"] = live;
+        m["utilization"] =
+            live > 0 ? double(busy) / double(live) : 0.0;
+    }
+    metrics::Histogram &task_seconds =
+        metrics::histogram("scheduler.task.seconds");
+    Json lat = Json::object();
+    lat["count"] = task_seconds.count();
+    lat["sum"] = task_seconds.sum();
+    lat["mean"] = task_seconds.count() > 0
+                      ? task_seconds.sum() /
+                            double(task_seconds.count())
+                      : 0.0;
+    m["taskSeconds"] = std::move(lat);
+    out["metrics"] = std::move(m);
     return out;
 }
 

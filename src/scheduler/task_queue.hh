@@ -282,8 +282,10 @@ class TaskQueue
     /**
      * @return counts of tasks by state, as a JSON object. O(1): the
      * queue keeps running state counters instead of polling futures.
-     * Also carries "retries" (attempt re-enqueues) and "quarantined"
-     * (workers replaced by the watchdog).
+     * Also carries "retries" (attempt re-enqueues), "quarantined"
+     * (workers replaced by the watchdog), and a live "metrics"
+     * section — queue depth, busy/live workers, utilization, and the
+     * task-latency distribution — usable as a sweep progress line.
      */
     Json summary() const;
 

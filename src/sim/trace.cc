@@ -1,9 +1,15 @@
 #include "sim/trace.hh"
 
+#include <atomic>
 #include <cstdio>
+#include <memory>
+#include <mutex>
 #include <set>
+#include <shared_mutex>
+#include <vector>
 
 #include "base/logging.hh"
+#include "base/tracing.hh"
 
 namespace g5::sim::trace
 {
@@ -11,59 +17,146 @@ namespace g5::sim::trace
 namespace
 {
 
-std::set<std::string> liveFlags;
-bool captureMode = false;
-std::string buffer;
+/**
+ * The enabled-flag set. liveCount mirrors live.size() so enabled()'s
+ * fast path — nothing enabled, the common case — is one relaxed
+ * atomic load with no lock and no allocation. The transparent
+ * comparator lets string_view probes hit without constructing a
+ * std::string.
+ */
+struct FlagSet
+{
+    std::shared_mutex mtx;
+    std::set<std::string, std::less<>> live;
+    std::atomic<int> liveCount{0};
+};
+
+FlagSet &
+flagSet()
+{
+    static FlagSet *f = new FlagSet();
+    return *f;
+}
+
+std::atomic<bool> captureMode{false};
+
+/**
+ * A thread's private capture buffer: emits append under its (otherwise
+ * uncontended) mutex; takeCaptured() drains every registered buffer.
+ * The registry holds shared_ptrs so a worker thread exiting mid-sweep
+ * leaves its captured lines reachable until drained.
+ */
+struct CaptureBuf
+{
+    std::mutex mtx;
+    std::string text;
+};
+
+struct CaptureRegistry
+{
+    std::mutex mtx;
+    std::vector<std::shared_ptr<CaptureBuf>> bufs;
+};
+
+CaptureRegistry &
+captureRegistry()
+{
+    static CaptureRegistry *r = new CaptureRegistry();
+    return *r;
+}
+
+CaptureBuf &
+myCaptureBuf()
+{
+    thread_local std::shared_ptr<CaptureBuf> buf = [] {
+        auto b = std::make_shared<CaptureBuf>();
+        CaptureRegistry &r = captureRegistry();
+        std::lock_guard<std::mutex> lock(r.mtx);
+        r.bufs.push_back(b);
+        return b;
+    }();
+    return *buf;
+}
 
 } // anonymous namespace
 
 void
-enable(const std::string &flag)
+enable(std::string_view flag)
 {
-    liveFlags.insert(flag);
+    FlagSet &f = flagSet();
+    std::unique_lock<std::shared_mutex> lock(f.mtx);
+    f.live.emplace(flag);
+    f.liveCount.store(int(f.live.size()), std::memory_order_release);
 }
 
 void
-disable(const std::string &flag)
+disable(std::string_view flag)
 {
-    if (flag == "All")
-        liveFlags.clear();
-    else
-        liveFlags.erase(flag);
+    FlagSet &f = flagSet();
+    std::unique_lock<std::shared_mutex> lock(f.mtx);
+    if (flag == "All") {
+        f.live.clear();
+    } else {
+        auto it = f.live.find(flag);
+        if (it != f.live.end())
+            f.live.erase(it);
+    }
+    f.liveCount.store(int(f.live.size()), std::memory_order_release);
 }
 
 bool
-enabled(const std::string &flag)
+enabled(std::string_view flag)
 {
-    if (liveFlags.empty())
+    FlagSet &f = flagSet();
+    // Disabled-path cost is this single load: no lock, no allocation.
+    if (f.liveCount.load(std::memory_order_acquire) == 0)
         return false;
-    return liveFlags.count(flag) > 0 || liveFlags.count("All") > 0;
+    std::shared_lock<std::shared_mutex> lock(f.mtx);
+    return f.live.count(flag) > 0 ||
+           f.live.count(std::string_view("All")) > 0;
 }
 
 void
 captureToBuffer(bool capture)
 {
-    captureMode = capture;
+    captureMode.store(capture, std::memory_order_seq_cst);
 }
 
 std::string
 takeCaptured()
 {
+    CaptureRegistry &r = captureRegistry();
+    std::lock_guard<std::mutex> lock(r.mtx);
     std::string out;
-    out.swap(buffer);
+    for (const auto &buf : r.bufs) {
+        std::lock_guard<std::mutex> bl(buf->mtx);
+        out += buf->text;
+        buf->text.clear();
+    }
     return out;
 }
 
 void
-emit(Tick when, const std::string &flag, const std::string &msg)
+emit(Tick when, std::string_view flag, const std::string &msg)
 {
-    std::string line = csprintf("%12llu: %s: %s\n",
-                                (unsigned long long)when, flag.c_str(),
+    std::string line = csprintf("%12llu: %.*s: %s\n",
+                                (unsigned long long)when,
+                                int(flag.size()), flag.data(),
                                 msg.c_str());
-    if (captureMode)
-        buffer += line;
-    else
+    // Mirror onto the experiment timeline when one is being recorded.
+    if (tracing::enabled()) {
+        Json args = Json::object();
+        args["line"] = msg;
+        args["tick"] = when;
+        tracing::instant(flag, "dtrace", std::move(args));
+    }
+    if (captureMode.load(std::memory_order_seq_cst)) {
+        CaptureBuf &buf = myCaptureBuf();
+        std::lock_guard<std::mutex> lock(buf.mtx);
+        buf.text += line;
+    } else {
         std::fputs(line.c_str(), stderr);
+    }
 }
 
 } // namespace g5::sim::trace

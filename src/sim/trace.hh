@@ -5,9 +5,26 @@
  *
  * Components emit through DTRACE(flag, eq, fmt, ...); nothing is
  * formatted unless the flag is enabled, so tracing is free in normal
- * runs. Output lines follow gem5's "tick: Flag: message" shape and go
- * either to stderr or to an in-memory capture buffer (tests use the
- * latter).
+ * runs: the disabled path is one relaxed atomic load and never
+ * allocates (flags are passed as std::string_view). Output lines
+ * follow gem5's "tick: Flag: message" shape and go either to stderr
+ * or to in-memory capture buffers (tests use the latter).
+ *
+ * Thread safety: sweep workers simulate concurrently by default, so
+ * every piece of state here is synchronized. The flag set sits behind
+ * a reader-writer lock with an atomic emptiness fast path; capture
+ * buffers are per-thread (the same pattern as base/tracing's span
+ * recorder) and merged on takeCaptured(). When a chrome-trace
+ * recording is active (see base/tracing.hh), every emitted line is
+ * mirrored into it as an instant event, so DTRACE activity lands on
+ * the experiment timeline.
+ *
+ * Capture drain ordering: lines emitted happens-before a
+ * captureToBuffer(false) call are never lost — stopping capture does
+ * not clear the buffers, and takeCaptured() drains every thread's
+ * buffer (including those of exited threads). Lines raced with the
+ * stop itself land either in the capture buffers or on stderr,
+ * whichever mode their emit observed.
  *
  * Flags in use: "Syscall" (guest OS services), "Exec" (thread
  * lifecycle), "Ruby" (coherence protocol events), "Cpu" (context
@@ -18,30 +35,34 @@
 #define G5_SIM_TRACE_HH
 
 #include <string>
-#include <vector>
+#include <string_view>
 
+#include "base/logging.hh" // csprintf, used by the DTRACE macro
 #include "base/types.hh"
 
 namespace g5::sim::trace
 {
 
 /** Enable one flag, or "All". */
-void enable(const std::string &flag);
+void enable(std::string_view flag);
 
 /** Disable one flag, or "All" to clear everything. */
-void disable(const std::string &flag);
+void disable(std::string_view flag);
 
-/** @return true when @p flag (or All) is enabled. */
-bool enabled(const std::string &flag);
+/** @return true when @p flag (or All) is enabled. Never allocates. */
+bool enabled(std::string_view flag);
 
-/** Route output into the in-memory buffer instead of stderr. */
+/** Route output into the in-memory buffers instead of stderr. */
 void captureToBuffer(bool capture);
 
-/** @return and clear the capture buffer. */
+/**
+ * Drain and concatenate every thread's capture buffer (per-thread
+ * line order preserved; threads merge in registration order).
+ */
 std::string takeCaptured();
 
 /** Emit one trace line (call through the DTRACE macro). */
-void emit(Tick when, const std::string &flag, const std::string &msg);
+void emit(Tick when, std::string_view flag, const std::string &msg);
 
 } // namespace g5::sim::trace
 

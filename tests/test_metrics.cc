@@ -1,0 +1,296 @@
+/** @file Tests for the process-wide metrics registry and the
+ *  observability counters the db/scheduler/art layers feed into it. */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <thread>
+#include <vector>
+
+#include "art/sweep.hh"
+#include "art/tasks.hh"
+#include "art/workspace.hh"
+#include "base/faultinject.hh"
+#include "base/logging.hh"
+#include "base/metrics.hh"
+#include "resources/catalog.hh"
+#include "scheduler/retry.hh"
+
+using namespace g5;
+using namespace g5::art;
+
+namespace
+{
+
+std::string
+freshDir(const std::string &name)
+{
+    auto p = std::filesystem::temp_directory_path() / name;
+    std::filesystem::remove_all(p);
+    return p.string();
+}
+
+Json
+bootParams(const std::string &cpu, int cores, const std::string &mem)
+{
+    Json p = Json::object();
+    p["cpu"] = cpu;
+    p["num_cpus"] = cores;
+    p["mem_system"] = mem;
+    p["boot_type"] = "init";
+    return p;
+}
+
+/** Quiet logging + clean cache/fault env for the whole test. */
+class TestGuard
+{
+  public:
+    TestGuard()
+    {
+        setQuiet(true);
+        unsetenv("G5ART_NO_CACHE");
+        fault::reset();
+    }
+    ~TestGuard()
+    {
+        fault::reset();
+        setQuiet(false);
+    }
+};
+
+/** One workspace with the boot-exit resources materialized. */
+struct Fixture
+{
+    /** @param db_dir non-empty = on-disk database (WAL persistence). */
+    explicit Fixture(const std::string &root,
+                     const std::string &db_dir = "")
+        : ws(root, db_dir), binary(ws.gem5Binary("20.1.0.4")),
+          kernel(ws.kernel("5.4.49")),
+          disk(ws.disk("boot-exit", resources::buildBootExitImage())),
+          script(ws.runScript("run_exit.py", "boot-exit run script"))
+    {}
+
+    Gem5Run
+    makeRun(const std::string &name, const Json &params,
+            double timeout = 60.0)
+    {
+        return Gem5Run::createFSRun(
+            ws.adb(), name, binary.path, script.path, ws.outdir(name),
+            binary.artifact, binary.repoArtifact, script.repoArtifact,
+            kernel.path, disk.path, kernel.artifact, disk.artifact,
+            params, timeout);
+    }
+
+    Workspace ws;
+    Workspace::Item binary, kernel, disk, script;
+};
+
+} // anonymous namespace
+
+TEST(Metrics, CounterIncrementsAndResets)
+{
+    metrics::Counter &c = metrics::counter("test.metrics.counter");
+    std::int64_t before = c.value();
+    c.inc();
+    c.inc(41);
+    EXPECT_EQ(c.value(), before + 42);
+    // The registry hands back the same object for the same name.
+    EXPECT_EQ(&metrics::counter("test.metrics.counter"), &c);
+    c.reset();
+    EXPECT_EQ(c.value(), 0);
+}
+
+TEST(Metrics, GaugeSetsAndAdjusts)
+{
+    metrics::Gauge &g = metrics::gauge("test.metrics.gauge");
+    g.set(7);
+    EXPECT_EQ(g.value(), 7);
+    g.add(-3);
+    EXPECT_EQ(g.value(), 4);
+}
+
+TEST(Metrics, CountersAreRaceFreeUnderContention)
+{
+    metrics::Counter &c = metrics::counter("test.metrics.contended");
+    c.reset();
+    constexpr int threads = 4, per = 10'000;
+    std::vector<std::thread> pool;
+    for (int t = 0; t < threads; ++t)
+        pool.emplace_back([&c] {
+            for (int i = 0; i < per; ++i)
+                c.inc();
+        });
+    for (auto &th : pool)
+        th.join();
+    EXPECT_EQ(c.value(), std::int64_t(threads) * per);
+}
+
+TEST(Metrics, HistogramBucketsCumulativeAndMeanExact)
+{
+    metrics::Histogram &h =
+        metrics::histogram("test.metrics.hist", {1.0, 10.0, 100.0});
+    h.reset();
+    for (double v : {0.5, 0.5, 5.0, 50.0, 500.0})
+        h.observe(v);
+    EXPECT_EQ(h.count(), 5);
+    EXPECT_NEAR(h.sum(), 556.0, 1e-6);
+    Json snap = h.snapshot();
+    EXPECT_EQ(snap.getInt("count"), 5);
+    EXPECT_NEAR(snap.getDouble("mean"), 556.0 / 5, 1e-9);
+    const Json &buckets = snap.at("buckets");
+    EXPECT_EQ(buckets.getInt("<=1.0"), 2);   // cumulative counts
+    EXPECT_EQ(buckets.getInt("<=10.0"), 3);
+    EXPECT_EQ(buckets.getInt("<=100.0"), 4);
+    EXPECT_EQ(buckets.getInt("+Inf"), 5);
+}
+
+TEST(Metrics, SnapshotIsDeterministicAndResetAllZeroes)
+{
+    metrics::counter("test.snap.a").inc(3);
+    metrics::gauge("test.snap.b").set(-1);
+    Json one = metrics::snapshot();
+    Json two = metrics::snapshot();
+    // Byte-stable: sorted keys, identical serialization.
+    EXPECT_EQ(one.dump(), two.dump());
+    EXPECT_EQ(one.getInt("test.snap.a"), 3);
+    EXPECT_EQ(one.getInt("test.snap.b"), -1);
+
+    metrics::resetAll();
+    Json zeroed = metrics::snapshot();
+    EXPECT_EQ(zeroed.getInt("test.snap.a"), 0);
+    EXPECT_EQ(zeroed.getInt("test.snap.b"), 0);
+    // Registrations survive a reset.
+    EXPECT_TRUE(zeroed.contains("test.snap.a"));
+}
+
+TEST(MetricsSweep, DeterministicCountersForFixedSweep)
+{
+    TestGuard guard;
+    std::string root = freshDir("g5_metrics_sweep_db");
+    Fixture fx(root, root + "/db"); // on-disk: exercises WAL appends
+
+    metrics::Counter &hits = metrics::counter("art.runCache.hits");
+    metrics::Counter &misses = metrics::counter("art.runCache.misses");
+    metrics::Counter &retries =
+        metrics::counter("scheduler.tasks.retries");
+    metrics::Counter &wal_bytes =
+        metrics::counter("db.wal.bytesAppended");
+    metrics::Counter &run_inserts = metrics::counter("db.runs.inserts");
+    std::int64_t hits0 = hits.value(), misses0 = misses.value();
+    std::int64_t retries0 = retries.value();
+    std::int64_t wal0 = wal_bytes.value();
+    std::int64_t inserts0 = run_inserts.value();
+
+    // A fixed fig8-style slice: 4 configurations, run twice. The first
+    // wave misses the run cache 4 times; the second wave hits 4 times.
+    std::vector<Json> grid;
+    for (int cores : {1, 2, 4, 8})
+        grid.push_back(bootParams("kvm", cores, "classic"));
+
+    Tasks tasks(fx.ws.adb(), 0, Tasks::Backend::Inline);
+    for (int wave = 0; wave < 2; ++wave) {
+        std::vector<Gem5Run> runs;
+        for (std::size_t i = 0; i < grid.size(); ++i)
+            runs.push_back(fx.makeRun("w" + std::to_string(wave) + "-" +
+                                          std::to_string(i),
+                                      grid[i]));
+        std::vector<scheduler::TaskFuturePtr> futs;
+        for (Gem5Run &run : runs)
+            futs.push_back(tasks.applyAsync(run));
+        for (auto &f : futs)
+            f->wait();
+    }
+
+    EXPECT_EQ(misses.value() - misses0, 4);
+    EXPECT_EQ(hits.value() - hits0, 4);
+    EXPECT_EQ(retries.value() - retries0, 0);
+    EXPECT_EQ(run_inserts.value() - inserts0, 8);
+    // The on-disk database appended every journal/run mutation to WALs.
+    fx.ws.adb().db().save();
+    EXPECT_GT(wal_bytes.value() - wal0, 0);
+}
+
+TEST(MetricsSweep, RetryCounterTracksInjectedTransientFaults)
+{
+    TestGuard guard;
+    Fixture fx(freshDir("g5_metrics_retry_db"));
+    metrics::Counter &retries =
+        metrics::counter("scheduler.tasks.retries");
+    std::int64_t before = retries.value();
+
+    // First attempt dies from an injected host fault; the retry runs
+    // clean — exactly one retry is scheduled.
+    fault::armAfter("run.execute", 0);
+    Tasks tasks(fx.ws.adb(), 0, Tasks::Backend::Inline);
+    tasks.setRetryPolicy(scheduler::RetryPolicy::transientFaults(2));
+    auto fut =
+        tasks.applyAsync(fx.makeRun("crashy", bootParams("kvm", 1,
+                                                         "classic")));
+    fut->wait();
+    EXPECT_EQ(retries.value() - before, 1);
+}
+
+TEST(MetricsSweep, SweepArchivesMetricsSnapshotOnCompletion)
+{
+    TestGuard guard;
+    Fixture fx(freshDir("g5_metrics_archive_db"));
+
+    std::vector<Gem5Run> runs;
+    for (int cores : {1, 2})
+        runs.push_back(fx.makeRun("kvm-" + std::to_string(cores),
+                                  bootParams("kvm", cores, "classic")));
+
+    Tasks tasks(fx.ws.adb(), 0, Tasks::Backend::Inline);
+    SweepJournal sweep(fx.ws.adb(), "metrics-archive");
+    sweep.submit(tasks, runs);
+    tasks.waitAll();
+
+    // The completed sweep archived a process metrics snapshot...
+    Json doc = fx.ws.adb().db().collection("sweepMetrics")
+                   .findById("metrics-archive");
+    ASSERT_FALSE(doc.isNull());
+    const Json &snap = doc.at("metricsSnapshot");
+    EXPECT_GE(snap.getInt("db.runs.inserts"), 2);
+    EXPECT_TRUE(snap.contains("art.runCache.misses"));
+    // ...without perturbing the journal census.
+    Json census = sweep.census();
+    EXPECT_EQ(census.getInt("total"), 2);
+    EXPECT_EQ(census.getInt("done"), 2);
+}
+
+TEST(MetricsSweep, RunReportAttachesMetricsSnapshot)
+{
+    TestGuard guard;
+    Fixture fx(freshDir("g5_metrics_report_db"));
+    Gem5Run run = fx.makeRun("solo", bootParams("kvm", 1, "classic"));
+    run.execute(fx.ws.adb());
+    Json doc = run.report(fx.ws.adb());
+    ASSERT_TRUE(doc.contains("metricsSnapshot"));
+    EXPECT_GE(doc.at("metricsSnapshot").getInt("db.runs.inserts"), 1);
+    EXPECT_EQ(doc.getString("status"), "SUCCESS");
+}
+
+TEST(Metrics, TaskQueueSummaryCarriesLiveMetrics)
+{
+    scheduler::TaskQueue queue(2);
+    std::atomic<bool> release{false};
+    auto fut = queue.applyAsync("probe", [&](scheduler::CancelToken &) {
+        while (!release.load())
+            std::this_thread::yield();
+        return Json();
+    });
+    Json summary = queue.summary();
+    ASSERT_TRUE(summary.contains("metrics"));
+    const Json &m = summary.at("metrics");
+    EXPECT_EQ(m.getInt("workersLive"), 2);
+    EXPECT_GE(m.getInt("workersBusy"), 0);
+    EXPECT_GE(m.getDouble("utilization"), 0.0);
+    EXPECT_LE(m.getDouble("utilization"), 1.0);
+    EXPECT_TRUE(m.contains("queueDepth"));
+    EXPECT_TRUE(m.contains("taskSeconds"));
+    release.store(true);
+    fut->wait();
+    Json after = queue.summary();
+    EXPECT_GE(after.at("metrics").at("taskSeconds").getInt("count"), 1);
+}

@@ -1,0 +1,245 @@
+/** @file Tests for the chrome://tracing span recorder and its
+ *  integration with the run/sweep layers. */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "art/sweep.hh"
+#include "art/tasks.hh"
+#include "art/workspace.hh"
+#include "base/faultinject.hh"
+#include "base/logging.hh"
+#include "base/tracing.hh"
+#include "resources/catalog.hh"
+#include "sim/trace.hh"
+
+using namespace g5;
+using namespace g5::art;
+
+namespace
+{
+
+std::string
+freshDir(const std::string &name)
+{
+    auto p = std::filesystem::temp_directory_path() / name;
+    std::filesystem::remove_all(p);
+    return p.string();
+}
+
+Json
+bootParams(const std::string &cpu, int cores, const std::string &mem)
+{
+    Json p = Json::object();
+    p["cpu"] = cpu;
+    p["num_cpus"] = cores;
+    p["mem_system"] = mem;
+    p["boot_type"] = "init";
+    return p;
+}
+
+/** Quiet logging, clean env, and recording always stopped on exit. */
+class TestGuard
+{
+  public:
+    TestGuard()
+    {
+        setQuiet(true);
+        unsetenv("G5ART_NO_CACHE");
+        fault::reset();
+    }
+    ~TestGuard()
+    {
+        tracing::stop();
+        fault::reset();
+        setQuiet(false);
+    }
+};
+
+struct Fixture
+{
+    explicit Fixture(const std::string &root)
+        : ws(root), binary(ws.gem5Binary("20.1.0.4")),
+          kernel(ws.kernel("5.4.49")),
+          disk(ws.disk("boot-exit", resources::buildBootExitImage())),
+          script(ws.runScript("run_exit.py", "boot-exit run script"))
+    {}
+
+    Gem5Run
+    makeRun(const std::string &name, const Json &params,
+            double timeout = 60.0)
+    {
+        return Gem5Run::createFSRun(
+            ws.adb(), name, binary.path, script.path, ws.outdir(name),
+            binary.artifact, binary.repoArtifact, script.repoArtifact,
+            kernel.path, disk.path, kernel.artifact, disk.artifact,
+            params, timeout);
+    }
+
+    Workspace ws;
+    Workspace::Item binary, kernel, disk, script;
+};
+
+/** Events of a given phase (and optional category) from a trace doc. */
+std::vector<Json>
+eventsOf(const Json &doc, const std::string &ph,
+         const std::string &cat = "")
+{
+    std::vector<Json> out;
+    for (const Json &ev : doc.at("traceEvents").asArray())
+        if (ev.getString("ph") == ph &&
+            (cat.empty() || ev.getString("cat") == cat))
+            out.push_back(ev);
+    return out;
+}
+
+} // anonymous namespace
+
+TEST(Tracing, DisabledByDefaultRecordsNothing)
+{
+    TestGuard guard;
+    ASSERT_FALSE(tracing::enabled());
+    {
+        tracing::Span span("invisible");
+        span.arg("k", Json(1));
+    }
+    tracing::instant("also-invisible");
+    EXPECT_EQ(tracing::eventCount(), 0u);
+}
+
+TEST(Tracing, SpansNestByContainmentOnOneThread)
+{
+    TestGuard guard;
+    tracing::start("");
+    {
+        tracing::Span outer("outer");
+        outer.arg("phase", Json("setup"));
+        {
+            tracing::Span inner("inner");
+        }
+    }
+    Json doc = tracing::stop();
+
+    std::vector<Json> spans = eventsOf(doc, "X");
+    ASSERT_EQ(spans.size(), 2u);
+    // stop() sorts by ts: the outer span opened first.
+    const Json &outer = spans[0], &inner = spans[1];
+    EXPECT_EQ(outer.getString("name"), "outer");
+    EXPECT_EQ(inner.getString("name"), "inner");
+    // Same thread, and the inner interval is contained in the outer
+    // one — exactly what the chrome viewer uses to nest them.
+    EXPECT_EQ(outer.getInt("tid"), inner.getInt("tid"));
+    double o0 = outer.getDouble("ts");
+    double o1 = o0 + outer.getDouble("dur");
+    double i0 = inner.getDouble("ts");
+    double i1 = i0 + inner.getDouble("dur");
+    EXPECT_GE(i0, o0);
+    EXPECT_LE(i1, o1);
+    EXPECT_EQ(outer.at("args").getString("phase"), "setup");
+}
+
+TEST(Tracing, WritesChromeLoadableJsonFile)
+{
+    TestGuard guard;
+    std::string path = freshDir("g5_trace_out") + "/trace.json";
+    tracing::start(path);
+    {
+        tracing::Span span("unit-of-work", "test");
+    }
+    tracing::instant("marker", "test");
+    tracing::stop();
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    Json doc = Json::parse(ss.str()); // throws on malformed JSON
+    ASSERT_TRUE(doc.contains("traceEvents"));
+    ASSERT_EQ(doc.at("traceEvents").size(), 2u);
+    for (const Json &ev : doc.at("traceEvents").asArray()) {
+        // The minimal fields every chrome-trace consumer requires.
+        EXPECT_TRUE(ev.contains("name"));
+        EXPECT_TRUE(ev.contains("ph"));
+        EXPECT_TRUE(ev.contains("ts"));
+        EXPECT_TRUE(ev.contains("pid"));
+        EXPECT_TRUE(ev.contains("tid"));
+    }
+}
+
+TEST(Tracing, AsyncPairsMatchByNameAndId)
+{
+    TestGuard guard;
+    tracing::start("");
+    tracing::asyncBegin("op", 17, "test");
+    tracing::asyncEnd("op", 17, "test");
+    Json doc = tracing::stop();
+    std::vector<Json> begins = eventsOf(doc, "b");
+    std::vector<Json> ends = eventsOf(doc, "e");
+    ASSERT_EQ(begins.size(), 1u);
+    ASSERT_EQ(ends.size(), 1u);
+    EXPECT_EQ(begins[0].getString("name"), ends[0].getString("name"));
+    EXPECT_EQ(begins[0].getInt("id"), 17);
+    EXPECT_EQ(ends[0].getInt("id"), 17);
+    EXPECT_LE(begins[0].getDouble("ts"), ends[0].getDouble("ts"));
+}
+
+TEST(Tracing, DtraceLinesMirrorAsInstantEvents)
+{
+    TestGuard guard;
+    sim::trace::captureToBuffer(true); // keep stderr clean
+    tracing::start("");
+    sim::trace::emit(1234, "Syscall", "tid 0 syscall 1");
+    Json doc = tracing::stop();
+    sim::trace::captureToBuffer(false);
+    sim::trace::takeCaptured();
+
+    std::vector<Json> instants = eventsOf(doc, "i", "dtrace");
+    ASSERT_EQ(instants.size(), 1u);
+    EXPECT_EQ(instants[0].getString("name"), "Syscall");
+    EXPECT_EQ(instants[0].at("args").getString("line"),
+              "tid 0 syscall 1");
+    EXPECT_EQ(instants[0].at("args").getInt("tick"), 1234);
+}
+
+TEST(TracingSweep, RunSpanCountMatchesCensus)
+{
+    TestGuard guard;
+    Fixture fx(freshDir("g5_tracing_sweep_db"));
+
+    std::vector<Gem5Run> runs;
+    for (int cores : {1, 2, 4})
+        runs.push_back(fx.makeRun("kvm-" + std::to_string(cores),
+                                  bootParams("kvm", cores, "classic")));
+
+    tracing::start("");
+    Tasks tasks(fx.ws.adb(), 0, Tasks::Backend::Inline);
+    SweepJournal sweep(fx.ws.adb(), "traced");
+    sweep.submit(tasks, runs);
+    tasks.waitAll();
+    Json census = sweep.census();
+    Json doc = tracing::stop();
+
+    // Every run executed exactly once (fresh database, no cache hits,
+    // no retries): one "run" span per census entry.
+    std::vector<Json> run_spans = eventsOf(doc, "X", "run");
+    EXPECT_EQ(std::int64_t(run_spans.size()), census.getInt("total"));
+    EXPECT_EQ(census.getInt("done"), 3);
+    for (const Json &span : run_spans)
+        EXPECT_EQ(span.at("args").getString("outcome"), "success");
+
+    // The sweep itself is one async begin/end pair wrapping the runs.
+    std::vector<Json> begins = eventsOf(doc, "b", "sweep");
+    std::vector<Json> ends = eventsOf(doc, "e", "sweep");
+    ASSERT_EQ(begins.size(), 1u);
+    ASSERT_EQ(ends.size(), 1u);
+    EXPECT_EQ(begins[0].getString("name"), "sweep:traced");
+    EXPECT_EQ(begins[0].at("args").getInt("submitted"), 3);
+    EXPECT_EQ(ends[0].at("args").getInt("done"), 3);
+
+    // Scheduler task spans rode along, one per submitted run.
+    EXPECT_EQ(eventsOf(doc, "X", "scheduler").size(), 3u);
+}
