@@ -54,6 +54,35 @@ BM_EventQueueThroughput(benchmark::State &state)
 
 BENCHMARK(BM_EventQueueThroughput)->Unit(benchmark::kMillisecond);
 
+/**
+ * Schedule/deschedule churn: the timeout-timer pattern where most
+ * events are cancelled before firing (device watchdogs, quantum
+ * timers). Exercises slot recycling and the stale-key purge instead of
+ * the fire path.
+ */
+void
+BM_EventQueueChurn(benchmark::State &state)
+{
+    for (auto _ : state) {
+        sim::EventQueue eq;
+        std::uint64_t fired = 0;
+        for (int i = 0; i < 100'000; ++i) {
+            auto timeout =
+                eq.schedule(eq.curTick() + 1'000, [&] { ++fired; });
+            eq.schedule(eq.curTick() + 10, [&] { ++fired; });
+            eq.deschedule(timeout); // the work "completed in time"
+            if (i % 64 == 0)
+                eq.run(eq.curTick() + 20);
+        }
+        eq.run();
+        benchmark::DoNotOptimize(fired);
+        benchmark::DoNotOptimize(eq.footprintBytes());
+    }
+    state.SetItemsProcessed(std::int64_t(state.iterations()) * 200'000);
+}
+
+BENCHMARK(BM_EventQueueChurn)->Unit(benchmark::kMillisecond);
+
 void
 BM_Md5Throughput(benchmark::State &state)
 {
@@ -653,6 +682,34 @@ BM_SimulatorMips(benchmark::State &state)
 
 BENCHMARK(BM_SimulatorMips)->DenseRange(0, 3)
     ->Unit(benchmark::kMillisecond);
+
+/**
+ * The fast-forward model's headline number: a full systemd boot on the
+ * batched threaded-code interpreter with atomic-equivalent timing.
+ * Compare against BM_SimulatorMips/0 (kvm) and /1 (atomic).
+ */
+void
+BM_FastCpuBoot(benchmark::State &state)
+{
+    setQuiet(true);
+    std::uint64_t insts = 0;
+    for (auto _ : state) {
+        sim::fs::FsConfig cfg;
+        cfg.cpuType = sim::CpuType::Fast;
+        cfg.memSystem = "classic";
+        cfg.kernelVersion = "5.4.49";
+        cfg.bootType = sim::fs::BootType::Systemd;
+        cfg.simVersion = "";
+        sim::fs::FsSystem fs(cfg);
+        auto r = fs.run(5'000'000'000'000ULL);
+        insts += r.totalInsts;
+    }
+    setQuiet(false);
+    state.SetItemsProcessed(std::int64_t(insts));
+    state.SetLabel("fast (items = guest instructions)");
+}
+
+BENCHMARK(BM_FastCpuBoot)->Unit(benchmark::kMillisecond);
 
 /**
  * Per-task cost of the fault-tolerance machinery: every task fails

@@ -18,6 +18,8 @@ cpuTypeName(CpuType t)
         return "TimingSimpleCPU";
       case CpuType::O3:
         return "O3CPU";
+      case CpuType::Fast:
+        return "fastCPU";
     }
     return "?";
 }
@@ -33,6 +35,8 @@ cpuTypeFromName(const std::string &name)
         return CpuType::TimingSimple;
     if (name == "o3" || name == "O3CPU")
         return CpuType::O3;
+    if (name == "fast" || name == "fastCPU")
+        return CpuType::Fast;
     fatal("unknown CPU type '" + name + "'");
 }
 

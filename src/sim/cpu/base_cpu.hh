@@ -21,8 +21,8 @@
 namespace g5::sim
 {
 
-/** The CPU models of Fig 8, plus the GPU-less default. */
-enum class CpuType { Kvm, AtomicSimple, TimingSimple, O3 };
+/** The CPU models of Fig 8, plus the batched fast-forward model. */
+enum class CpuType { Kvm, AtomicSimple, TimingSimple, O3, Fast };
 
 /** @return the Fig 8 display name ("kvmCPU", "AtomicSimpleCPU", ...). */
 const char *cpuTypeName(CpuType t);

@@ -1,0 +1,77 @@
+#include "sim/cpu/fast_cpu.hh"
+
+#include <string>
+
+namespace g5::sim
+{
+
+const char *
+batchExitName(BatchExit reason)
+{
+    switch (reason) {
+      case BatchExit::BatchFull:
+        return "batch_full";
+      case BatchExit::Preempt:
+        return "preempt";
+      case BatchExit::Blocked:
+        return "blocked";
+      case BatchExit::Halt:
+        return "halt";
+      case BatchExit::Mmio:
+        return "mmio";
+      case BatchExit::ExitPending:
+        return "exit";
+      case BatchExit::NumReasons:
+        break;
+    }
+    return "?";
+}
+
+BatchedCpu::BatchedCpu(System &sys, int cpu_id)
+    : BaseCpu(sys, cpu_id),
+      fpInsts(metrics::counter("sim.fastpath.insts")),
+      fpBatchSize(metrics::histogram(
+          "sim.fastpath.batchInsts",
+          {1.0, 64.0, 512.0, 4096.0, 20000.0, 65536.0}))
+{
+    for (std::size_t i = 0; i < fpExits.size(); ++i) {
+        fpExits[i] = &metrics::counter(
+            std::string("sim.fastpath.exits.") +
+            batchExitName(BatchExit(i)));
+    }
+}
+
+void
+BatchedCpu::recordBatch(const BatchResult &res)
+{
+    fpInsts.inc(std::int64_t(res.insts));
+    fpBatchSize.observe(double(res.insts));
+    fpExits[std::size_t(res.reason)]->inc();
+}
+
+FastCpu::FastCpu(System &sys, int cpu_id)
+    : BatchedCpu(sys, cpu_id)
+{
+    if (!sys.memSystem->supportsAtomicCpu()) {
+        fatal("fastCPU is not supported with the " +
+              sys.memSystem->protocolName() +
+              " (Ruby) memory system in this version");
+    }
+    timing.memSys = sys.memSystem.get();
+    timing.cpu = id;
+    for (std::size_t op = 0; op < timing.instCost.size(); ++op)
+        timing.instCost[op] = period * isa::opLatency(isa::Op(op));
+}
+
+void
+FastCpu::tick()
+{
+    if (!acquireThread())
+        return;
+
+    BatchResult res = runBatch(batchInsts, timing, /*exit_on_io=*/true);
+    recordBatch(res);
+    scheduleTick(res.spent ? res.spent : period);
+}
+
+} // namespace g5::sim

@@ -1,0 +1,477 @@
+/**
+ * @file
+ * Batched fast-forward execution (DESIGN.md §10).
+ *
+ * BatchedCpu is an execution engine shared by the fast-forward models:
+ * it interprets straight-line SimISA directly out of the program's
+ * instruction array in tight batches, touching the event queue only
+ * once per batch instead of once per instruction. Architectural
+ * semantics mirror isa::step() exactly (same register effects, same
+ * panics); what differs is purely the host cost per simulated
+ * instruction:
+ *
+ *  - no StepInfo is materialized for ALU/branch/memory work;
+ *  - dispatch is threaded (computed goto): every handler ends with its
+ *    own indirect jump, so the host branch predictor learns per-opcode
+ *    successor patterns instead of sharing one switch site;
+ *  - loads and stores go through a one-page read/write cache straight
+ *    into PhysMem's backing words (pages are node-stable, so cached
+ *    pointers stay valid for a whole batch);
+ *  - per-instruction quantum accounting collapses into segments sized
+ *    to hit the quantum boundary exactly (between kernel entries
+ *    nothing can change the OS run queue, so the per-instruction check
+ *    is equivalent).
+ *
+ * A batch runs until a timing-relevant boundary: budget exhausted,
+ * quantum expiry with a runnable waiter, a kernel entry that blocks or
+ * halts the thread, a device access (FastCpu only), or a requested
+ * simulation exit. Exit reasons are published as sim.fastpath.*
+ * metrics.
+ *
+ * Timing is a policy argument so models with different charging rules
+ * share one interpreter:
+ *
+ *  - FlatBatchTiming: a flat per-instruction charge and no memory
+ *    model — the kvm fast-forward analogue.
+ *  - AtomicBatchTiming: ALU latency classes plus atomic-mode memory
+ *    latency from the MemSystem — cycle-identical to AtomicSimpleCpu,
+ *    so fast/atomic runs agree on final tick counts as well as
+ *    architectural state.
+ */
+
+#ifndef G5_SIM_CPU_FAST_CPU_HH
+#define G5_SIM_CPU_FAST_CPU_HH
+
+#include <array>
+
+#include "base/logging.hh"
+#include "base/metrics.hh"
+#include "sim/cpu/base_cpu.hh"
+#include "sim/mem/mem_system.hh"
+
+namespace g5::sim
+{
+
+/** Why a fast-path batch handed control back to the event loop. */
+enum class BatchExit : unsigned
+{
+    BatchFull,   ///< instruction budget exhausted
+    Preempt,     ///< quantum expired with a runnable waiter
+    Blocked,     ///< thread blocked or exited inside the kernel
+    Halt,        ///< thread executed Halt
+    Mmio,        ///< device access forced a resync (FastCpu only)
+    ExitPending, ///< an m5 op requested simulation exit
+    NumReasons,
+};
+
+/** @return the metric suffix for @p reason ("batch_full", ...). */
+const char *batchExitName(BatchExit reason);
+
+/** Flat per-instruction charge, no memory model (kvm fast-forward). */
+struct FlatBatchTiming
+{
+    Tick perInst;
+
+    Tick instTicks(isa::Op) const { return perInst; }
+    Tick memTicks(Addr, bool) const { return 0; }
+};
+
+/** ALU latency classes + atomic-mode memory latency (FastCpu). */
+struct AtomicBatchTiming
+{
+    mem::MemSystem *memSys = nullptr;
+    int cpu = 0;
+    /** period * opLatency(op), precomputed per opcode. The extra slot
+     *  keeps a junk NumOps opcode in bounds until the decoder panics. */
+    std::array<Tick, std::size_t(isa::Op::NumOps) + 1> instCost{};
+
+    Tick instTicks(isa::Op op) const
+    {
+        return instCost[std::size_t(op)];
+    }
+
+    Tick memTicks(Addr addr, bool write) const
+    {
+        return memSys->atomicAccess(cpu, addr, write);
+    }
+};
+
+/** Shared batched interpreter; see the file comment. */
+class BatchedCpu : public BaseCpu
+{
+  public:
+    BatchedCpu(System &sys, int cpu_id);
+
+  protected:
+    struct BatchResult
+    {
+        Tick spent = 0;
+        std::uint64_t insts = 0;
+        BatchExit reason = BatchExit::BatchFull;
+    };
+
+    /**
+     * Execute up to @p max_insts instructions of the resident thread.
+     * @param timing charging policy (FlatBatchTiming/AtomicBatchTiming)
+     * @param exit_on_io end the batch after a device access so the
+     *        model resynchronizes with the event queue at MMIO
+     *        boundaries.
+     */
+    template <typename Timing>
+    BatchResult runBatch(std::uint64_t max_insts, const Timing &timing,
+                         bool exit_on_io);
+
+    /** Publish sim.fastpath.* metrics for a finished batch. */
+    void recordBatch(const BatchResult &res);
+
+  private:
+    metrics::Counter &fpInsts;
+    metrics::Histogram &fpBatchSize;
+    std::array<metrics::Counter *,
+               std::size_t(BatchExit::NumReasons)> fpExits{};
+};
+
+/**
+ * The fast-forward CPU model: batched execution with atomic-latency
+ * memory. Selectable as "fast" wherever a CPU type is configured, for
+ * fast-forwarding boot/warmup phases while keeping tick counts (and
+ * all architectural state) identical to AtomicSimpleCPU.
+ */
+class FastCpu : public BatchedCpu
+{
+  public:
+    FastCpu(System &sys, int cpu_id);
+
+    std::string typeName() const override { return "fastCPU"; }
+
+    /**
+     * Per-event instruction budget. Large by default: boundaries, not
+     * the budget, usually end a batch. Equivalence tests shrink it to
+     * AtomicSimpleCpu's batch size so event boundaries line up and the
+     * two models agree on final tick counts exactly.
+     */
+    std::uint64_t batchInsts = 65'536;
+
+  protected:
+    void tick() override;
+
+  private:
+    AtomicBatchTiming timing;
+};
+
+/**
+ * Fetch/decode/dispatch step of the threaded interpreter. Order
+ * matters: the budget and code-bounds checks must precede the charge
+ * so a segment boundary never half-executes an instruction.
+ */
+#define G5_FAST_DISPATCH()                                              \
+    do {                                                                \
+        if (n >= budget)                                                \
+            goto segmentEnd;                                            \
+        if (pc >= codeSize) [[unlikely]]                                \
+            goto outOfCode;                                             \
+        inst = code + pc;                                               \
+        next_pc = pc + 1;                                               \
+        spent += timing.instTicks(inst->op);                            \
+        goto *dispatch[unsigned(inst->op)];                             \
+    } while (0)
+
+/** Commit the current instruction and dispatch the next one. */
+#define G5_FAST_NEXT()                                                  \
+    do {                                                                \
+        pc = next_pc;                                                   \
+        ++n;                                                            \
+        G5_FAST_DISPATCH();                                             \
+    } while (0)
+
+template <typename Timing>
+BatchedCpu::BatchResult
+BatchedCpu::runBatch(std::uint64_t max_insts, const Timing &timing,
+                     bool exit_on_io)
+{
+    using isa::Op;
+    using isa::StepKind;
+
+    // Handler table in Op enumerator order; the trailing entry keeps a
+    // junk NumOps opcode dispatching to the canonical panic.
+    static const void *dispatch[] = {
+        &&opNop,  &&opHalt, &&opAdd,  &&opSub,  &&opMul,  &&opDiv,
+        &&opAnd,  &&opOr,   &&opXor,  &&opShl,  &&opShr,  &&opMovi,
+        &&opMov,  &&opAddi, &&opMuli, &&opFadd, &&opFmul, &&opFdiv,
+        &&opLd,   &&opSt,   &&opAmo,  &&opBeq,  &&opBne,  &&opBlt,
+        &&opBge,  &&opJmp,  &&opSyscall, &&opM5Op, &&opIoRd, &&opIoWr,
+        &&opPause, &&opBad,
+    };
+    static_assert(std::size_t(Op::NumOps) + 1 ==
+                      sizeof(dispatch) / sizeof(dispatch[0]),
+                  "dispatch table out of sync with isa::Op");
+
+    const isa::Inst *code = tc->prog->code.data();
+    std::uint64_t codeSize = tc->prog->code.size();
+    std::int64_t *const r = tc->regs;
+    std::uint64_t pc = tc->pc;
+
+    Tick spent = 0;
+    std::uint64_t executed = 0; // committed this batch
+    std::uint64_t n = 0;        // committed since the last commit()
+    std::uint64_t memRefs = 0;
+
+    // One-page read/write caches for the direct memory path. A write
+    // that creates the read-cached page must refresh the read slot
+    // (reads never allocate, so the read cache can hold nullptr).
+    constexpr Addr noPage = ~Addr(0);
+    Addr readPage = noPage, writePage = noPage;
+    const std::int64_t *readWords = nullptr;
+    std::int64_t *writeWords = nullptr;
+
+    const isa::Inst *inst = nullptr;
+    std::uint64_t next_pc = 0;
+    std::uint64_t budget = 0;
+    bool preemptAtEnd = false;
+
+    auto commit = [&] {
+        tc->pc = pc;
+        if (n) {
+            numInsts += double(n);
+            tc->numInsts += n;
+            sliceInsts += n;
+            executed += n;
+            n = 0;
+        }
+        if (memRefs) {
+            numMemRefs += double(memRefs);
+            memRefs = 0;
+        }
+    };
+
+    for (;;) {
+        budget = max_insts - executed;
+        if (budget == 0)
+            return BatchResult{spent, executed, BatchExit::BatchFull};
+        // Preemption: between kernel entries nothing can change the OS
+        // run queue, so the per-instruction quantum check reduces to a
+        // segment sized to hit the quantum boundary exactly.
+        preemptAtEnd = false;
+        if (sys.os && sys.os->hasRunnable()) {
+            const std::uint64_t toQuantum =
+                sliceInsts < quantumInsts ? quantumInsts - sliceInsts : 1;
+            if (toQuantum <= budget) {
+                budget = toQuantum;
+                preemptAtEnd = true;
+            }
+        }
+
+        G5_FAST_DISPATCH();
+
+      opNop:
+      opPause:
+        G5_FAST_NEXT();
+
+      opAdd:
+        r[inst->rd] = isa::wrapAdd(r[inst->rs], r[inst->rt]);
+        G5_FAST_NEXT();
+      opSub:
+        r[inst->rd] = isa::wrapSub(r[inst->rs], r[inst->rt]);
+        G5_FAST_NEXT();
+      opMul:
+        r[inst->rd] = isa::wrapMul(r[inst->rs], r[inst->rt]);
+        G5_FAST_NEXT();
+      opDiv:
+        r[inst->rd] = isa::wrapDiv(r[inst->rs], r[inst->rt]);
+        G5_FAST_NEXT();
+      opAnd:
+        r[inst->rd] = r[inst->rs] & r[inst->rt];
+        G5_FAST_NEXT();
+      opOr:
+        r[inst->rd] = r[inst->rs] | r[inst->rt];
+        G5_FAST_NEXT();
+      opXor:
+        r[inst->rd] = r[inst->rs] ^ r[inst->rt];
+        G5_FAST_NEXT();
+      opShl:
+        r[inst->rd] = std::int64_t(std::uint64_t(r[inst->rs])
+                                   << (r[inst->rt] & 63));
+        G5_FAST_NEXT();
+      opShr:
+        r[inst->rd] = std::int64_t(std::uint64_t(r[inst->rs]) >>
+                                   (r[inst->rt] & 63));
+        G5_FAST_NEXT();
+      opMovi:
+        r[inst->rd] = inst->imm;
+        G5_FAST_NEXT();
+      opMov:
+        r[inst->rd] = r[inst->rs];
+        G5_FAST_NEXT();
+      opAddi:
+        r[inst->rd] = isa::wrapAdd(r[inst->rs], inst->imm);
+        G5_FAST_NEXT();
+      opMuli:
+        r[inst->rd] = isa::wrapMul(r[inst->rs], inst->imm);
+        G5_FAST_NEXT();
+      opFadd:
+        r[inst->rd] = isa::wrapAdd(r[inst->rs], r[inst->rt]);
+        G5_FAST_NEXT();
+      opFmul:
+        r[inst->rd] = isa::wrapMul(r[inst->rs], r[inst->rt]);
+        G5_FAST_NEXT();
+      opFdiv:
+        r[inst->rd] = isa::wrapDiv(r[inst->rs], r[inst->rt]);
+        G5_FAST_NEXT();
+
+      opLd: {
+        const Addr addr = Addr(isa::wrapAdd(r[inst->rs], inst->imm));
+        ++memRefs;
+        spent += timing.memTicks(addr, false);
+        if (inst->rd >= isa::numRegs) [[unlikely]] {
+            pc = next_pc;
+            commit();
+            panic("isa::completeLoad: bad destination register");
+        }
+        const Addr page = mem::PhysMem::pageNumber(addr);
+        if (page != readPage) {
+            readWords = sys.physmem.pageWords(addr);
+            readPage = page;
+        }
+        r[inst->rd] =
+            readWords ? readWords[mem::PhysMem::wordIndex(addr)] : 0;
+        G5_FAST_NEXT();
+      }
+      opSt: {
+        const Addr addr = Addr(isa::wrapAdd(r[inst->rs], inst->imm));
+        ++memRefs;
+        spent += timing.memTicks(addr, true);
+        const Addr page = mem::PhysMem::pageNumber(addr);
+        if (page != writePage) {
+            writeWords = sys.physmem.pageWordsForWrite(addr);
+            writePage = page;
+            if (page == readPage)
+                readWords = writeWords;
+        }
+        writeWords[mem::PhysMem::wordIndex(addr)] = r[inst->rt];
+        G5_FAST_NEXT();
+      }
+      opAmo: {
+        const Addr addr = Addr(isa::wrapAdd(r[inst->rs], inst->imm));
+        ++memRefs;
+        spent += timing.memTicks(addr, true);
+        if (inst->rd >= isa::numRegs) [[unlikely]] {
+            pc = next_pc;
+            commit();
+            panic("isa::completeLoad: bad destination register");
+        }
+        const Addr page = mem::PhysMem::pageNumber(addr);
+        if (page != writePage) {
+            writeWords = sys.physmem.pageWordsForWrite(addr);
+            writePage = page;
+            if (page == readPage)
+                readWords = writeWords;
+        }
+        std::int64_t &word = writeWords[mem::PhysMem::wordIndex(addr)];
+        const std::int64_t old = word;
+        // Capture r[rt] before writing rd (rd==rt is legal).
+        word = isa::wrapAdd(old, r[inst->rt]);
+        r[inst->rd] = old;
+        G5_FAST_NEXT();
+      }
+
+      opBeq:
+        if (r[inst->rs] == r[inst->rt])
+            next_pc = std::uint64_t(inst->imm);
+        G5_FAST_NEXT();
+      opBne:
+        if (r[inst->rs] != r[inst->rt])
+            next_pc = std::uint64_t(inst->imm);
+        G5_FAST_NEXT();
+      opBlt:
+        if (r[inst->rs] < r[inst->rt])
+            next_pc = std::uint64_t(inst->imm);
+        G5_FAST_NEXT();
+      opBge:
+        if (r[inst->rs] >= r[inst->rt])
+            next_pc = std::uint64_t(inst->imm);
+        G5_FAST_NEXT();
+      opJmp:
+        next_pc = std::uint64_t(inst->imm);
+        G5_FAST_NEXT();
+
+      opSyscall:
+      opM5Op:
+      opIoRd:
+      opIoWr:
+      opHalt: {
+        // Kernel entry: commit the batch so the OS sees architectural
+        // state exactly as the per-instruction models present it.
+        pc = next_pc;
+        ++n;
+        commit();
+        isa::StepInfo info;
+        info.op = inst->op;
+        switch (inst->op) {
+          case Op::Syscall:
+            info.kind = StepKind::Syscall;
+            info.code = inst->imm;
+            break;
+          case Op::M5Op:
+            info.kind = StepKind::M5Op;
+            info.code = inst->imm;
+            break;
+          case Op::IoRd:
+            info.kind = StepKind::IoRead;
+            info.addr = Addr(isa::wrapAdd(r[inst->rs], inst->imm));
+            info.rd = inst->rd;
+            break;
+          case Op::IoWr:
+            info.kind = StepKind::IoWrite;
+            info.addr = Addr(isa::wrapAdd(r[inst->rs], inst->imm));
+            info.value = r[inst->rt];
+            break;
+          default:
+            info.kind = StepKind::Halt;
+            break;
+        }
+        bool lost = false;
+        spent += handleSpecial(info, lost);
+        if (lost) {
+            return BatchResult{spent, executed,
+                               info.kind == StepKind::Halt
+                                   ? BatchExit::Halt
+                                   : BatchExit::Blocked};
+        }
+        if (sys.eventq.exitPending())
+            return BatchResult{spent, executed, BatchExit::ExitPending};
+        if (exit_on_io && (info.kind == StepKind::IoRead ||
+                           info.kind == StepKind::IoWrite))
+            return BatchResult{spent, executed, BatchExit::Mmio};
+        // The kernel may have touched the thread or woken waiters:
+        // resynchronize and resize the segment.
+        pc = tc->pc;
+        code = tc->prog->code.data();
+        codeSize = tc->prog->code.size();
+        continue;
+      }
+
+      opBad:
+        commit();
+        panic("isa::step: invalid opcode");
+
+      outOfCode:
+        commit();
+        (void)tc->prog->fetch(pc); // canonical fetch panic (throws)
+
+      segmentEnd:
+        commit();
+        if (preemptAtEnd && sys.os && sys.os->hasRunnable()) {
+            tc->status = isa::ThreadContext::Status::Runnable;
+            sys.os->requeue(tc);
+            releaseThread();
+            return BatchResult{spent, executed, BatchExit::Preempt};
+        }
+    }
+}
+
+#undef G5_FAST_DISPATCH
+#undef G5_FAST_NEXT
+
+} // namespace g5::sim
+
+#endif // G5_SIM_CPU_FAST_CPU_HH

@@ -9,7 +9,7 @@ using isa::StepInfo;
 using isa::StepKind;
 
 KvmCpu::KvmCpu(System &sys, int cpu_id)
-    : BaseCpu(sys, cpu_id)
+    : BatchedCpu(sys, cpu_id)
 {}
 
 void
@@ -18,49 +18,13 @@ KvmCpu::tick()
     if (!acquireThread())
         return; // idle until kicked
 
-    Tick spent = 0;
-    for (std::uint64_t n = 0; n < batchInsts; ++n) {
-        StepInfo info = isa::step(*tc);
-        spent += ticksPerInst;
-
-        if (info.kind == StepKind::Done) {
-            if (chargeInstruction())
-                break; // preempted
-            continue;
-        }
-
-        // Functional memory, no timing: this is the KVM fast path.
-        if (info.kind == StepKind::Load) {
-            ++numMemRefs;
-            isa::completeLoad(*tc, info.rd, sys.physmem.read(info.addr));
-            if (chargeInstruction())
-                break;
-            continue;
-        }
-        if (info.kind == StepKind::Store) {
-            ++numMemRefs;
-            sys.physmem.write(info.addr, info.value);
-            if (chargeInstruction())
-                break;
-            continue;
-        }
-        if (info.kind == StepKind::Amo) {
-            ++numMemRefs;
-            isa::completeLoad(*tc, info.rd,
-                              sys.physmem.amoAdd(info.addr, info.value));
-            if (chargeInstruction())
-                break;
-            continue;
-        }
-
-        chargeInstruction(false);
-        bool lost = false;
-        spent += handleSpecial(info, lost);
-        if (lost || sys.eventq.exitPending())
-            break;
-    }
-
-    scheduleTick(spent ? spent : period);
+    // Functional memory, flat per-instruction charge: the KVM fast
+    // path, run through the shared batched interpreter. Device access
+    // does not end a batch (matching the classic per-instruction loop).
+    BatchResult res = runBatch(batchInsts, FlatBatchTiming{ticksPerInst},
+                               /*exit_on_io=*/false);
+    recordBatch(res);
+    scheduleTick(res.spent ? res.spent : period);
 }
 
 AtomicSimpleCpu::AtomicSimpleCpu(System &sys, int cpu_id)

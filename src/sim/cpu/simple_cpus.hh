@@ -5,7 +5,8 @@
  *  - KvmCpu: executes guest code functionally at a nominal "host" rate,
  *    bypassing the memory system entirely (gem5's KVM CPU uses host
  *    hardware; the analogue here is zero-fidelity, maximum-speed
- *    execution). Works with every memory system.
+ *    execution). Works with every memory system. Runs on the batched
+ *    interpreter of fast_cpu.hh with a flat timing policy.
  *
  *  - AtomicSimpleCpu: one instruction per cycle with atomic-mode memory
  *    latencies folded in. Requires a memory system that supports atomic
@@ -23,11 +24,12 @@
 #define G5_SIM_CPU_SIMPLE_CPUS_HH
 
 #include "sim/cpu/base_cpu.hh"
+#include "sim/cpu/fast_cpu.hh"
 
 namespace g5::sim
 {
 
-class KvmCpu : public BaseCpu
+class KvmCpu : public BatchedCpu
 {
   public:
     KvmCpu(System &sys, int cpu_id);

@@ -1,43 +1,221 @@
 #include "sim/eventq.hh"
 
+#include <algorithm>
+#include <bit>
+
 #include "base/logging.hh"
 #include "scheduler/task_queue.hh"
 
 namespace g5::sim
 {
 
-EventQueue::EventQueue() = default;
-
-std::uint64_t
-EventQueue::schedule(Tick when, std::function<void()> fn, int priority)
+namespace
 {
-    if (when < now)
-        panic(csprintf("event scheduled in the past (%llu < %llu)",
-                       (unsigned long long)when, (unsigned long long)now));
-    std::uint64_t id = nextSeq++;
-    pq.push(Entry{when, priority, id, std::move(fn)});
-    ++liveEvents;
-    return id;
+
+/** Min-heap order for the far (beyond-horizon) key heap. */
+const auto farCmp = [](const auto &a, const auto &b) { return b < a; };
+
+} // namespace
+
+EventQueue::EventQueue() = default;
+EventQueue::~EventQueue() = default;
+
+void
+EventQueue::pastPanic(Tick when) const
+{
+    panic(csprintf("event scheduled in the past (%llu < %llu)",
+                   (unsigned long long)when, (unsigned long long)now));
+}
+
+void
+EventQueue::addSlabChunk()
+{
+    slabChunks.push_back(std::make_unique<Rec[]>(chunkSize));
+}
+
+void
+EventQueue::pushFar(const Key &k)
+{
+    far.push_back(k);
+    std::push_heap(far.begin(), far.end(), farCmp);
+    ++residentKeys;
+}
+
+void
+EventQueue::insertNearSlow(std::vector<Key> &b, const Key &k,
+                           std::uint64_t day)
+{
+    // The dead prefix of the current day's bucket is off-limits: a key
+    // scheduled at curTick can compare below an already-fired same-tick
+    // key, and landing inside the prefix would make it unreachable.
+    const std::size_t lo = (day == curDay) ? drainPos : 0;
+    auto it = std::lower_bound(b.begin() + lo, b.end(), k);
+    b.insert(it, k);
 }
 
 void
 EventQueue::deschedule(std::uint64_t event_id)
 {
-    // O(1) tombstone insert; the guard keeps a double-deschedule of the
-    // same id from draining liveEvents twice (which made empty() lie).
-    if (cancelled.insert(event_id).second && liveEvents > 0)
-        --liveEvents;
+    const std::uint32_t slot = static_cast<std::uint32_t>(event_id);
+    const std::uint32_t gen = static_cast<std::uint32_t>(event_id >> 32);
+    if (slot >= slabSize)
+        return;
+    Rec &r = rec(slot);
+    // Fired or already-descheduled ids fail the generation check and
+    // are no-ops — nothing is retained for them (the old tombstone set
+    // kept an entry forever when a fired id was descheduled).
+    if (r.gen != gen || !r.live)
+        return;
+    freeSlot(slot);
+    --liveEvents;
+    maybePurge();
 }
 
-bool
-EventQueue::isCancelled(std::uint64_t seq)
+void
+EventQueue::maybePurge()
 {
-    // O(1) probe on the pop path (was a linear std::find per event).
-    auto it = cancelled.find(seq);
-    if (it == cancelled.end())
-        return false;
-    cancelled.erase(it);
-    return true;
+    const std::size_t dead = residentKeys - liveEvents;
+    // Amortized O(1): a sweep costs O(resident) = O(dead + live), and
+    // the trigger guarantees dead dominates, so the cost charges to the
+    // deschedules that created the stale keys.
+    if (dead > 1024 && dead > 4 * liveEvents)
+        purgeDeadKeys();
+}
+
+void
+EventQueue::purgeDeadKeys()
+{
+    auto isStale = [this](const Key &k) { return stale(k); };
+    for (unsigned i = 0; i < numBuckets; ++i) {
+        std::vector<Key> &b = buckets[i];
+        if (b.empty())
+            continue;
+        std::erase_if(b, isStale);
+        if (b.empty())
+            clearOccupied(i);
+    }
+    drainPos = 0; // prefix of the current bucket was stale by definition
+    std::erase_if(far, isStale);
+    std::make_heap(far.begin(), far.end(), farCmp);
+
+    std::size_t resident = far.size();
+    for (const std::vector<Key> &b : buckets)
+        resident += b.size();
+    residentKeys = resident;
+}
+
+unsigned
+EventQueue::nextOccupiedOffset() const
+{
+    const unsigned idx = indexOf(curDay);
+    unsigned d = 1;
+    while (d < numBuckets) {
+        const unsigned i = (idx + d) & (numBuckets - 1);
+        const std::uint64_t w = occupied[i >> 6] >> (i & 63);
+        if (w & 1)
+            return d;
+        if (w == 0)
+            d += 64 - (i & 63); // skip to the next bitmap word
+        else
+            d += std::countr_zero(w); // jump to the next set bit
+    }
+    return 0;
+}
+
+void
+EventQueue::dropFarStale()
+{
+    while (!far.empty() && stale(far.front())) {
+        std::pop_heap(far.begin(), far.end(), farCmp);
+        far.pop_back();
+        --residentKeys;
+    }
+}
+
+void
+EventQueue::migrateFar()
+{
+    // Far keys all satisfy when >= ringStart (the calendar never
+    // advances past the earliest pending event).
+    if (far.empty() || far.front().when - ringStart() >= horizon)
+        return;
+    std::vector<Key> keep;
+    keep.reserve(far.size());
+    for (const Key &k : far) {
+        if (stale(k)) {
+            --residentKeys;
+        } else if (k.when - ringStart() < horizon) {
+            --residentKeys;
+            insertNear(k);
+        } else {
+            keep.push_back(k);
+        }
+    }
+    far.swap(keep);
+    std::make_heap(far.begin(), far.end(), farCmp);
+}
+
+void
+EventQueue::advanceToDay(std::uint64_t day)
+{
+    // Everything left in the outgoing bucket has fired or been
+    // descheduled (peekNext found no live key in it).
+    std::vector<Key> &old = buckets[indexOf(curDay)];
+    residentKeys -= old.size();
+    old.clear();
+    clearOccupied(indexOf(curDay));
+    // Reclaim the outgoing bucket's storage into the shared spare;
+    // insertNear hands it to the next day that starts.
+    if (old.capacity() > spareStorage.capacity())
+        spareStorage.swap(old);
+    curDay = day;
+    drainPos = 0;
+    migrateFar();
+}
+
+const EventQueue::Key *
+EventQueue::peekNext(std::uint64_t *advance_day)
+{
+    // 1. Current day's bucket: skip the stale prefix; the remainder is
+    //    sorted, so the first live key is the global minimum.
+    std::vector<Key> &cur = buckets[indexOf(curDay)];
+    while (drainPos < cur.size() && stale(cur[drainPos]))
+        ++drainPos;
+    if (drainPos < cur.size()) {
+        *advance_day = curDay;
+        return &cur[drainPos];
+    }
+
+    // 2. Next occupied bucket in the ring. All-stale buckets met along
+    //    the way are physically erased (safe: stale keys never fire).
+    for (;;) {
+        const unsigned d = nextOccupiedOffset();
+        if (d == 0)
+            break;
+        const unsigned i = indexOf(curDay + d);
+        std::vector<Key> &b = buckets[i];
+        std::size_t p = 0;
+        while (p < b.size() && stale(b[p]))
+            ++p;
+        if (p > 0) {
+            residentKeys -= p;
+            b.erase(b.begin(), b.begin() + p);
+        }
+        if (b.empty()) {
+            clearOccupied(i);
+            continue;
+        }
+        *advance_day = curDay + d;
+        return &b.front();
+    }
+
+    // 3. Beyond the horizon.
+    dropFarStale();
+    if (!far.empty()) {
+        *advance_day = dayOf(far.front().when);
+        return &far.front();
+    }
+    return nullptr;
 }
 
 void
@@ -55,34 +233,85 @@ EventQueue::run(Tick max_tick, scheduler::CancelToken *token)
     exitRequested = false;
     exitDesc = ExitEvent{};
 
-    while (!pq.empty()) {
-        Entry entry = pq.top();
-        if (entry.when > max_tick) {
+    for (;;) {
+        // Fast path: fire events straight out of the current day's
+        // bucket. The bucket vector object (not its storage) has a
+        // stable address, and callbacks can only append to / cancel in
+        // it, never change curDay, so re-indexing per event is all the
+        // re-validation needed.
+        std::vector<Key> &cur = buckets[indexOf(curDay)];
+        while (drainPos < cur.size()) {
+            const Key &kr = cur[drainPos];
+            Rec &r = rec(kr.slot);
+            if (r.gen != kr.gen || !r.live) {
+                ++drainPos; // lazily drop descheduled keys
+                continue;
+            }
+            if (kr.when > max_tick) {
+                // No calendar state is committed here: ringStart stays
+                // <= now, so later schedules can't alias a stale bucket.
+                exitDesc.cause = "simulate() limit reached";
+                exitDesc.code = 0;
+                exitDesc.limitReached = true;
+                now = max_tick;
+                return exitDesc;
+            }
+            const std::uint32_t slot = kr.slot;
+            const Tick when = kr.when; // kr dies if the callback appends
+            ++drainPos;
+
+            // Pre-invalidate so a self-deschedule from inside the
+            // callback is a generation-mismatch no-op, then invoke in
+            // place — slab chunks never move, even if the callback
+            // schedules events.
+            r.live = false;
+            ++r.gen;
+            --liveEvents;
+            now = when;
+            r.fn.consume();
+            freeSlots.push_back(slot);
+            ++eventsRun;
+
+            if (token && (eventsRun % pollInterval) == 0)
+                token->checkpoint();
+
+            if (exitRequested)
+                return exitDesc;
+        }
+
+        // Slow path: current bucket exhausted — find the next occupied
+        // day (ring scan or far heap) and advance the calendar.
+        std::uint64_t day;
+        const Key *cand = peekNext(&day);
+        if (!cand)
+            break;
+        if (cand->when > max_tick) {
             exitDesc.cause = "simulate() limit reached";
             exitDesc.code = 0;
             exitDesc.limitReached = true;
             now = max_tick;
             return exitDesc;
         }
-        pq.pop();
-        if (isCancelled(entry.seq))
-            continue;
-        --liveEvents;
-
-        now = entry.when;
-        entry.fn();
-        ++eventsRun;
-
-        if (token && (eventsRun % pollInterval) == 0)
-            token->checkpoint();
-
-        if (exitRequested)
-            return exitDesc;
+        advanceToDay(day);
     }
 
     exitDesc.cause = "event queue drained";
     exitDesc.code = 0;
     return exitDesc;
+}
+
+std::size_t
+EventQueue::footprintBytes() const
+{
+    std::size_t bytes = sizeof(*this);
+    bytes += slabChunks.size() * chunkSize * sizeof(Rec);
+    bytes += slabChunks.capacity() * sizeof(slabChunks[0]);
+    bytes += freeSlots.capacity() * sizeof(std::uint32_t);
+    bytes += far.capacity() * sizeof(Key);
+    bytes += spareStorage.capacity() * sizeof(Key);
+    for (const std::vector<Key> &b : buckets)
+        bytes += b.capacity() * sizeof(Key);
+    return bytes;
 }
 
 } // namespace g5::sim

@@ -7,16 +7,36 @@
  * an exit is signalled, the tick limit is reached, or the queue drains.
  * Cooperative cancellation (scheduler timeouts) is polled every
  * pollInterval events.
+ *
+ * Internally the queue is a calendar queue specialized for the
+ * near-monotonic tick pattern of a simulator:
+ *
+ *  - a ring of fixed-width buckets covers one "horizon" of simulated
+ *    time; scheduling within the horizon is an append (amortized O(1)
+ *    for the dominant same-tick / ascending pattern, a small sorted
+ *    insert otherwise);
+ *  - events beyond the horizon (timer wakeups, defect triggers) live in
+ *    a small binary heap of keys and migrate into buckets as the
+ *    calendar advances;
+ *  - event records (callback + generation) live in a recycled slab; an
+ *    event id encodes (slot, generation), so deschedule() is an O(1)
+ *    in-place kill with no global tombstone set, and descheduling an
+ *    already-fired id is a generation mismatch, not a memory leak;
+ *  - callbacks are stored in EventFn, a small-function container with
+ *    inline storage — scheduling an event never heap-allocates for the
+ *    capture sizes CPU/memory models actually use.
  */
 
 #ifndef G5_SIM_EVENTQ_HH
 #define G5_SIM_EVENTQ_HH
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <memory>
+#include <new>
 #include <string>
-#include <unordered_set>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "base/types.hh"
@@ -40,6 +60,153 @@ struct ExitEvent
     bool limitReached = false;
 };
 
+/**
+ * A move-only callable container with inline storage for small
+ * captures. Replaces std::function on the event hot path: the typical
+ * event capture ([this], [this, write], a moved std::function from the
+ * memory system) fits the inline buffer, so schedule() performs no
+ * heap allocation. Larger or alignment-exotic callables fall back to
+ * the heap transparently.
+ */
+class EventFn
+{
+  public:
+    EventFn() = default;
+
+    EventFn(EventFn &&o) noexcept { moveFrom(o); }
+
+    EventFn &
+    operator=(EventFn &&o) noexcept
+    {
+        if (this != &o) {
+            reset();
+            moveFrom(o);
+        }
+        return *this;
+    }
+
+    EventFn(const EventFn &) = delete;
+    EventFn &operator=(const EventFn &) = delete;
+
+    ~EventFn() { reset(); }
+
+    template <typename F>
+    void
+    emplace(F &&f)
+    {
+        using Fn = std::decay_t<F>;
+        reset();
+        if constexpr (fitsInline<Fn>()) {
+            new (buf) Fn(std::forward<F>(f));
+            ops = &inlineOps<Fn>;
+        } else {
+            *reinterpret_cast<void **>(buf) = new Fn(std::forward<F>(f));
+            ops = &heapOps<Fn>;
+        }
+    }
+
+    /** Invoke; only valid when engaged. */
+    void operator()() { ops->invoke(buf); }
+
+    /**
+     * Invoke, then destroy, through a single indirect call (the fire
+     * hot path). The container is disengaged before the call, so the
+     * callback sees an empty EventFn and the callable is destroyed
+     * even if it throws.
+     */
+    void
+    consume()
+    {
+        const Ops *o = ops;
+        ops = nullptr;
+        o->consume(buf);
+    }
+
+    explicit operator bool() const { return ops != nullptr; }
+
+    void
+    reset()
+    {
+        if (ops) {
+            ops->destroy(buf);
+            ops = nullptr;
+        }
+    }
+
+  private:
+    static constexpr std::size_t inlineSize = 48;
+    static constexpr std::size_t inlineAlign = 8;
+
+    struct Ops
+    {
+        void (*invoke)(void *);
+        void (*consume)(void *);
+        /** Move-construct into @p dst from @p src and destroy src. */
+        void (*relocate)(void *dst, void *src);
+        void (*destroy)(void *);
+    };
+
+    template <typename Fn>
+    static constexpr bool
+    fitsInline()
+    {
+        return sizeof(Fn) <= inlineSize && alignof(Fn) <= inlineAlign &&
+               std::is_nothrow_move_constructible_v<Fn>;
+    }
+
+    template <typename Fn>
+    static constexpr Ops inlineOps = {
+        [](void *p) { (*std::launder(reinterpret_cast<Fn *>(p)))(); },
+        [](void *p) {
+            Fn *f = std::launder(reinterpret_cast<Fn *>(p));
+            struct Guard
+            {
+                Fn *f;
+                ~Guard() { f->~Fn(); }
+            } g{f};
+            (*f)();
+        },
+        [](void *dst, void *src) {
+            Fn *s = std::launder(reinterpret_cast<Fn *>(src));
+            new (dst) Fn(std::move(*s));
+            s->~Fn();
+        },
+        [](void *p) { std::launder(reinterpret_cast<Fn *>(p))->~Fn(); },
+    };
+
+    template <typename Fn>
+    static constexpr Ops heapOps = {
+        [](void *p) { (**reinterpret_cast<Fn **>(p))(); },
+        [](void *p) {
+            Fn *f = *reinterpret_cast<Fn **>(p);
+            struct Guard
+            {
+                Fn *f;
+                ~Guard() { delete f; }
+            } g{f};
+            (*f)();
+        },
+        [](void *dst, void *src) {
+            *reinterpret_cast<void **>(dst) =
+                *reinterpret_cast<void **>(src);
+        },
+        [](void *p) { delete *reinterpret_cast<Fn **>(p); },
+    };
+
+    void
+    moveFrom(EventFn &o) noexcept
+    {
+        ops = o.ops;
+        if (ops) {
+            ops->relocate(buf, o.buf);
+            o.ops = nullptr;
+        }
+    }
+
+    alignas(inlineAlign) unsigned char buf[inlineSize];
+    const Ops *ops = nullptr;
+};
+
 class EventQueue
 {
   public:
@@ -49,6 +216,10 @@ class EventQueue
     static constexpr int memRespPri = -10;
 
     EventQueue();
+    ~EventQueue();
+
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
 
     /** @return current simulated time. */
     Tick curTick() const { return now; }
@@ -56,9 +227,35 @@ class EventQueue
     /**
      * Schedule @p fn at absolute tick @p when (>= curTick).
      * @return an event id usable with deschedule().
+     *
+     * Inline on purpose: the callable is constructed directly into its
+     * slab record (no EventFn hand-offs) and the common near-horizon
+     * append stays in the caller's instruction stream. Cold branches
+     * (past-tick panic, far heap, slab growth) are out of line.
      */
-    std::uint64_t schedule(Tick when, std::function<void()> fn,
-                           int priority = defaultPri);
+    template <typename F>
+    std::uint64_t
+    schedule(Tick when, F &&fn, int priority = defaultPri)
+    {
+        if (when < now) [[unlikely]]
+            pastPanic(when);
+        const std::uint32_t slot = allocSlot();
+        Rec &r = rec(slot);
+        r.fn.emplace(std::forward<F>(fn));
+        r.live = true;
+        Key k;
+        k.when = when;
+        k.seq = nextSeq++;
+        k.priority = priority;
+        k.slot = slot;
+        k.gen = r.gen;
+        ++liveEvents;
+        if (when - ringStart() < horizon) [[likely]]
+            insertNear(k);
+        else
+            pushFar(k);
+        return (std::uint64_t(r.gen) << 32) | slot;
+    }
 
     /** Cancel a scheduled event; harmless if already fired. */
     void deschedule(std::uint64_t event_id);
@@ -88,39 +285,198 @@ class EventQueue
     /** Total events executed (for perf accounting / tests). */
     std::uint64_t numEventsRun() const { return eventsRun; }
 
+    /** Total schedule() calls (for perf accounting / metrics). */
+    std::uint64_t numEventsScheduled() const { return nextSeq; }
+
+    /**
+     * Approximate resident bytes of queue bookkeeping: record slab,
+     * bucket arrays, far heap, free list. Deschedule-heavy workloads
+     * must stay bounded (regression-tested), unlike the former global
+     * tombstone set which grew without limit.
+     */
+    std::size_t footprintBytes() const;
+
   private:
-    struct Entry
+    /**
+     * Sort/lookup key for a pending event. The callback itself lives
+     * in the slab; keys are small PODs that are cheap to shift during
+     * sorted inserts and heap sifts.
+     */
+    struct Key
     {
         Tick when;
-        int priority;
         std::uint64_t seq;
-        std::function<void()> fn;
+        std::int32_t priority;
+        std::uint32_t slot;
+        std::uint32_t gen;
 
         bool
-        operator>(const Entry &o) const
+        operator<(const Key &o) const
         {
             if (when != o.when)
-                return when > o.when;
+                return when < o.when;
             if (priority != o.priority)
-                return priority > o.priority;
-            return seq > o.seq;
+                return priority < o.priority;
+            return seq < o.seq;
         }
     };
 
-    static constexpr std::uint64_t pollInterval = 4096;
+    /**
+     * Slab record: the callback plus its reuse generation. gen/live
+     * lead so the stale check and the EventFn share one cache line
+     * (the whole Rec is exactly 64 bytes).
+     */
+    struct Rec
+    {
+        std::uint32_t gen = 0;
+        bool live = false;
+        EventFn fn;
+    };
 
-    std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> pq;
-    /** Tombstoned event ids; entries are dropped lazily at pop time. */
-    std::unordered_set<std::uint64_t> cancelled;
+    /** Bucket width: 2^bucketBits ticks per calendar day. */
+    static constexpr unsigned bucketBits = 12;
+    static constexpr unsigned numBuckets = 256; // must be a power of 2
+    static constexpr Tick bucketWidth = Tick(1) << bucketBits;
+    static constexpr Tick horizon = bucketWidth * numBuckets;
+    static constexpr std::uint64_t pollInterval = 4096;
+    /** Slab chunk size: 2^chunkBits records per chunk. */
+    static constexpr unsigned chunkBits = 8;
+    static constexpr std::uint32_t chunkSize = 1u << chunkBits;
+
+    Tick ringStart() const { return Tick(curDay) << bucketBits; }
+    static std::uint64_t dayOf(Tick when) { return when >> bucketBits; }
+    static unsigned indexOf(std::uint64_t day)
+    {
+        return unsigned(day) & (numBuckets - 1);
+    }
+
+    /**
+     * Slab records live in fixed chunks, never reallocated, so a Rec
+     * address stays valid across schedules — letting run() invoke the
+     * callback in place even when it schedules new events.
+     */
+    Rec &
+    rec(std::uint32_t slot)
+    {
+        return slabChunks[slot >> chunkBits][slot & (chunkSize - 1)];
+    }
+
+    const Rec &
+    rec(std::uint32_t slot) const
+    {
+        return slabChunks[slot >> chunkBits][slot & (chunkSize - 1)];
+    }
+
+    bool
+    stale(const Key &k) const
+    {
+        const Rec &r = rec(k.slot);
+        return r.gen != k.gen || !r.live;
+    }
+
+    std::uint32_t
+    allocSlot()
+    {
+        if (!freeSlots.empty()) [[likely]] {
+            const std::uint32_t slot = freeSlots.back();
+            freeSlots.pop_back();
+            return slot;
+        }
+        if ((slabSize & (chunkSize - 1)) == 0)
+            addSlabChunk();
+        return slabSize++;
+    }
+
+    void
+    freeSlot(std::uint32_t slot)
+    {
+        Rec &r = rec(slot);
+        r.fn.reset();
+        r.live = false;
+        ++r.gen; // invalidates any outstanding ids / resident keys
+        freeSlots.push_back(slot);
+    }
+
+    void
+    insertNear(const Key &k)
+    {
+        const std::uint64_t day = dayOf(k.when);
+        const unsigned idx = indexOf(day);
+        std::vector<Key> &b = buckets[idx];
+        if (b.empty()) {
+            // A day starts: hand the shared spare storage to this
+            // bucket so one warm allocation travels around the ring
+            // instead of every bucket growing (and freeing) its own.
+            if (b.capacity() == 0 && spareStorage.capacity() != 0)
+                b.swap(spareStorage);
+            b.push_back(k);
+        } else if (!(k < b.back())) [[likely]] {
+            b.push_back(k); // dominant ascending / same-tick pattern
+        } else {
+            insertNearSlow(b, k, day);
+        }
+        ++residentKeys;
+        occupied[idx >> 6] |= std::uint64_t(1) << (idx & 63);
+    }
+
+    [[noreturn]] void pastPanic(Tick when) const;
+    void addSlabChunk();
+    void pushFar(const Key &k);
+    void insertNearSlow(std::vector<Key> &b, const Key &k,
+                        std::uint64_t day);
+    void maybePurge();
+    void dropFarStale();
+    /** Move far events now inside the horizon into their buckets. */
+    void migrateFar();
+    /** Jump the calendar to @p day and pull far events in range. */
+    void advanceToDay(std::uint64_t day);
+    /** Sweep every bucket and the far heap, dropping stale keys. */
+    void purgeDeadKeys();
+
+    void
+    clearOccupied(unsigned idx)
+    {
+        occupied[idx >> 6] &= ~(std::uint64_t(1) << (idx & 63));
+    }
+
+    /** @return offset in [1, numBuckets) of the next occupied bucket
+     *  after the current one, or 0 when none. */
+    unsigned nextOccupiedOffset() const;
+
+    /**
+     * Locate the next event to fire without advancing the calendar:
+     * drains dead keys out of the current bucket, then peeks the next
+     * occupied bucket / the far heap. @return nullptr when drained.
+     * On success *advance_day holds the day to commit before firing.
+     */
+    const Key *peekNext(std::uint64_t *advance_day);
+
+    std::vector<Key> buckets[numBuckets];
+    std::uint64_t occupied[numBuckets / 64] = {};
+    /** Beyond-horizon events, a min-heap of keys (std::*_heap). */
+    std::vector<Key> far;
+    /** Warm storage recycled from drained buckets (see insertNear). */
+    std::vector<Key> spareStorage;
+    std::vector<std::unique_ptr<Rec[]>> slabChunks;
+    std::uint32_t slabSize = 0;
+    std::vector<std::uint32_t> freeSlots;
+
     Tick now = 0;
+    std::uint64_t curDay = 0;
+    /** Dead prefix length of the current day's bucket. */
+    std::size_t drainPos = 0;
     std::uint64_t nextSeq = 0;
     std::uint64_t eventsRun = 0;
     std::size_t liveEvents = 0;
+    /**
+     * Keys physically present in buckets + far. Every live event owns
+     * exactly one resident key, so residentKeys - liveEvents is the
+     * stale-key count that drives the purge sweep.
+     */
+    std::size_t residentKeys = 0;
 
     bool exitRequested = false;
     ExitEvent exitDesc;
-
-    bool isCancelled(std::uint64_t seq);
 };
 
 } // namespace g5::sim

@@ -1,6 +1,8 @@
 #include "sim/fs/fs_system.hh"
 
 #include "base/logging.hh"
+#include "base/metrics.hh"
+#include "sim/cpu/fast_cpu.hh"
 #include "sim/cpu/o3_cpu.hh"
 #include "sim/cpu/simple_cpus.hh"
 #include "sim/fs/known_issues.hh"
@@ -105,6 +107,9 @@ FsSystem::buildHardware()
           case CpuType::O3:
             cpu = std::make_unique<O3Cpu>(*sys, int(i));
             break;
+          case CpuType::Fast:
+            cpu = std::make_unique<FastCpu>(*sys, int(i));
+            break;
         }
         sys->rootStats.addChild(&cpu->statGroup());
         sys->cpus.push_back(std::move(cpu));
@@ -185,7 +190,17 @@ FsSystem::~FsSystem() = default;
 SimResult
 FsSystem::run(Tick max_ticks, scheduler::CancelToken *token)
 {
+    const std::uint64_t sched0 = sys->eventq.numEventsScheduled();
+    const std::uint64_t fired0 = sys->eventq.numEventsRun();
+
     ExitEvent exit_ev = sys->eventq.run(max_ticks, token);
+
+    // Event-core observability: per-run deltas keep the hot loop free
+    // of atomics while the counters still aggregate across a sweep.
+    metrics::counter("sim.eventq.scheduled")
+        .inc(std::int64_t(sys->eventq.numEventsScheduled() - sched0));
+    metrics::counter("sim.eventq.fired")
+        .inc(std::int64_t(sys->eventq.numEventsRun() - fired0));
 
     SimResult result;
     result.exitCause = exit_ev.cause;

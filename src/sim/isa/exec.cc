@@ -29,16 +29,16 @@ step(ThreadContext &tc)
         break;
 
       case Op::Add:
-        r[inst.rd] = r[inst.rs] + r[inst.rt];
+        r[inst.rd] = wrapAdd(r[inst.rs], r[inst.rt]);
         break;
       case Op::Sub:
-        r[inst.rd] = r[inst.rs] - r[inst.rt];
+        r[inst.rd] = wrapSub(r[inst.rs], r[inst.rt]);
         break;
       case Op::Mul:
-        r[inst.rd] = r[inst.rs] * r[inst.rt];
+        r[inst.rd] = wrapMul(r[inst.rs], r[inst.rt]);
         break;
       case Op::Div:
-        r[inst.rd] = r[inst.rt] == 0 ? 0 : r[inst.rs] / r[inst.rt];
+        r[inst.rd] = wrapDiv(r[inst.rs], r[inst.rt]);
         break;
       case Op::And:
         r[inst.rd] = r[inst.rs] & r[inst.rt];
@@ -50,7 +50,8 @@ step(ThreadContext &tc)
         r[inst.rd] = r[inst.rs] ^ r[inst.rt];
         break;
       case Op::Shl:
-        r[inst.rd] = r[inst.rs] << (r[inst.rt] & 63);
+        r[inst.rd] = std::int64_t(std::uint64_t(r[inst.rs])
+                                  << (r[inst.rt] & 63));
         break;
       case Op::Shr:
         r[inst.rd] = std::int64_t(std::uint64_t(r[inst.rs]) >>
@@ -63,36 +64,36 @@ step(ThreadContext &tc)
         r[inst.rd] = r[inst.rs];
         break;
       case Op::Addi:
-        r[inst.rd] = r[inst.rs] + inst.imm;
+        r[inst.rd] = wrapAdd(r[inst.rs], inst.imm);
         break;
       case Op::Muli:
-        r[inst.rd] = r[inst.rs] * inst.imm;
+        r[inst.rd] = wrapMul(r[inst.rs], inst.imm);
         break;
 
       // FP latency classes; values modelled as fixed-point in int regs.
       case Op::Fadd:
-        r[inst.rd] = r[inst.rs] + r[inst.rt];
+        r[inst.rd] = wrapAdd(r[inst.rs], r[inst.rt]);
         break;
       case Op::Fmul:
-        r[inst.rd] = r[inst.rs] * r[inst.rt];
+        r[inst.rd] = wrapMul(r[inst.rs], r[inst.rt]);
         break;
       case Op::Fdiv:
-        r[inst.rd] = r[inst.rt] == 0 ? 0 : r[inst.rs] / r[inst.rt];
+        r[inst.rd] = wrapDiv(r[inst.rs], r[inst.rt]);
         break;
 
       case Op::Ld:
         info.kind = StepKind::Load;
-        info.addr = Addr(r[inst.rs] + inst.imm);
+        info.addr = Addr(wrapAdd(r[inst.rs], inst.imm));
         info.rd = inst.rd;
         break;
       case Op::St:
         info.kind = StepKind::Store;
-        info.addr = Addr(r[inst.rs] + inst.imm);
+        info.addr = Addr(wrapAdd(r[inst.rs], inst.imm));
         info.value = r[inst.rt];
         break;
       case Op::Amo:
         info.kind = StepKind::Amo;
-        info.addr = Addr(r[inst.rs] + inst.imm);
+        info.addr = Addr(wrapAdd(r[inst.rs], inst.imm));
         info.value = r[inst.rt];
         info.rd = inst.rd;
         break;
@@ -141,12 +142,12 @@ step(ThreadContext &tc)
         break;
       case Op::IoRd:
         info.kind = StepKind::IoRead;
-        info.addr = Addr(r[inst.rs] + inst.imm);
+        info.addr = Addr(wrapAdd(r[inst.rs], inst.imm));
         info.rd = inst.rd;
         break;
       case Op::IoWr:
         info.kind = StepKind::IoWrite;
-        info.addr = Addr(r[inst.rs] + inst.imm);
+        info.addr = Addr(wrapAdd(r[inst.rs], inst.imm));
         info.value = r[inst.rt];
         break;
 

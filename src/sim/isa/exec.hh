@@ -56,6 +56,41 @@ struct StepInfo
 };
 
 /**
+ * Guest integer arithmetic wraps modulo 2^64, like every real ISA.
+ * Signed overflow is undefined behaviour in C++, so the interpreters do
+ * the math on unsigned values and convert back (two's-complement, exact
+ * in C++20). Division guards the two trapping cases: /0 yields 0 and
+ * INT64_MIN / -1 wraps to INT64_MIN.
+ */
+constexpr std::int64_t
+wrapAdd(std::int64_t a, std::int64_t b)
+{
+    return std::int64_t(std::uint64_t(a) + std::uint64_t(b));
+}
+
+constexpr std::int64_t
+wrapSub(std::int64_t a, std::int64_t b)
+{
+    return std::int64_t(std::uint64_t(a) - std::uint64_t(b));
+}
+
+constexpr std::int64_t
+wrapMul(std::int64_t a, std::int64_t b)
+{
+    return std::int64_t(std::uint64_t(a) * std::uint64_t(b));
+}
+
+constexpr std::int64_t
+wrapDiv(std::int64_t a, std::int64_t b)
+{
+    if (b == 0)
+        return 0;
+    if (b == -1)
+        return wrapSub(0, a);
+    return a / b;
+}
+
+/**
  * Execute the instruction at tc.pc (register + pc effects) and return
  * what else it needs. Retired-instruction accounting belongs to the CPU
  * model (BaseCpu::chargeInstruction). Must not be called on a Finished

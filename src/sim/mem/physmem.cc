@@ -38,7 +38,8 @@ PhysMem::amoAdd(Addr addr, std::int64_t delta)
 {
     auto &word = pageFor(addr)[wordOf(addr)];
     std::int64_t old = word;
-    word += delta;
+    // Guest arithmetic wraps modulo 2^64; keep the add well-defined.
+    word = std::int64_t(std::uint64_t(old) + std::uint64_t(delta));
     return old;
 }
 

@@ -42,6 +42,30 @@ class PhysMem
     /** @return the number of touched pages (footprint accounting). */
     std::size_t numPages() const { return pages.size(); }
 
+    /**
+     * Raw words of the page containing @p addr, or nullptr when the
+     * page was never written. Never allocates, so footprint accounting
+     * matches read(). Page storage is node-stable: the pointer stays
+     * valid until restore() replaces the contents.
+     */
+    const std::int64_t *pageWords(Addr addr) const
+    {
+        auto it = pages.find(pageOf(addr));
+        return it == pages.end() ? nullptr : it->second.data();
+    }
+
+    /** Raw words of the page containing @p addr, allocating on miss. */
+    std::int64_t *pageWordsForWrite(Addr addr)
+    {
+        return pageFor(addr).data();
+    }
+
+    /** @return the word index of @p addr within its page. */
+    static std::size_t wordIndex(Addr addr) { return wordOf(addr); }
+
+    /** @return the page number of @p addr (for page-cache tags). */
+    static Addr pageNumber(Addr addr) { return pageOf(addr); }
+
     /** Serialize non-zero words (checkpoint support). Deterministic. */
     Json toJson() const;
 

@@ -5,6 +5,7 @@
 #include <deque>
 
 #include "base/logging.hh"
+#include "sim/cpu/fast_cpu.hh"
 #include "sim/cpu/o3_cpu.hh"
 #include "sim/cpu/simple_cpus.hh"
 #include "sim/isa/builder.hh"
@@ -108,6 +109,10 @@ struct Rig
               case CpuType::O3:
                 sys->cpus.push_back(
                     std::make_unique<O3Cpu>(*sys, int(i)));
+                break;
+              case CpuType::Fast:
+                sys->cpus.push_back(
+                    std::make_unique<FastCpu>(*sys, int(i)));
                 break;
             }
         }
@@ -248,7 +253,8 @@ TEST_P(AllCpuModels, IoReadDeliversDeviceValue)
 INSTANTIATE_TEST_SUITE_P(
     Models, AllCpuModels,
     ::testing::Values(CpuType::Kvm, CpuType::AtomicSimple,
-                      CpuType::TimingSimple, CpuType::O3),
+                      CpuType::TimingSimple, CpuType::O3,
+                      CpuType::Fast),
     [](const ::testing::TestParamInfo<CpuType> &info) {
         return std::string(cpuTypeName(info.param));
     });

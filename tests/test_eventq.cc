@@ -96,3 +96,92 @@ TEST(EventQueue, RecurringEventChains)
     EXPECT_EQ(fires, 5);
     EXPECT_EQ(eq.curTick(), 400u);
 }
+
+TEST(EventQueue, DescheduleAfterFireIsHarmless)
+{
+    EventQueue eq;
+    int ran = 0;
+    auto id = eq.schedule(10, [&] { ++ran; });
+    eq.run();
+    EXPECT_EQ(ran, 1);
+
+    // The slot may be recycled by a new event; a stale id must neither
+    // crash nor kill the new occupant (generation mismatch).
+    auto id2 = eq.schedule(20, [&] { ++ran; });
+    eq.deschedule(id);
+    eq.deschedule(id); // double-cancel of a fired id: still a no-op
+    eq.run();
+    EXPECT_EQ(ran, 2);
+    (void)id2;
+}
+
+TEST(EventQueue, FarHorizonEventsInterleaveWithNearOnes)
+{
+    // Events far beyond the calendar ring (timer wakeups, watchdogs)
+    // take the far-heap path and must migrate back in order.
+    EventQueue eq;
+    std::vector<int> order;
+    constexpr Tick far = Tick(1) << 32; // way past the ring horizon
+    eq.schedule(far + 5, [&] { order.push_back(3); });
+    eq.schedule(7, [&] { order.push_back(1); });
+    auto dead = eq.schedule(far + 1, [&] { order.push_back(99); });
+    eq.schedule(far, [&] { order.push_back(2); });
+    eq.deschedule(dead); // cancelled while still in the far heap
+    eq.schedule(far * 2, [&] { order.push_back(4); });
+
+    eq.run();
+    ASSERT_EQ(order.size(), 4u);
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+    EXPECT_EQ(eq.curTick(), far * 2);
+}
+
+TEST(EventQueue, SameTickAppendsDuringDrainRunThisTick)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(50, [&] {
+        order.push_back(1);
+        // Appended at the tick being drained: must still fire now,
+        // after already-pending same-tick events.
+        eq.schedule(50, [&] { order.push_back(3); });
+    });
+    eq.schedule(50, [&] { order.push_back(2); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.curTick(), 50u);
+}
+
+TEST(EventQueue, DescheduleHeavyWorkloadHasBoundedFootprint)
+{
+    // Regression for the former tombstone design: a cancel-heavy
+    // workload (timeout timers that almost never fire) must recycle
+    // records and keys instead of accumulating per-cancel state.
+    EventQueue eq;
+    int fired = 0;
+
+    auto churn = [&](int rounds) {
+        for (int i = 0; i < rounds; ++i) {
+            auto a = eq.schedule(eq.curTick() + 100, [&] { ++fired; });
+            auto b = eq.schedule(eq.curTick() + 200, [&] { ++fired; });
+            eq.deschedule(a);
+            eq.deschedule(b);
+            if (i % 16 == 0) { // keep time moving like a real run
+                eq.schedule(eq.curTick() + 1, [] {});
+                eq.run();
+            }
+        }
+    };
+
+    // One full round reaches steady state: the purge policy caps stale
+    // keys at max(1024, 4 x live), so bucket/slab capacities plateau.
+    churn(500'000);
+    const std::size_t warm = eq.footprintBytes();
+    churn(500'000);
+    const std::size_t after = eq.footprintBytes();
+
+    EXPECT_EQ(eq.size(), 0u);
+    // No per-cancel growth: another 1M cancels must not move the
+    // footprint. A tombstone-style leak (~24 B per cancel) would add
+    // ~24 MB here; allow only rounding slack.
+    EXPECT_LE(after, warm + (warm / 2) + 4096);
+}
