@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "art/tasks.hh"
+#include "base/metrics.hh"
 #include "base/wallclock.hh"
 #include "bench/bench_common.hh"
 #include "resources/catalog.hh"
@@ -89,6 +90,9 @@ struct PassResult
     std::map<RunOutcome, int> o3Census;
     double wallSeconds = 0;
     std::int64_t cacheHits = 0;
+    std::int64_t ckptBoots = 0;  ///< art.ckpt.misses delta (boots paid)
+    std::int64_t ckptHits = 0;   ///< art.ckpt.hits delta
+    int restoredRuns = 0;        ///< runs that skipped their boot
 };
 
 /** Launch all 480 runs of one pass and collate their outcomes. */
@@ -99,6 +103,10 @@ runPass(Workspace &ws, const Workspace::Item &binary,
 {
     std::int64_t hits_before = std::int64_t(
         ws.adb().runs().count(Json::object({{"cached", Json(true)}})));
+    std::int64_t ckpt_hits_before =
+        metrics::counter("art.ckpt.hits").value();
+    std::int64_t ckpt_boots_before =
+        metrics::counter("art.ckpt.misses").value();
 
     std::vector<Gem5Run> runs;
     runs.reserve(480);
@@ -144,6 +152,11 @@ runPass(Workspace &ws, const Workspace::Item &binary,
         std::int64_t(ws.adb().runs().count(
             Json::object({{"cached", Json(true)}}))) -
         hits_before;
+    result.ckptHits =
+        metrics::counter("art.ckpt.hits").value() - ckpt_hits_before;
+    result.ckptBoots =
+        metrics::counter("art.ckpt.misses").value() -
+        ckpt_boots_before;
 
     for (const auto &cpu : cpus) {
         for (const auto &mem : mems) {
@@ -158,6 +171,8 @@ runPass(Workspace &ws, const Workspace::Item &binary,
                         ++result.census[o];
                         if (cpu == "o3")
                             ++result.o3Census[o];
+                        if (doc.contains("restoredBootHash"))
+                            ++result.restoredRuns;
                     }
                 }
             }
@@ -283,6 +298,17 @@ runSweep()
         std::printf("warm census was:\n");
         printCensus(warmPass);
     }
+
+    rule();
+    std::printf("boot-prefix checkpoint tier (binary s5ckpt2 "
+                "images, shared COW pages):\n");
+    std::printf("  cold pass: %3lld boots paid for %3d restored runs "
+                "(%lld in-process/db hits)\n",
+                (long long)coldPass.ckptBoots, coldPass.restoredRuns,
+                (long long)coldPass.ckptHits);
+    std::printf("  warm pass: %3lld boots paid (run cache absorbs "
+                "the rest)\n\n",
+                (long long)warmPass.ckptBoots);
 }
 
 void
@@ -298,6 +324,9 @@ BM_Fig8BootSweep(benchmark::State &state)
     state.counters["warm_cache_hits"] = double(warmPass.cacheHits);
     state.counters["warm_speedup"] =
         coldPass.wallSeconds / std::max(warmPass.wallSeconds, 1e-9);
+    state.counters["ckpt_boots"] = double(coldPass.ckptBoots);
+    state.counters["ckpt_restored_runs"] =
+        double(coldPass.restoredRuns);
 }
 
 BENCHMARK(BM_Fig8BootSweep)->Iterations(1)->Unit(benchmark::kSecond);

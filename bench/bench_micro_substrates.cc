@@ -711,6 +711,93 @@ BM_FastCpuBoot(benchmark::State &state)
 
 BENCHMARK(BM_FastCpuBoot)->Unit(benchmark::kMillisecond);
 
+/** The boot the checkpoint tier caches: fast CPU, quiet hack-back. */
+sim::fs::FsConfig
+checkpointBootConfig()
+{
+    sim::fs::FsConfig cfg;
+    cfg.cpuType = sim::CpuType::Fast;
+    cfg.memSystem = "classic";
+    cfg.kernelVersion = "5.4.49";
+    cfg.bootType = sim::fs::BootType::Systemd;
+    cfg.simVersion = "";
+    cfg.checkpointAfterBoot = true;
+    cfg.quietCheckpoint = true;
+    return cfg;
+}
+
+/**
+ * Cost of producing one s5ckpt2 image from a booted system: state
+ * capture (takeCheckpoint) plus binary serialization with the MD5
+ * falling out of the stream. Bytes are image bytes.
+ */
+void
+BM_CheckpointSave(benchmark::State &state)
+{
+    setQuiet(true);
+    sim::fs::FsConfig cfg = checkpointBootConfig();
+    sim::fs::FsSystem fs(cfg);
+    auto boot = fs.run(5'000'000'000'000ULL);
+    if (boot.exitCause != "checkpoint")
+        state.SkipWithError("boot did not reach the checkpoint op");
+    std::int64_t bytes = 0;
+    for (auto _ : state) {
+        auto ckpt = fs.takeCheckpoint();
+        std::string hex_md5;
+        std::string image = ckpt->serialize(&hex_md5);
+        benchmark::DoNotOptimize(image.data());
+        bytes += std::int64_t(image.size());
+    }
+    setQuiet(false);
+    state.SetBytesProcessed(bytes);
+    state.SetLabel("take + serialize one post-boot image");
+}
+
+BENCHMARK(BM_CheckpointSave)->Unit(benchmark::kMillisecond);
+
+/**
+ * The number the tier's economics rest on: restoring a booted system
+ * from an in-memory checkpoint (COW page adoption, no deep copy) and
+ * running the post-boot tail, vs the fast-CPU boot it replaces. The
+ * speedup_vs_boot counter must stay well above 5x.
+ */
+void
+BM_CheckpointRestore(benchmark::State &state)
+{
+    setQuiet(true);
+    sim::fs::FsConfig cfg = checkpointBootConfig();
+
+    auto boot_start = std::chrono::steady_clock::now();
+    sim::fs::FsSystem booted(cfg);
+    auto boot = booted.run(5'000'000'000'000ULL);
+    double boot_s = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - boot_start)
+                        .count();
+    if (boot.exitCause != "checkpoint")
+        state.SkipWithError("boot did not reach the checkpoint op");
+    auto ckpt = booted.takeCheckpoint();
+
+    auto loop_start = std::chrono::steady_clock::now();
+    for (auto _ : state) {
+        sim::fs::FsSystem fs(cfg, *ckpt);
+        auto r = fs.run(5'000'000'000'000ULL);
+        benchmark::DoNotOptimize(r.simTicks);
+    }
+    double loop_s = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - loop_start)
+                        .count();
+    setQuiet(false);
+
+    double per_restore = loop_s / double(state.iterations());
+    state.counters["boot_ms"] = boot_s * 1e3;
+    state.counters["restore_ms"] = per_restore * 1e3;
+    state.counters["speedup_vs_boot"] =
+        per_restore > 0 ? boot_s / per_restore : 0;
+    state.SetLabel("restore + post-boot tail vs the boot it replaces");
+}
+
+BENCHMARK(BM_CheckpointRestore)->Unit(benchmark::kMillisecond);
+
 /**
  * Per-task cost of the fault-tolerance machinery: every task fails
  * once and is retried (state bookkeeping, provenance log, backoff

@@ -26,6 +26,30 @@ fi
 
 echo "wrote $here/BENCH_baseline.json"
 
+# Fold the fig-8 boot-sweep bench (cold + warm pass, checkpoint-tier
+# counters) into the same baseline file so the warm-sweep numbers are
+# versioned alongside the microbenchmarks.
+fig8_bin="$build_dir/bench/bench_fig8_boot"
+if [ -x "$fig8_bin" ] && command -v python3 >/dev/null 2>&1; then
+    "$fig8_bin" \
+        --benchmark_filter='BM_Fig8BootSweep' \
+        --benchmark_out="$here/BENCH_fig8.tmp.json" \
+        --benchmark_out_format=json >/dev/null
+    python3 - "$here/BENCH_baseline.json" "$here/BENCH_fig8.tmp.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    base = json.load(f)
+with open(sys.argv[2]) as f:
+    fig8 = json.load(f)
+base["benchmarks"].extend(fig8["benchmarks"])
+with open(sys.argv[1], "w") as f:
+    json.dump(base, f, indent=1)
+    f.write("\n")
+EOF
+    rm -f "$here/BENCH_fig8.tmp.json"
+    echo "merged BM_Fig8BootSweep into BENCH_baseline.json"
+fi
+
 # Summarize the concurrent-DB acceptance number: mixed insert+query
 # throughput of the sharded WAL core vs the coarse rewrite-the-world
 # baseline at each thread count (>=3x at 8 threads is the bar).
@@ -45,5 +69,19 @@ for threads in (1, 2, 4, 8):
               f"sharded {sharded / 1e3:8.1f}k ops/s vs "
               f"coarse {coarse / 1e3:7.1f}k ops/s "
               f"-> {sharded / coarse:.1f}x")
+EOF
+
+    # Summarize the checkpoint-tier acceptance number: restoring a
+    # post-boot s5ckpt2 image must beat the fast-CPU boot it replaces
+    # by >= 5x (speedup_vs_boot counter on BM_CheckpointRestore).
+    python3 - "$here/BENCH_baseline.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    benches = {b["name"]: b for b in json.load(f)["benchmarks"]}
+restore = benches.get("BM_CheckpointRestore")
+if restore and "speedup_vs_boot" in restore:
+    print(f"checkpoint restore: {restore['restore_ms']:.3f} ms vs "
+          f"{restore['boot_ms']:.3f} ms boot "
+          f"-> {restore['speedup_vs_boot']:.1f}x (bar: 5x)")
 EOF
 fi

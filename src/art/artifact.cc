@@ -19,6 +19,7 @@ ArtifactDb::ArtifactDb(std::shared_ptr<db::Database> database)
     artifacts().createIndex("type");
     runs().createIndex("name");
     runs().createIndex("inputHash");
+    checkpoints().createUniqueIndex("bootHash");
 }
 
 db::Collection &
@@ -31,6 +32,12 @@ db::Collection &
 ArtifactDb::runs()
 {
     return database->collection("runs");
+}
+
+db::Collection &
+ArtifactDb::checkpoints()
+{
+    return database->collection("checkpoints");
 }
 
 std::string

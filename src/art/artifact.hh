@@ -47,6 +47,10 @@ class ArtifactDb
     /** The "runs" collection. */
     db::Collection &runs();
 
+    /** The "checkpoints" collection (boot-prefix cache, keyed by
+     *  bootHash; images live in the blob store). */
+    db::Collection &checkpoints();
+
     /** Store file bytes in the blob store; @return the MD5 key. */
     std::string putBlob(const std::string &bytes);
 

@@ -1,0 +1,221 @@
+#include "art/ckpt.hh"
+
+#include <cstdlib>
+#include <optional>
+
+#include "base/logging.hh"
+#include "base/md5.hh"
+#include "base/metrics.hh"
+#include "base/tracing.hh"
+#include "base/wallclock.hh"
+#include "scheduler/task_queue.hh"
+#include "sim/fs/fs_system.hh"
+
+namespace g5::art
+{
+
+using sim::fs::Checkpoint;
+using sim::fs::CheckpointPtr;
+
+std::string
+computeBootHash(const Json &artifacts, const Json &params)
+{
+    if (!artifacts.isObject())
+        return "";
+    const Json *kernel = artifacts.find("linuxBinary");
+    if (!kernel || !kernel->isString())
+        return "";
+
+    // Mirrors computeInputHash's shape, restricted to the inputs the
+    // boot prefix actually depends on. The cpu model, workload, and
+    // tick limit are deliberately absent: runs differing only in those
+    // share the boot.
+    Json key = Json::object();
+    Json arts = Json::object();
+    for (const char *name : {"gem5", "linuxBinary", "diskImage"})
+        if (const Json *a = artifacts.find(name))
+            arts[name] = *a;
+    key["artifacts"] = std::move(arts);
+    Json p = Json::object();
+    p["num_cpus"] = params.getInt("num_cpus", 1);
+    p["mem_system"] = params.getString("mem_system", "classic");
+    p["boot_type"] = params.getString("boot_type", "init");
+    key["params"] = std::move(p);
+    key["type"] = "bootPrefix";
+
+    Md5Stream h;
+    h.update(key);
+    return h.final();
+}
+
+BootCheckpoints &
+BootCheckpoints::instance()
+{
+    static BootCheckpoints inst;
+    return inst;
+}
+
+bool
+BootCheckpoints::bypassed()
+{
+    const char *v = std::getenv("G5ART_NO_CKPT");
+    return v != nullptr && *v != '\0' && std::string(v) != "0";
+}
+
+void
+BootCheckpoints::dropMemoryCache()
+{
+    std::lock_guard<std::mutex> lock(mapMutex);
+    entries.clear();
+}
+
+sim::fs::CheckpointPtr
+BootCheckpoints::obtain(ArtifactDb &adb, const std::string &boot_hash,
+                        const BootSpec &spec,
+                        scheduler::CancelToken *token)
+{
+    if (bypassed() || boot_hash.empty())
+        return nullptr;
+
+    static metrics::Counter &hits = metrics::counter("art.ckpt.hits");
+    static metrics::Counter &misses =
+        metrics::counter("art.ckpt.misses");
+
+    std::shared_ptr<Entry> entry;
+    {
+        std::lock_guard<std::mutex> lock(mapMutex);
+        auto &slot = entries[boot_hash];
+        if (!slot)
+            slot = std::make_shared<Entry>();
+        entry = slot;
+    }
+
+    // Single flight: the first caller resolves (db probe or boot);
+    // concurrent callers for the same bootHash block here and then
+    // share the resolved checkpoint's pages copy-on-write.
+    std::lock_guard<std::mutex> flight(entry->flight);
+    if (entry->resolved) {
+        if (entry->ckpt) {
+            hits.inc();
+            if (tracing::enabled())
+                tracing::instant("ckpt:hit", "ckpt",
+                                 Json::object({{"bootHash",
+                                                Json(boot_hash)}}));
+        }
+        return entry->ckpt;
+    }
+    entry->resolved = true;
+
+    // --- tier 2: the database's checkpoints collection ---
+    Json doc = adb.checkpoints().findOne(
+        Json::object({{"bootHash", Json(boot_hash)}}));
+    if (doc.isObject() && doc.contains("blob")) {
+        try {
+            std::optional<tracing::Span> span;
+            if (tracing::enabled()) {
+                span.emplace("ckpt:load", "ckpt");
+                span->arg("bootHash", Json(boot_hash));
+            }
+            std::string bytes =
+                adb.db().getBlob(doc.getString("blob"));
+            entry->ckpt = Checkpoint::deserialize(bytes);
+            hits.inc();
+            return entry->ckpt;
+        } catch (const std::exception &) {
+            // Missing or corrupt image: fall through and re-boot; the
+            // fresh image repairs the collection entry below.
+        }
+    }
+
+    // --- tier 3: boot once with the fast CPU ---
+    misses.inc();
+    try {
+        std::optional<tracing::Span> span;
+        if (tracing::enabled()) {
+            span.emplace("ckpt:boot", "ckpt");
+            span->arg("bootHash", Json(boot_hash));
+        }
+
+        sim::fs::FsConfig cfg;
+        cfg.cpuType = sim::CpuType::Fast;
+        cfg.numCpus = spec.numCpus;
+        // The fast CPU requires the classic memory system; the
+        // checkpoint holds functional state, so restoring onto the
+        // requested memory system is sound (its caches start cold).
+        cfg.memSystem = "classic";
+        sim::fs::KernelSpec kernel =
+            sim::fs::KernelSpec::load(spec.linuxBinary);
+        cfg.kernelVersion = kernel.version;
+        if (!spec.diskImage.empty())
+            cfg.disk = sim::fs::DiskImage::load(spec.diskImage);
+        cfg.bootType = sim::fs::bootTypeFromName(spec.bootType);
+        cfg.checkpointAfterBoot = true;
+        // Leave no guest-visible trace: no hack-back console markers,
+        // and the one extra instruction (the m5 checkpoint op itself)
+        // is deducted below. A restored run's console and instruction
+        // census are then byte-identical to a straight run's.
+        cfg.quietCheckpoint = true;
+        cfg.simVersion = spec.simVersion;
+
+        sim::fs::FsSystem system(cfg);
+        sim::fs::SimResult boot =
+            system.run(spec.maxTicks, token);
+        if (boot.exitCause != "checkpoint")
+            return nullptr; // never reached the hack-back point
+
+        auto taken = system.takeCheckpoint();
+        auto adjusted = std::make_shared<Checkpoint>(*taken);
+        if (adjusted->cpuState.isArray() &&
+            !adjusted->cpuState.asArray().empty()) {
+            Json &boot_cpu = adjusted->cpuState.asArray().front();
+            boot_cpu["insts"] =
+                std::int64_t(boot_cpu.getInt("insts", 1) - 1);
+        }
+        CheckpointPtr ckpt = std::move(adjusted);
+
+        // Persist for future processes: content-addressed image in the
+        // blob store, a small doc keyed by bootHash alongside.
+        double save_start = monotonicSeconds();
+        std::string hex_md5;
+        std::string image = ckpt->serialize(&hex_md5);
+        std::string blob_key = adb.putBlob(image);
+        metrics::counter("sim.ckpt.bytes")
+            .inc(std::int64_t(image.size()));
+        metrics::histogram("sim.ckpt.saveSeconds")
+            .observe(monotonicSeconds() - save_start);
+        if (span) {
+            span->arg("bytes", Json(std::int64_t(image.size())));
+            span->arg("ckptHash", Json(hex_md5));
+        }
+
+        Json fields = Json::object();
+        fields["bootHash"] = boot_hash;
+        fields["format"] = "s5ckpt2";
+        fields["blob"] = blob_key;
+        fields["ckptHash"] = hex_md5;
+        fields["bytes"] = std::int64_t(image.size());
+        fields["simTicks"] = ckpt->simTicks;
+        fields["configSignature"] = ckpt->configSignature;
+        fields["createdAt"] = isoTimestamp();
+        if (doc.isObject()) {
+            adb.checkpoints().updateOne(
+                Json::object({{"bootHash", Json(boot_hash)}}),
+                Json::object({{"$set", fields}}));
+        } else {
+            fields["_id"] = boot_hash;
+            adb.checkpoints().insertOne(std::move(fields));
+        }
+
+        entry->ckpt = ckpt;
+        return ckpt;
+    } catch (const std::exception &) {
+        // Boot failed (unsupported config, timeout, fault injection):
+        // remember the failure so every later run with this bootHash
+        // skips the tier instead of re-paying a doomed boot, and let
+        // the caller fall back to a straight run, whose own error
+        // handling records the outcome.
+        return nullptr;
+    }
+}
+
+} // namespace g5::art

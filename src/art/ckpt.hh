@@ -1,0 +1,109 @@
+/**
+ * @file
+ * The boot-prefix checkpoint cache of the art layer.
+ *
+ * The Fig 8 matrix re-boots the same guest hundreds of times with only
+ * the measured phase differing. The run cache (PR 1) already dedupes
+ * identical runs; this tier dedupes the *boot prefix* across runs that
+ * differ in timing model or workload: a bootHash is derived from the
+ * boot-relevant inputs only (kernel + disk + simulator artifacts,
+ * num_cpus, mem_system, boot_type — not the CPU model, not the
+ * workload), the first run of each bootHash boots once with the fast
+ * CPU and checkpoints at the hack-back point, and every other run
+ * restores that checkpoint and simulates only the measured phase under
+ * its requested CPU model.
+ *
+ * Checkpoints live in three tiers:
+ *   1. in-process: a CheckpointPtr whose pages forked systems share
+ *      copy-on-write (N concurrent sweep variants, one boot image);
+ *   2. database: a "checkpoints" collection doc keyed by bootHash,
+ *      with the s5ckpt2 image content-addressed in the blob store;
+ *   3. cold: boot once (single-flight per bootHash — concurrent
+ *      workers wait for the first boot instead of racing their own).
+ *
+ * `G5ART_NO_CKPT` bypasses the tier entirely (mirrors G5ART_NO_CACHE).
+ */
+
+#ifndef G5_ART_CKPT_HH
+#define G5_ART_CKPT_HH
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "art/artifact.hh"
+#include "base/json.hh"
+#include "sim/fs/checkpoint.hh"
+
+namespace g5::scheduler
+{
+class CancelToken;
+} // namespace g5::scheduler
+
+namespace g5::art
+{
+
+/**
+ * The boot-prefix content key: MD5 over the boot-relevant artifact
+ * hashes (gem5 binary, kernel, disk image) and params (num_cpus,
+ * mem_system, boot_type). Runs differing only in cpu model, workload,
+ * or tick limit share a bootHash — and therefore a boot.
+ * @return "" when the inputs cannot key a boot (no kernel artifact).
+ */
+std::string computeBootHash(const Json &artifacts, const Json &params);
+
+/** Everything obtain() needs to boot the prefix on a cold miss. */
+struct BootSpec
+{
+    std::string simVersion;
+    std::string linuxBinary; ///< host path of the kernel binary
+    std::string diskImage;   ///< host path of the disk image ("" = none)
+    unsigned numCpus = 1;
+    std::string bootType = "init";
+    Tick maxTicks = 2'000'000'000'000;
+};
+
+class BootCheckpoints
+{
+  public:
+    /** The process-wide instance (checkpoints are shared across all
+     *  sweep workers — that is the point). */
+    static BootCheckpoints &instance();
+
+    /** @return true when G5ART_NO_CKPT disables the checkpoint tier. */
+    static bool bypassed();
+
+    /**
+     * Resolve @p boot_hash to a checkpoint: in-memory hit, database
+     * hit (blob fetched and validated), or a single-flight fast-CPU
+     * boot that persists its image for future processes. Counts
+     * art.ckpt.hits / art.ckpt.misses (a miss == a boot performed).
+     *
+     * @return nullptr when the boot failed or produced no checkpoint —
+     * callers fall back to a straight run; the failure is remembered
+     * so one bad bootHash cannot trigger a boot per run.
+     */
+    sim::fs::CheckpointPtr obtain(ArtifactDb &adb,
+                                  const std::string &boot_hash,
+                                  const BootSpec &spec,
+                                  scheduler::CancelToken *token = nullptr);
+
+    /** Drop the in-memory tier (tests; the db tier is untouched). */
+    void dropMemoryCache();
+
+  private:
+    struct Entry
+    {
+        std::mutex flight; ///< single-flight: held while resolving
+        sim::fs::CheckpointPtr ckpt;
+        bool resolved = false;
+    };
+
+    std::mutex mapMutex;
+    std::map<std::string, std::shared_ptr<Entry>> entries;
+};
+
+} // namespace g5::art
+
+#endif // G5_ART_CKPT_HH

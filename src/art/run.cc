@@ -7,6 +7,7 @@
 
 #include <optional>
 
+#include "art/ckpt.hh"
 #include "base/faultinject.hh"
 #include "base/logging.hh"
 #include "base/metrics.hh"
@@ -15,13 +16,17 @@
 #include "base/uuid.hh"
 #include "base/wallclock.hh"
 #include "scheduler/task_queue.hh"
+#include "sim/fs/checkpoint.hh"
 #include "sim/fs/fs_system.hh"
+#include "sim/fs/known_issues.hh"
 
 namespace stdfs = std::filesystem;
 
 namespace g5::art
 {
 
+using sim::fs::Checkpoint;
+using sim::fs::CheckpointPtr;
 using sim::fs::DiskImage;
 using sim::fs::FsConfig;
 using sim::fs::FsSystem;
@@ -144,6 +149,8 @@ Gem5Run::createFSRun(
     run.inputHashStr =
         computeInputHash(doc.at("artifacts"), run.params, "fs");
     doc["inputHash"] = run.inputHashStr;
+    run.bootHashStr = computeBootHash(doc.at("artifacts"), run.params);
+    doc["bootHash"] = run.bootHashStr;
     doc["timeoutSeconds"] = timeout_s;
     doc["status"] = "PENDING";
     doc["outcome"] = runOutcomeName(RunOutcome::Pending);
@@ -270,11 +277,78 @@ Gem5Run::outcomeCacheable(RunOutcome o)
     return false;
 }
 
+void
+Gem5Run::maybePrepareRestore(ArtifactDb &adb,
+                             scheduler::CancelToken *token)
+{
+    restoreCkpt = nullptr;
+    if (BootCheckpoints::bypassed() || bootHashStr.empty())
+        return;
+    // Boot-prefix acceleration only applies to plain FS boots: a
+    // workload's init exec index is baked into the boot program, and
+    // explicit checkpoint/restore params mean the user drives
+    // checkpointing themselves.
+    if (!workloadBinary.empty() || linuxBinary.empty())
+        return;
+    if (!params.getString("workload", "").empty() ||
+        !params.getString("restore_from", "").empty() ||
+        !params.getString("checkpoint_to", "").empty() ||
+        params.getBool("checkpoint_after_boot", false))
+        return;
+
+    try {
+        Json binary = Json::parse(readFile(gem5Binary));
+
+        FsConfig probe;
+        probe.simVersion = binary.getString("version");
+        probe.cpuType =
+            sim::cpuTypeFromName(params.getString("cpu", "timing"));
+        probe.numCpus = unsigned(params.getInt("num_cpus", 1));
+        probe.memSystem = params.getString("mem_system", "classic");
+        probe.bootType = sim::fs::bootTypeFromName(
+            params.getString("boot_type", "init"));
+        probe.kernelVersion = KernelSpec::load(linuxBinary).version;
+        // A configured version defect arms *during* boot (it counts
+        // syscalls); restoring past the boot would skip it and change
+        // the census, so defect cells always take the straight path.
+        if (sim::fs::knownIssueFor(probe).kind !=
+            sim::DefectPlan::Kind::None)
+            return;
+
+        Tick max_ticks = Tick(
+            params.getInt("max_ticks", 2'000'000'000'000));
+        BootSpec spec;
+        spec.simVersion = probe.simVersion;
+        spec.linuxBinary = linuxBinary;
+        spec.diskImage = diskImage;
+        spec.numCpus = probe.numCpus;
+        spec.bootType = params.getString("boot_type", "init");
+        spec.maxTicks = max_ticks;
+        CheckpointPtr ckpt = BootCheckpoints::instance().obtain(
+            adb, bootHashStr, spec, token);
+        // A straight run would have spent the boot's ticks inside the
+        // same budget; a boot that already exhausted it cannot be
+        // fast-forwarded past honestly.
+        if (ckpt && ckpt->simTicks < max_ticks)
+            restoreCkpt = std::move(ckpt);
+    } catch (const scheduler::TaskTimeout &) {
+        // The token expired while resolving the boot prefix; execute()
+        // notices the expired token and records the Timeout outcome.
+        restoreCkpt = nullptr;
+    } catch (const std::exception &) {
+        restoreCkpt = nullptr; // any trouble: run the straight path
+    }
+}
+
 Json
 Gem5Run::executeCached(ArtifactDb &adb, scheduler::CancelToken *token)
 {
-    if (cacheBypassed() || inputHashStr.empty())
+    if (cacheBypassed() || inputHashStr.empty()) {
+        // The checkpoint tier is independent of the run cache: even a
+        // cold (or disabled) run cache pays each unique boot once.
+        maybePrepareRestore(adb, token);
         return execute(adb, token);
+    }
 
     static metrics::Counter &cache_hits =
         metrics::counter("art.runCache.hits");
@@ -320,6 +394,7 @@ Gem5Run::executeCached(ArtifactDb &adb, scheduler::CancelToken *token)
         return document(adb);
     }
     cache_misses.inc();
+    maybePrepareRestore(adb, token);
     return execute(adb, token);
 }
 
@@ -386,6 +461,9 @@ Gem5Run::execute(ArtifactDb &adb, scheduler::CancelToken *token)
     // --- assemble the configuration the run script describes ---
     FsConfig cfg;
     SimResult result;
+    Json checkpoint_stub;        // set when checkpoint_to was honored
+    bool restored_from_ckpt = false;
+    Tick boot_ticks = 0;         // fast-forwarded prefix (ckpt tier)
     try {
         // Injectable host-level failure (G5_FAULT=run.execute[:p[:s]]):
         // a transient simulator crash, retried by the tasks layer.
@@ -423,19 +501,70 @@ Gem5Run::execute(ArtifactDb &adb, scheduler::CancelToken *token)
 
         std::string restore_from = params.getString("restore_from", "");
         std::unique_ptr<FsSystem> system;
-        if (restore_from.empty()) {
+        Tick budget = max_ticks;
+        if (restoreCkpt) {
+            // Boot-prefix checkpoint tier: restore instead of booting
+            // and simulate only the measured phase. The boot's ticks
+            // come off the budget (and back onto simTicks below) so
+            // tick-limit semantics match the straight path.
+            std::optional<tracing::Span> rspan;
+            if (tracing::enabled()) {
+                rspan.emplace("ckpt:restore", "ckpt");
+                rspan->arg("bootHash", Json(bootHashStr));
+            }
+            double restore_start = monotonicSeconds();
+            system = std::make_unique<FsSystem>(cfg, *restoreCkpt);
+            metrics::histogram("sim.ckpt.restoreSeconds")
+                .observe(monotonicSeconds() - restore_start);
+            boot_ticks = restoreCkpt->simTicks;
+            budget = max_ticks - boot_ticks;
+            restored_from_ckpt = true;
+        } else if (restore_from.empty()) {
             system = std::make_unique<FsSystem>(cfg);
         } else {
-            system = std::make_unique<FsSystem>(
-                cfg, Json::parse(readFile(restore_from)));
+            // An explicit restore file: either an s5ckpt2 stub written
+            // by checkpoint_to (image in the blob store) or a legacy
+            // s5ckpt1 JSON document.
+            Json r = Json::parse(readFile(restore_from));
+            if (r.getString("format") == "s5ckpt2") {
+                auto ckpt = Checkpoint::deserialize(
+                    adb.db().getBlob(r.getString("blob")));
+                system = std::make_unique<FsSystem>(cfg, *ckpt);
+            } else {
+                system = std::make_unique<FsSystem>(cfg, r);
+            }
         }
-        result = system->run(max_ticks, token);
+        result = system->run(budget, token);
+        result.simTicks += boot_ticks;
 
-        // hack-back support: persist a requested checkpoint.
+        // hack-back support: persist a requested checkpoint through
+        // the binary writer + blob store; only a small stub reaches
+        // the filesystem and the run doc.
         std::string checkpoint_to =
             params.getString("checkpoint_to", "");
-        if (!checkpoint_to.empty() && result.exitCause == "checkpoint")
-            writeFile(checkpoint_to, system->checkpoint().dump());
+        if (!checkpoint_to.empty() &&
+            result.exitCause == "checkpoint") {
+            std::optional<tracing::Span> cspan;
+            if (tracing::enabled())
+                cspan.emplace("ckpt:save", "ckpt");
+            double save_start = monotonicSeconds();
+            CheckpointPtr ckpt = system->takeCheckpoint();
+            std::string hex_md5;
+            std::string image = ckpt->serialize(&hex_md5);
+            std::string blob_key = adb.putBlob(image);
+            metrics::counter("sim.ckpt.bytes")
+                .inc(std::int64_t(image.size()));
+            metrics::histogram("sim.ckpt.saveSeconds")
+                .observe(monotonicSeconds() - save_start);
+            checkpoint_stub = Json::object();
+            checkpoint_stub["format"] = "s5ckpt2";
+            checkpoint_stub["bootHash"] = bootHashStr;
+            checkpoint_stub["blob"] = blob_key;
+            checkpoint_stub["ckptHash"] = hex_md5;
+            checkpoint_stub["bytes"] = std::int64_t(image.size());
+            checkpoint_stub["simTicks"] = ckpt->simTicks;
+            writeFile(checkpoint_to, checkpoint_stub.dump(2));
+        }
     } catch (const scheduler::TaskTimeout &) {
         // gem5art kills the job; record and let the task layer see it.
         finish(RunOutcome::Timeout, "TIMEOUT",
@@ -491,6 +620,10 @@ Gem5Run::execute(ArtifactDb &adb, scheduler::CancelToken *token)
     fields["totalInsts"] = result.totalInsts;
     fields["resultsBlob"] = results_blob;
     fields["stats"] = result.stats;
+    if (restored_from_ckpt)
+        fields["restoredBootHash"] = bootHashStr;
+    if (checkpoint_stub.isObject())
+        fields["checkpoint"] = checkpoint_stub;
     update(fields);
 
     bool se_success =

@@ -21,6 +21,7 @@
 #ifndef G5_ART_RUN_HH
 #define G5_ART_RUN_HH
 
+#include <memory>
 #include <string>
 
 #include "art/artifact.hh"
@@ -30,6 +31,11 @@ namespace g5::scheduler
 {
 class CancelToken;
 } // namespace g5::scheduler
+
+namespace g5::sim::fs
+{
+struct Checkpoint;
+} // namespace g5::sim::fs
 
 namespace g5::art
 {
@@ -112,6 +118,14 @@ class Gem5Run
      */
     const std::string &inputHash() const { return inputHashStr; }
 
+    /**
+     * Content key of this run's boot prefix (see art/ckpt.hh): kernel,
+     * disk and simulator artifacts plus num_cpus/mem_system/boot_type.
+     * Empty for SE runs. Runs sharing a bootHash share one boot
+     * through the checkpoint tier.
+     */
+    const std::string &bootHash() const { return bootHashStr; }
+
     /** Job timeout in seconds (for the task layer). */
     double timeoutSeconds() const { return timeoutS; }
 
@@ -186,6 +200,18 @@ class Gem5Run
   private:
     Gem5Run() = default;
 
+    /**
+     * Boot-prefix checkpoint tier: when this run is eligible (FS run,
+     * no workload, no explicit checkpoint params, no configured
+     * version defect — a defect arms during boot, so skipping the boot
+     * would change the census), resolve its bootHash through
+     * BootCheckpoints and stash the checkpoint for execute() to
+     * restore instead of booting. Any failure leaves the run on the
+     * straight path.
+     */
+    void maybePrepareRestore(ArtifactDb &adb,
+                             scheduler::CancelToken *token);
+
     std::string runId;
     std::string runName;
     std::string inputHashStr;
@@ -197,6 +223,8 @@ class Gem5Run
     std::string workloadBinary; ///< SE runs only
     Json params;
     double timeoutS = 0;
+    std::string bootHashStr;
+    std::shared_ptr<const sim::fs::Checkpoint> restoreCkpt;
 };
 
 } // namespace g5::art

@@ -119,6 +119,13 @@ SweepJournal::record(const Gem5Run &run, const Json &doc)
     fields["status"] = std::string(terminal ? "DONE" : "PENDING");
     fields["outcome"] = runOutcomeName(Gem5Run::classify(doc));
     fields["runId"] = doc.getString("_id", "");
+    // Provenance of the boot-prefix checkpoint tier: which cells were
+    // fast-forwarded past their boot (and from which boot image).
+    if (doc.contains("restoredBootHash")) {
+        fields["restored"] = true;
+        fields["restoredBootHash"] =
+            doc.getString("restoredBootHash");
+    }
     fields["updatedAt"] = isoTimestamp();
     journal().updateOne(Json::object({{"_id", Json(keyFor(run))}}),
                         Json::object({{"$set", std::move(fields)}}));
@@ -171,9 +178,12 @@ SweepJournal::census() const
         journal().find(Json::object({{"sweep", Json(sweepName)}}));
     Json by_outcome = Json::object();
     std::int64_t done = 0;
+    std::int64_t restored = 0;
     for (const Json &entry : entries) {
         if (entry.getString("status", "") == "DONE")
             ++done;
+        if (entry.getBool("restored", false))
+            ++restored;
         std::string outcome = entry.getString("outcome", "pending");
         by_outcome[outcome] =
             by_outcome.getInt(outcome, 0) + std::int64_t(1);
@@ -182,6 +192,7 @@ SweepJournal::census() const
     out["total"] = std::int64_t(entries.size());
     out["done"] = done;
     out["pending"] = std::int64_t(entries.size()) - done;
+    out["restoredFromCheckpoint"] = restored;
     out["outcomes"] = std::move(by_outcome);
     return out;
 }

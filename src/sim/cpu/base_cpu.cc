@@ -86,6 +86,27 @@ BaseCpu::finalizeIdle(Tick now)
     }
 }
 
+Json
+BaseCpu::saveState() const
+{
+    Json out = Json::object();
+    out["type"] = typeName();
+    out["insts"] = std::int64_t(numInsts.value());
+    out["syscalls"] = std::int64_t(numSyscalls.value());
+    out["memRefs"] = std::int64_t(numMemRefs.value());
+    out["contextSwitches"] = std::int64_t(contextSwitches.value());
+    return out;
+}
+
+void
+BaseCpu::restoreState(const Json &state)
+{
+    numInsts.set(double(state.getInt("insts")));
+    numSyscalls.set(double(state.getInt("syscalls")));
+    numMemRefs.set(double(state.getInt("memRefs")));
+    contextSwitches.set(double(state.getInt("contextSwitches")));
+}
+
 void
 BaseCpu::scheduleTick(Tick delay)
 {

@@ -15,6 +15,7 @@
 
 #include <string>
 
+#include "base/json.hh"
 #include "sim/isa/exec.hh"
 #include "sim/system.hh"
 
@@ -55,6 +56,26 @@ class BaseCpu
 
     /** Close the current idle period (end-of-simulation accounting). */
     void finalizeIdle(Tick now);
+
+    /**
+     * Drop any cached raw PhysMem page pointers. Called before pages
+     * are exported to a checkpoint (so a later COW break cannot leave
+     * a stale pointer) and whenever a shared page is privatized. Most
+     * models read through PhysMem on every access and need no action.
+     */
+    virtual void flushPageCache() {}
+
+    /**
+     * Serialize this CPU's architectural counters for a checkpoint.
+     * Models are interchangeable across save/restore (boot with the
+     * fast CPU, measure with a detailed one), so only model-agnostic
+     * state is exported.
+     */
+    virtual Json saveState() const;
+
+    /** Preload counters from saveState() output (possibly from a
+     *  different model). */
+    virtual void restoreState(const Json &state);
 
     StatGroup &statGroup() { return stats; }
 

@@ -1,0 +1,281 @@
+#include "sim/fs/checkpoint.hh"
+
+#include <cstring>
+
+#include "base/logging.hh"
+#include "base/md5.hh"
+
+namespace g5::sim::fs
+{
+
+namespace
+{
+
+constexpr char magic[8] = {'s', '5', 'c', 'k', 'p', 't', '2', '\n'};
+
+enum SectionTag : std::uint8_t {
+    TagEnd = 0,
+    TagMeta = 1,
+    TagCpu = 2,
+    TagOs = 3,
+    TagDevices = 4,
+    TagMemSys = 5,
+    TagMemory = 6,
+};
+
+bool
+isZeroPage(const mem::PhysMem::Page &page)
+{
+    for (std::int64_t w : page)
+        if (w != 0)
+            return false;
+    return true;
+}
+
+/** Append-and-hash sink: every byte that reaches the image also
+ *  reaches the digest, so the trailer falls out of serialization. */
+class HashingSink
+{
+  public:
+    void bytes(const void *data, std::size_t len)
+    {
+        out.append(static_cast<const char *>(data), len);
+        md5.update(data, len);
+    }
+
+    void u8(std::uint8_t v) { bytes(&v, 1); }
+
+    void u64(std::uint64_t v)
+    {
+        std::uint8_t buf[8];
+        for (int i = 0; i < 8; ++i)
+            buf[i] = std::uint8_t(v >> (8 * i));
+        bytes(buf, 8);
+    }
+
+    void i64(std::int64_t v) { u64(std::uint64_t(v)); }
+
+    void section(std::uint8_t tag, const std::string &payload)
+    {
+        u8(tag);
+        u64(payload.size());
+        bytes(payload.data(), payload.size());
+    }
+
+    std::string out;
+    Md5Stream md5;
+};
+
+/** Bounds-checked little-endian reader over the raw image. */
+class Reader
+{
+  public:
+    explicit Reader(const std::string &bytes) : data(bytes) {}
+
+    std::size_t pos = 0;
+
+    void need(std::size_t n, const char *what) const
+    {
+        if (pos + n > data.size())
+            fatal(std::string("checkpoint: truncated image (while "
+                              "reading ") +
+                  what + ")");
+    }
+
+    std::uint8_t u8(const char *what)
+    {
+        need(1, what);
+        return std::uint8_t(data[pos++]);
+    }
+
+    std::uint64_t u64(const char *what)
+    {
+        need(8, what);
+        std::uint64_t v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= std::uint64_t(std::uint8_t(data[pos + i])) << (8 * i);
+        pos += 8;
+        return v;
+    }
+
+    std::int64_t i64(const char *what)
+    {
+        return std::int64_t(u64(what));
+    }
+
+    std::string str(std::size_t n, const char *what)
+    {
+        need(n, what);
+        std::string s = data.substr(pos, n);
+        pos += n;
+        return s;
+    }
+
+    const std::string &data;
+};
+
+Json
+parseSection(const std::string &payload, const char *what)
+{
+    try {
+        return Json::parse(payload);
+    } catch (const std::exception &e) {
+        fatal(std::string("checkpoint: corrupt ") + what +
+              " section: " + e.what());
+    }
+}
+
+} // anonymous namespace
+
+std::size_t
+Checkpoint::memoryBytes() const
+{
+    std::size_t n = 0;
+    for (const auto &kv : pages)
+        if (kv.second && !isZeroPage(*kv.second))
+            ++n;
+    return 8 + n * (8 + mem::PhysMem::wordsPerPage * 8);
+}
+
+std::string
+Checkpoint::serialize(std::string *hex_md5) const
+{
+    HashingSink sink;
+    sink.bytes(magic, sizeof(magic));
+
+    Json meta = Json::object();
+    meta["format"] = "s5ckpt2";
+    meta["configSignature"] = configSignature;
+    meta["simTicks"] = simTicks;
+    sink.section(TagMeta, meta.dump());
+    sink.section(TagCpu, cpuState.dump());
+    sink.section(TagOs, osState.dump());
+    sink.section(TagDevices, deviceState.dump());
+    sink.section(TagMemSys, memSysState.dump());
+
+    // Raw non-zero pages: u64 count, then (u64 pageNo, 512 LE words)
+    // each. The map is sorted, so the image is deterministic and equal
+    // content hashes mean equal checkpoints.
+    sink.u8(TagMemory);
+    sink.u64(memoryBytes());
+    std::uint64_t count = 0;
+    for (const auto &kv : pages)
+        if (kv.second && !isZeroPage(*kv.second))
+            ++count;
+    sink.u64(count);
+    for (const auto &kv : pages) {
+        if (!kv.second || isZeroPage(*kv.second))
+            continue;
+        sink.u64(kv.first);
+        for (std::int64_t w : *kv.second)
+            sink.i64(w);
+    }
+
+    sink.u8(TagEnd);
+    sink.u64(0);
+
+    auto digest = sink.md5.finalBytes();
+    std::string image = std::move(sink.out);
+    image.append(reinterpret_cast<const char *>(digest.data()),
+                 digest.size());
+    if (hex_md5) {
+        static const char hex[] = "0123456789abcdef";
+        hex_md5->clear();
+        for (std::uint8_t b : digest) {
+            hex_md5->push_back(hex[b >> 4]);
+            hex_md5->push_back(hex[b & 0xf]);
+        }
+    }
+    return image;
+}
+
+std::shared_ptr<Checkpoint>
+Checkpoint::deserialize(const std::string &bytes)
+{
+    Reader rd(bytes);
+    rd.need(sizeof(magic), "magic");
+    if (std::memcmp(bytes.data(), magic, sizeof(magic)) != 0)
+        fatal("checkpoint: not an s5ckpt2 image (bad magic)");
+    rd.pos = sizeof(magic);
+
+    auto ckpt = std::make_shared<Checkpoint>();
+    bool saw_end = false;
+    while (!saw_end) {
+        std::uint8_t tag = rd.u8("section tag");
+        std::uint64_t len = rd.u64("section length");
+        switch (tag) {
+          case TagEnd:
+            if (len != 0)
+                fatal("checkpoint: corrupt end marker");
+            saw_end = true;
+            break;
+          case TagMeta: {
+            Json meta = parseSection(rd.str(len, "meta"), "meta");
+            if (meta.getString("format") != "s5ckpt2")
+                fatal("checkpoint: not a sim5 checkpoint");
+            ckpt->configSignature = meta.getString("configSignature");
+            ckpt->simTicks = Tick(meta.getInt("simTicks"));
+            break;
+          }
+          case TagCpu:
+            ckpt->cpuState = parseSection(rd.str(len, "cpu"), "cpu");
+            break;
+          case TagOs:
+            ckpt->osState = parseSection(rd.str(len, "os"), "os");
+            break;
+          case TagDevices:
+            ckpt->deviceState =
+                parseSection(rd.str(len, "devices"), "devices");
+            break;
+          case TagMemSys:
+            ckpt->memSysState =
+                parseSection(rd.str(len, "memsys"), "memsys");
+            break;
+          case TagMemory: {
+            std::size_t end = rd.pos + len;
+            rd.need(len, "memory section");
+            std::uint64_t count = rd.u64("page count");
+            constexpr std::size_t page_bytes =
+                8 + mem::PhysMem::wordsPerPage * 8;
+            if (len != 8 + count * page_bytes)
+                fatal("checkpoint: memory section length does not "
+                      "match its page count");
+            for (std::uint64_t i = 0; i < count; ++i) {
+                Addr page_no = Addr(rd.u64("page number"));
+                auto page = std::make_shared<mem::PhysMem::Page>();
+                for (std::size_t w = 0;
+                     w < mem::PhysMem::wordsPerPage; ++w)
+                    (*page)[w] = rd.i64("page words");
+                if (!ckpt->pages.emplace(page_no, std::move(page))
+                         .second)
+                    fatal("checkpoint: duplicate memory page");
+            }
+            if (rd.pos != end)
+                fatal("checkpoint: memory section length mismatch");
+            break;
+          }
+          default:
+            // Unknown section from a newer writer: skip the payload
+            // (the length prefix makes this safe), keep loading.
+            rd.need(len, "unknown section");
+            rd.pos += len;
+            break;
+        }
+    }
+
+    // Everything after the end marker is the 16-byte digest trailer.
+    std::size_t body_len = rd.pos;
+    rd.need(16, "digest trailer");
+    if (bytes.size() != body_len + 16)
+        fatal("checkpoint: trailing garbage after digest trailer");
+
+    Md5 md5;
+    md5.update(bytes.data(), body_len);
+    auto digest = md5.digest();
+    if (std::memcmp(digest.data(), bytes.data() + body_len, 16) != 0)
+        fatal("checkpoint: digest mismatch (corrupt image)");
+
+    return ckpt;
+}
+
+} // namespace g5::sim::fs

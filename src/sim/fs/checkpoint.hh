@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Checkpoint — the in-memory snapshot of a quiescent full-system run
+ * and its compact binary serialization (format "s5ckpt2").
+ *
+ * A Checkpoint holds the guest-visible state sections FsSystem exports
+ * (CPU architectural state, guest-OS/thread state, device state, the
+ * memory system's cache state) as JSON documents, plus the raw non-zero
+ * physical-memory pages as shared references. Keeping the pages shared
+ * is what makes forked restore cheap: N systems restored from one
+ * checkpoint adopt the same pages and copy-on-write only what they
+ * touch.
+ *
+ * On-disk layout (all integers little-endian):
+ *
+ *     "s5ckpt2\n"                                   8-byte magic
+ *     { u8 tag, u64 length, payload[length] }...    tagged sections
+ *     { u8 0,   u64 0 }                             end marker
+ *     md5[16]                                       digest trailer
+ *
+ * Section tags: 1 = meta JSON (format, configSignature, simTicks),
+ * 2 = CPU state JSON, 3 = OS state JSON, 4 = device state JSON,
+ * 5 = memory-system state JSON, 6 = raw memory pages
+ * (u64 page count, then per page: u64 page number + 512 LE words).
+ * Unknown tags are skipped (forward compatibility); the trailer is the
+ * MD5 of every preceding byte and is accumulated while serializing
+ * (Md5Stream), so the checkpoint's content hash falls out of the
+ * writer for free. The loader re-hashes on read and rejects truncated
+ * or corrupt images with FatalError.
+ */
+
+#ifndef G5_SIM_FS_CHECKPOINT_HH
+#define G5_SIM_FS_CHECKPOINT_HH
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "base/json.hh"
+#include "base/types.hh"
+#include "sim/mem/physmem.hh"
+
+namespace g5::sim::fs
+{
+
+struct Checkpoint
+{
+    /** FsConfig::signature() of the system that took the snapshot. */
+    std::string configSignature;
+
+    /** Simulated tick at which the snapshot was taken. */
+    Tick simTicks = 0;
+
+    /** Per-CPU architectural state (array, one entry per CPU). */
+    Json cpuState;
+
+    /** GuestOs::saveState() output (threads, queues, ROI marks). */
+    Json osState;
+
+    /** Device state (terminal backlog, OS syscall counter). */
+    Json deviceState;
+
+    /** MemSystem::saveState() output (cache arrays); null when the
+     *  memory system has no checkpointable state. */
+    Json memSysState;
+
+    /** Non-zero physical pages, shared copy-on-write with live
+     *  systems. Sorted so serialization is deterministic. */
+    std::map<Addr, mem::PhysMem::PagePtr> pages;
+
+    /**
+     * Serialize to the s5ckpt2 binary format. Every byte streams
+     * through an Md5Stream; when @p hex_md5 is non-null it receives
+     * the 32-char content hash (equal to the trailer digest).
+     */
+    std::string serialize(std::string *hex_md5 = nullptr) const;
+
+    /**
+     * Parse an s5ckpt2 image. Validates the magic, every section
+     * length, and the MD5 trailer; throws FatalError on truncated or
+     * corrupt input (the tolerant-loader contract: reject cleanly,
+     * never crash or half-restore).
+     */
+    static std::shared_ptr<Checkpoint>
+    deserialize(const std::string &bytes);
+
+    /** @return total payload bytes of the memory section. */
+    std::size_t memoryBytes() const;
+};
+
+using CheckpointPtr = std::shared_ptr<const Checkpoint>;
+
+} // namespace g5::sim::fs
+
+#endif // G5_SIM_FS_CHECKPOINT_HH

@@ -32,6 +32,9 @@ class Terminal
     /** @return true when any line contains @p needle. */
     bool contains(const std::string &needle) const;
 
+    /** All lines printed so far (checkpoint serialization). */
+    const std::vector<std::string> &allLines() const { return lines; }
+
     Scalar bytesWritten;
 
   private:

@@ -122,6 +122,13 @@ FsSystem::buildHardware()
     sys->os = guestOs.get();
     sys->rootStats.addChild(&guestOs->statGroup());
 
+    // COW safety: when a shared (checkpointed/forked) page is about to
+    // be privatized, drop any raw page pointers CPU models may cache.
+    sys->physmem.setCowCallback([this] {
+        for (auto &cpu : sys->cpus)
+            cpu->flushPageCache();
+    });
+
     // --- known issues of the simulated simulator version ---
     sys->defect = knownIssueFor(cfg);
     if (sys->defect.kind == DefectPlan::Kind::Deadlock) {
@@ -153,7 +160,8 @@ FsSystem::FsSystem(const FsConfig &cfg)
                       "' not on the disk image");
         }
         guestOs->startBoot(cfg.bootType, init_idx, cfg.initArg,
-                           cfg.checkpointAfterBoot);
+                           cfg.checkpointAfterBoot,
+                           cfg.quietCheckpoint);
     }
 
     for (auto &cpu : sys->cpus)
@@ -174,6 +182,40 @@ FsSystem::FsSystem(const FsConfig &cfg, const Json &checkpoint)
         cpu->start();
 }
 
+FsSystem::FsSystem(const FsConfig &cfg, const Checkpoint &ckpt)
+    : cfg(cfg)
+{
+    buildHardware();
+    guestOs->restoreState(ckpt.osState);
+    guestOs->restoreDeviceState(ckpt.deviceState);
+
+    // CPU counters: entry i preloads CPU i; counts from checkpointed
+    // CPUs beyond our core count fold into CPU 0, so instruction
+    // totals survive a core-count change.
+    if (ckpt.cpuState.isArray()) {
+        const auto &saved = ckpt.cpuState.asArray();
+        for (std::size_t i = 0;
+             i < sys->cpus.size() && i < saved.size(); ++i)
+            sys->cpus[i]->restoreState(saved[i]);
+        for (std::size_t i = sys->cpus.size(); i < saved.size(); ++i)
+            sys->cpus[0]->numInsts += double(saved[i].getInt("insts"));
+    }
+
+    // Warm caches carry over only within the same protocol; a restore
+    // onto a different memory system starts cold (always safe — the
+    // checkpoint is functional state, cache contents are a timing
+    // hint).
+    if (ckpt.memSysState.isObject() &&
+        ckpt.memSysState.getString("protocol") ==
+            sys->memSystem->protocolName())
+        sys->memSystem->restoreState(ckpt.memSysState);
+
+    sys->physmem.adoptPages(ckpt.pages);
+
+    for (auto &cpu : sys->cpus)
+        cpu->start();
+}
+
 Json
 FsSystem::checkpoint() const
 {
@@ -182,6 +224,30 @@ FsSystem::checkpoint() const
     ckpt["configSignature"] = cfg.signature();
     ckpt["os"] = guestOs->saveState();
     ckpt["memory"] = sys->physmem.toJson();
+    return ckpt;
+}
+
+CheckpointPtr
+FsSystem::takeCheckpoint()
+{
+    auto ckpt = std::make_shared<Checkpoint>();
+    ckpt->configSignature = cfg.signature();
+    ckpt->simTicks = sys->curTick();
+    ckpt->osState = guestOs->saveState(); // throws unless quiescent
+    ckpt->deviceState = guestOs->saveDeviceState();
+
+    Json cpu_state = Json::array();
+    for (auto &cpu : sys->cpus)
+        cpu_state.push(cpu->saveState());
+    ckpt->cpuState = std::move(cpu_state);
+
+    ckpt->memSysState = sys->memSystem->saveState();
+
+    // Share the pages copy-on-write: flush any cached raw pointers
+    // first so a later COW break cannot strand one.
+    for (auto &cpu : sys->cpus)
+        cpu->flushPageCache();
+    ckpt->pages = sys->physmem.exportPages();
     return ckpt;
 }
 

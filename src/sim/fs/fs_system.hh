@@ -16,6 +16,7 @@
 #include <string>
 
 #include "sim/cpu/base_cpu.hh"
+#include "sim/fs/checkpoint.hh"
 #include "sim/fs/disk_image.hh"
 #include "sim/fs/guest_os.hh"
 #include "sim/fs/kernel.hh"
@@ -52,6 +53,15 @@ struct FsConfig
 
     /** Quiesce for a checkpoint between boot and workload (hack-back). */
     bool checkpointAfterBoot = false;
+
+    /**
+     * Suppress the hack-back console markers around the checkpoint op
+     * (boot-prefix tier): the m5 op becomes the boot's only extra
+     * instruction, which the tier deducts from the saved counters so a
+     * restored run's console and instruction census are byte-identical
+     * to a straight run's.
+     */
+    bool quietCheckpoint = false;
 
     /** Simulate the bug census of this gem5 version ("" = bug-free). */
     std::string simVersion = "20.1.0.4";
@@ -111,6 +121,16 @@ class FsSystem
      */
     FsSystem(const FsConfig &cfg, const Json &checkpoint);
 
+    /**
+     * Restore from an in-memory binary checkpoint (see checkpoint.hh).
+     * Like the JSON overload the CPU/memory model may differ from the
+     * checkpointing system's, and additionally the restored system
+     * adopts the checkpoint's physical pages copy-on-write: N systems
+     * restored from one checkpoint share every untouched page, so a
+     * forked sweep pays memory only for what each variant writes.
+     */
+    FsSystem(const FsConfig &cfg, const Checkpoint &ckpt);
+
     ~FsSystem();
 
     /**
@@ -120,6 +140,15 @@ class FsSystem
      * resource does right after boot.
      */
     Json checkpoint() const;
+
+    /**
+     * Take a binary checkpoint (the s5ckpt2 in-memory form). Same
+     * quiescence requirement as checkpoint(); additionally exports the
+     * physical pages as shared copy-on-write references (CPU
+     * page-pointer caches are flushed first), so taking a checkpoint
+     * is O(pages) bookkeeping, not a memory copy.
+     */
+    CheckpointPtr takeCheckpoint();
 
     /**
      * Boot and run until m5-exit, failure, or @p max_ticks.

@@ -1,6 +1,8 @@
 #include "sim/fs/guest_os.hh"
 
+#include <map>
 #include <set>
+#include <vector>
 
 #include "base/logging.hh"
 #include "sim/fs/guest_abi.hh"
@@ -55,12 +57,14 @@ GuestOs::makeRunnable(ThreadContext *tc)
 
 void
 GuestOs::startBoot(BootType boot, int init_program_index,
-                   std::int64_t init_arg, bool checkpoint_after_boot)
+                   std::int64_t init_arg, bool checkpoint_after_boot,
+                   bool quiet_checkpoint)
 {
     unsigned num_cpus = unsigned(sys.cpus.size());
     auto prog = buildBootProgram(kernel, boot, num_cpus,
                                  init_program_index, init_arg,
-                                 checkpoint_after_boot);
+                                 checkpoint_after_boot,
+                                 quiet_checkpoint);
     ThreadContext *tc = createThread(std::move(prog), 0, 0);
     makeRunnable(tc);
     scheduleTimer();
@@ -396,6 +400,12 @@ GuestOs::saveState() const
             join_blocked.insert(tc->tid);
 
     Json out = Json::object();
+    // Spawned threads share the boot program object; serialize each
+    // distinct program once and let threads reference it by index —
+    // a 20-thread post-boot checkpoint carries one program, not 20
+    // copies, and the restore parses it once.
+    Json progs = Json::array();
+    std::map<const isa::Program *, std::int64_t> prog_index;
     Json tjson = Json::array();
     for (const auto &tptr : threads) {
         const ThreadContext &tc = *tptr;
@@ -433,9 +443,18 @@ GuestOs::saveState() const
         for (int i = 0; i < isa::numRegs; ++i)
             regs.push(tc.regs[i]);
         t["regs"] = std::move(regs);
-        t["program"] = tc.prog->toJson();
+        auto found = prog_index.find(tc.prog.get());
+        if (found == prog_index.end()) {
+            found = prog_index
+                        .emplace(tc.prog.get(),
+                                 std::int64_t(prog_index.size()))
+                        .first;
+            progs.push(tc.prog->toJson());
+        }
+        t["programRef"] = found->second;
         tjson.push(std::move(t));
     }
+    out["programs"] = std::move(progs);
     out["threads"] = std::move(tjson);
 
     Json rq = Json::array();
@@ -480,8 +499,24 @@ GuestOs::restoreState(const Json &state)
     if (!threads.empty())
         fatal("GuestOs::restoreState: OS already has threads");
 
+    std::vector<isa::ProgramPtr> prog_table;
+    if (const Json *progs = state.find("programs"))
+        for (const auto &pj : progs->asArray())
+            prog_table.push_back(isa::Program::fromJson(pj));
+
     for (const auto &t : state.at("threads").asArray()) {
-        auto prog = isa::Program::fromJson(t.at("program"));
+        isa::ProgramPtr prog;
+        if (const Json *ref = t.find("programRef")) {
+            std::size_t idx = std::size_t(ref->asInt());
+            if (idx >= prog_table.size())
+                fatal("GuestOs::restoreState: bad program reference");
+            // Threads sharing a program at save time share it again on
+            // restore, exactly like live SYS_SPAWN.
+            prog = prog_table[idx];
+        } else {
+            // Tolerate the older per-thread inline form.
+            prog = isa::Program::fromJson(t.at("program"));
+        }
         ThreadContext *tc =
             createThread(std::move(prog), std::uint64_t(t.getInt("pc")),
                          0);
@@ -533,6 +568,29 @@ GuestOs::restoreState(const Json &state)
 
     scheduleTimer();
     sys.kickIdleCpus();
+}
+
+Json
+GuestOs::saveDeviceState() const
+{
+    Json out = Json::object();
+    Json lines = Json::array();
+    for (const auto &line : terminal.allLines())
+        lines.push(line);
+    out["terminal"] = std::move(lines);
+    out["syscallsSeen"] = std::int64_t(syscallsSeen);
+    return out;
+}
+
+void
+GuestOs::restoreDeviceState(const Json &state)
+{
+    if (!state.isObject())
+        return;
+    if (const Json *lines = state.find("terminal"))
+        for (const auto &line : lines->asArray())
+            terminal.writeLine(line.asString());
+    syscallsSeen = std::uint64_t(state.getInt("syscallsSeen"));
 }
 
 } // namespace g5::sim::fs

@@ -53,7 +53,8 @@ class GuestOs : public OsCallbacks
      */
     void startBoot(BootType boot, int init_program_index = -1,
                    std::int64_t init_arg = 0,
-                   bool checkpoint_after_boot = false);
+                   bool checkpoint_after_boot = false,
+                   bool quiet_checkpoint = false);
 
     /** Start an arbitrary program as a thread (tests, SE-style runs). */
     isa::ThreadContext *startProgram(isa::ProgramPtr prog,
@@ -99,6 +100,17 @@ class GuestOs : public OsCallbacks
      * the OS timer. The GuestOs must be freshly constructed.
      */
     void restoreState(const Json &state);
+
+    /**
+     * Serialize device-side state the legacy s5ckpt1 format never
+     * carried: the console backlog (so a restored run's terminal reads
+     * like the straight run's) and the OS syscall counter (so
+     * version-defect arming points survive a restore).
+     */
+    Json saveDeviceState() const;
+
+    /** Restore saveDeviceState() output; tolerates null (s5ckpt1). */
+    void restoreDeviceState(const Json &state);
 
     StatGroup &statGroup() { return stats; }
 

@@ -138,7 +138,8 @@ KernelSpec::load(const std::string &host_path)
 isa::ProgramPtr
 buildBootProgram(const KernelSpec &kernel, BootType boot,
                  unsigned num_cpus, int init_program_index,
-                 std::int64_t init_arg, bool checkpoint_after_boot)
+                 std::int64_t init_arg, bool checkpoint_after_boot,
+                 bool quiet_checkpoint)
 {
     using isa::ProgramBuilder;
 
@@ -260,10 +261,16 @@ buildBootProgram(const KernelSpec &kernel, BootType boot,
 
     if (checkpoint_after_boot) {
         // hack-back: quiesce right after boot so the host can save a
-        // checkpoint; on restore, execution continues from here.
-        console("hack-back: taking post-boot checkpoint");
+        // checkpoint; on restore, execution continues from here. The
+        // quiet variant (boot-prefix tier) leaves no console trace: the
+        // m5 op is the only extra instruction, and the tier deducts it
+        // from the saved counters so restored runs census-match
+        // straight ones.
+        if (!quiet_checkpoint)
+            console("hack-back: taking post-boot checkpoint");
         pb.m5op(M5_CHECKPOINT);
-        console("hack-back: running host-provided script");
+        if (!quiet_checkpoint)
+            console("hack-back: running host-provided script");
     }
 
     if (init_program_index >= 0) {

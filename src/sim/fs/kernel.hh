@@ -76,12 +76,18 @@ struct KernelSpec
  * @param checkpoint_after_boot insert an m5 checkpoint op between the
  *                            end of boot and the workload (the
  *                            hack-back resource's behaviour).
+ * @param quiet_checkpoint    emit only the m5 op, without the hack-back
+ *                            console markers. Used by the transparent
+ *                            boot-prefix tier, where a restored run's
+ *                            console must be byte-identical to a
+ *                            straight run's.
  */
 isa::ProgramPtr buildBootProgram(const KernelSpec &kernel, BootType boot,
                                  unsigned num_cpus,
                                  int init_program_index = -1,
                                  std::int64_t init_arg = 0,
-                                 bool checkpoint_after_boot = false);
+                                 bool checkpoint_after_boot = false,
+                                 bool quiet_checkpoint = false);
 
 /** Guest addresses used by generated boot code. */
 constexpr Addr kernelScratchBase = 0x4000'0000;

@@ -86,4 +86,63 @@ CacheArray::invalidate(Addr addr)
         line->valid = false;
 }
 
+std::size_t
+CacheArray::numValidLines() const
+{
+    std::size_t n = 0;
+    for (const Line &line : lines)
+        if (line.valid)
+            ++n;
+    return n;
+}
+
+Json
+CacheArray::saveState() const
+{
+    Json out = Json::object();
+    out["sets"] = std::int64_t(sets);
+    out["ways"] = std::int64_t(ways);
+    out["useCounter"] = std::int64_t(useCounter);
+    // One flat [idx, tag, state, lastUse, idx, ...] array: restoring a
+    // warm post-boot cache is on the checkpoint tier's critical path,
+    // and a single flat array costs one JSON node per value instead of
+    // one per value plus one per line.
+    Json valid = Json::array();
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+        const Line &line = lines[i];
+        if (!line.valid)
+            continue;
+        valid.push(std::int64_t(i));
+        valid.push(std::int64_t(line.tag));
+        valid.push(std::int64_t(line.state));
+        valid.push(std::int64_t(line.lastUse));
+    }
+    out["lines"] = std::move(valid);
+    return out;
+}
+
+void
+CacheArray::restoreState(const Json &state)
+{
+    if (unsigned(state.getInt("sets")) != sets ||
+        unsigned(state.getInt("ways")) != ways)
+        fatal("CacheArray::restoreState: geometry mismatch");
+    for (Line &line : lines)
+        line = Line{};
+    useCounter = std::uint64_t(state.getInt("useCounter"));
+    const auto &flat = state.at("lines").asArray();
+    if (flat.size() % 4 != 0)
+        fatal("CacheArray::restoreState: malformed line array");
+    for (std::size_t n = 0; n < flat.size(); n += 4) {
+        std::size_t idx = std::size_t(flat[n].asInt());
+        if (idx >= lines.size())
+            fatal("CacheArray::restoreState: line index out of range");
+        Line &line = lines[idx];
+        line.valid = true;
+        line.tag = Addr(flat[n + 1].asInt());
+        line.state = int(flat[n + 2].asInt());
+        line.lastUse = std::uint64_t(flat[n + 3].asInt());
+    }
+}
+
 } // namespace g5::sim::mem

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "base/json.hh"
 #include "base/types.hh"
 
 namespace g5::sim::mem
@@ -59,6 +60,22 @@ class CacheArray
 
     unsigned numSets() const { return sets; }
     unsigned associativity() const { return ways; }
+
+    /** @return the number of valid lines (warm-state accounting). */
+    std::size_t numValidLines() const;
+
+    /**
+     * Serialize the tag state (valid lines + LRU clock) so restored
+     * systems start with the caches as warm as they were at the
+     * checkpoint: [sets, ways, useCounter, [[idx,tag,state,lastUse]..]].
+     */
+    Json saveState() const;
+
+    /**
+     * Restore saveState() output. Throws FatalError when the geometry
+     * or any line index is out of range (corrupt checkpoint).
+     */
+    void restoreState(const Json &state);
 
   private:
     std::size_t setIndex(Addr addr) const;

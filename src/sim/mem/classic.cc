@@ -79,4 +79,32 @@ ClassicMem::atomicAccess(int cpu, Addr addr, bool write)
     return lookupLatency(cpu, addr, write, false);
 }
 
+Json
+ClassicMem::saveState() const
+{
+    Json out = Json::object();
+    out["protocol"] = protocolName();
+    Json l1_state = Json::array();
+    for (const auto &l1 : l1s)
+        l1_state.push(l1->saveState());
+    out["l1s"] = std::move(l1_state);
+    out["l2"] = l2->saveState();
+    return out;
+}
+
+void
+ClassicMem::restoreState(const Json &state)
+{
+    if (!state.isObject())
+        return;
+    if (state.getString("protocol") != protocolName())
+        fatal("ClassicMem::restoreState: protocol mismatch");
+    const auto &l1_state = state.at("l1s").asArray();
+    // A checkpoint from a system with a different CPU count restores
+    // only the L1s both sides have; extra restored L1s start cold.
+    for (std::size_t i = 0; i < l1s.size() && i < l1_state.size(); ++i)
+        l1s[i]->restoreState(l1_state[i]);
+    l2->restoreState(state.at("l2"));
+}
+
 } // namespace g5::sim::mem

@@ -50,6 +50,10 @@ class ClassicMem : public MemSystem
 
     StatGroup &statGroup() override { return stats; }
 
+    /** Warm-cache checkpointing: per-L1 + L2 tag arrays. */
+    Json saveState() const override;
+    void restoreState(const Json &state) override;
+
     // Exposed counters for tests.
     Scalar l1Hits, l1Misses, l2Hits, l2Misses;
 

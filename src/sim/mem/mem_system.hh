@@ -20,6 +20,7 @@
 #include <functional>
 #include <string>
 
+#include "base/json.hh"
 #include "base/types.hh"
 #include "sim/stats.hh"
 
@@ -58,6 +59,23 @@ class MemSystem
 
     /** Root of this memory system's statistics. */
     virtual StatGroup &statGroup() = 0;
+
+    /**
+     * Serialize checkpointable timing state (cache tag arrays) so a
+     * restored run starts warm instead of cold. The default is null:
+     * a quiescent checkpoint has no in-flight transactions, so a
+     * memory system without persistent arrays has nothing to save
+     * (RubyMem relies on this — its directory state rebuilds on
+     * demand).
+     */
+    virtual Json saveState() const { return Json(); }
+
+    /**
+     * Restore saveState() output. Only called when the restoring
+     * system runs the same protocol; the default ignores the state
+     * (cold caches are always architecturally safe).
+     */
+    virtual void restoreState(const Json &state) { (void)state; }
 };
 
 } // namespace g5::sim::mem

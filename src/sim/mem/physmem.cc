@@ -1,8 +1,7 @@
 #include "sim/mem/physmem.hh"
 
-#include <map>
-
 #include "base/logging.hh"
+#include "base/metrics.hh"
 
 namespace g5::sim::mem
 {
@@ -10,12 +9,21 @@ namespace g5::sim::mem
 PhysMem::Page &
 PhysMem::pageFor(Addr addr)
 {
-    auto it = pages.find(pageOf(addr));
-    if (it == pages.end()) {
-        it = pages.emplace(pageOf(addr), Page{}).first;
-        it->second.fill(0);
+    PagePtr &slot = pages[pageOf(addr)];
+    if (!slot) {
+        slot = std::make_shared<Page>();
+        slot->fill(0);
+    } else if (slot.use_count() > 1) {
+        // The page is shared with a checkpoint or a forked system:
+        // privatize it before the write. Flush CPU page-pointer caches
+        // first — the relocation invalidates any cached raw pointer.
+        if (cowCallback)
+            cowCallback();
+        slot = std::make_shared<Page>(*slot);
+        ++numCowBreaks;
+        metrics::counter("sim.mem.cowBreaks").inc();
     }
-    return it->second;
+    return *slot;
 }
 
 std::int64_t
@@ -24,7 +32,7 @@ PhysMem::read(Addr addr) const
     auto it = pages.find(pageOf(addr));
     if (it == pages.end())
         return 0;
-    return it->second[wordOf(addr)];
+    return (*it->second)[wordOf(addr)];
 }
 
 void
@@ -43,13 +51,46 @@ PhysMem::amoAdd(Addr addr, std::int64_t delta)
     return old;
 }
 
+std::map<Addr, PhysMem::PagePtr>
+PhysMem::exportPages() const
+{
+    std::map<Addr, PagePtr> out;
+    for (const auto &kv : pages)
+        out.emplace(kv.first, kv.second);
+    return out;
+}
+
+void
+PhysMem::adoptPages(const std::map<Addr, PagePtr> &snapshot)
+{
+    pages.clear();
+    for (const auto &kv : snapshot)
+        pages.emplace(kv.first, kv.second);
+}
+
+std::size_t
+PhysMem::sharedPages() const
+{
+    std::size_t n = 0;
+    for (const auto &kv : pages)
+        if (kv.second.use_count() > 1)
+            ++n;
+    return n;
+}
+
+std::size_t
+PhysMem::privatePages() const
+{
+    return pages.size() - sharedPages();
+}
+
 Json
 PhysMem::toJson() const
 {
     // Sorted pages, sparse non-zero words: [[pageAddr,[[idx,val]...]]]
     std::map<Addr, const Page *> sorted;
     for (const auto &kv : pages)
-        sorted.emplace(kv.first, &kv.second);
+        sorted.emplace(kv.first, kv.second.get());
 
     Json out = Json::array();
     for (const auto &kv : sorted) {
@@ -80,14 +121,15 @@ PhysMem::restore(const Json &state)
         fatal("PhysMem::restore: malformed memory checkpoint");
     for (const auto &page : state.asArray()) {
         Addr page_addr = Addr(page.at(std::size_t(0)).asInt());
-        Page &dst = pages.emplace(page_addr, Page{}).first->second;
-        dst.fill(0);
+        PagePtr &slot = pages[page_addr];
+        slot = std::make_shared<Page>();
+        slot->fill(0);
         for (const auto &pair : page.at(std::size_t(1)).asArray()) {
             std::size_t idx =
                 std::size_t(pair.at(std::size_t(0)).asInt());
             if (idx >= wordsPerPage)
                 fatal("PhysMem::restore: word index out of range");
-            dst[idx] = pair.at(std::size_t(1)).asInt();
+            (*slot)[idx] = pair.at(std::size_t(1)).asInt();
         }
     }
 }

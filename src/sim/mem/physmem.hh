@@ -8,6 +8,14 @@
  * single-threaded, commit order equals event order, which makes Amo
  * naturally atomic.
  *
+ * Pages are reference-counted so checkpoints and forked restores share
+ * them copy-on-write: exportPages() hands out shared references,
+ * adoptPages() installs them, and the first write to a shared page
+ * clones it (notifying the registered COW callback so CPU page-pointer
+ * caches can invalidate). A page that is not shared never moves, so the
+ * fast-path pointer caches keep their node-stability guarantee within
+ * a run.
+ *
  * Granularity is 8 bytes (one SimISA word); addresses are rounded down.
  */
 
@@ -16,6 +24,9 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
 #include <unordered_map>
 
 #include "base/json.hh"
@@ -29,6 +40,10 @@ class PhysMem
   public:
     /** Words per backing page (4 KiB pages). */
     static constexpr std::size_t wordsPerPage = 512;
+
+    /** One backing page; shared between forked systems until written. */
+    using Page = std::array<std::int64_t, wordsPerPage>;
+    using PagePtr = std::shared_ptr<Page>;
 
     /** Read the word containing @p addr (zero when never written). */
     std::int64_t read(Addr addr) const;
@@ -45,16 +60,19 @@ class PhysMem
     /**
      * Raw words of the page containing @p addr, or nullptr when the
      * page was never written. Never allocates, so footprint accounting
-     * matches read(). Page storage is node-stable: the pointer stays
-     * valid until restore() replaces the contents.
+     * matches read(). The pointer stays valid until restore()/
+     * adoptPages() replace the contents or a COW break relocates the
+     * page — breaks only happen after exportPages() shared it, and
+     * always invoke the COW callback first.
      */
     const std::int64_t *pageWords(Addr addr) const
     {
         auto it = pages.find(pageOf(addr));
-        return it == pages.end() ? nullptr : it->second.data();
+        return it == pages.end() ? nullptr : it->second->data();
     }
 
-    /** Raw words of the page containing @p addr, allocating on miss. */
+    /** Raw words of the page containing @p addr, allocating (and
+     *  privatizing a shared page) on demand. */
     std::int64_t *pageWordsForWrite(Addr addr)
     {
         return pageFor(addr).data();
@@ -66,6 +84,42 @@ class PhysMem
     /** @return the page number of @p addr (for page-cache tags). */
     static Addr pageNumber(Addr addr) { return pageOf(addr); }
 
+    /**
+     * Snapshot the current contents as shared page references, sorted
+     * by page number (deterministic serialization order). O(pages) and
+     * copies no data: the caller and this memory now share every page,
+     * and whoever writes first pays for the copy.
+     */
+    std::map<Addr, PagePtr> exportPages() const;
+
+    /**
+     * Replace the contents with shared references to @p snapshot.
+     * Writes after adoption clone the touched page (COW). Must only be
+     * called before any CPU cached page pointers, or after flushing
+     * them.
+     */
+    void adoptPages(const std::map<Addr, PagePtr> &snapshot);
+
+    /**
+     * Invoked just before a shared page is cloned in place. Fork-aware
+     * system builders point this at their CPUs' page-pointer-cache
+     * flush so no stale pointer survives the relocation.
+     */
+    void setCowCallback(std::function<void()> cb)
+    {
+        cowCallback = std::move(cb);
+    }
+
+    /** @return pages currently shared with a checkpoint or fork. */
+    std::size_t sharedPages() const;
+
+    /** @return pages private to this memory (COW-broken or never
+     *  shared) — the fork's own footprint. */
+    std::size_t privatePages() const;
+
+    /** @return shared pages privatized by a write so far. */
+    std::uint64_t cowBreaks() const { return numCowBreaks; }
+
     /** Serialize non-zero words (checkpoint support). Deterministic. */
     Json toJson() const;
 
@@ -73,14 +127,14 @@ class PhysMem
     void restore(const Json &state);
 
   private:
-    using Page = std::array<std::int64_t, wordsPerPage>;
-
     static Addr pageOf(Addr addr) { return addr >> 12; }
     static std::size_t wordOf(Addr addr) { return (addr >> 3) & 511; }
 
     Page &pageFor(Addr addr);
 
-    std::unordered_map<Addr, Page> pages;
+    std::unordered_map<Addr, PagePtr> pages;
+    std::function<void()> cowCallback;
+    std::uint64_t numCowBreaks = 0;
 };
 
 } // namespace g5::sim::mem

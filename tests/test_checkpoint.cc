@@ -2,15 +2,22 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <sstream>
 
+#include "art/ckpt.hh"
 #include "art/run.hh"
 #include "art/workspace.hh"
 #include "base/logging.hh"
+#include "base/md5.hh"
+#include "base/metrics.hh"
 #include "resources/catalog.hh"
+#include "sim/fs/checkpoint.hh"
 #include "sim/fs/fs_system.hh"
 #include "sim/fs/guest_abi.hh"
+#include "sim/fs/kernel.hh"
 #include "sim/isa/builder.hh"
 
 using namespace g5;
@@ -306,4 +313,429 @@ TEST(HackBack, ArtCheckpointAndRestoreViaParams)
     EXPECT_EQ(doc2.getString("status"), "SUCCESS");
     EXPECT_EQ(doc2.getString("exitCause"),
               "m5_exit instruction encountered");
+}
+
+// ---------------------------------------------------------------------
+// s5ckpt2: the binary checkpoint image.
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+/** Boot the hack-back image quietly on the fast CPU and checkpoint. */
+CheckpointPtr
+bootQuietCheckpoint(const DiskImagePtr &disk)
+{
+    FsConfig cfg = hackBackConfig(disk, CpuType::Fast);
+    cfg.quietCheckpoint = true;
+    FsSystem fs(cfg);
+    SimResult r = fs.run(limit);
+    EXPECT_EQ(r.exitCause, "checkpoint");
+    return fs.takeCheckpoint();
+}
+
+/** Canonical memory digest (zero pages excluded by toJson). */
+std::string
+memoryMd5(FsSystem &fs)
+{
+    return Md5::hashString(fs.system().physmem.toJson().dump());
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+}
+
+/** Sets or clears G5ART_NO_CKPT for a test, restoring it afterwards. */
+class CkptEnvGuard
+{
+  public:
+    CkptEnvGuard()
+    {
+        const char *v = std::getenv("G5ART_NO_CKPT");
+        had = v != nullptr;
+        if (had)
+            saved = v;
+    }
+    ~CkptEnvGuard()
+    {
+        if (had)
+            setenv("G5ART_NO_CKPT", saved.c_str(), 1);
+        else
+            unsetenv("G5ART_NO_CKPT");
+    }
+
+  private:
+    bool had = false;
+    std::string saved;
+};
+
+} // anonymous namespace
+
+TEST(CheckpointImage, BinaryRoundTripAndDeterministicHash)
+{
+    CheckpointPtr ckpt = bootQuietCheckpoint(resources::buildHackBackImage());
+    ASSERT_TRUE(ckpt);
+    ASSERT_GT(ckpt->pages.size(), 0u);
+
+    std::string md5_a, md5_b;
+    std::string image = ckpt->serialize(&md5_a);
+    std::string image2 = ckpt->serialize(&md5_b);
+    EXPECT_EQ(image, image2) << "serialization must be deterministic";
+    EXPECT_EQ(md5_a, md5_b);
+    // The hash falls out of the hashing stream: it is the MD5 of the
+    // body (everything up to the 16-byte trailer).
+    ASSERT_GT(image.size(), 16u);
+    EXPECT_EQ(md5_a,
+              Md5::hashString(image.substr(0, image.size() - 16)));
+
+    auto back = Checkpoint::deserialize(image);
+    ASSERT_TRUE(back);
+    EXPECT_EQ(back->configSignature, ckpt->configSignature);
+    EXPECT_EQ(back->simTicks, ckpt->simTicks);
+    EXPECT_EQ(back->osState.dump(), ckpt->osState.dump());
+    EXPECT_EQ(back->cpuState.dump(), ckpt->cpuState.dump());
+    EXPECT_EQ(back->deviceState.dump(), ckpt->deviceState.dump());
+    EXPECT_EQ(back->memSysState.dump(), ckpt->memSysState.dump());
+    ASSERT_EQ(back->pages.size(), ckpt->pages.size());
+    for (const auto &kv : ckpt->pages) {
+        auto it = back->pages.find(kv.first);
+        ASSERT_NE(it, back->pages.end()) << "page " << kv.first;
+        EXPECT_EQ(*it->second, *kv.second) << "page " << kv.first;
+    }
+}
+
+TEST(CheckpointImage, RejectsTruncationCorruptionAndGarbage)
+{
+    setQuiet(true);
+    CheckpointPtr ckpt = bootQuietCheckpoint(resources::buildHackBackImage());
+    std::string image = ckpt->serialize();
+
+    // Truncation anywhere — inside the magic, a section header, the
+    // page payload, or the trailer — must be rejected, never crash.
+    for (std::size_t cut : {std::size_t(0), std::size_t(4),
+                            std::size_t(24), image.size() / 2,
+                            image.size() - 17, image.size() - 1}) {
+        EXPECT_THROW(Checkpoint::deserialize(image.substr(0, cut)),
+                     FatalError)
+            << "truncated at " << cut;
+    }
+
+    // Bit rot: any flipped body byte fails the trailing MD5 (or a
+    // structural check before it).
+    for (std::size_t pos : {std::size_t(10), image.size() / 3,
+                            image.size() / 2, image.size() - 8}) {
+        std::string bad = image;
+        bad[pos] = char(bad[pos] ^ 0x5a);
+        EXPECT_THROW(Checkpoint::deserialize(bad), FatalError)
+            << "corrupted at " << pos;
+    }
+
+    // Trailing garbage and a wrong magic are rejected too.
+    EXPECT_THROW(Checkpoint::deserialize(image + "x"), FatalError);
+    std::string wrong_magic = image;
+    wrong_magic[0] = 'X';
+    EXPECT_THROW(Checkpoint::deserialize(wrong_magic), FatalError);
+    EXPECT_THROW(Checkpoint::deserialize(""), FatalError);
+    setQuiet(false);
+}
+
+// ---------------------------------------------------------------------
+// Restore equivalence: a boot -> checkpoint -> restore -> run must be
+// indistinguishable from the straight run it replaces.
+// ---------------------------------------------------------------------
+
+TEST(CheckpointEquivalence, RestoredRunMatchesStraightRunAcrossCpus)
+{
+    auto disk = resources::buildHackBackImage();
+    CheckpointPtr ckpt = bootQuietCheckpoint(disk);
+    ASSERT_TRUE(ckpt);
+
+    for (CpuType cpu : {CpuType::AtomicSimple, CpuType::Fast,
+                        CpuType::O3}) {
+        SCOPED_TRACE(cpuTypeName(cpu));
+        FsConfig cfg = hackBackConfig(disk, cpu);
+        cfg.checkpointAfterBoot = false; // straight: no ckpt op at all
+
+        FsSystem straight(cfg);
+        SimResult rs = straight.run(limit);
+        ASSERT_TRUE(rs.success()) << rs.exitCause;
+
+        FsSystem restored(cfg, *ckpt);
+        SimResult rr = restored.run(limit);
+        ASSERT_TRUE(rr.success()) << rr.exitCause;
+        EXPECT_EQ(rr.exitCode, rs.exitCode);
+
+        // Console equality is byte-exact: the quiet checkpoint leaves
+        // no marker lines, and the restore seeds the boot's console.
+        EXPECT_EQ(restored.os().terminal.text(),
+                  straight.os().terminal.text());
+
+        // Memory digests agree (zero pages are canonicalized away).
+        EXPECT_EQ(memoryMd5(restored), memoryMd5(straight));
+
+        // At sim level the only instruction-count skew is the m5
+        // checkpoint op itself; the art tier deducts exactly that one.
+        EXPECT_EQ(rr.totalInsts, rs.totalInsts + 1);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Forked restore: N systems share one checkpoint's pages COW.
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+/** A host script that stores @p value into boot-written scratch and
+ *  reports on the console — guaranteed to break a shared page. */
+isa::ProgramPtr
+scriptThatStores(const std::string &line, std::int64_t value)
+{
+    isa::ProgramBuilder pb("host_script");
+    pb.movi(3, std::int64_t(kernelScratchBase));
+    pb.movi(4, value);
+    pb.st(3, 0, 4);
+    pb.movi(1, pb.str(line));
+    pb.syscall(SYS_WRITE);
+    pb.movi(1, 0);
+    pb.syscall(SYS_EXIT);
+    return pb.finish();
+}
+
+} // anonymous namespace
+
+TEST(CheckpointFork, ForkedRestoresShareCowPagesAndDiverge)
+{
+    CheckpointPtr ckpt = bootQuietCheckpoint(resources::buildHackBackImage());
+    ASSERT_TRUE(ckpt);
+    const std::size_t boot_pages = ckpt->pages.size();
+    ASSERT_GT(boot_pages, 0u);
+
+    struct Fork
+    {
+        std::string msg;
+        std::int64_t value;
+        std::unique_ptr<FsSystem> sys;
+    };
+    std::vector<Fork> forks;
+    forks.push_back({"fork A output", 1111, nullptr});
+    forks.push_back({"fork B output", 2222, nullptr});
+    forks.push_back({"fork C output", 3333, nullptr});
+
+    for (auto &f : forks) {
+        auto new_disk = resources::buildHackBackImage(
+            scriptThatStores(f.msg, f.value));
+        FsConfig cfg = hackBackConfig(new_disk, CpuType::AtomicSimple);
+        f.sys = std::make_unique<FsSystem>(cfg, *ckpt);
+        // Before running, every page is the checkpoint's page: fully
+        // shared, nothing private, no copies made.
+        EXPECT_EQ(f.sys->system().physmem.numPages(), boot_pages);
+        EXPECT_EQ(f.sys->system().physmem.privatePages(), 0u);
+        EXPECT_EQ(f.sys->system().physmem.sharedPages(), boot_pages);
+        EXPECT_EQ(f.sys->system().physmem.cowBreaks(), 0u);
+    }
+
+    const std::int64_t orig =
+        forks[0].sys->system().physmem.read(kernelScratchBase);
+
+    for (auto &f : forks) {
+        SimResult r = f.sys->run(limit);
+        ASSERT_TRUE(r.success()) << r.exitCause;
+    }
+
+    for (const auto &f : forks) {
+        const auto &pm = f.sys->system().physmem;
+        // Each fork sees its own write...
+        EXPECT_EQ(pm.read(kernelScratchBase), f.value) << f.msg;
+        EXPECT_TRUE(f.sys->os().terminal.contains(f.msg)) << f.msg;
+        for (const auto &other : forks)
+            if (other.msg != f.msg)
+                EXPECT_FALSE(f.sys->os().terminal.contains(other.msg));
+        // ...applied copy-on-write: the write privatized pages instead
+        // of mutating the shared image.
+        EXPECT_GE(pm.cowBreaks(), 1u);
+        EXPECT_GE(pm.privatePages(), 1u);
+        // Bounded footprint: the divergent phase touches a small
+        // fraction of the boot image; the bulk stays shared.
+        EXPECT_GT(pm.sharedPages(), pm.privatePages());
+        EXPECT_LT(pm.privatePages(), boot_pages / 2);
+    }
+
+    // The checkpoint itself was never disturbed: a fresh fork still
+    // reads the original boot-time value.
+    FsConfig cfg =
+        hackBackConfig(resources::buildHackBackImage(), CpuType::Fast);
+    FsSystem fresh(cfg, *ckpt);
+    EXPECT_EQ(fresh.system().physmem.read(kernelScratchBase), orig);
+}
+
+// ---------------------------------------------------------------------
+// checkpoint_to now writes a compact stub, not a memory dump.
+// ---------------------------------------------------------------------
+
+TEST(HackBack, CheckpointToWritesCompactStub)
+{
+    namespace stdfs = std::filesystem;
+    art::Workspace ws(
+        (stdfs::temp_directory_path() / "g5_hb_stub_test").string());
+    auto binary = ws.gem5Binary();
+    auto kernel = ws.kernel("4.15.18");
+    auto disk = ws.disk("hack-back", resources::buildHackBackImage());
+    auto script = ws.runScript("hack_back.py", "hack-back run script");
+    std::string ckpt_path = ws.root() + "/cpt/after_boot.json";
+
+    Json p = Json::object();
+    p["cpu"] = "kvm";
+    p["num_cpus"] = 1;
+    p["mem_system"] = "classic";
+    p["boot_type"] = "init";
+    p["workload"] = "/root/hack_back.sh";
+    p["checkpoint_after_boot"] = true;
+    p["checkpoint_to"] = ckpt_path;
+    Json doc =
+        art::Gem5Run::createFSRun(
+            ws.adb(), "hb-stub", binary.path, script.path,
+            ws.outdir("hb-stub"), binary.artifact, binary.repoArtifact,
+            script.repoArtifact, kernel.path, disk.path,
+            kernel.artifact, disk.artifact, p, 60.0)
+            .execute(ws.adb());
+    ASSERT_EQ(doc.getString("status"), "SUCCESS");
+    ASSERT_TRUE(stdfs::exists(ckpt_path));
+
+    // The file on disk is a small pointer into the blob store, not the
+    // memory image itself.
+    std::string text = slurp(ckpt_path);
+    EXPECT_LT(text.size(), 4096u);
+    Json stub = Json::parse(text);
+    EXPECT_EQ(stub.getString("format"), "s5ckpt2");
+    EXPECT_FALSE(stub.contains("memory"));
+    ASSERT_TRUE(stub.contains("blob"));
+    EXPECT_GT(stub.getInt("bytes"), 0);
+
+    // The blob is the real image: content-addressed and loadable.
+    std::string image = ws.adb().db().getBlob(stub.getString("blob"));
+    EXPECT_EQ(std::int64_t(image.size()), stub.getInt("bytes"));
+    EXPECT_EQ(stub.getString("ckptHash"),
+              Md5::hashString(image.substr(0, image.size() - 16)));
+    auto ckpt = Checkpoint::deserialize(image);
+    EXPECT_GT(ckpt->pages.size(), 0u);
+
+    // The run document carries the same stub for provenance.
+    const Json *recorded = doc.find("checkpoint");
+    ASSERT_NE(recorded, nullptr);
+    EXPECT_EQ(recorded->getString("blob"), stub.getString("blob"));
+}
+
+// ---------------------------------------------------------------------
+// The warm Fig 8 sweep: one boot per unique kernel x disk pair, and a
+// census byte-identical to the cold (G5ART_NO_CKPT) pass.
+// ---------------------------------------------------------------------
+
+TEST(Fig8Warm, OneBootPerKernelAndIdenticalCensus)
+{
+    namespace stdfs = std::filesystem;
+    setQuiet(true);
+    CkptEnvGuard env;
+
+    const std::vector<std::string> cpus = {"kvm", "atomic", "timing",
+                                           "o3"};
+    const std::vector<std::string> kernels = {"4.19.83", "5.4.49"};
+
+    struct Pass
+    {
+        std::string census;
+        std::int64_t boots = 0;   // art.ckpt.misses delta
+        std::int64_t hits = 0;    // art.ckpt.hits delta
+        int restored = 0;         // runs carrying restoredBootHash
+    };
+
+    auto sweep = [&](const std::string &tag, bool no_ckpt) {
+        if (no_ckpt)
+            setenv("G5ART_NO_CKPT", "1", 1);
+        else
+            unsetenv("G5ART_NO_CKPT");
+        art::BootCheckpoints::instance().dropMemoryCache();
+
+        art::Workspace ws((stdfs::temp_directory_path() /
+                           ("g5_fig8warm_" + tag))
+                              .string());
+        auto binary = ws.gem5Binary("20.1.0.4");
+        auto disk =
+            ws.disk("boot-exit", resources::buildBootExitImage());
+        auto script = ws.runScript("run_exit.py", "boot-exit script");
+
+        Pass pass;
+        std::int64_t hits0 =
+            metrics::counter("art.ckpt.hits").value();
+        std::int64_t miss0 =
+            metrics::counter("art.ckpt.misses").value();
+
+        for (const auto &kver : kernels) {
+            auto kernel = ws.kernel(kver);
+            for (const auto &cpu : cpus) {
+                Json p = Json::object();
+                p["cpu"] = cpu;
+                p["num_cpus"] = 1;
+                p["mem_system"] = "classic";
+                p["boot_type"] = "init";
+                std::string name = tag + "-" + cpu + "-" + kver;
+                art::Gem5Run run = art::Gem5Run::createFSRun(
+                    ws.adb(), name, binary.path, script.path,
+                    ws.outdir(name), binary.artifact,
+                    binary.repoArtifact, script.repoArtifact,
+                    kernel.path, disk.path, kernel.artifact,
+                    disk.artifact, p, 120.0);
+                Json doc = run.executeCached(ws.adb());
+
+                if (doc.contains("restoredBootHash"))
+                    ++pass.restored;
+
+                // The census row: outcome class, guest work done, and
+                // the console transcript — everything Fig 8 and the
+                // paper's reproducibility claims rest on. Ticks are
+                // excluded on purpose: the whole point of the tier is
+                // that the boot prefix runs under the fast CPU.
+                std::string terminal_path =
+                    ws.outdir(name) + "/system.terminal";
+                std::string console_md5 =
+                    stdfs::exists(terminal_path)
+                        ? Md5::hashString(slurp(terminal_path))
+                        : "no-terminal";
+                pass.census +=
+                    cpu + "/" + kver + ": " +
+                    art::runOutcomeName(art::Gem5Run::classify(doc)) +
+                    " insts=" +
+                    std::to_string(doc.getInt("totalInsts")) +
+                    " console=" + console_md5 + "\n";
+            }
+        }
+        pass.hits = metrics::counter("art.ckpt.hits").value() - hits0;
+        pass.boots =
+            metrics::counter("art.ckpt.misses").value() - miss0;
+        return pass;
+    };
+
+    Pass cold = sweep("cold", true);
+    Pass warm = sweep("warm", false);
+
+    // The cold pass never touches the checkpoint tier.
+    EXPECT_EQ(cold.boots, 0);
+    EXPECT_EQ(cold.hits, 0);
+    EXPECT_EQ(cold.restored, 0);
+
+    // The warm pass boots exactly once per unique kernel x disk pair.
+    EXPECT_EQ(warm.boots, std::int64_t(kernels.size()));
+    // Every run restores except the defect cell (o3 + 5.4.49 classic:
+    // its defect arms during boot, so it must take the straight path).
+    EXPECT_EQ(warm.restored, int(cpus.size() * kernels.size()) - 1);
+    EXPECT_EQ(warm.hits, warm.restored - warm.boots);
+
+    // And the census is byte-identical to the cold pass.
+    EXPECT_EQ(warm.census, cold.census);
+    setQuiet(false);
 }
