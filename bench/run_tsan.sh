@@ -4,7 +4,11 @@
 # persistence paths, the scheduler's task pool, the failure paths —
 # retry/backoff, watchdog escalation, bounded shutdown, fault injection —
 # and the observability layer (metrics registry, span recorder, and the
-# concurrent DTRACE capture paths).
+# concurrent DTRACE capture paths). The distributed-execution suites
+# (framed wire transport, multi-process worker pool with its monitor
+# thread, sweeps over forked workers) run here too: the lease protocol
+# hands connections between the dispatching and monitor threads, which
+# is exactly what TSan checks.
 #
 # Usage: bench/run_tsan.sh [build-dir]     (default: build-tsan)
 #
@@ -21,6 +25,6 @@ cmake --build "$build_dir" --target g5_tests -j "$(nproc)"
 
 TSAN_OPTIONS=${TSAN_OPTIONS:-halt_on_error=1} \
 "$build_dir/tests/g5_tests" \
-    --gtest_filter='DbConcurrent*:Database*:Collection*:TaskQueue*:CancelToken*:SchedulerRetry*:SchedulerStress*:FaultInject*:FaultRecovery*:TraceConcurrent*:Metrics*:Tracing*'
+    --gtest_filter='DbConcurrent*:Database*:Collection*:TaskQueue*:CancelToken*:SchedulerRetry*:SchedulerStress*:FaultInject*:FaultRecovery*:TraceConcurrent*:Metrics*:Tracing*:Wire*:WorkerPool*:DistributedSweep*:OrphanCleanup*'
 
 echo "TSan run clean: db + scheduler + observability concurrency tests passed"

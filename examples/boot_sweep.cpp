@@ -23,6 +23,7 @@
 #include "art/workspace.hh"
 #include "base/logging.hh"
 #include "resources/catalog.hh"
+#include "scheduler/worker_pool.hh"
 #include "sim/fs/known_issues.hh"
 
 using namespace g5;
@@ -75,6 +76,20 @@ main(int argc, char **argv)
     tasks.waitAll();
     ws.adb().db().save();
     setQuiet(false);
+
+    // With G5_WORKERS set the cells simulated in forked worker
+    // processes under heartbeat leases (SIGKILL one mid-sweep: the run
+    // retries and the census below still completes).
+    if (auto pool = tasks.workerPool()) {
+        Json ps = pool->summary();
+        std::printf("worker cluster: %lld processes, %lld lost/%lld "
+                    "respawned, %lld lease expiries, %.1f MB IPC\n\n",
+                    static_cast<long long>(ps.getInt("live")),
+                    static_cast<long long>(ps.getInt("lost")),
+                    static_cast<long long>(ps.getInt("respawned")),
+                    static_cast<long long>(ps.getInt("leaseExpiries")),
+                    double(ps.getInt("ipcBytes")) / (1024.0 * 1024.0));
+    }
 
     if (sweep.skipped() > 0)
         std::printf("resumed: %zu of %zu runs already had terminal "

@@ -104,6 +104,48 @@ computeInputHash(const Json &artifacts, const Json &params,
     return h.final();
 }
 
+/**
+ * Assemble the FsConfig a run's inputs describe — the shared core of
+ * the local path (execute) and the worker-process path (simulateWire).
+ * Throws on unreadable/unparseable inputs; callers classify.
+ */
+FsConfig
+assembleConfig(const std::string &gem5_binary,
+               const std::string &linux_binary,
+               const std::string &disk_image,
+               const std::string &workload_binary, const Json &params)
+{
+    FsConfig cfg;
+    // The "gem5 binary" is a build descriptor: version + variant.
+    Json binary = Json::parse(readFile(gem5_binary));
+    cfg.simVersion = binary.getString("version");
+
+    if (workload_binary.empty()) {
+        // Full-system run: kernel + disk.
+        KernelSpec kernel = KernelSpec::load(linux_binary);
+        cfg.kernelVersion = kernel.version;
+        if (!disk_image.empty())
+            cfg.disk = DiskImage::load(disk_image);
+        cfg.bootType = sim::fs::bootTypeFromName(
+            params.getString("boot_type", "init"));
+        cfg.initProgramPath = params.getString("workload", "");
+        cfg.initArg = params.getInt("workload_arg", 0);
+        cfg.checkpointAfterBoot =
+            params.getBool("checkpoint_after_boot", false);
+    } else {
+        // SE run: the workload binary executes directly.
+        cfg.seProgram = sim::isa::Program::fromJson(
+            Json::parse(readFile(workload_binary)));
+        cfg.seArg = params.getInt("workload_arg", 0);
+    }
+
+    cfg.cpuType =
+        sim::cpuTypeFromName(params.getString("cpu", "timing"));
+    cfg.numCpus = unsigned(params.getInt("num_cpus", 1));
+    cfg.memSystem = params.getString("mem_system", "classic");
+    return cfg;
+}
+
 } // anonymous namespace
 
 Gem5Run
@@ -340,16 +382,9 @@ Gem5Run::maybePrepareRestore(ArtifactDb &adb,
     }
 }
 
-Json
-Gem5Run::executeCached(ArtifactDb &adb, scheduler::CancelToken *token)
+std::optional<Json>
+Gem5Run::tryServeFromCache(ArtifactDb &adb)
 {
-    if (cacheBypassed() || inputHashStr.empty()) {
-        // The checkpoint tier is independent of the run cache: even a
-        // cold (or disabled) run cache pays each unique boot once.
-        maybePrepareRestore(adb, token);
-        return execute(adb, token);
-    }
-
     static metrics::Counter &cache_hits =
         metrics::counter("art.runCache.hits");
     static metrics::Counter &cache_misses =
@@ -394,6 +429,20 @@ Gem5Run::executeCached(ArtifactDb &adb, scheduler::CancelToken *token)
         return document(adb);
     }
     cache_misses.inc();
+    return std::nullopt;
+}
+
+Json
+Gem5Run::executeCached(ArtifactDb &adb, scheduler::CancelToken *token)
+{
+    if (cacheBypassed() || inputHashStr.empty()) {
+        // The checkpoint tier is independent of the run cache: even a
+        // cold (or disabled) run cache pays each unique boot once.
+        maybePrepareRestore(adb, token);
+        return execute(adb, token);
+    }
+    if (std::optional<Json> hit = tryServeFromCache(adb))
+        return *hit;
     maybePrepareRestore(adb, token);
     return execute(adb, token);
 }
@@ -468,33 +517,8 @@ Gem5Run::execute(ArtifactDb &adb, scheduler::CancelToken *token)
         // Injectable host-level failure (G5_FAULT=run.execute[:p[:s]]):
         // a transient simulator crash, retried by the tasks layer.
         fault::checkpoint("run.execute");
-        // The "gem5 binary" is a build descriptor: version + variant.
-        Json binary = Json::parse(readFile(gem5Binary));
-        cfg.simVersion = binary.getString("version");
-
-        if (workloadBinary.empty()) {
-            // Full-system run: kernel + disk.
-            KernelSpec kernel = KernelSpec::load(linuxBinary);
-            cfg.kernelVersion = kernel.version;
-            if (!diskImage.empty())
-                cfg.disk = DiskImage::load(diskImage);
-            cfg.bootType = sim::fs::bootTypeFromName(
-                params.getString("boot_type", "init"));
-            cfg.initProgramPath = params.getString("workload", "");
-            cfg.initArg = params.getInt("workload_arg", 0);
-            cfg.checkpointAfterBoot =
-                params.getBool("checkpoint_after_boot", false);
-        } else {
-            // SE run: the workload binary executes directly.
-            cfg.seProgram = sim::isa::Program::fromJson(
-                Json::parse(readFile(workloadBinary)));
-            cfg.seArg = params.getInt("workload_arg", 0);
-        }
-
-        cfg.cpuType =
-            sim::cpuTypeFromName(params.getString("cpu", "timing"));
-        cfg.numCpus = unsigned(params.getInt("num_cpus", 1));
-        cfg.memSystem = params.getString("mem_system", "classic");
+        cfg = assembleConfig(gem5Binary, linuxBinary, diskImage,
+                             workloadBinary, params);
 
         Tick max_ticks = Tick(
             params.getInt("max_ticks", 2'000'000'000'000)); // 2 s sim
@@ -641,6 +665,226 @@ Gem5Run::execute(ArtifactDb &adb, scheduler::CancelToken *token)
     else
         finish(RunOutcome::Failure, "FAILURE", result.exitCause);
 
+    return document(adb);
+}
+
+bool
+Gem5Run::wireEligible() const
+{
+    // Explicit checkpoint/restore params need the parent's blob store
+    // mid-simulation; such runs keep the local path.
+    return params.getString("checkpoint_to", "").empty() &&
+           params.getString("restore_from", "").empty();
+}
+
+Json
+Gem5Run::wireSpec() const
+{
+    Json spec = Json::object();
+    spec["name"] = runName;
+    spec["gem5Binary"] = gem5Binary;
+    if (!linuxBinary.empty())
+        spec["linuxBinary"] = linuxBinary;
+    if (!diskImage.empty())
+        spec["diskImage"] = diskImage;
+    if (!workloadBinary.empty())
+        spec["workloadBinary"] = workloadBinary;
+    spec["params"] = params;
+    return spec;
+}
+
+Json
+Gem5Run::simulateWire(const Json &spec, scheduler::CancelToken *token)
+{
+    Json out = Json::object();
+    auto fail = [&](RunOutcome o, const char *status,
+                    const std::string &err) {
+        out["outcome"] = runOutcomeName(o);
+        out["status"] = status;
+        if (!err.empty())
+            out["error"] = err;
+    };
+
+    SimResult result;
+    try {
+        // Same injectable host-level failure as the local path.
+        fault::checkpoint("run.execute");
+        FsConfig cfg = assembleConfig(
+            spec.getString("gem5Binary"),
+            spec.getString("linuxBinary", ""),
+            spec.getString("diskImage", ""),
+            spec.getString("workloadBinary", ""),
+            spec.contains("params") ? spec.at("params") : Json::object());
+        const Json &params = spec.at("params");
+        Tick max_ticks =
+            Tick(params.getInt("max_ticks", 2'000'000'000'000));
+        // No boot-checkpoint tier here: the parent's in-memory
+        // checkpoint cache does not cross the process boundary. The
+        // results are identical either way; only the boot is slower.
+        FsSystem system(cfg);
+        result = system.run(max_ticks, token);
+    } catch (const scheduler::TaskTimeout &) {
+        fail(RunOutcome::Timeout, "TIMEOUT",
+             "job exceeded its timeout and was terminated");
+        out["schedulerTimeout"] = true;
+        return out;
+    } catch (const SimulatorCrash &e) {
+        fail(RunOutcome::SimCrash, "FAILURE", e.what());
+        return out;
+    } catch (const PanicError &e) {
+        std::string msg = e.what();
+        RunOutcome outcome =
+            msg.find("Possible Deadlock") != std::string::npos
+                ? RunOutcome::Deadlock
+                : RunOutcome::SimCrash;
+        fail(outcome, "FAILURE", msg);
+        return out;
+    } catch (const FatalError &e) {
+        std::string msg = e.what();
+        bool unsupported =
+            msg.find("cannot handle more than one core") !=
+                std::string::npos ||
+            msg.find("is not supported") != std::string::npos;
+        fail(unsupported ? RunOutcome::Unsupported : RunOutcome::Failure,
+             "FAILURE", msg);
+        return out;
+    } catch (const InjectedFault &e) {
+        fail(RunOutcome::SimCrash, "FAILURE", e.what());
+        return out;
+    } catch (const std::exception &e) {
+        fail(RunOutcome::Failure, "FAILURE", e.what());
+        return out;
+    }
+
+    Json fields = Json::object();
+    fields["exitCause"] = result.exitCause;
+    fields["exitCode"] = result.exitCode;
+    fields["simTicks"] = result.simTicks;
+    fields["roiTicks"] = result.roiTicks();
+    fields["workBeginTick"] = result.workBeginTick;
+    fields["workEndTick"] = result.workEndTick;
+    fields["totalInsts"] = result.totalInsts;
+    fields["stats"] = result.stats;
+    out["fields"] = std::move(fields);
+    out["statsText"] = result.statsText;
+    out["consoleText"] = result.consoleText;
+    out["resultsJson"] = result.toJson().dump();
+
+    bool se_success =
+        result.exitCause == "exiting with last active thread context" &&
+        result.exitCode == 0;
+    if (result.success() || se_success)
+        fail(RunOutcome::Success, "SUCCESS", "");
+    else if (result.limitReached)
+        fail(RunOutcome::Timeout, "TIMEOUT",
+             "simulate() limit reached before the guest finished");
+    else if (result.exitCause == "guest kernel panicked")
+        fail(RunOutcome::KernelPanic, "FAILURE",
+             "guest kernel panicked");
+    else
+        fail(RunOutcome::Failure, "FAILURE", result.exitCause);
+    return out;
+}
+
+void
+Gem5Run::markRunning(ArtifactDb &adb)
+{
+    adb.runs().updateOne(
+        Json::object({{"_id", Json(runId)}}),
+        Json::object({{"$set",
+                       Json::object({{"status", Json("RUNNING")},
+                                     {"startedAt",
+                                      Json(isoTimestamp())}})}}));
+}
+
+Json
+Gem5Run::commitWire(ArtifactDb &adb, const Json &wire, double start_wall)
+{
+    auto update = [&](const Json &fields) {
+        adb.runs().updateOne(Json::object({{"_id", Json(runId)}}),
+                             Json::object({{"$set", fields}}));
+    };
+
+    // Same per-attempt span/record shape as the local path, so traces
+    // and provenance read identically whichever path executed the run.
+    std::optional<tracing::Span> span;
+    if (tracing::enabled()) {
+        span.emplace("run:" + runName + ":commit", "run");
+        span->arg("inputHash", Json(inputHashStr));
+    }
+
+    if (wire.contains("fields")) {
+        std::string results_json = wire.getString("resultsJson");
+        writeFile(outdir + "/stats.txt", wire.getString("statsText"));
+        writeFile(outdir + "/system.terminal",
+                  wire.getString("consoleText"));
+        writeFile(outdir + "/results.json",
+                  Json::parse(results_json).dump(2));
+
+        Json fields = wire.at("fields");
+        fields["resultsBlob"] = adb.putBlob(results_json);
+        update(fields);
+    }
+
+    RunOutcome outcome = classify(wire); // wire carries "outcome"
+    std::string error = wire.getString("error", "");
+    Json fields = Json::object();
+    fields["status"] = wire.getString("status", "FAILURE");
+    fields["outcome"] = runOutcomeName(outcome);
+    if (!error.empty())
+        fields["error"] = error;
+    double wall = monotonicSeconds() - start_wall;
+    fields["wallSeconds"] = wall;
+    fields["finishedAt"] = isoTimestamp();
+    Json doc = document(adb);
+    Json attempts =
+        doc.contains("attempts") ? doc.at("attempts") : Json::array();
+    Json rec = Json::object();
+    rec["attempt"] = std::int64_t(attempts.size()) + 1;
+    rec["outcome"] = runOutcomeName(outcome);
+    rec["wallSeconds"] = wall;
+    if (!error.empty())
+        rec["error"] = error;
+    attempts.push(std::move(rec));
+    fields["attempts"] = std::move(attempts);
+    update(fields);
+    if (span)
+        span->arg("outcome", Json(runOutcomeName(outcome)));
+
+    if (wire.getBool("schedulerTimeout", false))
+        throw scheduler::TaskTimeout(
+            "run '" + runName + "' exceeded its timeout in a worker");
+    return document(adb);
+}
+
+Json
+Gem5Run::recordWorkerLoss(ArtifactDb &adb, const std::string &error,
+                          bool final, double start_wall)
+{
+    // A lost worker is morally a simulator crash: transient host
+    // trouble, retryable, archived in the attempts provenance.
+    double wall = monotonicSeconds() - start_wall;
+    Json doc = document(adb);
+    Json attempts =
+        doc.contains("attempts") ? doc.at("attempts") : Json::array();
+    Json rec = Json::object();
+    rec["attempt"] = std::int64_t(attempts.size()) + 1;
+    rec["outcome"] = runOutcomeName(RunOutcome::SimCrash);
+    rec["wallSeconds"] = wall;
+    rec["error"] = error;
+    rec["workerLost"] = true;
+    attempts.push(std::move(rec));
+    Json fields = Json::object();
+    fields["attempts"] = std::move(attempts);
+    if (final) {
+        fields["status"] = "FAILURE";
+        fields["outcome"] = runOutcomeName(RunOutcome::SimCrash);
+        fields["error"] = error;
+        fields["wallSeconds"] = wall;
+        fields["finishedAt"] = isoTimestamp();
+    }
+    adb.runs().updateOne(Json::object({{"_id", Json(runId)}}),
+                         Json::object({{"$set", fields}}));
     return document(adb);
 }
 

@@ -22,6 +22,7 @@
 #define G5_ART_RUN_HH
 
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "art/artifact.hh"
@@ -162,6 +163,75 @@ class Gem5Run
 
     /** @return true when G5ART_NO_CACHE is set (forces re-execution). */
     static bool cacheBypassed();
+
+    // --- distributed execution (scheduler worker processes) ---------
+    //
+    // The simulation is split at the process boundary: simulateWire()
+    // is the pure, database-free core a forked worker runs from a JSON
+    // spec, and commitWire() is the parent-side commit of the wire
+    // result into this run's document (output files, result blob,
+    // attempts provenance). Only the parent ever writes the database,
+    // which is what makes the worker pool's fencing tokens meaningful.
+
+    /**
+     * @return true when this run can execute in a worker process: runs
+     * with explicit checkpoint_to/restore_from params need the parent's
+     * blob store mid-simulation and take the local path instead.
+     */
+    bool wireEligible() const;
+
+    /**
+     * The process-boundary description of this run's simulation: the
+     * input host paths and parameters, nothing database-dependent.
+     * Ships to workers as a content-addressed blob reference.
+     */
+    Json wireSpec() const;
+
+    /**
+     * Run one simulation attempt from a wireSpec() document. Pure with
+     * respect to the database and this object (static): safe in a
+     * forked child. Never throws — every outcome (including a
+     * TaskTimeout raised by @p token) is folded into the returned wire
+     * result: {outcome, status, error?, schedulerTimeout?, fields?,
+     * statsText?, consoleText?, resultsJson?}.
+     */
+    static Json simulateWire(const Json &spec,
+                             scheduler::CancelToken *token);
+
+    /** Mark the document RUNNING (the parent's dispatch-time step). */
+    void markRunning(ArtifactDb &adb);
+
+    /**
+     * Commit a simulateWire() result: write the gem5-style output
+     * files, archive the results blob, terminalize the document, and
+     * append the attempt's provenance record — the same document shape
+     * execute() produces. Throws TaskTimeout (after terminalizing, like
+     * execute()) when the wire result carries schedulerTimeout.
+     *
+     * @param start_wall monotonic time the attempt was dispatched (for
+     *                   wallSeconds provenance).
+     * @return the final run document.
+     */
+    Json commitWire(ArtifactDb &adb, const Json &wire, double start_wall);
+
+    /**
+     * Archive a lost worker (lease expiry, SIGKILL, transport failure)
+     * as one attempts record — outcome "sim-crash", so the loss is
+     * transient and retryable like any other host trouble. When
+     * @p final is true (retry budget exhausted) the document is also
+     * terminalized FAILURE/sim-crash.
+     */
+    Json recordWorkerLoss(ArtifactDb &adb, const std::string &error,
+                          bool final, double start_wall);
+
+    /**
+     * Probe the content-addressed run cache: on a hit, copy the prior
+     * run's results into this document (marked cached, with cachedFrom
+     * provenance) and return it; on a miss return std::nullopt. Counts
+     * art.runCache.hits/misses. Callers must have checked
+     * cacheBypassed() themselves.
+     */
+    std::optional<Json> tryServeFromCache(ArtifactDb &adb);
 
     /**
      * @return true when an outcome is transient — plausibly caused by

@@ -1,13 +1,192 @@
 #include "art/tasks.hh"
 
+#include <fstream>
+#include <sstream>
+
+#include "base/logging.hh"
+#include "base/wallclock.hh"
+#include "scheduler/worker_pool.hh"
+
 namespace g5::art
 {
 
+namespace
+{
+
+std::string
+readSpecFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        throw std::runtime_error("worker: cannot read run spec '" +
+                                 path + "'");
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+/**
+ * Build the process worker pool the environment asks for (G5_WORKERS),
+ * or nullptr to stay in-process. Must run before the TaskQueue spawns
+ * its threads: the pool forks, and the job registry crosses into the
+ * children as a fork-time snapshot.
+ */
+std::shared_ptr<scheduler::WorkerPool>
+makeWorkerPool(scheduler::TaskQueue::Backend backend)
+{
+    if (backend == scheduler::TaskQueue::Backend::Inline)
+        return nullptr;
+    unsigned n = scheduler::WorkerPool::envWorkerCount();
+    if (n == 0)
+        return nullptr;
+    if (!scheduler::workerJobRegistered("art.run"))
+        scheduler::registerWorkerJob(
+            "art.run",
+            [](const Json &req, scheduler::CancelToken &token) {
+                // Blob-ref handout: on-disk databases ship the spec as
+                // a content-addressed file the worker reads directly;
+                // in-memory databases inline it (a post-fork memBlob is
+                // invisible to the child).
+                Json spec =
+                    req.contains("spec")
+                        ? req.at("spec")
+                        : Json::parse(
+                              readSpecFile(req.getString("specPath")));
+                return Gem5Run::simulateWire(spec, &token);
+            });
+    auto pool = std::make_shared<scheduler::WorkerPool>(n);
+    if (!pool->available()) {
+        warn("tasks: G5_WORKERS requested " + std::to_string(n) +
+             " worker processes but none could be spawned; "
+             "running in-process");
+        return nullptr;
+    }
+    inform("tasks: distributed execution across " +
+           std::to_string(pool->workerCount()) +
+           " worker processes (lease " +
+           std::to_string(pool->leaseSeconds()) + " s)");
+    return pool;
+}
+
+/**
+ * One attempt of @p run in a worker process: cache probe, blob-ref
+ * handout, leased dispatch, parent-side commit. WorkerPoolUnavailable
+ * propagates (the caller falls back to the in-process path); a lost
+ * worker is archived as a transient attempt and re-raised for the
+ * RetryPolicy.
+ */
+Json
+runDistributed(Gem5Run &run, ArtifactDb &adb,
+               scheduler::WorkerPool &pool, bool cached,
+               const scheduler::RetryPolicy &policy,
+               const Tasks::RunHook &hook, scheduler::CancelToken &token)
+{
+    double start = monotonicSeconds();
+    if (cached && !Gem5Run::cacheBypassed() &&
+        !run.inputHash().empty()) {
+        if (std::optional<Json> hit = run.tryServeFromCache(adb)) {
+            if (hook)
+                hook(run, *hit);
+            return *hit;
+        }
+    }
+    run.markRunning(adb);
+
+    Json spec = run.wireSpec();
+    Json req = Json::object();
+    std::string key = adb.putBlob(spec.dump());
+    std::string path = adb.db().blobPath(key);
+    if (!path.empty()) {
+        req["specBlob"] = key;
+        req["specPath"] = path;
+    } else {
+        req["spec"] = spec;
+    }
+
+    Json wire;
+    try {
+        wire = pool.execute("art.run", req, &token);
+    } catch (const scheduler::WorkerPoolUnavailable &) {
+        throw; // caller degrades to the in-process path
+    } catch (const scheduler::WorkerLost &e) {
+        // The crash-tolerance headline: the loss is host trouble, not
+        // a property of the configuration. Archive it in the attempts
+        // provenance and let the RetryPolicy re-run the lease.
+        bool final = token.attempt() >= policy.maxAttempts;
+        Json doc = run.recordWorkerLoss(adb, e.what(), final, start);
+        if (hook)
+            hook(run, doc);
+        if (final)
+            return doc; // out of attempts: the failure is data
+        throw TransientRunError(
+            "worker lost running '" + run.name() + "' (attempt " +
+                std::to_string(token.attempt()) + "): " + e.what(),
+            doc);
+    } catch (const scheduler::TaskTimeout &) {
+        // Our own deadline expired while the worker held the lease
+        // (the pool fenced it first). Terminalize like execute() does:
+        // a timed-out run is never left RUNNING.
+        Json to = Json::object();
+        to["outcome"] = runOutcomeName(RunOutcome::Timeout);
+        to["status"] = "TIMEOUT";
+        to["error"] = "job exceeded its timeout and was terminated";
+        to["schedulerTimeout"] = true;
+        try {
+            run.commitWire(adb, to, start);
+        } catch (const scheduler::TaskTimeout &) {
+            // commitWire re-raises by contract; the document is final.
+        }
+        if (hook)
+            hook(run, run.document(adb));
+        throw;
+    } catch (const std::exception &e) {
+        // Harness-level trouble (unreadable spec, unknown job kind):
+        // terminal failure, never a stuck document.
+        Json w = Json::object();
+        w["outcome"] = runOutcomeName(RunOutcome::Failure);
+        w["status"] = "FAILURE";
+        w["error"] = std::string(e.what());
+        Json doc = run.commitWire(adb, w, start);
+        if (hook)
+            hook(run, doc);
+        return doc;
+    }
+
+    Json doc;
+    try {
+        doc = run.commitWire(adb, wire, start);
+    } catch (const scheduler::TaskTimeout &) {
+        // Worker-side timeout: terminal Timeout doc already written.
+        if (hook)
+            hook(run, run.document(adb));
+        throw;
+    }
+    if (hook)
+        hook(run, doc);
+    RunOutcome outcome = Gem5Run::classify(doc);
+    if (outcome == RunOutcome::SimCrash &&
+        Gem5Run::outcomeTransient(outcome) &&
+        token.attempt() < policy.maxAttempts) {
+        throw TransientRunError(
+            "transient " + std::string(runOutcomeName(outcome)) +
+                " in run '" + run.name() + "' (attempt " +
+                std::to_string(token.attempt()) + ")",
+            doc);
+    }
+    return doc;
+}
+
+} // anonymous namespace
+
 Tasks::Tasks(ArtifactDb &adb, unsigned workers, Backend backend,
              bool use_cache)
-    : adb(adb), queue(backend == Backend::Inline ? 0 : workers, backend),
+    : adb(adb), procPool(makeWorkerPool(backend)),
+      queue(backend == Backend::Inline ? 0 : workers, backend),
       useCache(use_cache)
-{}
+{
+    if (procPool)
+        queue.attachWorkerPool(procPool);
+}
 
 scheduler::TaskFn
 Tasks::taskFor(Gem5Run run)
@@ -16,8 +195,20 @@ Tasks::taskFor(Gem5Run run)
     bool cached = useCache;
     scheduler::RetryPolicy policy = retryPolicy;
     RunHook hook = onComplete;
-    return [run, adbp, cached, policy,
-            hook](scheduler::CancelToken &token) mutable -> Json {
+    std::shared_ptr<scheduler::WorkerPool> pool = procPool;
+    return [run, adbp, cached, policy, hook,
+            pool](scheduler::CancelToken &token) mutable -> Json {
+        if (pool && pool->available() && run.wireEligible()) {
+            try {
+                return runDistributed(run, *adbp, *pool, cached, policy,
+                                      hook, token);
+            } catch (const scheduler::WorkerPoolUnavailable &e) {
+                warn("tasks: worker pool unavailable (" +
+                     std::string(e.what()) + "); running '" +
+                     run.name() + "' in-process");
+                // fall through to the in-process path
+            }
+        }
         Json doc;
         try {
             doc = cached ? run.executeCached(*adbp, &token)

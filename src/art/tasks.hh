@@ -20,6 +20,16 @@
  * outcomes (KernelPanic, Unsupported, tick-limit Timeout) and cached
  * documents are final on the first attempt. The default policy is
  * RetryPolicy::transientFaults(); override with setRetryPolicy().
+ *
+ * Distributed execution: with G5_WORKERS set (a count, or "auto"),
+ * Tasks forks a scheduler::WorkerPool of worker *processes* before the
+ * thread pool starts, and wire-eligible runs simulate in a worker —
+ * the spec crosses as a content-addressed blob reference, the result
+ * commits parent-side through the pool's fencing tokens. A worker
+ * SIGKILLed (or lease-expired) mid-run surfaces as WorkerLost,
+ * archived in the run doc's "attempts" and retried like any other
+ * transient fault; if the pool dies entirely, runs fall back to the
+ * in-process path. G5_WORKERS unset or 0 keeps everything in-process.
  */
 
 #ifndef G5_ART_TASKS_HH
@@ -116,10 +126,21 @@ class Tasks
     /** The underlying scheduler (watchdog/drain tuning). */
     scheduler::TaskQueue &scheduler() { return queue; }
 
+    /**
+     * The multi-process worker pool (nullptr unless G5_WORKERS enabled
+     * it). Tests use it to find worker PIDs to SIGKILL.
+     */
+    std::shared_ptr<scheduler::WorkerPool> workerPool() const
+    {
+        return procPool;
+    }
+
   private:
     scheduler::TaskFn taskFor(Gem5Run run);
 
     ArtifactDb &adb;
+    /** Declared before queue: workers must fork before threads spawn. */
+    std::shared_ptr<scheduler::WorkerPool> procPool;
     scheduler::TaskQueue queue;
     bool useCache;
     scheduler::RetryPolicy retryPolicy =

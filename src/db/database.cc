@@ -121,7 +121,37 @@ Database::Database(const std::string &dir)
 {
     fs::create_directories(fs::path(rootDir) / "collections");
     fs::create_directories(fs::path(rootDir) / "blobs");
+    removeOrphanTmpFiles();
     loadFromDisk();
+}
+
+void
+Database::removeOrphanTmpFiles()
+{
+    // Every writer in this file spools through "<something>.tmp" and
+    // renames into place, so any *.tmp still present at open time is
+    // the debris of a crashed or SIGKILLed process: never referenced,
+    // safe to delete, and deleted *before* replay so a half-written
+    // spool can never shadow real state.
+    std::size_t removed = 0;
+    for (const char *sub : {"blobs", "collections"}) {
+        fs::path d = fs::path(rootDir) / sub;
+        std::error_code ec;
+        for (const auto &ent : fs::directory_iterator(d, ec)) {
+            if (!ent.is_regular_file())
+                continue;
+            if (ent.path().extension() != ".tmp")
+                continue;
+            std::error_code rec;
+            if (fs::remove(ent.path(), rec))
+                ++removed;
+        }
+    }
+    if (removed > 0) {
+        metrics::counter("db.orphansRemoved").inc(std::int64_t(removed));
+        warn("database: removed " + std::to_string(removed) +
+             " orphaned .tmp spool file(s) left by a crashed process");
+    }
 }
 
 void
@@ -306,6 +336,15 @@ Database::hasBlob(const std::string &md5_key) const
         return memBlobs.count(md5_key) > 0;
     }
     return fs::exists(fs::path(rootDir) / "blobs" / md5_key);
+}
+
+std::string
+Database::blobPath(const std::string &md5_key) const
+{
+    if (rootDir.empty())
+        return "";
+    fs::path p = fs::path(rootDir) / "blobs" / md5_key;
+    return fs::exists(p) ? p.string() : std::string();
 }
 
 std::string

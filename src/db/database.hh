@@ -107,6 +107,14 @@ class Database
     std::string getBlob(const std::string &md5_key) const;
 
     /**
+     * Content-addressed blob-ref handout: the host path of a stored
+     * blob, suitable for handing to another process (a scheduler worker
+     * reads the file directly instead of shipping the payload inline).
+     * @return "" for in-memory databases or unknown keys.
+     */
+    std::string blobPath(const std::string &md5_key) const;
+
+    /**
      * Write a blob out to a host file (artifact "downloadFile"),
      * streaming in fixed-size chunks for on-disk databases.
      */
@@ -145,6 +153,9 @@ class Database
 
   private:
     void loadFromDisk();
+
+    /** Delete stale *.tmp spool files a crashed writer left behind. */
+    void removeOrphanTmpFiles();
 
     /** Replay one collection's WAL file into @p coll, if present. */
     void replayWal(const std::string &name, Collection &coll);

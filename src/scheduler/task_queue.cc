@@ -8,6 +8,7 @@
 #include "base/metrics.hh"
 #include "base/tracing.hh"
 #include "base/wallclock.hh"
+#include "scheduler/worker_pool.hh"
 
 namespace g5::scheduler
 {
@@ -66,9 +67,24 @@ CancelToken::expired() const
     return d > 0 && monotonicSeconds() > d;
 }
 
+namespace
+{
+
+thread_local std::function<void()> checkpointHook;
+
+} // anonymous namespace
+
+void
+CancelToken::setThreadCheckpointHook(std::function<void()> hook)
+{
+    checkpointHook = std::move(hook);
+}
+
 void
 CancelToken::checkpoint() const
 {
+    if (checkpointHook)
+        checkpointHook();
     if (expired())
         throw TaskTimeout("task exceeded its timeout");
 }
@@ -718,7 +734,15 @@ TaskQueue::summary() const
                       : 0.0;
     m["taskSeconds"] = std::move(lat);
     out["metrics"] = std::move(m);
+    if (procPool)
+        out["workerPool"] = procPool->summary();
     return out;
+}
+
+void
+TaskQueue::attachWorkerPool(std::shared_ptr<WorkerPool> wp)
+{
+    procPool = std::move(wp);
 }
 
 } // namespace g5::scheduler

@@ -90,6 +90,14 @@ class CancelToken
     /** Throw TaskTimeout when expired; call this from inner loops. */
     void checkpoint() const;
 
+    /**
+     * Install a hook called on every checkpoint() made from the calling
+     * thread (nullptr uninstalls). Thread-local: worker processes use it
+     * to piggyback lease heartbeats on the polls the sim loop already
+     * makes, so a body that stops polling also stops heartbeating.
+     */
+    static void setThreadCheckpointHook(std::function<void()> hook);
+
     /** @return the absolute monotonic deadline (0 = none). */
     double deadlineAt() const { return deadline.load(); }
 
@@ -210,6 +218,8 @@ class TaskFuture
 
 using TaskFuturePtr = std::shared_ptr<TaskFuture>;
 
+class WorkerPool;
+
 class TaskQueue
 {
   public:
@@ -289,6 +299,18 @@ class TaskQueue
      */
     Json summary() const;
 
+    /**
+     * Attach a multi-process WorkerPool (see worker_pool.hh) as this
+     * queue's dispatch companion: task bodies fetch it via workerPool()
+     * to farm the heavy part of a task out to a worker process, and
+     * summary() grows a "workerPool" section with the cluster's
+     * spawn/loss/lease counters. Set once, before tasks run.
+     */
+    void attachWorkerPool(std::shared_ptr<WorkerPool> wp);
+
+    /** @return the attached process pool, or nullptr. */
+    std::shared_ptr<WorkerPool> workerPool() const { return procPool; }
+
   private:
     /**
      * All queue state shared with worker/watchdog threads, owned by
@@ -307,6 +329,7 @@ class TaskQueue
 
     Backend backend;
     std::shared_ptr<Pool> pool;
+    std::shared_ptr<WorkerPool> procPool;
     std::thread watchdog;
 };
 

@@ -1,0 +1,176 @@
+#include "scheduler/wire.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "base/metrics.hh"
+#include "base/wallclock.hh"
+
+namespace g5::scheduler
+{
+
+namespace
+{
+
+constexpr std::size_t headerBytes = 4;
+/** Defensive bound: no single scheduler message approaches this. */
+constexpr std::size_t maxFrameBytes = 256u * 1024u * 1024u;
+
+metrics::Counter &
+ipcBytes()
+{
+    static metrics::Counter &c = metrics::counter("scheduler.ipc.bytes");
+    return c;
+}
+
+} // anonymous namespace
+
+void
+prewarmWireMetrics()
+{
+    ipcBytes();
+}
+
+void
+WireConn::close()
+{
+    if (rfd >= 0)
+        ::close(rfd);
+    if (wfd >= 0 && wfd != rfd)
+        ::close(wfd);
+    rfd = wfd = -1;
+    rbuf.clear();
+}
+
+bool
+WireConn::send(const Json &msg)
+{
+    if (wfd < 0)
+        return false;
+
+    // Serialize straight into the frame buffer through the sink
+    // interface; the 4-byte header is backpatched once the length is
+    // known.
+    struct BufSink : JsonSink
+    {
+        std::string buf;
+        void write(const char *data, std::size_t len) override
+        {
+            buf.append(data, len);
+        }
+    } sink;
+    sink.buf.assign(headerBytes, '\0');
+    msg.dumpTo(sink);
+    std::size_t payload = sink.buf.size() - headerBytes;
+    std::uint32_t len = std::uint32_t(payload);
+    sink.buf[0] = char(len & 0xff);
+    sink.buf[1] = char((len >> 8) & 0xff);
+    sink.buf[2] = char((len >> 16) & 0xff);
+    sink.buf[3] = char((len >> 24) & 0xff);
+
+    const char *p = sink.buf.data();
+    std::size_t left = sink.buf.size();
+    while (left > 0) {
+        // MSG_NOSIGNAL: a peer SIGKILLed mid-send must surface as an
+        // error return, never a process-fatal SIGPIPE.
+        ssize_t n = ::send(wfd, p, left, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        p += n;
+        left -= std::size_t(n);
+    }
+    ipcBytes().inc(std::int64_t(sink.buf.size()));
+    return true;
+}
+
+bool
+WireConn::parseFrame(Json &out)
+{
+    if (rbuf.size() < headerBytes)
+        return false;
+    const unsigned char *h =
+        reinterpret_cast<const unsigned char *>(rbuf.data());
+    std::size_t len = std::size_t(h[0]) | (std::size_t(h[1]) << 8) |
+                      (std::size_t(h[2]) << 16) |
+                      (std::size_t(h[3]) << 24);
+    if (len > maxFrameBytes)
+        return false; // corrupt stream; recv() reports Closed below
+    if (rbuf.size() < headerBytes + len)
+        return false;
+    out = Json::parse(
+        std::string_view(rbuf.data() + headerBytes, len));
+    rbuf.erase(0, headerBytes + len);
+    return true;
+}
+
+WireRecv
+WireConn::recv(Json &out, double timeout_s)
+{
+    if (rfd < 0)
+        return WireRecv::Closed;
+
+    // A frame may already be fully buffered from a previous read.
+    try {
+        if (parseFrame(out))
+            return WireRecv::Message;
+    } catch (const std::exception &) {
+        return WireRecv::Closed; // unparseable payload: corrupt stream
+    }
+
+    double deadline =
+        timeout_s >= 0 ? monotonicSeconds() + timeout_s : -1;
+    for (;;) {
+        int wait_ms;
+        if (deadline < 0) {
+            wait_ms = -1;
+        } else {
+            double left = deadline - monotonicSeconds();
+            wait_ms = left > 0 ? int(left * 1000.0) + 1 : 0;
+        }
+
+        struct pollfd pfd;
+        pfd.fd = rfd;
+        pfd.events = POLLIN;
+        pfd.revents = 0;
+        int pr = ::poll(&pfd, 1, wait_ms);
+        if (pr < 0) {
+            if (errno == EINTR)
+                continue;
+            return WireRecv::Closed;
+        }
+        if (pr == 0)
+            return WireRecv::Timeout;
+        if (pfd.revents & (POLLERR | POLLNVAL))
+            return WireRecv::Closed;
+
+        char buf[16 * 1024];
+        ssize_t n = ::read(rfd, buf, sizeof(buf));
+        if (n < 0) {
+            if (errno == EINTR || errno == EAGAIN)
+                continue;
+            return WireRecv::Closed;
+        }
+        if (n == 0)
+            return WireRecv::Closed; // EOF: every write end is gone
+        rbuf.append(buf, std::size_t(n));
+        ipcBytes().inc(std::int64_t(n));
+        try {
+            if (parseFrame(out))
+                return WireRecv::Message;
+        } catch (const std::exception &) {
+            return WireRecv::Closed;
+        }
+        // Partial frame: loop; the deadline bounds the total wait.
+        if (deadline >= 0 && monotonicSeconds() >= deadline)
+            return WireRecv::Timeout;
+    }
+}
+
+} // namespace g5::scheduler

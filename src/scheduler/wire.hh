@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Length-prefixed framed JSON messages over a file descriptor pair —
+ * the wire protocol between the scheduler's parent process and its
+ * forked worker processes (see worker_pool.hh).
+ *
+ * A frame is a 4-byte little-endian payload length followed by the
+ * payload: one JSON document serialized straight into the outgoing
+ * buffer through the JsonSink interface (no intermediate dump string).
+ * Both directions count their bytes into the process-wide
+ * `scheduler.ipc.bytes` counter, so a sweep's IPC volume is visible in
+ * TaskQueue::summary() and the archived sweepMetrics snapshot.
+ *
+ * Reads are poll()-driven with a caller-supplied budget, so a parent
+ * waiting on a worker can wake exactly at its lease deadline; writes
+ * use MSG_NOSIGNAL, so a worker SIGKILLed mid-conversation surfaces as
+ * a send/recv error instead of a SIGPIPE. The connection never throws
+ * for peer death — a dead peer is an expected, recoverable event in
+ * the lease protocol.
+ */
+
+#ifndef G5_SCHEDULER_WIRE_HH
+#define G5_SCHEDULER_WIRE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "base/json.hh"
+
+namespace g5::scheduler
+{
+
+/** Outcome of one WireConn::recv() call. */
+enum class WireRecv
+{
+    Message, ///< a complete frame was parsed into the out parameter
+    Timeout, ///< the budget elapsed without a complete frame
+    Closed,  ///< the peer closed the connection (EOF) or the fd errored
+};
+
+/**
+ * One end of a framed-message connection over a socketpair (or pipe
+ * pair). Not thread-safe: the lease protocol guarantees a single
+ * owner at any time (the dispatching thread while a lease is active,
+ * the monitor thread once the lease is fenced).
+ */
+class WireConn
+{
+  public:
+    WireConn() = default;
+
+    /** Adopt @p fd for both directions (a socketpair end). */
+    explicit WireConn(int fd) : rfd(fd), wfd(fd) {}
+
+    /** Adopt separate read/write descriptors (a pipe pair). */
+    WireConn(int read_fd, int write_fd) : rfd(read_fd), wfd(write_fd) {}
+
+    /** @return true when the connection holds live descriptors. */
+    bool valid() const { return rfd >= 0 && wfd >= 0; }
+
+    /** Close both descriptors (idempotent). */
+    void close();
+
+    /**
+     * Frame and send one JSON document.
+     * @return false when the peer is gone (EPIPE/EOF class errors).
+     */
+    bool send(const Json &msg);
+
+    /**
+     * Receive the next frame, waiting at most @p timeout_s seconds
+     * (0 polls without blocking; negative waits indefinitely). Partial
+     * frames are buffered across calls, so a slow writer never corrupts
+     * the stream.
+     */
+    WireRecv recv(Json &out, double timeout_s);
+
+    int readFd() const { return rfd; }
+    int writeFd() const { return wfd; }
+
+  private:
+    /** Try to cut one complete frame from rbuf. */
+    bool parseFrame(Json &out);
+
+    int rfd = -1;
+    int wfd = -1;
+    std::string rbuf; ///< bytes received but not yet framed
+};
+
+/**
+ * Resolve the wire-layer metric handles now. Call before fork()ing
+ * workers: afterwards the children only ever touch the pre-initialized
+ * relaxed atomics, never the (lock-guarded) metrics registry.
+ */
+void prewarmWireMetrics();
+
+} // namespace g5::scheduler
+
+#endif // G5_SCHEDULER_WIRE_HH

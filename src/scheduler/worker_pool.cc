@@ -1,0 +1,815 @@
+#include "scheduler/worker_pool.hh"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <thread>
+
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "base/faultinject.hh"
+#include "base/logging.hh"
+#include "base/metrics.hh"
+#include "base/wallclock.hh"
+
+namespace g5::scheduler
+{
+
+namespace
+{
+
+// ---------------------------------------------------------------------
+// Job registry. Populated before the pool forks; the children inherit a
+// copy-on-write snapshot and read it single-threaded, so the child-side
+// lookup deliberately takes no lock (the parent-side mutex could have
+// been held by another thread at fork time, and a copied locked mutex
+// never unlocks).
+// ---------------------------------------------------------------------
+
+std::mutex &
+jobMutex()
+{
+    static std::mutex m;
+    return m;
+}
+
+std::map<std::string, WorkerJobFn> &
+jobs()
+{
+    static auto *m = new std::map<std::string, WorkerJobFn>();
+    return *m;
+}
+
+WorkerJobFn
+lookupJobInChild(const std::string &kind)
+{
+    auto it = jobs().find(kind);
+    return it == jobs().end() ? WorkerJobFn() : it->second;
+}
+
+// ---------------------------------------------------------------------
+// Process-wide registry of parent-side socket fds. Every child closes
+// the fds of every *other* worker at birth; otherwise a respawned
+// sibling would keep a dead worker's socketpair open and the parent
+// would never see EOF for it.
+// ---------------------------------------------------------------------
+
+std::mutex &
+fdMutex()
+{
+    static std::mutex m;
+    return m;
+}
+
+std::vector<int> &
+fdRegistry()
+{
+    static auto *v = new std::vector<int>();
+    return *v;
+}
+
+void
+registerPoolFd(int fd)
+{
+    std::lock_guard<std::mutex> lock(fdMutex());
+    fdRegistry().push_back(fd);
+}
+
+void
+unregisterPoolFd(int fd)
+{
+    std::lock_guard<std::mutex> lock(fdMutex());
+    auto &v = fdRegistry();
+    v.erase(std::remove(v.begin(), v.end(), fd), v.end());
+}
+
+std::vector<int>
+snapshotPoolFds()
+{
+    std::lock_guard<std::mutex> lock(fdMutex());
+    return fdRegistry();
+}
+
+// Metric handles, resolved before the first fork (WorkerPool ctor) so
+// the child's increments are pure relaxed-atomic stores on its COW copy
+// and never touch the registry lock.
+metrics::Counter &
+spawnedCounter()
+{
+    static metrics::Counter &c =
+        metrics::counter("scheduler.workers.spawned");
+    return c;
+}
+
+metrics::Counter &
+lostCounter()
+{
+    static metrics::Counter &c = metrics::counter("scheduler.workers.lost");
+    return c;
+}
+
+metrics::Counter &
+respawnedCounter()
+{
+    static metrics::Counter &c =
+        metrics::counter("scheduler.workers.respawned");
+    return c;
+}
+
+metrics::Counter &
+expiriesCounter()
+{
+    static metrics::Counter &c =
+        metrics::counter("scheduler.lease.expiries");
+    return c;
+}
+
+metrics::Counter &
+staleCounter()
+{
+    static metrics::Counter &c =
+        metrics::counter("scheduler.lease.staleResults");
+    return c;
+}
+
+std::string
+describeExit(int status)
+{
+    if (WIFEXITED(status))
+        return "exit status " + std::to_string(WEXITSTATUS(status));
+    if (WIFSIGNALED(status))
+        return "signal " + std::to_string(WTERMSIG(status));
+    return "status " + std::to_string(status);
+}
+
+// ---------------------------------------------------------------------
+// Child side. Single-threaded forever: heartbeats piggyback on the
+// CancelToken::checkpoint polls the job body already makes (the sim
+// event loop polls every pollInterval events), so a hung body stops
+// heartbeating without any helper thread — which also keeps fork legal
+// under TSan. The only exits are _exit: the parent's atexit state must
+// never run twice.
+// ---------------------------------------------------------------------
+
+[[noreturn]] void
+workerMain(int fd)
+{
+    WireConn conn(fd);
+    for (;;) {
+        Json msg;
+        if (conn.recv(msg, -1) != WireRecv::Message)
+            _exit(0); // EOF: the parent is gone or shutting down
+        std::string op = msg.getString("op", "");
+        if (op == "exit")
+            _exit(0);
+        if (op != "task")
+            continue;
+
+        std::int64_t lease = msg.getInt("lease", 0);
+        std::string kind = msg.getString("kind", "");
+        double budget = msg.getDouble("budgetSeconds", 0.0);
+        double hbEvery = msg.getDouble("heartbeatSeconds", 0.5);
+        // Heartbeat loss is injected by the *parent* at dispatch time
+        // (fault registry locks are not fork-safe); the child just
+        // honors the verdict by going silent.
+        bool mute = msg.getBool("suppressHeartbeats", false);
+
+        CancelToken token;
+        token.arm(budget);
+        double lastHb = monotonicSeconds();
+        CancelToken::setThreadCheckpointHook([&] {
+            if (mute)
+                return;
+            double now = monotonicSeconds();
+            if (now - lastHb < hbEvery)
+                return;
+            lastHb = now;
+            Json hb = Json::object();
+            hb["op"] = "hb";
+            hb["lease"] = lease;
+            if (!conn.send(hb))
+                _exit(0); // parent gone: nothing left to work for
+        });
+        // Hard watchdog for bodies that never poll their token: SIGALRM
+        // (default disposition) kills this process locally, instead of
+        // the parent having to wait out lease expiry plus kill grace.
+        if (budget > 0)
+            ::alarm(unsigned(budget) + 2);
+
+        Json reply = Json::object();
+        reply["op"] = "result";
+        reply["lease"] = lease;
+        try {
+            WorkerJobFn fn = lookupJobInChild(kind);
+            if (!fn)
+                throw std::runtime_error(
+                    "no worker job registered for kind '" + kind + "'");
+            reply["value"] =
+                fn(msg.contains("spec") ? msg.at("spec") : Json(), token);
+            reply["ok"] = true;
+        } catch (const TaskTimeout &e) {
+            reply["ok"] = false;
+            reply["errorKind"] = "timeout";
+            reply["error"] = std::string(e.what());
+        } catch (const std::exception &e) {
+            reply["ok"] = false;
+            reply["errorKind"] = "error";
+            reply["error"] = std::string(e.what());
+        } catch (...) {
+            reply["ok"] = false;
+            reply["errorKind"] = "error";
+            reply["error"] = std::string("unknown exception in worker job");
+        }
+        ::alarm(0);
+        CancelToken::setThreadCheckpointHook(nullptr);
+        if (!conn.send(reply))
+            _exit(0);
+    }
+}
+
+} // anonymous namespace
+
+void
+registerWorkerJob(const std::string &kind, WorkerJobFn fn)
+{
+    std::lock_guard<std::mutex> lock(jobMutex());
+    jobs()[kind] = std::move(fn);
+}
+
+bool
+workerJobRegistered(const std::string &kind)
+{
+    std::lock_guard<std::mutex> lock(jobMutex());
+    return jobs().count(kind) > 0;
+}
+
+// ---------------------------------------------------------------------
+// Parent side.
+// ---------------------------------------------------------------------
+
+struct WorkerPool::Slot
+{
+    enum class State { Dead, Idle, Busy, Fenced };
+
+    State state = State::Dead;
+    int pid = -1;
+    WireConn conn;
+    /** The fencing token of the active (Busy) or retired (Fenced) lease. */
+    std::uint64_t lease = 0;
+    double fencedAt = 0;
+    bool killSent = false;
+    std::string fenceReason;
+};
+
+struct WorkerPool::Impl
+{
+    mutable std::mutex mtx;
+    std::condition_variable cv;
+    std::vector<std::unique_ptr<Slot>> slots;
+    unsigned requested = 0;
+    std::uint64_t nextLease = 0;
+    double leaseS = 5.0;
+    double killGraceS = 5.0;
+    bool killGraceCustom = false;
+    bool stopping = false;
+    std::thread monitor;
+
+    std::atomic<std::int64_t> spawned{0};
+    std::atomic<std::int64_t> lost{0};
+    std::atomic<std::int64_t> respawned{0};
+    std::atomic<std::int64_t> expiries{0};
+    std::atomic<std::int64_t> stale{0};
+
+    /** Fork one worker into @p s. Caller holds mtx. */
+    bool spawnSlot(Slot &s);
+
+    /** Reclaim a slot's parent-side resources. Caller holds mtx. */
+    void closeSlot(Slot &s);
+
+    /**
+     * Retire @p lease: a Busy slot becomes Fenced and its conn passes
+     * to the monitor thread, so any result the worker still delivers
+     * is drained there and rejected — the double-commit guard.
+     */
+    void fence(Slot *s, std::uint64_t lease, std::string reason);
+
+    /** Return a slot whose lease committed cleanly to service. */
+    void release(Slot *s, std::uint64_t lease);
+};
+
+bool
+WorkerPool::Impl::spawnSlot(Slot &s)
+{
+    if (fault::shouldFire("worker.spawn")) {
+        warn("worker_pool: injected spawn failure (worker.spawn)");
+        return false;
+    }
+    int sv[2] = {-1, -1};
+    if (::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) != 0) {
+        warn("worker_pool: socketpair failed: " +
+             std::string(std::strerror(errno)));
+        return false;
+    }
+    std::vector<int> inherited = snapshotPoolFds();
+    pid_t pid = ::fork();
+    if (pid < 0) {
+        ::close(sv[0]);
+        ::close(sv[1]);
+        warn("worker_pool: fork failed: " +
+             std::string(std::strerror(errno)));
+        return false;
+    }
+    if (pid == 0) {
+        // Child. Drop every other worker's parent-side descriptor so
+        // that an EOF on a socketpair always means its worker is gone.
+        ::close(sv[0]);
+        for (int fd : inherited)
+            ::close(fd);
+        workerMain(sv[1]); // never returns
+    }
+    ::close(sv[1]);
+    registerPoolFd(sv[0]);
+    s.pid = int(pid);
+    s.conn = WireConn(sv[0]);
+    s.state = Slot::State::Idle;
+    s.lease = 0;
+    s.killSent = false;
+    s.fenceReason.clear();
+    spawned.fetch_add(1, std::memory_order_relaxed);
+    spawnedCounter().inc(1);
+    return true;
+}
+
+void
+WorkerPool::Impl::closeSlot(Slot &s)
+{
+    if (s.conn.readFd() >= 0)
+        unregisterPoolFd(s.conn.readFd());
+    s.conn.close();
+    s.pid = -1;
+    s.state = Slot::State::Dead;
+    s.lease = 0;
+    s.killSent = false;
+}
+
+void
+WorkerPool::Impl::fence(Slot *s, std::uint64_t lease, std::string reason)
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    if (s->state == Slot::State::Busy && s->lease == lease) {
+        s->state = Slot::State::Fenced;
+        s->fencedAt = monotonicSeconds();
+        s->killSent = false;
+        s->fenceReason = std::move(reason);
+    }
+    cv.notify_all();
+}
+
+void
+WorkerPool::Impl::release(Slot *s, std::uint64_t lease)
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    if (s->state == Slot::State::Busy && s->lease == lease) {
+        s->state = Slot::State::Idle;
+        s->lease = 0;
+    }
+    cv.notify_all();
+}
+
+unsigned
+WorkerPool::envWorkerCount()
+{
+    const char *v = std::getenv("G5_WORKERS");
+    if (v == nullptr)
+        return 0;
+    std::string s(v);
+    if (s.empty() || s == "auto")
+        return defaultWorkerCount();
+    try {
+        std::size_t pos = 0;
+        unsigned long n = std::stoul(s, &pos);
+        if (pos != s.size())
+            throw std::invalid_argument(s);
+        return unsigned(std::min<unsigned long>(n, 1024));
+    } catch (const std::exception &) {
+        warn("G5_WORKERS: cannot parse '" + s +
+             "' (want a count, \"auto\", or 0); process pool disabled");
+        return 0;
+    }
+}
+
+double
+WorkerPool::envLeaseSeconds()
+{
+    const char *v = std::getenv("G5_LEASE_MS");
+    if (v == nullptr || *v == '\0')
+        return 5.0;
+    try {
+        std::size_t pos = 0;
+        double ms = std::stod(v, &pos);
+        if (pos != std::strlen(v) || !(ms > 0))
+            throw std::invalid_argument(v);
+        return ms / 1000.0;
+    } catch (const std::exception &) {
+        warn("G5_LEASE_MS: cannot parse '" + std::string(v) +
+             "' (want milliseconds > 0); using the 5000 ms default");
+        return 5.0;
+    }
+}
+
+unsigned
+WorkerPool::defaultWorkerCount()
+{
+    unsigned n = std::thread::hardware_concurrency();
+    return n > 0 ? n : 2;
+}
+
+WorkerPool::WorkerPool(unsigned workers, double lease_s)
+    : impl(std::make_shared<Impl>())
+{
+    // Resolve every metric handle now: after the fork the children can
+    // only touch pre-initialized relaxed atomics, never the registry.
+    prewarmWireMetrics();
+    spawnedCounter();
+    lostCounter();
+    respawnedCounter();
+    expiriesCounter();
+    staleCounter();
+
+    if (workers == 0)
+        workers = defaultWorkerCount();
+    impl->requested = workers;
+    impl->leaseS = lease_s > 0 ? lease_s : envLeaseSeconds();
+    impl->killGraceS = impl->leaseS;
+
+    unsigned live = 0;
+    {
+        std::lock_guard<std::mutex> lock(impl->mtx);
+        for (unsigned i = 0; i < workers; ++i) {
+            impl->slots.push_back(std::make_unique<Slot>());
+            if (impl->spawnSlot(*impl->slots.back()))
+                ++live;
+        }
+    }
+    if (live > 0)
+        impl->monitor = std::thread(&WorkerPool::monitorLoop, impl);
+    if (live < workers)
+        warn("worker_pool: spawned " + std::to_string(live) + " of " +
+             std::to_string(workers) + " requested workers");
+}
+
+WorkerPool::~WorkerPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(impl->mtx);
+        impl->stopping = true;
+    }
+    impl->cv.notify_all();
+    if (impl->monitor.joinable())
+        impl->monitor.join();
+
+    std::lock_guard<std::mutex> lock(impl->mtx);
+    for (auto &sp : impl->slots) {
+        Slot &s = *sp;
+        if (s.pid < 0)
+            continue;
+        if (s.state == Slot::State::Busy) {
+            // A dispatcher still owns this conn (it can only be mid
+            // shutdown unwind); don't touch the fds — just make sure
+            // the child dies and let the dispatcher see EOF.
+            ::kill(s.pid, SIGKILL);
+            int status = 0;
+            ::waitpid(s.pid, &status, 0);
+            s.pid = -1;
+            continue;
+        }
+        Json bye = Json::object();
+        bye["op"] = "exit";
+        s.conn.send(bye);
+        if (s.conn.readFd() >= 0)
+            unregisterPoolFd(s.conn.readFd());
+        s.conn.close(); // EOF doubles as the exit signal
+    }
+    // Bounded reap: orderly exit gets two seconds, stragglers are
+    // SIGKILLed — a poisoned worker cannot hang process shutdown.
+    double deadline = monotonicSeconds() + 2.0;
+    for (auto &sp : impl->slots) {
+        Slot &s = *sp;
+        while (s.pid >= 0) {
+            int status = 0;
+            pid_t r = ::waitpid(s.pid, &status, WNOHANG);
+            if (r != 0) {
+                s.pid = -1;
+                break;
+            }
+            if (monotonicSeconds() >= deadline) {
+                ::kill(s.pid, SIGKILL);
+                ::waitpid(s.pid, &status, 0);
+                s.pid = -1;
+                break;
+            }
+            std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        }
+        s.state = Slot::State::Dead;
+    }
+}
+
+bool
+WorkerPool::available() const
+{
+    std::lock_guard<std::mutex> lock(impl->mtx);
+    if (impl->stopping)
+        return false;
+    for (const auto &sp : impl->slots)
+        if (sp->pid >= 0)
+            return true;
+    return false;
+}
+
+unsigned
+WorkerPool::workerCount() const
+{
+    std::lock_guard<std::mutex> lock(impl->mtx);
+    unsigned n = 0;
+    for (const auto &sp : impl->slots)
+        if (sp->pid >= 0)
+            ++n;
+    return n;
+}
+
+std::vector<int>
+WorkerPool::workerPids() const
+{
+    std::lock_guard<std::mutex> lock(impl->mtx);
+    std::vector<int> pids;
+    for (const auto &sp : impl->slots)
+        if (sp->pid >= 0)
+            pids.push_back(sp->pid);
+    return pids;
+}
+
+double
+WorkerPool::leaseSeconds() const
+{
+    std::lock_guard<std::mutex> lock(impl->mtx);
+    return impl->leaseS;
+}
+
+void
+WorkerPool::setLeaseSeconds(double s)
+{
+    if (!(s > 0))
+        return;
+    std::lock_guard<std::mutex> lock(impl->mtx);
+    impl->leaseS = s;
+    if (!impl->killGraceCustom)
+        impl->killGraceS = s;
+}
+
+void
+WorkerPool::setFenceKillGrace(double s)
+{
+    if (!(s >= 0))
+        return;
+    std::lock_guard<std::mutex> lock(impl->mtx);
+    impl->killGraceS = s;
+    impl->killGraceCustom = true;
+}
+
+Json
+WorkerPool::execute(const std::string &kind, const Json &spec,
+                    CancelToken *token)
+{
+    std::shared_ptr<Impl> ip = impl;
+    Slot *slot = nullptr;
+    std::uint64_t lease = 0;
+    double leaseS = 0;
+    int pid = -1;
+    {
+        std::unique_lock<std::mutex> lock(ip->mtx);
+        ip->cv.wait(lock, [&] {
+            if (ip->stopping)
+                return true;
+            slot = nullptr;
+            bool anyLive = false;
+            for (auto &sp : ip->slots) {
+                if (sp->pid >= 0)
+                    anyLive = true;
+                if (sp->state == Slot::State::Idle) {
+                    slot = sp.get();
+                    break;
+                }
+            }
+            return slot != nullptr || !anyLive;
+        });
+        if (ip->stopping || slot == nullptr)
+            throw WorkerPoolUnavailable(
+                ip->stopping ? "worker pool is shutting down"
+                             : "worker pool has no live workers");
+        lease = ++ip->nextLease;
+        slot->state = Slot::State::Busy;
+        slot->lease = lease;
+        leaseS = ip->leaseS;
+        pid = slot->pid;
+    }
+
+    // From here this thread owns slot->conn until it commits (release)
+    // or retires (fence) the lease; the monitor never touches Busy
+    // slots, so the conn has a single owner at every instant.
+    Json msg = Json::object();
+    msg["op"] = "task";
+    msg["lease"] = std::int64_t(lease);
+    msg["kind"] = kind;
+    msg["spec"] = spec;
+    double budget = 0;
+    if (token != nullptr && token->deadlineAt() > 0)
+        budget = std::max(token->deadlineAt() - monotonicSeconds(), 0.01);
+    msg["budgetSeconds"] = budget;
+    msg["heartbeatSeconds"] = std::max(leaseS / 4.0, 0.002);
+    msg["suppressHeartbeats"] = fault::shouldFire("worker.heartbeat");
+
+    if (!slot->conn.send(msg)) {
+        ip->fence(slot, lease, "sending the task failed");
+        throw WorkerLost("worker pid " + std::to_string(pid) +
+                         " went away before accepting lease " +
+                         std::to_string(lease));
+    }
+
+    double hbDeadline = monotonicSeconds() + leaseS;
+    for (;;) {
+        if (token != nullptr && token->expired()) {
+            // Our own deadline (or cancelAll) beat the worker: retire
+            // the lease first so its eventual result cannot commit.
+            ip->fence(slot, lease, "task deadline passed in-flight");
+            token->checkpoint(); // throws TaskTimeout
+        }
+        double wait = hbDeadline - monotonicSeconds();
+        if (token != nullptr && token->deadlineAt() > 0)
+            wait = std::min(wait,
+                            token->deadlineAt() - monotonicSeconds());
+        try {
+            fault::checkpoint("worker.recv");
+        } catch (const InjectedFault &e) {
+            ip->fence(slot, lease, e.what());
+            throw WorkerLost(std::string(e.what()) + " (lease " +
+                             std::to_string(lease) + " fenced)");
+        }
+        Json in;
+        WireRecv r = slot->conn.recv(in, std::max(wait, 0.0));
+        if (r == WireRecv::Closed) {
+            ip->fence(slot, lease, "worker died mid-lease");
+            throw WorkerLost("worker pid " + std::to_string(pid) +
+                             " died holding lease " +
+                             std::to_string(lease));
+        }
+        if (r == WireRecv::Message) {
+            std::string op = in.getString("op", "");
+            std::uint64_t mlease = std::uint64_t(in.getInt("lease", 0));
+            if (op == "hb" && mlease == lease) {
+                hbDeadline = monotonicSeconds() + leaseS;
+                continue;
+            }
+            if (op == "result" && mlease == lease) {
+                try {
+                    fault::checkpoint("worker.commit");
+                } catch (const InjectedFault &e) {
+                    ip->fence(slot, lease, e.what());
+                    throw WorkerLost(std::string(e.what()) + " (lease " +
+                                     std::to_string(lease) + " fenced)");
+                }
+                ip->release(slot, lease);
+                if (in.getBool("ok", false))
+                    return in.contains("value") ? in.at("value") : Json();
+                std::string err =
+                    in.getString("error", "worker job failed");
+                if (in.getString("errorKind", "") == "timeout")
+                    throw TaskTimeout(err);
+                throw std::runtime_error(err);
+            }
+            continue; // frame for a retired lease: ignore
+        }
+        // Timeout tick: only terminal when the heartbeat lease really
+        // lapsed (the wait may have been bounded by the token instead).
+        if (monotonicSeconds() >= hbDeadline) {
+            ip->expiries.fetch_add(1, std::memory_order_relaxed);
+            expiriesCounter().inc(1);
+            ip->fence(slot, lease, "lease expired without a heartbeat");
+            throw WorkerLost(
+                "lease " + std::to_string(lease) + " on worker pid " +
+                std::to_string(pid) + " expired without a heartbeat");
+        }
+    }
+}
+
+void
+WorkerPool::monitorLoop(std::shared_ptr<Impl> ip)
+{
+    std::unique_lock<std::mutex> lock(ip->mtx);
+    while (!ip->stopping) {
+        ip->cv.wait_for(lock, std::chrono::milliseconds(20));
+        if (ip->stopping)
+            break;
+        double now = monotonicSeconds();
+        for (auto &sp : ip->slots) {
+            Slot &s = *sp;
+            if (s.state == Slot::State::Busy)
+                continue; // dispatcher owns the conn and the lease
+
+            if (s.pid >= 0) {
+                int status = 0;
+                pid_t r = ::waitpid(s.pid, &status, WNOHANG);
+                if (r != 0) {
+                    ip->lost.fetch_add(1, std::memory_order_relaxed);
+                    lostCounter().inc(1);
+                    std::string why =
+                        r == s.pid ? describeExit(status)
+                                   : "waitpid: " +
+                                         std::string(std::strerror(errno));
+                    warn("worker_pool: worker pid " +
+                         std::to_string(s.pid) + " lost (" + why +
+                         (s.state == Slot::State::Fenced
+                              ? "; fenced: " + s.fenceReason
+                              : std::string()) +
+                         "); respawning");
+                    ip->closeSlot(s);
+                    if (ip->spawnSlot(s)) {
+                        ip->respawned.fetch_add(
+                            1, std::memory_order_relaxed);
+                        respawnedCounter().inc(1);
+                    }
+                    ip->cv.notify_all();
+                    continue;
+                }
+            }
+
+            if (s.state == Slot::State::Fenced) {
+                // The fence drain: a late result from a retired lease
+                // is rejected here — the worker can never double-commit
+                // past the dispatcher that already gave up on it.
+                for (;;) {
+                    Json in;
+                    if (s.conn.recv(in, 0) != WireRecv::Message)
+                        break;
+                    if (in.getString("op", "") == "result") {
+                        ip->stale.fetch_add(1, std::memory_order_relaxed);
+                        staleCounter().inc(1);
+                        warn("worker_pool: rejected stale result for "
+                             "fenced lease " +
+                             std::to_string(in.getInt("lease", 0)) +
+                             " from worker pid " + std::to_string(s.pid) +
+                             " (" + s.fenceReason + ")");
+                        // It answered: alive and idle again. Reuse it.
+                        s.state = Slot::State::Idle;
+                        s.lease = 0;
+                        ip->cv.notify_all();
+                        break;
+                    }
+                    // Late heartbeats cannot resurrect a retired lease.
+                }
+                if (s.state == Slot::State::Fenced && !s.killSent &&
+                    now - s.fencedAt >= ip->killGraceS) {
+                    ::kill(s.pid, SIGKILL); // reaped on a later pass
+                    s.killSent = true;
+                }
+            } else if (s.state == Slot::State::Dead) {
+                // A slot whose spawn failed earlier: keep trying to
+                // restore capacity.
+                if (ip->spawnSlot(s)) {
+                    ip->respawned.fetch_add(1, std::memory_order_relaxed);
+                    respawnedCounter().inc(1);
+                    ip->cv.notify_all();
+                }
+            }
+        }
+    }
+}
+
+Json
+WorkerPool::summary() const
+{
+    std::lock_guard<std::mutex> lock(impl->mtx);
+    unsigned live = 0;
+    for (const auto &sp : impl->slots)
+        if (sp->pid >= 0)
+            ++live;
+    Json out = Json::object();
+    out["requested"] = std::int64_t(impl->requested);
+    out["live"] = std::int64_t(live);
+    out["spawned"] = impl->spawned.load(std::memory_order_relaxed);
+    out["lost"] = impl->lost.load(std::memory_order_relaxed);
+    out["respawned"] = impl->respawned.load(std::memory_order_relaxed);
+    out["leaseSeconds"] = impl->leaseS;
+    out["leaseExpiries"] = impl->expiries.load(std::memory_order_relaxed);
+    out["staleResults"] = impl->stale.load(std::memory_order_relaxed);
+    out["ipcBytes"] = metrics::counter("scheduler.ipc.bytes").value();
+    return out;
+}
+
+} // namespace g5::scheduler

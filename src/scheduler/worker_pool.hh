@@ -1,0 +1,186 @@
+/**
+ * @file
+ * A multi-process worker cluster with lease/heartbeat crash recovery —
+ * the step from "Celery-shaped thread pool" to "Celery": one wild
+ * pointer (or SIGKILL) in a simulator task costs one worker process,
+ * never the sweep.
+ *
+ * The parent forks N worker processes (G5_WORKERS; 0 falls back to the
+ * in-process pool, "auto" saturates the host) connected by socketpairs
+ * speaking the framed protocol in wire.hh. Task bodies cannot cross a
+ * process boundary, so work is described by a registered *job kind*
+ * (registerWorkerJob) plus a JSON spec; the art layer ships run specs
+ * as content-addressed blob references rather than inline payloads.
+ *
+ * Crash tolerance is built on leases with fencing tokens:
+ *
+ *  - every dispatched task carries a fresh, monotonically increasing
+ *    lease token and a heartbeat deadline (G5_LEASE_MS). The worker
+ *    heartbeats cooperatively — piggybacked on CancelToken::checkpoint
+ *    polls, so a worker that stops polling (hung, livelocked, dead)
+ *    also stops heartbeating, which is exactly the signal we want;
+ *  - the dispatching thread waits no longer than the live deadline.
+ *    When the lease expires silently the lease is *fenced* — its token
+ *    is retired, so a stale worker that wakes up later cannot commit —
+ *    and the dispatcher unwinds with WorkerLost, a transient fault the
+ *    scheduler's RetryPolicy re-runs like any other host trouble;
+ *  - the monitor thread owns fenced workers: a late result is drained,
+ *    rejected (scheduler.lease.staleResults) and logged, after which
+ *    the healthy-but-slow worker returns to service; a worker still
+ *    silent after the kill grace is SIGKILLed; a dead worker is reaped
+ *    and a replacement forked (scheduler.workers.respawned).
+ *
+ * Deadlines propagate across the boundary: the parent sends the task's
+ * remaining budget, the worker arms its own CancelToken (so the body
+ * unwinds locally with TaskTimeout) and a SIGALRM hard watchdog (so a
+ * body that never polls kills the child locally instead of waiting for
+ * lease expiry + SIGKILL from the parent).
+ *
+ * Workers are forked, not exec'd: fork the pool before spinning up
+ * worker *threads* (Tasks does this), and keep job handlers free of
+ * parent-process shared state — a handler sees a copy-on-write snapshot
+ * of the parent at fork time, and anything it writes is invisible to
+ * the parent except the JSON result it returns. Results are committed
+ * by the parent, which is what makes the fencing token meaningful.
+ */
+
+#ifndef G5_SCHEDULER_WORKER_POOL_HH
+#define G5_SCHEDULER_WORKER_POOL_HH
+
+#include <functional>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "base/json.hh"
+#include "scheduler/task_queue.hh"
+#include "scheduler/wire.hh"
+
+namespace g5::scheduler
+{
+
+/**
+ * Thrown by WorkerPool::execute when the worker executing the task was
+ * lost: its lease expired without a heartbeat, its process died, or
+ * the transport failed. Transient by definition — the task itself may
+ * be fine — so RetryPolicy::transientFaults re-runs it.
+ */
+class WorkerLost : public std::runtime_error
+{
+  public:
+    explicit WorkerLost(const std::string &msg)
+        : std::runtime_error(msg)
+    {}
+};
+
+/**
+ * Thrown by WorkerPool::execute when no worker process can serve the
+ * request at all (pool disabled, every spawn failed, or shutdown).
+ * Callers degrade to in-process execution.
+ */
+class WorkerPoolUnavailable : public std::runtime_error
+{
+  public:
+    explicit WorkerPoolUnavailable(const std::string &msg)
+        : std::runtime_error(msg)
+    {}
+};
+
+/**
+ * A worker-process job handler: receives the job spec and the worker's
+ * own CancelToken (armed with the budget that crossed the wire).
+ * Handlers run in the forked child; see the fork caveats above.
+ */
+using WorkerJobFn = std::function<Json(const Json &spec, CancelToken &)>;
+
+/**
+ * Register a job kind in the process-wide registry. Must happen before
+ * the pool forks its workers (children inherit the registry at fork).
+ * Re-registering a kind replaces the handler.
+ */
+void registerWorkerJob(const std::string &kind, WorkerJobFn fn);
+
+/** @return true when @p kind has a registered handler. */
+bool workerJobRegistered(const std::string &kind);
+
+class WorkerPool
+{
+  public:
+    /**
+     * Fork the worker cluster.
+     * @param workers  process count; 0 = one per hardware thread.
+     * @param lease_s  heartbeat lease in seconds; 0 = G5_LEASE_MS or
+     *                 the 5 s default.
+     */
+    explicit WorkerPool(unsigned workers = 0, double lease_s = 0);
+
+    /** Shut down: exit messages, bounded wait, SIGKILL stragglers. */
+    ~WorkerPool();
+
+    WorkerPool(const WorkerPool &) = delete;
+    WorkerPool &operator=(const WorkerPool &) = delete;
+
+    /**
+     * Worker count requested through the environment: G5_WORKERS unset
+     * or "0" disables the process pool (in-process fallback), "auto"
+     * (or empty) saturates the host, N forks N workers.
+     */
+    static unsigned envWorkerCount();
+
+    /** Lease from G5_LEASE_MS (milliseconds); 5000 when unset. */
+    static double envLeaseSeconds();
+
+    /** One worker per hardware thread (the workers==0 default). */
+    static unsigned defaultWorkerCount();
+
+    /** @return true when at least one worker process is serviceable. */
+    bool available() const;
+
+    /** Live (spawned and not yet reaped) worker process count. */
+    unsigned workerCount() const;
+
+    /** PIDs of the live workers (tests SIGKILL these). */
+    std::vector<int> workerPids() const;
+
+    double leaseSeconds() const;
+    void setLeaseSeconds(double s);
+
+    /**
+     * How long the monitor lets a fenced (lease-expired but alive)
+     * worker keep running before SIGKILLing it. Defaults to the lease.
+     * Tests raise it to observe the stale-result rejection path.
+     */
+    void setFenceKillGrace(double s);
+
+    /**
+     * Dispatch one job and block until its result, heartbeat-extended
+     * lease expiry, or the caller's own deadline.
+     *
+     * @throws WorkerLost            lease expired / worker died
+     *                               (transient; retry).
+     * @throws WorkerPoolUnavailable no worker can serve (degrade to
+     *                               local execution).
+     * @throws TaskTimeout           @p token expired while waiting (the
+     *                               lease is fenced first).
+     * @throws std::runtime_error    the job itself failed in the worker
+     *                               (same taxonomy as local execution).
+     */
+    Json execute(const std::string &kind, const Json &spec,
+                 CancelToken *token = nullptr);
+
+    /** Pool-level counters (spawned/lost/respawned/expiries/stale). */
+    Json summary() const;
+
+  private:
+    struct Slot;
+    struct Impl;
+
+    static void monitorLoop(std::shared_ptr<Impl> impl);
+
+    std::shared_ptr<Impl> impl;
+};
+
+} // namespace g5::scheduler
+
+#endif // G5_SCHEDULER_WORKER_POOL_HH

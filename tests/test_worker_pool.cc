@@ -1,0 +1,830 @@
+/**
+ * @file
+ * Distributed-execution tests: the framed wire protocol, the
+ * multi-process WorkerPool's lease/heartbeat recovery (SIGKILL mid
+ * task, silent-worker lease expiry, stale-result fencing, injected
+ * spawn/heartbeat faults), cross-process deadline propagation, orphan
+ * spool cleanup, and whole sweeps under G5_WORKERS — including the
+ * census-byte-identity acceptance criterion against the in-process
+ * path.
+ */
+
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "art/sweep.hh"
+#include "art/tasks.hh"
+#include "art/workspace.hh"
+#include "base/faultinject.hh"
+#include "base/logging.hh"
+#include "base/metrics.hh"
+#include "base/wallclock.hh"
+#include "db/database.hh"
+#include "resources/catalog.hh"
+#include "scheduler/worker_pool.hh"
+
+namespace stdfs = std::filesystem;
+
+using namespace g5;
+using namespace g5::art;
+using g5::db::Database;
+using scheduler::CancelToken;
+using scheduler::TaskTimeout;
+using scheduler::WireConn;
+using scheduler::WireRecv;
+using scheduler::WorkerLost;
+using scheduler::WorkerPool;
+using scheduler::WorkerPoolUnavailable;
+
+namespace
+{
+
+/** Reset the fault registry and quiet logging around each test. */
+class TestGuard
+{
+  public:
+    TestGuard() { fault::reset(); setQuiet(true); }
+    ~TestGuard() { fault::reset(); setQuiet(false); }
+};
+
+std::string
+freshDir(const std::string &name)
+{
+    stdfs::path dir = stdfs::temp_directory_path() / name;
+    stdfs::remove_all(dir);
+    return dir.string();
+}
+
+/** Scoped environment variable (restores the prior value). */
+class ScopedEnv
+{
+  public:
+    ScopedEnv(const char *name, const char *value) : key(name)
+    {
+        const char *old = std::getenv(name);
+        if (old != nullptr) {
+            hadOld = true;
+            oldValue = old;
+        }
+        if (value != nullptr)
+            ::setenv(name, value, 1);
+        else
+            ::unsetenv(name);
+    }
+
+    ~ScopedEnv()
+    {
+        if (hadOld)
+            ::setenv(key.c_str(), oldValue.c_str(), 1);
+        else
+            ::unsetenv(key.c_str());
+    }
+
+  private:
+    std::string key;
+    bool hadOld = false;
+    std::string oldValue;
+};
+
+/**
+ * Register the worker jobs the pool tests dispatch. Must happen before
+ * the first pool forks; idempotent across tests in this process.
+ */
+void
+registerTestJobs()
+{
+    static bool done = [] {
+        scheduler::registerWorkerJob(
+            "test.echo", [](const Json &spec, CancelToken &) {
+                Json out = Json::object();
+                out["echo"] = spec;
+                out["pid"] = std::int64_t(::getpid());
+                return out;
+            });
+        scheduler::registerWorkerJob(
+            "test.fail", [](const Json &, CancelToken &) -> Json {
+                throw std::runtime_error("deliberate job failure");
+            });
+        // Sleeps while polling its token: heartbeats flow (they ride
+        // the checkpoint polls) and a deadline unwinds cooperatively.
+        scheduler::registerWorkerJob(
+            "test.sleep.polling",
+            [](const Json &spec, CancelToken &token) {
+                double secs = spec.getDouble("seconds", 0.1);
+                double until = monotonicSeconds() + secs;
+                while (monotonicSeconds() < until) {
+                    std::this_thread::sleep_for(
+                        std::chrono::milliseconds(1));
+                    token.checkpoint();
+                }
+                Json out = Json::object();
+                out["slept"] = secs;
+                return out;
+            });
+        // Never polls: no heartbeats, no cooperative timeout — the
+        // "hung body" the lease machinery exists for.
+        scheduler::registerWorkerJob(
+            "test.sleep.silent", [](const Json &spec, CancelToken &) {
+                double secs = spec.getDouble("seconds", 0.1);
+                std::this_thread::sleep_for(
+                    std::chrono::duration<double>(secs));
+                Json out = Json::object();
+                out["slept"] = secs;
+                return out;
+            });
+        return true;
+    }();
+    (void)done;
+}
+
+/** Spin until @p pred or @p timeout_s elapses. */
+bool
+waitFor(const std::function<bool()> &pred, double timeout_s)
+{
+    double deadline = monotonicSeconds() + timeout_s;
+    while (monotonicSeconds() < deadline) {
+        if (pred())
+            return true;
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    return pred();
+}
+
+} // anonymous namespace
+
+// --- wire protocol ----------------------------------------------------
+
+TEST(Wire, FramedRoundTripAndPartialFrames)
+{
+    int sv[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+    WireConn a(sv[0]), b(sv[1]);
+
+    Json msg = Json::object();
+    msg["op"] = "task";
+    msg["lease"] = std::int64_t(42);
+    msg["payload"] = Json::array();
+    for (int i = 0; i < 100; ++i)
+        msg["payload"].push(Json(std::int64_t(i)));
+    ASSERT_TRUE(a.send(msg));
+    ASSERT_TRUE(a.send(Json::object({{"op", Json("hb")}})));
+
+    // Two frames queued: both parse, in order, from buffered bytes.
+    Json got;
+    ASSERT_EQ(b.recv(got, 1.0), WireRecv::Message);
+    EXPECT_EQ(got.getString("op"), "task");
+    EXPECT_EQ(got.getInt("lease"), 42);
+    EXPECT_EQ(got.at("payload").size(), 100u);
+    ASSERT_EQ(b.recv(got, 1.0), WireRecv::Message);
+    EXPECT_EQ(got.getString("op"), "hb");
+
+    // Nothing pending: a zero budget polls without blocking.
+    EXPECT_EQ(b.recv(got, 0), WireRecv::Timeout);
+
+    // Peer closes: EOF surfaces as Closed, not an exception.
+    a.close();
+    EXPECT_EQ(b.recv(got, 1.0), WireRecv::Closed);
+    b.close();
+}
+
+TEST(Wire, IpcBytesAreCounted)
+{
+    std::int64_t before =
+        metrics::counter("scheduler.ipc.bytes").value();
+    int sv[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+    WireConn a(sv[0]), b(sv[1]);
+    ASSERT_TRUE(a.send(Json::object({{"k", Json("v")}})));
+    Json got;
+    ASSERT_EQ(b.recv(got, 1.0), WireRecv::Message);
+    a.close();
+    b.close();
+    // Sender and receiver both count: strictly more than one frame.
+    EXPECT_GT(metrics::counter("scheduler.ipc.bytes").value(), before);
+}
+
+// --- worker pool basics -----------------------------------------------
+
+TEST(WorkerPool, ExecutesRegisteredJobInChildProcess)
+{
+    TestGuard guard;
+    registerTestJobs();
+    WorkerPool pool(2);
+    ASSERT_TRUE(pool.available());
+    EXPECT_EQ(pool.workerCount(), 2u);
+
+    Json spec = Json::object({{"x", Json(std::int64_t(7))}});
+    Json out = pool.execute("test.echo", spec);
+    EXPECT_EQ(out.at("echo").getInt("x"), 7);
+    // The job really ran in another process.
+    EXPECT_NE(out.getInt("pid"), std::int64_t(::getpid()));
+    Json sum = pool.summary();
+    EXPECT_EQ(sum.getInt("spawned"), 2);
+    EXPECT_EQ(sum.getInt("lost"), 0);
+}
+
+TEST(WorkerPool, JobFailurePropagatesAsRuntimeError)
+{
+    TestGuard guard;
+    registerTestJobs();
+    WorkerPool pool(1);
+    try {
+        pool.execute("test.fail", Json::object());
+        FAIL() << "expected a runtime_error";
+    } catch (const WorkerLost &) {
+        FAIL() << "a thrown job exception must not look like a crash";
+    } catch (const std::runtime_error &e) {
+        EXPECT_NE(std::string(e.what()).find("deliberate job failure"),
+                  std::string::npos);
+    }
+    // The worker survives its job's exception and serves again.
+    Json out = pool.execute("test.echo", Json::object());
+    EXPECT_TRUE(out.contains("pid"));
+}
+
+TEST(WorkerPool, UnknownJobKindFailsCleanly)
+{
+    TestGuard guard;
+    registerTestJobs();
+    WorkerPool pool(1);
+    EXPECT_THROW(pool.execute("no.such.kind", Json::object()),
+                 std::runtime_error);
+}
+
+TEST(WorkerPool, HealthyLongJobOutlivesItsLeaseViaHeartbeats)
+{
+    TestGuard guard;
+    registerTestJobs();
+    WorkerPool pool(1, 0.2); // lease far shorter than the job
+    Json spec = Json::object({{"seconds", Json(0.7)}});
+    Json out = pool.execute("test.sleep.polling", spec);
+    EXPECT_EQ(out.getDouble("slept"), 0.7);
+    Json sum = pool.summary();
+    EXPECT_EQ(sum.getInt("leaseExpiries"), 0);
+    EXPECT_EQ(sum.getInt("lost"), 0);
+}
+
+// --- crash recovery ---------------------------------------------------
+
+TEST(WorkerPool, SigkilledWorkerIsLostAndRespawned)
+{
+    TestGuard guard;
+    registerTestJobs();
+    WorkerPool pool(2);
+    auto fut = std::async(std::launch::async, [&] {
+        Json spec = Json::object({{"seconds", Json(10.0)}});
+        pool.execute("test.sleep.polling", spec);
+    });
+    // Let the lease start, then kill every worker: whichever held the
+    // lease dies mid-task.
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    for (int pid : pool.workerPids())
+        ::kill(pid, SIGKILL);
+
+    EXPECT_THROW(fut.get(), WorkerLost);
+    // The monitor reaps and respawns; capacity is restored. (A fenced
+    // corpse still counts as a worker until reaped, so wait on the loss
+    // tally, not just the head count.)
+    EXPECT_TRUE(waitFor(
+        [&] {
+            Json s = pool.summary();
+            return s.getInt("lost") >= 2 && s.getInt("live") >= 2;
+        },
+        5.0));
+    Json sum = pool.summary();
+    EXPECT_GE(sum.getInt("lost"), 2);
+    EXPECT_GE(sum.getInt("respawned"), 2);
+    // And the respawned cluster serves new work.
+    Json out = pool.execute("test.echo", Json::object());
+    EXPECT_TRUE(out.contains("pid"));
+}
+
+TEST(WorkerPool, SilentWorkerLeaseExpiresAndStaleResultIsFenced)
+{
+    TestGuard guard;
+    registerTestJobs();
+    WorkerPool pool(1, 0.15);
+    // Keep the fenced worker alive well past its late delivery so the
+    // stale-result rejection path (not the SIGKILL path) is exercised.
+    pool.setFenceKillGrace(10.0);
+    std::vector<int> pids_before = pool.workerPids();
+
+    Json spec = Json::object({{"seconds", Json(0.6)}});
+    // No heartbeats (the job never polls): the lease expires first.
+    EXPECT_THROW(pool.execute("test.sleep.silent", spec), WorkerLost);
+
+    // The worker is healthy, just slow: at ~0.6 s it delivers a result
+    // for the fenced lease. The monitor rejects it (double-commit
+    // guard) and returns the worker to service — same process, no
+    // respawn.
+    Json out = pool.execute("test.echo", Json::object());
+    EXPECT_TRUE(out.contains("pid"));
+    EXPECT_TRUE(waitFor(
+        [&] { return pool.summary().getInt("staleResults") >= 1; },
+        5.0));
+    Json sum = pool.summary();
+    EXPECT_GE(sum.getInt("leaseExpiries"), 1);
+    EXPECT_EQ(sum.getInt("staleResults"), 1);
+    EXPECT_EQ(sum.getInt("lost"), 0);
+    EXPECT_EQ(sum.getInt("respawned"), 0);
+    EXPECT_EQ(pool.workerPids(), pids_before);
+}
+
+TEST(WorkerPool, FencedWorkerIsKilledAfterGrace)
+{
+    TestGuard guard;
+    registerTestJobs();
+    WorkerPool pool(1, 0.15);
+    pool.setFenceKillGrace(0.1);
+    Json spec = Json::object({{"seconds", Json(30.0)}});
+    EXPECT_THROW(pool.execute("test.sleep.silent", spec), WorkerLost);
+    // Silent past the grace: SIGKILLed by the monitor, then respawned.
+    EXPECT_TRUE(waitFor(
+        [&] {
+            Json s = pool.summary();
+            return s.getInt("lost") >= 1 && s.getInt("live") == 1;
+        },
+        5.0));
+    Json out = pool.execute("test.echo", Json::object());
+    EXPECT_TRUE(out.contains("pid"));
+}
+
+// --- deadline propagation across the process boundary -----------------
+
+TEST(WorkerPool, TokenDeadlineCrossesIntoTheWorker)
+{
+    TestGuard guard;
+    registerTestJobs();
+    WorkerPool pool(1);
+    CancelToken token;
+    token.arm(0.3);
+    Json spec = Json::object({{"seconds", Json(10.0)}});
+    double start = monotonicSeconds();
+    EXPECT_THROW(pool.execute("test.sleep.polling", spec, &token),
+                 TaskTimeout);
+    // The worker's own token unwound it (or the parent fenced at the
+    // same instant); either way nowhere near the 10 s sleep.
+    EXPECT_LT(monotonicSeconds() - start, 5.0);
+}
+
+TEST(WorkerPool, AlarmWatchdogKillsANeverPollingChildLocally)
+{
+    TestGuard guard;
+    registerTestJobs();
+    WorkerPool pool(1, 1.0);
+    // Rule out the parent's SIGKILL path entirely: only the child's
+    // own SIGALRM (armed from the budget that crossed the wire) can
+    // end the 60 s sleep early.
+    pool.setFenceKillGrace(30.0);
+    CancelToken token;
+    token.arm(0.5);
+    Json spec = Json::object({{"seconds", Json(60.0)}});
+    EXPECT_THROW(pool.execute("test.sleep.silent", spec, &token),
+                 TaskTimeout);
+    // alarm(unsigned(0.5) + 2) => the child dies by ~2 s.
+    EXPECT_TRUE(waitFor(
+        [&] { return pool.summary().getInt("lost") >= 1; }, 10.0));
+}
+
+// --- fault injection --------------------------------------------------
+
+TEST(WorkerPool, InjectedHeartbeatLossExpiresTheLease)
+{
+    TestGuard guard;
+    registerTestJobs();
+    // CI runs this test with G5_FAULT=worker.heartbeat in the
+    // environment (the env spec arms the same point); arm
+    // programmatically otherwise.
+    const char *env = std::getenv("G5_FAULT");
+    bool env_armed =
+        env != nullptr &&
+        std::string(env).find("worker.heartbeat") != std::string::npos;
+    if (env_armed)
+        fault::armFromSpec(env); // TestGuard reset cleared the env arm
+    else
+        fault::armAfter("worker.heartbeat", 0);
+
+    WorkerPool pool(1, 0.15);
+    Json spec = Json::object({{"seconds", Json(0.5)}});
+    // The job polls (would heartbeat), but the injected loss mutes it:
+    // lease expiry recovery is exercised end to end.
+    EXPECT_THROW(pool.execute("test.sleep.polling", spec), WorkerLost);
+    EXPECT_GE(fault::fired("worker.heartbeat"), 1u);
+    EXPECT_GE(pool.summary().getInt("leaseExpiries"), 1);
+
+    // Recovery: with the fault cleared the next lease completes.
+    fault::disarm("worker.heartbeat");
+    Json out = pool.execute("test.echo", Json::object());
+    EXPECT_TRUE(out.contains("pid"));
+}
+
+TEST(WorkerPool, SpawnFaultDegradesToUnavailable)
+{
+    TestGuard guard;
+    registerTestJobs();
+    fault::arm("worker.spawn");
+    WorkerPool pool(2);
+    EXPECT_FALSE(pool.available());
+    EXPECT_EQ(pool.workerCount(), 0u);
+    EXPECT_THROW(pool.execute("test.echo", Json::object()),
+                 WorkerPoolUnavailable);
+    fault::disarm("worker.spawn");
+}
+
+TEST(WorkerPool, InjectedCommitFaultFencesTheLease)
+{
+    TestGuard guard;
+    registerTestJobs();
+    WorkerPool pool(1);
+    fault::armAfter("worker.commit", 0);
+    EXPECT_THROW(pool.execute("test.echo", Json::object()), WorkerLost);
+    // The worker is innocent; it returns to service for the retry.
+    Json out = pool.execute("test.echo", Json::object());
+    EXPECT_TRUE(out.contains("pid"));
+}
+
+// --- environment knobs ------------------------------------------------
+
+TEST(WorkerPool, EnvironmentKnobParsing)
+{
+    {
+        ScopedEnv w("G5_WORKERS", nullptr);
+        EXPECT_EQ(WorkerPool::envWorkerCount(), 0u);
+    }
+    {
+        ScopedEnv w("G5_WORKERS", "0");
+        EXPECT_EQ(WorkerPool::envWorkerCount(), 0u);
+    }
+    {
+        ScopedEnv w("G5_WORKERS", "3");
+        EXPECT_EQ(WorkerPool::envWorkerCount(), 3u);
+    }
+    {
+        ScopedEnv w("G5_WORKERS", "auto");
+        EXPECT_EQ(WorkerPool::envWorkerCount(),
+                  WorkerPool::defaultWorkerCount());
+    }
+    {
+        TestGuard quiet;
+        ScopedEnv w("G5_WORKERS", "lots");
+        EXPECT_EQ(WorkerPool::envWorkerCount(), 0u);
+    }
+    {
+        ScopedEnv l("G5_LEASE_MS", nullptr);
+        EXPECT_DOUBLE_EQ(WorkerPool::envLeaseSeconds(), 5.0);
+    }
+    {
+        ScopedEnv l("G5_LEASE_MS", "250");
+        EXPECT_DOUBLE_EQ(WorkerPool::envLeaseSeconds(), 0.25);
+    }
+    {
+        TestGuard quiet;
+        ScopedEnv l("G5_LEASE_MS", "-4");
+        EXPECT_DOUBLE_EQ(WorkerPool::envLeaseSeconds(), 5.0);
+    }
+}
+
+// --- orphan spool cleanup ---------------------------------------------
+
+TEST(OrphanCleanup, StaleTmpSpoolFilesAreRemovedOnOpen)
+{
+    TestGuard guard;
+    std::string dir = freshDir("g5_orphan_db");
+    std::string real_key;
+    {
+        Database db(dir);
+        db.collection("runs").insertOne(
+            Json::parse(R"({"_id":"keep","n":1})"));
+        real_key = db.putBlob("real blob bytes");
+        db.save();
+    }
+    // Plant the debris a crashed process would leave: half-written
+    // blob and snapshot spools.
+    std::ofstream(stdfs::path(dir) / "blobs" / ".put-99.tmp")
+        << "half a blob";
+    std::ofstream(stdfs::path(dir) / "collections" / "runs.jsonl.7.tmp")
+        << "half a snapshot";
+    std::int64_t before = metrics::counter("db.orphansRemoved").value();
+
+    Database reopened(dir);
+    EXPECT_FALSE(
+        stdfs::exists(stdfs::path(dir) / "blobs" / ".put-99.tmp"));
+    EXPECT_FALSE(stdfs::exists(stdfs::path(dir) / "collections" /
+                               "runs.jsonl.7.tmp"));
+    // Real state survives the sweep.
+    EXPECT_FALSE(reopened.collection("runs").findById("keep").isNull());
+    EXPECT_EQ(reopened.getBlob(real_key), "real blob bytes");
+    EXPECT_EQ(metrics::counter("db.orphansRemoved").value(),
+              before + 2);
+}
+
+// --- distributed sweeps (the acceptance criteria) ---------------------
+
+namespace
+{
+
+Json
+bootParams(const std::string &cpu, int cores, const std::string &mem)
+{
+    Json p = Json::object();
+    p["cpu"] = cpu;
+    p["num_cpus"] = cores;
+    p["mem_system"] = mem;
+    p["boot_type"] = "init";
+    return p;
+}
+
+struct Fixture
+{
+    explicit Fixture(const std::string &db_dir = "")
+        : ws((stdfs::temp_directory_path() / "g5_wp_ws").string(),
+             db_dir),
+          binary(ws.gem5Binary("20.1.0.4")),
+          kernel(ws.kernel("5.4.49")),
+          disk(ws.disk("boot-exit", resources::buildBootExitImage())),
+          script(ws.runScript("run_exit.py", "boot-exit run script"))
+    {}
+
+    Gem5Run
+    makeRun(const std::string &name, const Json &params,
+            const Workspace::Item *kern = nullptr, double timeout = 60.0)
+    {
+        const Workspace::Item &k = kern ? *kern : kernel;
+        return Gem5Run::createFSRun(
+            ws.adb(), name, binary.path, script.path, ws.outdir(name),
+            binary.artifact, binary.repoArtifact, script.repoArtifact,
+            k.path, disk.path, k.artifact, disk.artifact, params,
+            timeout);
+    }
+
+    Workspace ws;
+    Workspace::Item binary, kernel, disk, script;
+};
+
+/** A small fig8-style matrix: fast boots plus one deterministic panic. */
+std::vector<Gem5Run>
+sweepRuns(Fixture &fx, const Workspace::Item &alt_kernel,
+          const Workspace::Item &panic_kernel)
+{
+    std::vector<Gem5Run> runs;
+    for (int cores : {1, 2, 4}) {
+        runs.push_back(fx.makeRun("kvm-main-" + std::to_string(cores),
+                                  bootParams("kvm", cores, "classic")));
+        runs.push_back(fx.makeRun("kvm-alt-" + std::to_string(cores),
+                                  bootParams("kvm", cores, "classic"),
+                                  &alt_kernel));
+    }
+    runs.push_back(fx.makeRun("panic",
+                              bootParams("o3", 2, "MESI_Two_Level"),
+                              &panic_kernel));
+    return runs;
+}
+
+Json
+runSweep(Fixture &fx, std::vector<Gem5Run> runs,
+         const std::string &sweep_name)
+{
+    Tasks tasks(fx.ws.adb(), 2, Tasks::Backend::Threaded);
+    SweepJournal sweep(fx.ws.adb(), sweep_name);
+    sweep.submit(tasks, std::move(runs));
+    tasks.waitAll();
+    return sweep.census();
+}
+
+} // anonymous namespace
+
+TEST(DistributedSweep, CensusByteIdenticalToInProcessRun)
+{
+    TestGuard guard;
+    registerTestJobs();
+    // Checkpoint-tier bypass on both sides: workers boot from scratch
+    // by design, so the comparison must hold the in-process path to
+    // the same plan.
+    ScopedEnv no_ckpt("G5ART_NO_CKPT", "1");
+
+    Json dist_census;
+    std::int64_t spawned = 0;
+    {
+        ScopedEnv workers("G5_WORKERS", "2");
+        Fixture fx(freshDir("g5_dist_db"));
+        auto alt = fx.ws.kernel("4.19.83");
+        auto panicky = fx.ws.kernel("4.4.186");
+        Tasks tasks(fx.ws.adb(), 2, Tasks::Backend::Threaded);
+        ASSERT_TRUE(tasks.workerPool() != nullptr);
+        ASSERT_TRUE(tasks.workerPool()->available());
+        SweepJournal sweep(fx.ws.adb(), "fig8-dist");
+        sweep.submit(tasks, sweepRuns(fx, alt, panicky));
+        tasks.waitAll();
+        dist_census = sweep.census();
+        Json sum = tasks.summary();
+        ASSERT_TRUE(sum.contains("workerPool"));
+        spawned = sum.at("workerPool").getInt("spawned");
+        EXPECT_GT(sum.at("workerPool").getInt("ipcBytes"), 0);
+    }
+    EXPECT_GE(spawned, 2);
+
+    ScopedEnv workers("G5_WORKERS", nullptr);
+    Fixture ref(freshDir("g5_dist_ref_db"));
+    auto alt = ref.ws.kernel("4.19.83");
+    auto panicky = ref.ws.kernel("4.4.186");
+    Json ref_census =
+        runSweep(ref, sweepRuns(ref, alt, panicky), "fig8-dist");
+
+    // The acceptance bar: byte-identical censuses.
+    EXPECT_EQ(dist_census.dump(), ref_census.dump());
+    EXPECT_EQ(dist_census.getInt("done"), 7);
+}
+
+TEST(DistributedSweep, SurvivesSigkillOfBusyWorkers)
+{
+    TestGuard guard;
+    registerTestJobs();
+    ScopedEnv no_ckpt("G5ART_NO_CKPT", "1");
+
+    // The first two runs livelock against a huge tick budget and are
+    // cut off by a 2 s wall timeout: with two workers, both are still
+    // busy on them when the kill lands. The rest are fast boots queued
+    // behind. (Distinct max_ticks keep the input hashes distinct.)
+    auto slowParams = [](std::int64_t ticks) {
+        Json p = bootParams("o3", 4, "MI_example");
+        p["max_ticks"] = ticks;
+        return p;
+    };
+    constexpr double kSlowTimeout = 2.0;
+
+    Json census;
+    std::int64_t lost = 0;
+    {
+        ScopedEnv workers("G5_WORKERS", "2");
+        Fixture fx(freshDir("g5_killsweep_db"));
+        auto alt = fx.ws.kernel("4.19.83");
+        std::vector<Gem5Run> runs;
+        runs.push_back(fx.makeRun("slow-a",
+                                  slowParams(5'000'000'000'000'000'000), &alt,
+                                  kSlowTimeout));
+        runs.push_back(fx.makeRun("slow-b",
+                                  slowParams(5'000'000'000'000'000'001), &alt,
+                                  kSlowTimeout));
+        for (int cores : {1, 2, 4})
+            runs.push_back(
+                fx.makeRun("kvm-" + std::to_string(cores),
+                           bootParams("kvm", cores, "classic")));
+
+        Tasks tasks(fx.ws.adb(), 2, Tasks::Backend::Threaded);
+        ASSERT_TRUE(tasks.workerPool() != nullptr);
+        auto pool = tasks.workerPool();
+        SweepJournal sweep(fx.ws.adb(), "kill-sweep");
+        sweep.submit(tasks, std::move(runs));
+
+        // Both workers leased the slow runs: SIGKILL them mid-task.
+        std::this_thread::sleep_for(std::chrono::milliseconds(300));
+        for (int pid : pool->workerPids())
+            ::kill(pid, SIGKILL);
+
+        tasks.waitAll();
+        census = sweep.census();
+        lost = pool->summary().getInt("lost");
+
+        // The losses are archived in the run docs' attempts arrays.
+        int worker_lost_attempts = 0;
+        for (const char *name : {"slow-a", "slow-b"}) {
+            Json doc = fx.ws.adb().runs().findOne(
+                Json::object({{"name", Json(name)}}));
+            if (!doc.contains("attempts"))
+                continue;
+            const Json &attempts = doc.at("attempts");
+            for (std::size_t i = 0; i < attempts.size(); ++i)
+                if (attempts.at(i).getBool("workerLost", false))
+                    ++worker_lost_attempts;
+        }
+        EXPECT_GE(worker_lost_attempts, 1);
+    }
+    EXPECT_GE(lost, 1);
+    // The fast boots completed; the wall-clamped livelocks are
+    // scheduler timeouts, which the journal leaves pending by design
+    // (a resumed sweep re-runs them) — on both sides identically.
+    EXPECT_EQ(census.getInt("done"), 3);
+    EXPECT_EQ(census.getInt("pending"), 2);
+    EXPECT_EQ(census.at("outcomes").getInt("timeout"), 2);
+
+    // Reference: the identical sweep, in-process, never killed.
+    ScopedEnv workers("G5_WORKERS", nullptr);
+    Fixture ref(freshDir("g5_killsweep_ref_db"));
+    auto alt = ref.ws.kernel("4.19.83");
+    std::vector<Gem5Run> ref_runs;
+    ref_runs.push_back(ref.makeRun("slow-a",
+                                   slowParams(5'000'000'000'000'000'000), &alt,
+                                   kSlowTimeout));
+    ref_runs.push_back(ref.makeRun("slow-b",
+                                   slowParams(5'000'000'000'000'000'001), &alt,
+                                   kSlowTimeout));
+    for (int cores : {1, 2, 4})
+        ref_runs.push_back(ref.makeRun("kvm-" + std::to_string(cores),
+                                       bootParams("kvm", cores,
+                                                  "classic")));
+    Json ref_census =
+        runSweep(ref, std::move(ref_runs), "kill-sweep");
+    EXPECT_EQ(census.dump(), ref_census.dump());
+}
+
+TEST(DistributedSweep, SurvivesInjectedHeartbeatLossMidSweep)
+{
+    TestGuard guard;
+    registerTestJobs();
+    ScopedEnv no_ckpt("G5ART_NO_CKPT", "1");
+
+    Json census;
+    {
+        ScopedEnv workers("G5_WORKERS", "2");
+        // Short leases so the muted worker is declared lost while its
+        // (wall-clamped) run is still simulating.
+        ScopedEnv lease("G5_LEASE_MS", "300");
+        Fixture fx(freshDir("g5_hbsweep_db"));
+        auto alt = fx.ws.kernel("4.19.83");
+        std::vector<Gem5Run> runs;
+        Json slow = bootParams("o3", 4, "MI_example");
+        slow["max_ticks"] = std::int64_t(5'000'000'000'000'000'000);
+        Json slow2 = slow;
+        slow2["max_ticks"] = std::int64_t(5'000'000'000'000'000'001);
+        runs.push_back(fx.makeRun("slow-a", slow, &alt, 2.0));
+        runs.push_back(fx.makeRun("slow-b", slow2, &alt, 2.0));
+        for (int cores : {1, 2, 4})
+            runs.push_back(
+                fx.makeRun("kvm-" + std::to_string(cores),
+                           bootParams("kvm", cores, "classic")));
+
+        // One of the first two dispatches draws the fault — both are
+        // wall-clamped livelocks, so whichever is muted outlives its
+        // lease, is declared lost, and retries with heartbeats back.
+        fault::armAfter("worker.heartbeat", 0);
+        Tasks tasks(fx.ws.adb(), 2, Tasks::Backend::Threaded);
+        ASSERT_TRUE(tasks.workerPool() != nullptr);
+        SweepJournal sweep(fx.ws.adb(), "hb-sweep");
+        sweep.submit(tasks, std::move(runs));
+        tasks.waitAll();
+        census = sweep.census();
+        EXPECT_EQ(fault::fired("worker.heartbeat"), 1u);
+        EXPECT_GE(
+            tasks.workerPool()->summary().getInt("leaseExpiries"), 1);
+    }
+    fault::disarm("worker.heartbeat");
+
+    ScopedEnv workers("G5_WORKERS", nullptr);
+    Fixture ref(freshDir("g5_hbsweep_ref_db"));
+    auto alt = ref.ws.kernel("4.19.83");
+    std::vector<Gem5Run> ref_runs;
+    Json slow = bootParams("o3", 4, "MI_example");
+    slow["max_ticks"] = std::int64_t(5'000'000'000'000'000'000);
+    Json slow2 = slow;
+    slow2["max_ticks"] = std::int64_t(5'000'000'000'000'000'001);
+    ref_runs.push_back(ref.makeRun("slow-a", slow, &alt, 2.0));
+    ref_runs.push_back(ref.makeRun("slow-b", slow2, &alt, 2.0));
+    for (int cores : {1, 2, 4})
+        ref_runs.push_back(ref.makeRun("kvm-" + std::to_string(cores),
+                                       bootParams("kvm", cores,
+                                                  "classic")));
+    Json ref_census = runSweep(ref, std::move(ref_runs), "hb-sweep");
+    EXPECT_EQ(census.dump(), ref_census.dump());
+}
+
+TEST(DistributedSweep, PoolDeathMidSweepFallsBackInProcess)
+{
+    TestGuard guard;
+    registerTestJobs();
+    ScopedEnv no_ckpt("G5ART_NO_CKPT", "1");
+    ScopedEnv workers("G5_WORKERS", "2");
+
+    Fixture fx(freshDir("g5_fallback_db"));
+    Tasks tasks(fx.ws.adb(), 2, Tasks::Backend::Threaded);
+    ASSERT_TRUE(tasks.workerPool() != nullptr);
+
+    // Kill the whole cluster AND poison respawning: the pool can never
+    // recover, so runs must complete on the in-process fallback path.
+    fault::arm("worker.spawn");
+    for (int pid : tasks.workerPool()->workerPids())
+        ::kill(pid, SIGKILL);
+    waitFor([&] { return !tasks.workerPool()->available(); }, 5.0);
+
+    SweepJournal sweep(fx.ws.adb(), "fallback");
+    std::vector<Gem5Run> runs;
+    for (int cores : {1, 2})
+        runs.push_back(fx.makeRun("kvm-" + std::to_string(cores),
+                                  bootParams("kvm", cores, "classic")));
+    sweep.submit(tasks, std::move(runs));
+    tasks.waitAll();
+    fault::disarm("worker.spawn");
+
+    Json census = sweep.census();
+    EXPECT_EQ(census.getInt("done"), 2);
+    EXPECT_EQ(census.at("outcomes").getInt("success"), 2);
+}
