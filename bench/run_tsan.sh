@@ -23,8 +23,8 @@ cmake -B "$build_dir" -S "$src_dir" \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
 cmake --build "$build_dir" --target g5_tests -j "$(nproc)"
 
-TSAN_OPTIONS=${TSAN_OPTIONS:-halt_on_error=1} \
+TSAN_OPTIONS=${TSAN_OPTIONS:-"halt_on_error=1 suppressions=$src_dir/bench/tsan.supp"} \
 "$build_dir/tests/g5_tests" \
-    --gtest_filter='DbConcurrent*:Database*:Collection*:TaskQueue*:CancelToken*:SchedulerRetry*:SchedulerStress*:FaultInject*:FaultRecovery*:TraceConcurrent*:Metrics*:Tracing*:Wire*:WorkerPool*:DistributedSweep*:OrphanCleanup*'
+    --gtest_filter='DbConcurrent*:DbBinary*:Database*:Collection*:TaskQueue*:CancelToken*:SchedulerRetry*:SchedulerStress*:FaultInject*:FaultRecovery*:TraceConcurrent*:Metrics*:Tracing*:Wire*:WorkerPool*:DistributedSweep*:OrphanCleanup*'
 
 echo "TSan run clean: db + scheduler + observability concurrency tests passed"

@@ -1113,4 +1113,194 @@ Json::parse(std::string_view text)
     return p.parseDocument();
 }
 
+// --- binary wire form (s5db1 document encoding) ------------------------
+//
+// tag 0 null | 1 false | 2 true | 3 int64 LE | 4 double LE (IEEE bits)
+// | 5 string (u32 len + bytes) | 6 array (u32 count + values)
+// | 7 object (u32 count + (u32 keyLen + key + value)*, keys sorted).
+//
+// The layout deliberately matches the in-memory model: objects are
+// written in their (sorted) storage order, so decoding appends members
+// through insertOrAssign's sorted-append fast path and never searches.
+
+namespace
+{
+
+constexpr std::uint8_t binTagNull = 0;
+constexpr std::uint8_t binTagFalse = 1;
+constexpr std::uint8_t binTagTrue = 2;
+constexpr std::uint8_t binTagInt = 3;
+constexpr std::uint8_t binTagDouble = 4;
+constexpr std::uint8_t binTagString = 5;
+constexpr std::uint8_t binTagArray = 6;
+constexpr std::uint8_t binTagObject = 7;
+
+void
+binPutU32(std::string &out, std::uint32_t v)
+{
+    char b[4];
+    std::memcpy(b, &v, 4);
+    out.append(b, 4);
+}
+
+void
+binPutU64(std::string &out, std::uint64_t v)
+{
+    char b[8];
+    std::memcpy(b, &v, 8);
+    out.append(b, 8);
+}
+
+/** Bounds-checked cursor over one encoded value. */
+struct BinCursor
+{
+    const char *cur;
+    const char *end;
+
+    void
+    need(std::size_t n) const
+    {
+        if (std::size_t(end - cur) < n)
+            throw JsonError("binary json: truncated value");
+    }
+
+    std::uint8_t
+    tag()
+    {
+        need(1);
+        return std::uint8_t(*cur++);
+    }
+
+    std::uint32_t
+    u32()
+    {
+        need(4);
+        std::uint32_t v;
+        std::memcpy(&v, cur, 4);
+        cur += 4;
+        return v;
+    }
+
+    std::uint64_t
+    u64()
+    {
+        need(8);
+        std::uint64_t v;
+        std::memcpy(&v, cur, 8);
+        cur += 8;
+        return v;
+    }
+
+    std::string
+    str(std::uint32_t len)
+    {
+        need(len);
+        std::string s(cur, len);
+        cur += len;
+        return s;
+    }
+};
+
+Json
+binParseValue(BinCursor &c)
+{
+    switch (c.tag()) {
+      case binTagNull:
+        return Json();
+      case binTagFalse:
+        return Json(false);
+      case binTagTrue:
+        return Json(true);
+      case binTagInt:
+        return Json(std::int64_t(c.u64()));
+      case binTagDouble: {
+        std::uint64_t bits = c.u64();
+        double d;
+        std::memcpy(&d, &bits, 8);
+        return Json(d);
+      }
+      case binTagString:
+        return Json(c.str(c.u32()));
+      case binTagArray: {
+        std::uint32_t n = c.u32();
+        Json j = Json::array();
+        auto &arr = j.asArray();
+        arr.reserve(n);
+        for (std::uint32_t i = 0; i < n; ++i)
+            arr.push_back(binParseValue(c));
+        return j;
+      }
+      case binTagObject: {
+        std::uint32_t n = c.u32();
+        Json j = Json::object();
+        auto &obj = j.asObject();
+        for (std::uint32_t i = 0; i < n; ++i) {
+            std::string key = c.str(c.u32());
+            // Keys were written in sorted order; insertOrAssign's
+            // append fast path makes this O(1) per member.
+            obj.insertOrAssign(std::move(key), binParseValue(c));
+        }
+        return j;
+      }
+      default:
+        throw JsonError("binary json: unknown tag");
+    }
+}
+
+} // anonymous namespace
+
+void
+Json::dumpBinaryTo(std::string &out) const
+{
+    switch (ty) {
+      case Type::Null:
+        out.push_back(char(binTagNull));
+        return;
+      case Type::Bool:
+        out.push_back(char(pay.b ? binTagTrue : binTagFalse));
+        return;
+      case Type::Int:
+        out.push_back(char(binTagInt));
+        binPutU64(out, std::uint64_t(pay.i));
+        return;
+      case Type::Double: {
+        out.push_back(char(binTagDouble));
+        std::uint64_t bits;
+        std::memcpy(&bits, &pay.d, 8);
+        binPutU64(out, bits);
+        return;
+      }
+      case Type::String:
+        out.push_back(char(binTagString));
+        binPutU32(out, std::uint32_t(pay.s.size()));
+        out.append(pay.s);
+        return;
+      case Type::Array:
+        out.push_back(char(binTagArray));
+        binPutU32(out, std::uint32_t(pay.a.size()));
+        for (const Json &v : pay.a)
+            v.dumpBinaryTo(out);
+        return;
+      case Type::Object:
+        out.push_back(char(binTagObject));
+        binPutU32(out, std::uint32_t(pay.o.size()));
+        for (const auto &[key, value] : pay.o) {
+            binPutU32(out, std::uint32_t(key.size()));
+            out.append(key);
+            value.dumpBinaryTo(out);
+        }
+        return;
+    }
+}
+
+Json
+Json::parseBinary(std::string_view bytes)
+{
+    BinCursor c{bytes.data(), bytes.data() + bytes.size()};
+    Json j = binParseValue(c);
+    if (c.cur != c.end)
+        throw JsonError("binary json: trailing bytes after value");
+    return j;
+}
+
 } // namespace g5

@@ -315,6 +315,24 @@ class Json
     /** Parse JSON text; throws JsonError with offset info on bad input. */
     static Json parse(std::string_view text);
 
+    /**
+     * Serialize into the compact binary wire form used by the db layer's
+     * s5db1 record format (see DESIGN.md "MVCC & binary storage"):
+     * a one-byte type tag, little-endian fixed-width numbers, u32
+     * length-prefixed strings, and u32-counted arrays/objects with
+     * object keys in sorted order. The encoding preserves the Int vs
+     * Double distinction exactly, so parseBinary(dumpBinary(j)) == j
+     * structurally AND re-serializes (dump()) to identical text — the
+     * same byte-stability contract dump() makes.
+     */
+    void dumpBinaryTo(std::string &out) const;
+
+    /**
+     * Decode one value produced by dumpBinaryTo. @p bytes must span
+     * exactly one value; trailing bytes or truncation throw JsonError.
+     */
+    static Json parseBinary(std::string_view bytes);
+
   private:
     union Payload {
         bool b;

@@ -1,5 +1,6 @@
 #include "base/md5.hh"
 
+#include <bit>
 #include <cstring>
 #include <fstream>
 
@@ -12,14 +13,6 @@ namespace g5
 
 namespace
 {
-
-// Per-round shift amounts (RFC 1321).
-constexpr std::uint32_t shifts[64] = {
-    7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22,
-    5,  9, 14, 20, 5,  9, 14, 20, 5,  9, 14, 20, 5,  9, 14, 20,
-    4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23,
-    6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21,
-};
 
 // K[i] = floor(2^32 * abs(sin(i + 1))).
 constexpr std::uint32_t sines[64] = {
@@ -47,7 +40,40 @@ rotl32(std::uint32_t x, std::uint32_t c)
     return (x << c) | (x >> (32 - c));
 }
 
+// The four round functions (RFC 1321 F/G/H/I).
+inline std::uint32_t
+fF(std::uint32_t b, std::uint32_t c, std::uint32_t d)
+{
+    return (b & c) | (~b & d);
+}
+
+inline std::uint32_t
+fG(std::uint32_t b, std::uint32_t c, std::uint32_t d)
+{
+    return (b & d) | (c & ~d);
+}
+
+inline std::uint32_t
+fH(std::uint32_t b, std::uint32_t c, std::uint32_t d)
+{
+    return b ^ c ^ d;
+}
+
+inline std::uint32_t
+fI(std::uint32_t b, std::uint32_t c, std::uint32_t d)
+{
+    return c ^ (b | ~d);
+}
+
 } // anonymous namespace
+
+// One MD5 step, fully unrolled at the call sites: the rolled
+// one-loop form pays a round branch and two table loads per step,
+// which halves digest throughput — and every WAL group and artifact
+// upload is sealed with this.
+#define G5_MD5_STEP(fn, a, b, c, d, x, t, s)                             \
+    (a) += fn((b), (c), (d)) + (x) + (t);                                \
+    (a) = rotl32((a), (s)) + (b);
 
 Md5::Md5()
     : a0(0x67452301), b0(0xefcdab89), c0(0x98badcfe), d0(0x10325476),
@@ -58,37 +84,86 @@ void
 Md5::processBlock(const std::uint8_t *block)
 {
     std::uint32_t m[16];
-    for (int i = 0; i < 16; ++i) {
-        m[i] = std::uint32_t(block[i * 4]) |
-               std::uint32_t(block[i * 4 + 1]) << 8 |
-               std::uint32_t(block[i * 4 + 2]) << 16 |
-               std::uint32_t(block[i * 4 + 3]) << 24;
+    if constexpr (std::endian::native == std::endian::little) {
+        std::memcpy(m, block, 64);
+    } else {
+        for (int i = 0; i < 16; ++i) {
+            m[i] = std::uint32_t(block[i * 4]) |
+                   std::uint32_t(block[i * 4 + 1]) << 8 |
+                   std::uint32_t(block[i * 4 + 2]) << 16 |
+                   std::uint32_t(block[i * 4 + 3]) << 24;
+        }
     }
 
     std::uint32_t a = a0, b = b0, c = c0, d = d0;
 
-    for (int i = 0; i < 64; ++i) {
-        std::uint32_t f;
-        int g;
-        if (i < 16) {
-            f = (b & c) | (~b & d);
-            g = i;
-        } else if (i < 32) {
-            f = (d & b) | (~d & c);
-            g = (5 * i + 1) % 16;
-        } else if (i < 48) {
-            f = b ^ c ^ d;
-            g = (3 * i + 5) % 16;
-        } else {
-            f = c ^ (b | ~d);
-            g = (7 * i) % 16;
-        }
-        f = f + a + sines[i] + m[g];
-        a = d;
-        d = c;
-        c = b;
-        b = b + rotl32(f, shifts[i]);
-    }
+    G5_MD5_STEP(fF, a, b, c, d, m[0], sines[0], 7)
+    G5_MD5_STEP(fF, d, a, b, c, m[1], sines[1], 12)
+    G5_MD5_STEP(fF, c, d, a, b, m[2], sines[2], 17)
+    G5_MD5_STEP(fF, b, c, d, a, m[3], sines[3], 22)
+    G5_MD5_STEP(fF, a, b, c, d, m[4], sines[4], 7)
+    G5_MD5_STEP(fF, d, a, b, c, m[5], sines[5], 12)
+    G5_MD5_STEP(fF, c, d, a, b, m[6], sines[6], 17)
+    G5_MD5_STEP(fF, b, c, d, a, m[7], sines[7], 22)
+    G5_MD5_STEP(fF, a, b, c, d, m[8], sines[8], 7)
+    G5_MD5_STEP(fF, d, a, b, c, m[9], sines[9], 12)
+    G5_MD5_STEP(fF, c, d, a, b, m[10], sines[10], 17)
+    G5_MD5_STEP(fF, b, c, d, a, m[11], sines[11], 22)
+    G5_MD5_STEP(fF, a, b, c, d, m[12], sines[12], 7)
+    G5_MD5_STEP(fF, d, a, b, c, m[13], sines[13], 12)
+    G5_MD5_STEP(fF, c, d, a, b, m[14], sines[14], 17)
+    G5_MD5_STEP(fF, b, c, d, a, m[15], sines[15], 22)
+
+    G5_MD5_STEP(fG, a, b, c, d, m[1], sines[16], 5)
+    G5_MD5_STEP(fG, d, a, b, c, m[6], sines[17], 9)
+    G5_MD5_STEP(fG, c, d, a, b, m[11], sines[18], 14)
+    G5_MD5_STEP(fG, b, c, d, a, m[0], sines[19], 20)
+    G5_MD5_STEP(fG, a, b, c, d, m[5], sines[20], 5)
+    G5_MD5_STEP(fG, d, a, b, c, m[10], sines[21], 9)
+    G5_MD5_STEP(fG, c, d, a, b, m[15], sines[22], 14)
+    G5_MD5_STEP(fG, b, c, d, a, m[4], sines[23], 20)
+    G5_MD5_STEP(fG, a, b, c, d, m[9], sines[24], 5)
+    G5_MD5_STEP(fG, d, a, b, c, m[14], sines[25], 9)
+    G5_MD5_STEP(fG, c, d, a, b, m[3], sines[26], 14)
+    G5_MD5_STEP(fG, b, c, d, a, m[8], sines[27], 20)
+    G5_MD5_STEP(fG, a, b, c, d, m[13], sines[28], 5)
+    G5_MD5_STEP(fG, d, a, b, c, m[2], sines[29], 9)
+    G5_MD5_STEP(fG, c, d, a, b, m[7], sines[30], 14)
+    G5_MD5_STEP(fG, b, c, d, a, m[12], sines[31], 20)
+
+    G5_MD5_STEP(fH, a, b, c, d, m[5], sines[32], 4)
+    G5_MD5_STEP(fH, d, a, b, c, m[8], sines[33], 11)
+    G5_MD5_STEP(fH, c, d, a, b, m[11], sines[34], 16)
+    G5_MD5_STEP(fH, b, c, d, a, m[14], sines[35], 23)
+    G5_MD5_STEP(fH, a, b, c, d, m[1], sines[36], 4)
+    G5_MD5_STEP(fH, d, a, b, c, m[4], sines[37], 11)
+    G5_MD5_STEP(fH, c, d, a, b, m[7], sines[38], 16)
+    G5_MD5_STEP(fH, b, c, d, a, m[10], sines[39], 23)
+    G5_MD5_STEP(fH, a, b, c, d, m[13], sines[40], 4)
+    G5_MD5_STEP(fH, d, a, b, c, m[0], sines[41], 11)
+    G5_MD5_STEP(fH, c, d, a, b, m[3], sines[42], 16)
+    G5_MD5_STEP(fH, b, c, d, a, m[6], sines[43], 23)
+    G5_MD5_STEP(fH, a, b, c, d, m[9], sines[44], 4)
+    G5_MD5_STEP(fH, d, a, b, c, m[12], sines[45], 11)
+    G5_MD5_STEP(fH, c, d, a, b, m[15], sines[46], 16)
+    G5_MD5_STEP(fH, b, c, d, a, m[2], sines[47], 23)
+
+    G5_MD5_STEP(fI, a, b, c, d, m[0], sines[48], 6)
+    G5_MD5_STEP(fI, d, a, b, c, m[7], sines[49], 10)
+    G5_MD5_STEP(fI, c, d, a, b, m[14], sines[50], 15)
+    G5_MD5_STEP(fI, b, c, d, a, m[5], sines[51], 21)
+    G5_MD5_STEP(fI, a, b, c, d, m[12], sines[52], 6)
+    G5_MD5_STEP(fI, d, a, b, c, m[3], sines[53], 10)
+    G5_MD5_STEP(fI, c, d, a, b, m[10], sines[54], 15)
+    G5_MD5_STEP(fI, b, c, d, a, m[1], sines[55], 21)
+    G5_MD5_STEP(fI, a, b, c, d, m[8], sines[56], 6)
+    G5_MD5_STEP(fI, d, a, b, c, m[15], sines[57], 10)
+    G5_MD5_STEP(fI, c, d, a, b, m[6], sines[58], 15)
+    G5_MD5_STEP(fI, b, c, d, a, m[13], sines[59], 21)
+    G5_MD5_STEP(fI, a, b, c, d, m[4], sines[60], 6)
+    G5_MD5_STEP(fI, d, a, b, c, m[11], sines[61], 10)
+    G5_MD5_STEP(fI, c, d, a, b, m[2], sines[62], 15)
+    G5_MD5_STEP(fI, b, c, d, a, m[9], sines[63], 21)
 
     a0 += a;
     b0 += b;
@@ -104,7 +179,8 @@ Md5::update(const void *data, std::size_t len)
     const auto *bytes = static_cast<const std::uint8_t *>(data);
     totalLen += len;
 
-    while (len > 0) {
+    // Top up a ragged head left by a previous update.
+    if (bufferLen > 0) {
         std::size_t take = std::min<std::size_t>(len, 64 - bufferLen);
         std::memcpy(buffer + bufferLen, bytes, take);
         bufferLen += take;
@@ -114,6 +190,17 @@ Md5::update(const void *data, std::size_t len)
             processBlock(buffer);
             bufferLen = 0;
         }
+    }
+    // Whole blocks hash straight from the caller's memory; only the
+    // tail below ever touches the staging buffer.
+    while (len >= 64) {
+        processBlock(bytes);
+        bytes += 64;
+        len -= 64;
+    }
+    if (len > 0) {
+        std::memcpy(buffer, bytes, len);
+        bufferLen = len;
     }
 }
 

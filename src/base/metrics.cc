@@ -76,6 +76,15 @@ entryFor(std::string_view name, Make make)
 
 } // anonymous namespace
 
+std::size_t
+Counter::laneFor()
+{
+    static std::atomic<std::size_t> next{0};
+    thread_local std::size_t lane =
+        next.fetch_add(1, std::memory_order_relaxed) % laneCount;
+    return lane;
+}
+
 Histogram::Histogram(std::vector<double> bounds)
     : bounds(std::move(bounds)), buckets(this->bounds.size() + 1)
 {

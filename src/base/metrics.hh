@@ -27,6 +27,7 @@
 #ifndef G5_BASE_METRICS_HH
 #define G5_BASE_METRICS_HH
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <string>
@@ -38,25 +39,49 @@
 namespace g5::metrics
 {
 
-/** A monotonically increasing counter. Relaxed-atomic increments. */
+/**
+ * A monotonically increasing counter, striped across cache lines:
+ * each thread increments its own lane, so a counter on a lock-free
+ * hot path (every document-db read increments one) never bounces a
+ * shared cache line between cores. value() sums the lanes — exact
+ * once writers are quiescent, monotonically fresh while they are not.
+ */
 class Counter
 {
   public:
     void
     inc(std::int64_t n = 1)
     {
-        val.fetch_add(n, std::memory_order_relaxed);
+        lanes[laneFor()].val.fetch_add(n, std::memory_order_relaxed);
     }
 
     std::int64_t value() const
     {
-        return val.load(std::memory_order_relaxed);
+        std::int64_t total = 0;
+        for (const Lane &l : lanes)
+            total += l.val.load(std::memory_order_relaxed);
+        return total;
     }
 
-    void reset() { val.store(0, std::memory_order_relaxed); }
+    void
+    reset()
+    {
+        for (Lane &l : lanes)
+            l.val.store(0, std::memory_order_relaxed);
+    }
 
   private:
-    std::atomic<std::int64_t> val{0};
+    struct alignas(64) Lane
+    {
+        std::atomic<std::int64_t> val{0};
+    };
+
+    static constexpr std::size_t laneCount = 16;
+
+    /** This thread's lane: assigned round-robin on first use. */
+    static std::size_t laneFor();
+
+    std::array<Lane, laneCount> lanes{};
 };
 
 /** A settable level (queue depth, live workers). Relaxed-atomic. */

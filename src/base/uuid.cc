@@ -1,7 +1,6 @@
 #include "base/uuid.hh"
 
 #include <cstdint>
-#include <mutex>
 #include <random>
 
 #include "base/logging.hh"
@@ -63,15 +62,14 @@ Uuid::Uuid(const std::string &t)
 Uuid
 Uuid::generate()
 {
-    static std::mutex mtx;
-    static Rng *rng = nullptr;
-    std::lock_guard<std::mutex> lock(mtx);
-    if (!rng) {
+    // One generator per thread, each seeded independently from the
+    // OS: ids are minted on the document-insert hot path, where a
+    // process-wide mutex would serialize otherwise-lock-free writers.
+    thread_local Rng rng = [] {
         std::random_device rd;
-        std::uint64_t seed = (std::uint64_t(rd()) << 32) ^ rd();
-        rng = new Rng(seed);
-    }
-    return generateFrom(*rng);
+        return Rng((std::uint64_t(rd()) << 32) ^ rd());
+    }();
+    return generateFrom(rng);
 }
 
 Uuid

@@ -1,18 +1,17 @@
 #include "db/collection.hh"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 
 #include "base/logging.hh"
 #include "base/str.hh"
 #include "base/uuid.hh"
 #include "db/query.hh"
+#include "db/s5db.hh"
 
 namespace g5::db
 {
-
-Collection::Collection(std::string name)
-    : collName(std::move(name))
-{}
 
 namespace
 {
@@ -61,7 +60,48 @@ canonicalize(const Json &value, std::string &out)
     value.dumpTo(out);
 }
 
+/** FNV-1a 64 over an _id, forced nonzero (0 means "empty cell"). */
+std::uint64_t
+idHash(std::string_view id)
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (unsigned char c : id) {
+        h ^= c;
+        h *= 0x100000001b3ull;
+    }
+    return h ? h : 1;
+}
+
+/** Process-unique Collection instance ids (thread-local cache keys). */
+std::atomic<std::uint64_t> nextInstId{1};
+
 } // anonymous namespace
+
+/**
+ * The reader fast path's per-thread snapshot cache: a small direct-
+ * mapped array of pinned Views keyed by collection instance id. In the
+ * steady state a read costs one acquire load of the version counter; a
+ * shared_ptr is only copied (one contended refcount bump) when the
+ * writer has published a newer version since this thread last looked.
+ * The pinned View also keeps the returned reference stable for the
+ * duration of the read operation.
+ */
+namespace
+{
+
+struct TlsViewSlot
+{
+    std::uint64_t collId = 0;
+    std::uint64_t version = 0;
+    std::shared_ptr<const Collection::View> view;
+};
+
+constexpr std::size_t tlsViewSlots = 8;
+thread_local std::array<TlsViewSlot, tlsViewSlots> tlsViewCache;
+
+} // anonymous namespace
+
+// --- index keys --------------------------------------------------------
 
 std::string
 Collection::indexKey(const Json &value)
@@ -71,118 +111,536 @@ Collection::indexKey(const Json &value)
     return out;
 }
 
-std::vector<std::string>
-Collection::indexKeysFor(const Json &value)
+Collection::IndexKey
+Collection::indexKeyOf(const Json &value)
 {
-    std::vector<std::string> keys;
-    keys.push_back(indexKey(value));
-    if (value.isArray()) {
-        for (const auto &elem : value.asArray()) {
-            std::string k = indexKey(elem);
-            if (std::find(keys.begin(), keys.end(), k) == keys.end())
-                keys.push_back(std::move(k));
-        }
+    // Class bytes order null < bool < number < string < composite so a
+    // range scan never crosses a type boundary unnoticed.
+    IndexKey k;
+    switch (value.type()) {
+      case Json::Type::Null:
+        k.cls = 0;
+        return k;
+      case Json::Type::Bool:
+        k.cls = 1;
+        k.num = value.asBool() ? 1.0 : 0.0;
+        return k;
+      case Json::Type::Int:
+      case Json::Type::Double:
+        k.cls = 2;
+        k.num = value.asDouble();
+        if (std::isnan(k.num))
+            k.num = 0.0; // keep operator< a strict weak order
+        k.str = indexKey(value); // canonical digits break double ties
+        return k;
+      case Json::Type::String:
+        k.cls = 3;
+        k.str = value.asString();
+        return k;
+      case Json::Type::Array:
+      case Json::Type::Object:
+        k.cls = 4;
+        k.str = indexKey(value);
+        return k;
     }
-    return keys;
+    return k;
 }
 
 void
-Collection::indexDoc(const Json &doc, const std::string &id)
+Collection::indexKeysFor(const Json &value, std::vector<IndexKey> &keys)
 {
-    for (auto &entry : indexes) {
+    keys.push_back(indexKeyOf(value));
+    if (!value.isArray())
+        return;
+    for (const auto &elem : value.asArray()) {
+        IndexKey k = indexKeyOf(elem);
+        bool dup = false;
+        for (const auto &seen : keys) {
+            if (!(seen < k) && !(k < seen)) {
+                dup = true;
+                break;
+            }
+        }
+        if (!dup)
+            keys.push_back(std::move(k));
+    }
+}
+
+// --- append-only bucket ------------------------------------------------
+
+Collection::Bucket::~Bucket()
+{
+    Node *n = head.next.load(std::memory_order_relaxed);
+    while (n != nullptr) {
+        Node *next = n->next.load(std::memory_order_relaxed);
+        delete n;
+        n = next;
+    }
+}
+
+void
+Collection::Bucket::append(std::uint32_t slot)
+{
+    // The flag is stored BEFORE the cell (which is released): a reader
+    // whose cell acquire observes the out-of-order slot is guaranteed
+    // to observe unsorted too.
+    if (seeded && slot <= lastSlot)
+        unsorted.store(true, std::memory_order_relaxed);
+    lastSlot = slot;
+    seeded = true;
+    if (tailUsed == nodeCap) {
+        Node *n = new Node;
+        tail->next.store(n, std::memory_order_release);
+        tail = n;
+        tailUsed = 0;
+    }
+    tail->cells[tailUsed++].store(slot, std::memory_order_release);
+    count.fetch_add(1, std::memory_order_relaxed);
+}
+
+// --- View --------------------------------------------------------------
+
+void
+Collection::View::forEach(const std::function<void(const Json &)> &fn)
+    const
+{
+    for (std::uint32_t s = 0; s < slotCount; ++s) {
+        const Json *d = docAt(s);
+        if (d != nullptr)
+            fn(*d);
+    }
+}
+
+const Json *
+Collection::View::byId(std::string_view id) const
+{
+    std::uint32_t slot = probeId(*spine, *ids, slotCount, id);
+    return slot == emptySlot ? nullptr : docAt(slot);
+}
+
+std::uint32_t
+Collection::probeId(const Spine &spine, const IdTable &ids,
+                    std::uint32_t slot_count, std::string_view id)
+{
+    std::uint64_t h = idHash(id);
+    std::size_t i = h & ids.mask;
+    for (;;) {
+        std::uint64_t cell = ids.hashes[i].load(std::memory_order_acquire);
+        if (cell == 0)
+            return emptySlot;
+        if (cell == h) {
+            std::uint32_t s = ids.slots[i].load(std::memory_order_relaxed);
+            if (s < slot_count) {
+                const Json *d = spine[s >> chunkShift]
+                                    ->docs[s & (chunkCap - 1)]
+                                    .get();
+                if (d != nullptr) {
+                    const Json *did = d->find("_id");
+                    if (did != nullptr && did->isString() &&
+                        did->asString() == id) {
+                        return s;
+                    }
+                }
+            }
+        }
+        i = (i + 1) & ids.mask;
+    }
+}
+
+// --- construction / publication ----------------------------------------
+
+Collection::Collection(std::string name)
+    : collName(std::move(name)),
+      instId(nextInstId.fetch_add(1, std::memory_order_relaxed))
+{
+    wr.spine = std::make_shared<Spine>();
+    wr.ids = std::make_shared<IdTable>(16);
+    wr.indexes = std::make_shared<const IndexMap>();
+    publish();
+}
+
+Collection::~Collection() = default;
+
+void
+Collection::publish()
+{
+    ++wr.version;
+    auto v = std::make_shared<View>();
+    v->spine = wr.spine;
+    v->ids = wr.ids;
+    v->indexes = wr.indexes;
+    v->slotCount = wr.slotCount;
+    v->liveCount = wr.liveCount;
+    v->version = wr.version;
+    // Order matters: the View first, then the version counter readers
+    // poll — a reader observing version N is guaranteed to load a View
+    // at least that new.
+    pubView.store(std::move(v), std::memory_order_release);
+    pubVersion.store(wr.version, std::memory_order_release);
+}
+
+std::shared_ptr<const Collection::View>
+Collection::view() const
+{
+    return pubView.load(std::memory_order_acquire);
+}
+
+const Collection::View &
+Collection::viewRef() const
+{
+    TlsViewSlot &e = tlsViewCache[instId % tlsViewSlots];
+    std::uint64_t v = pubVersion.load(std::memory_order_acquire);
+    if (e.collId != instId || e.version < v || !e.view) {
+        e.view = pubView.load(std::memory_order_acquire);
+        e.collId = instId;
+        e.version = e.view->version;
+    }
+    return *e.view;
+}
+
+Collection::View
+Collection::writerView() const
+{
+    View v;
+    v.spine = wr.spine;
+    v.ids = wr.ids;
+    v.indexes = wr.indexes;
+    v.slotCount = wr.slotCount;
+    v.liveCount = wr.liveCount;
+    v.version = wr.version;
+    return v;
+}
+
+// --- writer-side storage primitives ------------------------------------
+
+Collection::Chunk *
+Collection::chunkForWrite(std::uint32_t slot)
+{
+    // COW both the spine and the chunk: a published View may share them.
+    auto spine = std::make_shared<Spine>(*wr.spine);
+    std::size_t ci = slot >> chunkShift;
+    auto chunk = std::make_shared<Chunk>(*(*spine)[ci]);
+    Chunk *raw = chunk.get();
+    (*spine)[ci] = std::move(chunk);
+    wr.spine = std::move(spine);
+    return raw;
+}
+
+void
+Collection::idInsertRaw(IdTable &t, std::uint64_t h, std::uint32_t slot)
+{
+    std::size_t i = h & t.mask;
+    while (t.hashes[i].load(std::memory_order_relaxed) != 0)
+        i = (i + 1) & t.mask;
+    // Slot first, then the hash with release: a reader that acquires
+    // the hash is guaranteed to read the matching slot.
+    t.slots[i].store(slot, std::memory_order_relaxed);
+    t.hashes[i].store(h, std::memory_order_release);
+    ++t.filled;
+}
+
+void
+Collection::idTableInsert(std::string_view id, std::uint32_t slot)
+{
+    if ((wr.ids->filled + 1) * 2 > wr.ids->hashes.size()) {
+        // Half full: rebuild at 4x the live count, dropping entries
+        // staled by deletes (only live documents are re-entered).
+        std::size_t cap = 16;
+        while (cap < std::size_t(wr.liveCount + 1) * 4)
+            cap <<= 1;
+        auto t = std::make_shared<IdTable>(cap);
+        for (std::uint32_t s = 0; s < wr.slotCount; ++s) {
+            const Json *d =
+                (*wr.spine)[s >> chunkShift]->docs[s & (chunkCap - 1)].get();
+            if (d == nullptr)
+                continue;
+            idInsertRaw(*t, idHash(d->getString("_id")), s);
+        }
+        wr.ids = std::move(t);
+    }
+    idInsertRaw(*wr.ids, idHash(id), slot);
+}
+
+void
+Collection::bucketAppend(std::shared_ptr<IndexMap> &cow,
+                         const std::string &field, IndexKey key,
+                         std::uint32_t slot)
+{
+    const std::shared_ptr<const FieldIndex> &cur =
+        cow ? cow->at(field) : wr.indexes->at(field);
+    auto it = cur->buckets.find(key);
+    if (it != cur->buckets.end()) {
+        // Existing key: grow the shared bucket in place, no COW at all.
+        it->second->append(slot);
+        return;
+    }
+    // New distinct key: clone the directory (bucket pointers are
+    // shared, so this costs one map copy) and the index map once.
+    if (!cow)
+        cow = std::make_shared<IndexMap>(*wr.indexes);
+    auto fi = std::make_shared<FieldIndex>(*cur);
+    auto bucket = std::make_shared<Bucket>();
+    bucket->append(slot);
+    fi->buckets.emplace(std::move(key), std::move(bucket));
+    (*cow)[field] = std::move(fi);
+}
+
+void
+Collection::indexDoc(const Json &doc, std::uint32_t slot)
+{
+    if (wr.indexes->empty())
+        return;
+    std::shared_ptr<IndexMap> cow;
+    std::vector<IndexKey> keys;
+    for (const auto &entry : *wr.indexes) {
         const Json *v = doc.find(entry.first);
-        if (!v)
+        if (v == nullptr)
             continue; // sparse
+        keys.clear();
         if (!v->isArray()) {
             // Scalar values (the overwhelmingly common case) have
             // exactly one key; skip the multikey vector entirely.
-            entry.second.buckets[indexKey(*v)].push_back(id);
+            bucketAppend(cow, entry.first, indexKeyOf(*v), slot);
             continue;
         }
-        for (const auto &key : indexKeysFor(*v))
-            entry.second.buckets[key].push_back(id);
+        indexKeysFor(*v, keys);
+        for (auto &key : keys)
+            bucketAppend(cow, entry.first, std::move(key), slot);
     }
+    if (cow)
+        wr.indexes = std::move(cow);
 }
 
 void
-Collection::unindexDoc(const Json &doc, const std::string &id)
+Collection::indexDocDiff(const Json &new_doc, const Json &old_doc,
+                         std::uint32_t slot)
 {
-    auto removeKey = [](FieldIndex &fi, const std::string &key,
-                            const std::string &id_) {
-        auto it = fi.buckets.find(key);
-        if (it == fi.buckets.end())
-            return;
-        auto &ids = it->second;
-        ids.erase(std::remove(ids.begin(), ids.end(), id_), ids.end());
-        if (ids.empty())
-            fi.buckets.erase(it);
+    if (wr.indexes->empty())
+        return;
+    std::shared_ptr<IndexMap> cow;
+    std::vector<IndexKey> nk, ok;
+    auto same = [](const IndexKey &a, const IndexKey &b) {
+        return !(a < b) && !(b < a);
     };
-    for (auto &entry : indexes) {
-        const Json *v = doc.find(entry.first);
-        if (!v)
-            continue;
-        if (!v->isArray()) {
-            removeKey(entry.second, indexKey(*v), id);
-            continue;
+    for (const auto &entry : *wr.indexes) {
+        const Json *nv = new_doc.find(entry.first);
+        const Json *ov = old_doc.find(entry.first);
+        nk.clear();
+        ok.clear();
+        if (nv != nullptr)
+            indexKeysFor(*nv, nk);
+        if (ov != nullptr)
+            indexKeysFor(*ov, ok);
+        for (auto &k : nk) {
+            bool unchanged = false;
+            for (const auto &o : ok) {
+                if (same(k, o)) {
+                    unchanged = true;
+                    break;
+                }
+            }
+            if (!unchanged)
+                bucketAppend(cow, entry.first, std::move(k), slot);
         }
-        for (const auto &key : indexKeysFor(*v))
-            removeKey(entry.second, key, id);
+        // Keys the document left keep a stale cell behind; count them
+        // toward the compaction trigger.
+        for (const auto &o : ok) {
+            bool still = false;
+            for (const auto &k : nk) {
+                if (same(k, o)) {
+                    still = true;
+                    break;
+                }
+            }
+            if (!still)
+                ++wr.garbage;
+        }
     }
+    if (cow)
+        wr.indexes = std::move(cow);
 }
 
-Collection::FieldIndex
-Collection::buildIndex(const std::string &field_path, bool unique) const
+std::uint32_t
+Collection::appendDoc(Json &&doc, const std::string &id)
 {
-    FieldIndex fi;
-    fi.unique = unique;
-    for (const auto &doc : docs) {
-        const Json *v = doc.find(field_path);
-        if (!v)
-            continue;
-        const std::string id = doc.getString("_id");
-        for (const auto &key : indexKeysFor(*v))
-            fi.buckets[key].push_back(id);
+    return appendStored(std::make_shared<const Json>(std::move(doc)), id);
+}
+
+std::uint32_t
+Collection::appendStored(std::shared_ptr<const Json> stored,
+                         const std::string &id)
+{
+    std::uint32_t slot = wr.slotCount;
+    std::size_t ci = slot >> chunkShift;
+    if (ci == wr.spine->size()) {
+        // Out of spine capacity: COW-grow geometrically. Published
+        // Views iterate the old vector, so it is copied, never
+        // resized; the doubled tail stays null until appends reach
+        // it, which keeps total spine-copy work linear instead of
+        // quadratic in the document count.
+        auto spine =
+            std::make_shared<Spine>(std::max<std::size_t>(4, ci * 2));
+        std::copy(wr.spine->begin(), wr.spine->end(), spine->begin());
+        wr.spine = std::move(spine);
     }
-    return fi;
+    if ((*wr.spine)[ci] == nullptr) {
+        // Null tail entry: allocate the chunk in place even though the
+        // spine may be shared — every reader bounds its spine indexing
+        // by the slotCount its View published, so this element is
+        // unreachable until the next publish().
+        (*wr.spine)[ci] = std::make_shared<Chunk>();
+    }
+    const Json &ref = *stored;
+    // Filling a never-published slot is the write-once append: the
+    // store becomes visible to readers only through the next publish().
+    (*wr.spine)[slot >> chunkShift]->docs[slot & (chunkCap - 1)] =
+        std::move(stored);
+    idTableInsert(id, slot);
+    indexDoc(ref, slot);
+    wr.slotCount = slot + 1;
+    ++wr.liveCount;
+    return slot;
+}
+
+std::size_t
+Collection::removeSlots(const std::vector<std::uint32_t> &slots)
+{
+    if (slots.empty())
+        return 0;
+    auto spine = std::make_shared<Spine>(*wr.spine);
+    std::size_t prev_ci = std::size_t(-1);
+    Chunk *ch = nullptr;
+    for (std::uint32_t s : slots) { // sorted: one COW per touched chunk
+        std::size_t ci = s >> chunkShift;
+        if (ci != prev_ci) {
+            auto chunk = std::make_shared<Chunk>(*(*spine)[ci]);
+            ch = chunk.get();
+            (*spine)[ci] = std::move(chunk);
+            prev_ci = ci;
+        }
+        ch->docs[s & (chunkCap - 1)].reset(); // tombstone
+    }
+    wr.spine = std::move(spine);
+    wr.liveCount -= std::uint32_t(slots.size());
+    wr.garbage += slots.size();
+    return slots.size();
 }
 
 void
-Collection::checkUnique(const Json &doc, const std::string &skip_id) const
+Collection::rebuildStorage()
 {
-    for (const auto &field : uniqueFields) {
+    // Collect the live documents in insertion order; the Json objects
+    // themselves are shared with old snapshots, never copied.
+    std::vector<std::shared_ptr<const Json>> live;
+    live.reserve(wr.liveCount);
+    for (std::uint32_t s = 0; s < wr.slotCount; ++s) {
+        const auto &p = (*wr.spine)[s >> chunkShift]->docs[s & (chunkCap - 1)];
+        if (p)
+            live.push_back(p);
+    }
+
+    auto spine = std::make_shared<Spine>();
+    std::size_t cap = 16;
+    while (cap < (live.size() + 1) * 4)
+        cap <<= 1;
+    auto ids = std::make_shared<IdTable>(cap);
+    // Fresh directories with the same definitions but empty buckets.
+    auto map = std::make_shared<IndexMap>();
+    for (const auto &entry : *wr.indexes) {
+        auto fi = std::make_shared<FieldIndex>();
+        fi->unique = entry.second->unique;
+        (*map)[entry.first] = std::move(fi);
+    }
+    wr.spine = std::move(spine);
+    wr.ids = std::move(ids);
+    wr.indexes = std::move(map);
+    wr.slotCount = 0;
+    wr.liveCount = 0;
+    wr.garbage = 0;
+
+    for (auto &p : live) {
+        std::uint32_t slot = wr.slotCount;
+        if ((slot >> chunkShift) == wr.spine->size())
+            // Freshly-built spine: never published, mutate in place.
+            wr.spine->push_back(std::make_shared<Chunk>());
+        (*wr.spine)[slot >> chunkShift]->docs[slot & (chunkCap - 1)] = p;
+        idTableInsert(p->getString("_id"), slot);
+        indexDoc(*p, slot);
+        wr.slotCount = slot + 1;
+        ++wr.liveCount;
+    }
+}
+
+void
+Collection::maybeCompactStorage()
+{
+    // Tombstoned slots and stale index cells are reclaimed wholesale
+    // once they outnumber the live documents (with a floor so small
+    // collections never churn). Old snapshots keep the old structures
+    // alive until their last reader drops them.
+    if (wr.garbage > 64 && wr.garbage > wr.liveCount) {
+        rebuildStorage();
+        publish();
+    }
+}
+
+// --- uniqueness --------------------------------------------------------
+
+void
+Collection::checkUnique(const Json &doc, std::string_view skip_id)
+{
+    for (const auto &entry : *wr.indexes) {
+        const FieldIndex &fi = *entry.second;
+        if (!fi.unique)
+            continue;
+        const std::string &field = entry.first;
         const Json *v = doc.find(field);
-        if (!v || v->isNull())
+        if (v == nullptr || v->isNull())
             continue; // sparse semantics
-        auto idx = indexes.find(field);
-        if (idx == indexes.end())
+        auto it = fi.buckets.find(indexKeyOf(*v));
+        if (it == fi.buckets.end())
             continue;
-        auto bucket = idx->second.buckets.find(indexKey(*v));
-        if (bucket == idx->second.buckets.end())
-            continue;
-        for (const auto &id : bucket->second) {
-            if (id == skip_id)
-                continue;
-            const Json &other = docs[byId.at(id)];
-            const Json *ov = other.find(field);
-            if (ov && *ov == *v) {
-                throw DuplicateKeyError(
-                    "collection '" + collName + "': duplicate value " +
-                    v->dump() + " for unique field '" + field + "'");
-            }
+        bool dup = false;
+        it->second->forEachSlot([&](std::uint32_t s) {
+            if (dup || s >= wr.slotCount)
+                return;
+            const Json *other =
+                (*wr.spine)[s >> chunkShift]->docs[s & (chunkCap - 1)].get();
+            if (other == nullptr)
+                return; // staled by a delete
+            const Json *oid = other->find("_id");
+            if (oid != nullptr && oid->isString() &&
+                oid->asString() == skip_id)
+                return;
+            const Json *ov = other->find(field);
+            if (ov != nullptr && *ov == *v)
+                dup = true;
+        });
+        if (dup) {
+            throw DuplicateKeyError(
+                "collection '" + collName + "': duplicate value " +
+                v->dump() + " for unique field '" + field + "'");
         }
     }
 }
+
+// --- oplog -------------------------------------------------------------
 
 void
 Collection::logInsert(const Json &doc)
 {
     if (!oplogEnabled)
         return;
-    // Serialize straight into the append buffer: WAL records never
-    // exist as a separate intermediate string.
-    oplog += "{\"op\":\"i\",\"doc\":";
-    doc.dumpTo(oplog);
-    oplog += "}\n";
+    if (walFmt == WalFormat::Binary) {
+        s5db::appendInsertOp(oplog, doc);
+    } else {
+        // Serialize straight into the append buffer: WAL records never
+        // exist as a separate intermediate string.
+        oplog += "{\"op\":\"i\",\"doc\":";
+        doc.dumpTo(oplog);
+        oplog += "}\n";
+    }
+    dirtyFlag.store(true, std::memory_order_release);
 }
 
 void
@@ -190,9 +648,14 @@ Collection::logUpdate(const Json &doc)
 {
     if (!oplogEnabled)
         return;
-    oplog += "{\"op\":\"u\",\"doc\":";
-    doc.dumpTo(oplog);
-    oplog += "}\n";
+    if (walFmt == WalFormat::Binary) {
+        s5db::appendUpdateOp(oplog, doc);
+    } else {
+        oplog += "{\"op\":\"u\",\"doc\":";
+        doc.dumpTo(oplog);
+        oplog += "}\n";
+    }
+    dirtyFlag.store(true, std::memory_order_release);
 }
 
 void
@@ -200,325 +663,476 @@ Collection::logDelete(const std::vector<std::string> &ids)
 {
     if (!oplogEnabled || ids.empty())
         return;
-    Json rec = Json::object();
-    rec["op"] = "d";
-    Json arr = Json::array();
-    for (const auto &id : ids)
-        arr.push(id);
-    rec["ids"] = std::move(arr);
-    rec.dumpTo(oplog);
-    oplog += '\n';
+    if (walFmt == WalFormat::Binary) {
+        s5db::appendDeleteOp(oplog, ids);
+    } else {
+        Json rec = Json::object();
+        rec["op"] = "d";
+        Json arr = Json::array();
+        for (const auto &id : ids)
+            arr.push(id);
+        rec["ids"] = std::move(arr);
+        rec.dumpTo(oplog);
+        oplog += '\n';
+    }
+    dirtyFlag.store(true, std::memory_order_release);
 }
+
+// --- CRUD --------------------------------------------------------------
 
 std::string
 Collection::insertOne(Json doc)
 {
-    std::unique_lock<std::shared_mutex> lock(mtx);
     if (!doc.isObject())
         fatal("collection '" + collName + "': documents must be objects");
 
+    // Everything that needs no writer state happens before the writer
+    // lock — id assignment, the document's heap home, and the encoded
+    // WAL record — so concurrent inserters serialize only on the
+    // structural append and publish. (oplogEnabled/walFmt are fixed at
+    // load time and only change while the collection is quiescent.)
     std::string id = doc.getString("_id");
     if (id.empty()) {
         id = Uuid::generate().str();
         doc["_id"] = id;
     }
-    if (byId.count(id)) {
+    auto stored = std::make_shared<const Json>(std::move(doc));
+    // Reused per thread so steady-state encoding never reallocates;
+    // consumed (appended to the oplog) before insertOne returns.
+    static thread_local std::string op;
+    op.clear();
+    if (oplogEnabled) {
+        if (walFmt == WalFormat::Binary) {
+            s5db::appendInsertOp(op, *stored);
+        } else {
+            op += "{\"op\":\"i\",\"doc\":";
+            stored->dumpTo(op);
+            op += "}\n";
+        }
+    }
+
+    std::lock_guard<std::mutex> lock(writerMtx);
+    if (probeId(*wr.spine, *wr.ids, wr.slotCount, id) != emptySlot) {
         throw DuplicateKeyError("collection '" + collName +
                                 "': duplicate _id '" + id + "'");
     }
-    checkUnique(doc, id);
+    checkUnique(*stored, id);
 
-    byId[id] = docs.size();
-    indexDoc(doc, id);
-    logInsert(doc);
-    docs.push_back(std::move(doc));
+    if (!op.empty()) {
+        oplog += op;
+        dirtyFlag.store(true, std::memory_order_release);
+    }
+    appendStored(std::move(stored), id);
+    publish();
     insertsC.inc();
     return id;
 }
 
 bool
-Collection::planCandidates(const Json &query,
-                           std::vector<std::size_t> &positions) const
+Collection::planCandidates(const View &v, const Json &query,
+                           std::vector<std::uint32_t> &slots)
 {
     if (!query.isObject())
         return false;
 
-    const std::vector<std::string> *bucket = nullptr;
+    const Bucket *best = nullptr;
+    const Json *rangeCondField = nullptr;
+    const FieldIndex *rangeIdx = nullptr;
     for (const auto &kv : query.asObject()) {
         const std::string &key = kv.first;
         if (!key.empty() && key[0] == '$')
             continue; // combinators don't constrain a single field
-        const Json *operand = equalityOperand(kv.second);
-        if (!operand)
-            continue;
 
         if (key == "_id") {
+            const Json *operand = equalityOperand(kv.second);
+            if (!operand)
+                continue;
             // The primary index answers this one exactly.
-            positions.clear();
+            slots.clear();
             if (operand->isString()) {
-                auto it = byId.find(operand->asString());
-                if (it != byId.end())
-                    positions.push_back(it->second);
+                std::uint32_t s = probeId(*v.spine, *v.ids, v.slotCount,
+                                          operand->asString());
+                if (s != emptySlot)
+                    slots.push_back(s);
             }
             return true;
         }
 
-        auto idx = indexes.find(key);
-        if (idx == indexes.end())
+        auto idx = v.indexes->find(key);
+        if (idx == v.indexes->end())
             continue;
-        auto b = idx->second.buckets.find(indexKey(*operand));
-        if (b == idx->second.buckets.end()) {
-            positions.clear();
-            return true; // indexed field, no candidates at all
+        const FieldIndex &fi = *idx->second;
+
+        if (const Json *operand = equalityOperand(kv.second)) {
+            auto b = fi.buckets.find(indexKeyOf(*operand));
+            if (b == fi.buckets.end()) {
+                slots.clear();
+                return true; // indexed field, no candidates at all
+            }
+            // Prefer the most selective index available.
+            if (!best ||
+                b->second->count.load(std::memory_order_relaxed) <
+                    best->count.load(std::memory_order_relaxed)) {
+                best = b->second.get();
+            }
+            continue;
         }
-        // Prefer the most selective index available.
-        if (!bucket || b->second.size() < bucket->size())
-            bucket = &b->second;
+
+        // No equality: remember the first indexed range condition as a
+        // fallback plan (equality probes win when present).
+        if (!rangeCondField && rangeBounds(kv.second).usable()) {
+            rangeCondField = &kv.second;
+            rangeIdx = &fi;
+        }
     }
 
-    if (!bucket)
+    slots.clear();
+    bool presorted = false;
+    if (best) {
+        // Insert-only buckets hold ascending slots already; only
+        // update churn (unsorted) forces the sort+dedup pass below.
+        presorted = !best->unsorted.load(std::memory_order_acquire);
+        best->forEachSlot([&](std::uint32_t s) {
+            if (s < v.slotCount)
+                slots.push_back(s);
+        });
+    } else if (rangeCondField) {
+        RangeBounds rb = rangeBounds(*rangeCondField);
+        // Bound the sorted-bucket walk by the operand's class; the
+        // bounds only have to be conservative (candidates are always
+        // re-filtered), so strictness and exact canonical ties are
+        // left to matches().
+        const Json *probe = rb.lo ? rb.lo : rb.hi;
+        IndexKey loKey;
+        if (probe->isNumber() || probe->isBool()) {
+            loKey = rb.lo ? indexKeyOf(*rb.lo)
+                          : IndexKey{indexKeyOf(*probe).cls,
+                                     -std::numeric_limits<double>::infinity(),
+                                     ""};
+            loKey.str.clear(); // include canonical ties at the bound
+        } else if (probe->isString()) {
+            loKey.cls = 3;
+            if (rb.lo)
+                loKey.str = rb.lo->asString();
+        } else {
+            return false; // unorderable operand: fall back to a scan
+        }
+        if (std::isnan(loKey.num))
+            return false;
+        std::uint8_t cls = loKey.cls;
+        for (auto it = rangeIdx->buckets.lower_bound(loKey);
+             it != rangeIdx->buckets.end(); ++it) {
+            const IndexKey &k = it->first;
+            if (k.cls != cls)
+                break;
+            if (rb.hi) {
+                if (cls == 3) {
+                    if (k.str > rb.hi->asString())
+                        break;
+                } else if (k.num > rb.hi->asDouble()) {
+                    break;
+                }
+            }
+            it->second->forEachSlot([&](std::uint32_t s) {
+                if (s < v.slotCount)
+                    slots.push_back(s);
+            });
+        }
+    } else {
         return false;
-    positions.clear();
-    positions.reserve(bucket->size());
-    for (const auto &id : *bucket)
-        positions.push_back(byId.at(id));
-    std::sort(positions.begin(), positions.end());
+    }
+
+    // Buckets accumulate duplicates when updates re-append a slot and
+    // stale cells when documents change; sort for insertion order and
+    // dedup before the caller filters. Range walks concatenate several
+    // buckets, so they always pay this pass.
+    if (!presorted) {
+        std::sort(slots.begin(), slots.end());
+        slots.erase(std::unique(slots.begin(), slots.end()),
+                    slots.end());
+    }
     return true;
+}
+
+namespace
+{
+
+/**
+ * Per-thread candidate-slot scratch for the read paths: a query's
+ * planning never spans user code, so reusing one buffer is safe and
+ * keeps indexed probes allocation-free after warmup.
+ */
+std::vector<std::uint32_t> &
+candScratch()
+{
+    static thread_local std::vector<std::uint32_t> v;
+    v.clear();
+    return v;
+}
+
+} // anonymous namespace
+
+std::uint32_t
+Collection::findFirstSlot(const View &v, const Json &query)
+{
+    std::vector<std::uint32_t> &cand = candScratch();
+    if (planCandidates(v, query, cand)) {
+        for (std::uint32_t s : cand) {
+            const Json *d = v.docAt(s);
+            if (d != nullptr && db::matches(*d, query))
+                return s;
+        }
+        return emptySlot;
+    }
+    CompiledQuery cq(query);
+    for (std::uint32_t s = 0; s < v.slotCount; ++s) {
+        const Json *d = v.docAt(s);
+        if (d != nullptr && cq.matches(*d))
+            return s;
+    }
+    return emptySlot;
 }
 
 std::vector<Json>
 Collection::find(const Json &query) const
 {
-    std::shared_lock<std::shared_mutex> lock(mtx);
     queriesC.inc();
+    const View &v = viewRef();
     std::vector<Json> out;
-    std::vector<std::size_t> cand;
-    if (planCandidates(query, cand)) {
+    std::vector<std::uint32_t> &cand = candScratch();
+    if (planCandidates(v, query, cand)) {
+        plannedC.inc();
         // Indexed probes yield a handful of candidates; interpreting
         // the query directly beats paying compilation for so few docs.
-        for (std::size_t pos : cand)
-            if (db::matches(docs[pos], query))
-                out.push_back(docs[pos]);
+        for (std::uint32_t s : cand) {
+            const Json *d = v.docAt(s);
+            if (d != nullptr && db::matches(*d, query))
+                out.push_back(*d);
+        }
         return out;
     }
-    // Full scan: compile once so every dotted path in the query is
-    // split here, not once per scanned document.
+    // Full scan against the snapshot: compile once so every dotted
+    // path in the query is split here, not once per scanned document.
     CompiledQuery cq(query);
-    for (const auto &doc : docs)
-        if (cq.matches(doc))
-            out.push_back(doc);
-    return out;
-}
-
-std::size_t
-Collection::findFirstPos(const Json &query) const
-{
-    std::vector<std::size_t> cand;
-    if (planCandidates(query, cand)) {
-        for (std::size_t pos : cand)
-            if (db::matches(docs[pos], query))
-                return pos;
-        return npos;
+    for (std::uint32_t s = 0; s < v.slotCount; ++s) {
+        const Json *d = v.docAt(s);
+        if (d != nullptr && cq.matches(*d))
+            out.push_back(*d);
     }
-    CompiledQuery cq(query);
-    for (std::size_t pos = 0; pos < docs.size(); ++pos)
-        if (cq.matches(docs[pos]))
-            return pos;
-    return npos;
+    return out;
 }
 
 Json
 Collection::findOne(const Json &query) const
 {
-    std::shared_lock<std::shared_mutex> lock(mtx);
     queriesC.inc();
-    std::size_t pos = findFirstPos(query);
-    return pos == npos ? Json() : docs[pos];
+    const View &v = viewRef();
+    std::uint32_t s = findFirstSlot(v, query);
+    return s == emptySlot ? Json() : *v.docAt(s);
 }
 
 Json
 Collection::findById(const std::string &id) const
 {
-    std::shared_lock<std::shared_mutex> lock(mtx);
     queriesC.inc();
-    auto it = byId.find(id);
-    if (it == byId.end())
-        return Json();
-    return docs[it->second];
+    const View &v = viewRef();
+    const Json *d = v.byId(id);
+    return d == nullptr ? Json() : *d;
 }
 
 std::size_t
 Collection::count(const Json &query) const
 {
-    std::shared_lock<std::shared_mutex> lock(mtx);
     queriesC.inc();
+    const View &v = viewRef();
     std::size_t n = 0;
-    std::vector<std::size_t> cand;
-    if (planCandidates(query, cand)) {
-        for (std::size_t pos : cand)
-            if (db::matches(docs[pos], query))
+    std::vector<std::uint32_t> &cand = candScratch();
+    if (planCandidates(v, query, cand)) {
+        plannedC.inc();
+        for (std::uint32_t s : cand) {
+            const Json *d = v.docAt(s);
+            if (d != nullptr && db::matches(*d, query))
                 ++n;
+        }
         return n;
     }
     CompiledQuery cq(query);
-    for (const auto &doc : docs)
-        if (cq.matches(doc))
+    for (std::uint32_t s = 0; s < v.slotCount; ++s) {
+        const Json *d = v.docAt(s);
+        if (d != nullptr && cq.matches(*d))
             ++n;
+    }
     return n;
 }
 
 std::size_t
 Collection::size() const
 {
-    std::shared_lock<std::shared_mutex> lock(mtx);
-    return docs.size();
+    return viewRef().size();
 }
 
 bool
 Collection::updateOne(const Json &query, const Json &update)
 {
-    std::unique_lock<std::shared_mutex> lock(mtx);
-    std::size_t pos = findFirstPos(query);
-    if (pos == npos)
+    std::lock_guard<std::mutex> lock(writerMtx);
+    View v = writerView();
+    std::uint32_t slot = findFirstSlot(v, query);
+    if (slot == emptySlot)
         return false;
-    Json &doc = docs[pos];
-    const std::string id = doc.getString("_id");
+    const Json &old = *v.docAt(slot);
+    const std::string id = old.getString("_id");
 
     bool has_op = update.isObject() &&
                   (update.contains("$set") || update.contains("$inc"));
 
+    Json updated;
     if (!has_op) {
-        // Replacement: a new document is unavoidable, but the old one
-        // is released rather than copied.
-        Json updated = update;
+        // Replacement document (keeps the _id).
+        updated = update;
         updated["_id"] = id;
-        unindexDoc(doc, id);
-        try {
-            checkUnique(updated, id);
-        } catch (...) {
-            indexDoc(doc, id);
-            throw;
+    } else {
+        updated = old;
+        if (update.contains("$set")) {
+            for (const auto &kv : update.at("$set").asObject())
+                updated[kv.first] = kv.second;
         }
-        doc = std::move(updated);
-        indexDoc(doc, id);
-        logUpdate(doc);
-        return true;
+        if (update.contains("$inc")) {
+            for (const auto &kv : update.at("$inc").asObject()) {
+                std::int64_t cur = updated.getInt(kv.first, 0);
+                updated[kv.first] = cur + kv.second.asInt();
+            }
+        }
     }
 
-    // Operator update: mutate the affected fields in place, keeping
-    // just enough of the old values to roll back a uniqueness failure.
-    Json::ObjectT &members = doc.asObject();
-    std::map<std::string, Json> savedVals;
-    std::set<std::string> savedAbsent;
-    auto snapshot = [&](const std::string &key) {
-        if (savedVals.count(key) || savedAbsent.count(key))
-            return;
-        auto it = members.find(key);
-        if (it == members.end())
-            savedAbsent.insert(key);
-        else
-            savedVals.emplace(key, it->second);
-    };
+    // Validate before touching any state: a DuplicateKeyError leaves
+    // the collection (and every published snapshot) untouched.
+    checkUnique(updated, id);
 
-    unindexDoc(doc, id);
-    if (update.contains("$set")) {
-        for (const auto &kv : update.at("$set").asObject()) {
-            snapshot(kv.first);
-            doc[kv.first] = kv.second;
-        }
-    }
-    if (update.contains("$inc")) {
-        for (const auto &kv : update.at("$inc").asObject()) {
-            snapshot(kv.first);
-            std::int64_t cur = doc.getInt(kv.first, 0);
-            doc[kv.first] = cur + kv.second.asInt();
-        }
-    }
-    try {
-        checkUnique(doc, id);
-    } catch (...) {
-        for (auto &kv : savedVals)
-            doc[kv.first] = std::move(kv.second);
-        for (const auto &key : savedAbsent)
-            members.erase(key);
-        indexDoc(doc, id);
-        throw;
-    }
-    indexDoc(doc, id);
-    logUpdate(doc);
+    logUpdate(updated);
+    auto stored = std::make_shared<const Json>(std::move(updated));
+    Chunk *ch = chunkForWrite(slot);
+    ch->docs[slot & (chunkCap - 1)] = stored;
+    indexDocDiff(*stored, old, slot);
+    publish();
     updatesC.inc();
+    maybeCompactStorage();
     return true;
 }
 
 std::size_t
 Collection::deleteMany(const Json &query)
 {
-    std::unique_lock<std::shared_mutex> lock(mtx);
-    // Compact in place: deleted documents leave byId and every field
-    // index incrementally; survivors only have their position refreshed.
-    std::size_t write = 0;
-    std::vector<std::string> removedIds;
-    CompiledQuery cq(query);
-    for (std::size_t read = 0; read < docs.size(); ++read) {
-        Json &doc = docs[read];
-        const std::string id = doc.getString("_id");
-        if (cq.matches(doc)) {
-            unindexDoc(doc, id);
-            byId.erase(id);
-            removedIds.push_back(id);
-            continue;
+    std::lock_guard<std::mutex> lock(writerMtx);
+    View v = writerView();
+    std::vector<std::uint32_t> victims;
+    std::vector<std::uint32_t> cand;
+    if (planCandidates(v, query, cand)) {
+        for (std::uint32_t s : cand) {
+            const Json *d = v.docAt(s);
+            if (d != nullptr && db::matches(*d, query))
+                victims.push_back(s);
         }
-        byId[id] = write;
-        if (write != read)
-            docs[write] = std::move(doc);
-        ++write;
+    } else {
+        CompiledQuery cq(query);
+        for (std::uint32_t s = 0; s < v.slotCount; ++s) {
+            const Json *d = v.docAt(s);
+            if (d != nullptr && cq.matches(*d))
+                victims.push_back(s);
+        }
     }
-    docs.resize(write);
-    logDelete(removedIds);
-    deletesC.inc(std::int64_t(removedIds.size()));
-    return removedIds.size();
+    std::vector<std::string> removed_ids;
+    removed_ids.reserve(victims.size());
+    for (std::uint32_t s : victims)
+        removed_ids.push_back(v.docAt(s)->getString("_id"));
+    removeSlots(victims);
+    logDelete(removed_ids);
+    publish();
+    deletesC.inc(std::int64_t(removed_ids.size()));
+    maybeCompactStorage();
+    return removed_ids.size();
+}
+
+// --- indexes -----------------------------------------------------------
+
+void
+Collection::installIndex(const std::string &field_path, bool unique)
+{
+    auto fi = std::make_shared<FieldIndex>();
+    fi->unique = unique;
+    std::vector<IndexKey> keys;
+    for (std::uint32_t s = 0; s < wr.slotCount; ++s) {
+        const Json *d =
+            (*wr.spine)[s >> chunkShift]->docs[s & (chunkCap - 1)].get();
+        if (d == nullptr)
+            continue;
+        const Json *v = d->find(field_path);
+        if (v == nullptr)
+            continue;
+        keys.clear();
+        indexKeysFor(*v, keys);
+        for (auto &k : keys) {
+            auto &bucket = fi->buckets[std::move(k)];
+            if (!bucket)
+                bucket = std::make_shared<Bucket>();
+            bucket->append(s);
+        }
+    }
+    auto map = std::make_shared<IndexMap>(*wr.indexes);
+    (*map)[field_path] = std::move(fi);
+    wr.indexes = std::move(map);
 }
 
 void
 Collection::createUniqueIndex(const std::string &field_path)
 {
-    std::unique_lock<std::shared_mutex> lock(mtx);
+    std::lock_guard<std::mutex> lock(writerMtx);
     // Verify existing documents first so a bad index never half-applies.
     std::set<std::string> seen;
-    for (const auto &doc : docs) {
-        const Json *v = doc.find(field_path);
-        if (!v || v->isNull())
+    for (std::uint32_t s = 0; s < wr.slotCount; ++s) {
+        const Json *d =
+            (*wr.spine)[s >> chunkShift]->docs[s & (chunkCap - 1)].get();
+        if (d == nullptr)
             continue;
-        std::string key = indexKey(*v);
-        if (!seen.insert(key).second) {
+        const Json *v = d->find(field_path);
+        if (v == nullptr || v->isNull())
+            continue;
+        if (!seen.insert(indexKey(*v)).second) {
             throw DuplicateKeyError(
                 "collection '" + collName + "': existing duplicates on '" +
                 field_path + "', cannot create unique index");
         }
     }
-    uniqueFields.insert(field_path);
-    auto it = indexes.find(field_path);
-    if (it == indexes.end())
-        indexes.emplace(field_path, buildIndex(field_path, true));
-    else
-        it->second.unique = true;
+    auto it = wr.indexes->find(field_path);
+    if (it != wr.indexes->end()) {
+        // Upgrade in place: clone the directory (buckets are shared)
+        // with the unique flag set.
+        auto fi = std::make_shared<FieldIndex>(*it->second);
+        fi->unique = true;
+        auto map = std::make_shared<IndexMap>(*wr.indexes);
+        (*map)[field_path] = std::move(fi);
+        wr.indexes = std::move(map);
+    } else {
+        installIndex(field_path, true);
+    }
+    publish();
 }
 
 void
 Collection::createIndex(const std::string &field_path)
 {
-    std::unique_lock<std::shared_mutex> lock(mtx);
-    if (indexes.count(field_path))
+    std::lock_guard<std::mutex> lock(writerMtx);
+    if (wr.indexes->count(field_path))
         return;
-    indexes.emplace(field_path, buildIndex(field_path, false));
+    installIndex(field_path, false);
+    publish();
 }
 
 std::vector<std::string>
 Collection::indexedFields() const
 {
-    std::shared_lock<std::shared_mutex> lock(mtx);
+    const View &v = viewRef();
     std::vector<std::string> out;
-    for (const auto &entry : indexes)
+    for (const auto &entry : *v.indexes)
         out.push_back(entry.first);
     return out;
 }
@@ -526,12 +1140,15 @@ Collection::indexedFields() const
 std::vector<Json>
 Collection::distinct(const std::string &field_path) const
 {
-    std::shared_lock<std::shared_mutex> lock(mtx);
+    const View &v = viewRef();
     std::map<std::string, Json> seen;
-    for (const auto &doc : docs) {
-        const Json *v = doc.find(field_path);
-        if (v)
-            seen.emplace(indexKey(*v), *v);
+    for (std::uint32_t s = 0; s < v.slotCount; ++s) {
+        const Json *d = v.docAt(s);
+        if (d == nullptr)
+            continue;
+        const Json *val = d->find(field_path);
+        if (val != nullptr)
+            seen.emplace(indexKey(*val), *val);
     }
     std::vector<Json> out;
     for (auto &kv : seen)
@@ -542,66 +1159,125 @@ Collection::distinct(const std::string &field_path) const
 void
 Collection::forEach(const std::function<void(const Json &)> &fn) const
 {
-    std::shared_lock<std::shared_mutex> lock(mtx);
-    for (const auto &doc : docs)
-        fn(doc);
+    // Pin the snapshot: the callback is user code that may re-enter
+    // this or another collection, which can evict the thread-local
+    // cached View mid-iteration.
+    auto v = view();
+    v->forEach(fn);
 }
 
 std::string
 Collection::toJsonl() const
 {
-    std::shared_lock<std::shared_mutex> lock(mtx);
+    auto v = view();
     std::string out;
-    for (const auto &doc : docs) {
+    v->forEach([&](const Json &doc) {
         doc.dumpTo(out);
         out += '\n';
-    }
+    });
     return out;
+}
+
+// --- persistence hooks -------------------------------------------------
+
+void
+Collection::bulkLoad(std::vector<Json> &&loaded)
+{
+    // writerMtx held. Reset to fresh structures (index definitions
+    // survive with empty buckets), then append everything and publish
+    // once.
+    auto map = std::make_shared<IndexMap>();
+    for (const auto &entry : *wr.indexes) {
+        auto fi = std::make_shared<FieldIndex>();
+        fi->unique = entry.second->unique;
+        (*map)[entry.first] = std::move(fi);
+    }
+    std::size_t cap = 16;
+    while (cap < (loaded.size() + 1) * 4)
+        cap <<= 1;
+    wr.spine = std::make_shared<Spine>();
+    wr.ids = std::make_shared<IdTable>(cap);
+    wr.indexes = std::move(map);
+    wr.slotCount = 0;
+    wr.liveCount = 0;
+    wr.garbage = 0;
+    oplog.clear();
+    dirtyFlag.store(false, std::memory_order_release);
+
+    for (auto &doc : loaded) {
+        std::string id = doc.getString("_id");
+        if (id.empty())
+            fatal("collection '" + collName + "': loaded doc without _id");
+        appendDoc(std::move(doc), id);
+    }
+    publish();
 }
 
 void
 Collection::loadJsonl(const std::string &text)
 {
-    std::unique_lock<std::shared_mutex> lock(mtx);
-    docs.clear();
-    byId.clear();
-    oplog.clear();
-    for (auto &entry : indexes)
-        entry.second.buckets.clear();
+    std::lock_guard<std::mutex> lock(writerMtx);
+    std::vector<Json> loaded;
     for (const auto &line : split(text, '\n')) {
         std::string t = trim(line);
         if (t.empty())
             continue;
-        Json doc = Json::parse(t);
-        std::string id = doc.getString("_id");
-        if (id.empty())
-            fatal("collection '" + collName + "': JSONL doc without _id");
-        byId[id] = docs.size();
-        indexDoc(doc, id);
-        docs.push_back(std::move(doc));
+        loaded.push_back(Json::parse(t));
     }
+    bulkLoad(std::move(loaded));
 }
 
 void
-Collection::enableOplog()
+Collection::loadBinarySnapshot(std::string_view bytes)
 {
-    std::unique_lock<std::shared_mutex> lock(mtx);
+    std::lock_guard<std::mutex> lock(writerMtx);
+    std::vector<Json> loaded;
+    s5db::readSnapshot(bytes,
+                       [&](Json doc) { loaded.push_back(std::move(doc)); });
+    bulkLoad(std::move(loaded));
+}
+
+void
+Collection::enableOplog(WalFormat fmt)
+{
+    std::lock_guard<std::mutex> lock(writerMtx);
     oplogEnabled = true;
+    walFmt = fmt;
+}
+
+Collection::WalFormat
+Collection::walFormat() const
+{
+    std::lock_guard<std::mutex> lock(writerMtx);
+    return walFmt;
+}
+
+void
+Collection::setWalFormat(WalFormat fmt)
+{
+    std::lock_guard<std::mutex> lock(writerMtx);
+    if (walFmt == fmt)
+        return;
+    if (!oplog.empty()) {
+        fatal("collection '" + collName +
+              "': cannot switch WAL format with pending records");
+    }
+    walFmt = fmt;
 }
 
 bool
 Collection::dirty() const
 {
-    std::shared_lock<std::shared_mutex> lock(mtx);
-    return !oplog.empty();
+    return dirtyFlag.load(std::memory_order_acquire);
 }
 
 std::string
 Collection::drainOplog()
 {
-    std::unique_lock<std::shared_mutex> lock(mtx);
+    std::lock_guard<std::mutex> lock(writerMtx);
     std::string out = std::move(oplog);
     oplog.clear();
+    dirtyFlag.store(false, std::memory_order_release);
     return out;
 }
 
@@ -611,43 +1287,36 @@ Collection::upsertUnlogged(Json doc)
     std::string id = doc.getString("_id");
     if (id.empty())
         fatal("collection '" + collName + "': WAL doc without _id");
-    auto it = byId.find(id);
-    if (it != byId.end()) {
-        Json &old = docs[it->second];
-        unindexDoc(old, id);
-        old = std::move(doc);
-        indexDoc(old, id);
+    std::uint32_t slot = probeId(*wr.spine, *wr.ids, wr.slotCount, id);
+    if (slot != emptySlot) {
+        const Json *old =
+            (*wr.spine)[slot >> chunkShift]->docs[slot & (chunkCap - 1)].get();
+        auto stored = std::make_shared<const Json>(std::move(doc));
+        Chunk *ch = chunkForWrite(slot);
+        ch->docs[slot & (chunkCap - 1)] = stored;
+        indexDocDiff(*stored, *old, slot);
         return;
     }
-    byId[id] = docs.size();
-    indexDoc(doc, id);
-    docs.push_back(std::move(doc));
+    appendDoc(std::move(doc), id);
 }
 
 void
 Collection::removeIdsUnlogged(const std::set<std::string> &ids)
 {
-    std::size_t write = 0;
-    for (std::size_t read = 0; read < docs.size(); ++read) {
-        Json &doc = docs[read];
-        const std::string id = doc.getString("_id");
-        if (ids.count(id)) {
-            unindexDoc(doc, id);
-            byId.erase(id);
-            continue;
-        }
-        byId[id] = write;
-        if (write != read)
-            docs[write] = std::move(doc);
-        ++write;
+    std::vector<std::uint32_t> victims;
+    for (const auto &id : ids) {
+        std::uint32_t slot = probeId(*wr.spine, *wr.ids, wr.slotCount, id);
+        if (slot != emptySlot)
+            victims.push_back(slot);
     }
-    docs.resize(write);
+    std::sort(victims.begin(), victims.end());
+    removeSlots(victims);
 }
 
 void
 Collection::applyOplogLine(const std::string &line)
 {
-    std::unique_lock<std::shared_mutex> lock(mtx);
+    std::lock_guard<std::mutex> lock(writerMtx);
     Json rec = Json::parse(line);
     std::string op = rec.getString("op");
     if (op == "i" || op == "u") {
@@ -661,18 +1330,47 @@ Collection::applyOplogLine(const std::string &line)
         fatal("collection '" + collName + "': unknown WAL op '" + op +
               "'");
     }
+    publish();
+    maybeCompactStorage();
+}
+
+void
+Collection::applyBinaryOps(std::string_view payload)
+{
+    std::lock_guard<std::mutex> lock(writerMtx);
+    s5db::forEachOp(
+        payload,
+        [&](char, Json doc) { upsertUnlogged(std::move(doc)); },
+        [&](std::vector<std::string> ids) {
+            removeIdsUnlogged(
+                std::set<std::string>(ids.begin(), ids.end()));
+        });
+    publish();
+    maybeCompactStorage();
+}
+
+std::shared_ptr<const Collection::View>
+Collection::viewForCompaction()
+{
+    // Holding writerMtx makes "pin the snapshot" and "discard pending
+    // records" one atomic step: every operation record cleared here is
+    // contained in the pinned snapshot, and every operation logged
+    // after is not.
+    std::lock_guard<std::mutex> lock(writerMtx);
+    oplog.clear();
+    dirtyFlag.store(false, std::memory_order_release);
+    return pubView.load(std::memory_order_acquire);
 }
 
 std::string
 Collection::snapshotJsonl()
 {
-    std::unique_lock<std::shared_mutex> lock(mtx);
+    auto v = viewForCompaction();
     std::string out;
-    for (const auto &doc : docs) {
+    v->forEach([&](const Json &doc) {
         doc.dumpTo(out);
         out += '\n';
-    }
-    oplog.clear();
+    });
     return out;
 }
 

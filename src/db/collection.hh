@@ -1,6 +1,7 @@
 /**
  * @file
- * A collection of JSON documents with Mongo-like CRUD and hash indexes.
+ * A collection of JSON documents with Mongo-like CRUD, MVCC snapshot
+ * reads, and sorted field indexes.
  *
  * Documents are Json objects. Every document carries a string "_id"
  * (assigned a UUID at insert when absent). Unique indexes over dotted
@@ -8,46 +9,69 @@
  * to guarantee that no two distinct artifacts share a content hash.
  *
  * Every indexed field (unique or secondary, see createIndex) maintains a
- * hash index from canonicalized field value to document ids. Top-level
- * equality conditions ({"field": v} and {"field": {"$eq": v}}) are routed
- * through these indexes by a small query planner, so find/findOne/count
- * on an indexed field are O(matches) instead of O(collection), and the
- * uniqueness check at insert is an O(1) probe instead of a full scan
- * (bulk-inserting N documents is O(N), not O(N^2)). Queries the planner
- * cannot serve fall back to the original full scan, so results are
- * always identical to scanning.
+ * sorted index from canonicalized field value to document slots. Top-
+ * level equality conditions ({"field": v} and {"field": {"$eq": v}}) AND
+ * range conditions ({"field": {"$gt": v}} etc.) are routed through these
+ * indexes by a small query planner, so find/findOne/count on an indexed
+ * field are O(matches) instead of O(collection), and the uniqueness
+ * check at insert is an O(1) probe instead of a full scan. Queries the
+ * planner cannot serve fall back to a full scan, so results are always
+ * identical to scanning.
  *
- * Concurrency: every collection carries its own std::shared_mutex.
- * Read operations (find/findOne/findById/count/distinct/forEach/size)
- * take a shared lock and run concurrently with each other; mutations
- * take an exclusive lock. Different collections never share a lock, so
- * scheduler workers touching "artifacts" and "runs" proceed in
- * parallel. Cross-collection transactions are composed through
+ * Concurrency — MVCC (see DESIGN.md "MVCC & binary storage"): readers
+ * take NO lock of any kind. Every read operation (find/findOne/findById/
+ * count/distinct/forEach/size) runs against an immutable snapshot
+ * (View) published through an atomic shared_ptr swap; a slow full scan
+ * can run for seconds while writers commit new versions beside it, and
+ * it still observes the exact document set that existed when it began.
+ * Writers serialize on a per-collection writer mutex and prepare the
+ * next version copy-on-write:
+ *
+ *  - documents live in fixed-size chunks of shared_ptr<const Json>
+ *    slots; an insert fills the next never-before-published slot
+ *    in place (write-once), an update/delete copies only the one
+ *    affected chunk — hammer2-style COW sharing of everything
+ *    unmodified;
+ *  - the _id hash table and index buckets are write-once/append-only
+ *    structures shared across snapshots: entries are added with
+ *    release stores and never mutated, and a reader validates each
+ *    candidate against its own snapshot (slot bound + re-filter), so
+ *    entries from newer versions are invisible and entries staled by
+ *    updates/deletes are filtered out;
+ *  - tombstones and stale index entries are reclaimed by an in-memory
+ *    compaction that rebuilds dense structures once garbage exceeds
+ *    the live document count.
+ *
+ * Cross-collection transactions are composed through
  * db::Database::lockGuard(), which acquires each collection's dedicated
- * transaction mutex in lexicographic name order (see DESIGN.md,
- * "Concurrency & durability").
+ * transaction mutex in lexicographic name order.
  *
  * Durability: when the owning Database is on-disk it enables the
- * operation log (enableOplog). Every committed mutation then appends a
- * compact JSONL record ({"op":"i"|"u"|"d", ...}) to an in-memory
- * pending list; Database::save() drains that list (drainOplog) into the
- * collection's append-only WAL file and Database::loadFromDisk()
- * replays it (applyOplogLine). Replay is idempotent (inserts upsert,
- * deletes of missing ids are no-ops) so a crash between WAL append and
- * snapshot compaction never corrupts the store.
+ * operation log (enableOplog). Every committed mutation then appends an
+ * operation record — legacy JSONL text ({"op":"i"|"u"|"d", ...}) or the
+ * binary s5db1 encoding (see db/s5db.hh) depending on the WAL format —
+ * to an in-memory pending buffer; Database::save() drains that buffer
+ * (drainOplog) into the collection's append-only WAL via group commit
+ * and Database::loadFromDisk() replays it (applyOplogLine /
+ * applyBinaryOps). Replay is idempotent (inserts upsert, deletes of
+ * missing ids are no-ops) so a crash between WAL append and snapshot
+ * compaction never corrupts the store.
  */
 
 #ifndef G5_DB_COLLECTION_HH
 #define G5_DB_COLLECTION_HH
 
+#include <array>
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <set>
-#include <shared_mutex>
 #include <string>
-#include <unordered_map>
+#include <string_view>
 #include <vector>
 
 #include "base/json.hh"
@@ -67,8 +91,199 @@ class DuplicateKeyError : public std::runtime_error
 
 class Collection
 {
+  private:
+    // --- MVCC storage internals (shared between snapshots) -------------
+
+    /** Documents per chunk; slot s lives in chunk s>>chunkShift. */
+    static constexpr std::uint32_t chunkShift = 6;
+    static constexpr std::uint32_t chunkCap = 1u << chunkShift;
+    /** Sentinel for an unfilled index-bucket cell. */
+    static constexpr std::uint32_t emptySlot = 0xffffffffu;
+
+    /**
+     * A fixed block of document slots. The writer fills each slot
+     * exactly once (an append) before the slot number is ever published
+     * in a View; updates and deletes never touch a shared chunk — they
+     * replace it with a copy. Readers therefore only ever load slots
+     * whose stores happened-before their snapshot acquisition.
+     */
+    struct Chunk
+    {
+        std::array<std::shared_ptr<const Json>, chunkCap> docs;
+    };
+    using ChunkPtr = std::shared_ptr<Chunk>;
+    /** The chunk directory; copied (cheaply, ptr-per-chunk) on any
+     *  structural change so published Views never see it mutate. */
+    using Spine = std::vector<ChunkPtr>;
+
+    /**
+     * Write-once open-addressing _id table: parallel hash/slot arrays
+     * where a cell, once filled, is never modified or removed (the
+     * writer publishes the slot with a relaxed store, then the hash
+     * with a release store; readers load the hash with acquire first).
+     * Entries staled by deletes are detected by validating the slot's
+     * document against the reader's snapshot; the table is rebuilt
+     * (live entries only) when it reaches half full.
+     */
+    struct IdTable
+    {
+        explicit IdTable(std::size_t capacity_pow2)
+            : hashes(capacity_pow2), slots(capacity_pow2),
+              mask(capacity_pow2 - 1)
+        {}
+
+        std::vector<std::atomic<std::uint64_t>> hashes; // 0 = empty
+        std::vector<std::atomic<std::uint32_t>> slots;
+        std::size_t mask;
+        std::size_t filled = 0; // writer-only
+    };
+
+    /**
+     * A field value's position in the index ordering: values are
+     * classed (null < bool < number < string < array/object), ordered
+     * numerically within the bool/number classes and lexicographically
+     * within the rest, with the canonical text as the tie-break so
+     * that two values share a key exactly when the legacy hash index
+     * would have bucketed them together (Int 3 and Double 3.0 share;
+     * distinct int64s that collide as doubles do not).
+     */
+    struct IndexKey
+    {
+        std::uint8_t cls = 0;
+        double num = 0.0;  // never NaN (sanitized at construction)
+        std::string str;
+
+        bool
+        operator<(const IndexKey &o) const
+        {
+            if (cls != o.cls)
+                return cls < o.cls;
+            if (num != o.num)
+                return num < o.num;
+            return str < o.str;
+        }
+    };
+
+    /**
+     * Append-only candidate list for one index key, shared by every
+     * snapshot that contains the key: a chain of fixed-size nodes of
+     * write-once slot cells. Readers treat the contents as a candidate
+     * superset — each slot is bounds-checked against the reader's
+     * snapshot and every candidate document is re-filtered through
+     * matches() — so cells appended for newer versions or staled by
+     * updates/deletes are harmless.
+     */
+    struct Bucket
+    {
+        static constexpr std::size_t nodeCap = 12;
+
+        struct Node
+        {
+            Node()
+            {
+                for (auto &c : cells)
+                    c.store(emptySlot, std::memory_order_relaxed);
+            }
+            std::array<std::atomic<std::uint32_t>, nodeCap> cells;
+            std::atomic<Node *> next{nullptr};
+        };
+
+        ~Bucket();
+
+        /** Append a slot (writer mutex held). */
+        void append(std::uint32_t slot);
+
+        /** Invoke @p fn per filled cell, in append order. */
+        template <typename F>
+        void
+        forEachSlot(F &&fn) const
+        {
+            for (const Node *n = &head; n != nullptr;
+                 n = n->next.load(std::memory_order_acquire)) {
+                for (const auto &c : n->cells) {
+                    std::uint32_t s = c.load(std::memory_order_acquire);
+                    if (s == emptySlot)
+                        return; // cells fill in order; first gap ends
+                    fn(s);
+                }
+            }
+        }
+
+        Node head;
+        Node *tail = &head;       // writer-only
+        std::size_t tailUsed = 0; // writer-only
+        std::uint32_t lastSlot = 0; // writer-only
+        bool seeded = false;        // writer-only
+        /** Approximate cell count; the planner's selectivity signal. */
+        std::atomic<std::uint32_t> count{0};
+        /**
+         * Set once an append breaks ascending-slot order (an update
+         * re-appending an existing slot). While false — the common,
+         * insert-only case — the cells ARE the slots in insertion
+         * order, and the planner skips its sort+dedup pass.
+         */
+        std::atomic<bool> unsorted{false};
+    };
+    using BucketPtr = std::shared_ptr<Bucket>;
+
+    /**
+     * One field's sorted index. The bucket *directory* is immutable
+     * once published (copied when a distinct key appears or the index
+     * is rebuilt); the buckets it points to grow append-only in place.
+     */
+    struct FieldIndex
+    {
+        bool unique = false;
+        std::map<IndexKey, BucketPtr> buckets;
+    };
+    using IndexMap =
+        std::map<std::string, std::shared_ptr<const FieldIndex>>;
+
   public:
+    /** Encoding of pending WAL operation records (see drainOplog). */
+    enum class WalFormat : std::uint8_t { Jsonl, Binary };
+
+    /**
+     * An immutable snapshot of the collection: a consistent document
+     * set plus the index structures valid for it. Obtained lock-free;
+     * holding one pins its documents (and nothing newer) alive, so a
+     * long scan costs writers nothing and a dropped View releases any
+     * superseded documents it was the last reader of.
+     */
+    class View
+    {
+      public:
+        /** @return the number of live documents in this snapshot. */
+        std::size_t size() const { return liveCount; }
+
+        /** Iterate every document, in insertion order. */
+        void forEach(const std::function<void(const Json &)> &fn) const;
+
+      private:
+        friend class Collection;
+
+        /** @return the document at @p slot, or nullptr (tombstone). */
+        const Json *
+        docAt(std::uint32_t slot) const
+        {
+            return (*spine)[slot >> chunkShift]
+                ->docs[slot & (chunkCap - 1)]
+                .get();
+        }
+
+        /** _id lookup against this snapshot. @return nullptr if absent. */
+        const Json *byId(std::string_view id) const;
+
+        std::shared_ptr<const Spine> spine;
+        std::shared_ptr<const IdTable> ids;
+        std::shared_ptr<const IndexMap> indexes;
+        std::uint32_t slotCount = 0;
+        std::uint32_t liveCount = 0;
+        std::uint64_t version = 0;
+    };
+
     explicit Collection(std::string name);
+    ~Collection();
 
     /** @return the collection's name. */
     const std::string &name() const { return collName; }
@@ -98,7 +313,8 @@ class Collection
     /**
      * Update the first match with an update spec: {"$set": {...}} and/or
      * {"$inc": {...}}; a spec without operators replaces the document
-     * (keeping its _id).
+     * (keeping its _id). Uniqueness is validated before any state
+     * changes, so a DuplicateKeyError leaves the collection untouched.
      * @return true when a document was updated.
      */
     bool updateOne(const Json &query, const Json &update);
@@ -114,9 +330,9 @@ class Collection
     void createUniqueIndex(const std::string &field_path);
 
     /**
-     * Maintain a secondary (non-unique) hash index over a dotted field
-     * path so equality queries on it skip the scan. Idempotent; never
-     * changes query results.
+     * Maintain a secondary (non-unique) sorted index over a dotted
+     * field path so equality and range queries on it skip the scan.
+     * Idempotent; never changes query results.
      */
     void createIndex(const std::string &field_path);
 
@@ -126,7 +342,7 @@ class Collection
     /** @return the sorted distinct serialized values of a field path. */
     std::vector<Json> distinct(const std::string &field_path) const;
 
-    /** Iterate every document (read-only). */
+    /** Iterate every document (read-only, against one snapshot). */
     void forEach(const std::function<void(const Json &)> &fn) const;
 
     /** Serialize every document, one compact JSON text per line. */
@@ -135,36 +351,63 @@ class Collection
     /** Replace contents from JSONL text (used when loading from disk). */
     void loadJsonl(const std::string &text);
 
+    /** Replace contents from a binary s5db1 snapshot image. */
+    void loadBinarySnapshot(std::string_view bytes);
+
+    /**
+     * Pin the current snapshot. The cheap entry point for callers that
+     * iterate for a long time or re-enter the database from inside the
+     * iteration (Database compaction, tests).
+     */
+    std::shared_ptr<const View> view() const;
+
     // --- persistence hooks, used by db::Database ---
 
     /**
-     * Start recording mutation records for WAL persistence. Off by
-     * default so standalone collections (tests, benches) pay nothing.
+     * Start recording mutation records for WAL persistence, encoded in
+     * @p fmt. Off by default so standalone collections (tests, benches)
+     * pay nothing.
      */
-    void enableOplog();
+    void enableOplog(WalFormat fmt = WalFormat::Jsonl);
+
+    /** @return the current WAL record encoding. */
+    WalFormat walFormat() const;
+
+    /**
+     * Switch the WAL record encoding. Requires no pending records
+     * (Database flushes before flipping formats).
+     */
+    void setWalFormat(WalFormat fmt);
 
     /** @return true when un-persisted mutations are pending. */
     bool dirty() const;
 
     /**
-     * Move out the pending WAL records (one compact JSON text per line,
-     * newline-terminated) and mark the collection clean. The caller is
-     * responsible for appending them to durable storage.
+     * Move out the pending WAL records (JSONL lines or binary s5db1
+     * operation records per walFormat()) and mark the collection
+     * clean. The caller is responsible for appending them to durable
+     * storage.
      */
     std::string drainOplog();
 
     /**
-     * Replay one WAL record during load. Never re-logs; replay is
-     * idempotent ("i" upserts, "d" ignores unknown ids).
+     * Replay one legacy JSONL WAL record during load. Never re-logs;
+     * replay is idempotent ("i" upserts, "d" ignores unknown ids).
      */
     void applyOplogLine(const std::string &line);
 
+    /** Replay one binary commit group's operation records. */
+    void applyBinaryOps(std::string_view payload);
+
     /**
-     * Atomically serialize every document (as toJsonl) and discard any
-     * pending WAL records — the snapshot supersedes them. Used by
-     * Database compaction so records arriving between a drain and the
-     * snapshot are neither lost nor double-applied.
+     * Atomically pin the current snapshot AND discard any pending WAL
+     * records — the snapshot supersedes them. Used by Database
+     * compaction so records arriving between a drain and the snapshot
+     * write are neither lost nor double-applied.
      */
+    std::shared_ptr<const View> viewForCompaction();
+
+    /** Serialize a compaction snapshot as JSONL (legacy format). */
     std::string snapshotJsonl();
 
     /**
@@ -177,69 +420,130 @@ class Collection
 
   private:
     /**
-     * Canonical key of a field value for index bookkeeping. Numeric
+     * Canonical text of a field value for index bookkeeping. Numeric
      * values that compare equal (Json's Int 3 == Double 3.0) share a
      * key, recursively through arrays and objects, so an index probe
-     * agrees with operator==.
+     * agrees with operator==. Unchanged from the pre-MVCC hash index.
      */
     static std::string indexKey(const Json &value);
+
+    /** The sorted-index key of a single field value. */
+    static IndexKey indexKeyOf(const Json &value);
 
     /**
      * All keys a field value is findable under: the whole value, plus
      * each element of an array value (Mongo's literal-equality "array
      * contains" semantics).
      */
-    static std::vector<std::string> indexKeysFor(const Json &value);
-
-    /** One field's hash index: canonical value key -> document ids. */
-    struct FieldIndex
-    {
-        bool unique = false;
-        std::unordered_map<std::string, std::vector<std::string>> buckets;
-    };
-
-    /** Add @p doc (by id) to every field index. Lock held. */
-    void indexDoc(const Json &doc, const std::string &id);
-
-    /** Remove @p doc (by id) from every field index. Lock held. */
-    void unindexDoc(const Json &doc, const std::string &id);
-
-    /** Build a field's buckets from the current documents. Lock held. */
-    FieldIndex buildIndex(const std::string &field_path,
-                          bool unique) const;
+    static void indexKeysFor(const Json &value,
+                             std::vector<IndexKey> &keys);
 
     /**
-     * Query planner: when @p query has a top-level equality condition
-     * on "_id" or an indexed field, fill @p positions with the (sorted)
-     * candidate document positions and return true. Candidates are a
-     * superset of the matches for that one condition; callers still
-     * filter with matches(). Lock held.
+     * The writer's working state: the mutable mirrors of the published
+     * snapshot pieces. All fields are guarded by writerMtx.
      */
-    bool planCandidates(const Json &query,
-                        std::vector<std::size_t> &positions) const;
+    struct WriterState
+    {
+        std::shared_ptr<Spine> spine;
+        std::shared_ptr<IdTable> ids;
+        std::shared_ptr<const IndexMap> indexes;
+        std::uint32_t slotCount = 0;
+        std::uint32_t liveCount = 0;
+        std::uint64_t version = 0;
+        /** Tombstoned slots + index cells staled by updates/deletes;
+         *  drives the in-memory compaction trigger. */
+        std::size_t garbage = 0;
+    };
 
-    /** Position of the first document matching @p query. Lock held. */
-    std::size_t findFirstPos(const Json &query) const;
+    /** Publish the writer state as a new immutable View. */
+    void publish();
+
+    /** The reader fast path: a thread-cached pinned snapshot. */
+    const View &viewRef() const;
+
+    /** The writer's current state as an (unpublished) View. */
+    View writerView() const;
+
+    /**
+     * Open-addressing probe for @p id, validated against @p slot_count.
+     * @return the document's slot, or emptySlot when absent.
+     */
+    static std::uint32_t probeId(const Spine &spine, const IdTable &ids,
+                                 std::uint32_t slot_count,
+                                 std::string_view id);
+
+    /** Append @p doc's slot to every field index. writerMtx held. */
+    void indexDoc(const Json &doc, std::uint32_t slot);
+
+    /**
+     * Index maintenance for an in-place document replacement: append
+     * only the keys the new document gained; keys it lost become stale
+     * cells counted toward the compaction trigger.
+     */
+    void indexDocDiff(const Json &new_doc, const Json &old_doc,
+                      std::uint32_t slot);
+
+    /** Append @p slot under @p key, COWing the directory lazily. */
+    void bucketAppend(std::shared_ptr<IndexMap> &cow,
+                      const std::string &field, IndexKey key,
+                      std::uint32_t slot);
+
+    /** COW the chunk holding @p slot so it can be modified. */
+    Chunk *chunkForWrite(std::uint32_t slot);
+
+    /** Append a new document into the next slot. writerMtx held. */
+    std::uint32_t appendDoc(Json &&doc, const std::string &id);
+    std::uint32_t appendStored(std::shared_ptr<const Json> stored,
+                               const std::string &id);
+
+    /** Raw table insert of a precomputed hash (no growth check). */
+    static void idInsertRaw(IdTable &t, std::uint64_t h,
+                            std::uint32_t slot);
+
+    /** Insert (id -> slot) into the id table, growing it as needed. */
+    void idTableInsert(std::string_view id, std::uint32_t slot);
+
+    /** Build a field index over the existing docs. writerMtx held. */
+    void installIndex(const std::string &field_path, bool unique);
+
+    /** Rebuild dense storage from the live documents. writerMtx held. */
+    void rebuildStorage();
+
+    /** Rebuild if tombstones/stale entries outnumber live docs. */
+    void maybeCompactStorage();
+
+    /** Replace all contents from parsed documents. writerMtx held. */
+    void bulkLoad(std::vector<Json> &&loaded);
+
+    /**
+     * Query planner: when @p query has a top-level equality or range
+     * condition on "_id" or an indexed field, fill @p slots with the
+     * (sorted) candidate document slots and return true. Candidates
+     * are a superset of the matches for that one condition; callers
+     * still filter with matches().
+     */
+    static bool planCandidates(const View &v, const Json &query,
+                               std::vector<std::uint32_t> &slots);
+
+    /** First slot (in insertion order) matching @p query, or emptySlot. */
+    static std::uint32_t findFirstSlot(const View &v, const Json &query);
 
     /** O(1)-probe uniqueness check against every unique index. */
-    void checkUnique(const Json &doc, const std::string &skip_id) const;
+    void checkUnique(const Json &doc, std::string_view skip_id);
 
-    /** Append an insert record for @p doc to the oplog. Lock held. */
+    /** Append an insert/update/delete record to the oplog. */
     void logInsert(const Json &doc);
-
-    /** Append an update (post-image) record. Lock held. */
     void logUpdate(const Json &doc);
-
-    /** Append a delete record for @p ids. Lock held. */
     void logDelete(const std::vector<std::string> &ids);
 
-    /** Insert/replace a doc by id without logging (replay). Lock held. */
+    /** Insert/replace a doc by id without logging (replay). */
     void upsertUnlogged(Json doc);
 
-    /** Remove docs by id without logging (replay). Lock held. */
+    /** Remove docs by id without logging (replay). */
     void removeIdsUnlogged(const std::set<std::string> &ids);
 
-    static constexpr std::size_t npos = std::size_t(-1);
+    /** deleteMany/removeIdsUnlogged shared tombstoning core. */
+    std::size_t removeSlots(const std::vector<std::uint32_t> &slots);
 
     std::string collName;
 
@@ -256,22 +560,28 @@ class Collection
                                                   ".deletes");
     metrics::Counter &queriesC = metrics::counter("db." + collName +
                                                   ".queries");
-    std::vector<Json> docs;
-    std::unordered_map<std::string, std::size_t> byId;
-    std::set<std::string> uniqueFields;
-    std::map<std::string, FieldIndex> indexes;
+    /** Queries served from an index (equality or range probe). */
+    metrics::Counter &plannedC = metrics::counter("db." + collName +
+                                                  ".plannedQueries");
 
-    /** WAL records pending persistence (newline-terminated lines). */
+    /** Process-unique instance id, keys the thread-local view cache. */
+    const std::uint64_t instId;
+
+    /** The published snapshot; readers load it wait-free via version
+     *  checks against the thread-local cache (see viewRef). */
+    std::atomic<std::shared_ptr<const View>> pubView;
+    std::atomic<std::uint64_t> pubVersion{0};
+
+    /** Serializes all mutations; never taken by readers. */
+    mutable std::mutex writerMtx;
+    WriterState wr;
+
+    /** WAL records pending persistence (format per walFmt). */
     std::string oplog;
     bool oplogEnabled = false;
-
-    /**
-     * Reader–writer lock over the documents and indexes: collections
-     * are shared across scheduler workers running gem5 jobs
-     * concurrently, and reads (index probes, scans, cache lookups)
-     * must not serialize against each other.
-     */
-    mutable std::shared_mutex mtx;
+    WalFormat walFmt = WalFormat::Jsonl;
+    /** Lock-free dirty() mirror of !oplog.empty(). */
+    std::atomic<bool> dirtyFlag{false};
 
     /** Transaction mutex for Database::lockGuard (see txnMutex()). */
     mutable std::mutex txnMtx;

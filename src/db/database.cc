@@ -2,15 +2,24 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <set>
 #include <sstream>
+
+#include <fcntl.h>
+#include <sys/uio.h>
+#include <unistd.h>
 
 #include "base/faultinject.hh"
 #include "base/logging.hh"
 #include "base/metrics.hh"
 #include "base/md5.hh"
 #include "base/str.hh"
+#include "db/s5db.hh"
 
 namespace fs = std::filesystem;
 
@@ -22,6 +31,9 @@ namespace
 
 /** Chunk size for streaming file hashing/copies (1 MiB). */
 constexpr std::size_t chunkSize = 1 << 20;
+
+/** Durability::None spool flush threshold. */
+constexpr std::size_t deferredFlushBytes = 1 << 20;
 
 std::string
 readFileOrDie(const std::string &path)
@@ -100,6 +112,47 @@ fileSizeOrZero(const fs::path &p)
     return ec ? 0 : std::size_t(n);
 }
 
+/** write(2) an entire buffer, retrying short writes and EINTR. */
+void
+writeAll(int fd, const char *p, std::size_t len, const std::string &what)
+{
+    while (len > 0) {
+        ssize_t got = ::write(fd, p, len);
+        if (got < 0) {
+            if (errno == EINTR)
+                continue;
+            fatal("database: WAL append failed for " + what);
+        }
+        p += got;
+        len -= std::size_t(got);
+    }
+}
+
+/** writev(2) a whole iovec list, handling partial writes and EINTR. */
+void
+writevAll(int fd, std::vector<iovec> &iov, const std::string &what)
+{
+    std::size_t i = 0;
+    while (i < iov.size()) {
+        int cnt = int(std::min<std::size_t>(iov.size() - i, 64));
+        ssize_t got = ::writev(fd, iov.data() + i, cnt);
+        if (got < 0) {
+            if (errno == EINTR)
+                continue;
+            fatal("database: WAL append failed for " + what);
+        }
+        std::size_t n = std::size_t(got);
+        while (i < iov.size() && n >= iov[i].iov_len) {
+            n -= iov[i].iov_len;
+            ++i;
+        }
+        if (n > 0) {
+            iov[i].iov_base = static_cast<char *>(iov[i].iov_base) + n;
+            iov[i].iov_len -= n;
+        }
+    }
+}
+
 } // anonymous namespace
 
 TxnGuard::TxnGuard(std::vector<Collection *> colls)
@@ -119,10 +172,47 @@ Database::Database() = default;
 Database::Database(const std::string &dir)
     : rootDir(dir)
 {
+    if (const char *e = std::getenv("G5_DB_DURABILITY")) {
+        std::string v = e;
+        if (v == "none") {
+            dura = Durability::None;
+        } else if (v == "fsync") {
+            dura = Durability::Fsync;
+        } else if (v != "buffer" && !v.empty()) {
+            warn("database: unknown G5_DB_DURABILITY '" + v +
+                 "' (expected none|buffer|fsync); using \"buffer\"");
+        }
+    }
+    if (const char *e = std::getenv("G5_DB_FORMAT")) {
+        std::string v = e;
+        if (v == "jsonl") {
+            storageFmt = Collection::WalFormat::Jsonl;
+        } else if (v != "binary" && !v.empty()) {
+            warn("database: unknown G5_DB_FORMAT '" + v +
+                 "' (expected binary|jsonl); using \"binary\"");
+        }
+    }
     fs::create_directories(fs::path(rootDir) / "collections");
     fs::create_directories(fs::path(rootDir) / "blobs");
     removeOrphanTmpFiles();
     loadFromDisk();
+}
+
+Database::~Database()
+{
+    std::lock_guard<std::mutex> save_lock(saveMtx);
+    for (auto &[name, ws] : walStates) {
+        if (!ws.buffer.empty() && ws.fd >= 0) {
+            try {
+                flushWalBuffer(name, ws);
+            } catch (...) {
+                // Destructor: a failed deferred flush loses exactly
+                // what Durability::None already permits losing.
+            }
+        }
+        if (ws.fd >= 0)
+            ::close(ws.fd);
+    }
 }
 
 void
@@ -160,22 +250,78 @@ Database::replayWal(const std::string &name, Collection &coll)
     fs::path wal = fs::path(rootDir) / "collections" / (name + ".wal");
     if (!fs::exists(wal))
         return;
-    std::string text = readFileOrDie(wal.string());
-    std::size_t line_no = 0;
-    for (const auto &line : split(text, '\n')) {
-        std::string t = trim(line);
-        if (t.empty())
-            continue;
-        ++line_no;
-        try {
-            coll.applyOplogLine(t);
-        } catch (const std::exception &e) {
-            // A torn final line from an interrupted append is expected
-            // after a crash; everything before it is committed state.
-            warn("database: collection '" + name + "': WAL replay "
-                 "stopped at record " + std::to_string(line_no) + " (" +
-                 e.what() + "); recovering prior records only");
-            break;
+
+    // Byte offset of the end of the last complete record; anything
+    // after it is the torn tail of an interrupted write and gets
+    // truncated away below — replay's committed-prefix rule would
+    // otherwise silently drop any group appended after the tear.
+    std::size_t keep = 0;
+    std::size_t total = 0;
+    {
+        s5db::MmapFile m(wal.string());
+        std::string_view bytes = m.view();
+        total = keep = bytes.size();
+        if (bytes.empty())
+            return;
+
+        if (s5db::isWal(bytes)) {
+            // Binary WAL: MD5-sealed commit groups, replayed straight
+            // off the mapping. A failed seal or short frame is the torn
+            // tail of an interrupted group commit; everything before it
+            // is committed state.
+            s5db::WalReplayStats stats;
+            try {
+                stats =
+                    s5db::replayWal(bytes, [&](std::string_view payload) {
+                        coll.applyBinaryOps(payload);
+                    });
+            } catch (const std::exception &e) {
+                fatal("database: collection '" + name +
+                      "': binary WAL replay failed: " + e.what());
+            }
+            if (stats.tornBytes > 0) {
+                warn("database: collection '" + name + "': dropped " +
+                     std::to_string(stats.tornBytes) +
+                     " torn WAL byte(s) from an interrupted group "
+                     "commit; recovering committed groups only");
+                keep = bytes.size() - stats.tornBytes;
+            }
+        } else {
+            // Legacy JSONL WAL: one op record per line.
+            std::string text(bytes);
+            std::size_t pos = 0;
+            std::size_t line_no = 0;
+            while (pos < text.size()) {
+                std::size_t eol = text.find('\n', pos);
+                std::size_t end =
+                    eol == std::string::npos ? text.size() : eol;
+                std::string t = trim(text.substr(pos, end - pos));
+                if (!t.empty()) {
+                    ++line_no;
+                    try {
+                        coll.applyOplogLine(t);
+                    } catch (const std::exception &e) {
+                        // A torn final line from an interrupted append
+                        // is expected after a crash; everything before
+                        // it is committed state.
+                        warn("database: collection '" + name +
+                             "': WAL replay stopped at record " +
+                             std::to_string(line_no) + " (" + e.what() +
+                             "); recovering prior records only");
+                        keep = pos;
+                        break;
+                    }
+                }
+                pos = eol == std::string::npos ? text.size() : eol + 1;
+            }
+        }
+    }
+    if (keep < total) {
+        std::error_code ec;
+        fs::resize_file(wal, keep, ec);
+        if (ec) {
+            warn("database: collection '" + name +
+                 "': cannot truncate torn WAL tail: " + ec.message());
         }
     }
 }
@@ -184,22 +330,44 @@ void
 Database::loadFromDisk()
 {
     fs::path colls = fs::path(rootDir) / "collections";
-    // A collection exists on disk as a snapshot (<name>.jsonl), a WAL
-    // (<name>.wal), or both.
+    // A collection exists on disk as a snapshot — legacy JSONL text
+    // (<name>.jsonl) or binary s5db1 (<name>.s5db) — a WAL
+    // (<name>.wal), or any mix. Both snapshot encodings load
+    // regardless of the configured write format.
     std::set<std::string> names;
     for (const auto &entry : fs::directory_iterator(colls)) {
         if (!entry.is_regular_file())
             continue;
         fs::path p = entry.path();
-        if (p.extension() == ".jsonl" || p.extension() == ".wal")
+        auto ext = p.extension();
+        if (ext == ".jsonl" || ext == ".wal" || ext == ".s5db")
             names.insert(p.stem().string());
     }
     for (const auto &name : names) {
         auto coll = std::make_unique<Collection>(name);
-        coll->enableOplog();
-        fs::path snap = colls / (name + ".jsonl");
-        if (fs::exists(snap))
-            coll->loadJsonl(readFileOrDie(snap.string()));
+        coll->enableOplog(storageFmt);
+        fs::path snap_j = colls / (name + ".jsonl");
+        fs::path snap_b = colls / (name + ".s5db");
+        bool have_j = fs::exists(snap_j);
+        bool have_b = fs::exists(snap_b);
+        if (have_j && have_b) {
+            // Both formats present: a crash landed between writing a
+            // fresh snapshot and removing the superseded one. The
+            // newer file is the completed write.
+            std::error_code ec;
+            auto tj = fs::last_write_time(snap_j, ec);
+            auto tb = fs::last_write_time(snap_b, ec);
+            if (tj > tb)
+                have_b = false;
+            else
+                have_j = false;
+        }
+        if (have_b) {
+            s5db::MmapFile snap(snap_b.string());
+            coll->loadBinarySnapshot(snap.view());
+        } else if (have_j) {
+            coll->loadJsonl(readFileOrDie(snap_j.string()));
+        }
         replayWal(name, *coll);
         collections[name] = std::move(coll);
     }
@@ -219,10 +387,18 @@ Database::collection(const std::string &name)
     if (it == collections.end()) {
         auto coll = std::make_unique<Collection>(name);
         if (!rootDir.empty())
-            coll->enableOplog();
+            coll->enableOplog(storageFmt);
         it = collections.emplace(name, std::move(coll)).first;
     }
     return *it->second;
+}
+
+Collection *
+Database::findCollection(const std::string &name)
+{
+    std::shared_lock<std::shared_mutex> lock(registryMtx);
+    auto it = collections.find(name);
+    return it == collections.end() ? nullptr : it->second.get();
 }
 
 std::vector<std::string>
@@ -418,22 +594,280 @@ Database::compactCollection(const std::string &name, Collection &coll)
     static metrics::Counter &compactions =
         metrics::counter("db.wal.compactions");
     compactions.inc();
-    // The WAL file is about to be removed; release our append stream
-    // first so buffered bytes land and the handle doesn't go stale.
+
     WalState &ws = walStates[name];
-    if (ws.stream.is_open())
-        ws.stream.close();
-    // snapshotJsonl atomically serializes the documents AND discards
-    // pending records, so nothing is lost or double-applied; the WAL is
-    // removed only after the snapshot rename, and replay is idempotent,
-    // so a crash between the two is safe.
-    std::string snapshot = coll.snapshotJsonl();
-    writeFileAtomic(dir / (name + ".jsonl"), snapshot, uniqueTmpTag());
+    // The WAL file is about to be removed; any deferred bytes and the
+    // append fd go with it (the snapshot below supersedes both).
+    ws.buffer.clear();
+    if (ws.fd >= 0) {
+        ::close(ws.fd);
+        ws.fd = -1;
+    }
+
+    std::shared_ptr<const Collection::View> pinned;
+    {
+        // Atomically: drop the collection's not-yet-written queued
+        // frames AND pin the snapshot (which also discards the
+        // collection's pending records). Everything dropped here is
+        // contained in the pinned snapshot; everything logged or
+        // enqueued afterwards is not, and lands in the fresh WAL.
+        // drainMtx excludes a save() that has drained its oplog but
+        // not yet enqueued the frames.
+        std::lock_guard<std::mutex> drain_lock(drainMtx);
+        {
+            std::lock_guard<std::mutex> gc_lock(gcMtx);
+            for (auto &entry : gcQueue) {
+                std::erase_if(entry.frames, [&](const auto &f) {
+                    return f.first == name;
+                });
+            }
+        }
+        pinned = coll.viewForCompaction();
+    }
+
+    std::string snapshot;
+    fs::path target, stale;
+    if (storageFmt == Collection::WalFormat::Binary) {
+        snapshot = s5db::buildSnapshot(
+            [&](const std::function<void(const Json &)> &emit) {
+                pinned->forEach(emit);
+            });
+        target = dir / (name + ".s5db");
+        stale = dir / (name + ".jsonl");
+    } else {
+        pinned->forEach([&](const Json &doc) {
+            doc.dumpTo(snapshot);
+            snapshot += '\n';
+        });
+        target = dir / (name + ".jsonl");
+        stale = dir / (name + ".s5db");
+    }
+    // The snapshot lands via atomic rename BEFORE the superseded
+    // snapshot and the WAL are removed, and replay is idempotent, so a
+    // crash between any two of these steps is safe.
+    writeFileAtomic(target, snapshot, uniqueTmpTag());
     std::error_code ec;
+    fs::remove(stale, ec);
     fs::remove(dir / (name + ".wal"), ec);
     ws.walSize = 0;
     ws.snapSize = snapshot.size();
     ws.sized = true;
+}
+
+bool
+Database::ensureWal(const std::string &name, WalState &ws)
+{
+    fs::path dir = fs::path(rootDir) / "collections";
+    fs::path wal = dir / (name + ".wal");
+    if (!ws.sized) {
+        ws.walSize = fileSizeOrZero(wal);
+        ws.snapSize = std::max(fileSizeOrZero(dir / (name + ".jsonl")),
+                               fileSizeOrZero(dir / (name + ".s5db")));
+        ws.sized = true;
+    }
+    if (ws.fd >= 0)
+        return ws.fileFormat == storageFmt;
+
+    std::size_t existing = fileSizeOrZero(wal);
+    if (existing > 0) {
+        // Sniff the existing WAL's magic to learn its encoding; a
+        // mismatch means a database reopened under the other format —
+        // the caller compacts (rewriting the snapshot in the new
+        // format) instead of appending mixed records.
+        std::ifstream in(wal, std::ios::binary);
+        char head[s5db::magicLen] = {};
+        in.read(head, s5db::magicLen);
+        auto file_fmt = s5db::isWal({head, std::size_t(in.gcount())})
+                            ? Collection::WalFormat::Binary
+                            : Collection::WalFormat::Jsonl;
+        if (file_fmt != storageFmt)
+            return false;
+    }
+    int fd = ::open(wal.c_str(), O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC,
+                    0644);
+    if (fd < 0)
+        fatal("database: cannot append to '" + wal.string() + "'");
+    ws.fd = fd;
+    ws.fileFormat = storageFmt;
+    ws.walSize = existing;
+    if (existing == 0 && storageFmt == Collection::WalFormat::Binary) {
+        writeAll(fd, s5db::walMagic, s5db::magicLen, "'" + name + ".wal'");
+        ws.walSize = s5db::magicLen;
+    }
+    return true;
+}
+
+void
+Database::flushWalBuffer(const std::string &name, WalState &ws)
+{
+    if (ws.buffer.empty() || ws.fd < 0)
+        return;
+    repairWal(name, ws);
+    writeAll(ws.fd, ws.buffer.data(), ws.buffer.size(),
+             "'" + name + ".wal'");
+    ws.buffer.clear();
+}
+
+void
+Database::repairWal(const std::string &name, WalState &ws)
+{
+    if (!ws.tornTail || ws.fd < 0)
+        return;
+    // ws.walSize only advances after a successful append, so it is the
+    // last group boundary; the spool (Durability::None) counts toward
+    // it but has not reached the file yet.
+    auto good = off_t(ws.walSize - ws.buffer.size());
+    if (::ftruncate(ws.fd, good) != 0) {
+        fatal("database: cannot truncate torn tail of '" + name +
+              ".wal'");
+    }
+    ws.tornTail = false;
+}
+
+void
+Database::writeBatch(std::vector<GcEntry> &batch)
+{
+    // Group the popped frames by collection, preserving commit order
+    // within each (batch is sequence-ordered).
+    std::map<std::string, std::vector<std::string *>> per_coll;
+    for (auto &entry : batch) {
+        for (auto &[name, bytes] : entry.frames)
+            per_coll[name].push_back(&bytes);
+    }
+
+    static metrics::Counter &wal_bytes =
+        metrics::counter("db.wal.bytesAppended");
+    static metrics::Counter &groups_c = metrics::counter("db.wal.groups");
+    static metrics::Counter &commits_c =
+        metrics::counter("db.wal.groupCommits");
+    commits_c.inc();
+
+    for (auto &[name, frames] : per_coll) {
+        if (frames.empty())
+            continue;
+        Collection *coll = findCollection(name);
+        if (coll == nullptr)
+            continue; // unreachable: frames come from live collections
+        WalState &ws = walStates[name];
+        if (!ensureWal(name, ws)) {
+            // Format mismatch: the snapshot pinned inside compaction
+            // already contains every operation in these frames, so
+            // they are subsumed, not lost.
+            compactCollection(name, *coll);
+            continue;
+        }
+
+        repairWal(name, ws);
+
+        std::size_t appended = 0;
+        try {
+            // Injectable torn group (G5_FAULT=db.wal.groupCommit): land
+            // half of the first frame and die mid-write. Recovery must
+            // drop exactly the torn group and keep all prior ones.
+            if (fault::shouldFire("db.wal.groupCommit")) {
+                flushWalBuffer(name, ws);
+                const std::string &f = *frames.front();
+                writeAll(ws.fd, f.data(), f.size() / 2,
+                         "'" + name + ".wal'");
+                throw InjectedFault("db.wal.groupCommit");
+            }
+
+            if (dura == Durability::None) {
+                // Defer the write: records are spooled in memory and
+                // land on the fd once the spool is large, at format
+                // flips, or at destruction — a crash may lose them, by
+                // contract.
+                for (std::string *f : frames) {
+                    ws.buffer += *f;
+                    appended += f->size();
+                }
+                if (ws.buffer.size() > deferredFlushBytes)
+                    flushWalBuffer(name, ws);
+            } else {
+                // One gathered write covers every group bound for this
+                // collection, and one fsync covers the whole batch.
+                std::vector<iovec> iov;
+                iov.reserve(frames.size());
+                for (std::string *f : frames) {
+                    iov.push_back({f->data(), f->size()});
+                    appended += f->size();
+                }
+                writevAll(ws.fd, iov, "'" + name + ".wal'");
+                if (dura == Durability::Fsync && ::fsync(ws.fd) != 0)
+                    fatal("database: fsync failed for '" + name +
+                          ".wal'");
+            }
+        } catch (...) {
+            // The file may end mid-frame; the next append (or the next
+            // open) truncates back to the last group boundary.
+            ws.tornTail = true;
+            throw;
+        }
+        ws.walSize += appended;
+        wal_bytes.inc(std::int64_t(appended));
+        groups_c.inc(std::int64_t(frames.size()));
+
+        if (ws.walSize > walCompactMinBytes &&
+            double(ws.walSize) > walCompactRatio * double(ws.snapSize)) {
+            compactCollection(name, *coll);
+        }
+    }
+}
+
+void
+Database::leaderCommit()
+{
+    for (;;) {
+        std::lock_guard<std::mutex> save_lock(saveMtx);
+        std::vector<GcEntry> batch;
+        {
+            std::lock_guard<std::mutex> gc_lock(gcMtx);
+            while (!gcQueue.empty()) {
+                batch.push_back(std::move(gcQueue.front()));
+                gcQueue.pop_front();
+            }
+            if (batch.empty()) {
+                gcLeader = false;
+                return;
+            }
+        }
+        try {
+            writeBatch(batch);
+        } catch (...) {
+            {
+                std::lock_guard<std::mutex> gc_lock(gcMtx);
+                // Every group up to the current tail is lost: fail the
+                // saves waiting on them and resign, so the next save
+                // starts a clean epoch.
+                gcErrSeq = gcTailSeq;
+                gcDoneSeq = gcTailSeq;
+                gcQueue.clear();
+                gcLeader = false;
+            }
+            gcCv.notify_all();
+            throw;
+        }
+        bool more;
+        {
+            std::lock_guard<std::mutex> gc_lock(gcMtx);
+            gcDoneSeq = batch.back().seq;
+            more = !gcQueue.empty();
+            if (!more)
+                gcLeader = false;
+        }
+        gcCv.notify_all();
+        if (!more)
+            return;
+    }
+}
+
+void
+Database::waitForSeq(std::uint64_t seq, bool enqueued)
+{
+    std::unique_lock<std::mutex> lock(gcMtx);
+    gcCv.wait(lock, [&] { return gcDoneSeq >= seq; });
+    if (enqueued && seq <= gcErrSeq)
+        fatal("database: group commit failed; WAL records were lost");
 }
 
 void
@@ -441,7 +875,7 @@ Database::save()
 {
     if (rootDir.empty())
         return;
-    std::lock_guard<std::mutex> save_lock(saveMtx);
+    auto t0 = std::chrono::steady_clock::now();
 
     std::vector<std::pair<std::string, Collection *>> colls;
     {
@@ -450,47 +884,67 @@ Database::save()
             colls.emplace_back(kv.first, kv.second.get());
     }
 
-    fs::path dir = fs::path(rootDir) / "collections";
-    for (auto &[name, coll] : colls) {
-        if (!coll->dirty())
-            continue; // clean collections cost nothing
-        // Injectable crash before this collection's WAL append
-        // (G5_FAULT=db.save.append): collections already appended this
-        // save() stay durable — committed-prefix semantics.
-        fault::checkpoint("db.save.append");
-        std::string ops = coll->drainOplog();
-        if (ops.empty())
-            continue;
-        fs::path wal = dir / (name + ".wal");
-        WalState &ws = walStates[name];
-        if (!ws.sized) {
-            ws.walSize = fileSizeOrZero(wal);
-            ws.snapSize = fileSizeOrZero(dir / (name + ".jsonl"));
-            ws.sized = true;
+    std::vector<std::pair<std::string, std::string>> frames;
+    std::exception_ptr drain_err;
+    std::uint64_t wait_seq = 0;
+    bool enqueued = false;
+    bool lead = false;
+    {
+        std::lock_guard<std::mutex> drain_lock(drainMtx);
+        for (auto &[name, coll] : colls) {
+            if (!coll->dirty())
+                continue; // clean collections cost nothing
+            try {
+                // Injectable crash before this collection's drain
+                // (G5_FAULT=db.save.append): collections drained
+                // earlier in this save() still commit below —
+                // committed-prefix semantics.
+                fault::checkpoint("db.save.append");
+            } catch (...) {
+                drain_err = std::current_exception();
+                break;
+            }
+            std::string ops = coll->drainOplog();
+            if (ops.empty())
+                continue;
+            std::string bytes;
+            if (coll->walFormat() == Collection::WalFormat::Binary)
+                s5db::appendGroupFrame(bytes, ops);
+            else
+                bytes = std::move(ops);
+            frames.emplace_back(name, std::move(bytes));
         }
-        // Append through a stream held open across saves: one
-        // write+flush per save instead of open/write/close, and the
-        // compaction check runs off cached sizes instead of stat(2).
-        if (!ws.stream.is_open()) {
-            ws.stream.open(wal, std::ios::binary | std::ios::app);
-            if (!ws.stream)
-                fatal("database: cannot append to '" + wal.string() +
-                      "'");
-        }
-        ws.stream.write(ops.data(), std::streamsize(ops.size()));
-        ws.stream.flush();
-        if (!ws.stream)
-            fatal("database: short append to '" + wal.string() + "'");
-        ws.walSize += ops.size();
-        static metrics::Counter &wal_bytes =
-            metrics::counter("db.wal.bytesAppended");
-        wal_bytes.inc(std::int64_t(ops.size()));
-
-        if (ws.walSize > walCompactMinBytes &&
-            double(ws.walSize) > walCompactRatio * double(ws.snapSize)) {
-            compactCollection(name, *coll);
+        std::lock_guard<std::mutex> gc_lock(gcMtx);
+        if (frames.empty()) {
+            // Nothing of ours to write, but save() returning still
+            // promises that previously enqueued groups are durable.
+            wait_seq = gcTailSeq;
+        } else {
+            wait_seq = ++gcTailSeq;
+            gcQueue.push_back({wait_seq, std::move(frames)});
+            enqueued = true;
+            if (!gcLeader) {
+                gcLeader = true;
+                lead = true;
+            }
         }
     }
+
+    // The first saver in becomes the commit leader and writes every
+    // queued group (its own included); the others block until the
+    // leader reports their sequence number durable. Either way, one
+    // batch of disk writes serves all concurrent save() calls.
+    if (lead)
+        leaderCommit();
+    waitForSeq(wait_seq, enqueued);
+    if (drain_err)
+        std::rethrow_exception(drain_err);
+
+    static metrics::Histogram &commit_s =
+        metrics::histogram("db.wal.commitSeconds");
+    commit_s.observe(std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - t0)
+                         .count());
 }
 
 void
@@ -515,6 +969,30 @@ Database::setWalCompaction(std::size_t min_bytes, double ratio)
     std::lock_guard<std::mutex> save_lock(saveMtx);
     walCompactMinBytes = min_bytes;
     walCompactRatio = ratio;
+}
+
+void
+Database::setDurability(Durability d)
+{
+    std::lock_guard<std::mutex> save_lock(saveMtx);
+    if (d != Durability::None) {
+        // Tightening the guarantee lands anything previously deferred.
+        for (auto &[name, ws] : walStates)
+            flushWalBuffer(name, ws);
+    }
+    dura = d;
+}
+
+void
+Database::setStorageFormat(Collection::WalFormat f)
+{
+    if (!rootDir.empty())
+        save(); // flush pending records in the old encoding first
+    std::lock_guard<std::mutex> save_lock(saveMtx);
+    storageFmt = f;
+    std::shared_lock<std::shared_mutex> lock(registryMtx);
+    for (auto &kv : collections)
+        kv.second->setWalFormat(f);
 }
 
 TxnGuard

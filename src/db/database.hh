@@ -7,38 +7,58 @@
  *
  *  - named collections of JSON documents with unique indexes;
  *  - a blob store keyed by MD5 (GridFS stand-in) for artifact files;
- *  - durable persistence (a directory of JSONL snapshots plus
- *    append-only JSONL write-ahead logs + blob files), or a purely
- *    in-memory mode for tests.
+ *  - durable persistence (a directory of snapshots plus append-only
+ *    write-ahead logs + blob files), or a purely in-memory mode for
+ *    tests.
  *
- * Concurrency: there is no coarse database mutex. Each collection
- * carries its own reader–writer lock (see Collection), the collection
- * registry is guarded by a shared_mutex (lookups are shared, creation
- * is exclusive), and blob files are written atomically via
- * temp-file-then-rename so concurrent puts of the same content are
- * benign. Cross-collection transactions go through lockGuard(), which
- * acquires per-collection transaction mutexes in lexicographic name
- * order (deadlock-free by construction).
+ * Concurrency: there is no coarse database mutex. Collection reads are
+ * lock-free MVCC snapshot reads and writes serialize per collection
+ * (see Collection); the collection registry is guarded by a
+ * shared_mutex (lookups are shared, creation is exclusive), and blob
+ * files are written atomically via temp-file-then-rename so concurrent
+ * puts of the same content are benign. Cross-collection transactions go
+ * through lockGuard(), which acquires per-collection transaction
+ * mutexes in lexicographic name order (deadlock-free by construction).
  *
- * Durability: save() appends each dirty collection's pending operation
- * records to <dir>/collections/<name>.wal and leaves clean collections
- * untouched. When a WAL outgrows the snapshot (walCompactMinBytes and
- * walCompactRatio), the collection is compacted: a fresh
- * <name>.jsonl snapshot is written (atomically, via rename) and the WAL
- * removed. loadFromDisk() loads the snapshot then replays the WAL;
- * replay is idempotent and tolerates a torn final line, so reopening
- * after a crash recovers every committed document.
+ * Durability — group commit: save() drains each dirty collection's
+ * pending operation records into a commit group and enqueues it.
+ * Concurrent save() calls elect one caller the commit leader; the
+ * leader pops every queued group and lands them in one gathered
+ * writev() per collection WAL (and at most one fsync per batch under
+ * Durability::Fsync), while the other callers wait for their group's
+ * sequence number to commit. N threads saving concurrently therefore
+ * cost one disk round-trip, not N. The G5_DB_DURABILITY env knob (or
+ * setDurability) picks the guarantee: "none" buffers records in memory
+ * and defers the write, "buffer" (default) writes to the OS page cache
+ * without fsync, "fsync" makes save() wait for the platters.
+ *
+ * Storage format: collections persist either as legacy JSONL text or
+ * as the binary s5db1 record format (see db/s5db.hh) — length-prefixed
+ * MD5-sealed records that load via mmap without text parsing. The
+ * G5_DB_FORMAT env knob (or setStorageFormat) selects the format for
+ * new writes ("binary" is the default); either format is transparently
+ * read back regardless of the knob, and a legacy database is migrated
+ * by compaction on its first WAL append.
+ *
+ * When a WAL outgrows the snapshot (walCompactMinBytes and
+ * walCompactRatio), the collection is compacted: a fresh snapshot is
+ * written (atomically, via rename) and the WAL removed. loadFromDisk()
+ * loads the snapshot then replays the WAL; replay is idempotent and
+ * tolerates a torn tail (a partially-appended final line or group), so
+ * reopening after a crash recovers every committed group.
  */
 
 #ifndef G5_DB_DATABASE_HH
 #define G5_DB_DATABASE_HH
 
-#include <fstream>
+#include <condition_variable>
+#include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "db/collection.hh"
@@ -68,15 +88,26 @@ class TxnGuard
 class Database
 {
   public:
+    /** What a completed save() guarantees (see file comment). */
+    enum class Durability : std::uint8_t
+    {
+        None,   ///< records buffered in memory; written when convenient
+        Buffer, ///< written to the OS page cache, no fsync (default)
+        Fsync,  ///< fsync'd; one fsync covers a whole commit group
+    };
+
     /** Create an in-memory database (nothing touches the filesystem). */
     Database();
 
     /**
      * Open (or create) an on-disk database rooted at @p dir. Collections
-     * load from <dir>/collections/ (JSONL snapshot + WAL); blobs live in
-     * <dir>/blobs/.
+     * load from <dir>/collections/ (snapshot + WAL, either format);
+     * blobs live in <dir>/blobs/.
      */
     explicit Database(const std::string &dir);
+
+    /** Flushes deferred WAL writes (Durability::None) and closes fds. */
+    ~Database();
 
     /** @return the on-disk root, or "" for in-memory databases. */
     const std::string &path() const { return rootDir; }
@@ -125,8 +156,9 @@ class Database
     std::size_t blobCount() const;
 
     /**
-     * Persist pending changes (no-op for in-memory databases): append
-     * each dirty collection's WAL records; collections without changes
+     * Persist pending changes (no-op for in-memory databases): drain
+     * each dirty collection's WAL records into one commit group and
+     * group-commit it (see file comment); collections without changes
      * cost nothing. Compacts a collection when its WAL outgrows its
      * snapshot.
      */
@@ -142,6 +174,22 @@ class Database
      */
     void setWalCompaction(std::size_t min_bytes, double ratio);
 
+    /** Select what a completed save() guarantees. */
+    void setDurability(Durability d);
+
+    /** @return the current durability level. */
+    Durability durability() const { return dura; }
+
+    /**
+     * Select the on-disk record format for subsequent writes. Flushes
+     * pending records first (in the old format); existing files are
+     * rewritten lazily, by the next compaction. Call while quiescent.
+     */
+    void setStorageFormat(Collection::WalFormat f);
+
+    /** @return the on-disk record format used for new writes. */
+    Collection::WalFormat storageFormat() const { return storageFmt; }
+
     /**
      * Lock every existing collection for a caller-composed
      * cross-collection transaction (ordered, deadlock-free).
@@ -152,6 +200,30 @@ class Database
     TxnGuard lockGuard(const std::vector<std::string> &names);
 
   private:
+    /** One save()'s commit group: (collection, encoded bytes) frames. */
+    struct GcEntry
+    {
+        std::uint64_t seq = 0;
+        std::vector<std::pair<std::string, std::string>> frames;
+    };
+
+    /**
+     * Per-collection persistence state, guarded by saveMtx: the WAL
+     * append fd kept open across commits, cached WAL/snapshot sizes so
+     * the compaction check never stats the filesystem, the format the
+     * open file is encoded in, and the Durability::None spool.
+     */
+    struct WalState
+    {
+        int fd = -1;
+        Collection::WalFormat fileFormat = Collection::WalFormat::Binary;
+        std::string buffer; ///< deferred bytes (Durability::None)
+        std::size_t walSize = 0;
+        std::size_t snapSize = 0;
+        bool sized = false;    // sizes initialized from disk
+        bool tornTail = false; ///< a failed commit left partial bytes
+    };
+
     void loadFromDisk();
 
     /** Delete stale *.tmp spool files a crashed writer left behind. */
@@ -160,22 +232,38 @@ class Database
     /** Replay one collection's WAL file into @p coll, if present. */
     void replayWal(const std::string &name, Collection &coll);
 
+    /** @return the existing collection, or nullptr. Registry lock. */
+    Collection *findCollection(const std::string &name);
+
     /** Write a fresh snapshot and drop the WAL. saveMtx held. */
     void compactCollection(const std::string &name, Collection &coll);
 
     /**
-     * Per-collection persistence state, guarded by saveMtx: a WAL
-     * append stream kept open across save() calls (one write+flush per
-     * save instead of open/write/close) and cached WAL/snapshot sizes
-     * so the compaction check never stats the filesystem.
+     * Open/validate the WAL append fd for the current storage format.
+     * @return false when an existing WAL holds the *other* format (the
+     * caller compacts instead of appending). saveMtx held.
      */
-    struct WalState
-    {
-        std::ofstream stream;
-        std::size_t walSize = 0;
-        std::size_t snapSize = 0;
-        bool sized = false; // sizes initialized from disk
-    };
+    bool ensureWal(const std::string &name, WalState &ws);
+
+    /** Land the Durability::None spool on the fd. saveMtx held. */
+    void flushWalBuffer(const std::string &name, WalState &ws);
+
+    /**
+     * Truncate partial bytes a failed commit left on the WAL, so the
+     * next append starts at a group boundary — without this, replay's
+     * committed-prefix rule would drop every later (acknowledged)
+     * group behind the torn one. saveMtx held.
+     */
+    void repairWal(const std::string &name, WalState &ws);
+
+    /** Write every popped commit group to the WAL fds. saveMtx held. */
+    void writeBatch(std::vector<GcEntry> &batch);
+
+    /** The commit leader's loop: pop and write until the queue drains. */
+    void leaderCommit();
+
+    /** Block until group @p seq is durable; throws if it failed. */
+    void waitForSeq(std::uint64_t seq, bool enqueued);
 
     std::string rootDir;
     std::map<std::string, std::unique_ptr<Collection>> collections;
@@ -185,12 +273,35 @@ class Database
     mutable std::shared_mutex registryMtx;
     /** Guards memBlobs (on-disk blobs rely on atomic renames). */
     mutable std::mutex blobMtx;
-    /** Serializes save()/compact() so WAL appends never interleave. */
+    /** Serializes WAL/snapshot file writes (leader + compaction). */
     mutable std::mutex saveMtx;
-    /** WAL streams + cached sizes, keyed by collection. saveMtx held. */
+    /**
+     * Makes "drain a collection's oplog, then enqueue the frames" atomic
+     * with respect to compaction's "purge queued frames, then pin the
+     * snapshot" — without it a drained-but-not-yet-enqueued group could
+     * be appended after a newer snapshot and regress data on replay.
+     * Ordering: saveMtx ⊃ drainMtx ⊃ gcMtx ⊃ Collection::writerMtx.
+     */
+    mutable std::mutex drainMtx;
+    /** WAL fds + cached sizes, keyed by collection. saveMtx held. */
     std::map<std::string, WalState> walStates;
 
-    std::size_t walCompactMinBytes = 64 * 1024;
+    // --- group commit (guarded by gcMtx except where noted) ---
+    std::mutex gcMtx;
+    std::condition_variable gcCv;
+    std::deque<GcEntry> gcQueue;
+    std::uint64_t gcTailSeq = 0; ///< last enqueued group
+    std::uint64_t gcDoneSeq = 0; ///< last committed (or failed) group
+    std::uint64_t gcErrSeq = 0;  ///< groups <= this failed to commit
+    bool gcLeader = false;       ///< a leader is draining the queue
+
+    Durability dura = Durability::Buffer;
+    Collection::WalFormat storageFmt = Collection::WalFormat::Binary;
+
+    // Compaction rewrites the whole snapshot synchronously inside the
+    // committing save, so the floor is sized to keep that pause rare:
+    // a 4 MiB WAL replays in well under the time it takes to churn one.
+    std::size_t walCompactMinBytes = 4 * 1024 * 1024;
     double walCompactRatio = 1.0;
 };
 

@@ -140,6 +140,31 @@ equalityOperand(const Json &cond)
     return nullptr;
 }
 
+RangeBounds
+rangeBounds(const Json &cond)
+{
+    RangeBounds rb;
+    if (!isOperatorObject(cond))
+        return rb;
+    // Keep the tightest bound of each direction; matchOperators applies
+    // the exact (strict vs inclusive) semantics to every candidate, so
+    // the planner only needs each operand, not its strictness.
+    auto tighter = [](const Json *cur, const Json &cand, int dir) {
+        if (!cur)
+            return &cand;
+        bool ok = false;
+        int c = compareValues(cand, *cur, ok);
+        return (ok && c * dir > 0) ? &cand : cur;
+    };
+    for (const auto &kv : cond.asObject()) {
+        if (kv.first == "$gt" || kv.first == "$gte")
+            rb.lo = tighter(rb.lo, kv.second, 1);
+        else if (kv.first == "$lt" || kv.first == "$lte")
+            rb.hi = tighter(rb.hi, kv.second, -1);
+    }
+    return rb;
+}
+
 bool
 matches(const Json &doc, const Json &query)
 {

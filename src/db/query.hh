@@ -76,6 +76,29 @@ bool isOperatorObject(const Json &v);
  */
 const Json *equalityOperand(const Json &cond);
 
+/**
+ * The range bounds of a per-field condition, when it has any: an
+ * operator object with $gt/$gte/$lt/$lte contributes its operands.
+ * Like equalityOperand, the planner uses this to bound a sorted-index
+ * probe; the full condition is always re-applied to every candidate,
+ * so the bounds only need to be conservative (a superset is fine).
+ */
+struct RangeBounds
+{
+    const Json *lo = nullptr; // $gt/$gte operand (tightest)
+    const Json *hi = nullptr; // $lt/$lte operand (tightest)
+
+    /** @return true when at least one bound is present. */
+    bool usable() const { return lo != nullptr || hi != nullptr; }
+};
+
+/**
+ * Extract the range bounds of a per-field condition.
+ * @return bounds with usable() == false when the condition carries no
+ *         range operator (or is not an operator object).
+ */
+RangeBounds rangeBounds(const Json &cond);
+
 } // namespace g5::db
 
 #endif // G5_DB_QUERY_HH

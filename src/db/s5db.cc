@@ -1,0 +1,297 @@
+#include "db/s5db.hh"
+
+#include <cstring>
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "base/json.hh"
+#include "base/logging.hh"
+#include "base/md5.hh"
+
+namespace g5::db::s5db
+{
+
+namespace
+{
+
+constexpr std::size_t md5Len = 16;
+
+void
+putU32(std::string &out, std::uint32_t v)
+{
+    char b[4];
+    std::memcpy(b, &v, 4);
+    out.append(b, 4);
+}
+
+void
+putU64(std::string &out, std::uint64_t v)
+{
+    char b[8];
+    std::memcpy(b, &v, 8);
+    out.append(b, 8);
+}
+
+std::uint32_t
+getU32(const char *p)
+{
+    std::uint32_t v;
+    std::memcpy(&v, p, 4);
+    return v;
+}
+
+std::uint64_t
+getU64(const char *p)
+{
+    std::uint64_t v;
+    std::memcpy(&v, p, 8);
+    return v;
+}
+
+} // anonymous namespace
+
+bool
+isWal(std::string_view bytes)
+{
+    return bytes.size() >= magicLen &&
+           std::memcmp(bytes.data(), walMagic, magicLen) == 0;
+}
+
+bool
+isSnapshot(std::string_view bytes)
+{
+    return bytes.size() >= magicLen &&
+           std::memcmp(bytes.data(), snapMagic, magicLen) == 0;
+}
+
+// --- MmapFile ----------------------------------------------------------
+
+MmapFile::MmapFile(const std::string &path)
+{
+    int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0)
+        return; // missing file -> empty view
+    struct stat st;
+    if (::fstat(fd, &st) != 0 || st.st_size <= 0) {
+        ::close(fd);
+        return;
+    }
+    std::size_t size = std::size_t(st.st_size);
+    void *p = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (p != MAP_FAILED) {
+        base = static_cast<const char *>(p);
+        len = size;
+        mappedRegion = true;
+        ::close(fd);
+        return;
+    }
+    // mmap unavailable (exotic filesystem): fall back to a copy.
+    fallback.resize(size);
+    std::size_t off = 0;
+    while (off < size) {
+        ssize_t got = ::read(fd, fallback.data() + off, size - off);
+        if (got <= 0)
+            break;
+        off += std::size_t(got);
+    }
+    ::close(fd);
+    fallback.resize(off);
+    base = fallback.data();
+    len = fallback.size();
+}
+
+MmapFile::~MmapFile()
+{
+    if (mappedRegion)
+        ::munmap(const_cast<char *>(base), len);
+}
+
+// --- snapshot files ----------------------------------------------------
+
+std::string
+buildSnapshot(
+    const std::function<void(const std::function<void(const Json &)> &)>
+        &each_doc)
+{
+    std::string out(snapMagic, magicLen);
+    std::string doc_bytes;
+    each_doc([&](const Json &doc) {
+        doc_bytes.clear();
+        doc.dumpBinaryTo(doc_bytes);
+        putU32(out, std::uint32_t(doc_bytes.size()));
+        out.append(doc_bytes);
+    });
+    putU32(out, 0); // end-of-records marker
+    Md5Stream h;
+    h.update(out.data() + magicLen, out.size() - magicLen);
+    auto digest = h.finalBytes();
+    out.append(reinterpret_cast<const char *>(digest.data()), md5Len);
+    return out;
+}
+
+void
+readSnapshot(std::string_view bytes,
+             const std::function<void(Json)> &on_doc)
+{
+    if (!isSnapshot(bytes))
+        fatal("s5db: snapshot has a bad magic");
+    if (bytes.size() < magicLen + 4 + md5Len)
+        fatal("s5db: snapshot truncated");
+    std::size_t body_end = bytes.size() - md5Len;
+    Md5Stream h;
+    h.update(bytes.data() + magicLen, body_end - magicLen);
+    auto digest = h.finalBytes();
+    if (std::memcmp(digest.data(), bytes.data() + body_end, md5Len) != 0)
+        fatal("s5db: snapshot digest mismatch (corrupt file)");
+
+    const char *cur = bytes.data() + magicLen;
+    const char *end = bytes.data() + body_end;
+    for (;;) {
+        if (std::size_t(end - cur) < 4)
+            fatal("s5db: snapshot missing end marker");
+        std::uint32_t doc_len = getU32(cur);
+        cur += 4;
+        if (doc_len == 0)
+            break;
+        if (std::size_t(end - cur) < doc_len)
+            fatal("s5db: snapshot record overruns file");
+        on_doc(Json::parseBinary({cur, doc_len}));
+        cur += doc_len;
+    }
+    if (cur != end)
+        fatal("s5db: snapshot has trailing bytes after end marker");
+}
+
+// --- WAL group framing -------------------------------------------------
+
+void
+appendGroupFrame(std::string &out, std::string_view ops_payload)
+{
+    putU64(out, std::uint64_t(ops_payload.size()));
+    out.append(ops_payload);
+    Md5Stream h;
+    h.update(ops_payload.data(), ops_payload.size());
+    auto digest = h.finalBytes();
+    out.append(reinterpret_cast<const char *>(digest.data()), md5Len);
+}
+
+WalReplayStats
+replayWal(std::string_view bytes,
+          const std::function<void(std::string_view)> &on_group_payload)
+{
+    WalReplayStats stats;
+    if (!isWal(bytes))
+        fatal("s5db: WAL has a bad magic");
+    const char *cur = bytes.data() + magicLen;
+    const char *end = bytes.data() + bytes.size();
+    while (cur != end) {
+        // A frame that doesn't fit — header, payload, or digest — is a
+        // torn tail from an interrupted group commit: stop here and
+        // report the dropped byte count.
+        if (std::size_t(end - cur) < 8)
+            break;
+        std::uint64_t payload_len = getU64(cur);
+        if (payload_len > std::size_t(end - cur) - 8 ||
+            std::size_t(end - cur) - 8 - payload_len < md5Len)
+            break;
+        const char *payload = cur + 8;
+        Md5Stream h;
+        h.update(payload, payload_len);
+        auto digest = h.finalBytes();
+        if (std::memcmp(digest.data(), payload + payload_len, md5Len) != 0)
+            break;
+        on_group_payload({payload, std::size_t(payload_len)});
+        ++stats.groups;
+        cur = payload + payload_len + md5Len;
+    }
+    stats.tornBytes = std::size_t(end - cur);
+    return stats;
+}
+
+// --- operation records -------------------------------------------------
+
+namespace
+{
+
+void
+appendDocOp(std::string &payload, char op, const Json &doc)
+{
+    payload.push_back(op);
+    std::size_t len_at = payload.size();
+    putU32(payload, 0); // patched once the doc length is known
+    doc.dumpBinaryTo(payload);
+    std::uint32_t doc_len = std::uint32_t(payload.size() - len_at - 4);
+    std::memcpy(payload.data() + len_at, &doc_len, 4);
+}
+
+} // anonymous namespace
+
+void
+appendInsertOp(std::string &payload, const Json &doc)
+{
+    appendDocOp(payload, 'i', doc);
+}
+
+void
+appendUpdateOp(std::string &payload, const Json &doc)
+{
+    appendDocOp(payload, 'u', doc);
+}
+
+void
+appendDeleteOp(std::string &payload, const std::vector<std::string> &ids)
+{
+    payload.push_back('d');
+    putU32(payload, std::uint32_t(ids.size()));
+    for (const auto &id : ids) {
+        putU32(payload, std::uint32_t(id.size()));
+        payload.append(id);
+    }
+}
+
+void
+forEachOp(std::string_view payload,
+          const std::function<void(char, Json)> &on_upsert,
+          const std::function<void(std::vector<std::string>)> &on_delete)
+{
+    const char *cur = payload.data();
+    const char *end = payload.data() + payload.size();
+    auto need = [&](std::size_t n) {
+        if (std::size_t(end - cur) < n)
+            throw JsonError("s5db: truncated operation record");
+    };
+    while (cur != end) {
+        need(1);
+        char op = *cur++;
+        if (op == 'i' || op == 'u') {
+            need(4);
+            std::uint32_t doc_len = getU32(cur);
+            cur += 4;
+            need(doc_len);
+            on_upsert(op, Json::parseBinary({cur, doc_len}));
+            cur += doc_len;
+        } else if (op == 'd') {
+            need(4);
+            std::uint32_t count = getU32(cur);
+            cur += 4;
+            std::vector<std::string> ids;
+            ids.reserve(count);
+            for (std::uint32_t i = 0; i < count; ++i) {
+                need(4);
+                std::uint32_t id_len = getU32(cur);
+                cur += 4;
+                need(id_len);
+                ids.emplace_back(cur, id_len);
+                cur += id_len;
+            }
+            on_delete(std::move(ids));
+        } else {
+            throw JsonError("s5db: unknown operation tag");
+        }
+    }
+}
+
+} // namespace g5::db::s5db

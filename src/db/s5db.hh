@@ -1,0 +1,158 @@
+/**
+ * @file
+ * The s5db1 binary on-disk record format for the document database:
+ * length-prefixed, Md5Stream-hashed snapshot and WAL encodings that a
+ * reader can mmap and replay without re-parsing JSON text.
+ *
+ * The format reuses the s5ckpt2 idiom (see sim/fs/checkpoint.hh): an
+ * 8-byte ASCII magic, little-endian fixed-width integers, explicit
+ * length prefixes so a loader can skip or bounds-check every record,
+ * and MD5 digests computed over the payload bytes while they are
+ * serialized so corruption and truncation are detected before a single
+ * document is applied.
+ *
+ * Two file kinds share the document encoding (Json::dumpBinaryTo):
+ *
+ *   snapshot  "s5db1.s\n"  magic
+ *             { u32 docLen, docBytes }*        one record per document
+ *             u32 0                            end-of-records marker
+ *             md5[16]                          digest of everything
+ *                                              after the magic up to
+ *                                              (and including) the
+ *                                              end marker
+ *
+ *   WAL       "s5db1.w\n"  magic
+ *             { u64 payloadLen, payload, md5[16](payload) }*   groups
+ *
+ * A WAL *group* is the unit of group commit: one frame holds every
+ * operation the leader batched for a collection in one commit. Replay
+ * verifies each frame's digest and applies complete groups only; a
+ * torn tail (truncated frame or digest mismatch from a crash mid-
+ * write) drops exactly the incomplete group and everything after it.
+ *
+ * A group's payload is a sequence of operation records, the binary
+ * analogue of the legacy JSONL oplog lines:
+ *
+ *   'i' u32 docLen docBytes          insert
+ *   'u' u32 docLen docBytes          update (upsert by _id)
+ *   'd' u32 count { u32 idLen, id }* delete by _id
+ */
+
+#ifndef G5_DB_S5DB_HH
+#define G5_DB_S5DB_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace g5
+{
+class Json;
+}
+
+namespace g5::db::s5db
+{
+
+/** 8-byte magic opening a binary snapshot file. */
+constexpr char snapMagic[9] = "s5db1.s\n";
+/** 8-byte magic opening a binary WAL file. */
+constexpr char walMagic[9] = "s5db1.w\n";
+constexpr std::size_t magicLen = 8;
+
+/** @return true when @p bytes begins with the binary WAL magic. */
+bool isWal(std::string_view bytes);
+
+/** @return true when @p bytes begins with the binary snapshot magic. */
+bool isSnapshot(std::string_view bytes);
+
+/**
+ * Read-only view of a file, memory-mapped when the platform allows it
+ * (falling back to an in-memory read). Replay and snapshot loads go
+ * through this so a multi-MB collection image is paged in on demand
+ * instead of being copied through a stream.
+ */
+class MmapFile
+{
+  public:
+    explicit MmapFile(const std::string &path);
+    ~MmapFile();
+
+    MmapFile(const MmapFile &) = delete;
+    MmapFile &operator=(const MmapFile &) = delete;
+
+    /** @return the file's bytes (empty for a missing/empty file). */
+    std::string_view view() const { return {base, len}; }
+
+    /** @return true when the view is an actual mmap (not a copy). */
+    bool mapped() const { return mappedRegion; }
+
+  private:
+    const char *base = nullptr;
+    std::size_t len = 0;
+    bool mappedRegion = false;
+    std::string fallback;
+};
+
+// --- snapshot files ----------------------------------------------------
+
+/**
+ * Serialize a full snapshot image. @p each_doc is called with a
+ * callback to invoke once per document (the caller owns iteration
+ * order; it must be deterministic for byte-stable snapshots).
+ */
+std::string buildSnapshot(
+    const std::function<void(const std::function<void(const Json &)> &)>
+        &each_doc);
+
+/**
+ * Decode a snapshot image, invoking @p on_doc per document in file
+ * order. Throws FatalError on a bad magic, digest mismatch, or
+ * truncation — snapshots are written atomically (temp + rename), so
+ * unlike a WAL tail, a damaged snapshot is real corruption.
+ */
+void readSnapshot(std::string_view bytes,
+                  const std::function<void(Json)> &on_doc);
+
+// --- WAL group framing -------------------------------------------------
+
+/** Append one commit-group frame (length + payload + digest). */
+void appendGroupFrame(std::string &out, std::string_view ops_payload);
+
+struct WalReplayStats
+{
+    std::size_t groups = 0;     // complete groups applied
+    std::size_t tornBytes = 0;  // bytes dropped after the last group
+};
+
+/**
+ * Iterate the complete groups of a binary WAL image (after the magic),
+ * invoking @p on_group_payload per verified frame. Stops at the first
+ * torn or corrupt frame — committed-prefix semantics.
+ */
+WalReplayStats replayWal(
+    std::string_view bytes,
+    const std::function<void(std::string_view)> &on_group_payload);
+
+// --- operation records (a group's payload) -----------------------------
+
+void appendInsertOp(std::string &payload, const Json &doc);
+void appendUpdateOp(std::string &payload, const Json &doc);
+void appendDeleteOp(std::string &payload,
+                    const std::vector<std::string> &ids);
+
+/**
+ * Decode a group payload, invoking @p on_upsert('i'|'u', doc) and
+ * @p on_delete(ids) per record. Throws JsonError on malformed input
+ * (the payload already passed its digest check, so this indicates a
+ * logic error, not disk corruption).
+ */
+void forEachOp(std::string_view payload,
+               const std::function<void(char, Json)> &on_upsert,
+               const std::function<void(std::vector<std::string>)>
+                   &on_delete);
+
+} // namespace g5::db::s5db
+
+#endif // G5_DB_S5DB_HH

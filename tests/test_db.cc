@@ -322,6 +322,9 @@ TEST(Database, SaveSkipsCleanCollectionsAndOnlyAppends)
     stdfs::remove_all(dir);
 
     Database db(dir.string());
+    // This test pins the legacy JSONL on-disk layout (one text record
+    // per line); the binary default is covered by the DbBinary suite.
+    db.setStorageFormat(Collection::WalFormat::Jsonl);
     auto &a = db.collection("artifacts");
     auto &b = db.collection("runs");
     a.insertOne(doc(R"({"name":"one"})"));
@@ -455,6 +458,9 @@ TEST(Database, CompactionProducesByteStableSnapshot)
     std::string first;
     {
         Database db(dir.string());
+        // Pin the legacy JSONL snapshot format: this test's goldens are
+        // its byte-stability; the binary format has its own.
+        db.setStorageFormat(Collection::WalFormat::Jsonl);
         db.setWalCompaction(1, 0.0); // compact on every save
         auto &c = db.collection("runs");
         for (int i = 0; i < 50; ++i) {
@@ -473,6 +479,7 @@ TEST(Database, CompactionProducesByteStableSnapshot)
         // Reopen (snapshot only) and force another compaction: the same
         // logical state must serialize to the same bytes.
         Database db(dir.string());
+        db.setStorageFormat(Collection::WalFormat::Jsonl);
         EXPECT_EQ(db.collection("runs").size(), 49u);
         db.compact();
         EXPECT_EQ(slurp(snap), first);
@@ -481,6 +488,7 @@ TEST(Database, CompactionProducesByteStableSnapshot)
         // WAL + snapshot replayed together also converge to the same
         // bytes once compacted.
         Database db(dir.string());
+        db.setStorageFormat(Collection::WalFormat::Jsonl);
         auto &c = db.collection("runs");
         c.insertOne(doc(R"({"_id":"r50","n":50})"));
         db.setWalCompaction(1 << 30, 1e9); // appends only, no auto-compact
@@ -489,6 +497,7 @@ TEST(Database, CompactionProducesByteStableSnapshot)
     }
     {
         Database db(dir.string());
+        db.setStorageFormat(Collection::WalFormat::Jsonl);
         auto &c = db.collection("runs");
         EXPECT_EQ(c.size(), 50u);
         db.compact();
@@ -505,6 +514,7 @@ TEST(Database, WalCompactionTriggersOnSizeRatio)
     stdfs::remove_all(dir);
 
     Database db(dir.string());
+    db.setStorageFormat(Collection::WalFormat::Jsonl);
     db.setWalCompaction(256, 1.0);
     auto &c = db.collection("runs");
     stdfs::path snap = dir / "collections" / "runs.jsonl";

@@ -1,0 +1,549 @@
+/**
+ * @file
+ * Tests for the binary s5db1 storage format, the group-committed WAL,
+ * the durability knob, and index-served range queries: binary document
+ * round-trips, snapshot byte-stability and corruption rejection,
+ * crash-recovery of torn commit groups, and transparent migration of a
+ * legacy JSONL database to the binary format.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "base/faultinject.hh"
+#include "base/json.hh"
+#include "base/logging.hh"
+#include "base/metrics.hh"
+#include "db/database.hh"
+#include "db/query.hh"
+#include "db/s5db.hh"
+
+using g5::InjectedFault;
+using g5::Json;
+using g5::JsonError;
+using g5::db::Collection;
+using g5::db::Database;
+
+namespace
+{
+
+namespace stdfs = std::filesystem;
+
+Json
+doc(const std::string &text)
+{
+    return Json::parse(text);
+}
+
+std::string
+slurp(const stdfs::path &p)
+{
+    std::ifstream in(p, std::ios::binary);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+/** A scratch database directory, removed on destruction. */
+struct TempDir
+{
+    explicit TempDir(const std::string &tag)
+        : path(stdfs::temp_directory_path() / tag)
+    {
+        stdfs::remove_all(path);
+    }
+    ~TempDir() { stdfs::remove_all(path); }
+    std::string str() const { return path.string(); }
+    stdfs::path path;
+};
+
+} // anonymous namespace
+
+TEST(DbBinary, JsonBinaryRoundTripPreservesValuesAndText)
+{
+    // Edge values: the binary codec must preserve the Int/Double
+    // distinction exactly, or compaction goldens would drift after one
+    // binary round-trip.
+    const char *cases[] = {
+        R"(null)",
+        R"(true)",
+        R"(false)",
+        R"(0)",
+        R"(-1)",
+        R"(9223372036854775807)",
+        R"(-9223372036854775808)",
+        R"(0.5)",
+        R"(-1.25e300)",
+        R"(3.0)",
+        R"("")",
+        R"("hello world")",
+        R"("unicode: é中")",
+        R"([])",
+        R"([1,2.5,"three",[null,{}]])",
+        R"({})",
+        R"({"_id":"a","n":3,"d":3.5,"nested":{"arr":[1,2,3],"s":"x"}})",
+    };
+    for (const char *text : cases) {
+        SCOPED_TRACE(text);
+        Json orig = Json::parse(text);
+        std::string bytes;
+        orig.dumpBinaryTo(bytes);
+        Json back = Json::parseBinary(bytes);
+        EXPECT_TRUE(back == orig) << text;
+        // Byte-stable re-serialization, both text and binary.
+        EXPECT_EQ(back.dump(), orig.dump()) << text;
+        std::string bytes2;
+        back.dumpBinaryTo(bytes2);
+        EXPECT_EQ(bytes2, bytes) << text;
+    }
+}
+
+TEST(DbBinary, BinaryDecodingRejectsCorruption)
+{
+    Json orig = doc(R"({"_id":"a","n":[1,2,3],"s":"payload"})");
+    std::string bytes;
+    orig.dumpBinaryTo(bytes);
+    // Every truncation point must throw, never read out of bounds.
+    for (std::size_t len = 0; len < bytes.size(); ++len) {
+        EXPECT_THROW(Json::parseBinary({bytes.data(), len}), JsonError)
+            << "truncated at " << len;
+    }
+    // Trailing garbage is rejected too.
+    std::string padded = bytes + "x";
+    EXPECT_THROW(Json::parseBinary(padded), JsonError);
+}
+
+TEST(DbBinary, SnapshotRoundTripsAndDetectsCorruption)
+{
+    std::vector<Json> docs;
+    for (int i = 0; i < 10; ++i) {
+        docs.push_back(doc(R"({"_id":"r)" + std::to_string(i) +
+                           R"(","n":)" + std::to_string(i) + "}"));
+    }
+    auto each = [&](const std::function<void(const Json &)> &emit) {
+        for (const auto &d : docs)
+            emit(d);
+    };
+    std::string image = g5::db::s5db::buildSnapshot(each);
+    EXPECT_TRUE(g5::db::s5db::isSnapshot(image));
+    EXPECT_EQ(g5::db::s5db::buildSnapshot(each), image); // byte-stable
+
+    std::vector<Json> loaded;
+    g5::db::s5db::readSnapshot(
+        image, [&](Json d) { loaded.push_back(std::move(d)); });
+    ASSERT_EQ(loaded.size(), docs.size());
+    for (std::size_t i = 0; i < docs.size(); ++i)
+        EXPECT_TRUE(loaded[i] == docs[i]);
+
+    // One flipped payload byte fails the MD5 seal.
+    std::string corrupt = image;
+    corrupt[image.size() / 2] ^= 0x40;
+    g5::setQuiet(true);
+    EXPECT_THROW(g5::db::s5db::readSnapshot(corrupt, [](Json) {}),
+                 g5::FatalError);
+    // Truncation is also rejected (snapshots are atomic, unlike WALs).
+    EXPECT_THROW(g5::db::s5db::readSnapshot(
+                     {image.data(), image.size() - 3}, [](Json) {}),
+                 g5::FatalError);
+    g5::setQuiet(false);
+}
+
+TEST(DbBinary, WalAppendsBinaryGroupsAndRecovers)
+{
+    TempDir dir("g5_db_test_binwal");
+    stdfs::path wal = dir.path / "collections" / "runs.wal";
+    stdfs::path snap = dir.path / "collections" / "runs.s5db";
+
+    {
+        Database db(dir.str());
+        ASSERT_EQ(db.storageFormat(), Collection::WalFormat::Binary);
+        auto &c = db.collection("runs");
+        for (int i = 0; i < 8; ++i) {
+            c.insertOne(doc(R"({"_id":"r)" + std::to_string(i) +
+                            R"(","n":)" + std::to_string(i) + "}"));
+        }
+        db.save();
+        std::string before = slurp(wal);
+        ASSERT_TRUE(g5::db::s5db::isWal(before));
+
+        // A second save appends a new group after the existing bytes.
+        c.updateOne(doc(R"({"_id":"r3"})"),
+                    doc(R"({"$set":{"status":"SUCCESS"}})"));
+        c.deleteMany(doc(R"({"_id":"r5"})"));
+        db.save();
+        std::string after = slurp(wal);
+        ASSERT_GT(after.size(), before.size());
+        EXPECT_EQ(after.compare(0, before.size(), before), 0)
+            << "group commit must append, not rewrite";
+        EXPECT_FALSE(stdfs::exists(snap)); // no compaction yet
+    }
+    {
+        // Reopen: the snapshot-less binary WAL replays in full.
+        Database db(dir.str());
+        auto &c = db.collection("runs");
+        EXPECT_EQ(c.size(), 7u);
+        EXPECT_EQ(c.findById("r3").getString("status"), "SUCCESS");
+        EXPECT_TRUE(c.findById("r5").isNull());
+    }
+}
+
+TEST(DbBinary, CompactionWritesByteStableBinarySnapshot)
+{
+    TempDir dir("g5_db_test_binsnap");
+    stdfs::path wal = dir.path / "collections" / "runs.wal";
+    stdfs::path snap = dir.path / "collections" / "runs.s5db";
+
+    std::string first;
+    {
+        Database db(dir.str());
+        db.setWalCompaction(1, 0.0); // compact on every save
+        auto &c = db.collection("runs");
+        for (int i = 0; i < 50; ++i) {
+            Json d = Json::object();
+            d["_id"] = "r" + std::to_string(i);
+            d["n"] = i;
+            c.insertOne(std::move(d));
+        }
+        c.deleteMany(doc(R"({"_id":"r13"})"));
+        db.save();
+        EXPECT_TRUE(stdfs::exists(snap));
+        EXPECT_FALSE(stdfs::exists(wal));
+        first = slurp(snap);
+        ASSERT_TRUE(g5::db::s5db::isSnapshot(first));
+    }
+    {
+        // Reopen from the binary snapshot and recompact: identical
+        // logical state serializes to identical bytes.
+        Database db(dir.str());
+        EXPECT_EQ(db.collection("runs").size(), 49u);
+        db.compact();
+        EXPECT_EQ(slurp(snap), first);
+    }
+}
+
+TEST(DbBinary, ConcurrentSavesGroupCommit)
+{
+    TempDir dir("g5_db_test_groupcommit");
+    auto &commits = g5::metrics::counter("db.wal.groupCommits");
+    auto &groups = g5::metrics::counter("db.wal.groups");
+    std::int64_t commits0 = commits.value();
+    std::int64_t groups0 = groups.value();
+
+    constexpr int threads = 8;
+    constexpr int perThread = 25;
+    {
+        Database db(dir.str());
+        auto &c = db.collection("runs");
+        std::vector<std::thread> pool;
+        for (int t = 0; t < threads; ++t) {
+            pool.emplace_back([&, t] {
+                for (int i = 0; i < perThread; ++i) {
+                    Json d = Json::object();
+                    d["_id"] = "t" + std::to_string(t) + "-" +
+                               std::to_string(i);
+                    d["n"] = i;
+                    c.insertOne(std::move(d));
+                    db.save(); // every save waits for its group
+                }
+            });
+        }
+        for (auto &th : pool)
+            th.join();
+        EXPECT_EQ(c.size(), std::size_t(threads * perThread));
+    }
+    // Batching happened: the number of physical write batches cannot
+    // exceed the number of committed groups, and at least one group
+    // committed per logical save is accounted for.
+    std::int64_t batches = commits.value() - commits0;
+    std::int64_t committed = groups.value() - groups0;
+    EXPECT_GE(committed, 1);
+    EXPECT_LE(batches, committed);
+    EXPECT_GT(
+        g5::metrics::histogram("db.wal.commitSeconds").count(), 0);
+    {
+        // Every thread's every save is durable.
+        Database db(dir.str());
+        EXPECT_EQ(db.collection("runs").size(),
+                  std::size_t(threads * perThread));
+    }
+}
+
+TEST(DbBinary, GroupCommitTornTailRecovery)
+{
+    // Crash mid-group, then reopen: replay drops exactly the torn
+    // group, truncates it off the file, and later sessions append
+    // safely after the repair.
+    TempDir dir("g5_db_test_torngroup");
+    stdfs::path wal = dir.path / "collections" / "runs.wal";
+    g5::fault::reset();
+    std::size_t committed_bytes = 0;
+    {
+        Database db(dir.str());
+        auto &c = db.collection("runs");
+        c.insertOne(doc(R"({"_id":"a","n":1})"));
+        db.save(); // group 1 commits cleanly
+        committed_bytes = slurp(wal).size();
+
+        c.insertOne(doc(R"({"_id":"b","n":2})"));
+        g5::fault::armAfter("db.wal.groupCommit", 0);
+        // The leader "crashes" halfway through writing group 2: save()
+        // reports the loss instead of pretending durability.
+        EXPECT_THROW(db.save(), InjectedFault);
+        g5::fault::reset();
+    }
+    ASSERT_GT(slurp(wal).size(), committed_bytes); // torn tail on disk
+    {
+        // Reopen: only the committed prefix survives, and the torn
+        // bytes are truncated away so the file ends at group 1.
+        g5::setQuiet(true);
+        Database db(dir.str());
+        g5::setQuiet(false);
+        auto &c = db.collection("runs");
+        EXPECT_EQ(c.findById("a").getInt("n"), 1);
+        EXPECT_TRUE(c.findById("b").isNull());
+        EXPECT_EQ(c.size(), 1u);
+        EXPECT_EQ(slurp(wal).size(), committed_bytes);
+
+        c.insertOne(doc(R"({"_id":"c","n":3})"));
+        db.save();
+    }
+    {
+        Database db(dir.str());
+        auto &c = db.collection("runs");
+        EXPECT_EQ(c.findById("c").getInt("n"), 3);
+        EXPECT_EQ(c.size(), 2u);
+    }
+}
+
+TEST(DbBinary, GroupCommitFailureKeepsLaterSavesDurable)
+{
+    // A failed commit leaves partial bytes on the WAL; the *same*
+    // process then keeps going. The next append must truncate back to
+    // the last group boundary first, or replay would drop the later
+    // (successfully acknowledged) groups along with the torn one.
+    TempDir dir("g5_db_test_tornrepair");
+    g5::fault::reset();
+    {
+        Database db(dir.str());
+        auto &c = db.collection("runs");
+        c.insertOne(doc(R"({"_id":"a","n":1})"));
+        db.save();
+
+        c.insertOne(doc(R"({"_id":"b","n":2})"));
+        g5::fault::armAfter("db.wal.groupCommit", 0);
+        EXPECT_THROW(db.save(), InjectedFault);
+        g5::fault::reset();
+
+        // This save's acknowledgement must be honest.
+        c.insertOne(doc(R"({"_id":"c","n":3})"));
+        db.save();
+    }
+    {
+        Database db(dir.str());
+        auto &c = db.collection("runs");
+        EXPECT_EQ(c.findById("a").getInt("n"), 1);
+        EXPECT_TRUE(c.findById("b").isNull());
+        EXPECT_EQ(c.findById("c").getInt("n"), 3);
+        EXPECT_EQ(c.size(), 2u);
+    }
+}
+
+TEST(DbBinary, GroupCommitFaultSmokeFromEnv)
+{
+    // CI smoke: run with G5_FAULT=db.wal.groupCommit so every commit
+    // attempt dies mid-write, then prove reopening never corrupts.
+    const char *spec = std::getenv("G5_FAULT");
+    if (spec == nullptr ||
+        std::string(spec).find("db.wal.groupCommit") == std::string::npos)
+        GTEST_SKIP() << "set G5_FAULT=db.wal.groupCommit to enable";
+
+    TempDir dir("g5_db_test_faultsmoke");
+    {
+        Database db(dir.str());
+        auto &c = db.collection("runs");
+        for (int i = 0; i < 5; ++i) {
+            c.insertOne(doc(R"({"_id":"r)" + std::to_string(i) +
+                            R"(","n":)" + std::to_string(i) + "}"));
+            try {
+                db.save();
+            } catch (const InjectedFault &) {
+                // expected: the armed point kills the commit
+            }
+        }
+    }
+    {
+        // Whatever subset of groups survived, the database reopens to
+        // a consistent committed prefix — every recovered doc intact.
+        g5::setQuiet(true);
+        Database db(dir.str());
+        g5::setQuiet(false);
+        auto &c = db.collection("runs");
+        c.forEach([](const Json &d) {
+            EXPECT_FALSE(d.getString("_id").empty());
+            EXPECT_GE(d.getInt("n"), 0);
+        });
+        EXPECT_LE(c.size(), 5u);
+    }
+}
+
+TEST(DbBinary, DurabilityNoneDefersAndFlushesAtClose)
+{
+    TempDir dir("g5_db_test_durnone");
+    stdfs::path wal = dir.path / "collections" / "runs.wal";
+    {
+        Database db(dir.str());
+        db.setDurability(Database::Durability::None);
+        auto &c = db.collection("runs");
+        c.insertOne(doc(R"({"_id":"a","n":1})"));
+        db.save();
+        // Records are spooled in memory: only the 8-byte magic landed.
+        EXPECT_LE(slurp(wal).size(), std::size_t(8));
+        // Tightening the knob flushes the spool.
+        db.setDurability(Database::Durability::Fsync);
+        EXPECT_GT(slurp(wal).size(), std::size_t(8));
+        c.insertOne(doc(R"({"_id":"b","n":2})"));
+        db.save(); // fsync'd group commit
+    }
+    {
+        Database db(dir.str());
+        EXPECT_EQ(db.collection("runs").size(), 2u);
+    }
+    {
+        // Deferred bytes also land via the destructor.
+        {
+            Database db(dir.str());
+            db.setDurability(Database::Durability::None);
+            db.collection("runs").insertOne(doc(R"({"_id":"c","n":3})"));
+            db.save();
+        }
+        Database db(dir.str());
+        EXPECT_EQ(db.collection("runs").findById("c").getInt("n"), 3);
+    }
+}
+
+TEST(DbBinary, LegacyJsonlDatabaseMigratesOnCompaction)
+{
+    TempDir dir("g5_db_test_migrate");
+    stdfs::path colls = dir.path / "collections";
+    {
+        // Session 1 writes the legacy text format.
+        Database db(dir.str());
+        db.setStorageFormat(Collection::WalFormat::Jsonl);
+        auto &c = db.collection("runs");
+        for (int i = 0; i < 10; ++i) {
+            c.insertOne(doc(R"({"_id":"r)" + std::to_string(i) +
+                            R"(","n":)" + std::to_string(i) + "}"));
+        }
+        db.save();
+        EXPECT_TRUE(stdfs::exists(colls / "runs.wal"));
+        std::string head = slurp(colls / "runs.wal").substr(0, 1);
+        EXPECT_EQ(head, "{"); // JSONL text, no binary magic
+    }
+    {
+        // Session 2 (binary default) reads the legacy files
+        // transparently; its first append hits the format mismatch and
+        // migrates the collection to a binary snapshot instead.
+        Database db(dir.str());
+        auto &c = db.collection("runs");
+        EXPECT_EQ(c.size(), 10u);
+        c.insertOne(doc(R"({"_id":"r10","n":10})"));
+        db.save();
+        EXPECT_TRUE(stdfs::exists(colls / "runs.s5db"));
+        EXPECT_FALSE(stdfs::exists(colls / "runs.jsonl"));
+        EXPECT_FALSE(stdfs::exists(colls / "runs.wal"));
+    }
+    {
+        Database db(dir.str());
+        auto &c = db.collection("runs");
+        EXPECT_EQ(c.size(), 11u);
+        EXPECT_EQ(c.findById("r10").getInt("n"), 10);
+    }
+}
+
+TEST(DbBinary, RangeQueriesAreServedByTheSortedIndex)
+{
+    Collection c("runs");
+    c.createIndex("n");
+    c.createIndex("name");
+    for (int i = 0; i < 100; ++i) {
+        Json d = Json::object();
+        d["_id"] = "r" + std::to_string(i);
+        d["n"] = i;
+        d["name"] = "run-" + std::string(1, char('a' + i % 26));
+        c.insertOne(std::move(d));
+    }
+    auto &planned = g5::metrics::counter("db.runs.plannedQueries");
+
+    std::int64_t p0 = planned.value();
+    auto mid = c.find(doc(R"({"n":{"$gte":10,"$lt":20}})"));
+    EXPECT_EQ(mid.size(), 10u);
+    for (const auto &d : mid) {
+        EXPECT_GE(d.getInt("n"), 10);
+        EXPECT_LT(d.getInt("n"), 20);
+    }
+    EXPECT_EQ(planned.value(), p0 + 1) << "range probe must use the index";
+
+    // Strictness at the bounds.
+    EXPECT_EQ(c.count(doc(R"({"n":{"$gt":97}})")), 2u);
+    EXPECT_EQ(c.count(doc(R"({"n":{"$gte":97}})")), 3u);
+    EXPECT_EQ(c.count(doc(R"({"n":{"$lte":2}})")), 3u);
+    EXPECT_EQ(c.count(doc(R"({"n":{"$lt":0}})")), 0u);
+
+    // String ranges walk the same sorted directory.
+    std::int64_t p1 = planned.value();
+    auto names = c.find(doc(R"({"name":{"$gte":"run-a","$lte":"run-c"}})"));
+    EXPECT_GT(planned.value(), p1);
+    std::size_t expect = 0;
+    c.forEach([&](const Json &d) {
+        std::string n = d.getString("name");
+        if (n >= "run-a" && n <= "run-c")
+            ++expect;
+    });
+    EXPECT_EQ(names.size(), expect);
+
+    // Results agree with a full scan even mid-churn (stale index cells
+    // must be filtered out).
+    c.deleteMany(doc(R"({"n":{"$gte":90}})"));
+    for (int i = 0; i < 10; ++i) {
+        c.updateOne(doc(R"({"n":)" + std::to_string(i) + "}"),
+                    doc(R"({"$set":{"n":)" + std::to_string(i + 100) +
+                        "}}"));
+    }
+    auto probe = c.find(doc(R"({"n":{"$gte":100}})"));
+    EXPECT_EQ(probe.size(), 10u);
+    EXPECT_EQ(c.count(doc(R"({"n":{"$lt":10}})")), 0u);
+    EXPECT_EQ(c.size(), 90u);
+}
+
+TEST(DbBinary, EqualityProbeStillPlansAndFiltersStaleEntries)
+{
+    Collection c("plans");
+    c.createIndex("status");
+    for (int i = 0; i < 20; ++i) {
+        Json d = Json::object();
+        d["_id"] = "r" + std::to_string(i);
+        d["status"] = i % 2 ? "PENDING" : "DONE";
+        c.insertOne(std::move(d));
+    }
+    auto &planned = g5::metrics::counter("db.plans.plannedQueries");
+    std::int64_t p0 = planned.value();
+    EXPECT_EQ(c.count(doc(R"({"status":"PENDING"})")), 10u);
+    EXPECT_EQ(planned.value(), p0 + 1);
+
+    // Flip half of them; the old index cells become stale and must not
+    // resurface in either probe.
+    for (int i = 0; i < 5; ++i) {
+        c.updateOne(doc(R"({"status":"PENDING"})"),
+                    doc(R"({"$set":{"status":"DONE"}})"));
+    }
+    EXPECT_EQ(c.count(doc(R"({"status":"PENDING"})")), 5u);
+    EXPECT_EQ(c.count(doc(R"({"status":"DONE"})")), 15u);
+}

@@ -229,6 +229,150 @@ TEST(DbConcurrent, SharedReadersWithWriters)
     EXPECT_EQ(coll.size(), 64u + 2u * 500u);
 }
 
+TEST(DbConcurrent, SlowScanDoesNotBlockWriters)
+{
+    // Regression: full scans used to hold the collection lock for the
+    // whole sweep, so a slow predicate starved every writer. With MVCC
+    // snapshot reads the scan pins an immutable view and writers make
+    // progress underneath it.
+    Database db;
+    auto &coll = db.collection("runs");
+    constexpr int seeded = 128;
+    for (int i = 0; i < seeded; ++i) {
+        Json d = Json::object();
+        d["_id"] = "seed-" + std::to_string(i);
+        d["n"] = i;
+        coll.insertOne(std::move(d));
+    }
+
+    std::atomic<int> inserted{0};
+    std::atomic<bool> scanning{false};
+    constexpr int extra = 64;
+
+    std::thread writer([&] {
+        // Wait until the scan is inside user code, then insert.
+        while (!scanning.load(std::memory_order_acquire))
+            std::this_thread::yield();
+        for (int i = 0; i < extra; ++i) {
+            Json d = Json::object();
+            d["_id"] = "extra-" + std::to_string(i);
+            d["n"] = seeded + i;
+            coll.insertOne(std::move(d));
+            inserted.fetch_add(1, std::memory_order_release);
+        }
+    });
+
+    // The "slow" scan: yield inside the callback so the writer runs
+    // while the sweep is mid-flight. Snapshot isolation means the scan
+    // sees exactly the seeded docs — never a torn mix — and the writer
+    // finishes long before a lock-holding scan would have let it start.
+    int seen = 0;
+    coll.forEach([&](const Json &d) {
+        scanning.store(true, std::memory_order_release);
+        EXPECT_EQ(d.getString("_id").substr(0, 5), "seed-");
+        ++seen;
+        std::this_thread::yield();
+    });
+    writer.join();
+
+    EXPECT_EQ(seen, seeded);
+    EXPECT_EQ(inserted.load(), extra);
+    EXPECT_EQ(coll.size(), std::size_t(seeded + extra));
+    // A fresh scan observes the writer's docs.
+    EXPECT_EQ(scanFind(coll, Json::parse(
+                  R"({"n":{"$gte":)" + std::to_string(seeded) + "}}"))
+                  .size(),
+              std::size_t(extra));
+}
+
+TEST(DbConcurrent, MvccChurnStress)
+{
+    // Readers, writers, updaters and deleters churn one collection;
+    // under TSan this exercises the lock-free publication protocol
+    // (chunk spine, id table, index buckets, TLS view cache).
+    Database db;
+    auto &coll = db.collection("runs");
+    coll.createIndex("shard");
+    constexpr int seeded = 256;
+    for (int i = 0; i < seeded; ++i) {
+        Json d = Json::object();
+        d["_id"] = "seed-" + std::to_string(i);
+        d["shard"] = i % 8;
+        d["n"] = i;
+        coll.insertOne(std::move(d));
+    }
+
+    std::atomic<bool> stop{false};
+    std::atomic<int> anomalies{0};
+
+    std::vector<std::thread> readers;
+    for (int r = 0; r < 4; ++r) {
+        readers.emplace_back([&, r] {
+            while (!stop.load(std::memory_order_relaxed)) {
+                // Indexed equality + range probes.
+                Json q = Json::object();
+                q["shard"] = r % 8;
+                for (const auto &d : coll.find(q)) {
+                    if (d.getInt("shard", -1) != r % 8)
+                        ++anomalies;
+                }
+                coll.count(Json::parse(R"({"n":{"$gte":100}})"));
+                // Point reads and a full snapshot scan.
+                coll.findById("seed-" + std::to_string(r * 31 % seeded));
+                std::size_t n = 0;
+                coll.forEach([&](const Json &d) {
+                    if (d.getString("_id").empty())
+                        ++anomalies;
+                    ++n;
+                });
+                if (n == 0)
+                    ++anomalies;
+            }
+        });
+    }
+
+    std::vector<std::thread> writers;
+    for (int w = 0; w < 2; ++w) {
+        writers.emplace_back([&, w] {
+            for (int i = 0; i < 400; ++i) {
+                Json d = Json::object();
+                d["_id"] = "w" + std::to_string(w) + "-" +
+                           std::to_string(i);
+                d["shard"] = i % 8;
+                d["n"] = seeded + i;
+                coll.insertOne(std::move(d));
+                coll.updateOne(
+                    Json::parse(R"({"_id":"seed-)" +
+                                std::to_string((w * 131 + i) % seeded) +
+                                R"("})"),
+                    Json::parse(R"({"$inc":{"n":1}})"));
+            }
+        });
+    }
+    std::thread deleter([&] {
+        // Delete every writer-0 doc; spin until each one has appeared.
+        for (int i = 0; i < 400; ++i) {
+            Json q = Json::parse(
+                R"({"_id":"w0-)" + std::to_string(i) + R"("})");
+            while (coll.deleteMany(q) == 0)
+                std::this_thread::yield();
+        }
+    });
+
+    for (auto &th : writers)
+        th.join();
+    deleter.join();
+    stop = true;
+    for (auto &th : readers)
+        th.join();
+
+    EXPECT_EQ(anomalies.load(), 0);
+    // Writer-1 docs all present; writer-0 docs all deleted.
+    EXPECT_EQ(coll.size(), std::size_t(seeded + 400));
+    EXPECT_EQ(coll.count(Json::parse(R"({"shard":3})")),
+              scanFind(coll, Json::parse(R"({"shard":3})")).size());
+}
+
 TEST(DbConcurrent, ConcurrentSavesAndCrossCollectionTxn)
 {
     stdfs::path root =
