@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Engineering benchmarks for the error-injection path: the cost of the
+ * per-batch injection check in FastCpu (clean run, injector installed
+ * vs. absent), the injected run itself, and the architectural-digest
+ * computation the checker replay pays.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "base/logging.hh"
+#include "bench/bench_common.hh"
+#include "sim/cpu/error_inject.hh"
+#include "sim/fs/fs_system.hh"
+#include "sim/fs/guest_abi.hh"
+#include "sim/isa/builder.hh"
+
+using namespace g5;
+using namespace g5::sim;
+using namespace g5::sim::fs;
+
+namespace
+{
+
+constexpr Tick limit = 10'000'000'000'000ULL;
+
+isa::ProgramPtr
+loopProgram(int iters)
+{
+    isa::ProgramBuilder pb("bench-err-loop");
+    pb.movi(3, 0x9000);
+    pb.movi(4, 0);
+    pb.movi(5, 0);
+    pb.movi(6, iters);
+    auto loop = pb.newLabel();
+    pb.bind(loop);
+    pb.muli(7, 5, 3);
+    pb.add(4, 4, 7);
+    pb.st(3, 0, 4);
+    pb.addi(3, 3, 8);
+    pb.addi(5, 5, 1);
+    pb.blt(5, 6, loop);
+    pb.movi(1, 0);
+    pb.syscall(SYS_EXIT);
+    return pb.finish();
+}
+
+FsConfig
+benchConfig(CpuType cpu, const std::string &flip, bool digest)
+{
+    FsConfig cfg;
+    cfg.cpuType = cpu;
+    cfg.memSystem = "classic";
+    cfg.simVersion = "";
+    cfg.seProgram = loopProgram(20'000);
+    cfg.archDigest = digest;
+    cfg.errInject = ErrorInjectConfig::parse(flip);
+    return cfg;
+}
+
+void
+BM_FastCpuCleanRun(benchmark::State &state)
+{
+    setQuiet(true);
+    for (auto _ : state) {
+        FsSystem fs(benchConfig(CpuType::Fast, "", false));
+        SimResult r = fs.run(limit);
+        benchmark::DoNotOptimize(r.totalInsts);
+    }
+    setQuiet(false);
+}
+BENCHMARK(BM_FastCpuCleanRun)->Unit(benchmark::kMillisecond);
+
+void
+BM_FastCpuInjectedRun(benchmark::State &state)
+{
+    // The injector clamps one batch at the flip boundary; everything
+    // after runs at full batch size again. The delta against
+    // BM_FastCpuCleanRun is the whole cost of the feature.
+    setQuiet(true);
+    for (auto _ : state) {
+        FsSystem fs(
+            benchConfig(CpuType::Fast, "reg:5:50000:9", false));
+        SimResult r = fs.run(limit);
+        benchmark::DoNotOptimize(r.totalInsts);
+    }
+    setQuiet(false);
+}
+BENCHMARK(BM_FastCpuInjectedRun)->Unit(benchmark::kMillisecond);
+
+void
+BM_AtomicCpuInjectedRun(benchmark::State &state)
+{
+    setQuiet(true);
+    for (auto _ : state) {
+        FsSystem fs(
+            benchConfig(CpuType::AtomicSimple, "reg:5:50000:9", false));
+        SimResult r = fs.run(limit);
+        benchmark::DoNotOptimize(r.totalInsts);
+    }
+    setQuiet(false);
+}
+BENCHMARK(BM_AtomicCpuInjectedRun)->Unit(benchmark::kMillisecond);
+
+void
+BM_ArchDigest(benchmark::State &state)
+{
+    // The checker-replay comparison point: MD5 over threads + touched
+    // memory, measured on a finished system.
+    setQuiet(true);
+    for (auto _ : state) {
+        FsSystem fs(benchConfig(CpuType::Fast, "", true));
+        SimResult r = fs.run(limit);
+        benchmark::DoNotOptimize(r.archMd5);
+    }
+    setQuiet(false);
+}
+BENCHMARK(BM_ArchDigest)->Unit(benchmark::kMillisecond);
+
+} // anonymous namespace
+
+BENCHMARK_MAIN();

@@ -25,6 +25,6 @@ cmake --build "$build_dir" --target g5_tests -j "$(nproc)"
 
 TSAN_OPTIONS=${TSAN_OPTIONS:-"halt_on_error=1 suppressions=$src_dir/bench/tsan.supp"} \
 "$build_dir/tests/g5_tests" \
-    --gtest_filter='DbConcurrent*:DbBinary*:Database*:Collection*:TaskQueue*:CancelToken*:SchedulerRetry*:SchedulerStress*:FaultInject*:FaultRecovery*:TraceConcurrent*:Metrics*:Tracing*:Wire*:WorkerPool*:DistributedSweep*:OrphanCleanup*'
+    --gtest_filter='DbConcurrent*:DbBinary*:Database*:Collection*:TaskQueue*:DependentTasks*:CancelToken*:SchedulerRetry*:SchedulerStress*:FaultInject*:FaultRecovery*:TraceConcurrent*:Metrics*:Tracing*:Wire*:WorkerPool*:DistributedSweep*:OrphanCleanup*'
 
 echo "TSan run clean: db + scheduler + observability concurrency tests passed"

@@ -1,0 +1,239 @@
+#include "art/errstudy.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "art/sweep.hh"
+#include "base/faultinject.hh"
+#include "base/logging.hh"
+#include "base/wallclock.hh"
+
+namespace g5::art
+{
+
+namespace
+{
+
+/** Census classes in fixed order (deterministic totals object). */
+const char *const censusClasses[] = {
+    "crashed", "detected", "silent-corruption", "masked", "unverified",
+};
+
+} // anonymous namespace
+
+ErrorStudy::ErrorStudy(ArtifactDb &adb, std::string study_name)
+    : adb(adb), studyName(std::move(study_name))
+{
+    journal();
+}
+
+db::Collection &
+ErrorStudy::journal() const
+{
+    return adb.db().collection("sweeps");
+}
+
+std::string
+ErrorStudy::keyFor(const Gem5Run &run) const
+{
+    return studyName + "/" + run.inputHash();
+}
+
+std::string
+ErrorStudy::classifyPair(const Json &main_doc, const Json &checker_doc)
+{
+    RunOutcome co = Gem5Run::classify(checker_doc);
+    if (co != RunOutcome::Success)
+        return "unverified"; // the clean replay itself failed
+    RunOutcome mo = Gem5Run::classify(main_doc);
+    if (mo != RunOutcome::Success)
+        return "crashed";
+    if (main_doc.getString("exitCause", "") !=
+            checker_doc.getString("exitCause", "") ||
+        main_doc.getInt("exitCode", 0) !=
+            checker_doc.getInt("exitCode", 0))
+        return "detected";
+    if (main_doc.getString("archMd5", "") !=
+        checker_doc.getString("archMd5", ""))
+        return "silent-corruption";
+    return "masked";
+}
+
+void
+ErrorStudy::record(const Gem5Run &run, const Json &doc)
+{
+    bool terminal = SweepJournal::documentTerminal(doc);
+    Json fields = Json::object();
+    fields["status"] = std::string(terminal ? "DONE" : "PENDING");
+    fields["outcome"] = runOutcomeName(Gem5Run::classify(doc));
+    fields["runId"] = doc.getString("_id", "");
+    fields["updatedAt"] = isoTimestamp();
+    journal().updateOne(Json::object({{"_id", Json(keyFor(run))}}),
+                        Json::object({{"$set", std::move(fields)}}));
+    // Terminal progress is durable immediately: a crash after this
+    // point never re-runs the pair member.
+    if (terminal)
+        adb.db().save();
+}
+
+Json
+ErrorStudy::resolveDocument(const std::string &key) const
+{
+    Json entry = journal().findById(key);
+    if (entry.isNull())
+        return Json();
+    std::string run_id = entry.getString("runId", "");
+    if (run_id.empty())
+        return Json();
+    return adb.db().collection("runs").findById(run_id);
+}
+
+Json
+ErrorStudy::run(Tasks &tasks, const std::vector<ErrorCell> &cells,
+                const RunFactory &factory)
+{
+    // Compose both members of every pair up front, in a deterministic
+    // order — the census walks the same vector later.
+    std::vector<Pair> pairs;
+    pairs.reserve(cells.size());
+    for (const ErrorCell &cell : cells) {
+        Json main_params =
+            cell.params.isObject() ? cell.params : Json::object();
+        main_params["err_inject"] = cell.flip;
+        main_params["arch_digest"] = true;
+        Json check_params =
+            cell.params.isObject() ? cell.params : Json::object();
+        check_params["arch_digest"] = true;
+        std::string base =
+            studyName + "/" + cell.workload + "/" + cell.flip;
+        pairs.push_back({cell,
+                         factory(base + "/main", main_params),
+                         factory(base + "/check", check_params)});
+    }
+    std::sort(pairs.begin(), pairs.end(),
+              [](const Pair &a, const Pair &b) {
+                  if (a.cell.workload != b.cell.workload)
+                      return a.cell.workload < b.cell.workload;
+                  return a.cell.flip < b.cell.flip;
+              });
+
+    // Journal every pair member (resuming prior progress) and submit
+    // the remainder: main runs as ordinary tasks, each checker as a
+    // dependent task gated on its main. Checker runs shared between
+    // cells (every flip of one workload replays the same clean
+    // configuration) are journalled and submitted once.
+    db::Collection &coll = journal();
+    lastSkipped = 0;
+    std::map<std::string, scheduler::TaskFuturePtr> inflight;
+    ErrorStudy *self = this;
+    tasks.setOnComplete([self](const Gem5Run &run, const Json &doc) {
+        self->record(run, doc);
+    });
+
+    auto submitMember = [&](const Gem5Run &run,
+                            scheduler::TaskFuturePtr after)
+        -> scheduler::TaskFuturePtr {
+        // Injectable crash mid-launch (G5_FAULT=errstudy.submit): the
+        // kill-and-resume tests interrupt a study between journal
+        // writes here.
+        fault::checkpoint("errstudy.submit");
+        std::string key = keyFor(run);
+        auto it = inflight.find(key);
+        if (it != inflight.end())
+            return it->second; // shared checker, already submitted
+        Json entry = coll.findById(key);
+        if (!entry.isNull() &&
+            entry.getString("status", "") == "DONE") {
+            ++lastSkipped;
+            return nullptr; // prior process finished this member
+        }
+        Json fields = Json::object();
+        fields["sweep"] = studyName;
+        fields["inputHash"] = run.inputHash();
+        fields["runName"] = run.name();
+        fields["status"] = std::string("PENDING");
+        fields["outcome"] = runOutcomeName(RunOutcome::Pending);
+        fields["updatedAt"] = isoTimestamp();
+        if (entry.isNull()) {
+            fields["_id"] = key;
+            coll.insertOne(std::move(fields));
+        } else {
+            coll.updateOne(
+                Json::object({{"_id", Json(key)}}),
+                Json::object({{"$set", std::move(fields)}}));
+        }
+        scheduler::TaskFuturePtr fut =
+            after ? tasks.applyAsyncAfter(run, std::move(after))
+                  : tasks.applyAsync(run);
+        inflight[key] = fut;
+        return fut;
+    };
+
+    for (const Pair &pair : pairs) {
+        scheduler::TaskFuturePtr main_fut =
+            submitMember(pair.main, nullptr);
+        // A skipped main (null future) degrades the checker to an
+        // ordinary submission — its dependency is already data.
+        submitMember(pair.checker, main_fut);
+    }
+    // Persist the launch plan before waiting, so a crash mid-study
+    // finds every un-started member still journalled.
+    adb.db().save();
+    tasks.waitAll();
+
+    // Classify every pair from the archived documents (submitted this
+    // process or resumed from a previous one — the journal's runId
+    // points at the terminal document either way).
+    Json cells_out = Json::array();
+    std::map<std::string, std::int64_t> totals;
+    for (const char *cls : censusClasses)
+        totals[cls] = 0;
+    for (const Pair &pair : pairs) {
+        Json main_doc = resolveDocument(keyFor(pair.main));
+        Json check_doc = resolveDocument(keyFor(pair.checker));
+        std::string cls = classifyPair(main_doc, check_doc);
+        ++totals[cls];
+        Json cell = Json::object();
+        cell["workload"] = pair.cell.workload;
+        cell["flip"] = pair.cell.flip;
+        cell["class"] = cls;
+        cell["mainOutcome"] =
+            runOutcomeName(Gem5Run::classify(main_doc));
+        cell["checkerOutcome"] =
+            runOutcomeName(Gem5Run::classify(check_doc));
+        cell["mainArchMd5"] = main_doc.getString("archMd5", "");
+        cell["checkerArchMd5"] = check_doc.getString("archMd5", "");
+        cells_out.push(std::move(cell));
+    }
+    Json totals_out = Json::object();
+    for (const char *cls : censusClasses)
+        totals_out[cls] = totals[cls];
+
+    Json census = Json::object();
+    census["study"] = studyName;
+    census["pairs"] = std::int64_t(pairs.size());
+    census["cells"] = std::move(cells_out);
+    census["totals"] = std::move(totals_out);
+
+    // Archive like a finished sweep: its own collection, keyed by
+    // study name, saved durably. The census field carries no
+    // timestamps — byte-identity across re-runs is an acceptance
+    // criterion — so updatedAt lives beside it, not inside.
+    db::Collection &studies = adb.db().collection("errorStudies");
+    Json fields = Json::object();
+    fields["study"] = studyName;
+    fields["census"] = census;
+    fields["updatedAt"] = isoTimestamp();
+    if (studies.findById(studyName).isNull()) {
+        fields["_id"] = studyName;
+        studies.insertOne(std::move(fields));
+    } else {
+        studies.updateOne(
+            Json::object({{"_id", Json(studyName)}}),
+            Json::object({{"$set", std::move(fields)}}));
+    }
+    adb.db().save();
+    return census;
+}
+
+} // namespace g5::art

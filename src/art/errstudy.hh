@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Error-injection coverage study — the "Fig 10" census.
+ *
+ * An ErrorStudy pairs every injected run (a cell: workload × flip
+ * target) with a checker replay — the identical configuration with the
+ * flip removed — and classifies each pair by comparing the two runs'
+ * terminal documents:
+ *
+ *  - crashed            the injected run did not reach a clean exit
+ *                       (panic, sim crash, deadlock, tick limit);
+ *  - detected           both runs finished but the guest-visible
+ *                       outcome differs (exit cause or exit code) —
+ *                       the workload noticed;
+ *  - silent-corruption  same visible outcome, different architectural
+ *                       digest (archMd5) — the flip survived to the
+ *                       end undetected;
+ *  - masked             same outcome and same digest — the flip was
+ *                       overwritten or never observed;
+ *  - unverified         the checker itself failed, so the pair cannot
+ *                       be classified (host trouble, not data).
+ *
+ * The checker shares the main run's System RNG seed (error-injection
+ * parameters are deliberately excluded from FsConfig::signature()), so
+ * the only divergence between the two runs is the flip itself — which
+ * is what makes "masked" a meaningful class.
+ *
+ * Pairs are submitted as dependent tasks (the checker through
+ * Tasks::applyAsyncAfter) and journalled in the "sweeps" collection
+ * with SweepJournal's content-addressed keys, so a killed study
+ * resumes: already-terminal runs are skipped and the census is rebuilt
+ * from their archived documents. Checker runs shared between cells
+ * (every flip of one workload replays the same clean run) are
+ * submitted once.
+ *
+ * The census is deterministic — cells sorted by (workload, flip),
+ * totals accumulated in class order — so re-running the study with the
+ * same seed, a different CPU model pair, or G5_WORKERS distribution
+ * must produce a byte-identical document. It is archived in the
+ * "errorStudies" collection keyed by study name.
+ */
+
+#ifndef G5_ART_ERRSTUDY_HH
+#define G5_ART_ERRSTUDY_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "art/run.hh"
+#include "art/tasks.hh"
+
+namespace g5::art
+{
+
+/** One cell of the study: a workload and one flip to inject into it. */
+struct ErrorCell
+{
+    /** Display label of the workload (census row). */
+    std::string workload;
+
+    /** Error-injection spec ("reg:<bit>[:<atInst>[:<seed>]]" | mem:…). */
+    std::string flip;
+
+    /**
+     * Base run parameters — without err_inject/arch_digest, which the
+     * study adds itself (the flip for the main run, the digest for
+     * both).
+     */
+    Json params;
+};
+
+class ErrorStudy
+{
+  public:
+    /**
+     * Build the Gem5Run for one study member: the study owns the
+     * parameter composition, the caller owns everything artifact-
+     * related (binaries, disk images, output directories).
+     */
+    using RunFactory =
+        std::function<Gem5Run(const std::string &name,
+                              const Json &params)>;
+
+    /** Attach to (or create) the study @p study_name in @p adb. */
+    ErrorStudy(ArtifactDb &adb, std::string study_name);
+
+    /**
+     * Execute the study: journal + submit every pair (resuming prior
+     * progress), wait for completion, classify, archive and return the
+     * census document.
+     */
+    Json run(Tasks &tasks, const std::vector<ErrorCell> &cells,
+             const RunFactory &factory);
+
+    /** Runs skipped as already-terminal by the last run(). */
+    std::size_t skipped() const { return lastSkipped; }
+
+    /** The journal document key for @p run (stable across processes). */
+    std::string keyFor(const Gem5Run &run) const;
+
+    /**
+     * Classify one (main, checker) pair of terminal run documents into
+     * a census class name (see the file comment).
+     */
+    static std::string classifyPair(const Json &main_doc,
+                                    const Json &checker_doc);
+
+    const std::string &name() const { return studyName; }
+
+  private:
+    struct Pair
+    {
+        ErrorCell cell;
+        Gem5Run main;
+        Gem5Run checker;
+    };
+
+    /** Per-attempt Tasks hook: update the entry, persist if terminal. */
+    void record(const Gem5Run &run, const Json &doc);
+
+    /** Journal entry → archived run document ("" id → null). */
+    Json resolveDocument(const std::string &key) const;
+
+    db::Collection &journal() const;
+
+    ArtifactDb &adb;
+    std::string studyName;
+    std::size_t lastSkipped = 0;
+};
+
+} // namespace g5::art
+
+#endif // G5_ART_ERRSTUDY_HH

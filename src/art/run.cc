@@ -143,7 +143,27 @@ assembleConfig(const std::string &gem5_binary,
         sim::cpuTypeFromName(params.getString("cpu", "timing"));
     cfg.numCpus = unsigned(params.getInt("num_cpus", 1));
     cfg.memSystem = params.getString("mem_system", "classic");
+    cfg.errInject = sim::ErrorInjectConfig::parse(
+        params.getString("err_inject", ""));
+    cfg.archDigest = params.getBool("arch_digest", false);
     return cfg;
+}
+
+/**
+ * Fold the G5_ERRINJ environment spec into a run's params (unless the
+ * caller already set err_inject explicitly). This happens at run
+ * *creation* so the spec lands inside the inputHash: an error-injected
+ * run must never be served from (or poison) the cache entry of its
+ * clean twin.
+ */
+void
+foldErrInjectEnv(Json &params)
+{
+    if (params.contains("err_inject"))
+        return;
+    const char *v = std::getenv("G5_ERRINJ");
+    if (v != nullptr && *v != '\0')
+        params["err_inject"] = std::string(v);
 }
 
 } // anonymous namespace
@@ -169,6 +189,7 @@ Gem5Run::createFSRun(
     run.linuxBinary = linux_binary;
     run.diskImage = disk_image;
     run.params = params.isObject() ? params : Json::object();
+    foldErrInjectEnv(run.params);
     run.timeoutS = timeout_s;
 
     Json doc = Json::object();
@@ -221,6 +242,7 @@ Gem5Run::createSERun(
     run.outdir = outdir;
     run.workloadBinary = workload_binary;
     run.params = params.isObject() ? params : Json::object();
+    foldErrInjectEnv(run.params);
     run.timeoutS = timeout_s;
 
     Json doc = Json::object();
@@ -337,6 +359,12 @@ Gem5Run::maybePrepareRestore(ArtifactDb &adb,
         !params.getString("checkpoint_to", "").empty() ||
         params.getBool("checkpoint_after_boot", false))
         return;
+    // Error-injected (and digest-checked) runs take the straight path:
+    // a flip can land during boot, and a restore would change the
+    // dynamic instruction counts the injection boundary is defined on.
+    if (!params.getString("err_inject", "").empty() ||
+        params.getBool("arch_digest", false))
+        return;
 
     try {
         Json binary = Json::parse(readFile(gem5Binary));
@@ -402,7 +430,8 @@ Gem5Run::tryServeFromCache(ArtifactDb &adb)
         static const char *result_keys[] = {
             "status", "outcome", "error", "exitCause", "exitCode",
             "simTicks", "roiTicks", "workBeginTick", "workEndTick",
-            "totalInsts", "resultsBlob", "stats",
+            "totalInsts", "resultsBlob", "stats", "archMd5",
+            "errInject",
         };
         Json fields = Json::object();
         for (const char *key : result_keys)
@@ -644,6 +673,10 @@ Gem5Run::execute(ArtifactDb &adb, scheduler::CancelToken *token)
     fields["totalInsts"] = result.totalInsts;
     fields["resultsBlob"] = results_blob;
     fields["stats"] = result.stats;
+    if (!result.archMd5.empty())
+        fields["archMd5"] = result.archMd5;
+    if (!result.errInject.isNull())
+        fields["errInject"] = result.errInject;
     if (restored_from_ckpt)
         fields["restoredBootHash"] = bootHashStr;
     if (checkpoint_stub.isObject())
@@ -765,6 +798,10 @@ Gem5Run::simulateWire(const Json &spec, scheduler::CancelToken *token)
     fields["workEndTick"] = result.workEndTick;
     fields["totalInsts"] = result.totalInsts;
     fields["stats"] = result.stats;
+    if (!result.archMd5.empty())
+        fields["archMd5"] = result.archMd5;
+    if (!result.errInject.isNull())
+        fields["errInject"] = result.errInject;
     out["fields"] = std::move(fields);
     out["statsText"] = result.statsText;
     out["consoleText"] = result.consoleText;

@@ -252,6 +252,16 @@ Tasks::applyAsync(Gem5Run run)
                             retryPolicy);
 }
 
+scheduler::TaskFuturePtr
+Tasks::applyAsyncAfter(Gem5Run run, scheduler::TaskFuturePtr after)
+{
+    double timeout = run.timeoutSeconds();
+    std::string name = run.name();
+    return queue.applyAsyncAfter(name, taskFor(std::move(run)),
+                                 std::move(after), timeout,
+                                 retryPolicy);
+}
+
 std::vector<scheduler::TaskFuturePtr>
 Tasks::applyAsyncBatch(std::vector<Gem5Run> runs)
 {

@@ -95,6 +95,16 @@ class Tasks
     std::vector<scheduler::TaskFuturePtr>
     applyAsyncBatch(std::vector<Gem5Run> runs);
 
+    /**
+     * Submit a run that must not start before @p after is terminal —
+     * the error study's pairing primitive: the checker replay is
+     * submitted dependent on its main (injected) run so the pair's
+     * documents settle in order. Ordering only: the dependent run
+     * executes whatever the dependency's outcome.
+     */
+    scheduler::TaskFuturePtr
+    applyAsyncAfter(Gem5Run run, scheduler::TaskFuturePtr after);
+
     /** Toggle run-result cache usage for subsequent submissions. */
     void setUseCache(bool use) { useCache = use; }
 

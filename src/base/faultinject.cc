@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <map>
 #include <mutex>
+#include <string_view>
 
 #include "base/logging.hh"
 #include "base/random.hh"
@@ -22,7 +23,9 @@ struct Point
 
     bool armed = false;
     double prob = 1.0;
-    Rng rng{0};
+    std::uint64_t seed = 0;
+    /** Armed draws made so far (the per-point hit ordinal). */
+    std::uint64_t draws = 0;
 
     /** armAfter mode: pass this many more times, fire once, disarm. */
     bool oneShot = false;
@@ -36,6 +39,8 @@ struct State
     /** Fast path: how many points are currently armed. */
     std::atomic<int> armedCount{0};
     std::once_flag envOnce;
+    /** Set (pre-fork write, post-fork read — fork-safe) in children. */
+    std::atomic<bool> workerProcess{false};
 };
 
 State &
@@ -57,9 +62,38 @@ armFromEnvOnce()
     });
 }
 
+/**
+ * The stateless verdict underneath wouldFire()/draw(): hash the
+ * (point, seed, ordinal) triple to a unit interval and compare against
+ * prob. No PRNG state means no dependence on visit interleaving — and
+ * no fork-inherited stream a worker child could replay out of step.
+ */
+bool
+verdict(const std::string &point, double prob, std::uint64_t seed,
+        std::uint64_t ordinal)
+{
+    if (prob >= 1.0)
+        return true;
+    if (prob <= 0.0)
+        return false;
+    std::uint64_t h = hashCombine(hashCombine(seed, hashString(point)),
+                                  ordinal);
+    std::uint64_t mixed = splitmix64(h);
+    double unit = double(mixed >> 11) * 0x1.0p-53;
+    return unit < prob;
+}
+
+/** @return true when @p point is parent-only in a worker child. */
+bool
+suppressedInWorker(const char *point)
+{
+    return state().workerProcess.load(std::memory_order_relaxed) &&
+           std::string_view(point).substr(0, 7) == "worker.";
+}
+
 /** Decide whether an armed point fires on this visit. Lock held. */
 bool
-draw(Point &p)
+draw(const char *name, Point &p)
 {
     if (p.oneShot) {
         if (p.passesLeft > 0) {
@@ -70,7 +104,7 @@ draw(Point &p)
         state().armedCount.fetch_sub(1, std::memory_order_relaxed);
         return true;
     }
-    return p.rng.chance(p.prob);
+    return verdict(name, p.prob, p.seed, ++p.draws);
 }
 
 bool
@@ -82,9 +116,9 @@ visit(const char *point, bool counted)
     Point &p = s.points[point];
     if (counted)
         ++p.hits;
-    if (!p.armed)
+    if (!p.armed || suppressedInWorker(point))
         return false;
-    bool fire = draw(p);
+    bool fire = draw(point, p);
     if (fire)
         ++p.fired;
     return fire;
@@ -126,8 +160,10 @@ arm(const std::string &point, double prob, std::uint64_t seed)
     p.armed = true;
     p.oneShot = false;
     p.prob = prob;
-    // Distinct points with the same seed draw distinct sequences.
-    p.rng = Rng(hashCombine(seed, hashString(point)));
+    p.seed = seed;
+    // Re-arming restarts the ordinal sequence: the N-th draw after any
+    // arm(point, prob, seed) always gets the same verdict.
+    p.draws = 0;
 }
 
 void
@@ -192,6 +228,31 @@ armFromSpec(const std::string &spec)
             fatal("G5_FAULT: too many fields in '" + t + "'");
         arm(trim(parts[0]), prob, seed);
     }
+}
+
+bool
+wouldFire(const std::string &point, double prob, std::uint64_t seed,
+          std::uint64_t ordinal)
+{
+    return verdict(point, prob, seed, ordinal);
+}
+
+void
+markWorkerProcess()
+{
+    state().workerProcess.store(true, std::memory_order_relaxed);
+}
+
+bool
+inWorkerProcess()
+{
+    return state().workerProcess.load(std::memory_order_relaxed);
+}
+
+void
+unmarkWorkerProcessForTest()
+{
+    state().workerProcess.store(false, std::memory_order_relaxed);
 }
 
 std::uint64_t

@@ -15,10 +15,23 @@
  *     G5_FAULT=point[:prob[:seed]][,point2[:prob[:seed]]...]
  *
  * e.g. G5_FAULT=db.blob.putFile:0.25:42 makes every putFile call fail
- * with probability 0.25, drawn from a PRNG seeded with 42 — the same
- * seed reproduces the same failure pattern bit-identically, which is
- * what makes "run the sweep under injected faults" a regression test
- * instead of a flake generator.
+ * with probability 0.25 — the same seed reproduces the same failure
+ * pattern bit-identically, which is what makes "run the sweep under
+ * injected faults" a regression test instead of a flake generator.
+ *
+ * Determinism contract: the verdict of a point's N-th armed draw is a
+ * pure function of (point name, seed, N) — see wouldFire(). There is no
+ * shared PRNG stream, so the fire pattern does not depend on how visits
+ * interleave across threads, and a process that makes the same sequence
+ * of visits to a point sees the same sequence of verdicts whether it
+ * runs single-threaded, on 8 threads, or as a forked G5_WORKERS child.
+ *
+ * Fork safety: worker processes call markWorkerProcess() right after
+ * fork. From then on every "worker.*" point is parent-only in that
+ * process — visits still count, but the point never fires, so
+ * fork-inherited arming of the pool's own fault points (worker.spawn,
+ * worker.recv, worker.heartbeat, worker.commit) cannot double-fire in
+ * children.
  *
  * Tests preferring exact placement over probability use armAfter():
  * the point fires once after N successful passes, then disarms itself —
@@ -80,6 +93,29 @@ void reset();
 
 /** Parse and arm a G5_FAULT-syntax spec string. Throws on bad syntax. */
 void armFromSpec(const std::string &spec);
+
+/**
+ * The pure draw function: would the @p ordinal-th (1-based) armed draw
+ * of @p point fire under (@p prob, @p seed)? This is exactly the
+ * verdict checkpoint()/shouldFire() compute for that draw, exposed so
+ * tests can predict a fire sequence without visiting the point.
+ */
+bool wouldFire(const std::string &point, double prob,
+               std::uint64_t seed, std::uint64_t ordinal);
+
+/**
+ * Mark this process as a forked worker: every "worker.*" point becomes
+ * parent-only here (visits count, draws never fire). Called by the
+ * worker pool in the child right after fork; irreversible by design.
+ */
+void markWorkerProcess();
+
+/** @return true when markWorkerProcess() ran in this process. */
+bool inWorkerProcess();
+
+/** Clear the worker-process mark. Test isolation only — a real forked
+ *  worker never unmarks itself. */
+void unmarkWorkerProcessForTest();
 
 /** @return times @p point was visited (armed or not). */
 std::uint64_t hits(const std::string &point);

@@ -1,5 +1,6 @@
 #include "base/metrics.hh"
 
+#include <cmath>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -99,6 +100,15 @@ Histogram::latencySecondsBounds()
 void
 Histogram::observe(double v)
 {
+    // NaN would poison the bucket scan (every comparison false) and the
+    // fixed-point sum (int64 cast of NaN is UB): drop it. Negative
+    // values (wall-clock deltas across a clock step, miscomputed diff
+    // counts) clamp to zero so they land in bucket 0 and cannot drag
+    // the running sum below the true total.
+    if (std::isnan(v))
+        return;
+    if (v < 0.0)
+        v = 0.0;
     std::size_t i = 0;
     while (i < bounds.size() && v > bounds[i])
         ++i;

@@ -22,6 +22,13 @@ secs(double s)
     return std::chrono::duration<double>(s);
 }
 
+bool
+terminalState(TaskState s)
+{
+    return s == TaskState::Success || s == TaskState::Failure ||
+           s == TaskState::Timeout;
+}
+
 } // anonymous namespace
 
 const char *
@@ -305,6 +312,14 @@ struct TaskQueue::Pool
         TaskFuturePtr task;
     };
     std::vector<Delayed> delayed; ///< retry backoff queue
+    struct Deferred
+    {
+        TaskFuturePtr after; ///< dependency gating the task
+        TaskFuturePtr task;
+    };
+    /** Dependency-ordered tasks (applyAsyncAfter): parked here until
+     *  the watchdog sees the dependency terminal and promotes them. */
+    std::vector<Deferred> deferred;
     std::vector<TaskFuturePtr> running;
 
     std::vector<std::thread> threads;
@@ -417,8 +432,11 @@ TaskQueue::~TaskQueue()
                                               pool->pending.end());
             for (const auto &d : pool->delayed)
                 queued.push_back(d.task);
+            for (const auto &d : pool->deferred)
+                queued.push_back(d.task);
             pool->pending.clear();
             pool->delayed.clear();
+            pool->deferred.clear();
             for (const auto &t : pool->running)
                 t->token.cancel();
             lock.unlock();
@@ -507,6 +525,42 @@ TaskQueue::applyAsync(const std::string &name, TaskFn fn,
     return fut;
 }
 
+TaskFuturePtr
+TaskQueue::applyAsyncAfter(const std::string &name, TaskFn fn,
+                           TaskFuturePtr after, double timeout_s,
+                           RetryPolicy retry)
+{
+    if (!after)
+        return applyAsync(name, std::move(fn), timeout_s,
+                          std::move(retry));
+    auto fut = makeFuture(name, std::move(fn), timeout_s,
+                          std::move(retry));
+    if (backend == Backend::Inline) {
+        // Inline submissions run on the submitting thread; the
+        // dependency — also inline — is already terminal, but wait()
+        // keeps the contract when callers mix backends across queues.
+        after->wait();
+        runInline(fut);
+        return fut;
+    }
+    bool ready;
+    {
+        std::lock_guard<std::mutex> lock(pool->mtx);
+        if (pool->shuttingDown)
+            fatal("TaskQueue: applyAsyncAfter after shutdown");
+        // Safe to take the dependency's future mutex under pool->mtx:
+        // no path acquires them in the reverse order (transition hooks
+        // touch only atomics).
+        ready = terminalState(after->state());
+        if (ready)
+            pool->pending.push_back(fut);
+        else
+            pool->deferred.push_back({std::move(after), fut});
+    }
+    pool->cv.notify_all();
+    return fut;
+}
+
 std::vector<TaskFuturePtr>
 TaskQueue::map(std::vector<TaskSpec> specs)
 {
@@ -518,16 +572,24 @@ TaskQueue::map(std::vector<TaskSpec> specs)
                                   spec.timeoutSeconds,
                                   std::move(spec.retry)));
     if (backend == Backend::Inline) {
-        for (auto &fut : futs)
-            runInline(fut);
+        for (std::size_t i = 0; i < futs.size(); ++i) {
+            if (specs[i].after)
+                specs[i].after->wait();
+            runInline(futs[i]);
+        }
         return futs;
     }
     {
         std::lock_guard<std::mutex> lock(pool->mtx);
         if (pool->shuttingDown)
             fatal("TaskQueue: map after shutdown");
-        pool->pending.insert(pool->pending.end(), futs.begin(),
-                             futs.end());
+        for (std::size_t i = 0; i < futs.size(); ++i) {
+            if (specs[i].after &&
+                !terminalState(specs[i].after->state()))
+                pool->deferred.push_back({specs[i].after, futs[i]});
+            else
+                pool->pending.push_back(futs[i]);
+        }
     }
     // One wake-up for the whole batch instead of one per task.
     pool->cv.notify_all();
@@ -543,12 +605,14 @@ TaskQueue::workerLoop(std::shared_ptr<Pool> pool, std::size_t idx)
             std::unique_lock<std::mutex> lock(pool->mtx);
             pool->cv.wait(lock, [&] {
                 return pool->abortDrain || !pool->pending.empty() ||
-                       (pool->shuttingDown && pool->delayed.empty());
+                       (pool->shuttingDown && pool->delayed.empty() &&
+                        pool->deferred.empty());
             });
             if (pool->abortDrain)
                 break;
             if (pool->pending.empty()) {
-                if (pool->shuttingDown && pool->delayed.empty())
+                if (pool->shuttingDown && pool->delayed.empty() &&
+                    pool->deferred.empty())
                     break;
                 continue;
             }
@@ -612,6 +676,21 @@ TaskQueue::watchdogLoop(std::shared_ptr<Pool> pool)
             }
         }
 
+        // Promote dependency-ordered tasks whose dependency reached a
+        // terminal state (future mutexes nest under pool->mtx — see
+        // applyAsyncAfter).
+        for (std::size_t i = 0; i < pool->deferred.size();) {
+            if (terminalState(pool->deferred[i].after->state())) {
+                pool->pending.push_back(
+                    std::move(pool->deferred[i].task));
+                pool->deferred.erase(pool->deferred.begin() +
+                                     std::ptrdiff_t(i));
+                woke = true;
+            } else {
+                ++i;
+            }
+        }
+
         // Enforce deadlines on tasks that never poll their token. The
         // token self-expires at its deadline (no cancel() needed — an
         // explicit cancel would also veto a policy-allowed timeout
@@ -651,7 +730,7 @@ TaskQueue::waitAll()
     std::unique_lock<std::mutex> lock(pool->mtx);
     pool->cv.wait(lock, [this] {
         return pool->pending.empty() && pool->delayed.empty() &&
-               pool->running.empty();
+               pool->deferred.empty() && pool->running.empty();
     });
 }
 
@@ -666,8 +745,11 @@ TaskQueue::cancelAll()
         queued.assign(pool->pending.begin(), pool->pending.end());
         for (const auto &d : pool->delayed)
             queued.push_back(d.task);
+        for (const auto &d : pool->deferred)
+            queued.push_back(d.task);
         pool->pending.clear();
         pool->delayed.clear();
+        pool->deferred.clear();
         for (const auto &t : pool->running)
             t->token.cancel();
     }
@@ -714,7 +796,8 @@ TaskQueue::summary() const
     {
         std::lock_guard<std::mutex> lock(pool->mtx);
         std::int64_t depth =
-            std::int64_t(pool->pending.size() + pool->delayed.size());
+            std::int64_t(pool->pending.size() + pool->delayed.size() +
+                         pool->deferred.size());
         std::int64_t busy = std::int64_t(pool->running.size());
         std::int64_t live = std::int64_t(pool->liveWorkers);
         m["queueDepth"] = depth;

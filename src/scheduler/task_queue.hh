@@ -123,6 +123,9 @@ class CancelToken
 /** The body of a task: receives its token, returns a JSON result. */
 using TaskFn = std::function<Json(CancelToken &)>;
 
+class TaskFuture;
+using TaskFuturePtr = std::shared_ptr<TaskFuture>;
+
 /** One entry of a batched submission (TaskQueue::map). */
 struct TaskSpec
 {
@@ -130,6 +133,13 @@ struct TaskSpec
     TaskFn fn;
     double timeoutSeconds = 0.0;
     RetryPolicy retry;
+    /**
+     * Optional ordering dependency: this task stays deferred until
+     * @c after reaches a terminal state (Success, Failure or Timeout).
+     * Ordering only — the dependent runs whatever the dependency's
+     * outcome; bodies that care inspect the dependency's future.
+     */
+    TaskFuturePtr after;
 };
 
 /** Handle for a submitted task; shared between caller and worker. */
@@ -260,6 +270,20 @@ class TaskQueue
     TaskFuturePtr applyAsync(const std::string &name, TaskFn fn,
                              double timeout_s = 0.0,
                              RetryPolicy retry = RetryPolicy::none());
+
+    /**
+     * Submit a task that must not start before @p after is terminal
+     * (Success, Failure or Timeout). Pure ordering — the dependent
+     * always runs; a body that cares about the dependency's outcome
+     * inspects its future. The error-study pairing (main run, then its
+     * checker replay) rides on this. A null @p after degenerates to
+     * applyAsync.
+     */
+    TaskFuturePtr applyAsyncAfter(const std::string &name, TaskFn fn,
+                                  TaskFuturePtr after,
+                                  double timeout_s = 0.0,
+                                  RetryPolicy retry =
+                                      RetryPolicy::none());
 
     /**
      * Batched submission: enqueue every spec under one lock and wake

@@ -332,6 +332,12 @@ WorkerPool::Impl::spawnSlot(Slot &s)
         ::close(sv[0]);
         for (int fd : inherited)
             ::close(fd);
+        // The fault registry crossed the fork with the parent's
+        // "worker.*" points still armed; make them parent-only here so
+        // a pool-level fault spec cannot double-fire in its own
+        // children (an atomic flag — the registry mutex is not
+        // fork-safe to take this early).
+        fault::markWorkerProcess();
         workerMain(sv[1]); // never returns
     }
     ::close(sv[1]);

@@ -1,0 +1,123 @@
+#include "sim/cpu/error_inject.hh"
+
+#include "base/logging.hh"
+#include "base/random.hh"
+#include "base/str.hh"
+#include "sim/isa/thread.hh"
+#include "sim/system.hh"
+
+namespace g5::sim
+{
+
+namespace
+{
+
+/** Domain separators so the register and word picks draw from
+ *  independent streams of the same seed. */
+constexpr std::uint64_t regPickSalt = 0xE11E'0001;
+constexpr std::uint64_t memPickSalt = 0xE11E'0002;
+
+} // anonymous namespace
+
+ErrorInjectConfig
+ErrorInjectConfig::parse(const std::string &spec)
+{
+    ErrorInjectConfig cfg;
+    if (spec.empty())
+        return cfg;
+    auto parts = split(spec, ':');
+    if (parts.size() < 2 || parts.size() > 4)
+        fatal("err_inject: want target:bit[:atInst[:seed]], got '" +
+              spec + "'");
+    std::string target = trim(parts[0]);
+    if (target == "reg")
+        cfg.target = Target::Reg;
+    else if (target == "mem")
+        cfg.target = Target::Mem;
+    else
+        fatal("err_inject: unknown target '" + target +
+              "' (want reg or mem)");
+    try {
+        cfg.bit = unsigned(std::stoul(trim(parts[1])));
+        if (parts.size() > 2)
+            cfg.atInst = std::stoull(trim(parts[2]));
+        if (parts.size() > 3)
+            cfg.seed = std::stoull(trim(parts[3]));
+    } catch (const std::exception &) {
+        fatal("err_inject: cannot parse '" + spec + "'");
+    }
+    if (cfg.bit > 63)
+        fatal("err_inject: bit must be 0..63, got " +
+              std::to_string(cfg.bit));
+    return cfg;
+}
+
+std::string
+ErrorInjectConfig::toSpec() const
+{
+    if (!enabled())
+        return "";
+    return std::string(target == Target::Reg ? "reg" : "mem") + ":" +
+           std::to_string(bit) + ":" + std::to_string(atInst) + ":" +
+           std::to_string(seed);
+}
+
+std::uint64_t
+ErrorInjector::instsUntil(int cpu_id, std::uint64_t committed) const
+{
+    // CPU 0 is the injection site: its commit stream is the one both
+    // CPU models replay identically, so the boundary is well-defined.
+    if (!cfg.enabled() || injected || cpu_id != 0)
+        return never;
+    return committed >= cfg.atInst ? 0 : cfg.atInst - committed;
+}
+
+void
+ErrorInjector::inject(System &sys, isa::ThreadContext *tc)
+{
+    injected = true;
+    record = Json::object();
+    record["target"] = cfg.target == ErrorInjectConfig::Target::Reg
+                           ? "reg"
+                           : "mem";
+    record["bit"] = std::int64_t(cfg.bit);
+    record["atInst"] = std::int64_t(cfg.atInst);
+    record["seed"] = std::int64_t(cfg.seed);
+    record["tick"] = sys.curTick();
+
+    const std::int64_t mask = std::int64_t(std::uint64_t(1) << cfg.bit);
+
+    if (cfg.target == ErrorInjectConfig::Target::Reg) {
+        if (!tc) {
+            // No resident thread at the boundary: nothing to corrupt.
+            record["skipped"] = "no resident thread";
+            return;
+        }
+        std::uint64_t pick_state = hashCombine(cfg.seed, regPickSalt);
+        unsigned idx = unsigned(splitmix64(pick_state) % isa::numRegs);
+        std::int64_t before = tc->regs[idx];
+        tc->regs[idx] = before ^ mask;
+        record["tid"] = std::int64_t(tc->tid);
+        record["reg"] = std::int64_t(idx);
+        record["before"] = before;
+        record["after"] = tc->regs[idx];
+        return;
+    }
+
+    // Mem: pick a word among the touched pages. Writing through the
+    // normal PhysMem path keeps COW sharing and page-cache invalidation
+    // honest (the injector is just another writer).
+    Addr addr = 0;
+    std::uint64_t pick_state = hashCombine(cfg.seed, memPickSalt);
+    if (!sys.physmem.pickWord(splitmix64(pick_state), addr)) {
+        record["skipped"] = "no touched memory";
+        return;
+    }
+    std::int64_t before = sys.physmem.read(addr);
+    sys.physmem.write(addr, before ^ mask);
+    record["addr"] = std::int64_t(addr);
+    record["before"] = before;
+    record["after"] = before ^ mask;
+}
+
+} // namespace g5::sim

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Guest-level architectural error injection (DESIGN.md §14).
+ *
+ * An ErrorInjector flips exactly one bit of guest architectural state —
+ * an integer register of the resident thread, or one word of touched
+ * physical memory — immediately before CPU 0 commits its
+ * (atInst + 1)-th dynamic instruction. Everything about the flip is a
+ * pure function of the ErrorInjectConfig: the register / memory word is
+ * drawn from the seed, so a run is reproduced bit-identically by
+ * re-running the same (target, bit, atInst, seed) tuple.
+ *
+ * Both per-instruction and batched CPU models honor the same boundary:
+ * AtomicSimpleCpu checks before every step, and FastCpu clamps its
+ * batch budget so a batch ends exactly at the injection instruction —
+ * the flip lands at the same dynamic instruction count in either model,
+ * which is what makes a fast-CPU error run checkable against an atomic
+ * replay (and vice versa).
+ *
+ * The checker replay is simply the same configuration without the
+ * err_inject parameter: the art layer (art/errstudy.hh) pairs each main
+ * run with its checker and classifies the divergence of their final
+ * architectural MD5 digests into the Fig 10 census classes — detected,
+ * silent corruption, masked, crashed.
+ */
+
+#ifndef G5_SIM_CPU_ERROR_INJECT_HH
+#define G5_SIM_CPU_ERROR_INJECT_HH
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "base/json.hh"
+#include "base/types.hh"
+
+namespace g5::sim
+{
+
+class System;
+
+namespace isa
+{
+class ThreadContext;
+} // namespace isa
+
+/** One planned bit flip; value-semantic, fully determines the flip. */
+struct ErrorInjectConfig
+{
+    enum class Target { None, Reg, Mem };
+
+    Target target = Target::None;
+    /** Which bit of the 64-bit word flips. */
+    unsigned bit = 0;
+    /** Flip lands before CPU 0 commits instruction number atInst + 1. */
+    std::uint64_t atInst = 0;
+    /** Seeds the register / memory-word pick. */
+    std::uint64_t seed = 0;
+
+    bool enabled() const { return target != Target::None; }
+
+    /**
+     * Parse a "reg:<bit>[:<atInst>[:<seed>]]" or
+     * "mem:<bit>[:<atInst>[:<seed>]]" spec (the err_inject run param /
+     * G5_ERRINJ syntax). "" parses to a disabled config; anything else
+     * malformed throws FatalError.
+     */
+    static ErrorInjectConfig parse(const std::string &spec);
+
+    /** The canonical spec string parse() accepts ("" when disabled). */
+    std::string toSpec() const;
+};
+
+/**
+ * Runtime state of one flip: owned by the System, consulted by CPU
+ * models at instruction boundaries. Single-shot — after inject() runs
+ * once, instsUntil() reports "never" forever.
+ */
+class ErrorInjector
+{
+  public:
+    /** instsUntil() result meaning "no injection will happen here". */
+    static constexpr std::uint64_t never =
+        std::numeric_limits<std::uint64_t>::max();
+
+    explicit ErrorInjector(const ErrorInjectConfig &cfg) : cfg(cfg) {}
+
+    const ErrorInjectConfig &config() const { return cfg; }
+
+    bool done() const { return injected; }
+
+    /**
+     * Committed instructions @p cpu_id may still execute before the
+     * flip is due: 0 means "inject now, before the next commit";
+     * `never` means this CPU will not inject (wrong CPU, disabled, or
+     * already done). Batched models clamp their budget to this value so
+     * the batch ends exactly at the injection boundary.
+     */
+    std::uint64_t instsUntil(int cpu_id, std::uint64_t committed) const;
+
+    /**
+     * Perform the flip on @p sys / the resident thread @p tc. Records a
+     * describe() document (target word, before/after values, tick) and
+     * marks the injector done. A Mem target with no touched pages
+     * records the skip and flips nothing.
+     */
+    void inject(System &sys, isa::ThreadContext *tc);
+
+    /** The injection record (null until inject() ran). */
+    Json describe() const { return record; }
+
+  private:
+    ErrorInjectConfig cfg;
+    bool injected = false;
+    Json record;
+};
+
+} // namespace g5::sim
+
+#endif // G5_SIM_CPU_ERROR_INJECT_HH

@@ -1,6 +1,9 @@
 #include "sim/cpu/fast_cpu.hh"
 
+#include <algorithm>
 #include <string>
+
+#include "sim/cpu/error_inject.hh"
 
 namespace g5::sim
 {
@@ -69,7 +72,22 @@ FastCpu::tick()
     if (!acquireThread())
         return;
 
-    BatchResult res = runBatch(batchInsts, timing, /*exit_on_io=*/true);
+    // Guest error injection: inject when due, otherwise clamp the
+    // batch budget so the batch ends exactly at the injection boundary
+    // — the flip then lands at the same dynamic instruction count the
+    // per-instruction models see.
+    std::uint64_t budget = batchInsts;
+    if (sys.errInject) {
+        std::uint64_t until = sys.errInject->instsUntil(
+            id, std::uint64_t(numInsts.value()));
+        if (until == 0) {
+            sys.errInject->inject(sys, tc);
+        } else {
+            budget = std::min(budget, until);
+        }
+    }
+
+    BatchResult res = runBatch(budget, timing, /*exit_on_io=*/true);
     recordBatch(res);
     scheduleTick(res.spent ? res.spent : period);
 }

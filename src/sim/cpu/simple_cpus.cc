@@ -1,6 +1,7 @@
 #include "sim/cpu/simple_cpus.hh"
 
 #include "base/logging.hh"
+#include "sim/cpu/error_inject.hh"
 
 namespace g5::sim
 {
@@ -45,6 +46,14 @@ AtomicSimpleCpu::tick()
 
     Tick spent = 0;
     for (std::uint64_t n = 0; n < batchInsts; ++n) {
+        // Guest error injection: the flip lands before the
+        // (atInst + 1)-th commit — the same boundary the batched
+        // models clamp their budget to.
+        if (sys.errInject &&
+            sys.errInject->instsUntil(
+                id, std::uint64_t(numInsts.value())) == 0)
+            sys.errInject->inject(sys, tc);
+
         StepInfo info = isa::step(*tc);
         spent += period * info.latency;
 

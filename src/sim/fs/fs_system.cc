@@ -1,6 +1,7 @@
 #include "sim/fs/fs_system.hh"
 
 #include "base/logging.hh"
+#include "base/md5.hh"
 #include "base/metrics.hh"
 #include "sim/cpu/fast_cpu.hh"
 #include "sim/cpu/o3_cpu.hh"
@@ -56,8 +57,50 @@ SimResult::toJson() const
     j["totalInsts"] = totalInsts;
     j["success"] = success();
     j["stats"] = stats;
+    if (!archMd5.empty())
+        j["archMd5"] = archMd5;
+    if (!errInject.isNull())
+        j["errInject"] = errInject;
     return j;
 }
+
+namespace
+{
+
+/**
+ * MD5 of the guest's final architectural state: every thread's
+ * registers/pc/status/exitCode (tid order) plus the sparse memory
+ * serialization. Byte-stable — two runs that end in identical guest
+ * state produce identical digests regardless of CPU model.
+ */
+std::string
+archStateMd5(GuestOs &os, System &sys)
+{
+    Md5Stream h;
+    Json threads = Json::array();
+    for (std::size_t tid = 0; tid < os.numThreads(); ++tid) {
+        isa::ThreadContext *tc = os.thread(int(tid));
+        if (!tc)
+            continue;
+        Json t = Json::object();
+        t["tid"] = std::int64_t(tc->tid);
+        Json regs = Json::array();
+        for (std::int64_t r : tc->regs)
+            regs.push(r);
+        t["regs"] = std::move(regs);
+        t["pc"] = std::int64_t(tc->pc);
+        t["status"] = std::int64_t(tc->status);
+        t["exitCode"] = tc->exitCode;
+        threads.push(std::move(t));
+    }
+    Json state = Json::object();
+    state["threads"] = std::move(threads);
+    state["memory"] = sys.physmem.toJson();
+    h.update(state);
+    return h.final();
+}
+
+} // anonymous namespace
 
 void
 FsSystem::buildHardware()
@@ -128,6 +171,19 @@ FsSystem::buildHardware()
         for (auto &cpu : sys->cpus)
             cpu->flushPageCache();
     });
+
+    // --- guest error injection (DESIGN.md §14) ---
+    if (cfg.errInject.enabled()) {
+        // Only the models that replay CPU 0's commit stream at exact
+        // instruction boundaries can honor the injection contract.
+        if (cfg.cpuType != CpuType::AtomicSimple &&
+            cfg.cpuType != CpuType::Fast) {
+            fatal("error injection is not supported with " +
+                  std::string(cpuTypeName(cfg.cpuType)) +
+                  " (want AtomicSimpleCPU or fastCPU)");
+        }
+        sys->errInject = std::make_unique<ErrorInjector>(cfg.errInject);
+    }
 
     // --- known issues of the simulated simulator version ---
     sys->defect = knownIssueFor(cfg);
@@ -288,6 +344,10 @@ FsSystem::run(Tick max_ticks, scheduler::CancelToken *token)
                                : 0.0);
     }
     result.totalInsts = insts;
+    if (cfg.archDigest)
+        result.archMd5 = archStateMd5(*guestOs, *sys);
+    if (sys->errInject)
+        result.errInject = sys->errInject->describe();
     result.stats = sys->rootStats.dumpJson();
     result.statsText = sys->rootStats.dumpText();
     return result;

@@ -16,6 +16,7 @@
 #include <string>
 
 #include "sim/cpu/base_cpu.hh"
+#include "sim/cpu/error_inject.hh"
 #include "sim/fs/checkpoint.hh"
 #include "sim/fs/disk_image.hh"
 #include "sim/fs/guest_os.hh"
@@ -74,6 +75,22 @@ struct FsConfig
     isa::ProgramPtr seProgram;
     std::int64_t seArg = 0;
 
+    /**
+     * Guest-level error injection plan (disabled by default). Kept OUT
+     * of signature() deliberately: a checker replay — the same config
+     * without the flip — must share the main run's System RNG seed, or
+     * the two runs would diverge for reasons other than the flip and
+     * the "masked" census class could never occur.
+     */
+    ErrorInjectConfig errInject;
+
+    /**
+     * Compute an MD5 digest of the final architectural state (thread
+     * registers + physical memory) into SimResult::archMd5 — the
+     * checker-replay comparison point.
+     */
+    bool archDigest = false;
+
     /** A one-line signature (also the determinism seed). */
     std::string signature() const;
 };
@@ -94,6 +111,11 @@ struct SimResult
     Json stats;
     /** gem5-style stats.txt rendering of the stats tree. */
     std::string statsText;
+
+    /** Architectural-state digest ("" unless FsConfig::archDigest). */
+    std::string archMd5;
+    /** The injection record (null unless a flip was configured). */
+    Json errInject;
 
     /** @return true for a clean m5-exit with code 0. */
     bool success() const;

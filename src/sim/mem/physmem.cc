@@ -1,5 +1,8 @@
 #include "sim/mem/physmem.hh"
 
+#include <algorithm>
+#include <vector>
+
 #include "base/logging.hh"
 #include "base/metrics.hh"
 
@@ -49,6 +52,25 @@ PhysMem::amoAdd(Addr addr, std::int64_t delta)
     // Guest arithmetic wraps modulo 2^64; keep the add well-defined.
     word = std::int64_t(std::uint64_t(old) + std::uint64_t(delta));
     return old;
+}
+
+bool
+PhysMem::pickWord(std::uint64_t pick, Addr &addr) const
+{
+    if (pages.empty())
+        return false;
+    // Page-number order, like every other deterministic walk here: the
+    // unordered_map's iteration order must never leak into the pick.
+    std::vector<Addr> numbers;
+    numbers.reserve(pages.size());
+    for (const auto &kv : pages)
+        numbers.push_back(kv.first);
+    std::sort(numbers.begin(), numbers.end());
+    std::uint64_t index = pick % (numbers.size() * wordsPerPage);
+    Addr page = numbers[index / wordsPerPage];
+    std::uint64_t word = index % wordsPerPage;
+    addr = (page << 12) | Addr(word << 3);
+    return true;
 }
 
 std::map<Addr, PhysMem::PagePtr>

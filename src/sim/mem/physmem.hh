@@ -85,6 +85,15 @@ class PhysMem
     static Addr pageNumber(Addr addr) { return pageOf(addr); }
 
     /**
+     * Deterministically map @p pick onto one touched word: pages are
+     * walked in page-number order and @p pick reduced modulo the total
+     * touched-word count, so equal picks hit equal addresses whenever
+     * the touched-page set matches (error injection's memory-target
+     * draw). @return false (addr untouched) when no page exists yet.
+     */
+    bool pickWord(std::uint64_t pick, Addr &addr) const;
+
+    /**
      * Snapshot the current contents as shared page references, sorted
      * by page number (deterministic serialization order). O(pages) and
      * copies no data: the caller and this memory now share every page,

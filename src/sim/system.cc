@@ -1,6 +1,7 @@
 #include "sim/system.hh"
 
 #include "sim/cpu/base_cpu.hh"
+#include "sim/cpu/error_inject.hh"
 
 namespace g5::sim
 {

@@ -28,6 +28,7 @@ namespace g5::sim
 {
 
 class BaseCpu;
+class ErrorInjector;
 
 /**
  * Services the guest OS provides to CPU models. Implemented by
@@ -117,6 +118,13 @@ class System
 
     /** Active defect model (None by default). */
     DefectPlan defect;
+
+    /**
+     * Guest-level error injection (sim/cpu/error_inject.hh); nullptr
+     * when no flip is planned. CPU models consult it at instruction
+     * boundaries.
+     */
+    std::unique_ptr<ErrorInjector> errInject;
 
     /** Convenience: current tick. */
     Tick curTick() const { return eventq.curTick(); }

@@ -1,0 +1,584 @@
+/**
+ * @file
+ * Tests for guest-level error injection (sim/cpu/error_inject),
+ * dependent-task scheduling, and the error-study census
+ * (art/errstudy): spec parsing, the atomic/fast injection-boundary
+ * equivalence, cache-key coverage of the injection parameters, and
+ * census determinism across re-runs, CPU models, and G5_WORKERS
+ * distribution.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+
+#include "art/errstudy.hh"
+#include "art/tasks.hh"
+#include "art/workspace.hh"
+#include "base/faultinject.hh"
+#include "base/logging.hh"
+#include "resources/catalog.hh"
+#include "scheduler/task_queue.hh"
+#include "sim/fs/fs_system.hh"
+#include "sim/fs/guest_abi.hh"
+#include "sim/isa/builder.hh"
+
+using namespace g5;
+using namespace g5::sim;
+using namespace g5::sim::fs;
+
+namespace stdfs = std::filesystem;
+
+namespace
+{
+
+constexpr Tick limit = 10'000'000'000'000ULL;
+
+std::string
+freshDir(const std::string &name)
+{
+    stdfs::path dir = stdfs::temp_directory_path() / name;
+    stdfs::remove_all(dir);
+    return dir.string();
+}
+
+/** Scoped environment variable (restores the prior value). */
+class ScopedEnv
+{
+  public:
+    ScopedEnv(const char *name, const char *value) : key(name)
+    {
+        const char *old = std::getenv(name);
+        if (old != nullptr) {
+            hadOld = true;
+            oldValue = old;
+        }
+        if (value != nullptr)
+            ::setenv(name, value, 1);
+        else
+            ::unsetenv(name);
+    }
+
+    ~ScopedEnv()
+    {
+        if (hadOld)
+            ::setenv(key.c_str(), oldValue.c_str(), 1);
+        else
+            ::unsetenv(key.c_str());
+    }
+
+  private:
+    std::string key;
+    bool hadOld = false;
+    std::string oldValue;
+};
+
+/**
+ * The study workload: a store-heavy loop whose accumulator and store
+ * stream give a flipped register or memory word plenty of chance to
+ * propagate into the final architectural state.
+ */
+isa::ProgramPtr
+loopWorkload()
+{
+    isa::ProgramBuilder pb("err-loop");
+    pb.movi(3, 0x9000); // base address
+    pb.movi(4, 0);      // accumulator
+    pb.movi(5, 0);      // i
+    pb.movi(6, 64);     // iterations
+    auto loop = pb.newLabel();
+    pb.bind(loop);
+    pb.muli(7, 5, 3);
+    pb.add(4, 4, 7);
+    pb.st(3, 0, 4);
+    pb.addi(3, 3, 8);
+    pb.addi(5, 5, 1);
+    pb.blt(5, 6, loop);
+    pb.movi(1, pb.str("loop done"));
+    pb.syscall(SYS_WRITE);
+    pb.movi(1, 0);
+    pb.syscall(SYS_EXIT);
+    return pb.finish();
+}
+
+FsConfig
+seConfig(CpuType cpu, const std::string &flip)
+{
+    FsConfig cfg;
+    cfg.cpuType = cpu;
+    cfg.memSystem = "classic";
+    cfg.simVersion = "";
+    cfg.seProgram = loopWorkload();
+    cfg.archDigest = true;
+    cfg.errInject = ErrorInjectConfig::parse(flip);
+    return cfg;
+}
+
+/**
+ * One workspace with an SE workload binary registered, and a study run
+ * factory over it. Run/outdir names derive from the study member name
+ * with path-hostile characters flattened.
+ */
+struct SeFixture
+{
+    static std::string
+    writeWorkload(art::Workspace &ws)
+    {
+        std::string path = ws.root() + "/workloads/err-loop";
+        stdfs::create_directories(ws.root() + "/workloads");
+        std::ofstream out(path);
+        out << loopWorkload()->toJson().dump();
+        return path;
+    }
+
+    static art::Artifact
+    registerWorkload(art::Workspace &ws, const std::string &path)
+    {
+        art::Artifact::Params wp;
+        wp.typ = "binary";
+        wp.name = "err-loop";
+        wp.command = "gcc -O2 err_loop.c -o err_loop";
+        wp.path = path;
+        return art::Artifact::registerArtifact(ws.adb(), wp);
+    }
+
+    explicit SeFixture(const std::string &root)
+        : ws(freshDir(root)), binary(ws.gem5Binary("21.0", "X86")),
+          script(ws.runScript("err_study.py", "error-study run script")),
+          binPath(writeWorkload(ws)),
+          workload(registerWorkload(ws, binPath))
+    {}
+
+    art::Gem5Run
+    makeRun(const std::string &name, const Json &params)
+    {
+        std::string flat = name;
+        for (char &c : flat)
+            if (c == '/' || c == ':')
+                c = '_';
+        return art::Gem5Run::createSERun(
+            ws.adb(), name, binary.path, script.path, ws.outdir(flat),
+            binary.artifact, binary.repoArtifact, script.repoArtifact,
+            binPath, workload, params, 60.0);
+    }
+
+    art::ErrorStudy::RunFactory
+    factory()
+    {
+        return [this](const std::string &name, const Json &params) {
+            return makeRun(name, params);
+        };
+    }
+
+    art::Workspace ws;
+    art::Workspace::Item binary, script;
+    std::string binPath;
+    art::Artifact workload;
+};
+
+Json
+seParams(const std::string &cpu)
+{
+    Json p = Json::object();
+    p["cpu"] = cpu;
+    p["num_cpus"] = 1;
+    p["mem_system"] = "classic";
+    return p;
+}
+
+std::vector<art::ErrorCell>
+studyCells(const std::string &cpu)
+{
+    std::vector<art::ErrorCell> cells;
+    for (const char *flip :
+         {"reg:3:100:9", "reg:60:100:5", "mem:0:100:7"})
+        cells.push_back({"loop", flip, seParams(cpu)});
+    return cells;
+}
+
+} // anonymous namespace
+
+// --- spec parsing -----------------------------------------------------
+
+TEST(ErrorInjectSpec, ParseAndRoundTrip)
+{
+    ErrorInjectConfig off = ErrorInjectConfig::parse("");
+    EXPECT_FALSE(off.enabled());
+    EXPECT_EQ(off.toSpec(), "");
+
+    ErrorInjectConfig reg = ErrorInjectConfig::parse("reg:5:200:7");
+    EXPECT_TRUE(reg.enabled());
+    EXPECT_EQ(reg.target, ErrorInjectConfig::Target::Reg);
+    EXPECT_EQ(reg.bit, 5u);
+    EXPECT_EQ(reg.atInst, 200u);
+    EXPECT_EQ(reg.seed, 7u);
+    EXPECT_EQ(reg.toSpec(), "reg:5:200:7");
+    EXPECT_EQ(ErrorInjectConfig::parse(reg.toSpec()).toSpec(),
+              reg.toSpec());
+
+    ErrorInjectConfig mem = ErrorInjectConfig::parse("mem:63");
+    EXPECT_EQ(mem.target, ErrorInjectConfig::Target::Mem);
+    EXPECT_EQ(mem.bit, 63u);
+    EXPECT_EQ(mem.atInst, 0u);
+    EXPECT_EQ(mem.seed, 0u);
+
+    setQuiet(true);
+    EXPECT_THROW(ErrorInjectConfig::parse("reg"), FatalError);
+    EXPECT_THROW(ErrorInjectConfig::parse("reg:64"), FatalError);
+    EXPECT_THROW(ErrorInjectConfig::parse("cache:1"), FatalError);
+    EXPECT_THROW(ErrorInjectConfig::parse("reg:x"), FatalError);
+    EXPECT_THROW(ErrorInjectConfig::parse("reg:1:2:3:4"), FatalError);
+    setQuiet(false);
+}
+
+// --- injection semantics ----------------------------------------------
+
+TEST(ErrorInject, FlipLandsAtSameInstInAtomicAndFastCpu)
+{
+    const std::string flip = "reg:3:100:9";
+    FsSystem atomic_fs(seConfig(CpuType::AtomicSimple, flip));
+    SimResult a = atomic_fs.run(limit);
+    FsSystem fast_fs(seConfig(CpuType::Fast, flip));
+    SimResult f = fast_fs.run(limit);
+
+    // Both models injected, at the same boundary, into the same
+    // register, observing the same before/after values.
+    ASSERT_FALSE(a.errInject.isNull());
+    ASSERT_FALSE(f.errInject.isNull());
+    for (const char *field : {"target", "bit", "atInst", "seed", "reg",
+                              "before", "after"}) {
+        EXPECT_EQ(a.errInject.at(field).dump(),
+                  f.errInject.at(field).dump())
+            << field;
+    }
+    EXPECT_FALSE(a.errInject.contains("skipped"));
+
+    // The flip corrupted identically: final architectural digests of
+    // the two models match each other...
+    ASSERT_FALSE(a.archMd5.empty());
+    EXPECT_EQ(a.archMd5, f.archMd5);
+
+    // ...and the clean replays match each other too.
+    FsSystem clean_atomic(seConfig(CpuType::AtomicSimple, ""));
+    SimResult ca = clean_atomic.run(limit);
+    FsSystem clean_fast(seConfig(CpuType::Fast, ""));
+    SimResult cf = clean_fast.run(limit);
+    EXPECT_TRUE(ca.errInject.isNull());
+    EXPECT_EQ(ca.archMd5, cf.archMd5);
+}
+
+TEST(ErrorInject, InjectionIsSingleShotAndReproducible)
+{
+    const std::string flip = "mem:7:150:21";
+    FsSystem first(seConfig(CpuType::AtomicSimple, flip));
+    SimResult r1 = first.run(limit);
+    FsSystem second(seConfig(CpuType::AtomicSimple, flip));
+    SimResult r2 = second.run(limit);
+    ASSERT_FALSE(r1.errInject.isNull());
+    EXPECT_EQ(r1.errInject.dump(), r2.errInject.dump());
+    EXPECT_EQ(r1.archMd5, r2.archMd5);
+    EXPECT_TRUE(first.system().errInject->done());
+}
+
+TEST(ErrorInject, UnsupportedCpuModelIsRejected)
+{
+    setQuiet(true);
+    FsConfig cfg = seConfig(CpuType::TimingSimple, "reg:1:10:1");
+    EXPECT_THROW(FsSystem fs(cfg), FatalError);
+    setQuiet(false);
+}
+
+// --- run-cache key coverage (the stale-cache bugfix) ------------------
+
+TEST(ErrorInject, CacheKeyCoversEveryInjectionParam)
+{
+    SeFixture fx("g5_errinj_cache_test");
+    Json base = seParams("atomic");
+
+    std::string plain = fx.makeRun("plain", base).inputHash();
+
+    Json inj = base;
+    inj["err_inject"] = "reg:3:100:9";
+    std::string flipped = fx.makeRun("flipped", inj).inputHash();
+    EXPECT_NE(plain, flipped);
+
+    // Every spec field is key material: target, bit, trigger, seed.
+    for (const char *variant :
+         {"mem:3:100:9", "reg:4:100:9", "reg:3:101:9", "reg:3:100:8"}) {
+        Json v = base;
+        v["err_inject"] = variant;
+        EXPECT_NE(fx.makeRun(variant, v).inputHash(), flipped)
+            << variant;
+    }
+
+    // The checker flag too: a digest-carrying run must never be served
+    // from a digest-less document.
+    Json dig = base;
+    dig["arch_digest"] = true;
+    EXPECT_NE(fx.makeRun("digest", dig).inputHash(), plain);
+
+    // G5_ERRINJ folds into the params (and therefore the key) at run
+    // creation: an env-injected run hashes like the explicit one, and
+    // never aliases the clean run.
+    {
+        ScopedEnv env("G5_ERRINJ", "reg:3:100:9");
+        std::string from_env = fx.makeRun("env", base).inputHash();
+        EXPECT_EQ(from_env, flipped);
+        EXPECT_NE(from_env, plain);
+    }
+    // An explicit err_inject param wins over the environment.
+    {
+        ScopedEnv env("G5_ERRINJ", "mem:1:5:2");
+        EXPECT_EQ(fx.makeRun("explicit-wins", inj).inputHash(),
+                  flipped);
+    }
+}
+
+TEST(ErrorInject, CachedInjectionRunServesDigestAndRecord)
+{
+    ScopedEnv no_cache("G5ART_NO_CACHE", nullptr);
+    SeFixture fx("g5_errinj_cache_serve_test");
+    Json params = seParams("atomic");
+    params["err_inject"] = "reg:3:100:9";
+    params["arch_digest"] = true;
+
+    Json orig = fx.makeRun("first", params).execute(fx.ws.adb());
+    ASSERT_EQ(orig.getString("status"), "SUCCESS");
+    ASSERT_FALSE(orig.getString("archMd5", "").empty());
+    ASSERT_TRUE(orig.contains("errInject"));
+
+    Json hit = fx.makeRun("second", params).executeCached(fx.ws.adb());
+    EXPECT_TRUE(hit.getBool("cached"));
+    EXPECT_EQ(hit.getString("archMd5"), orig.getString("archMd5"));
+    EXPECT_EQ(hit.at("errInject").dump(), orig.at("errInject").dump());
+}
+
+// --- dependent tasks (the pairing primitive) --------------------------
+
+TEST(DependentTasks, DependentRunsAfterDependencyTerminal)
+{
+    scheduler::TaskQueue q(4);
+    std::atomic<int> seq{0};
+    std::atomic<int> main_order{-1};
+    std::atomic<int> dep_order{-1};
+    std::atomic<bool> dep_saw_terminal{false};
+
+    auto main_fut = q.applyAsync("main", [&](scheduler::CancelToken &) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        main_order = seq++;
+        return Json();
+    });
+    scheduler::TaskFuturePtr main_copy = main_fut;
+    auto dep_fut = q.applyAsyncAfter(
+        "dep",
+        [&, main_copy](scheduler::CancelToken &) {
+            dep_saw_terminal =
+                main_copy->state() == scheduler::TaskState::Success;
+            dep_order = seq++;
+            return Json();
+        },
+        main_fut);
+    q.waitAll();
+
+    EXPECT_EQ(main_fut->state(), scheduler::TaskState::Success);
+    EXPECT_EQ(dep_fut->state(), scheduler::TaskState::Success);
+    EXPECT_LT(main_order.load(), dep_order.load());
+    EXPECT_TRUE(dep_saw_terminal.load());
+}
+
+TEST(DependentTasks, DependentRunsEvenWhenDependencyFails)
+{
+    scheduler::TaskQueue q(2);
+    auto bad = q.applyAsync("bad", [](scheduler::CancelToken &) -> Json {
+        throw std::runtime_error("deliberate failure");
+    });
+    std::atomic<bool> ran{false};
+    auto dep = q.applyAsyncAfter(
+        "dep",
+        [&](scheduler::CancelToken &) {
+            ran = true;
+            return Json();
+        },
+        bad);
+    q.waitAll();
+    EXPECT_EQ(bad->state(), scheduler::TaskState::Failure);
+    EXPECT_EQ(dep->state(), scheduler::TaskState::Success);
+    EXPECT_TRUE(ran.load());
+}
+
+TEST(DependentTasks, NullAndTerminalDependenciesDegradeToPlainSubmit)
+{
+    scheduler::TaskQueue q(2);
+    auto a = q.applyAsyncAfter(
+        "no-dep", [](scheduler::CancelToken &) { return Json(); },
+        nullptr);
+    a->wait();
+    EXPECT_EQ(a->state(), scheduler::TaskState::Success);
+
+    // A dependency that is already terminal goes straight to pending.
+    auto b = q.applyAsyncAfter(
+        "after-done", [](scheduler::CancelToken &) { return Json(); },
+        a);
+    b->wait();
+    EXPECT_EQ(b->state(), scheduler::TaskState::Success);
+
+    // Inline backend: the dependency finished at submit time.
+    scheduler::TaskQueue inline_q(
+        0, scheduler::TaskQueue::Backend::Inline);
+    auto c = inline_q.applyAsync(
+        "inline-main", [](scheduler::CancelToken &) { return Json(); });
+    auto d = inline_q.applyAsyncAfter(
+        "inline-dep", [](scheduler::CancelToken &) { return Json(); },
+        c);
+    EXPECT_EQ(d->state(), scheduler::TaskState::Success);
+}
+
+TEST(DependentTasks, CancelAllCancelsDeferredTasks)
+{
+    scheduler::TaskQueue q(1);
+    std::atomic<bool> release{false};
+    auto slow = q.applyAsync("slow", [&](scheduler::CancelToken &t) {
+        while (!release.load()) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+            t.checkpoint();
+        }
+        return Json();
+    });
+    std::atomic<bool> dep_ran{false};
+    auto dep = q.applyAsyncAfter(
+        "deferred",
+        [&](scheduler::CancelToken &) {
+            dep_ran = true;
+            return Json();
+        },
+        slow);
+    q.cancelAll();
+    release = true;
+    q.waitAll();
+    EXPECT_EQ(dep->state(), scheduler::TaskState::Timeout);
+    EXPECT_FALSE(dep_ran.load());
+}
+
+// --- the error study --------------------------------------------------
+
+TEST(ErrorStudy, CensusIsDeterministicAndResumes)
+{
+    SeFixture fx("g5_errstudy_test");
+    Json census1;
+    {
+        art::ErrorStudy study(fx.ws.adb(), "errstudy-se");
+        art::Tasks tasks(fx.ws.adb(), 2);
+        census1 = study.run(tasks, studyCells("atomic"), fx.factory());
+        EXPECT_EQ(study.skipped(), 0u);
+    }
+
+    // Every pair classified; the shared checker ran once per workload.
+    EXPECT_EQ(census1.getInt("pairs"), 3);
+    std::int64_t total = 0;
+    for (const char *cls : {"crashed", "detected", "silent-corruption",
+                            "masked", "unverified"})
+        total += census1.at("totals").getInt(cls);
+    EXPECT_EQ(total, 3);
+    EXPECT_EQ(census1.at("totals").getInt("unverified"), 0);
+    ASSERT_EQ(census1.at("cells").size(), 3u);
+    for (std::size_t i = 0; i < 3; ++i) {
+        const Json &cell = census1.at("cells").at(i);
+        EXPECT_FALSE(cell.getString("mainArchMd5", "").empty());
+        EXPECT_FALSE(cell.getString("checkerArchMd5", "").empty());
+    }
+
+    // The census document is archived like a finished sweep.
+    Json archived =
+        fx.ws.adb().db().collection("errorStudies").findById(
+            "errstudy-se");
+    ASSERT_FALSE(archived.isNull());
+    EXPECT_EQ(archived.at("census").dump(), census1.dump());
+
+    // A relaunch skips every member and reproduces the census
+    // byte-for-byte from the journal.
+    {
+        art::ErrorStudy study2(fx.ws.adb(), "errstudy-se");
+        art::Tasks tasks2(fx.ws.adb(), 2);
+        Json census2 =
+            study2.run(tasks2, studyCells("atomic"), fx.factory());
+        EXPECT_GT(study2.skipped(), 0u);
+        EXPECT_EQ(census1.dump(), census2.dump());
+    }
+}
+
+TEST(ErrorStudy, AtomicAndFastCpuCensusesMatch)
+{
+    SeFixture fx("g5_errstudy_cpu_test");
+    art::ErrorStudy atomic_study(fx.ws.adb(), "errstudy-atomic");
+    art::ErrorStudy fast_study(fx.ws.adb(), "errstudy-fast");
+    art::Tasks tasks(fx.ws.adb(), 2);
+    Json ca = atomic_study.run(tasks, studyCells("atomic"),
+                               fx.factory());
+    Json cf = fast_study.run(tasks, studyCells("fast"), fx.factory());
+    // Same flips, same workload, same boundary semantics: the census
+    // cells — classes and digests included — are byte-identical.
+    EXPECT_EQ(ca.at("cells").dump(), cf.at("cells").dump());
+    EXPECT_EQ(ca.at("totals").dump(), cf.at("totals").dump());
+}
+
+TEST(ErrorStudy, ResumesAfterInjectedCrashMidSubmit)
+{
+    // Reference census from an uninterrupted study.
+    SeFixture ref("g5_errstudy_ref_test");
+    Json expected;
+    {
+        art::ErrorStudy study(ref.ws.adb(), "errstudy-crash");
+        art::Tasks tasks(ref.ws.adb(), 2);
+        expected = study.run(tasks, studyCells("atomic"),
+                             ref.factory());
+    }
+
+    // Crash the launch after two journal writes, then resume.
+    SeFixture fx("g5_errstudy_crash_test");
+    fault::reset();
+    fault::armAfter("errstudy.submit", 2);
+    {
+        art::ErrorStudy study(fx.ws.adb(), "errstudy-crash");
+        art::Tasks tasks(fx.ws.adb(), 2);
+        EXPECT_THROW(
+            study.run(tasks, studyCells("atomic"), fx.factory()),
+            InjectedFault);
+        tasks.waitAll(); // already-submitted members settle
+    }
+    fault::reset();
+    {
+        art::ErrorStudy study(fx.ws.adb(), "errstudy-crash");
+        art::Tasks tasks(fx.ws.adb(), 2);
+        Json census =
+            study.run(tasks, studyCells("atomic"), fx.factory());
+        EXPECT_EQ(expected.dump(), census.dump());
+    }
+}
+
+TEST(ErrorStudy, DistributedCensusMatchesInProcess)
+{
+    ScopedEnv no_cache("G5ART_NO_CACHE", nullptr);
+    Json local;
+    {
+        ScopedEnv workers("G5_WORKERS", nullptr);
+        SeFixture fx("g5_errstudy_local_test");
+        art::ErrorStudy study(fx.ws.adb(), "errstudy-dist");
+        art::Tasks tasks(fx.ws.adb(), 2);
+        local = study.run(tasks, studyCells("atomic"), fx.factory());
+    }
+    Json distributed;
+    {
+        ScopedEnv workers("G5_WORKERS", "2");
+        SeFixture fx("g5_errstudy_dist_test");
+        art::ErrorStudy study(fx.ws.adb(), "errstudy-dist");
+        art::Tasks tasks(fx.ws.adb(), 2);
+        distributed =
+            study.run(tasks, studyCells("atomic"), fx.factory());
+    }
+    EXPECT_EQ(local.dump(), distributed.dump());
+}

@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "base/faultinject.hh"
@@ -107,6 +108,80 @@ TEST(FaultInject, SpecParsing)
     EXPECT_TRUE(std::find(reg.begin(), reg.end(), "c.three") !=
                 reg.end());
     EXPECT_TRUE(std::is_sorted(reg.begin(), reg.end()));
+}
+
+TEST(FaultInject, DrawIsPureFunctionOfPointSeedOrdinal)
+{
+    FaultGuard guard;
+    fault::arm("test.pure", 0.25, 42);
+    // The observed fire sequence is exactly the wouldFire() prediction
+    // for ordinals 1..64 — no hidden PRNG state.
+    for (std::uint64_t i = 1; i <= 64; ++i) {
+        EXPECT_EQ(fault::shouldFire("test.pure"),
+                  fault::wouldFire("test.pure", 0.25, 42, i))
+            << "ordinal " << i;
+    }
+    // Re-arming restarts the ordinal sequence from 1.
+    fault::arm("test.pure", 0.25, 42);
+    EXPECT_EQ(fault::shouldFire("test.pure"),
+              fault::wouldFire("test.pure", 0.25, 42, 1));
+}
+
+TEST(FaultInject, FirePatternIdenticalAcrossThreadCounts)
+{
+    FaultGuard guard;
+    constexpr std::uint64_t draws = 64;
+    std::uint64_t expected = 0;
+    for (std::uint64_t i = 1; i <= draws; ++i)
+        if (fault::wouldFire("test.mt", 0.25, 42, i))
+            ++expected;
+    ASSERT_GT(expected, 0u);
+    ASSERT_LT(expected, draws);
+
+    // One thread: the fired() total is the per-ordinal prediction.
+    fault::reset();
+    fault::arm("test.mt", 0.25, 42);
+    for (std::uint64_t i = 0; i < draws; ++i)
+        fault::shouldFire("test.mt");
+    EXPECT_EQ(fault::fired("test.mt"), expected);
+
+    // Eight threads, draws split evenly: ordinals are handed out under
+    // the registry lock, so however the visits interleave, the same 64
+    // ordinals draw the same 64 verdicts — fired() must not move.
+    fault::reset();
+    fault::arm("test.mt", 0.25, 42);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 8; ++t) {
+        threads.emplace_back([] {
+            for (int i = 0; i < int(draws) / 8; ++i)
+                fault::shouldFire("test.mt");
+        });
+    }
+    for (auto &th : threads)
+        th.join();
+    EXPECT_EQ(fault::fired("test.mt"), expected);
+}
+
+TEST(FaultInject, WorkerProcessSuppressesWorkerPoints)
+{
+    FaultGuard guard;
+    // Simulate a fork-inherited registry: the parent armed the pool's
+    // own points, then forked. markWorkerProcess() must make every
+    // "worker.*" point parent-only without touching other points.
+    fault::arm("worker.testonly", 1.0, 0);
+    fault::arm("test.childvisible", 1.0, 0);
+    ASSERT_TRUE(fault::inWorkerProcess() == false);
+    fault::markWorkerProcess();
+    EXPECT_TRUE(fault::inWorkerProcess());
+    EXPECT_FALSE(fault::shouldFire("worker.testonly"));
+    EXPECT_EQ(fault::fired("worker.testonly"), 0u);
+    EXPECT_EQ(fault::hits("worker.testonly"), 1u); // still counted
+    EXPECT_TRUE(fault::shouldFire("test.childvisible"));
+
+    // Test isolation: the worker flag is process state, reset it here
+    // (the only caller outside a real forked child).
+    fault::unmarkWorkerProcessForTest();
+    EXPECT_FALSE(fault::inWorkerProcess());
 }
 
 TEST(FaultInject, ResetClearsArmingAndCounters)

@@ -5,6 +5,7 @@
 
 #include <atomic>
 #include <filesystem>
+#include <limits>
 #include <thread>
 #include <vector>
 
@@ -143,6 +144,23 @@ TEST(Metrics, HistogramBucketsCumulativeAndMeanExact)
     EXPECT_EQ(buckets.getInt("<=10.0"), 3);
     EXPECT_EQ(buckets.getInt("<=100.0"), 4);
     EXPECT_EQ(buckets.getInt("+Inf"), 5);
+}
+
+TEST(Metrics, HistogramClampsNegativeAndDropsNaN)
+{
+    metrics::Histogram &h =
+        metrics::histogram("test.metrics.clamp", {1.0, 10.0});
+    h.reset();
+    h.observe(std::numeric_limits<double>::quiet_NaN()); // dropped
+    h.observe(-5.0);                                     // clamps to 0
+    h.observe(0.5);
+    EXPECT_EQ(h.count(), 2);
+    EXPECT_NEAR(h.sum(), 0.5, 1e-6); // the clamp adds 0, not -5
+    Json snap = h.snapshot();
+    EXPECT_EQ(snap.at("buckets").getInt("<=1.0"), 2);
+    EXPECT_EQ(snap.at("buckets").getInt("+Inf"), 2);
+    // mean stays finite and non-negative even after bad inputs
+    EXPECT_GE(snap.getDouble("mean"), 0.0);
 }
 
 TEST(Metrics, SnapshotIsDeterministicAndResetAllZeroes)

@@ -142,6 +142,19 @@ registerTestJobs()
                 out["slept"] = secs;
                 return out;
             });
+        // Probes the fork-inherited fault state: reports whether this
+        // process is marked as a worker and whether an armed worker.*
+        // point fires here.
+        scheduler::registerWorkerJob(
+            "test.faultprobe", [](const Json &, CancelToken &) {
+                Json out = Json::object();
+                out["inWorker"] = fault::inWorkerProcess();
+                out["fired"] =
+                    fault::shouldFire("worker.test.point");
+                out["hits"] = std::int64_t(
+                    fault::hits("worker.test.point"));
+                return out;
+            });
         return true;
     }();
     (void)done;
@@ -231,6 +244,29 @@ TEST(WorkerPool, ExecutesRegisteredJobInChildProcess)
     Json sum = pool.summary();
     EXPECT_EQ(sum.getInt("spawned"), 2);
     EXPECT_EQ(sum.getInt("lost"), 0);
+}
+
+TEST(WorkerPool, ForkedChildNeverFiresWorkerPoints)
+{
+    TestGuard guard;
+    registerTestJobs();
+    // Arm a worker.* point with certainty BEFORE the pool forks: the
+    // children inherit the armed registry as a fork-time snapshot.
+    fault::arm("worker.test.point", 1.0, 7);
+    WorkerPool pool(1);
+    ASSERT_TRUE(pool.available());
+
+    Json out = pool.execute("test.faultprobe", Json::object());
+    // The child is marked as a worker process, so the fork-inherited
+    // arming is parent-only there: the visit counts, but the point
+    // never fires.
+    EXPECT_TRUE(out.getBool("inWorker"));
+    EXPECT_FALSE(out.getBool("fired"));
+    EXPECT_GE(out.getInt("hits"), 1);
+
+    // The parent is not suppressed: the very same point fires here.
+    EXPECT_FALSE(fault::inWorkerProcess());
+    EXPECT_TRUE(fault::shouldFire("worker.test.point"));
 }
 
 TEST(WorkerPool, JobFailurePropagatesAsRuntimeError)
